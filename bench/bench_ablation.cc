@@ -1,0 +1,164 @@
+// Ablation studies for the design choices DESIGN.md calls out (not a paper
+// figure; complements Figure 11):
+//   A. Mo trees without edge-set pruning (GAM+Mo): Mo injection only pays
+//      off as a *complement* to ESP, not on its own.
+//   B. Queue strategy (single vs per-sat-subset) on skewed seed sets —
+//      Section 4.9 (ii).
+//   C. Adaptive algorithm choice for m=2 CTPs (ESP by Property 3) vs always
+//      running MoLESP.
+#include <cinttypes>
+
+#include "bench_common.h"
+#include "ctp/algorithm.h"
+#include "gen/kg.h"
+#include "gen/synthetic.h"
+
+namespace eql {
+namespace {
+
+struct RunOut {
+  double ms;
+  uint64_t trees;
+  uint64_t results;
+  bool timed_out;
+};
+
+RunOut RunConfig(const Graph& g, const SeedSets& seeds, GamConfig config,
+                 int64_t timeout_ms) {
+  config.filters.timeout_ms = timeout_ms;
+  GamSearch search(g, seeds, std::move(config));
+  search.Run();
+  return RunOut{search.stats().elapsed_ms, search.stats().trees_built,
+                search.stats().results_found, search.stats().timed_out};
+}
+
+void SectionA(int64_t timeout) {
+  std::printf("---- A: Mo trees with vs without edge-set pruning ----\n");
+  TablePrinter table({"graph", "config", "ms", "provenances", "results"});
+  auto add = [&](const char* name, const SyntheticDataset& d) {
+    auto seeds = SeedSets::Of(d.graph, d.seed_sets);
+    struct Cfg {
+      const char* label;
+      GamConfig config;
+    };
+    GamConfig gam_mo = GamConfig::Gam();
+    gam_mo.mo_trees = true;
+    for (const Cfg& c : {Cfg{"gam", GamConfig::Gam()}, Cfg{"gam+mo", gam_mo},
+                         Cfg{"esp", GamConfig::Esp()},
+                         Cfg{"moesp", GamConfig::MoEsp()},
+                         Cfg{"molesp", GamConfig::MoLesp()}}) {
+      RunOut r = RunConfig(d.graph, *seeds, c.config, timeout);
+      table.AddRow({name, c.label, bench::MsOrTimeout(r.ms, r.timed_out),
+                    StrFormat("%" PRIu64, r.trees),
+                    StrFormat("%" PRIu64, r.results)});
+    }
+  };
+  int scale_up = bench::Scale() == 0 ? 0 : 2;
+  add("Comb(4,2,4,3)", MakeComb(4, 2, 2 + scale_up, 3));
+  add("Star(8,4)", MakeStar(8, 2 + scale_up));
+  table.Print();
+  std::printf(
+      "Mo's effect without ESP is graph-dependent (its extra seed-rooted\n"
+      "trees can unlock earlier merges, as on Comb); with ESP it buys back\n"
+      "the completeness ESP loses (esp finds 0 results on Comb).\n\n");
+}
+
+void SectionB(int64_t timeout) {
+  std::printf("---- B: queue strategy on skewed seed sets (§4.9 ii) ----\n");
+  KgParams p;
+  p.num_nodes = bench::Scale() == 0 ? 2000 : 20000;
+  p.num_edges = p.num_nodes * 4;
+  p.seed = 31;
+  auto g = MakeSyntheticKg(p);
+  if (!g.ok()) return;
+  TablePrinter table(
+      {"small_set", "big_set", "strategy", "ms", "provenances", "results"});
+  Rng rng(77);
+  for (size_t big : {100u, 1000u, 5000u}) {
+    if (big >= g->NumNodes() / 2) continue;
+    std::vector<NodeId> small_set = {static_cast<NodeId>(rng.Below(g->NumNodes()))};
+    std::vector<NodeId> big_set;
+    while (big_set.size() < big) {
+      big_set.push_back(static_cast<NodeId>(rng.Below(g->NumNodes())));
+    }
+    auto seeds = SeedSets::Of(*g, {small_set, big_set});
+    if (!seeds.ok()) continue;
+    for (auto [name, qs] :
+         {std::pair{"single", QueueStrategy::kSingle},
+          std::pair{"per_subset", QueueStrategy::kPerSatSubset}}) {
+      GamConfig config = GamConfig::MoLesp();
+      config.queue_strategy = qs;
+      config.filters.max_edges = 4;
+      // Skew shows up in time-to-first-results: full enumeration costs the
+      // same either way, but the single queue drowns the small set's
+      // frontier in big-set Grow entries before producing anything.
+      config.filters.limit = 200;
+      RunOut r = RunConfig(*g, *seeds, config, timeout);
+      table.AddRow({"1", std::to_string(big), name,
+                    bench::MsOrTimeout(r.ms, r.timed_out),
+                    StrFormat("%" PRIu64, r.trees),
+                    StrFormat("%" PRIu64, r.results)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "Per-subset queues keep the frontier near the small set (fewer\n"
+      "provenances until the LIMIT is hit); exhaustive runs of the two\n"
+      "strategies return identical result sets (asserted by tests).\n\n");
+}
+
+void SectionC(int64_t timeout) {
+  std::printf("---- C: adaptive algorithm choice for m=2 (Property 3) ----\n");
+  KgParams p;
+  p.num_nodes = bench::Scale() == 0 ? 2000 : 20000;
+  p.num_edges = p.num_nodes * 4;
+  p.seed = 37;
+  auto g = MakeSyntheticKg(p);
+  if (!g.ok()) return;
+  Rng rng(11);
+  const int queries = bench::Scale() == 0 ? 5 : 12;
+  auto workload = MakeCtpWorkload(*g, queries, 2, 2, &rng);
+  double esp_total = 0, molesp_total = 0;
+  uint64_t esp_results = 0, molesp_results = 0;
+  for (const auto& ctp : workload) {
+    auto seeds = SeedSets::Of(*g, ctp.seed_sets);
+    if (!seeds.ok()) continue;
+    GamConfig esp = GamConfig::Esp();
+    esp.filters.max_edges = 3;
+    GamConfig molesp = GamConfig::MoLesp();
+    molesp.filters.max_edges = 3;
+    RunOut re = RunConfig(*g, *seeds, esp, timeout);
+    RunOut rm = RunConfig(*g, *seeds, molesp, timeout);
+    esp_total += re.ms;
+    molesp_total += rm.ms;
+    esp_results += re.results;
+    molesp_results += rm.results;
+  }
+  TablePrinter table({"algorithm", "total_ms", "results"});
+  table.AddRow({"esp (adaptive pick)", bench::Ms(esp_total),
+                StrFormat("%" PRIu64, esp_results)});
+  table.AddRow({"molesp (default)", bench::Ms(molesp_total),
+                StrFormat("%" PRIu64, molesp_results)});
+  table.Print();
+  std::printf(
+      "ESP is complete for m=2 (Property 3) and cheaper; identical result\n"
+      "counts confirm no answers are lost by the adaptive pick.\n");
+}
+
+void Run() {
+  bench::Banner("Design-choice ablations (Mo/ESP interaction, §4.9 queues, "
+                "adaptive m=2 pick)",
+                "DESIGN.md ablation index (extends Figure 11)");
+  const int64_t timeout = bench::TimeoutMs(300, 5000, 120000);
+  SectionA(timeout);
+  SectionB(timeout);
+  SectionC(timeout);
+}
+
+}  // namespace
+}  // namespace eql
+
+int main() {
+  eql::Run();
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Shared harness for the CDF benchmarks (Figures 13 and 14, Section 5.5.1):
+// runs the EQL engine (bidirectional and UNI MoLESP) plus the baseline
+// capability classes on a generated CDF graph and returns one row per
+// system.
+#ifndef EQL_BENCH_BENCH_CDF_COMMON_H_
+#define EQL_BENCH_BENCH_CDF_COMMON_H_
+
+#include <cinttypes>
+#include <string>
+#include <vector>
+
+#include "baselines/path_enum.h"
+#include "baselines/reachability.h"
+#include "bench_common.h"
+#include "eval/engine.h"
+#include "gen/cdf.h"
+
+namespace eql {
+namespace bench {
+
+struct SystemRow {
+  std::string system;
+  double ms = 0;
+  uint64_t results = 0;
+  bool timed_out = false;
+};
+
+/// Runs every Figure 13/14 system on one CDF instance. `timeout_ms` applies
+/// per system. The EQL rows carry the *query* answer counts; baseline rows
+/// carry raw path/pair counts (their semantics differ — Section 2).
+inline std::vector<SystemRow> RunCdfSystems(const CdfDataset& d,
+                                            int64_t timeout_ms) {
+  std::vector<SystemRow> rows;
+  const Graph& g = d.graph;
+  const int m = d.params.m;
+  StrId link = g.dict().Lookup("link");
+  std::vector<StrId> link_only = {link};
+
+  auto run_eql = [&](const char* name, bool uni) {
+    EngineOptions opts;
+    opts.default_ctp_timeout_ms = timeout_ms;
+    EqlEngine engine(g, opts);
+    std::string query = CdfQueryText(m);
+    if (uni) {
+      size_t pos = query.find(")\n");  // append UNI to the CONNECT clause
+      query.insert(pos + 1, " UNI");
+    }
+    auto r = engine.Run(query);
+    SystemRow row;
+    row.system = name;
+    if (r.ok()) {
+      row.ms = r->total_ms;
+      row.results = r->table.NumRows();
+      row.timed_out = !r->ctp_runs.empty() && r->ctp_runs[0].stats.timed_out;
+    } else {
+      row.timed_out = true;
+    }
+    rows.push_back(row);
+  };
+  run_eql("MoLESP(any,return)", false);
+  run_eql("UNI-MoLESP(any,return)", true);
+
+  const std::vector<NodeId>& sources = d.top_leaves;
+  const std::vector<NodeId>& targets = d.bottom_g_leaves;
+
+  {  // Virtuoso-like: unidirectional label-constrained, check-only.
+    auto st = CheckReachability(g, sources, targets, /*directed=*/true,
+                                link_only, timeout_ms);
+    rows.push_back(SystemRow{"Virtuoso(label,check)", st.elapsed_ms,
+                             st.reachable_pairs, st.timed_out});
+  }
+  {  // Virtuoso-SQL-like: unidirectional, any label, check-only.
+    auto st = CheckReachability(g, sources, targets, /*directed=*/true,
+                                std::nullopt, timeout_ms);
+    rows.push_back(SystemRow{"Virtuoso(any,check)", st.elapsed_ms,
+                             st.reachable_pairs, st.timed_out});
+  }
+  {  // JEDI-like: unidirectional labelled paths, returned.
+    PathEnumOptions opts;
+    opts.allowed_labels = link_only;
+    opts.max_hops = static_cast<uint32_t>(d.params.link_len + 2);
+    opts.timeout_ms = timeout_ms;
+    std::vector<EnumeratedPath> paths;
+    auto st = EnumerateDirectedPaths(g, sources, targets, opts, &paths);
+    rows.push_back(
+        SystemRow{"JEDI(label,return)", st.elapsed_ms, st.paths_found, st.timed_out});
+  }
+  {  // Postgres-like: recursive table, directed, any label, returned.
+    PathEnumOptions opts;
+    opts.max_hops = static_cast<uint32_t>(d.params.link_len + 2);
+    opts.timeout_ms = timeout_ms;
+    std::vector<EnumeratedPath> paths;
+    auto st = RecursivePathTable(g, sources, targets, opts, &paths);
+    rows.push_back(SystemRow{"Postgres(any,return)", st.elapsed_ms, st.paths_found,
+                             st.timed_out});
+  }
+  {  // Neo4j-like: undirected simple paths, returned.
+    PathEnumOptions opts;
+    opts.max_hops = static_cast<uint32_t>(d.params.link_len + 6);
+    opts.timeout_ms = timeout_ms;
+    std::vector<EnumeratedPath> paths;
+    auto st = EnumerateUndirectedPaths(g, sources, targets, opts, &paths);
+    rows.push_back(SystemRow{"Neo4j(any,return)", st.elapsed_ms, st.paths_found,
+                             st.timed_out});
+  }
+  return rows;
+}
+
+}  // namespace bench
+}  // namespace eql
+
+#endif  // EQL_BENCH_BENCH_CDF_COMMON_H_

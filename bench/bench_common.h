@@ -1,0 +1,55 @@
+// Shared scaffolding for the benchmark harnesses: scale knobs, formatting.
+//
+// Every bench binary regenerates one table/figure of the paper's evaluation
+// (Section 5) and honors:
+//   EQL_BENCH_SCALE       0 = smoke (seconds), 1 = default, 2 = paper-scale
+//   EQL_BENCH_TIMEOUT_MS  overrides the per-point timeout
+#ifndef EQL_BENCH_BENCH_COMMON_H_
+#define EQL_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace eql {
+namespace bench {
+
+inline int Scale() {
+  const char* s = std::getenv("EQL_BENCH_SCALE");
+  if (s == nullptr) return 1;
+  int v = std::atoi(s);
+  return v < 0 ? 0 : (v > 2 ? 2 : v);
+}
+
+inline int64_t TimeoutMs(int64_t smoke, int64_t dflt, int64_t paper) {
+  const char* s = std::getenv("EQL_BENCH_TIMEOUT_MS");
+  if (s != nullptr) return std::atoll(s);
+  switch (Scale()) {
+    case 0:
+      return smoke;
+    case 2:
+      return paper;
+    default:
+      return dflt;
+  }
+}
+
+/// "12.3" / "0.045" style milliseconds, or "TIMEOUT"/"-" markers.
+inline std::string Ms(double ms) { return StrFormat("%.2f", ms); }
+
+inline std::string MsOrTimeout(double ms, bool timed_out) {
+  return timed_out ? "TIMEOUT" : Ms(ms);
+}
+
+inline void Banner(const char* what, const char* paper_ref) {
+  std::printf("== %s ==\n", what);
+  std::printf("reproduces: %s | scale=%d (EQL_BENCH_SCALE)\n\n", paper_ref, Scale());
+}
+
+}  // namespace bench
+}  // namespace eql
+
+#endif  // EQL_BENCH_BENCH_COMMON_H_

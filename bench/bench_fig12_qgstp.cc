@@ -1,0 +1,138 @@
+// Figure 12 (Section 5.4.3): GAM and MoLESP vs the QGSTP approximation on a
+// DBPedia-shaped workload: 312 CTPs grouped by m = 2..6 (83/98/85/38/8),
+// evaluated with UNI and LIMIT 1 to align with QGSTP's one-result contract.
+//
+// The paper's DBPedia subset (18M triples) is substituted by a seeded
+// scale-free labeled graph of configurable size (see DESIGN.md §2); the
+// shape to reproduce: MoLESP clearly faster than QGSTP across all m and
+// scaling well with m, GAM competitive for small m but degrading (timing
+// out at m=6 in the paper).
+#include <cinttypes>
+
+#include "baselines/qgstp.h"
+#include "bench_common.h"
+#include "ctp/algorithm.h"
+#include "gen/kg.h"
+
+namespace eql {
+namespace {
+
+struct Cell {
+  double total_ms = 0;
+  int timeouts = 0;
+  int found = 0;
+  int queries = 0;
+  std::string Avg() const {
+    if (queries == 0) return "-";
+    return StrFormat("%.1f", total_ms / queries);
+  }
+};
+
+void Run() {
+  bench::Banner("UNI LIMIT-1 connection search vs QGSTP approximation",
+                "Figure 12");
+  KgParams kg;
+  switch (bench::Scale()) {
+    case 0:
+      kg.num_nodes = 5000;
+      kg.num_edges = 20000;
+      break;
+    case 2:
+      kg.num_nodes = 1000000;
+      kg.num_edges = 4500000;
+      break;
+    default:
+      kg.num_nodes = 150000;
+      kg.num_edges = 600000;
+      break;
+  }
+  kg.seed = 17;
+  auto graph = MakeSyntheticKg(kg);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "KG generation failed: %s\n",
+                 graph.status().ToString().c_str());
+    std::exit(1);
+  }
+  const Graph& g = *graph;
+  std::printf("graph: %zu nodes, %zu edges (DBPedia-shaped substitute)\n\n",
+              g.NumNodes(), g.NumEdges());
+
+  const int64_t timeout = bench::TimeoutMs(150, 1500, 200000);
+  // Workload: the paper's per-m counts, scaled down for smoke/default runs.
+  const int divisor = bench::Scale() == 2 ? 1 : (bench::Scale() == 1 ? 3 : 10);
+  Rng rng(99);
+
+  TablePrinter table({"m", "queries", "qgstp_avg_ms", "gam_avg_ms",
+                      "molesp_avg_ms", "qgstp_found", "gam_found",
+                      "molesp_found", "gam_timeouts", "molesp_timeouts"});
+  for (int mi = 0; mi < 5; ++mi) {
+    const int m = mi + 2;
+    const int count = std::max(1, kDbpediaWorkloadCounts[mi] / divisor);
+    // The paper reuses QGSTP's own benchmark queries, which have answers;
+    // mirror that by keeping only UNI-feasible CTPs (QGSTP finds a tree).
+    // Every kept query is therefore one both sides can solve.
+    std::vector<WorkloadCtp> workload;
+    int attempts = 0;
+    Cell qgstp, gam, molesp;
+    while (static_cast<int>(workload.size()) < count && attempts < count * 30) {
+      ++attempts;
+      auto candidate = MakeCtpWorkload(g, 1, m, /*set_size=*/2, &rng)[0];
+      auto seeds = SeedSets::Of(g, candidate.seed_sets);
+      if (!seeds.ok()) continue;
+      // Cheap feasibility probe (any single root suffices); the measured
+      // QGSTP run happens below with its full best-root contract.
+      QgstpOptions probe;
+      probe.unidirectional = true;
+      probe.timeout_ms = timeout;
+      probe.candidate_roots = 1;
+      if (!QgstpApprox(g, *seeds, probe).found) continue;
+      workload.push_back(candidate);
+    }
+    for (const WorkloadCtp& ctp : workload) {
+      auto seeds = SeedSets::Of(g, ctp.seed_sets);
+      if (!seeds.ok()) continue;
+
+      QgstpOptions qopts;
+      qopts.unidirectional = true;
+      qopts.timeout_ms = timeout;
+      QgstpResult qr = QgstpApprox(g, *seeds, qopts);
+      qgstp.total_ms += qr.elapsed_ms;
+      qgstp.found += qr.found ? 1 : 0;
+      ++qgstp.queries;
+
+      for (auto [kind, cell] :
+           {std::pair{AlgorithmKind::kGam, &gam},
+            std::pair{AlgorithmKind::kMoLesp, &molesp}}) {
+        CtpFilters filters;
+        filters.unidirectional = true;
+        filters.limit = 1;
+        filters.timeout_ms = timeout;
+        auto algo = CreateCtpAlgorithm(kind, g, *seeds, filters, nullptr,
+                                       QueueStrategy::kPerSatSubset);
+        algo->Run();
+        cell->total_ms += algo->stats().elapsed_ms;
+        cell->timeouts += algo->stats().timed_out ? 1 : 0;
+        cell->found += algo->results().empty() ? 0 : 1;
+        ++cell->queries;
+      }
+    }
+    table.AddRow({std::to_string(m), std::to_string(count), qgstp.Avg(),
+                  gam.Avg(), molesp.Avg(), std::to_string(qgstp.found),
+                  std::to_string(gam.found), std::to_string(molesp.found),
+                  std::to_string(gam.timeouts), std::to_string(molesp.timeouts)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper): MoLESP ~6-7x faster than QGSTP at every m and\n"
+      "scaling well in m; GAM competitive for m<=5 but degrading/timing out as\n"
+      "m grows. Found-counts differ only where a UNI witness does not exist\n"
+      "(QGSTP and MoLESP agree on feasibility).\n");
+}
+
+}  // namespace
+}  // namespace eql
+
+int main() {
+  eql::Run();
+  return 0;
+}

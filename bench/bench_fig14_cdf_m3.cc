@@ -1,0 +1,94 @@
+// Figure 14 (Section 5.5.1): EQL evaluation on CDF graphs with m=3 — the
+// three-seed CTP (top leaf + sibling bottom leaf pair). Path systems cannot
+// answer this directly; the paper stitches their pairwise paths, which needs
+// deduplication and minimization (Section 2). This harness reports the same
+// per-system series as Figure 13 plus (a) the bidirectional MoLESP pre-join
+// result inflation (the paper observed ~7x over NL, filtered by the BGP
+// join) and (b) a stitching demonstration on the smallest instance.
+#include "baselines/stitching.h"
+#include "bench_cdf_common.h"
+
+namespace eql {
+namespace {
+
+void Run() {
+  bench::Banner("EQL on CDF graphs, m=3", "Figure 14");
+  const int64_t timeout = bench::TimeoutMs(500, 8000, 900000);
+  std::vector<int> nts = bench::Scale() == 0 ? std::vector<int>{100, 400}
+                         : bench::Scale() == 2
+                             ? std::vector<int>{1000, 10000, 40000, 100000}
+                             : std::vector<int>{500, 2000, 8000};
+
+  TablePrinter table(
+      {"SL", "NT", "edges", "links", "system", "ms", "results", "status"});
+  double first_prejoin_ratio = -1;
+  for (int sl : {3, 6}) {
+    for (int nt : nts) {
+      CdfParams p;
+      p.m = 3;
+      p.num_trees = nt;
+      p.num_links = 2 * nt;
+      p.link_len = sl;
+      auto d = MakeCdf(p);
+      if (!d.ok()) continue;
+      for (const auto& row : bench::RunCdfSystems(*d, timeout)) {
+        table.AddRow({std::to_string(sl), std::to_string(nt),
+                      std::to_string(d->graph.NumEdges()),
+                      std::to_string(p.num_links), row.system,
+                      bench::MsOrTimeout(row.ms, row.timed_out),
+                      std::to_string(row.results),
+                      row.timed_out ? "TIMEOUT" : "ok"});
+      }
+      if (first_prejoin_ratio < 0) {
+        // Pre-join inflation of the bidirectional CTP (Section 5.5.1).
+        EngineOptions opts;
+        opts.default_ctp_timeout_ms = timeout;
+        EqlEngine engine(d->graph, opts);
+        auto r = engine.Run(CdfQueryText(3));
+        if (r.ok() && r->table.NumRows() > 0) {
+          first_prejoin_ratio = static_cast<double>(r->ctp_runs[0].num_results) /
+                                static_cast<double>(p.num_links);
+        }
+      }
+    }
+  }
+  table.Print();
+  if (first_prejoin_ratio > 0) {
+    std::printf(
+        "\nbidirectional MoLESP pre-join results / NL = %.2fx (paper: ~7x;\n"
+        "extra trees connect bottom leaves without a common parent and are\n"
+        "filtered by the BGP-CTP join).\n",
+        first_prejoin_ratio);
+  }
+
+  // Path stitching demonstration (smallest instance): joined tuples vs
+  // non-tree drops vs duplicates — why CTPs are computed directly.
+  CdfParams p;
+  p.m = 3;
+  p.num_trees = bench::Scale() == 0 ? 20 : 60;
+  p.num_links = p.num_trees;
+  p.link_len = 3;
+  auto d = MakeCdf(p);
+  if (d.ok()) {
+    PathEnumOptions opts;
+    opts.max_hops = 5;
+    opts.timeout_ms = timeout;
+    std::vector<std::vector<EdgeId>> trees;
+    auto st = StitchThreeWay(d->graph, d->top_leaves, d->bottom_g_leaves,
+                             d->bottom_h_leaves, opts, &trees);
+    std::printf(
+        "\npath stitching on a %zu-edge CDF: %" PRIu64 " joined tuples -> %" PRIu64
+        " trees (%" PRIu64 " non-tree joins dropped, %" PRIu64
+        " duplicates dropped) in %.1f ms%s\n",
+        d->graph.NumEdges(), st.joined_tuples, st.results, st.non_tree_dropped,
+        st.duplicates_dropped, st.elapsed_ms, st.timed_out ? " [TIMEOUT]" : "");
+  }
+}
+
+}  // namespace
+}  // namespace eql
+
+int main() {
+  eql::Run();
+  return 0;
+}

@@ -1,0 +1,159 @@
+// Microbenchmarks (google-benchmark) for the data structures on the CTP
+// search's hot path: tree Grow/Merge construction, history dedup, incidence
+// iteration, seed-signature ops, and single-pattern BGP scans. Not a paper
+// figure; used to sanity-check that the building blocks stay O(small).
+#include <benchmark/benchmark.h>
+
+#include "ctp/gam.h"
+#include "ctp/history.h"
+#include "ctp/tree.h"
+#include "gen/kg.h"
+#include "gen/synthetic.h"
+#include "query/ast.h"
+#include "storage/bgp_eval.h"
+
+namespace eql {
+namespace {
+
+const Graph& KgGraph() {
+  static Graph* g = [] {
+    KgParams p;
+    p.num_nodes = 20000;
+    p.num_edges = 80000;
+    auto r = MakeSyntheticKg(p);
+    return new Graph(std::move(r).value());
+  }();
+  return *g;
+}
+
+void BM_TreeGrowChain(benchmark::State& state) {
+  const int len = static_cast<int>(state.range(0));
+  auto d = MakeLine(2, len);
+  auto seeds = SeedSets::Of(d.graph, d.seed_sets);
+  for (auto _ : state) {
+    TreeArena arena;
+    TreeId t = arena.MakeInit(d.seed_sets[0][0], *seeds);
+    NodeId cur = d.seed_sets[0][0];
+    for (int i = 0; i < len; ++i) {
+      const IncidentEdge* next = nullptr;
+      for (const IncidentEdge& ie : d.graph.Incident(cur)) {
+        if (!arena.Get(t).ContainsNode(ie.other)) {
+          next = &ie;
+          break;
+        }
+      }
+      if (next == nullptr) break;
+      t = arena.MakeGrow(t, next->edge, next->other, *seeds);
+      cur = next->other;
+    }
+    benchmark::DoNotOptimize(arena.Get(t).edge_set_hash);
+  }
+  state.SetItemsProcessed(state.iterations() * len);
+}
+BENCHMARK(BM_TreeGrowChain)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_TreeMerge(benchmark::State& state) {
+  auto d = MakeStar(2, static_cast<int>(state.range(0)));
+  auto seeds = SeedSets::Of(d.graph, d.seed_sets);
+  TreeArena arena;
+  // Two arms grown to the center.
+  auto grow_arm = [&](NodeId seed) {
+    TreeId t = arena.MakeInit(seed, *seeds);
+    NodeId cur = seed;
+    for (;;) {
+      const IncidentEdge* next = nullptr;
+      for (const IncidentEdge& ie : d.graph.Incident(cur)) {
+        if (!arena.Get(t).ContainsNode(ie.other)) {
+          next = &ie;
+          break;
+        }
+      }
+      if (next == nullptr) break;
+      t = arena.MakeGrow(t, next->edge, next->other, *seeds);
+      cur = next->other;
+      if (d.graph.NodeLabel(cur) == "center") break;
+    }
+    return t;
+  };
+  TreeId a = grow_arm(d.seed_sets[0][0]);
+  TreeId b = grow_arm(d.seed_sets[1][0]);
+  for (auto _ : state) {
+    TreeId m = arena.MakeMerge(a, b, *seeds);
+    benchmark::DoNotOptimize(arena.Get(m).sat);
+    arena.PopLast();
+  }
+}
+BENCHMARK(BM_TreeMerge)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_HistoryInsertLookup(benchmark::State& state) {
+  auto d = MakeChain(16);
+  auto seeds = SeedSets::Of(d.graph, d.seed_sets);
+  for (auto _ : state) {
+    state.PauseTiming();
+    TreeArena arena;
+    SearchHistory hist(&arena);
+    TreeId t = arena.MakeInit(d.seed_sets[0][0], *seeds);
+    hist.Insert(t);
+    state.ResumeTiming();
+    NodeId cur = d.seed_sets[0][0];
+    for (int i = 0; i < 16; ++i) {
+      for (const IncidentEdge& ie : d.graph.Incident(cur)) {
+        if (arena.Get(t).ContainsNode(ie.other)) continue;
+        TreeId nt = arena.MakeGrow(t, ie.edge, ie.other, *seeds);
+        if (!hist.SeenEdgeSet(arena.Get(nt))) hist.Insert(nt);
+        benchmark::DoNotOptimize(hist.NumEdgeSets());
+        t = nt;
+        cur = ie.other;
+        break;
+      }
+    }
+  }
+}
+BENCHMARK(BM_HistoryInsertLookup);
+
+void BM_IncidenceScan(benchmark::State& state) {
+  const Graph& g = KgGraph();
+  uint64_t sum = 0;
+  for (auto _ : state) {
+    for (NodeId n = 0; n < g.NumNodes(); n += 97) {
+      for (const IncidentEdge& ie : g.Incident(n)) sum += ie.edge;
+    }
+  }
+  benchmark::DoNotOptimize(sum);
+}
+BENCHMARK(BM_IncidenceScan);
+
+void BM_EdgePatternScan(benchmark::State& state) {
+  const Graph& g = KgGraph();
+  EdgePattern ep;
+  ep.source = Predicate{"s", {}};
+  ep.edge = Predicate{"p", {{"label", CompareOp::kEq, "p1"}}};
+  ep.target = Predicate{"t", {}};
+  for (auto _ : state) {
+    auto table = EvaluateEdgePattern(g, ep);
+    benchmark::DoNotOptimize(table.NumRows());
+  }
+}
+BENCHMARK(BM_EdgePatternScan);
+
+void BM_MolespTwoSeedKg(benchmark::State& state) {
+  const Graph& g = KgGraph();
+  for (auto _ : state) {
+    auto seeds = SeedSets::Of(g, {{10}, {20}});
+    CtpFilters f;
+    f.max_edges = 3;
+    GamSearch search(g, *seeds, [&] {
+      GamConfig c = GamConfig::MoLesp();
+      c.filters = f;
+      return c;
+    }());
+    search.Run();
+    benchmark::DoNotOptimize(search.results().size());
+  }
+}
+BENCHMARK(BM_MolespTwoSeedKg);
+
+}  // namespace
+}  // namespace eql
+
+BENCHMARK_MAIN();

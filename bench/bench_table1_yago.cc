@@ -1,0 +1,156 @@
+// Table 1 (Section 5.5.2): full EQL queries on a YAGO3-shaped graph —
+// J1 (3 BGPs, 2 CTPs), J2 (2 BGPs, 1 CTP with a very large seed set), and
+// J3 (1 CTP with an N seed set) — comparing the EQL engine (MoLESP inside)
+// against the JEDI-like and Neo4j-like path baselines, plus an ablation of
+// the Section 4.9 optimizations (single queue vs per-sat-subset queues).
+//
+// The YAGO3 subset (6M triples) is substituted by a seeded scale-free
+// labeled graph (DESIGN.md §2). Shape to reproduce: the engine handles all
+// three queries within seconds; without the §4.9 strategies, J2/J3 blow up
+// (timeout at equal budget); path baselines return paths, not trees, and
+// JEDI-like enumeration is competitive only when label-constrained.
+#include <cinttypes>
+
+#include "baselines/path_enum.h"
+#include "bench_common.h"
+#include "eval/engine.h"
+#include "gen/kg.h"
+
+namespace eql {
+namespace {
+
+struct QuerySpec {
+  const char* name;
+  std::string text;
+};
+
+void Run() {
+  bench::Banner("EQL queries J1/J2/J3 on a YAGO3-shaped graph", "Table 1");
+  KgParams kg;
+  switch (bench::Scale()) {
+    case 0:
+      kg.num_nodes = 2000;
+      kg.num_edges = 6000;
+      break;
+    case 2:
+      kg.num_nodes = 600000;
+      kg.num_edges = 2400000;
+      break;
+    default:
+      kg.num_nodes = 30000;
+      kg.num_edges = 120000;
+      break;
+  }
+  kg.seed = 23;
+  auto graph = MakeSyntheticKg(kg);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    std::exit(1);
+  }
+  const Graph& g = *graph;
+  std::printf("graph: %zu nodes, %zu edges (YAGO3-shaped substitute)\n\n",
+              g.NumNodes(), g.NumEdges());
+  const int64_t timeout = bench::TimeoutMs(300, 5000, 300000);
+
+  // p0/p1 are the most frequent labels (Zipf head), giving large BGP tables;
+  // J1 uses mid-frequency labels so its two CTPs stay selective (the paper's
+  // J1 finished in ~2 s).
+  std::vector<QuerySpec> queries;
+  queries.push_back(
+      {"J1(3 BGPs, 2 CTPs)",
+       "SELECT ?x ?y ?w1 ?w2 WHERE {\n"
+       "  ?x \"p20\" ?y .\n"
+       "  ?y \"p30\" ?z .\n"
+       "  ?x \"p40\" ?u .\n"
+       // LABEL keeps the 3-hop search out of the scale-free hubs (through
+       // which everything connects to everything in <= 3 steps).
+       "  CONNECT(?x, ?z -> ?w1) MAX 3 LABEL {\"p20\", \"p30\", \"p40\"}\n"
+       "  CONNECT(?y, ?u -> ?w2) MAX 3 LABEL {\"p20\", \"p30\", \"p40\"}\n"
+       "}"});
+  queries.push_back(
+      {"J2(2 BGPs, 1 CTP, large seed set)",
+       "SELECT ?x ?z ?w WHERE {\n"
+       "  ?x \"p0\" ?y .\n"
+       "  ?z \"p1\" ?y .\n"
+       "  CONNECT(?x, ?z -> ?w) MAX 3 LIMIT 5000\n"
+       "}"});
+  queries.push_back(
+      {"J3(1 CTP, N seed set)",
+       "SELECT ?w WHERE {\n"
+       "  CONNECT(\"n42\", ?anything -> ?w) MAX 4 LIMIT 5000\n"
+       "}"});
+
+  TablePrinter table({"query", "system", "ms", "rows", "ctp_trees", "status"});
+  for (const QuerySpec& q : queries) {
+    for (bool use49 : {true, false}) {
+      EngineOptions opts;
+      opts.default_ctp_timeout_ms = timeout;
+      opts.auto_queue_strategy = use49;
+      opts.materialize_universal_sets = !use49;  // ablate §4.9 (i) too
+      EqlEngine engine(g, opts);
+      auto r = engine.Run(q.text);
+      std::string system = use49 ? "EQL(MoLESP, §4.9 on)" : "EQL(MoLESP, §4.9 off)";
+      if (!r.ok()) {
+        table.AddRow({q.name, system, "-", "-", "-", r.status().ToString()});
+        continue;
+      }
+      uint64_t trees = 0;
+      bool timed_out = false;
+      for (const auto& run : r->ctp_runs) {
+        trees += run.stats.trees_built;
+        timed_out |= run.stats.timed_out;
+      }
+      table.AddRow({q.name, system, bench::Ms(r->total_ms),
+                    std::to_string(r->table.NumRows()),
+                    StrFormat("%" PRIu64, trees),
+                    timed_out ? "CTP TIMEOUT (partial)" : "ok"});
+    }
+  }
+
+  // Path baselines on J2's seed shape: all p0-sources vs all p1-sources.
+  {
+    StrId p0 = g.dict().Lookup("p0");
+    StrId p1 = g.dict().Lookup("p1");
+    std::vector<NodeId> s1, s2;
+    for (EdgeId e : g.EdgesWithLabel(p0)) s1.push_back(g.Source(e));
+    for (EdgeId e : g.EdgesWithLabel(p1)) s2.push_back(g.Source(e));
+    std::sort(s1.begin(), s1.end());
+    s1.erase(std::unique(s1.begin(), s1.end()), s1.end());
+    std::sort(s2.begin(), s2.end());
+    s2.erase(std::unique(s2.begin(), s2.end()), s2.end());
+
+    PathEnumOptions opts;
+    opts.max_hops = 3;
+    opts.timeout_ms = timeout;
+    opts.max_paths = 100000;
+    std::vector<EnumeratedPath> paths;
+    auto jedi = EnumerateDirectedPaths(g, s1, s2, opts, &paths);
+    table.AddRow({"J2(2 BGPs, 1 CTP, large seed set)", "JEDI-like(directed paths)",
+                  bench::MsOrTimeout(jedi.elapsed_ms, jedi.timed_out),
+                  StrFormat("%" PRIu64, jedi.paths_found), "-",
+                  jedi.timed_out ? "TIMEOUT" : "ok (paths, not trees)"});
+    paths.clear();
+    auto neo = EnumerateUndirectedPaths(g, s1, s2, opts, &paths);
+    table.AddRow({"J2(2 BGPs, 1 CTP, large seed set)", "Neo4j-like(undirected paths)",
+                  bench::MsOrTimeout(neo.elapsed_ms, neo.timed_out),
+                  StrFormat("%" PRIu64, neo.paths_found), "-",
+                  neo.timed_out ? "TIMEOUT" : "ok (paths, not trees)"});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper's Table 1): the EQL engine answers J1-J3; the\n"
+      "§4.9 strategies (subset queues + universal-set handling) are what make\n"
+      "J2/J3 robust; path systems return (many) paths rather than trees, or\n"
+      "time out. With §4.9 off, the N member of J3 is materialized as a real\n"
+      "seed set: per Def 2.8 (ii) only the 1-node tree then qualifies — the\n"
+      "paper's footnote on why universal sets need adjusted semantics — while\n"
+      "the engine still wastes an Init tree per graph node.\n");
+}
+
+}  // namespace
+}  // namespace eql
+
+int main() {
+  eql::Run();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// CDF benchmark walkthrough: generate a Connected Dense Forest (Figure 9),
+// run the m=2 and m=3 EQL benchmark queries, and compare the CTP evaluation
+// algorithms on the same workload — a miniature of Figures 11/13/14.
+//
+//   $ ./build/examples/cdf_explore [NT] [NL]
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "ctp/algorithm.h"
+#include "eval/engine.h"
+#include "gen/cdf.h"
+
+int main(int argc, char** argv) {
+  using namespace eql;
+  CdfParams p;
+  p.m = 2;
+  p.num_trees = argc > 1 ? std::atoi(argv[1]) : 200;
+  p.num_links = argc > 2 ? std::atoi(argv[2]) : 2 * p.num_trees;
+  p.link_len = 3;
+
+  auto d2 = MakeCdf(p);
+  if (!d2.ok()) {
+    std::fprintf(stderr, "%s\n", d2.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("CDF m=2: %zu nodes, %zu edges, %d links\n", d2->graph.NumNodes(),
+              d2->graph.NumEdges(), p.num_links);
+
+  EqlEngine engine2(d2->graph);
+  auto r2 = engine2.Run(CdfQueryText(2));
+  if (!r2.ok()) {
+    std::fprintf(stderr, "%s\n", r2.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("m=2 query: %zu answers (expected %d) in %.1f ms "
+              "(BGP %.1f | CTP %.1f | join %.1f)\n\n",
+              r2->table.NumRows(), p.num_links, r2->total_ms, r2->bgp_ms,
+              r2->ctp_ms, r2->join_ms);
+
+  p.m = 3;
+  auto d3 = MakeCdf(p);
+  if (!d3.ok()) {
+    std::fprintf(stderr, "%s\n", d3.status().ToString().c_str());
+    return 1;
+  }
+  EqlEngine engine3(d3->graph);
+  auto r3 = engine3.Run(CdfQueryText(3));
+  if (!r3.ok()) {
+    std::fprintf(stderr, "%s\n", r3.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("CDF m=3: %zu edges; query: %zu answers in %.1f ms; the CTP\n"
+              "found %zu trees pre-join (bidirectional extras are filtered by\n"
+              "the BGP-CTP join, Section 5.5.1)\n\n",
+              d3->graph.NumEdges(), r3->table.NumRows(), r3->total_ms,
+              r3->ctp_runs[0].num_results);
+
+  // Algorithm comparison on the benchmark's CTP: seed sets are the
+  // BGP-derived leaf sets (all c-targets / g-targets / h-targets). The dense
+  // seed sets are what keep the search tractable — Grow2 stops any tree
+  // passing through a second leaf of the same set (Def 2.8 (ii)).
+  std::vector<std::vector<NodeId>> sets = {d3->top_leaves, d3->bottom_g_leaves,
+                                           d3->bottom_h_leaves};
+  auto seeds = SeedSets::Of(d3->graph, sets);
+  if (!seeds.ok()) return 1;
+  std::printf("one 3-seed CTP, per algorithm:\n");
+  std::printf("  %-8s %10s %12s %9s\n", "algo", "ms", "provenances", "results");
+  for (AlgorithmKind kind :
+       {AlgorithmKind::kGam, AlgorithmKind::kEsp, AlgorithmKind::kMoEsp,
+        AlgorithmKind::kLesp, AlgorithmKind::kMoLesp}) {
+    CtpFilters filters;
+    filters.timeout_ms = 10000;
+    auto algo = CreateCtpAlgorithm(kind, d3->graph, *seeds, filters);
+    algo->Run();
+    std::printf("  %-8s %10.2f %12" PRIu64 " %9" PRIu64 "\n", AlgorithmName(kind),
+                algo->stats().elapsed_ms, algo->stats().trees_built,
+                algo->stats().results_found);
+  }
+  std::printf(
+      "\nMoLESP keeps far fewer provenances than GAM at equal answers —\n"
+      "Figure 11's effect in miniature.\n");
+  return 0;
+}

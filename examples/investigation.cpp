@@ -1,0 +1,125 @@
+// Investigative-journalism walkthrough on the paper's Figure 1 graph:
+// the running query Q1, score functions re-ranking the same connections
+// (requirement R2), and the UNI / LABEL / MAX filters.
+//
+//   $ ./build/examples/investigation
+#include <cstdio>
+
+#include "ctp/score.h"
+#include "eval/engine.h"
+#include "graph/graph.h"
+
+namespace {
+
+eql::Graph MakeFigure1() {
+  using namespace eql;
+  Graph g;
+  auto node = [&](const char* label, const char* type) {
+    NodeId n = g.AddNode(label);
+    if (type != nullptr) g.AddType(n, type);
+    return n;
+  };
+  NodeId org_b = node("OrgB", "company");
+  NodeId bob = node("Bob", "entrepreneur");
+  NodeId alice = node("Alice", "entrepreneur");
+  NodeId carole = node("Carole", "entrepreneur");
+  NodeId org_a = node("OrgA", "company");
+  NodeId doug = node("Doug", "entrepreneur");
+  NodeId org_c = node("OrgC", "company");
+  NodeId france = node("France", "country");
+  NodeId elon = node("Elon", "politician");
+  NodeId usa = node("USA", "country");
+  NodeId nlp = g.AddLiteralNode("National Liberal Party");
+  NodeId falcon = node("Falcon", "politician");
+  g.AddEdge(bob, org_b, "founded");
+  g.AddEdge(alice, org_b, "investsIn");
+  g.AddEdge(bob, alice, "parentOf");
+  g.AddEdge(org_b, france, "locatedIn");
+  g.AddEdge(bob, usa, "citizenOf");
+  g.AddEdge(carole, usa, "citizenOf");
+  g.AddEdge(carole, org_a, "founded");
+  g.AddEdge(doug, org_a, "CEO");
+  g.AddEdge(doug, org_c, "investsIn");
+  g.AddEdge(carole, org_c, "founded");
+  g.AddEdge(elon, doug, "parentOf");
+  g.AddEdge(alice, france, "citizenOf");
+  g.AddEdge(doug, france, "citizenOf");
+  g.AddEdge(elon, france, "citizenOf");
+  g.AddEdge(org_c, usa, "locatedIn");
+  g.AddEdge(elon, nlp, "affiliation");
+  g.AddEdge(org_b, nlp, "funds");
+  g.AddEdge(falcon, nlp, "affiliation");
+  g.AddEdge(falcon, usa, "investsIn");
+  g.Finalize();
+  return g;
+}
+
+void RunAndPrint(const eql::EqlEngine& engine, const eql::Graph& g,
+                 const char* title, const char* query, size_t max_rows = 6) {
+  std::printf("---- %s ----\n%s\n", title, query);
+  auto r = engine.Run(query);
+  if (!r.ok()) {
+    std::printf("error: %s\n\n", r.status().ToString().c_str());
+    return;
+  }
+  std::printf("%zu answer(s)%s:\n", r->table.NumRows(),
+              r->table.NumRows() > max_rows ? " (showing first)" : "");
+  for (size_t row = 0; row < r->table.NumRows() && row < max_rows; ++row) {
+    std::printf("  %s\n", r->RowToString(g, row).c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace eql;
+  Graph g = MakeFigure1();
+  EqlEngine engine(g);
+
+  // The paper's Q1: connections between an American entrepreneur, a French
+  // entrepreneur and a French politician.
+  RunAndPrint(engine, g, "Q1 (Section 2)",
+              "SELECT ?x ?y ?z ?w WHERE {\n"
+              "  ?x \"citizenOf\" \"USA\" .\n"
+              "  ?y \"citizenOf\" \"France\" .\n"
+              "  ?z \"citizenOf\" \"France\" .\n"
+              "  FILTER(type(?x) = \"entrepreneur\")\n"
+              "  FILTER(type(?y) = \"entrepreneur\")\n"
+              "  FILTER(type(?z) = \"politician\")\n"
+              "  CONNECT(?x, ?y, ?z -> ?w)\n"
+              "}");
+
+  // R2: the same CTP under different score functions. Smallest-first favors
+  // hub connections; the degree penalty surfaces the "quiet" routes
+  // journalists actually want.
+  RunAndPrint(engine, g, "Top-3 smallest connections Bob-Elon",
+              "SELECT ?w WHERE {\n"
+              "  CONNECT(\"Bob\", \"Elon\" -> ?w) SCORE edge_count TOP 3\n"
+              "}");
+  RunAndPrint(engine, g, "Top-3 hub-avoiding connections Bob-Elon",
+              "SELECT ?w WHERE {\n"
+              "  CONNECT(\"Bob\", \"Elon\" -> ?w) SCORE degree_penalty TOP 3\n"
+              "}");
+
+  // LABEL: only follow ownership-ish edges. Doug and Carole meet through
+  // OrgA/OrgC board rooms, never through citizenship.
+  RunAndPrint(engine, g, "Connections through ownership edges only",
+              "SELECT ?w WHERE {\n"
+              "  CONNECT(\"Doug\", \"Carole\" -> ?w)"
+              " LABEL {\"founded\", \"investsIn\", \"CEO\"}\n"
+              "}");
+
+  // MAX: bound the connection size.
+  RunAndPrint(engine, g, "Connections of at most 3 edges",
+              "SELECT ?w WHERE {\n"
+              "  CONNECT(\"Bob\", \"Carole\" -> ?w) MAX 3\n"
+              "}");
+
+  // UNI vs bidirectional (R3).
+  RunAndPrint(engine, g, "UNI-only connections Elon-Doug",
+              "SELECT ?w WHERE { CONNECT(\"Elon\", \"Doug\" -> ?w) UNI MAX 3 }");
+  RunAndPrint(engine, g, "Bidirectional connections Elon-Doug (MAX 3)",
+              "SELECT ?w WHERE { CONNECT(\"Elon\", \"Doug\" -> ?w) MAX 3 }");
+  return 0;
+}

@@ -1,0 +1,181 @@
+#include "baselines/path_enum.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/stopwatch.h"
+
+namespace eql {
+
+namespace {
+
+bool LabelAllowed(const PathEnumOptions& opts, StrId label) {
+  if (!opts.allowed_labels) return true;
+  return std::binary_search(opts.allowed_labels->begin(), opts.allowed_labels->end(),
+                            label);
+}
+
+/// Shared DFS enumerator; `directed` restricts expansion to out-edges.
+class DfsEnumerator {
+ public:
+  DfsEnumerator(const Graph& g, const std::vector<NodeId>& targets,
+                const PathEnumOptions& opts, bool directed,
+                std::vector<EnumeratedPath>* out)
+      : g_(g), opts_(opts), directed_(directed), out_(out) {
+    deadline_ = opts.timeout_ms >= 0 ? Deadline::AfterMs(opts.timeout_ms)
+                                     : Deadline::Infinite();
+    targets_.insert(targets.begin(), targets.end());
+  }
+
+  PathEnumStats Run(const std::vector<NodeId>& sources) {
+    for (NodeId s : sources) {
+      if (stop_) break;
+      source_ = s;
+      on_path_.clear();
+      on_path_.insert(s);
+      path_.clear();
+      // A source that is itself a target yields the empty path, mirroring
+      // Cypher's zero-length path semantics.
+      if (targets_.count(s)) Report(s);
+      Dfs(s, 0);
+    }
+    stats_.elapsed_ms = sw_.ElapsedMs();
+    return stats_;
+  }
+
+ private:
+  void Report(NodeId end) {
+    EnumeratedPath p;
+    p.edges = path_;
+    p.source = source_;
+    p.target = end;
+    out_->push_back(std::move(p));
+    if (++stats_.paths_found >= opts_.max_paths) stop_ = true;
+  }
+
+  void Dfs(NodeId n, uint32_t depth) {
+    if (stop_ || depth >= opts_.max_hops) return;
+    if ((++stats_.expansions & 127) == 0 && deadline_.Expired()) {
+      stop_ = true;
+      stats_.timed_out = true;
+      return;
+    }
+    auto edges = directed_ ? g_.OutEdges(n) : g_.Incident(n);
+    for (const IncidentEdge& ie : edges) {
+      if (stop_) return;
+      if (!LabelAllowed(opts_, g_.EdgeLabelId(ie.edge))) continue;
+      if (on_path_.count(ie.other)) continue;  // simple paths only
+      path_.push_back(ie.edge);
+      on_path_.insert(ie.other);
+      if (targets_.count(ie.other)) Report(ie.other);
+      // Continue past targets: longer simple paths through a target's
+      // neighborhood are still distinct answers (Cypher semantics).
+      Dfs(ie.other, depth + 1);
+      on_path_.erase(ie.other);
+      path_.pop_back();
+    }
+  }
+
+  const Graph& g_;
+  const PathEnumOptions& opts_;
+  bool directed_;
+  std::vector<EnumeratedPath>* out_;
+  std::unordered_set<NodeId> targets_;
+  std::unordered_set<NodeId> on_path_;
+  std::vector<EdgeId> path_;
+  NodeId source_ = kNoNode;
+  PathEnumStats stats_;
+  Deadline deadline_;
+  Stopwatch sw_;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+PathEnumStats EnumerateUndirectedPaths(const Graph& g,
+                                       const std::vector<NodeId>& sources,
+                                       const std::vector<NodeId>& targets,
+                                       const PathEnumOptions& opts,
+                                       std::vector<EnumeratedPath>* out) {
+  DfsEnumerator dfs(g, targets, opts, /*directed=*/false, out);
+  return dfs.Run(sources);
+}
+
+PathEnumStats EnumerateDirectedPaths(const Graph& g,
+                                     const std::vector<NodeId>& sources,
+                                     const std::vector<NodeId>& targets,
+                                     const PathEnumOptions& opts,
+                                     std::vector<EnumeratedPath>* out) {
+  DfsEnumerator dfs(g, targets, opts, /*directed=*/true, out);
+  return dfs.Run(sources);
+}
+
+PathEnumStats RecursivePathTable(const Graph& g, const std::vector<NodeId>& sources,
+                                 const std::vector<NodeId>& targets,
+                                 const PathEnumOptions& opts,
+                                 std::vector<EnumeratedPath>* out) {
+  // Semi-naive WITH RECURSIVE shape: the "delta" relation holds all simple
+  // directed paths of length L from any source; each round extends every
+  // delta row with every matching edge; targets are filtered at the end.
+  PathEnumStats stats;
+  Stopwatch sw;
+  Deadline deadline = opts.timeout_ms >= 0 ? Deadline::AfterMs(opts.timeout_ms)
+                                           : Deadline::Infinite();
+  std::unordered_set<NodeId> target_set(targets.begin(), targets.end());
+
+  struct Row {
+    NodeId start;
+    NodeId end;
+    std::vector<EdgeId> edges;
+    std::vector<NodeId> visited;  // sorted, for the cycle check (path array)
+  };
+  std::vector<Row> delta;
+  for (NodeId s : sources) {
+    delta.push_back(Row{s, s, {}, {s}});
+    ++stats.rows_materialized;
+  }
+  auto emit = [&](const Row& r) {
+    if (!target_set.count(r.end)) return;
+    out->push_back(EnumeratedPath{r.edges, r.start, r.end});
+    ++stats.paths_found;
+  };
+  for (const Row& r : delta) emit(r);  // zero-length paths
+
+  for (uint32_t level = 0; level < opts.max_hops && !delta.empty(); ++level) {
+    std::vector<Row> next;
+    for (const Row& r : delta) {
+      if (stats.paths_found >= opts.max_paths) {
+        stats.elapsed_ms = sw.ElapsedMs();
+        return stats;
+      }
+      if ((++stats.expansions & 127) == 0 && deadline.Expired()) {
+        stats.timed_out = true;
+        stats.elapsed_ms = sw.ElapsedMs();
+        return stats;
+      }
+      for (const IncidentEdge& ie : g.OutEdges(r.end)) {
+        if (!LabelAllowed(opts, g.EdgeLabelId(ie.edge))) continue;
+        if (std::binary_search(r.visited.begin(), r.visited.end(), ie.other)) {
+          continue;  // WHERE NOT node = ANY(path)
+        }
+        Row nr;
+        nr.start = r.start;
+        nr.end = ie.other;
+        nr.edges = r.edges;
+        nr.edges.push_back(ie.edge);
+        nr.visited = r.visited;
+        nr.visited.insert(
+            std::upper_bound(nr.visited.begin(), nr.visited.end(), ie.other),
+            ie.other);
+        ++stats.rows_materialized;
+        emit(nr);
+        next.push_back(std::move(nr));
+      }
+    }
+    delta = std::move(next);
+  }
+  stats.elapsed_ms = sw.ElapsedMs();
+  return stats;
+}
+
+}  // namespace eql

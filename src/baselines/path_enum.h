@@ -1,0 +1,72 @@
+// Path-returning baseline engines (Sections 5.2 and 5.5).
+//
+// These reimplement the *capability classes* of the systems the paper
+// compares against (the systems themselves are not available offline; see
+// DESIGN.md §2):
+//
+//  * EnumerateUndirectedPaths — Cypher/Neo4j's `-[*]-`: all simple paths
+//    between two node sets, both directions.
+//  * EnumerateDirectedPaths   — JEDI: all unidirectional label-constrained
+//    data paths, target-aware DFS.
+//  * RecursivePathTable       — Postgres `WITH RECURSIVE`: level-synchronous
+//    materialization of all directed paths from the sources, endpoint filter
+//    applied at the end (the relational, non-target-aware evaluation shape).
+//
+// As Section 2 explains, path semantics differ from CTP semantics: paths may
+// pass through several nodes of one seed set, and m>=3 needs stitching with
+// deduplication/minimization (see stitching.h).
+#ifndef EQL_BASELINES_PATH_ENUM_H_
+#define EQL_BASELINES_PATH_ENUM_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace eql {
+
+struct PathEnumOptions {
+  uint32_t max_hops = 16;  ///< path length cap (recursive engines need one)
+  int64_t timeout_ms = -1;
+  uint64_t max_paths = UINT64_MAX;
+  /// Allowed edge labels (sorted StrIds); nullopt = all. Models the label
+  /// constraints SPARQL property paths / JEDI require.
+  std::optional<std::vector<StrId>> allowed_labels;
+};
+
+struct PathEnumStats {
+  uint64_t paths_found = 0;
+  uint64_t expansions = 0;      ///< DFS/level extensions performed
+  uint64_t rows_materialized = 0;  ///< RecursivePathTable only
+  double elapsed_ms = 0;
+  bool timed_out = false;
+};
+
+/// One path as the ordered edge list from a source to a target.
+struct EnumeratedPath {
+  std::vector<EdgeId> edges;
+  NodeId source = kNoNode;
+  NodeId target = kNoNode;
+};
+
+PathEnumStats EnumerateUndirectedPaths(const Graph& g,
+                                       const std::vector<NodeId>& sources,
+                                       const std::vector<NodeId>& targets,
+                                       const PathEnumOptions& opts,
+                                       std::vector<EnumeratedPath>* out);
+
+PathEnumStats EnumerateDirectedPaths(const Graph& g,
+                                     const std::vector<NodeId>& sources,
+                                     const std::vector<NodeId>& targets,
+                                     const PathEnumOptions& opts,
+                                     std::vector<EnumeratedPath>* out);
+
+PathEnumStats RecursivePathTable(const Graph& g, const std::vector<NodeId>& sources,
+                                 const std::vector<NodeId>& targets,
+                                 const PathEnumOptions& opts,
+                                 std::vector<EnumeratedPath>* out);
+
+}  // namespace eql
+
+#endif  // EQL_BASELINES_PATH_ENUM_H_

@@ -1,0 +1,170 @@
+#include "baselines/qgstp.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "util/stopwatch.h"
+
+namespace eql {
+
+namespace {
+
+constexpr uint32_t kInf = UINT32_MAX;
+
+/// Multi-source BFS from one seed group. In unidirectional mode only
+/// in-edges are followed (so dist[n] is the length of a directed path
+/// n -> ... -> seed, i.e. from a candidate root towards the group).
+void GroupBfs(const Graph& g, const std::vector<NodeId>& group, bool uni,
+              std::vector<uint32_t>* dist, std::vector<EdgeId>* parent,
+              uint64_t* settled) {
+  dist->assign(g.NumNodes(), kInf);
+  parent->assign(g.NumNodes(), kNoEdge);
+  std::deque<NodeId> frontier;
+  for (NodeId s : group) {
+    (*dist)[s] = 0;
+    frontier.push_back(s);
+  }
+  while (!frontier.empty()) {
+    NodeId n = frontier.front();
+    frontier.pop_front();
+    ++*settled;
+    auto edges = uni ? g.InEdges(n) : g.Incident(n);
+    for (const IncidentEdge& ie : edges) {
+      if ((*dist)[ie.other] != kInf) continue;
+      (*dist)[ie.other] = (*dist)[n] + 1;
+      (*parent)[ie.other] = ie.edge;
+      frontier.push_back(ie.other);
+    }
+  }
+}
+
+/// Walks parent pointers from `n` back to the group, collecting edges.
+void CollectBackPath(const Graph& g, NodeId n, const std::vector<uint32_t>& dist,
+                     const std::vector<EdgeId>& parent,
+                     std::vector<EdgeId>* edges) {
+  NodeId cur = n;
+  while (dist[cur] != 0) {
+    EdgeId e = parent[cur];
+    edges->push_back(e);
+    cur = g.Source(e) == cur ? g.Target(e) : g.Source(e);
+  }
+}
+
+/// Removes non-seed leaves repeatedly (tree minimization, as in Def 2.8).
+std::vector<EdgeId> StripNonSeedLeaves(const Graph& g, const SeedSets& seeds,
+                                       std::vector<EdgeId> edges) {
+  bool changed = true;
+  while (changed && !edges.empty()) {
+    changed = false;
+    std::unordered_map<NodeId, int> deg;
+    for (EdgeId e : edges) {
+      ++deg[g.Source(e)];
+      ++deg[g.Target(e)];
+    }
+    std::vector<EdgeId> kept;
+    for (EdgeId e : edges) {
+      NodeId s = g.Source(e), d = g.Target(e);
+      bool drop = (deg[s] == 1 && seeds.Signature(s).Empty()) ||
+                  (deg[d] == 1 && seeds.Signature(d).Empty());
+      if (drop) {
+        changed = true;
+      } else {
+        kept.push_back(e);
+      }
+    }
+    edges.swap(kept);
+  }
+  return edges;
+}
+
+}  // namespace
+
+QgstpResult QgstpApprox(const Graph& g, const SeedSets& seeds,
+                        const QgstpOptions& opts) {
+  QgstpResult out;
+  Stopwatch sw;
+  Deadline deadline = opts.timeout_ms >= 0 ? Deadline::AfterMs(opts.timeout_ms)
+                                           : Deadline::Infinite();
+  const int m = seeds.num_sets();
+
+  // Phase 1: per-group shortest-path fields.
+  std::vector<std::vector<uint32_t>> dist(m);
+  std::vector<std::vector<EdgeId>> parent(m);
+  for (int i = 0; i < m; ++i) {
+    GroupBfs(g, seeds.Set(i), opts.unidirectional, &dist[i], &parent[i],
+             &out.nodes_settled);
+    if (deadline.Expired()) {
+      out.elapsed_ms = sw.ElapsedMs();
+      return out;
+    }
+  }
+
+  // Phase 2: rank candidate roots by total group distance.
+  std::vector<std::pair<uint64_t, NodeId>> candidates;
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    uint64_t total = 0;
+    bool feasible = true;
+    for (int i = 0; i < m; ++i) {
+      if (dist[i][n] == kInf) {
+        feasible = false;
+        break;
+      }
+      total += dist[i][n];
+    }
+    if (feasible) candidates.emplace_back(total, n);
+  }
+  if (candidates.empty()) {
+    out.elapsed_ms = sw.ElapsedMs();
+    return out;  // groups not connected
+  }
+  int keep = opts.candidate_roots <= 0
+                 ? static_cast<int>(candidates.size())
+                 : std::min<int>(opts.candidate_roots,
+                                 static_cast<int>(candidates.size()));
+  std::partial_sort(candidates.begin(), candidates.begin() + keep, candidates.end());
+
+  // Phase 3: build + minimize a tree per candidate root, keep the smallest.
+  size_t best_size = SIZE_MAX;
+  for (int c = 0; c < keep && !deadline.Expired(); ++c) {
+    NodeId root = candidates[c].second;
+    std::vector<EdgeId> edges;
+    for (int i = 0; i < m; ++i) CollectBackPath(g, root, dist[i], parent[i], &edges);
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    // Back-path unions from different groups may induce cycles; extract a
+    // spanning tree of the union by BFS over its edges from the root.
+    std::unordered_map<NodeId, std::vector<EdgeId>> adj;
+    for (EdgeId e : edges) {
+      adj[g.Source(e)].push_back(e);
+      adj[g.Target(e)].push_back(e);
+    }
+    std::unordered_map<NodeId, bool> visited;
+    std::vector<EdgeId> tree;
+    std::deque<NodeId> frontier = {root};
+    visited[root] = true;
+    while (!frontier.empty()) {
+      NodeId n = frontier.front();
+      frontier.pop_front();
+      for (EdgeId e : adj[n]) {
+        NodeId other = g.Source(e) == n ? g.Target(e) : g.Source(e);
+        if (visited[other]) continue;
+        visited[other] = true;
+        tree.push_back(e);
+        frontier.push_back(other);
+      }
+    }
+    tree = StripNonSeedLeaves(g, seeds, tree);
+    if (tree.size() < best_size) {
+      best_size = tree.size();
+      std::sort(tree.begin(), tree.end());
+      out.tree_edges = std::move(tree);
+      out.root = root;
+      out.found = true;
+    }
+  }
+  out.elapsed_ms = sw.ElapsedMs();
+  return out;
+}
+
+}  // namespace eql

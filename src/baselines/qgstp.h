@@ -1,0 +1,54 @@
+// QGSTP-style Group Steiner Tree approximation (Section 5.4.3, [39]).
+//
+// QGSTP is a polynomial-time algorithm that returns exactly *one*
+// (approximately cost-minimal) group Steiner tree. The authors' code relies
+// on their datasets and is unavailable offline; this reimplementation keeps
+// the contract the comparison needs — one result, polynomial time, shortest-
+// path based construction with local improvement:
+//
+//   1. multi-source BFS from every seed group (unit edge weights);
+//   2. candidate roots ranked by the sum of group distances;
+//   3. for the best K roots, union the back-paths to each group's nearest
+//      seed, strip non-seed leaves, keep the smallest tree.
+//
+// With `unidirectional`, BFS follows edges backwards so the returned tree
+// has a root with directed paths to every seed (matching UNI MoLESP in the
+// Figure 12 experiment).
+#ifndef EQL_BASELINES_QGSTP_H_
+#define EQL_BASELINES_QGSTP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ctp/seed_sets.h"
+#include "graph/graph.h"
+
+namespace eql {
+
+struct QgstpResult {
+  bool found = false;
+  std::vector<EdgeId> tree_edges;  ///< empty when !found or one-node tree
+  NodeId root = kNoNode;
+  double elapsed_ms = 0;
+  uint64_t nodes_settled = 0;  ///< BFS work, for effort comparisons
+};
+
+struct QgstpOptions {
+  bool unidirectional = false;
+  int64_t timeout_ms = -1;
+  /// How many candidate roots to build+minimize trees for, best-first by
+  /// total group distance; <= 0 evaluates every feasible root. QGSTP's
+  /// contract is returning the *best* cohesive tree, which requires scoring
+  /// candidates across the graph — the exhaustive default reflects that
+  /// cost profile; tests may narrow it.
+  int candidate_roots = 0;
+};
+
+/// Computes one approximate group Steiner tree over `seeds` (universal sets
+/// are not supported — QGSTP has no such notion).
+QgstpResult QgstpApprox(const Graph& g, const SeedSets& seeds,
+                        const QgstpOptions& opts);
+
+}  // namespace eql
+
+#endif  // EQL_BASELINES_QGSTP_H_

@@ -1,0 +1,58 @@
+#include "baselines/reachability.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "util/stopwatch.h"
+
+namespace eql {
+
+ReachabilityStats CheckReachability(
+    const Graph& g, const std::vector<NodeId>& sources,
+    const std::vector<NodeId>& targets, bool directed,
+    const std::optional<std::vector<StrId>>& allowed_labels, int64_t timeout_ms,
+    std::vector<std::pair<NodeId, NodeId>>* out) {
+  ReachabilityStats stats;
+  Stopwatch sw;
+  Deadline deadline =
+      timeout_ms >= 0 ? Deadline::AfterMs(timeout_ms) : Deadline::Infinite();
+  auto label_ok = [&](StrId l) {
+    if (!allowed_labels) return true;
+    return std::binary_search(allowed_labels->begin(), allowed_labels->end(), l);
+  };
+  std::unordered_set<NodeId> target_set(targets.begin(), targets.end());
+  std::vector<uint32_t> visited_mark(g.NumNodes(), 0);
+  uint32_t epoch = 0;
+
+  for (NodeId s : sources) {
+    ++epoch;
+    std::deque<NodeId> frontier = {s};
+    visited_mark[s] = epoch;
+    while (!frontier.empty()) {
+      if ((++stats.nodes_visited & 255) == 0 && deadline.Expired()) {
+        stats.timed_out = true;
+        stats.elapsed_ms = sw.ElapsedMs();
+        return stats;
+      }
+      NodeId n = frontier.front();
+      frontier.pop_front();
+      if (target_set.count(n)) {
+        ++stats.reachable_pairs;
+        if (out != nullptr) out->emplace_back(s, n);
+      }
+      auto edges = directed ? g.OutEdges(n) : g.Incident(n);
+      for (const IncidentEdge& ie : edges) {
+        if (!label_ok(g.EdgeLabelId(ie.edge))) continue;
+        if (visited_mark[ie.other] == epoch) continue;
+        visited_mark[ie.other] = epoch;
+        frontier.push_back(ie.other);
+      }
+    }
+    stats.pairs_checked += targets.size();
+  }
+  stats.elapsed_ms = sw.ElapsedMs();
+  return stats;
+}
+
+}  // namespace eql

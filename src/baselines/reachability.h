@@ -1,0 +1,36 @@
+// Check-only reachability — the Virtuoso capability class (Section 5.5):
+// SPARQL 1.1 property paths can *check* that some unidirectional,
+// label-constrained path connects two nodes, but return neither the path
+// nor bidirectional connections.
+#ifndef EQL_BASELINES_REACHABILITY_H_
+#define EQL_BASELINES_REACHABILITY_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace eql {
+
+struct ReachabilityStats {
+  uint64_t pairs_checked = 0;
+  uint64_t reachable_pairs = 0;
+  uint64_t nodes_visited = 0;
+  double elapsed_ms = 0;
+  bool timed_out = false;
+};
+
+/// For every source, BFS once (directed or undirected, label-constrained)
+/// and record which targets are reachable. Reachable (source, target) pairs
+/// are appended to *out if non-null.
+ReachabilityStats CheckReachability(
+    const Graph& g, const std::vector<NodeId>& sources,
+    const std::vector<NodeId>& targets, bool directed,
+    const std::optional<std::vector<StrId>>& allowed_labels, int64_t timeout_ms,
+    std::vector<std::pair<NodeId, NodeId>>* out = nullptr);
+
+}  // namespace eql
+
+#endif  // EQL_BASELINES_REACHABILITY_H_

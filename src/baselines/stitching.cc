@@ -1,0 +1,104 @@
+#include "baselines/stitching.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/hash.h"
+#include "util/stopwatch.h"
+
+namespace eql {
+
+namespace {
+
+/// Unions three edge lists; returns true iff the union forms a tree (i.e.
+/// node count == edge count + 1; connectivity is implied since all paths
+/// start at the same root).
+bool UnionIsTree(const Graph& g, const std::vector<EdgeId>& a,
+                 const std::vector<EdgeId>& b, const std::vector<EdgeId>& c,
+                 std::vector<EdgeId>* out) {
+  out->clear();
+  out->insert(out->end(), a.begin(), a.end());
+  out->insert(out->end(), b.begin(), b.end());
+  out->insert(out->end(), c.begin(), c.end());
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+  std::vector<NodeId> nodes;
+  for (EdgeId e : *out) {
+    nodes.push_back(g.Source(e));
+    nodes.push_back(g.Target(e));
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return nodes.size() == out->size() + 1;
+}
+
+}  // namespace
+
+StitchStats StitchThreeWay(const Graph& g, const std::vector<NodeId>& s1,
+                           const std::vector<NodeId>& s2,
+                           const std::vector<NodeId>& s3,
+                           const PathEnumOptions& opts,
+                           std::vector<std::vector<EdgeId>>* results) {
+  StitchStats stats;
+  Stopwatch sw;
+  Deadline deadline = opts.timeout_ms >= 0 ? Deadline::AfterMs(opts.timeout_ms)
+                                           : Deadline::Infinite();
+  std::unordered_map<uint64_t, std::vector<std::vector<EdgeId>>> seen;
+
+  for (NodeId r = 0; r < g.NumNodes() && !stats.timed_out; ++r) {
+    // Paths from the candidate root to each seed set (undirected, bounded).
+    std::vector<EnumeratedPath> p1, p2, p3;
+    PathEnumOptions per_root = opts;
+    per_root.timeout_ms = -1;  // the global deadline governs
+    stats.paths_enumerated +=
+        EnumerateUndirectedPaths(g, {r}, s1, per_root, &p1).paths_found;
+    stats.paths_enumerated +=
+        EnumerateUndirectedPaths(g, {r}, s2, per_root, &p2).paths_found;
+    stats.paths_enumerated +=
+        EnumerateUndirectedPaths(g, {r}, s3, per_root, &p3).paths_found;
+    if (p1.empty() || p2.empty() || p3.empty()) continue;
+
+    // Three-way join: every path combination forms a candidate whose edge
+    // union must (i) be a tree — overlapping paths may create cycles — and
+    // (ii) not repeat a previously produced edge set ("for each tree of n
+    // nodes, the three-way join produces n results, that need
+    // deduplication", Section 2).
+    std::vector<EdgeId> tree;
+    for (const auto& pa : p1) {
+      if (deadline.Expired()) {
+        stats.timed_out = true;
+        break;
+      }
+      for (const auto& pb : p2) {
+        for (const auto& pc : p3) {
+          ++stats.joined_tuples;
+          if (!UnionIsTree(g, pa.edges, pb.edges, pc.edges, &tree)) {
+            ++stats.non_tree_dropped;
+            continue;
+          }
+          uint64_t h = HashIdVector(tree);
+          auto& bucket = seen[h];
+          bool dup = false;
+          for (const auto& existing : bucket) {
+            if (existing == tree) {
+              dup = true;
+              break;
+            }
+          }
+          if (dup) {
+            ++stats.duplicates_dropped;
+            continue;
+          }
+          bucket.push_back(tree);
+          ++stats.results;
+          results->push_back(tree);
+        }
+      }
+    }
+  }
+  stats.elapsed_ms = sw.ElapsedMs();
+  return stats;
+}
+
+}  // namespace eql

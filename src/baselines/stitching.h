@@ -1,0 +1,41 @@
+// Path stitching: computing 3-seed connections by joining root-to-seed paths
+// (the approach Section 2 argues against).
+//
+// For every candidate root r, all simple paths r->s1, r->s2, r->s3 are
+// three-way joined; joined tuples whose paths overlap are not trees and must
+// be dropped, and each surviving tree of n nodes is produced n times (once
+// per root) and must be deduplicated. The stats expose exactly this waste —
+// the reason the paper computes CTP results directly.
+#ifndef EQL_BASELINES_STITCHING_H_
+#define EQL_BASELINES_STITCHING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/path_enum.h"
+#include "graph/graph.h"
+
+namespace eql {
+
+struct StitchStats {
+  uint64_t paths_enumerated = 0;
+  uint64_t joined_tuples = 0;      ///< all (p1, p2, p3) combinations formed
+  uint64_t non_tree_dropped = 0;   ///< joins with overlapping paths
+  uint64_t duplicates_dropped = 0; ///< same tree reached via another root
+  uint64_t results = 0;
+  double elapsed_ms = 0;
+  bool timed_out = false;
+};
+
+/// Stitches three seed sets; distinct tree edge sets land in *results
+/// (sorted edge-id vectors). Bounded by opts.max_hops per path and
+/// opts.timeout_ms overall.
+StitchStats StitchThreeWay(const Graph& g, const std::vector<NodeId>& s1,
+                           const std::vector<NodeId>& s2,
+                           const std::vector<NodeId>& s3,
+                           const PathEnumOptions& opts,
+                           std::vector<std::vector<EdgeId>>* results);
+
+}  // namespace eql
+
+#endif  // EQL_BASELINES_STITCHING_H_

@@ -1,0 +1,124 @@
+#include "ctp/algorithm.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace eql {
+
+const char* AlgorithmName(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::kBft:
+      return "bft";
+    case AlgorithmKind::kBftM:
+      return "bft_m";
+    case AlgorithmKind::kBftAM:
+      return "bft_am";
+    case AlgorithmKind::kGam:
+      return "gam";
+    case AlgorithmKind::kEsp:
+      return "esp";
+    case AlgorithmKind::kMoEsp:
+      return "moesp";
+    case AlgorithmKind::kLesp:
+      return "lesp";
+    case AlgorithmKind::kMoLesp:
+      return "molesp";
+  }
+  return "?";
+}
+
+std::optional<AlgorithmKind> ParseAlgorithmName(const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  for (AlgorithmKind kind : kAllAlgorithms) {
+    if (lower == AlgorithmName(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+bool IsGamFamily(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::kBft:
+    case AlgorithmKind::kBftM:
+    case AlgorithmKind::kBftAM:
+      return false;
+    default:
+      return true;
+  }
+}
+
+namespace {
+
+class GamAdapter : public CtpAlgorithm {
+ public:
+  GamAdapter(AlgorithmKind kind, const Graph& g, const SeedSets& seeds,
+             GamConfig config)
+      : kind_(kind), search_(g, seeds, std::move(config)) {}
+  Status Run() override { return search_.Run(); }
+  const CtpResultSet& results() const override { return search_.results(); }
+  const SearchStats& stats() const override { return search_.stats(); }
+  const TreeArena& arena() const override { return search_.arena(); }
+  AlgorithmKind kind() const override { return kind_; }
+
+ private:
+  AlgorithmKind kind_;
+  GamSearch search_;
+};
+
+class BftAdapter : public CtpAlgorithm {
+ public:
+  BftAdapter(AlgorithmKind kind, const Graph& g, const SeedSets& seeds,
+             BftConfig config)
+      : kind_(kind), search_(g, seeds, std::move(config)) {}
+  Status Run() override { return search_.Run(); }
+  const CtpResultSet& results() const override { return search_.results(); }
+  const SearchStats& stats() const override { return search_.stats(); }
+  const TreeArena& arena() const override { return search_.arena(); }
+  AlgorithmKind kind() const override { return kind_; }
+
+ private:
+  AlgorithmKind kind_;
+  BftSearch search_;
+};
+
+}  // namespace
+
+std::unique_ptr<CtpAlgorithm> CreateCtpAlgorithm(AlgorithmKind kind, const Graph& g,
+                                                 const SeedSets& seeds,
+                                                 CtpFilters filters,
+                                                 SearchOrder* order,
+                                                 QueueStrategy queue_strategy) {
+  if (!IsGamFamily(kind)) {
+    BftConfig config;
+    config.filters = std::move(filters);
+    config.merge_mode = kind == AlgorithmKind::kBft      ? BftMergeMode::kNone
+                        : kind == AlgorithmKind::kBftM   ? BftMergeMode::kMergeOnce
+                                                         : BftMergeMode::kAggressive;
+    return std::make_unique<BftAdapter>(kind, g, seeds, std::move(config));
+  }
+  GamConfig config;
+  switch (kind) {
+    case AlgorithmKind::kGam:
+      config = GamConfig::Gam();
+      break;
+    case AlgorithmKind::kEsp:
+      config = GamConfig::Esp();
+      break;
+    case AlgorithmKind::kMoEsp:
+      config = GamConfig::MoEsp();
+      break;
+    case AlgorithmKind::kLesp:
+      config = GamConfig::Lesp();
+      break;
+    default:
+      config = GamConfig::MoLesp();
+      break;
+  }
+  config.filters = std::move(filters);
+  config.order = order;
+  config.queue_strategy = queue_strategy;
+  return std::make_unique<GamAdapter>(kind, g, seeds, std::move(config));
+}
+
+}  // namespace eql

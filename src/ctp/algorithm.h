@@ -1,0 +1,67 @@
+// Uniform façade over the eight CTP evaluation algorithms of Section 4.
+//
+// Benches, tests and the query executor pick algorithms by AlgorithmKind (or
+// by name, for CLI flags) and run them through one interface, so that e.g.
+// Figure 10's BFT-vs-GAM sweep and Figure 11's GAM-variant sweep share a
+// harness.
+#ifndef EQL_CTP_ALGORITHM_H_
+#define EQL_CTP_ALGORITHM_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "ctp/bft.h"
+#include "ctp/gam.h"
+
+namespace eql {
+
+/// The algorithms studied in the paper, in presentation order.
+enum class AlgorithmKind {
+  kBft,     ///< §4.1 (plot label BFS_G)
+  kBftM,    ///< §4.3 (BFS_M)
+  kBftAM,   ///< §4.3 (BFS_AM)
+  kGam,     ///< §4.2
+  kEsp,     ///< §4.4
+  kMoEsp,   ///< §4.5
+  kLesp,    ///< §4.6
+  kMoLesp,  ///< §4.7 — the paper's recommended algorithm
+};
+
+/// Stable lowercase name ("molesp", "bft_am", ...).
+const char* AlgorithmName(AlgorithmKind kind);
+
+/// Parses AlgorithmName output (case-insensitive); nullopt if unknown.
+std::optional<AlgorithmKind> ParseAlgorithmName(const std::string& name);
+
+/// All kinds, for sweeps.
+inline constexpr AlgorithmKind kAllAlgorithms[] = {
+    AlgorithmKind::kBft,  AlgorithmKind::kBftM, AlgorithmKind::kBftAM,
+    AlgorithmKind::kGam,  AlgorithmKind::kEsp,  AlgorithmKind::kMoEsp,
+    AlgorithmKind::kLesp, AlgorithmKind::kMoLesp};
+
+/// True for the GAM family (root-directed growth; supports UNI/universal).
+bool IsGamFamily(AlgorithmKind kind);
+
+/// A ready-to-run CTP evaluation; owns its arena, results and stats.
+class CtpAlgorithm {
+ public:
+  virtual ~CtpAlgorithm() = default;
+  virtual Status Run() = 0;
+  virtual const CtpResultSet& results() const = 0;
+  virtual const SearchStats& stats() const = 0;
+  virtual const TreeArena& arena() const = 0;
+  virtual AlgorithmKind kind() const = 0;
+};
+
+/// Builds an algorithm instance. `order` (optional, GAM family only) biases
+/// exploration; `queue_strategy` selects Section 4.9's multi-queue handling.
+/// The graph and seed sets must outlive the returned object.
+std::unique_ptr<CtpAlgorithm> CreateCtpAlgorithm(
+    AlgorithmKind kind, const Graph& g, const SeedSets& seeds, CtpFilters filters,
+    SearchOrder* order = nullptr,
+    QueueStrategy queue_strategy = QueueStrategy::kSingle);
+
+}  // namespace eql
+
+#endif  // EQL_CTP_ALGORITHM_H_

@@ -1,0 +1,81 @@
+#include "ctp/analysis.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace eql {
+
+TreeShape AnalyzeTree(const Graph& g, const SeedSets& seeds, const RootedTree& t) {
+  TreeShape shape;
+  if (t.edges.empty()) {
+    shape.is_path = true;
+    shape.property9_applies = true;
+    return shape;
+  }
+
+  // Local adjacency over the tree's edges.
+  std::unordered_map<NodeId, std::vector<EdgeId>> adj;
+  for (EdgeId e : t.edges) {
+    adj[g.Source(e)].push_back(e);
+    adj[g.Target(e)].push_back(e);
+  }
+
+  shape.is_path = true;
+  for (const auto& [n, es] : adj) {
+    if (es.size() > 2) shape.is_path = false;
+  }
+
+  // theta(t): flood-fill over edges, never expanding *through* a seed node.
+  // Every maximal component obtained this way is a simple edge set: its
+  // leaves are seed cut-points or original tree leaves (seeds, by result
+  // minimality), and its internal nodes are non-seeds.
+  std::unordered_map<EdgeId, bool> visited;
+  shape.property9_applies = true;
+  for (EdgeId start : t.edges) {
+    if (visited[start]) continue;
+    std::vector<EdgeId> piece;
+    std::vector<EdgeId> stack = {start};
+    visited[start] = true;
+    while (!stack.empty()) {
+      EdgeId e = stack.back();
+      stack.pop_back();
+      piece.push_back(e);
+      for (NodeId n : {g.Source(e), g.Target(e)}) {
+        if (!seeds.Signature(n).Empty()) continue;  // cut at seeds
+        for (EdgeId e2 : adj[n]) {
+          if (!visited[e2]) {
+            visited[e2] = true;
+            stack.push_back(e2);
+          }
+        }
+      }
+    }
+    std::sort(piece.begin(), piece.end());
+
+    // Piece statistics: leaves and branching nodes within the piece.
+    std::unordered_map<NodeId, int> deg;
+    for (EdgeId e : piece) {
+      ++deg[g.Source(e)];
+      ++deg[g.Target(e)];
+    }
+    int leaves = 0;
+    int branch_nodes = 0;
+    bool branch_is_seed = false;
+    for (const auto& [n, d] : deg) {
+      if (d == 1) ++leaves;
+      if (d >= 3) {
+        ++branch_nodes;
+        if (!seeds.Signature(n).Empty()) branch_is_seed = true;
+      }
+    }
+    shape.max_piece_leaves = std::max(shape.max_piece_leaves, leaves);
+    // Property 9 needs each piece to be a (u,n)-rooted merge: one non-seed
+    // center from which seed-terminated legs radiate (u<=2 pieces are paths).
+    if (branch_nodes > 1 || branch_is_seed) shape.property9_applies = false;
+
+    shape.pieces.push_back(std::move(piece));
+  }
+  return shape;
+}
+
+}  // namespace eql

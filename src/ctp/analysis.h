@@ -1,0 +1,57 @@
+// Result-shape analysis: the notions the paper's completeness guarantees are
+// stated in (Definitions 4.4-4.8), computed on concrete trees.
+//
+//  * Simple tree decomposition theta(t) (Def 4.6): the unique partition of a
+//    result's edges into simple edge sets (pieces whose leaves are seeds and
+//    whose internal nodes are not).
+//  * p-simple pieces / p-piecewise-simple results (Defs 4.5, 4.7).
+//  * (u,n)-rooted-merge shape (Def 4.8): a piece that is a "spider" with a
+//    single (non-seed) branching node.
+//
+// These drive the property-test oracles: MoESP must find all 2ps results
+// (Property 4) and all path results (Property 5); MoLESP all 3ps results
+// (Property 7), everything for m <= 3 (Property 8), and every result whose
+// pieces are rooted merges (Property 9).
+#ifndef EQL_CTP_ANALYSIS_H_
+#define EQL_CTP_ANALYSIS_H_
+
+#include <vector>
+
+#include "ctp/seed_sets.h"
+#include "ctp/tree.h"
+#include "graph/graph.h"
+
+namespace eql {
+
+/// Classification of one result tree.
+struct TreeShape {
+  /// theta(t): each piece is a sorted edge-id vector.
+  std::vector<std::vector<EdgeId>> pieces;
+
+  /// Maximum leaf count over pieces; the tree is p-piecewise simple exactly
+  /// for p >= this value.
+  int max_piece_leaves = 0;
+
+  /// True if no tree node has more than two incident tree edges; path
+  /// results are 2ps (Property 5's precondition).
+  bool is_path = false;
+
+  /// True if every piece has at most one branching (degree >= 3) node, and
+  /// that node is not a seed — i.e., every piece is a (u,n)-rooted merge in
+  /// the extended sense of Property 9 (paths count as u <= 2 merges).
+  bool property9_applies = false;
+};
+
+/// Computes theta(t) and the shape flags. `t` must be a tree whose leaves
+/// are all seeds (a CTP result); single-node trees yield an empty
+/// decomposition with property9_applies = true.
+TreeShape AnalyzeTree(const Graph& g, const SeedSets& seeds, const RootedTree& t);
+
+/// True if the result is p-piecewise simple (Def 4.7).
+inline bool IsPiecewiseSimple(const TreeShape& shape, int p) {
+  return shape.max_piece_leaves <= p;
+}
+
+}  // namespace eql
+
+#endif  // EQL_CTP_ANALYSIS_H_

@@ -1,0 +1,234 @@
+#include "ctp/bft.h"
+
+#include <algorithm>
+
+namespace eql {
+
+namespace {
+
+/// Returns the number of shared nodes (early exit at 2) and the first shared
+/// node between two sorted node sets.
+std::pair<int, NodeId> SharedNodes(const std::vector<NodeId>& a,
+                                   const std::vector<NodeId>& b) {
+  size_t i = 0, j = 0;
+  int count = 0;
+  NodeId first = kNoNode;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      if (count == 0) first = a[i];
+      if (++count >= 2) return {count, first};
+      ++i;
+      ++j;
+    }
+  }
+  return {count, first};
+}
+
+}  // namespace
+
+BftSearch::BftSearch(const Graph& g, const SeedSets& seeds, BftConfig config)
+    : g_(g),
+      seeds_(seeds),
+      config_(std::move(config)),
+      history_(&arena_),
+      results_(&g_, &seeds_, &arena_, &config_.filters) {
+  config_.filters.NormalizeLabels();
+}
+
+void BftSearch::CheckDeadline() {
+  if (++ops_ < 128) return;
+  ops_ = 0;
+  if (deadline_.Expired()) {
+    stop_ = true;
+    stats_.timed_out = true;
+  }
+}
+
+void BftSearch::MinimizeAndReport(TreeId id) {
+  const RootedTree& t = arena_.Get(id);
+  std::vector<EdgeId> edges = t.edges;
+  // Strip edges not on a path between seeds: repeatedly drop edges whose
+  // endpoint is a non-seed leaf (Section 4.1: "removing all edges that do
+  // not lead to a seed").
+  ++stats_.minimizations;
+  bool changed = true;
+  while (changed && !edges.empty()) {
+    changed = false;
+    std::unordered_map<NodeId, int> deg;
+    for (EdgeId e : edges) {
+      ++deg[g_.Source(e)];
+      ++deg[g_.Target(e)];
+    }
+    std::vector<EdgeId> kept;
+    kept.reserve(edges.size());
+    for (EdgeId e : edges) {
+      NodeId s = g_.Source(e), d = g_.Target(e);
+      bool drop = (deg[s] == 1 && seeds_.Signature(s).Empty()) ||
+                  (deg[d] == 1 && seeds_.Signature(d).Empty());
+      if (drop) {
+        changed = true;
+      } else {
+        kept.push_back(e);
+      }
+    }
+    edges.swap(kept);
+  }
+  NodeId anchor = edges.empty() ? t.root : g_.Source(edges.front());
+  TreeId mid = arena_.MakeAdHoc(anchor, std::move(edges), g_, seeds_);
+  if (results_.Add(mid)) {
+    ++stats_.results_found;
+    if (stats_.results_found >= config_.filters.limit) {
+      stop_ = true;
+      stats_.budget_exhausted = true;
+    }
+  } else {
+    ++stats_.duplicate_results;
+    arena_.PopLast();
+  }
+}
+
+void BftSearch::Keep(TreeId id, std::vector<TreeId>* next_gen) {
+  const RootedTree& t = arena_.Get(id);
+  for (NodeId n : t.nodes) trees_with_node_[n].push_back(id);
+  next_gen->push_back(id);
+}
+
+void BftSearch::TryMerges(TreeId id, std::vector<TreeId>* next_gen,
+                          bool allow_recurse) {
+  // Worklist instead of recursion: BFT-AM can cascade deeply.
+  std::vector<TreeId> work = {id};
+  while (!work.empty() && !stop_) {
+    TreeId cur = work.back();
+    work.pop_back();
+    const std::vector<NodeId> nodes_copy = arena_.Get(cur).nodes;
+    for (NodeId n : nodes_copy) {
+      if (stop_) break;
+      auto it = trees_with_node_.find(n);
+      if (it == trees_with_node_.end()) continue;
+      const std::vector<TreeId> partners = it->second;  // snapshot
+      for (TreeId pid : partners) {
+        CheckDeadline();
+        if (stop_) break;
+        if (pid == cur) continue;
+        ++stats_.merge_attempts;
+        const RootedTree& a = arena_.Get(cur);
+        const RootedTree& b = arena_.Get(pid);
+        if (a.NumEdges() + b.NumEdges() > config_.filters.max_edges) continue;
+        auto [shared, first_shared] = SharedNodes(a.nodes, b.nodes);
+        // Merge exactly when they share one node, and only at that node's
+        // iteration to avoid creating the same union repeatedly.
+        if (shared != 1 || first_shared != n) continue;
+        // Merge2 analogue: at most one node per seed set in the union; the
+        // shared node's own memberships are counted once, not twice.
+        const Bitset64 shared_sig = seeds_.Signature(first_shared);
+        if (a.sat.AndNot(shared_sig).Intersects(b.sat.AndNot(shared_sig))) continue;
+        TreeId merged = arena_.MakeMerge(cur, pid, seeds_);
+        const RootedTree& mt = arena_.Get(merged);
+        if (history_.SeenEdgeSet(mt)) {
+          ++stats_.trees_pruned;
+          arena_.PopLast();
+          continue;
+        }
+        history_.Insert(merged);
+        ++stats_.trees_built;
+        if (stats_.trees_built >= config_.filters.max_trees) {
+          stop_ = true;
+          stats_.budget_exhausted = true;
+        }
+        if (mt.sat.Contains(seeds_.RequiredMask())) {
+          MinimizeAndReport(merged);
+        } else {
+          Keep(merged, next_gen);
+          if (allow_recurse) work.push_back(merged);
+        }
+        if (stop_) break;
+      }
+    }
+  }
+}
+
+Status BftSearch::Run() {
+  if (seeds_.HasUniversal()) {
+    return Status::Unimplemented(
+        "BFT does not support universal (N) seed sets; use a GAM variant");
+  }
+  if (config_.filters.unidirectional) {
+    return Status::Unimplemented(
+        "BFT trees are rootless; the UNI filter requires a GAM variant");
+  }
+  Stopwatch sw;
+  deadline_ = config_.filters.timeout_ms >= 0
+                  ? Deadline::AfterMs(config_.filters.timeout_ms)
+                  : Deadline::Infinite();
+
+  std::vector<TreeId> gen;
+  for (NodeId n : seeds_.AllSeeds()) {
+    TreeId id = arena_.MakeInit(n, seeds_);
+    history_.Insert(id);
+    ++stats_.init_trees;
+    ++stats_.trees_built;
+    if (arena_.Get(id).sat.Contains(seeds_.RequiredMask())) {
+      // A node seeding every set is a one-node result (Def 2.8).
+      if (results_.Add(id)) ++stats_.results_found;
+    } else {
+      Keep(id, &gen);
+    }
+  }
+
+  while (!gen.empty() && !stop_) {
+    std::vector<TreeId> next;
+    for (TreeId id : gen) {
+      CheckDeadline();
+      if (stop_) break;
+      const std::vector<NodeId> nodes_copy = arena_.Get(id).nodes;
+      for (NodeId n : nodes_copy) {
+        if (stop_) break;
+        for (const IncidentEdge& ie : g_.Incident(n)) {
+          CheckDeadline();
+          if (stop_) break;
+          if (!config_.filters.LabelAllowed(g_.EdgeLabelId(ie.edge))) continue;
+          const RootedTree& t = arena_.Get(id);
+          if (t.NumEdges() + 1 > config_.filters.max_edges) break;
+          if (t.ContainsNode(ie.other)) continue;                      // Grow1
+          if (seeds_.Signature(ie.other).Intersects(t.sat)) continue;  // Grow2
+          ++stats_.grow_attempts;
+          TreeId nid = arena_.MakeGrow(id, ie.edge, ie.other, seeds_);
+          const RootedTree& nt = arena_.Get(nid);
+          if (history_.SeenEdgeSet(nt)) {
+            ++stats_.trees_pruned;
+            arena_.PopLast();
+            continue;
+          }
+          history_.Insert(nid);
+          ++stats_.trees_built;
+          if (stats_.trees_built >= config_.filters.max_trees) {
+            stop_ = true;
+            stats_.budget_exhausted = true;
+          }
+          if (nt.sat.Contains(seeds_.RequiredMask())) {
+            MinimizeAndReport(nid);
+          } else {
+            Keep(nid, &next);
+            if (config_.merge_mode != BftMergeMode::kNone) {
+              TryMerges(nid, &next,
+                        config_.merge_mode == BftMergeMode::kAggressive);
+            }
+          }
+          if (stop_) break;
+        }
+      }
+    }
+    gen = std::move(next);
+  }
+
+  if (!stats_.timed_out && !stats_.budget_exhausted) stats_.complete = true;
+  results_.FinalizeTopK();
+  stats_.elapsed_ms = sw.ElapsedMs();
+  return Status::Ok();
+}
+
+}  // namespace eql

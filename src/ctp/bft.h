@@ -1,0 +1,87 @@
+// The breadth-first CTP evaluation baselines (Sections 4.1 and 4.3).
+//
+// BFT views a tree as a rootless set of edges and grows each tree of the
+// current generation with every edge adjacent to *any* of its nodes (subject
+// to Grow1/Grow2). Trees covering all seed sets are *minimized* — edges not
+// leading to a seed are repeatedly stripped — before being reported, and the
+// search memorizes every tree it ever built to avoid duplicate work.
+//
+// BFT-M additionally merges each freshly grown tree with all compatible
+// partners (trees sharing exactly one node, with disjoint sat), and BFT-AM
+// applies such merging aggressively (merge results merge again). The paper's
+// Merge1 condition references roots, which rootless BFT trees lack; sharing
+// exactly one node is the natural rootless reading (see DESIGN.md §6).
+//
+// These algorithms are complete but infeasible beyond small graphs (Fig. 10);
+// they double as the ground-truth oracle for the property tests.
+#ifndef EQL_CTP_BFT_H_
+#define EQL_CTP_BFT_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "ctp/filters.h"
+#include "ctp/history.h"
+#include "ctp/result_set.h"
+#include "ctp/seed_sets.h"
+#include "ctp/stats.h"
+#include "ctp/tree.h"
+#include "graph/graph.h"
+#include "util/stopwatch.h"
+
+namespace eql {
+
+/// Merge behavior of the BFT variants (§4.3).
+enum class BftMergeMode {
+  kNone,       ///< plain BFT
+  kMergeOnce,  ///< BFT-M: merge grown trees once, not merge results
+  kAggressive  ///< BFT-AM: aggressively merge (Step 2a + 2b)
+};
+
+struct BftConfig {
+  BftMergeMode merge_mode = BftMergeMode::kNone;
+  CtpFilters filters;
+};
+
+/// One breadth-first CTP evaluation. Single-use, like GamSearch.
+class BftSearch {
+ public:
+  BftSearch(const Graph& g, const SeedSets& seeds, BftConfig config);
+
+  /// Runs to completion/timeout/limit; kUnimplemented for universal seed
+  /// sets or the UNI filter (rootless trees have no directionality anchor).
+  Status Run();
+
+  const CtpResultSet& results() const { return results_; }
+  const SearchStats& stats() const { return stats_; }
+  const TreeArena& arena() const { return arena_; }
+
+ private:
+  /// Reports minimize(t) (Section 4.1) if its edge set is new.
+  void MinimizeAndReport(TreeId id);
+
+  /// Registers a kept non-result tree: node index + next generation.
+  void Keep(TreeId id, std::vector<TreeId>* next_gen);
+
+  /// Attempts all merges of `id`; appends kept products to *next_gen. With
+  /// kAggressive, recurses on products.
+  void TryMerges(TreeId id, std::vector<TreeId>* next_gen, bool allow_recurse);
+
+  void CheckDeadline();
+
+  const Graph& g_;
+  const SeedSets& seeds_;
+  BftConfig config_;
+  TreeArena arena_;
+  SearchHistory history_;
+  std::unordered_map<NodeId, std::vector<TreeId>> trees_with_node_;
+  CtpResultSet results_;
+  SearchStats stats_;
+  Deadline deadline_;
+  uint64_t ops_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace eql
+
+#endif  // EQL_CTP_BFT_H_

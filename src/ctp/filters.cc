@@ -1,0 +1,4 @@
+#include "ctp/filters.h"
+
+// CtpFilters is header-only plain data; this translation unit exists to give
+// the target a home for future out-of-line filter logic.

@@ -1,0 +1,68 @@
+// CTP filters (Section 2 "CTP filters", Section 4.8 "pushing filters").
+//
+// Filters restrict the set-based CTP result and are *pushed into* the search:
+//  * UNI      — only unidirectional trees (a root with directed paths to all
+//               seeds); enforced as a Grow precondition (backward expansion).
+//  * LABEL    — result edges must carry one of the given labels; enforced at
+//               Grow-enqueue time.
+//  * MAX n    — at most n edges; enforced on Grow and Merge.
+//  * SCORE/TOP— score every result, optionally keep only the k best.
+//  * TIMEOUT  — per-CTP wall-clock budget T.
+// We additionally support LIMIT (stop after r results; used by the QGSTP
+// comparison's LIMIT 1) and a tree budget, both practical necessities the
+// paper motivates with the exponential chain example (Figure 2).
+#ifndef EQL_CTP_FILTERS_H_
+#define EQL_CTP_FILTERS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ctp/score.h"
+#include "graph/graph.h"
+
+namespace eql {
+
+/// The filters attached to one CTP. Plain data; the search engines read it.
+struct CtpFilters {
+  /// UNI: only trees with a root reaching every seed via directed paths.
+  bool unidirectional = false;
+
+  /// LABEL {l1..lk}: allowed edge labels (dictionary ids), sorted; nullopt
+  /// means all labels are allowed.
+  std::optional<std::vector<StrId>> allowed_labels;
+
+  /// MAX n: maximum number of edges in a result tree.
+  uint32_t max_edges = UINT32_MAX;
+
+  /// TIMEOUT: per-CTP evaluation budget in milliseconds; <0 means none.
+  int64_t timeout_ms = -1;
+
+  /// SCORE sigma [TOP k]: not owned; nullptr means no scoring requested.
+  const ScoreFunction* score = nullptr;
+  /// TOP k; <=0 means keep all results. Requires `score`.
+  int top_k = -1;
+
+  /// LIMIT: stop the search after this many results (UINT64_MAX = all).
+  uint64_t limit = UINT64_MAX;
+
+  /// Safety budget on kept provenances (trees); the search stops cleanly
+  /// when exhausted, like a timeout. UINT64_MAX = unbounded.
+  uint64_t max_trees = UINT64_MAX;
+
+  /// Normalizes (sorts) the label set; call after filling allowed_labels.
+  void NormalizeLabels() {
+    if (allowed_labels) std::sort(allowed_labels->begin(), allowed_labels->end());
+  }
+
+  /// True if edge label `l` passes the LABEL filter.
+  bool LabelAllowed(StrId l) const {
+    if (!allowed_labels) return true;
+    return std::binary_search(allowed_labels->begin(), allowed_labels->end(), l);
+  }
+};
+
+}  // namespace eql
+
+#endif  // EQL_CTP_FILTERS_H_

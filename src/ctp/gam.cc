@@ -1,0 +1,279 @@
+#include "ctp/gam.h"
+
+#include <algorithm>
+
+namespace eql {
+
+GamSearch::GamSearch(const Graph& g, const SeedSets& seeds, GamConfig config)
+    : g_(g),
+      seeds_(seeds),
+      config_(std::move(config)),
+      order_(config_.order != nullptr ? config_.order : &default_order_),
+      history_(&arena_),
+      results_(&g_, &seeds_, &arena_, &config_.filters) {
+  config_.filters.NormalizeLabels();
+  if (config_.queue_strategy == QueueStrategy::kSingle) queues_.resize(1);
+}
+
+bool GamSearch::IsNew(const RootedTree& t, bool* lesp_spared) const {
+  if (lesp_spared != nullptr) *lesp_spared = false;
+  // Plain GAM: duplicate detection at the rooted-tree level only.
+  if (!config_.edge_set_pruning) return !history_.SeenRooted(t);
+  // Init trees all share the empty edge set; Def 4.3 prunes only non-empty
+  // edge sets, so they are deduplicated at the rooted level.
+  if (t.edges.empty()) return !history_.SeenRooted(t);
+  // Mo trees are deliberately injected duplicates of their base's edge set
+  // (§4.5); only identical re-rootings are redundant.
+  if (t.kind == ProvKind::kMo) return !history_.SeenRooted(t);
+  if (!history_.SeenEdgeSet(t)) return true;
+  if (config_.lesp_spare) {
+    // Alg. 4 lines 4-8: nodes already connected to >= 3 seed sets, with
+    // enough graph edges for >= 3 rooted paths to meet, escape ESP.
+    auto it = seed_sig_.find(t.root);
+    if (it != seed_sig_.end() && it->second.Count() >= 3 && g_.Degree(t.root) >= 3) {
+      if (!history_.SeenRooted(t)) {
+        if (lesp_spared != nullptr) *lesp_spared = true;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool GamSearch::IsResult(const RootedTree& t) const {
+  return t.sat.Contains(seeds_.RequiredMask());
+}
+
+void GamSearch::EmitResult(TreeId id) {
+  if (!results_.Add(id)) {
+    ++stats_.duplicate_results;
+    return;
+  }
+  ++stats_.results_found;
+  if (stats_.results_found >= config_.filters.limit) {
+    stop_ = true;
+    stats_.budget_exhausted = true;
+  }
+}
+
+void GamSearch::UpdateSeedSignature(const RootedTree& t) {
+  if (!t.is_rooted_path || t.path_seed == kNoNode) return;
+  seed_sig_[t.root] |= seeds_.Signature(t.path_seed);
+}
+
+void GamSearch::CheckDeadline() {
+  if (++ops_since_deadline_check_ < 128) return;
+  ops_since_deadline_check_ = 0;
+  if (deadline_.Expired()) {
+    stop_ = true;
+    stats_.timed_out = true;
+  }
+}
+
+size_t GamSearch::QueueIndexFor(const RootedTree& t) {
+  if (config_.queue_strategy == QueueStrategy::kSingle) return 0;
+  auto [it, inserted] = queue_of_mask_.try_emplace(t.sat.bits(), queues_.size());
+  if (inserted) queues_.emplace_back();
+  return it->second;
+}
+
+size_t GamSearch::PickQueue() const {
+  size_t best = SIZE_MAX;
+  size_t best_size = SIZE_MAX;
+  for (size_t i = 0; i < queues_.size(); ++i) {
+    if (queues_[i].empty()) continue;
+    if (queues_[i].size() < best_size) {
+      best = i;
+      best_size = queues_[i].size();
+    }
+  }
+  return best;
+}
+
+void GamSearch::EnqueueGrows(TreeId id) {
+  const RootedTree& t = arena_.Get(id);
+  if (t.NumEdges() + 1 > config_.filters.max_edges) return;  // MAX filter
+  const size_t qi = QueueIndexFor(t);
+  for (const IncidentEdge& ie : g_.Incident(t.root)) {
+    // UNI: backward expansion — only traverse edges that *enter* the current
+    // root, preserving "root reaches every tree node along directed edges".
+    if (config_.filters.unidirectional && ie.forward) continue;
+    if (!config_.filters.LabelAllowed(g_.EdgeLabelId(ie.edge))) continue;
+    if (t.ContainsNode(ie.other)) continue;                          // Grow1
+    if (seeds_.Signature(ie.other).Intersects(t.sat)) continue;      // Grow2
+    queues_[qi].push(QueueEntry{order_->Priority(g_, seeds_, t, ie.edge),
+                                order_->TieBreak(), seq_++, id, ie.edge, ie.other});
+    ++stats_.queue_pushed;
+  }
+}
+
+void GamSearch::ProcessNewTree(TreeId id) {
+  const RootedTree& t = arena_.Get(id);
+  history_.Insert(id);
+  ++stats_.trees_built;
+  if (stats_.trees_built >= config_.filters.max_trees) {
+    stop_ = true;
+    stats_.budget_exhausted = true;
+  }
+
+  if (IsResult(t)) {
+    EmitResult(id);
+    // Algorithm 2: results are reported and neither merged nor grown. With a
+    // universal (N) seed set this would end the search after the trivial
+    // connections, since *every* covering tree is a result; there the tree
+    // keeps participating (each larger tree is a further result whose root
+    // matches N), bounded by MAX/LIMIT/timeout as Section 4.9 implies.
+    if (!seeds_.HasUniversal()) return;
+    if (stop_) return;
+  }
+
+  // recordForMerging (Algorithm 3).
+  trees_rooted_in_[t.root].push_back(id);
+  pending_merge_.push_back(id);
+
+  // Mo injection (§4.5): when this tree covers strictly more seed sets than
+  // each of its children, add copies re-rooted at every seed node it spans.
+  if (config_.mo_trees && !stop_) {
+    bool seed_gain = false;
+    switch (t.kind) {
+      case ProvKind::kInit:
+      case ProvKind::kMo:
+      case ProvKind::kExternal:
+        break;
+      case ProvKind::kGrow:
+        seed_gain = t.sat.Count() > arena_.Get(t.child1).sat.Count();
+        break;
+      case ProvKind::kMerge:
+        seed_gain = t.sat.Count() > arena_.Get(t.child1).sat.Count() &&
+                    t.sat.Count() > arena_.Get(t.child2).sat.Count();
+        break;
+    }
+    if (seed_gain) {
+      // t.nodes is copied because MakeMo may grow the arena while iterating.
+      const std::vector<NodeId> nodes_copy = t.nodes;
+      const NodeId base_root = t.root;
+      for (NodeId n : nodes_copy) {
+        if (n == base_root || seeds_.Signature(n).Empty()) continue;
+        // Under UNI every kept tree must keep the "root reaches all nodes
+        // along directed edges" invariant; re-rooting may break it.
+        if (config_.filters.unidirectional &&
+            !RootReachesAllDirected(g_, arena_.Get(id), n)) {
+          continue;
+        }
+        TreeId mo_id = arena_.MakeMo(id, n);
+        if (!history_.SeenRooted(arena_.Get(mo_id))) {
+          history_.Insert(mo_id);
+          ++stats_.trees_built;
+          ++stats_.mo_trees;
+          trees_rooted_in_[n].push_back(mo_id);
+          pending_merge_.push_back(mo_id);
+        } else {
+          arena_.PopLast();
+        }
+      }
+    }
+  }
+
+  // Grow is disabled on Mo-tainted trees (§4.5).
+  if (!arena_.Get(id).mo_tainted && !stop_) EnqueueGrows(id);
+}
+
+void GamSearch::DrainMerges() {
+  while (!pending_merge_.empty() && !stop_) {
+    CheckDeadline();
+    if (stop_) break;
+    TreeId id = pending_merge_.back();
+    pending_merge_.pop_back();
+    const NodeId root = arena_.Get(id).root;
+    // Merge2: the merged tree may contain at most one node per seed set. The
+    // shared root's own memberships appear in both sats and must be excluded
+    // from the disjointness test (the paper's Fig. 3 trace merges A-1-2-B
+    // with B-3-C at the seed root B).
+    const Bitset64 root_sig = seeds_.Signature(root);
+    // Snapshot: partners appended during the loop get their own pending pass
+    // (and would see `id` in trees_rooted_in_), so no pair is lost.
+    const std::vector<TreeId> partners = trees_rooted_in_[root];
+    for (TreeId pid : partners) {
+      if (pid == id) continue;
+      CheckDeadline();
+      if (stop_) break;
+      ++stats_.merge_attempts;
+      const RootedTree& a = arena_.Get(id);
+      const RootedTree& b = arena_.Get(pid);
+      if (a.sat.AndNot(root_sig).Intersects(b.sat.AndNot(root_sig))) continue;
+      if (a.NumEdges() + b.NumEdges() > config_.filters.max_edges) continue;
+      if (a.edges.empty() || b.edges.empty()) continue;  // Init merges are no-ops
+      if (!a.SharesOnlyRootWith(b, root)) continue;      // Merge1
+      TreeId mid = arena_.MakeMerge(id, pid, seeds_);
+      bool spared = false;
+      if (IsNew(arena_.Get(mid), &spared)) {
+        if (spared) ++stats_.lesp_spared;
+        ProcessNewTree(mid);
+      } else {
+        ++stats_.trees_pruned;
+        arena_.PopLast();
+      }
+    }
+  }
+  if (stop_) pending_merge_.clear();
+}
+
+Status GamSearch::Run() {
+  Stopwatch sw;
+  deadline_ = config_.filters.timeout_ms >= 0
+                  ? Deadline::AfterMs(config_.filters.timeout_ms)
+                  : Deadline::Infinite();
+
+  // ss_n initialization (§4.6): seeds start with their own membership bits.
+  for (NodeId n : seeds_.AllSeeds()) seed_sig_[n] = seeds_.Signature(n);
+
+  // Init trees for every non-universal seed set (§4.9: universal sets are
+  // never instantiated; exploration starts from the others).
+  for (int i = 0; i < seeds_.num_sets() && !stop_; ++i) {
+    if (seeds_.IsUniversal(i)) continue;
+    for (NodeId n : seeds_.Set(i)) {
+      TreeId id = arena_.MakeInit(n, seeds_);
+      if (IsNew(arena_.Get(id), nullptr)) {
+        ++stats_.init_trees;
+        ProcessNewTree(id);
+      } else {
+        // The same node seeds several sets; one Init tree suffices (its sat
+        // carries all its memberships).
+        arena_.PopLast();
+      }
+      if (stop_) break;
+    }
+  }
+  DrainMerges();
+
+  while (!stop_) {
+    CheckDeadline();
+    if (stop_) break;
+    size_t qi = PickQueue();
+    if (qi == SIZE_MAX) break;  // search space exhausted
+    QueueEntry e = queues_[qi].top();
+    queues_[qi].pop();
+    ++stats_.grow_attempts;
+    TreeId nid = arena_.MakeGrow(e.tree, e.edge, e.new_root, seeds_);
+    const RootedTree& t = arena_.Get(nid);
+    // Alg. 1 line 10: ss maintenance happens for every Grow product, kept or
+    // pruned.
+    UpdateSeedSignature(t);
+    bool spared = false;
+    if (IsNew(t, &spared)) {
+      if (spared) ++stats_.lesp_spared;
+      ProcessNewTree(nid);
+      DrainMerges();
+    } else {
+      ++stats_.trees_pruned;
+      arena_.PopLast();
+    }
+  }
+
+  if (!stats_.timed_out && !stats_.budget_exhausted) stats_.complete = true;
+  results_.FinalizeTopK();
+  stats_.elapsed_ms = sw.ElapsedMs();
+  return Status::Ok();
+}
+
+}  // namespace eql

@@ -1,0 +1,174 @@
+// The GAM family of CTP evaluation algorithms (Sections 4.2, 4.4-4.7).
+//
+// One engine implements five published algorithms as configuration deltas,
+// mirroring how the paper layers them:
+//
+//   GAM     (§4.2)  grow-from-root + aggressive merge; duplicate detection at
+//                   the *rooted tree* level ("GAM discards all but the first
+//                   provenance built for a given rooted tree").
+//   ESP     (§4.4)  + edge-set pruning: only the first provenance per edge
+//                   set survives (Def 4.3). Fast but incomplete in general.
+//   MoESP   (§4.5)  + Mo trees: whenever a Grow/Merge gains seeds, re-rooted
+//                   copies at every seed node are injected; Grow is disabled
+//                   on Mo-tainted trees. Complete for 2-piecewise-simple
+//                   results (Property 4), hence for all path results.
+//   LESP    (§4.6)  + limited pruning: per-node seed signatures ss_n; a tree
+//                   rooted at n with popcount(ss_n) >= 3 and degree(n) >= 3
+//                   escapes edge-set pruning (checked at rooted level
+//                   instead, Alg. 4). Guarantees (u,n)-rooted merges.
+//   MoLESP  (§4.7)  Mo trees + limited pruning; complete for m <= 3
+//                   (Property 8) and for all results whose simple tree
+//                   decomposition consists of rooted merges (Property 9).
+//
+// The engine also implements the Section 4.9 strategies for very large and
+// universal (N) seed sets: per-sat-subset priority queues popped
+// smallest-first, and suppression of Init trees for universal sets.
+#ifndef EQL_CTP_GAM_H_
+#define EQL_CTP_GAM_H_
+
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "ctp/filters.h"
+#include "ctp/history.h"
+#include "ctp/result_set.h"
+#include "ctp/search_order.h"
+#include "ctp/seed_sets.h"
+#include "ctp/stats.h"
+#include "ctp/tree.h"
+#include "graph/graph.h"
+#include "util/stopwatch.h"
+
+namespace eql {
+
+/// How Grow opportunities are distributed over priority queues (§4.9).
+enum class QueueStrategy {
+  kSingle,        ///< one global queue (the default)
+  kPerSatSubset,  ///< one queue per sat(t) mask; pop from the fewest-entries
+                  ///< queue, focusing exploration near small seed sets
+};
+
+/// Configuration selecting a GAM-family algorithm and its environment.
+struct GamConfig {
+  bool edge_set_pruning = false;  ///< ESP (Def 4.3)
+  bool mo_trees = false;          ///< MoESP (§4.5)
+  bool lesp_spare = false;        ///< LESP's limited pruning (§4.6)
+  QueueStrategy queue_strategy = QueueStrategy::kSingle;
+  CtpFilters filters;
+  /// Exploration order; not owned; nullptr selects SmallestFirstOrder.
+  SearchOrder* order = nullptr;
+
+  static GamConfig Gam() { return GamConfig{}; }
+  static GamConfig Esp() {
+    GamConfig c;
+    c.edge_set_pruning = true;
+    return c;
+  }
+  static GamConfig MoEsp() {
+    GamConfig c = Esp();
+    c.mo_trees = true;
+    return c;
+  }
+  static GamConfig Lesp() {
+    GamConfig c = Esp();
+    c.lesp_spare = true;
+    return c;
+  }
+  static GamConfig MoLesp() {
+    GamConfig c = Esp();
+    c.mo_trees = true;
+    c.lesp_spare = true;
+    return c;
+  }
+};
+
+/// One CTP evaluation over one graph and seed-set collection. Single-use:
+/// construct, Run() once, read results()/stats().
+class GamSearch {
+ public:
+  GamSearch(const Graph& g, const SeedSets& seeds, GamConfig config);
+
+  /// Executes the search to completion, timeout, LIMIT, or tree budget.
+  /// Always returns OK; consult stats() for how the run ended.
+  Status Run();
+
+  const CtpResultSet& results() const { return results_; }
+  const SearchStats& stats() const { return stats_; }
+  const TreeArena& arena() const { return arena_; }
+  const GamConfig& config() const { return config_; }
+
+  /// ss_n after the run (exposed for tests of the LESP machinery).
+  Bitset64 SeedSignatureOf(NodeId n) const {
+    auto it = seed_sig_.find(n);
+    return it == seed_sig_.end() ? Bitset64() : it->second;
+  }
+
+ private:
+  struct QueueEntry {
+    double priority;
+    uint64_t tie;
+    uint64_t seq;
+    TreeId tree;
+    EdgeId edge;
+    NodeId new_root;
+  };
+  struct EntryGreater {
+    bool operator()(const QueueEntry& a, const QueueEntry& b) const {
+      if (a.priority != b.priority) return a.priority > b.priority;
+      if (a.tie != b.tie) return a.tie > b.tie;
+      return a.seq > b.seq;
+    }
+  };
+  using PrioQ = std::priority_queue<QueueEntry, std::vector<QueueEntry>, EntryGreater>;
+
+  /// Algorithm 4. Also classifies LESP spares (out-param may be null).
+  bool IsNew(const RootedTree& t, bool* lesp_spared) const;
+
+  /// Algorithm 2 after a positive isNew: history, result emission, merge
+  /// registration, Mo injection, Grow enqueueing.
+  void ProcessNewTree(TreeId id);
+
+  /// Pushes all eligible (tree, edge) Grow opportunities of id's root.
+  void EnqueueGrows(TreeId id);
+
+  /// Algorithm 5 over the pending worklist (aggressive merging).
+  void DrainMerges();
+
+  /// Maintains ss_n when a new (n,s)-rooted path appears (§4.6; Alg. 1 l.10).
+  void UpdateSeedSignature(const RootedTree& t);
+
+  bool IsResult(const RootedTree& t) const;
+  void EmitResult(TreeId id);
+  void CheckDeadline();
+
+  size_t QueueIndexFor(const RootedTree& t);
+  /// Index of the non-empty queue with fewest entries; SIZE_MAX if all empty.
+  size_t PickQueue() const;
+
+  const Graph& g_;
+  const SeedSets& seeds_;
+  GamConfig config_;
+  SmallestFirstOrder default_order_;
+  SearchOrder* order_;
+
+  TreeArena arena_;
+  SearchHistory history_;
+  std::unordered_map<NodeId, std::vector<TreeId>> trees_rooted_in_;
+  std::unordered_map<NodeId, Bitset64> seed_sig_;
+  std::vector<PrioQ> queues_;
+  std::unordered_map<uint64_t, size_t> queue_of_mask_;
+  std::vector<TreeId> pending_merge_;
+
+  CtpResultSet results_;
+  SearchStats stats_;
+  Deadline deadline_;
+  uint64_t seq_ = 0;
+  uint64_t ops_since_deadline_check_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace eql
+
+#endif  // EQL_CTP_GAM_H_

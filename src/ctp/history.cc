@@ -1,0 +1,39 @@
+#include "ctp/history.h"
+
+namespace eql {
+
+bool SearchHistory::SeenEdgeSet(const RootedTree& t) const {
+  auto it = by_edge_hash_.find(t.edge_set_hash);
+  if (it == by_edge_hash_.end()) return false;
+  for (TreeId id : it->second) {
+    if (arena_->Get(id).edges == t.edges) return true;
+  }
+  return false;
+}
+
+bool SearchHistory::SeenRooted(const RootedTree& t) const {
+  auto it = by_rooted_hash_.find(RootedHash(t));
+  if (it == by_rooted_hash_.end()) return false;
+  for (TreeId id : it->second) {
+    const RootedTree& other = arena_->Get(id);
+    if (other.root == t.root && other.edges == t.edges) return true;
+  }
+  return false;
+}
+
+void SearchHistory::Insert(TreeId id) {
+  const RootedTree& t = arena_->Get(id);
+  auto& edge_bucket = by_edge_hash_[t.edge_set_hash];
+  bool fresh_edge_set = true;
+  for (TreeId other : edge_bucket) {
+    if (arena_->Get(other).edges == t.edges) {
+      fresh_edge_set = false;
+      break;
+    }
+  }
+  if (fresh_edge_set) ++edge_sets_;
+  edge_bucket.push_back(id);
+  by_rooted_hash_[RootedHash(t)].push_back(id);
+}
+
+}  // namespace eql

@@ -1,0 +1,60 @@
+// The search history Hist (Algorithms 1-4): duplicate detection at two
+// granularities.
+//
+//  * Edge-set level: the key of ESP pruning (Def 4.3) — only the first
+//    provenance for a given set of edges survives.
+//  * Rooted level (root x edge set): plain GAM's dedup ("GAM discards all but
+//    the first provenance built for a given rooted tree"), also used for Init
+//    trees (whose edge sets are all empty), for Mo trees, and for trees
+//    spared by LESP's limited pruning (Alg. 4 lines 4-8).
+//
+// Hash collisions are resolved by comparing the actual edge vectors stored in
+// the arena, so dedup is exact.
+#ifndef EQL_CTP_HISTORY_H_
+#define EQL_CTP_HISTORY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ctp/tree.h"
+
+namespace eql {
+
+/// Exact duplicate detection for edge sets and rooted trees.
+class SearchHistory {
+ public:
+  explicit SearchHistory(const TreeArena* arena) : arena_(arena) {}
+
+  /// True if some kept tree already has exactly this edge set.
+  bool SeenEdgeSet(const RootedTree& t) const;
+
+  /// True if some kept tree already has this (root, edge set).
+  bool SeenRooted(const RootedTree& t) const;
+
+  /// Registers a kept tree in both indexes.
+  void Insert(TreeId id);
+
+  size_t NumEdgeSets() const { return edge_sets_; }
+
+  void Clear() {
+    by_edge_hash_.clear();
+    by_rooted_hash_.clear();
+    edge_sets_ = 0;
+  }
+
+ private:
+  static uint64_t RootedHash(const RootedTree& t) {
+    return HashCombine(t.edge_set_hash, t.root);
+  }
+
+  const TreeArena* arena_;
+  // hash -> tree ids with that hash; vectors are almost always length 1.
+  std::unordered_map<uint64_t, std::vector<TreeId>> by_edge_hash_;
+  std::unordered_map<uint64_t, std::vector<TreeId>> by_rooted_hash_;
+  size_t edge_sets_ = 0;
+};
+
+}  // namespace eql
+
+#endif  // EQL_CTP_HISTORY_H_

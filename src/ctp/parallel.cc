@@ -1,0 +1,162 @@
+#include "ctp/parallel.h"
+
+#include <algorithm>
+#include <thread>
+#include <unordered_map>
+
+#include "util/hash.h"
+
+namespace eql {
+
+namespace {
+
+/// Result of one chunk worker, staged for the merge step.
+struct ChunkOutput {
+  Status status = Status::Ok();
+  SearchStats stats;
+  // Materialized results: edge set + root (the arena dies with the worker).
+  std::vector<std::vector<EdgeId>> edge_sets;
+  std::vector<NodeId> roots;
+};
+
+void RunChunk(const Graph* g, const SeedSets* full_seeds, size_t split_idx,
+              std::vector<NodeId> chunk, const CtpFilters* filters,
+              const ParallelCtpOptions* options, ChunkOutput* out) {
+  // Rebuild the seed sets with S_split replaced by this chunk.
+  std::vector<std::vector<NodeId>> sets;
+  std::vector<bool> universal;
+  for (int i = 0; i < full_seeds->num_sets(); ++i) {
+    if (static_cast<size_t>(i) == split_idx) {
+      sets.push_back(std::move(chunk));
+      universal.push_back(false);
+    } else {
+      sets.push_back(full_seeds->Set(i));
+      universal.push_back(full_seeds->IsUniversal(i));
+    }
+  }
+  auto seeds = SeedSets::Make(*g, std::move(sets), std::move(universal));
+  if (!seeds.ok()) {
+    out->status = seeds.status();
+    return;
+  }
+  CtpFilters chunk_filters = *filters;
+  // TOP-k / LIMIT need the global result set; chunks run uncapped in count.
+  chunk_filters.top_k = -1;
+  chunk_filters.score = nullptr;
+  chunk_filters.limit = UINT64_MAX;
+  auto algo = CreateCtpAlgorithm(options->algorithm, *g, *seeds, chunk_filters,
+                                 nullptr, options->queue_strategy);
+  out->status = algo->Run();
+  if (!out->status.ok()) return;
+  out->stats = algo->stats();
+  for (const CtpResult& r : algo->results().results()) {
+    const RootedTree& t = algo->arena().Get(r.tree);
+    out->edge_sets.push_back(t.edges);
+    out->roots.push_back(t.root);
+  }
+}
+
+}  // namespace
+
+Result<ParallelCtpOutcome> EvaluateCtpParallel(const Graph& g,
+                                               const SeedSets& seeds,
+                                               const CtpFilters& filters,
+                                               const ParallelCtpOptions& options) {
+  if (!IsGamFamily(options.algorithm)) {
+    return Status::InvalidArgument(
+        "parallel evaluation needs a GAM-family algorithm");
+  }
+  // Split the largest non-universal seed set.
+  size_t split_idx = SIZE_MAX;
+  size_t split_size = 0;
+  for (int i = 0; i < seeds.num_sets(); ++i) {
+    if (seeds.IsUniversal(i)) continue;
+    if (seeds.SetSize(i) > split_size) {
+      split_size = seeds.SetSize(i);
+      split_idx = static_cast<size_t>(i);
+    }
+  }
+  if (split_idx == SIZE_MAX) {
+    return Status::InvalidArgument("no splittable seed set");
+  }
+
+  unsigned threads = options.num_threads != 0
+                         ? options.num_threads
+                         : std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min<unsigned>(threads, static_cast<unsigned>(split_size));
+  const std::vector<NodeId>& split_set = seeds.Set(static_cast<int>(split_idx));
+
+  // Round-robin chunking keeps chunk workloads balanced even when the seed
+  // set is sorted by graph region.
+  std::vector<std::vector<NodeId>> chunks(threads);
+  for (size_t i = 0; i < split_set.size(); ++i) {
+    chunks[i % threads].push_back(split_set[i]);
+  }
+
+  std::vector<ChunkOutput> outputs(threads);
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      workers.emplace_back(RunChunk, &g, &seeds, split_idx, std::move(chunks[t]),
+                           &filters, &options, &outputs[t]);
+    }
+    for (auto& w : workers) w.join();
+  }
+
+  ParallelCtpOutcome out;
+  out.split_set = split_idx;
+  out.threads_used = threads;
+
+  // Merge: post-filter Def 2.8 (ii) violations, dedup across chunks, rebuild
+  // result tuples against a fresh arena, then apply score/TOP-k/LIMIT.
+  CtpFilters merged_filters = filters;  // keeps score/top_k for the set below
+  CtpResultSet results(&g, &seeds, &out.arena, &merged_filters);
+  for (ChunkOutput& chunk : outputs) {
+    if (!chunk.status.ok()) return chunk.status;
+    out.chunk_stats.push_back(chunk.stats);
+    out.stats.init_trees += chunk.stats.init_trees;
+    out.stats.grow_attempts += chunk.stats.grow_attempts;
+    out.stats.merge_attempts += chunk.stats.merge_attempts;
+    out.stats.trees_built += chunk.stats.trees_built;
+    out.stats.mo_trees += chunk.stats.mo_trees;
+    out.stats.trees_pruned += chunk.stats.trees_pruned;
+    out.stats.queue_pushed += chunk.stats.queue_pushed;
+    out.stats.timed_out |= chunk.stats.timed_out;
+    out.stats.budget_exhausted |= chunk.stats.budget_exhausted;
+    out.stats.elapsed_ms = std::max(out.stats.elapsed_ms, chunk.stats.elapsed_ms);
+    for (size_t i = 0; i < chunk.edge_sets.size(); ++i) {
+      TreeId id = out.arena.MakeAdHoc(chunk.roots[i],
+                                      std::move(chunk.edge_sets[i]), g, seeds);
+      // A chunk cannot see the rest of S_split: discard trees that contain a
+      // second S_split node (they are not results of the full CTP).
+      const RootedTree& t = out.arena.Get(id);
+      int split_nodes = 0;
+      for (NodeId n : t.nodes) {
+        if (seeds.Signature(n).Test(static_cast<int>(split_idx))) ++split_nodes;
+      }
+      if (split_nodes > 1) {
+        ++out.postfiltered;
+        out.arena.PopLast();
+        continue;
+      }
+      if (!results.Add(id)) {
+        ++out.stats.duplicate_results;
+        out.arena.PopLast();
+      }
+    }
+  }
+  out.stats.complete = !out.stats.timed_out && !out.stats.budget_exhausted;
+
+  results.FinalizeTopK();
+  std::vector<CtpResult> final_results = results.results();
+  if (filters.limit != UINT64_MAX &&
+      final_results.size() > filters.limit) {
+    final_results.resize(filters.limit);
+  }
+  out.stats.results_found = final_results.size();
+  out.results = std::move(final_results);
+  return out;
+}
+
+}  // namespace eql

@@ -1,0 +1,61 @@
+// Multi-threaded CTP evaluation by seed-set splitting.
+//
+// Section 6 notes that the Java GAM algorithm was sped up by up to 100x in a
+// multi-threaded C++ version. This module provides the coarse-grained
+// parallelization that preserves the sequential algorithms' guarantees:
+// the largest seed set S_i is split into k chunks, and k independent
+// searches over (S_1, ..., chunk_j, ..., S_m) run on separate threads.
+//
+// Correctness argument: a CTP result contains exactly one S_i node, so every
+// result of the full problem is a result of exactly the chunk containing its
+// S_i node — provided we *post-filter* chunk results that contain another
+// node of the full S_i (chunk runs cannot apply Grow2 against seeds they do
+// not know; such trees violate Def 2.8 (ii) for the full CTP and are
+// discarded here). Conversely, every surviving chunk result is a result of
+// the full CTP. Hence the union after filtering equals the sequential result
+// set, and per-chunk completeness guarantees (Properties 3-9) carry over.
+//
+// Restrictions: TOP-k and LIMIT need a global view and are applied after the
+// union; the per-chunk searches run unbounded in count (MAX/LABEL/UNI/
+// timeout push down chunk-locally).
+#ifndef EQL_CTP_PARALLEL_H_
+#define EQL_CTP_PARALLEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "ctp/algorithm.h"
+
+namespace eql {
+
+struct ParallelCtpOptions {
+  /// Worker count; 0 = std::thread::hardware_concurrency() (capped at the
+  /// split set's size).
+  unsigned num_threads = 0;
+  AlgorithmKind algorithm = AlgorithmKind::kMoLesp;
+  QueueStrategy queue_strategy = QueueStrategy::kSingle;
+};
+
+/// Aggregated outcome of a parallel run. Result trees are materialized as
+/// plain edge sets + per-set seed tuples (arena-independent).
+struct ParallelCtpOutcome {
+  std::vector<CtpResult> results;          ///< tree field indexes `arena`
+  TreeArena arena;                         ///< holds the surviving trees
+  SearchStats stats;                       ///< summed over chunks
+  std::vector<SearchStats> chunk_stats;
+  size_t split_set = 0;                    ///< which S_i was split
+  unsigned threads_used = 1;
+  uint64_t postfiltered = 0;  ///< chunk results violating Def 2.8 (ii)
+};
+
+/// Runs `filters` CTP over (g, seeds) with chunked parallelism. The graph
+/// and seeds must outlive the call; `filters.score`/TOP-k/LIMIT are applied
+/// globally after the union.
+Result<ParallelCtpOutcome> EvaluateCtpParallel(const Graph& g,
+                                               const SeedSets& seeds,
+                                               const CtpFilters& filters,
+                                               const ParallelCtpOptions& options);
+
+}  // namespace eql
+
+#endif  // EQL_CTP_PARALLEL_H_

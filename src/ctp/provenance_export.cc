@@ -1,0 +1,100 @@
+#include "ctp/provenance_export.h"
+
+#include <bit>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace eql {
+
+namespace {
+
+std::string Quoted(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+std::string TreeToDot(const Graph& g, const SeedSets& seeds, const RootedTree& t,
+                      const std::string& graph_name) {
+  std::string out = "digraph " + graph_name + " {\n";
+  out += "  rankdir=LR;\n  node [shape=ellipse];\n";
+  for (NodeId n : t.nodes) {
+    Bitset64 sig = seeds.Signature(n);
+    std::string attrs;
+    if (!sig.Empty()) {
+      attrs = " [peripheries=2, style=filled, fillcolor=lightyellow, label=" +
+              Quoted(g.NodeLabel(n) + StrFormat(" (S%d)",
+                                                std::countr_zero(sig.bits()) + 1)) +
+              "]";
+    } else if (n == t.root) {
+      attrs = " [style=filled, fillcolor=lightgrey]";
+    }
+    out += "  n" + std::to_string(n) + attrs + ";\n";
+  }
+  for (EdgeId e : t.edges) {
+    out += "  n" + std::to_string(g.Source(e)) + " -> n" +
+           std::to_string(g.Target(e)) + " [label=" + Quoted(g.EdgeLabel(e)) +
+           "];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string ProvenanceToDot(const TreeArena& arena, TreeId id, const Graph& g,
+                            const std::string& graph_name) {
+  std::string out = "digraph " + graph_name + " {\n";
+  out += "  node [shape=box, fontsize=10];\n";
+  std::unordered_set<TreeId> visited;
+  std::vector<TreeId> stack = {id};
+  while (!stack.empty()) {
+    TreeId cur = stack.back();
+    stack.pop_back();
+    if (!visited.insert(cur).second) continue;
+    const RootedTree& t = arena.Get(cur);
+    const char* kind = "?";
+    switch (t.kind) {
+      case ProvKind::kInit:
+        kind = "Init";
+        break;
+      case ProvKind::kGrow:
+        kind = "Grow";
+        break;
+      case ProvKind::kMerge:
+        kind = "Merge";
+        break;
+      case ProvKind::kMo:
+        kind = "Mo";
+        break;
+      case ProvKind::kExternal:
+        kind = "External";
+        break;
+    }
+    std::string label = StrFormat("%s #%u\\nroot=%s |edges|=%zu", kind, cur,
+                                  g.NodeLabel(t.root).c_str(), t.edges.size());
+    if (t.kind == ProvKind::kGrow) {
+      label += "\\n+" + g.EdgeToString(t.grow_edge);
+    }
+    out += "  t" + std::to_string(cur) + " [label=" + Quoted(label) + "];\n";
+    if (t.child1 != kNoTree) {
+      out += "  t" + std::to_string(t.child1) + " -> t" + std::to_string(cur) +
+             ";\n";
+      stack.push_back(t.child1);
+    }
+    if (t.child2 != kNoTree) {
+      out += "  t" + std::to_string(t.child2) + " -> t" + std::to_string(cur) +
+             ";\n";
+      stack.push_back(t.child2);
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace eql

@@ -1,0 +1,29 @@
+// Provenance and result export: Graphviz DOT renderings of result trees and
+// of the Init/Grow/Merge/Mo derivation DAG (Definition 4.1).
+//
+// Investigative users need to *see* connections; developers debugging the
+// search need to see how a tree was derived. Both are one `dot -Tsvg` away.
+#ifndef EQL_CTP_PROVENANCE_EXPORT_H_
+#define EQL_CTP_PROVENANCE_EXPORT_H_
+
+#include <string>
+
+#include "ctp/seed_sets.h"
+#include "ctp/tree.h"
+#include "graph/graph.h"
+
+namespace eql {
+
+/// DOT graph of one result tree: seed nodes doubled, edges labeled, original
+/// edge directions preserved.
+std::string TreeToDot(const Graph& g, const SeedSets& seeds, const RootedTree& t,
+                      const std::string& graph_name = "ctp_result");
+
+/// DOT graph of the provenance DAG that produced `id`: one box per
+/// provenance step (Init/Grow/Merge/Mo), arrows from children to parents.
+std::string ProvenanceToDot(const TreeArena& arena, TreeId id, const Graph& g,
+                            const std::string& graph_name = "provenance");
+
+}  // namespace eql
+
+#endif  // EQL_CTP_PROVENANCE_EXPORT_H_

@@ -1,0 +1,71 @@
+#include "ctp/result_set.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace eql {
+
+CtpResultSet::CtpResultSet(const Graph* g, const SeedSets* seeds,
+                           const TreeArena* arena, const CtpFilters* filters)
+    : g_(g), seeds_(seeds), arena_(arena), filters_(filters) {}
+
+bool CtpResultSet::ContainsEdgeSet(const RootedTree& t) const {
+  auto it = by_edge_hash_.find(t.edge_set_hash);
+  if (it == by_edge_hash_.end()) return false;
+  for (size_t idx : it->second) {
+    if (arena_->Get(results_[idx].tree).edges == t.edges) return true;
+  }
+  return false;
+}
+
+bool CtpResultSet::Add(TreeId id) {
+  const RootedTree& t = arena_->Get(id);
+  if (ContainsEdgeSet(t)) return false;
+
+  CtpResult r;
+  r.tree = id;
+  r.seed_of_set.assign(seeds_->num_sets(), kNoNode);
+  for (NodeId n : t.nodes) {
+    Bitset64 sig = seeds_->Signature(n);
+    if (sig.Empty()) continue;
+    for (int i = 0; i < seeds_->num_sets(); ++i) {
+      if (sig.Test(i)) r.seed_of_set[i] = n;
+    }
+  }
+  // Universal sets (Section 4.9): the root stands in as their match.
+  for (int i = 0; i < seeds_->num_sets(); ++i) {
+    if (seeds_->IsUniversal(i)) r.seed_of_set[i] = t.root;
+  }
+  if (filters_->score != nullptr) {
+    r.score = filters_->score->Score(*g_, *seeds_, t);
+  }
+  by_edge_hash_[t.edge_set_hash].push_back(results_.size());
+  results_.push_back(std::move(r));
+  return true;
+}
+
+void CtpResultSet::FinalizeTopK() {
+  if (filters_->score == nullptr || filters_->top_k <= 0) return;
+  std::stable_sort(results_.begin(), results_.end(),
+                   [](const CtpResult& a, const CtpResult& b) {
+                     return a.score > b.score;
+                   });
+  if (results_.size() > static_cast<size_t>(filters_->top_k)) {
+    results_.resize(static_cast<size_t>(filters_->top_k));
+  }
+  // The hash index is stale after truncation; rebuild.
+  by_edge_hash_.clear();
+  for (size_t i = 0; i < results_.size(); ++i) {
+    by_edge_hash_[arena_->Get(results_[i].tree).edge_set_hash].push_back(i);
+  }
+}
+
+std::vector<std::vector<EdgeId>> CtpResultSet::EdgeSets() const {
+  std::vector<std::vector<EdgeId>> out;
+  out.reserve(results_.size());
+  for (const auto& r : results_) out.push_back(arena_->Get(r.tree).edges);
+  return out;
+}
+
+}  // namespace eql

@@ -1,0 +1,66 @@
+// Accumulates CTP results: (s_1, ..., s_m, t) tuples (Definition 2.8),
+// deduplicated by edge set, optionally scored and truncated to TOP k.
+#ifndef EQL_CTP_RESULT_SET_H_
+#define EQL_CTP_RESULT_SET_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ctp/filters.h"
+#include "ctp/seed_sets.h"
+#include "ctp/tree.h"
+
+namespace eql {
+
+/// One CTP result tuple. `seed_of_set[i]` is the tree node in S_i (kNoNode
+/// for universal sets, which any tree node matches — Section 4.9).
+struct CtpResult {
+  TreeId tree = kNoTree;
+  std::vector<NodeId> seed_of_set;
+  double score = 0;
+};
+
+/// Result accumulator with edge-set dedup and TOP-k maintenance.
+///
+/// Different provenances (or differently-rooted trees) of the same edge set
+/// must produce one result: "the root is meaningless in a CTP result, which
+/// is simply a set of edges" (§4.4).
+class CtpResultSet {
+ public:
+  /// `filters` supplies score/top_k; may outlive nothing (copied fields).
+  CtpResultSet(const Graph* g, const SeedSets* seeds, const TreeArena* arena,
+               const CtpFilters* filters);
+
+  /// Adds the tree if its edge set is new; returns true if added.
+  bool Add(TreeId id);
+
+  /// Number of distinct results kept (after TOP-k truncation).
+  size_t size() const { return results_.size(); }
+  bool empty() const { return results_.empty(); }
+
+  /// Results, in insertion order; with TOP k, call FinalizeTopK() first to
+  /// sort by descending score and truncate.
+  const std::vector<CtpResult>& results() const { return results_; }
+
+  /// Applies TOP-k: sorts by score (desc, stable) and keeps the k best.
+  void FinalizeTopK();
+
+  /// True if the edge set of `t` was already reported.
+  bool ContainsEdgeSet(const RootedTree& t) const;
+
+  /// All result edge sets, each as a sorted EdgeId vector (for test oracles).
+  std::vector<std::vector<EdgeId>> EdgeSets() const;
+
+ private:
+  const Graph* g_;
+  const SeedSets* seeds_;
+  const TreeArena* arena_;
+  const CtpFilters* filters_;
+  std::vector<CtpResult> results_;
+  std::unordered_map<uint64_t, std::vector<size_t>> by_edge_hash_;
+};
+
+}  // namespace eql
+
+#endif  // EQL_CTP_RESULT_SET_H_

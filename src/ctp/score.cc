@@ -1,0 +1,36 @@
+#include "ctp/score.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace eql {
+
+double DegreePenaltyScore::Score(const Graph& g, const SeedSets&,
+                                 const RootedTree& t) const {
+  double penalty = 0;
+  for (NodeId n : t.nodes) penalty += std::log2(1.0 + g.Degree(n));
+  return -penalty;
+}
+
+double LabelDiversityScore::Score(const Graph& g, const SeedSets&,
+                                  const RootedTree& t) const {
+  std::unordered_set<StrId> labels;
+  for (EdgeId e : t.edges) labels.insert(g.EdgeLabelId(e));
+  return static_cast<double>(labels.size());
+}
+
+double RootDegreeScore::Score(const Graph& g, const SeedSets&,
+                              const RootedTree& t) const {
+  return -static_cast<double>(t.NumEdges()) -
+         lambda_ * std::log2(1.0 + g.Degree(t.root));
+}
+
+std::unique_ptr<ScoreFunction> CreateScoreFunction(const std::string& name) {
+  if (name == "edge_count") return std::make_unique<EdgeCountScore>();
+  if (name == "degree_penalty") return std::make_unique<DegreePenaltyScore>();
+  if (name == "label_diversity") return std::make_unique<LabelDiversityScore>();
+  if (name == "root_degree") return std::make_unique<RootDegreeScore>();
+  return nullptr;
+}
+
+}  // namespace eql

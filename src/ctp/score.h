@@ -1,0 +1,73 @@
+// Score functions sigma for ranking CTP results (requirement R2, SCORE/TOP k).
+//
+// The paper's central language decision is that connection search is
+// *orthogonal* to scoring: any sigma may be attached to a CTP, results carry
+// sigma(t), and TOP k keeps the k best. The search algorithms never rely on
+// score properties for pruning; a score may merely bias the exploration
+// order (see search_order.h), which is sound because MoLESP's completeness
+// guarantees hold for every execution order (§4.8).
+#ifndef EQL_CTP_SCORE_H_
+#define EQL_CTP_SCORE_H_
+
+#include <memory>
+#include <string>
+
+#include "ctp/seed_sets.h"
+#include "ctp/tree.h"
+#include "graph/graph.h"
+
+namespace eql {
+
+/// Assigns each tree a real score; higher is better (Section 2).
+class ScoreFunction {
+ public:
+  virtual ~ScoreFunction() = default;
+  virtual double Score(const Graph& g, const SeedSets& seeds,
+                       const RootedTree& t) const = 0;
+  virtual std::string Name() const = 0;
+};
+
+/// sigma = -|edges|: smaller trees are better. The default, matching the
+/// "smallest results first" exploration the paper uses in its experiments.
+class EdgeCountScore : public ScoreFunction {
+ public:
+  double Score(const Graph&, const SeedSets&, const RootedTree& t) const override {
+    return -static_cast<double>(t.NumEdges());
+  }
+  std::string Name() const override { return "edge_count"; }
+};
+
+/// sigma = -sum(log2(1 + deg(n))): penalizes trees passing through hubs.
+/// Mirrors the introduction's journalism example, where the smallest tree
+/// (through the "country" hub) is not the interesting one.
+class DegreePenaltyScore : public ScoreFunction {
+ public:
+  double Score(const Graph& g, const SeedSets&, const RootedTree& t) const override;
+  std::string Name() const override { return "degree_penalty"; }
+};
+
+/// sigma = number of distinct edge labels: favors semantically rich trees.
+class LabelDiversityScore : public ScoreFunction {
+ public:
+  double Score(const Graph& g, const SeedSets&, const RootedTree& t) const override;
+  std::string Name() const override { return "label_diversity"; }
+};
+
+/// BANKS-style: sigma = -|edges| - lambda * log2(1 + deg(root)).
+class RootDegreeScore : public ScoreFunction {
+ public:
+  explicit RootDegreeScore(double lambda = 1.0) : lambda_(lambda) {}
+  double Score(const Graph& g, const SeedSets&, const RootedTree& t) const override;
+  std::string Name() const override { return "root_degree"; }
+
+ private:
+  double lambda_;
+};
+
+/// Looks up a score function by name ("edge_count", "degree_penalty",
+/// "label_diversity", "root_degree"); nullptr for unknown names.
+std::unique_ptr<ScoreFunction> CreateScoreFunction(const std::string& name);
+
+}  // namespace eql
+
+#endif  // EQL_CTP_SCORE_H_

@@ -1,0 +1,4 @@
+#include "ctp/search_order.h"
+
+// Search orders are header-only; translation unit kept for symmetry and for
+// future orders that need out-of-line state.

@@ -1,0 +1,100 @@
+// Exploration orders for the GAM-family priority queue (Sections 4.2, 4.8).
+//
+// "In this work, to remain compatible with any score function, we study
+// search algorithms regardless of (orthogonally to) the search order." The
+// queue priority is therefore a strategy object. The experiments' default is
+// smallest-tree-first with deterministic FIFO tie-breaks; property tests use
+// seeded random tie-breaks to exercise many execution orders (completeness
+// guarantees must hold for all of them); a score-guided order demonstrates
+// Section 4.8's "favor the early production of higher-score results".
+#ifndef EQL_CTP_SEARCH_ORDER_H_
+#define EQL_CTP_SEARCH_ORDER_H_
+
+#include <memory>
+#include <string>
+
+#include "ctp/score.h"
+#include "ctp/tree.h"
+#include "util/rng.h"
+
+namespace eql {
+
+/// Computes the priority of a (tree, edge) Grow opportunity; smaller pops
+/// first. `tie` breaks equal priorities (filled by the engine: sequence
+/// number for FIFO). Implementations may randomize via OnPush.
+class SearchOrder {
+ public:
+  virtual ~SearchOrder() = default;
+
+  /// Priority of growing `t` with `e`; lower is explored earlier.
+  virtual double Priority(const Graph& g, const SeedSets& seeds,
+                          const RootedTree& t, EdgeId e) = 0;
+
+  /// Tie-break value; default 0 lets the engine's FIFO sequence decide.
+  virtual uint64_t TieBreak() { return 0; }
+
+  virtual std::string Name() const = 0;
+};
+
+/// Smallest resulting tree first; FIFO among equals (the paper's setting:
+/// "our exploration order favors the smallest trees, and breaks ties
+/// arbitrarily").
+class SmallestFirstOrder : public SearchOrder {
+ public:
+  double Priority(const Graph&, const SeedSets&, const RootedTree& t,
+                  EdgeId) override {
+    return static_cast<double>(t.NumEdges() + 1);
+  }
+  std::string Name() const override { return "smallest_first"; }
+};
+
+/// Smallest-first with seeded random tie-breaks: used by property tests to
+/// sample many execution orders for the same input.
+class RandomTieBreakOrder : public SearchOrder {
+ public:
+  explicit RandomTieBreakOrder(uint64_t seed) : rng_(seed) {}
+  double Priority(const Graph&, const SeedSets&, const RootedTree& t,
+                  EdgeId) override {
+    return static_cast<double>(t.NumEdges() + 1);
+  }
+  uint64_t TieBreak() override { return rng_.Next(); }
+  std::string Name() const override { return "random_tie"; }
+
+ private:
+  Rng rng_;
+};
+
+/// Fully random priorities: an adversarial order sampler (still terminates;
+/// exercises the order-independence of the completeness guarantees).
+class RandomOrder : public SearchOrder {
+ public:
+  explicit RandomOrder(uint64_t seed) : rng_(seed) {}
+  double Priority(const Graph&, const SeedSets&, const RootedTree&,
+                  EdgeId) override {
+    return rng_.NextDouble();
+  }
+  std::string Name() const override { return "random"; }
+
+ private:
+  Rng rng_;
+};
+
+/// Score-guided: explores partial trees with higher sigma first (heuristic
+/// early production of good results; §4.8). Sound with MoLESP because its
+/// guarantees are order-independent.
+class ScoreGuidedOrder : public SearchOrder {
+ public:
+  explicit ScoreGuidedOrder(const ScoreFunction* score) : score_(score) {}
+  double Priority(const Graph& g, const SeedSets& seeds, const RootedTree& t,
+                  EdgeId) override {
+    return -score_->Score(g, seeds, t);
+  }
+  std::string Name() const override { return "score_guided:" + score_->Name(); }
+
+ private:
+  const ScoreFunction* score_;
+};
+
+}  // namespace eql
+
+#endif  // EQL_CTP_SEARCH_ORDER_H_

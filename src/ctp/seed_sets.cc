@@ -1,0 +1,55 @@
+#include "ctp/seed_sets.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace eql {
+
+Result<SeedSets> SeedSets::Make(const Graph& g, std::vector<std::vector<NodeId>> sets,
+                                std::vector<bool> universal) {
+  if (sets.empty()) return Status::InvalidArgument("a CTP needs at least one seed set");
+  if (sets.size() > 64) {
+    return Status::InvalidArgument(
+        StrFormat("at most 64 seed sets are supported, got %zu", sets.size()));
+  }
+  if (universal.empty()) universal.assign(sets.size(), false);
+  if (universal.size() != sets.size()) {
+    return Status::InvalidArgument("universal flags arity mismatch");
+  }
+
+  SeedSets out;
+  out.universal_ = universal;
+  out.full_mask_ = Bitset64::FullMask(static_cast<int>(sets.size()));
+  for (size_t i = 0; i < sets.size(); ++i) {
+    auto& s = sets[i];
+    if (universal[i]) {
+      s.clear();
+      out.has_universal_ = true;
+    } else {
+      std::sort(s.begin(), s.end());
+      s.erase(std::unique(s.begin(), s.end()), s.end());
+      if (s.empty()) {
+        return Status::InvalidArgument(
+            StrFormat("seed set %zu is empty (no node matched its predicate)", i));
+      }
+      for (NodeId n : s) {
+        if (n >= g.NumNodes()) {
+          return Status::OutOfRange(StrFormat("seed node %u out of range", n));
+        }
+        out.signature_[n].Set(static_cast<int>(i));
+      }
+      out.required_mask_.Set(static_cast<int>(i));
+    }
+    out.sets_.push_back(std::move(s));
+  }
+  if (out.required_mask_.Empty()) {
+    return Status::InvalidArgument("all seed sets are universal; nothing to search");
+  }
+  out.all_seeds_.reserve(out.signature_.size());
+  for (const auto& [n, sig] : out.signature_) out.all_seeds_.push_back(n);
+  std::sort(out.all_seeds_.begin(), out.all_seeds_.end());
+  return out;
+}
+
+}  // namespace eql

@@ -1,0 +1,46 @@
+// Search instrumentation: the counters behind Figures 10-12 (runtimes and
+// "number of provenances" series) and the tests' effort assertions.
+#ifndef EQL_CTP_STATS_H_
+#define EQL_CTP_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace eql {
+
+/// Counters filled by one CTP search run. "Provenances" are *kept* trees
+/// (those that pass isNew and enter the history), matching Fig. 11d-f.
+struct SearchStats {
+  uint64_t init_trees = 0;
+  uint64_t grow_attempts = 0;    ///< (tree, edge) pairs popped
+  uint64_t merge_attempts = 0;   ///< Merge partner pairs examined
+  uint64_t trees_built = 0;      ///< provenances kept (Init+Grow+Merge+Mo)
+  uint64_t mo_trees = 0;         ///< of which Mo re-rootings (§4.5)
+  uint64_t trees_pruned = 0;     ///< provenances discarded by isNew
+  uint64_t lesp_spared = 0;      ///< trees kept only thanks to LESP's provision
+  uint64_t queue_pushed = 0;
+  uint64_t results_found = 0;    ///< distinct result edge sets
+  uint64_t duplicate_results = 0;
+  uint64_t minimizations = 0;    ///< BFT-family result minimizations
+
+  double elapsed_ms = 0;
+  bool timed_out = false;
+  bool budget_exhausted = false;  ///< max_trees or limit reached
+  bool complete = false;          ///< search space exhausted before any cutoff
+
+  std::string ToString() const {
+    std::string s = "trees=" + std::to_string(trees_built) +
+                    " (mo=" + std::to_string(mo_trees) +
+                    ") pruned=" + std::to_string(trees_pruned) +
+                    " results=" + std::to_string(results_found) +
+                    " ms=" + std::to_string(elapsed_ms);
+    if (timed_out) s += " TIMEOUT";
+    if (budget_exhausted) s += " BUDGET";
+    if (complete) s += " complete";
+    return s;
+  }
+};
+
+}  // namespace eql
+
+#endif  // EQL_CTP_STATS_H_

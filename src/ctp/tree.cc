@@ -1,0 +1,253 @@
+#include "ctp/tree.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace eql {
+
+bool RootedTree::ContainsNode(NodeId n) const {
+  return std::binary_search(nodes.begin(), nodes.end(), n);
+}
+
+bool RootedTree::ContainsEdge(EdgeId e) const {
+  return std::binary_search(edges.begin(), edges.end(), e);
+}
+
+bool RootedTree::SharesOnlyRootWith(const RootedTree& other,
+                                    NodeId shared_root) const {
+  // Two-pointer sorted intersection; succeed iff it is exactly {shared_root}.
+  size_t i = 0, j = 0;
+  bool saw_root = false;
+  while (i < nodes.size() && j < other.nodes.size()) {
+    if (nodes[i] < other.nodes[j]) {
+      ++i;
+    } else if (nodes[i] > other.nodes[j]) {
+      ++j;
+    } else {
+      if (nodes[i] != shared_root) return false;
+      saw_root = true;
+      ++i;
+      ++j;
+    }
+  }
+  return saw_root;
+}
+
+TreeId TreeArena::MakeInit(NodeId n, const SeedSets& seeds) {
+  RootedTree t;
+  t.root = n;
+  t.sat = seeds.Signature(n);
+  t.nodes = {n};
+  t.kind = ProvKind::kInit;
+  t.is_rooted_path = true;  // the trivial (n, n)-rooted path
+  t.path_seed = n;
+  t.edge_set_hash = HashIdVector(t.edges);
+  return Push(std::move(t));
+}
+
+TreeId TreeArena::MakeGrow(TreeId id, EdgeId e, NodeId new_root,
+                           const SeedSets& seeds) {
+  const RootedTree& t = Get(id);
+  RootedTree out;
+  out.root = new_root;
+  out.sat = t.sat | seeds.Signature(new_root);
+  out.edges = t.edges;
+  out.edges.insert(std::upper_bound(out.edges.begin(), out.edges.end(), e), e);
+  out.nodes = t.nodes;
+  out.nodes.insert(std::upper_bound(out.nodes.begin(), out.nodes.end(), new_root),
+                   new_root);
+  out.kind = ProvKind::kGrow;
+  out.child1 = id;
+  out.grow_edge = e;
+  out.mo_tainted = t.mo_tainted;
+  // A Grow chain from Init(s) remains an (n, s)-rooted path as long as it
+  // never touches another seed node (Def 4.4).
+  out.is_rooted_path = t.is_rooted_path && seeds.Signature(new_root).Empty();
+  out.path_seed = out.is_rooted_path ? t.path_seed : kNoNode;
+  out.edge_set_hash = HashIdVector(out.edges);
+  return Push(std::move(out));
+}
+
+TreeId TreeArena::MakeMerge(TreeId id1, TreeId id2, const SeedSets& seeds) {
+  const RootedTree& t1 = Get(id1);
+  const RootedTree& t2 = Get(id2);
+  (void)seeds;
+  RootedTree out;
+  out.root = t1.root;
+  out.sat = t1.sat | t2.sat;
+  out.edges.resize(t1.edges.size() + t2.edges.size());
+  std::merge(t1.edges.begin(), t1.edges.end(), t2.edges.begin(), t2.edges.end(),
+             out.edges.begin());
+  out.nodes.reserve(t1.nodes.size() + t2.nodes.size() - 1);
+  std::set_union(t1.nodes.begin(), t1.nodes.end(), t2.nodes.begin(), t2.nodes.end(),
+                 std::back_inserter(out.nodes));
+  out.kind = ProvKind::kMerge;
+  out.child1 = id1;
+  out.child2 = id2;
+  out.mo_tainted = t1.mo_tainted || t2.mo_tainted;
+  out.edge_set_hash = HashIdVector(out.edges);
+  return Push(std::move(out));
+}
+
+TreeId TreeArena::MakeMo(TreeId id, NodeId new_root) {
+  const RootedTree& t = Get(id);
+  RootedTree out;
+  out.root = new_root;
+  out.sat = t.sat;
+  out.edges = t.edges;
+  out.nodes = t.nodes;
+  out.kind = ProvKind::kMo;
+  out.child1 = id;
+  out.mo_tainted = true;
+  out.edge_set_hash = t.edge_set_hash;
+  return Push(std::move(out));
+}
+
+TreeId TreeArena::MakeAdHoc(NodeId root, std::vector<EdgeId> edges, const Graph& g,
+                            const SeedSets& seeds) {
+  RootedTree out;
+  out.root = root;
+  out.edges = std::move(edges);
+  std::sort(out.edges.begin(), out.edges.end());
+  out.edges.erase(std::unique(out.edges.begin(), out.edges.end()), out.edges.end());
+  for (EdgeId e : out.edges) {
+    out.nodes.push_back(g.Source(e));
+    out.nodes.push_back(g.Target(e));
+  }
+  out.nodes.push_back(root);
+  std::sort(out.nodes.begin(), out.nodes.end());
+  out.nodes.erase(std::unique(out.nodes.begin(), out.nodes.end()), out.nodes.end());
+  for (NodeId n : out.nodes) out.sat |= seeds.Signature(n);
+  out.kind = ProvKind::kExternal;
+  out.edge_set_hash = HashIdVector(out.edges);
+  return Push(std::move(out));
+}
+
+std::string TreeArena::ProvenanceToString(TreeId id, const Graph& g) const {
+  const RootedTree& t = Get(id);
+  switch (t.kind) {
+    case ProvKind::kInit:
+      return "Init(" + g.NodeLabel(t.root) + ")";
+    case ProvKind::kGrow:
+      return "Grow(" + ProvenanceToString(t.child1, g) + ",e" +
+             std::to_string(t.grow_edge) + "->" + g.NodeLabel(t.root) + ")";
+    case ProvKind::kMerge:
+      return "Merge(" + ProvenanceToString(t.child1, g) + "," +
+             ProvenanceToString(t.child2, g) + ")";
+    case ProvKind::kMo:
+      return "Mo(" + ProvenanceToString(t.child1, g) + "," + g.NodeLabel(t.root) +
+             ")";
+    case ProvKind::kExternal:
+      return "External(" + g.NodeLabel(t.root) + ")";
+  }
+  return "?";
+}
+
+std::string TreeArena::TreeToString(TreeId id, const Graph& g) const {
+  const RootedTree& t = Get(id);
+  std::string out = "root=" + g.NodeLabel(t.root) + " {";
+  for (size_t i = 0; i < t.edges.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += g.EdgeToString(t.edges[i]);
+  }
+  out += "}";
+  return out;
+}
+
+bool RootReachesAllDirected(const Graph& g, const RootedTree& t, NodeId root) {
+  if (t.nodes.size() <= 1) return true;
+  // BFS over tree edges, respecting direction. Tree size is small, so a
+  // simple frontier over the node set suffices.
+  std::vector<NodeId> frontier = {root};
+  std::vector<NodeId> reached = {root};
+  while (!frontier.empty()) {
+    NodeId n = frontier.back();
+    frontier.pop_back();
+    for (EdgeId e : t.edges) {
+      if (g.Source(e) != n) continue;
+      NodeId to = g.Target(e);
+      if (std::find(reached.begin(), reached.end(), to) == reached.end()) {
+        reached.push_back(to);
+        frontier.push_back(to);
+      }
+    }
+  }
+  return reached.size() == t.nodes.size();
+}
+
+Status VerifyTreeInvariants(const Graph& g, const SeedSets& seeds,
+                            const RootedTree& t, bool require_minimal,
+                            bool allow_root_leaf) {
+  if (t.nodes.empty()) return Status::Internal("tree has no nodes");
+  if (!std::is_sorted(t.nodes.begin(), t.nodes.end()) ||
+      std::adjacent_find(t.nodes.begin(), t.nodes.end()) != t.nodes.end()) {
+    return Status::Internal("node set not sorted/unique");
+  }
+  if (!std::is_sorted(t.edges.begin(), t.edges.end()) ||
+      std::adjacent_find(t.edges.begin(), t.edges.end()) != t.edges.end()) {
+    return Status::Internal("edge set not sorted/unique");
+  }
+  if (t.edges.size() + 1 != t.nodes.size()) {
+    return Status::Internal(StrFormat("not a tree: %zu edges, %zu nodes",
+                                      t.edges.size(), t.nodes.size()));
+  }
+  if (!t.ContainsNode(t.root)) return Status::Internal("root not in node set");
+
+  // Connectivity + degree census via union-find over the node set.
+  std::vector<NodeId> parent(t.nodes.size());
+  for (size_t i = 0; i < parent.size(); ++i) parent[i] = static_cast<NodeId>(i);
+  auto find = [&](NodeId x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  auto index_of = [&](NodeId n) {
+    return static_cast<NodeId>(
+        std::lower_bound(t.nodes.begin(), t.nodes.end(), n) - t.nodes.begin());
+  };
+  std::vector<int> deg(t.nodes.size(), 0);
+  for (EdgeId e : t.edges) {
+    NodeId a = index_of(g.Source(e)), b = index_of(g.Target(e));
+    if (a >= t.nodes.size() || b >= t.nodes.size() ||
+        t.nodes[a] != g.Source(e) || t.nodes[b] != g.Target(e)) {
+      return Status::Internal("edge endpoint outside node set");
+    }
+    ++deg[a];
+    ++deg[b];
+    NodeId ra = find(a), rb = find(b);
+    if (ra == rb) return Status::Internal("edge set contains a cycle");
+    parent[ra] = rb;
+  }
+  NodeId r0 = find(0);
+  for (size_t i = 1; i < t.nodes.size(); ++i) {
+    if (find(static_cast<NodeId>(i)) != r0) return Status::Internal("tree disconnected");
+  }
+
+  // sat must equal the union of node signatures; one node per covered set.
+  Bitset64 sat;
+  Bitset64 overlap_check;
+  for (NodeId n : t.nodes) {
+    Bitset64 sig = seeds.Signature(n);
+    if (sig.Intersects(overlap_check)) {
+      return Status::Internal("two nodes from the same seed set (Def 2.8 (ii))");
+    }
+    overlap_check |= sig;
+    sat |= sig;
+  }
+  if (!(sat == t.sat)) return Status::Internal("sat signature mismatch");
+
+  if (require_minimal && t.nodes.size() > 1) {
+    // (deg computed above; leaves are deg==1 nodes)
+    for (size_t i = 0; i < t.nodes.size(); ++i) {
+      if (deg[i] != 1) continue;  // only leaves must be seeds (Observation 1)
+      if (seeds.Signature(t.nodes[i]).Empty() &&
+          !(allow_root_leaf && t.nodes[i] == t.root)) {
+        return Status::Internal("non-seed leaf " + g.NodeLabel(t.nodes[i]) +
+                                " (result not minimal)");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace eql

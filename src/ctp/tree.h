@@ -1,0 +1,129 @@
+// Rooted trees with provenance (Definitions 4.1, 4.2) and their arena.
+//
+// Trees are immutable once created and stored in a TreeArena; everything else
+// (history, queues, result sets) refers to them by TreeId. A tree records:
+//  * its sorted edge set (the value the CTP variable binds to, Def 2.8),
+//  * its sorted node set (Grow1 and the Merge node-disjointness test),
+//  * its root (GAM distinguishes a root; BFT trees carry a nominal root),
+//  * sat(t), the signature of seed sets it covers (Observation 1),
+//  * provenance: the Init/Grow/Merge/Mo formula that built it (Def 4.1, 4.5),
+//  * whether the provenance contains Mo (Grow is disabled on those, §4.5),
+//  * whether it is an (n, s)-rooted path (Def 4.4) and its seed endpoint,
+//    maintained incrementally for LESP's seed-signature updates (§4.6).
+#ifndef EQL_CTP_TREE_H_
+#define EQL_CTP_TREE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "ctp/seed_sets.h"
+#include "graph/graph.h"
+#include "util/bitset64.h"
+#include "util/hash.h"
+
+namespace eql {
+
+using TreeId = uint32_t;
+inline constexpr TreeId kNoTree = UINT32_MAX;
+
+/// How a tree was produced (Def 4.1 plus MoESP's Mo, §4.5). kExternal marks
+/// trees assembled outside the Grow/Merge calculus (BFT minimization results,
+/// baseline outputs).
+enum class ProvKind : uint8_t { kInit, kGrow, kMerge, kMo, kExternal };
+
+/// An immutable rooted tree with provenance.
+struct RootedTree {
+  NodeId root = kNoNode;
+  Bitset64 sat;
+  std::vector<EdgeId> edges;  ///< sorted edge ids; the "edge set" (Def 4.2)
+  std::vector<NodeId> nodes;  ///< sorted node ids
+
+  ProvKind kind = ProvKind::kInit;
+  TreeId child1 = kNoTree;  ///< Grow/Mo source, or Merge left operand
+  TreeId child2 = kNoTree;  ///< Merge right operand
+  EdgeId grow_edge = kNoEdge;
+
+  /// True if any ancestor in the provenance is a Mo re-rooting; Grow is
+  /// disabled on such trees (§4.5: "Grow is disabled on any tree whose
+  /// provenance includes Mo").
+  bool mo_tainted = false;
+
+  /// True if this tree is an (root, path_seed)-rooted path (Def 4.4): a pure
+  /// Grow chain from Init(path_seed) containing no other seed node.
+  bool is_rooted_path = false;
+  NodeId path_seed = kNoNode;
+
+  uint64_t edge_set_hash = 0;  ///< HashIdVector(edges), cached
+
+  size_t NumEdges() const { return edges.size(); }
+  bool ContainsNode(NodeId n) const;
+  bool ContainsEdge(EdgeId e) const;
+
+  /// True if `other` shares exactly the node `root` with this tree — the
+  /// Merge1 precondition (§4.2) given both are rooted at `root`.
+  bool SharesOnlyRootWith(const RootedTree& other, NodeId shared_root) const;
+};
+
+/// Append-only store of all trees built during one search.
+class TreeArena {
+ public:
+  const RootedTree& Get(TreeId id) const { return trees_[id]; }
+  size_t size() const { return trees_.size(); }
+
+  /// Builds Init(n) (Def 4.1 case 1).
+  TreeId MakeInit(NodeId n, const SeedSets& seeds);
+
+  /// Builds Grow(t, e) rooted at new_root (Def 4.1 case 2). The caller has
+  /// already validated Grow1/Grow2.
+  TreeId MakeGrow(TreeId t, EdgeId e, NodeId new_root, const SeedSets& seeds);
+
+  /// Builds Merge(t1, t2) (Def 4.1 case 3); both must share only their root.
+  TreeId MakeMerge(TreeId t1, TreeId t2, const SeedSets& seeds);
+
+  /// Builds Mo(t, new_root): same edges/nodes, re-rooted at a seed (§4.5).
+  TreeId MakeMo(TreeId t, NodeId new_root);
+
+  /// Builds a tree from explicit parts (BFT minimization products, baseline
+  /// outputs). `edges` need not be sorted; nodes and sat are derived.
+  TreeId MakeAdHoc(NodeId root, std::vector<EdgeId> edges, const Graph& g,
+                   const SeedSets& seeds);
+
+  /// Removes the most recently created tree; only valid when nothing else
+  /// references it (the engines pop provenances rejected by isNew).
+  void PopLast() { trees_.pop_back(); }
+
+  /// Renders the provenance formula, e.g. "Merge(Grow(Init(B),e3),Init(C))".
+  std::string ProvenanceToString(TreeId id, const Graph& g) const;
+
+  /// Renders the edge set as "{A-l->B, ...}" for messages and examples.
+  std::string TreeToString(TreeId id, const Graph& g) const;
+
+  /// Drops all trees (arena reuse between runs).
+  void Clear() { trees_.clear(); }
+
+ private:
+  TreeId Push(RootedTree&& t) {
+    trees_.push_back(std::move(t));
+    return static_cast<TreeId>(trees_.size() - 1);
+  }
+  std::deque<RootedTree> trees_;  // deque: stable references across growth
+};
+
+/// Sanity-checks that `t`'s edge set forms a tree over its node set, that it
+/// is minimal in the sense of Def 2.8 (every leaf is a seed; at most one node
+/// per non-universal seed set; if `allow_root_leaf` the root may be a
+/// non-seed leaf — used for universal seed sets), and that sat matches.
+/// Returns an error describing the first violated invariant.
+Status VerifyTreeInvariants(const Graph& g, const SeedSets& seeds,
+                            const RootedTree& t, bool require_minimal,
+                            bool allow_root_leaf = false);
+
+/// True if `root` reaches every node of `t` following tree edges in their
+/// stored direction — the UNI filter invariant (Section 2, UNI).
+bool RootReachesAllDirected(const Graph& g, const RootedTree& t, NodeId root);
+
+}  // namespace eql
+
+#endif  // EQL_CTP_TREE_H_

@@ -1,0 +1,258 @@
+#include "eval/engine.h"
+
+#include <algorithm>
+
+#include "query/parser.h"
+#include "query/validator.h"
+#include "storage/bgp_eval.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace eql {
+
+EqlEngine::EqlEngine(const Graph& g, EngineOptions options)
+    : g_(g), options_(options) {}
+
+Result<QueryResult> EqlEngine::Run(std::string_view query_text) const {
+  auto parsed = ParseQuery(query_text);
+  if (!parsed.ok()) return parsed.status();
+  Query q = std::move(parsed).value();
+  Status st = ValidateQuery(&q);
+  if (!st.ok()) return st;
+  return RunParsed(q);
+}
+
+namespace {
+
+/// Builds engine-level CtpFilters from the query's filter spec + defaults.
+Result<CtpFilters> CompileFilters(const Graph& g, const CtpFilterSpec& spec,
+                                  const EngineOptions& opts,
+                                  std::unique_ptr<ScoreFunction>* score_out) {
+  CtpFilters f;
+  f.unidirectional = spec.uni;
+  if (spec.labels) {
+    std::vector<StrId> ids;
+    for (const std::string& l : *spec.labels) {
+      StrId id = g.dict().Lookup(l);
+      if (id != kNoStrId) ids.push_back(id);
+      // Unknown labels simply cannot match any edge; they narrow the set.
+    }
+    f.allowed_labels = std::move(ids);
+    f.NormalizeLabels();
+  }
+  if (spec.max_edges) f.max_edges = *spec.max_edges;
+  f.timeout_ms = spec.timeout_ms ? *spec.timeout_ms : opts.default_ctp_timeout_ms;
+  if (spec.limit) f.limit = *spec.limit;
+  if (opts.default_max_trees > 0) f.max_trees = opts.default_max_trees;
+  if (spec.score) {
+    *score_out = CreateScoreFunction(*spec.score);
+    if (*score_out == nullptr) {
+      return Status::InvalidArgument("unknown score function '" + *spec.score +
+                                     "' (try edge_count, degree_penalty, "
+                                     "label_diversity, root_degree)");
+    }
+    f.score = score_out->get();
+    if (spec.top_k) f.top_k = *spec.top_k;
+  }
+  return f;
+}
+
+}  // namespace
+
+Result<QueryResult> EqlEngine::RunParsed(const Query& q) const {
+  Stopwatch total_sw;
+  QueryResult out;
+
+  // ---- Step (A): evaluate every BGP into a binding table.
+  Stopwatch sw;
+  std::vector<BindingTable> tables;
+  for (const auto& bgp : GroupIntoBgps(q.patterns)) {
+    auto t = EvaluateBgp(g_, bgp);
+    if (!t.ok()) return t.status();
+    tables.push_back(std::move(t).value());
+  }
+  out.bgp_ms = sw.ElapsedMs();
+
+  // ---- Step (B): evaluate every CTP against seed sets derived from (A).
+  sw.Restart();
+  for (const CtpPattern& ctp : q.ctps) {
+    CtpRunInfo run;
+    run.tree_var = ctp.tree_var;
+
+    std::vector<std::vector<NodeId>> sets;
+    std::vector<bool> universal;
+    for (const Predicate& member : ctp.members) {
+      const BindingTable* source_table = nullptr;
+      for (const BindingTable& t : tables) {
+        if (t.HasColumn(member.var)) {
+          source_table = &t;
+          break;
+        }
+      }
+      if (source_table != nullptr) {
+        // Bound by a BGP: seed set = distinct bindings, narrowed by the
+        // member's own predicate if it has one (Section 3, step B.1).
+        std::vector<NodeId> nodes = source_table->DistinctValues(member.var);
+        if (!member.IsEmpty()) {
+          std::erase_if(nodes, [&](NodeId n) {
+            return !PredicateMatches(g_, member, n, true);
+          });
+        }
+        sets.push_back(std::move(nodes));
+        universal.push_back(false);
+      } else if (!member.IsEmpty()) {
+        sets.push_back(NodesMatchingPredicate(g_, member));
+        universal.push_back(false);
+      } else if (options_.materialize_universal_sets) {
+        // Ablation path: instantiate N explicitly (an Init tree per graph
+        // node) — the blowup Section 4.9 (i) exists to avoid.
+        std::vector<NodeId> all(g_.NumNodes());
+        for (NodeId n = 0; n < g_.NumNodes(); ++n) all[n] = n;
+        sets.push_back(std::move(all));
+        universal.push_back(false);
+      } else {
+        // Unconstrained member: the universal N seed set (Section 4.9).
+        sets.push_back({});
+        universal.push_back(true);
+      }
+    }
+    for (size_t i = 0; i < sets.size(); ++i) {
+      run.seed_set_sizes.push_back(universal[i] ? SIZE_MAX : sets[i].size());
+    }
+
+    auto seeds = SeedSets::Make(g_, std::move(sets), universal);
+    if (!seeds.ok()) {
+      return Status(seeds.status().code(),
+                    "CTP ?" + ctp.tree_var + ": " + seeds.status().message());
+    }
+
+    std::unique_ptr<ScoreFunction> score;
+    auto filters = CompileFilters(g_, ctp.filters, options_, &score);
+    if (!filters.ok()) return filters.status();
+    if (seeds->HasUniversal() && filters->limit == UINT64_MAX &&
+        options_.universal_default_limit > 0) {
+      filters->limit = options_.universal_default_limit;
+    }
+
+    // Section 4.9: universal sets or badly skewed sizes -> subset queues.
+    QueueStrategy qs = QueueStrategy::kSingle;
+    if (options_.auto_queue_strategy) {
+      size_t min_size = SIZE_MAX, max_size = 0;
+      for (int i = 0; i < seeds->num_sets(); ++i) {
+        if (seeds->IsUniversal(i)) continue;
+        min_size = std::min(min_size, seeds->SetSize(i));
+        max_size = std::max(max_size, seeds->SetSize(i));
+      }
+      if (seeds->HasUniversal() ||
+          (min_size > 0 && static_cast<double>(max_size) / min_size >=
+                               options_.skew_threshold)) {
+        qs = QueueStrategy::kPerSatSubset;
+      }
+    }
+    run.used_subset_queues = qs == QueueStrategy::kPerSatSubset;
+
+    // Adaptive choice (Property 3): two plain seed sets are fully served by
+    // the cheaper ESP; anything else gets the configured default.
+    AlgorithmKind kind = options_.algorithm;
+    if (options_.adaptive_algorithm && seeds->num_sets() == 2 &&
+        !seeds->HasUniversal() && !filters->unidirectional) {
+      kind = AlgorithmKind::kEsp;
+    }
+    run.algorithm = kind;
+    auto algo = CreateCtpAlgorithm(kind, g_, *seeds, std::move(filters).value(),
+                                   nullptr, qs);
+    Status st = algo->Run();
+    if (!st.ok()) return st;
+    run.stats = algo->stats();
+    run.num_results = algo->results().size();
+
+    // Materialize the CTP table: member vars + tree handle.
+    std::vector<std::string> cols;
+    std::vector<ColKind> kinds;
+    for (const Predicate& m : ctp.members) {
+      cols.push_back(m.var);
+      kinds.push_back(ColKind::kNode);
+    }
+    cols.push_back(ctp.tree_var);
+    kinds.push_back(ColKind::kTree);
+    BindingTable ctp_table(std::move(cols), std::move(kinds));
+    for (const CtpResult& r : algo->results().results()) {
+      const RootedTree& tree = algo->arena().Get(r.tree);
+      std::vector<uint32_t> row;
+      row.reserve(ctp.members.size() + 1);
+      for (NodeId n : r.seed_of_set) row.push_back(n);
+      row.push_back(static_cast<uint32_t>(out.trees.size()));
+      out.trees.push_back(ResultTreeInfo{tree.edges, tree.root, r.score});
+      ctp_table.AddRow(std::move(row));
+    }
+    tables.push_back(std::move(ctp_table));
+    out.ctp_runs.push_back(std::move(run));
+  }
+  out.ctp_ms = sw.ElapsedMs();
+
+  // ---- Step (C): natural-join everything and project the head.
+  sw.Restart();
+  BindingTable acc;
+  if (!tables.empty()) {
+    // Join tables that share columns first; cross products last.
+    std::vector<bool> used(tables.size(), false);
+    acc = std::move(tables[0]);
+    used[0] = true;
+    for (size_t step = 1; step < tables.size(); ++step) {
+      int best = -1;
+      for (size_t i = 0; i < tables.size(); ++i) {
+        if (used[i]) continue;
+        for (const auto& col : tables[i].columns()) {
+          if (acc.HasColumn(col)) {
+            best = static_cast<int>(i);
+            break;
+          }
+        }
+        if (best >= 0) break;
+      }
+      if (best < 0) {  // no shared columns anywhere: cross with the first unused
+        for (size_t i = 0; i < tables.size() && best < 0; ++i) {
+          if (!used[i]) best = static_cast<int>(i);
+        }
+      }
+      acc = BindingTable::NaturalJoin(acc, tables[best]);
+      used[best] = true;
+    }
+  }
+  auto projected = acc.Project(q.head, /*distinct=*/false);
+  if (!projected.ok()) return projected.status();
+  out.table = std::move(projected).value();
+  out.join_ms = sw.ElapsedMs();
+  out.total_ms = total_sw.ElapsedMs();
+  return out;
+}
+
+std::string QueryResult::RowToString(const Graph& g, size_t r) const {
+  std::string out;
+  for (size_t c = 0; c < table.NumColumns(); ++c) {
+    if (c > 0) out += "  ";
+    out += "?" + table.columns()[c] + "=";
+    uint32_t v = table.At(r, c);
+    switch (table.kind(c)) {
+      case ColKind::kNode:
+        out += g.NodeLabel(v);
+        break;
+      case ColKind::kEdge:
+        out += "[" + g.EdgeToString(v) + "]";
+        break;
+      case ColKind::kTree: {
+        const ResultTreeInfo& t = trees[v];
+        out += "{";
+        for (size_t i = 0; i < t.edges.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += g.EdgeToString(t.edges[i]);
+        }
+        out += "}";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace eql

@@ -1,0 +1,108 @@
+// The EQL engine: parses, validates, plans and executes extended queries —
+// the full evaluation strategy of Section 3.
+//
+//   (A) evaluate every BGP b_i into a binding table B_i;
+//   (B) for every CTP: derive seed sets from the B_i (or from node
+//       predicates; unconstrained members become universal N sets), push the
+//       CTP filters into the search, run the configured algorithm (MoLESP by
+//       default), and materialize the (s_1..s_m, t) tuples as a table;
+//   (C) natural-join all tables and project the head.
+//
+// Section 4.9 robustness: when a CTP has a universal set or badly skewed
+// seed-set sizes, the engine switches the search to per-sat-subset queues
+// automatically (EngineOptions::auto_queue_strategy).
+#ifndef EQL_EVAL_ENGINE_H_
+#define EQL_EVAL_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ctp/algorithm.h"
+#include "graph/graph.h"
+#include "query/ast.h"
+#include "storage/binding_table.h"
+#include "util/status.h"
+
+namespace eql {
+
+/// Engine-wide defaults; per-CTP filters in the query override them.
+struct EngineOptions {
+  AlgorithmKind algorithm = AlgorithmKind::kMoLesp;
+  /// Pick the cheapest algorithm whose completeness guarantee covers the
+  /// CTP: ESP for plain two-seed-set CTPs (complete by Property 3 and
+  /// fastest, Fig. 11), `algorithm` otherwise. A first step towards the
+  /// paper's "adaptive EQL optimization" future work (Section 6).
+  bool adaptive_algorithm = false;
+  int64_t default_ctp_timeout_ms = 60000;
+  /// Safety cap on kept provenances per CTP (0 = unbounded).
+  uint64_t default_max_trees = 0;
+  /// Cap on emitted results per CTP when a universal (N) seed set makes the
+  /// result space unbounded and the query gives no LIMIT.
+  uint64_t universal_default_limit = 10000;
+  /// Enable Section 4.9 handling (universal sets, per-subset queues).
+  bool auto_queue_strategy = true;
+  /// max/min seed-set size ratio that triggers per-subset queues.
+  double skew_threshold = 64.0;
+  /// Ablation switch: materialize universal (N) members as explicit all-node
+  /// seed sets instead of applying Section 4.9 (i). Exists to demonstrate
+  /// why the optimization matters (Table 1); never enable in production.
+  bool materialize_universal_sets = false;
+};
+
+/// One materialized connecting tree in a query result.
+struct ResultTreeInfo {
+  std::vector<EdgeId> edges;
+  NodeId root = kNoNode;
+  double score = 0;
+};
+
+/// Per-CTP execution report.
+struct CtpRunInfo {
+  std::string tree_var;
+  SearchStats stats;
+  size_t num_results = 0;
+  bool used_subset_queues = false;
+  AlgorithmKind algorithm = AlgorithmKind::kMoLesp;  ///< what actually ran
+  std::vector<size_t> seed_set_sizes;  ///< SIZE_MAX marks a universal set
+};
+
+/// The outcome of one query: a head-projected table plus the tree registry
+/// that kTree columns index into, and execution telemetry.
+struct QueryResult {
+  BindingTable table;
+  std::vector<ResultTreeInfo> trees;
+  std::vector<CtpRunInfo> ctp_runs;
+  double bgp_ms = 0;
+  double ctp_ms = 0;
+  double join_ms = 0;
+  double total_ms = 0;
+
+  /// Renders row r as "var=value" pairs (labels for nodes, edge lists for
+  /// trees).
+  std::string RowToString(const Graph& g, size_t r) const;
+};
+
+/// Facade: construct once per graph, Run queries repeatedly (const,
+/// thread-compatible: no mutable state).
+class EqlEngine {
+ public:
+  explicit EqlEngine(const Graph& g, EngineOptions options = {});
+
+  /// Parses + validates + executes.
+  Result<QueryResult> Run(std::string_view query_text) const;
+
+  /// Executes an already-validated query.
+  Result<QueryResult> RunParsed(const Query& q) const;
+
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  const Graph& g_;
+  EngineOptions options_;
+};
+
+}  // namespace eql
+
+#endif  // EQL_EVAL_ENGINE_H_

@@ -1,0 +1,122 @@
+#include "gen/cdf.h"
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace eql {
+
+namespace {
+
+/// Builds one 3-level complete binary tree; labels lv1[0], lv1[1] on the
+/// root's edges and lv2[0], lv2[1] below. Returns the 4 leaves in order
+/// (c-target, d-target, c-target, d-target) via *leaves.
+void AddForestTree(Graph* g, const std::string& prefix, const char* lv1_a,
+                   const char* lv1_b, const char* lv2_a, const char* lv2_b,
+                   std::vector<NodeId>* leaves) {
+  NodeId root = g->AddNode(prefix + "r");
+  NodeId c1 = g->AddNode(prefix + "i0");
+  NodeId c2 = g->AddNode(prefix + "i1");
+  g->AddEdge(root, c1, lv1_a);
+  g->AddEdge(root, c2, lv1_b);
+  int leaf_idx = 0;
+  for (NodeId mid : {c1, c2}) {
+    NodeId la = g->AddNode(prefix + "l" + std::to_string(leaf_idx++));
+    NodeId lb = g->AddNode(prefix + "l" + std::to_string(leaf_idx++));
+    g->AddEdge(mid, la, lv2_a);
+    g->AddEdge(mid, lb, lv2_b);
+    leaves->push_back(la);
+    leaves->push_back(lb);
+  }
+}
+
+}  // namespace
+
+Result<CdfDataset> MakeCdf(const CdfParams& p) {
+  if (p.m != 2 && p.m != 3) {
+    return Status::InvalidArgument("CDF m must be 2 or 3");
+  }
+  if (p.num_trees < 1 || p.num_links < 0) {
+    return Status::InvalidArgument("CDF needs num_trees >= 1, num_links >= 0");
+  }
+  if (p.link_len < 1 || (p.m == 3 && p.link_len < 3)) {
+    return Status::InvalidArgument("CDF link_len too small (m=3 needs >= 3)");
+  }
+
+  CdfDataset out;
+  out.params = p;
+  Graph& g = out.graph;
+
+  // Per-tree leaf layout from AddForestTree: [c,d,c,d] on top, [g,h,g,h]
+  // at the bottom.
+  std::vector<NodeId> eligible_top;     // 50% of c-targets: first per tree
+  std::vector<NodeId> eligible_bottom;  // m=2: 50% of g-targets
+  std::vector<std::pair<NodeId, NodeId>> eligible_pairs;  // m=3 sibling pairs
+  for (int t = 0; t < p.num_trees; ++t) {
+    std::vector<NodeId> leaves;
+    AddForestTree(&g, StrFormat("t%d_", t), "a", "b", "c", "d", &leaves);
+    out.top_leaves.push_back(leaves[0]);
+    out.top_leaves.push_back(leaves[2]);
+    eligible_top.push_back(leaves[0]);
+  }
+  for (int t = 0; t < p.num_trees; ++t) {
+    std::vector<NodeId> leaves;
+    AddForestTree(&g, StrFormat("b%d_", t), "e", "f", "g", "h", &leaves);
+    out.bottom_g_leaves.push_back(leaves[0]);
+    out.bottom_g_leaves.push_back(leaves[2]);
+    out.bottom_h_leaves.push_back(leaves[1]);
+    out.bottom_h_leaves.push_back(leaves[3]);
+    eligible_bottom.push_back(leaves[0]);
+    eligible_pairs.emplace_back(leaves[0], leaves[1]);
+  }
+
+  Rng rng(p.seed);
+  for (int l = 0; l < p.num_links; ++l) {
+    NodeId top = eligible_top[rng.Below(eligible_top.size())];
+    const std::string prefix = StrFormat("k%d_", l);
+    if (p.m == 2) {
+      NodeId bottom = eligible_bottom[rng.Below(eligible_bottom.size())];
+      NodeId prev = top;
+      for (int h = 0; h < p.link_len; ++h) {
+        NodeId next = (h == p.link_len - 1)
+                          ? bottom
+                          : g.AddNode(prefix + std::to_string(h));
+        g.AddEdge(prev, next, "link");
+        prev = next;
+      }
+    } else {
+      auto [bl1, bl2] = eligible_pairs[rng.Below(eligible_pairs.size())];
+      // Y shape: a stem of link_len-2 edges, then one edge to each sibling.
+      NodeId prev = top;
+      for (int h = 0; h < p.link_len - 2; ++h) {
+        NodeId next = g.AddNode(prefix + std::to_string(h));
+        g.AddEdge(prev, next, "link");
+        prev = next;
+      }
+      g.AddEdge(prev, bl1, "link");
+      g.AddEdge(prev, bl2, "link");
+    }
+  }
+
+  g.Finalize();
+  return out;
+}
+
+std::string CdfQueryText(int m) {
+  if (m == 2) {
+    return "SELECT ?tl ?bl ?l\n"
+           "WHERE {\n"
+           "  ?x \"c\" ?tl .\n"
+           "  ?v \"g\" ?bl .\n"
+           "  CONNECT(?tl, ?bl -> ?l)\n"
+           "}\n";
+  }
+  return "SELECT ?tl ?bl1 ?bl2 ?l\n"
+         "WHERE {\n"
+         "  ?x \"c\" ?tl .\n"
+         "  ?v \"g\" ?bl1 .\n"
+         "  ?v \"h\" ?bl2 .\n"
+         "  CONNECT(?tl, ?bl1, ?bl2 -> ?l)\n"
+         "}\n";
+}
+
+}  // namespace eql

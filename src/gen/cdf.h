@@ -1,0 +1,57 @@
+// Connected Dense Forest (CDF) graphs — the paper's EQL benchmark data
+// (Section 5.3, Figure 9).
+//
+// A CDF(m, NT, NL, SL) holds a top forest and a bottom forest of NT
+// three-level complete binary trees each (7 nodes / 6 edges per tree; edge
+// labels a,b / c,d on top, e,f / g,h at the bottom), plus NL "link"
+// connections of SL triples each:
+//   m=2: a chain from an eligible top leaf to an eligible bottom leaf;
+//   m=3: a Y from an eligible top leaf to an eligible sibling leaf pair
+//        (a "g"-target and its "h" sibling), so the 3-seed query has exactly
+//        one answer per link.
+// Eligibility follows the paper: only "c"-targets on top, 50% of them carry
+// links; 50% of "g"-targets (m=2) / 50% of bottom leaves as sibling pairs
+// (m=3). Links are uniformly distributed over eligible endpoints.
+//
+// Edge count is 12*NT + NL*SL, matching the paper's formula. The Y-link arm
+// split (an SL-2 edge stem plus two 1-edge branches) is our reading of the
+// paper's underspecified "Y-shaped connection"; see DESIGN.md §6.
+#ifndef EQL_GEN_CDF_H_
+#define EQL_GEN_CDF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace eql {
+
+struct CdfParams {
+  int m = 2;          ///< 2 or 3 (number of CTP seed sets in the benchmark)
+  int num_trees = 4;  ///< NT: trees per forest
+  int num_links = 2;  ///< NL: number of link connections (= query answers)
+  int link_len = 3;   ///< SL: triples per link (>= 1 for m=2, >= 3 for m=3)
+  uint64_t seed = 42; ///< RNG seed for the uniform link placement
+};
+
+struct CdfDataset {
+  Graph graph;
+  CdfParams params;
+  /// Eligible leaves actually usable by the EQL query's BGPs.
+  std::vector<NodeId> top_leaves;      ///< all "c"-targets
+  std::vector<NodeId> bottom_g_leaves; ///< all "g"-targets
+  std::vector<NodeId> bottom_h_leaves; ///< all "h"-targets
+};
+
+/// Generates a CDF graph; fails on invalid parameters (m outside {2,3},
+/// SL too small for the Y shape).
+Result<CdfDataset> MakeCdf(const CdfParams& params);
+
+/// The EQL query text the benchmark runs on a CDF graph with this m
+/// (Section 5.3): two or three BGPs binding leaves plus one CTP.
+std::string CdfQueryText(int m);
+
+}  // namespace eql
+
+#endif  // EQL_GEN_CDF_H_

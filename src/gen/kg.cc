@@ -1,0 +1,110 @@
+#include "gen/kg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace eql {
+
+namespace {
+
+/// Precomputed Zipf sampler over {0..n-1}: P(k) proportional to 1/(k+1)^s.
+class ZipfSampler {
+ public:
+  ZipfSampler(int n, double s) : cumulative_(n) {
+    double total = 0;
+    for (int k = 0; k < n; ++k) {
+      total += 1.0 / std::pow(k + 1, s);
+      cumulative_[k] = total;
+    }
+    for (double& c : cumulative_) c /= total;
+  }
+  int Sample(Rng* rng) const {
+    double u = rng->NextDouble();
+    auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+    if (it == cumulative_.end()) return static_cast<int>(cumulative_.size()) - 1;
+    return static_cast<int>(it - cumulative_.begin());
+  }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+}  // namespace
+
+Result<Graph> MakeSyntheticKg(const KgParams& p) {
+  if (p.num_nodes < 2) return Status::InvalidArgument("KG needs >= 2 nodes");
+  if (p.num_edges < p.num_nodes) {
+    return Status::InvalidArgument("KG needs num_edges >= num_nodes for connectivity");
+  }
+  Rng rng(p.seed);
+  ZipfSampler label_dist(p.num_labels, p.label_zipf_s);
+  ZipfSampler type_dist(p.num_types, p.label_zipf_s);
+
+  Graph g;
+  std::vector<std::string> labels;
+  labels.reserve(p.num_labels);
+  for (int k = 0; k < p.num_labels; ++k) labels.push_back("p" + std::to_string(k));
+
+  for (uint32_t i = 0; i < p.num_nodes; ++i) {
+    NodeId n = g.AddNode("n" + std::to_string(i));
+    g.AddType(n, "T" + std::to_string(type_dist.Sample(&rng)));
+  }
+
+  // Endpoint pool for degree-proportional sampling: every time an edge is
+  // added, both endpoints enter the pool (classic preferential attachment).
+  std::vector<NodeId> pool;
+  pool.reserve(2 * p.num_edges);
+  auto add_edge = [&](NodeId a, NodeId b) {
+    // Random orientation so directed baselines cannot rely on one direction.
+    if (rng.Chance(0.5)) std::swap(a, b);
+    g.AddEdge(a, b, labels[label_dist.Sample(&rng)]);
+    pool.push_back(a);
+    pool.push_back(b);
+  };
+
+  // Phase 1: attach node i to a degree-proportional earlier node; this keeps
+  // the graph connected and seeds the heavy tail.
+  add_edge(0, 1);
+  for (NodeId i = 2; i < p.num_nodes; ++i) {
+    NodeId target = pool[rng.Below(pool.size())];
+    add_edge(i, target);
+  }
+  // Phase 2: densify with preferential endpoints until num_edges.
+  while (g.NumEdges() < p.num_edges) {
+    NodeId a = pool[rng.Below(pool.size())];
+    NodeId b = pool[rng.Below(pool.size())];
+    if (a == b) b = static_cast<NodeId>(rng.Below(p.num_nodes));
+    if (a == b) continue;
+    add_edge(a, b);
+  }
+
+  g.Finalize();
+  return g;
+}
+
+std::vector<WorkloadCtp> MakeCtpWorkload(const Graph& g, int count, int m,
+                                         int set_size, Rng* rng) {
+  std::vector<WorkloadCtp> out;
+  out.reserve(count);
+  for (int q = 0; q < count; ++q) {
+    WorkloadCtp ctp;
+    std::vector<NodeId> used;
+    for (int i = 0; i < m; ++i) {
+      std::vector<NodeId> set;
+      while (static_cast<int>(set.size()) < set_size) {
+        NodeId n = static_cast<NodeId>(rng->Below(g.NumNodes()));
+        if (g.Degree(n) == 0) continue;
+        if (std::find(used.begin(), used.end(), n) != used.end()) continue;
+        used.push_back(n);
+        set.push_back(n);
+      }
+      ctp.seed_sets.push_back(std::move(set));
+    }
+    out.push_back(std::move(ctp));
+  }
+  return out;
+}
+
+}  // namespace eql

@@ -1,0 +1,51 @@
+// Synthetic knowledge-graph generator: the stand-in for the paper's YAGO3
+// (6M triples) and DBPedia (18M triples) subsets (Sections 5.3-5.5), which
+// are not redistributable here.
+//
+// The generator produces a seeded scale-free labeled multigraph via
+// preferential attachment (heavy-tailed degrees, like real KGs), with
+// Zipf-distributed edge labels and node types. The CTP workload generator
+// reproduces the QGSTP evaluation's query-size distribution: 312 CTPs with
+// 83/98/85/38/8 queries for m = 2..6 (Section 5.4.3).
+#ifndef EQL_GEN_KG_H_
+#define EQL_GEN_KG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace eql {
+
+struct KgParams {
+  uint32_t num_nodes = 10000;
+  uint64_t num_edges = 40000;  ///< must be >= num_nodes
+  int num_labels = 50;         ///< edge label vocabulary ("p0".."pK")
+  int num_types = 20;          ///< node type vocabulary ("T0".."TJ")
+  double label_zipf_s = 1.0;   ///< skew of the label distribution
+  uint64_t seed = 7;
+};
+
+/// Generates a connected scale-free labeled graph. Node i is labeled "n<i>";
+/// every node gets one Zipf-drawn type.
+Result<Graph> MakeSyntheticKg(const KgParams& params);
+
+/// One workload CTP: m seed sets of `set_size` distinct random nodes each.
+struct WorkloadCtp {
+  std::vector<std::vector<NodeId>> seed_sets;
+};
+
+/// Draws `count` CTPs with `m` seed sets each over `g` (distinct nodes,
+/// degree >= 1). Deterministic in `rng`.
+std::vector<WorkloadCtp> MakeCtpWorkload(const Graph& g, int count, int m,
+                                         int set_size, Rng* rng);
+
+/// The per-m CTP counts of the paper's DBPedia workload: m=2..6 ->
+/// {83, 98, 85, 38, 8} (312 total).
+inline constexpr int kDbpediaWorkloadCounts[] = {83, 98, 85, 38, 8};
+
+}  // namespace eql
+
+#endif  // EQL_GEN_KG_H_

@@ -1,0 +1,115 @@
+#include "gen/synthetic.h"
+
+#include <cassert>
+
+namespace eql {
+
+std::string SeedName(int i) {
+  if (i < 26) return std::string(1, static_cast<char>('A' + i));
+  return "S" + std::to_string(i);
+}
+
+namespace {
+
+/// Connects `from` to `to` with a path of `edges` edges through fresh
+/// intermediate nodes named "<prefix>0", "<prefix>1", ... Edge directions
+/// alternate (even hop forward, odd hop backward) to force bidirectional
+/// traversal; labels alternate "t"/"u".
+void AddPath(Graph* g, NodeId from, NodeId to, int edges, const std::string& prefix) {
+  assert(edges >= 1);
+  NodeId prev = from;
+  for (int h = 0; h < edges; ++h) {
+    NodeId next =
+        (h == edges - 1) ? to : g->AddNode(prefix + std::to_string(h));
+    const char* label = (h % 2 == 0) ? "t" : "u";
+    if (h % 2 == 0) {
+      g->AddEdge(prev, next, label);
+    } else {
+      g->AddEdge(next, prev, label);
+    }
+    prev = next;
+  }
+}
+
+}  // namespace
+
+SyntheticDataset MakeLine(int m, int n_l) {
+  assert(m >= 2 && n_l >= 0);
+  SyntheticDataset out;
+  std::vector<NodeId> seeds;
+  for (int i = 0; i < m; ++i) {
+    seeds.push_back(out.graph.AddNode(SeedName(i)));
+    out.seed_sets.push_back({seeds.back()});
+  }
+  for (int i = 0; i + 1 < m; ++i) {
+    if (n_l == 0) {
+      out.graph.AddEdge(seeds[i], seeds[i + 1], "t");
+    } else {
+      AddPath(&out.graph, seeds[i], seeds[i + 1], n_l + 1,
+              "l" + std::to_string(i) + "_");
+    }
+  }
+  out.graph.Finalize();
+  return out;
+}
+
+SyntheticDataset MakeComb(int n_a, int n_s, int s_l, int d_ba) {
+  assert(n_a >= 1 && n_s >= 0 && s_l >= 1 && d_ba >= 1);
+  SyntheticDataset out;
+  Graph& g = out.graph;
+  int seed_idx = 0;
+  std::vector<NodeId> anchors;
+  // Anchor seeds along the main line.
+  for (int i = 0; i < n_a; ++i) {
+    anchors.push_back(g.AddNode(SeedName(seed_idx++)));
+    out.seed_sets.push_back({anchors.back()});
+  }
+  for (int i = 0; i + 1 < n_a; ++i) {
+    AddPath(&g, anchors[i], anchors[i + 1], d_ba, "m" + std::to_string(i) + "_");
+  }
+  // Bristles: nS chained segments of sL edges, each ending in a new seed.
+  for (int i = 0; i < n_a; ++i) {
+    NodeId attach = anchors[i];
+    for (int s = 0; s < n_s; ++s) {
+      NodeId tip = g.AddNode(SeedName(seed_idx++));
+      out.seed_sets.push_back({tip});
+      AddPath(&g, attach, tip, s_l,
+              "b" + std::to_string(i) + "_" + std::to_string(s) + "_");
+      attach = tip;
+    }
+  }
+  g.Finalize();
+  return out;
+}
+
+SyntheticDataset MakeStar(int m, int s_l) {
+  assert(m >= 1 && s_l >= 1);
+  SyntheticDataset out;
+  Graph& g = out.graph;
+  NodeId center = g.AddNode("center");
+  for (int i = 0; i < m; ++i) {
+    NodeId seed = g.AddNode(SeedName(i));
+    out.seed_sets.push_back({seed});
+    AddPath(&g, center, seed, s_l, "arm" + std::to_string(i) + "_");
+  }
+  g.Finalize();
+  return out;
+}
+
+SyntheticDataset MakeChain(int n) {
+  assert(n >= 1);
+  SyntheticDataset out;
+  Graph& g = out.graph;
+  std::vector<NodeId> nodes;
+  for (int i = 0; i <= n; ++i) nodes.push_back(g.AddNode(std::to_string(i + 1)));
+  for (int i = 0; i < n; ++i) {
+    g.AddEdge(nodes[i], nodes[i + 1], "a");
+    g.AddEdge(nodes[i], nodes[i + 1], "b");
+  }
+  out.seed_sets.push_back({nodes.front()});
+  out.seed_sets.push_back({nodes.back()});
+  g.Finalize();
+  return out;
+}
+
+}  // namespace eql

@@ -1,0 +1,49 @@
+// Parameterized synthetic graphs of the paper's CTP micro-benchmarks:
+// the exponential Chain (Figure 2) and Line / Comb / Star (Figure 8,
+// Section 5.3), each packaged with its singleton seed sets.
+//
+// Edge directions alternate deterministically along every generated path so
+// that the bidirectional traversal requirement (R3) is actually exercised:
+// no unidirectional engine can follow these connections end to end.
+#ifndef EQL_GEN_SYNTHETIC_H_
+#define EQL_GEN_SYNTHETIC_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace eql {
+
+/// A generated graph plus the CTP seed sets its experiment uses.
+struct SyntheticDataset {
+  Graph graph;
+  std::vector<std::vector<NodeId>> seed_sets;  ///< one singleton set per seed
+};
+
+/// Human-readable seed label: "A".."Z", then "S26", "S27", ...
+std::string SeedName(int i);
+
+/// Line(m, nL): m seeds in a row, consecutive seeds connected by a path with
+/// nL intermediary nodes (sL = nL + 1 edges). The CTP result is the full
+/// line; it is 2-piecewise simple.
+SyntheticDataset MakeLine(int m, int n_l);
+
+/// Comb(nA, nS, sL, dBA): a main line of nA anchor seeds, consecutive
+/// anchors dBA edges apart; from each anchor hangs a bristle of nS chained
+/// segments, each segment a path of sL edges ending in a new seed. The seed
+/// count is m = nA * (nS + 1). The single result (the whole comb) is 2ps.
+SyntheticDataset MakeComb(int n_a, int n_s, int s_l, int d_ba);
+
+/// Star(m, sL): a central non-seed node with m arms of sL edges, each arm
+/// ending in a seed. The single result is an (m, center)-rooted merge.
+SyntheticDataset MakeStar(int m, int s_l);
+
+/// Chain(N) (Figure 2): N+1 nodes in a row with two parallel edges (labels
+/// "a" and "b") between consecutive nodes; the 2-seed CTP over the two ends
+/// has exactly 2^N results.
+SyntheticDataset MakeChain(int n);
+
+}  // namespace eql
+
+#endif  // EQL_GEN_SYNTHETIC_H_

@@ -1,0 +1,25 @@
+#include "graph/dictionary.h"
+
+namespace eql {
+
+Dictionary::Dictionary() {
+  // Id 0 is the empty label epsilon, present in every label set (Def 2.1).
+  strings_.emplace_back("");
+  index_.emplace("", 0);
+}
+
+StrId Dictionary::Intern(std::string_view s) {
+  auto it = index_.find(std::string(s));
+  if (it != index_.end()) return it->second;
+  StrId id = static_cast<StrId>(strings_.size());
+  strings_.emplace_back(s);
+  index_.emplace(strings_.back(), id);
+  return id;
+}
+
+StrId Dictionary::Lookup(std::string_view s) const {
+  auto it = index_.find(std::string(s));
+  return it == index_.end() ? kNoStrId : it->second;
+}
+
+}  // namespace eql

@@ -1,0 +1,49 @@
+// String dictionary: interns labels, types and property values as dense ids.
+//
+// All graph-side strings (node labels, edge labels, type names, property
+// values) are dictionary-encoded so that the search algorithms and the BGP
+// engine operate on 32-bit ids only.
+#ifndef EQL_GRAPH_DICTIONARY_H_
+#define EQL_GRAPH_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace eql {
+
+/// Id of an interned string. Id 0 is always the empty label epsilon (Def 2.1).
+using StrId = uint32_t;
+
+/// Sentinel for "not interned".
+inline constexpr StrId kNoStrId = UINT32_MAX;
+
+/// Append-only interning dictionary with stable ids.
+class Dictionary {
+ public:
+  Dictionary();
+
+  /// Interns `s`, returning its id (existing or fresh).
+  StrId Intern(std::string_view s);
+
+  /// Returns the id of `s` or kNoStrId if never interned.
+  StrId Lookup(std::string_view s) const;
+
+  /// Returns the string for an id; id must be valid.
+  const std::string& Get(StrId id) const { return strings_[id]; }
+
+  size_t size() const { return strings_.size(); }
+
+  /// Id of the empty label (always 0).
+  static constexpr StrId kEpsilon = 0;
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, StrId> index_;
+};
+
+}  // namespace eql
+
+#endif  // EQL_GRAPH_DICTIONARY_H_

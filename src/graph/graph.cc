@@ -1,0 +1,212 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace eql {
+
+size_t Graph::PropKeyHash::operator()(const PropKey& k) const {
+  return static_cast<size_t>(
+      Mix64((static_cast<uint64_t>(k.owner) << 32) | k.key));
+}
+
+NodeId Graph::AddNode(std::string_view label) {
+  assert(!finalized_);
+  NodeId id = static_cast<NodeId>(node_label_.size());
+  node_label_.push_back(dict_.Intern(label));
+  node_literal_.push_back(0);
+  node_types_.emplace_back();
+  return id;
+}
+
+NodeId Graph::AddLiteralNode(std::string_view label) {
+  NodeId id = AddNode(label);
+  node_literal_[id] = 1;
+  return id;
+}
+
+void Graph::AddType(NodeId n, std::string_view type) {
+  assert(!finalized_ && n < NumNodes());
+  StrId t = dict_.Intern(type);
+  auto& types = node_types_[n];
+  if (std::find(types.begin(), types.end(), t) == types.end()) types.push_back(t);
+}
+
+void Graph::SetNodeProperty(NodeId n, std::string_view key, std::string_view value) {
+  assert(n < NumNodes());
+  node_props_[PropKey{n, dict_.Intern(key)}] = dict_.Intern(value);
+}
+
+EdgeId Graph::AddEdge(NodeId src, NodeId dst, std::string_view label) {
+  assert(!finalized_ && src < NumNodes() && dst < NumNodes());
+  EdgeId id = static_cast<EdgeId>(edge_label_.size());
+  edge_src_.push_back(src);
+  edge_dst_.push_back(dst);
+  edge_label_.push_back(dict_.Intern(label));
+  return id;
+}
+
+void Graph::SetEdgeProperty(EdgeId e, std::string_view key, std::string_view value) {
+  assert(e < NumEdges());
+  edge_props_[PropKey{e, dict_.Intern(key)}] = dict_.Intern(value);
+}
+
+NodeId Graph::GetOrAddNode(std::string_view label) {
+  StrId id = dict_.Lookup(label);
+  if (id != kNoStrId) {
+    auto it = builder_node_by_label_.find(id);
+    if (it != builder_node_by_label_.end()) return it->second;
+  }
+  NodeId n = AddNode(label);
+  builder_node_by_label_[node_label_[n]] = n;
+  return n;
+}
+
+std::span<const StrId> Graph::NodeTypes(NodeId n) const {
+  const auto& t = node_types_[n];
+  return {t.data(), t.size()};
+}
+
+bool Graph::HasType(NodeId n, StrId type) const {
+  const auto& t = node_types_[n];
+  return std::find(t.begin(), t.end(), type) != t.end();
+}
+
+StrId Graph::NodePropertyId(NodeId n, std::string_view key) const {
+  StrId k = dict_.Lookup(key);
+  if (k == kNoStrId) return kNoStrId;
+  auto it = node_props_.find(PropKey{n, k});
+  return it == node_props_.end() ? kNoStrId : it->second;
+}
+
+StrId Graph::EdgePropertyId(EdgeId e, std::string_view key) const {
+  StrId k = dict_.Lookup(key);
+  if (k == kNoStrId) return kNoStrId;
+  auto it = edge_props_.find(PropKey{e, k});
+  return it == edge_props_.end() ? kNoStrId : it->second;
+}
+
+namespace {
+
+// Builds a CSR from per-node entry counts and a fill callback.
+void BuildCsr(size_t num_nodes, const std::vector<uint32_t>& counts,
+              std::vector<uint32_t>* offsets, std::vector<IncidentEdge>* list) {
+  offsets->assign(num_nodes + 1, 0);
+  for (size_t n = 0; n < num_nodes; ++n) (*offsets)[n + 1] = (*offsets)[n] + counts[n];
+  list->resize((*offsets)[num_nodes]);
+}
+
+}  // namespace
+
+void Graph::Finalize() {
+  assert(!finalized_);
+  const size_t nn = NumNodes();
+  const size_t ne = NumEdges();
+
+  // Undirected incidence (self-loops appear once), plus degree d_n.
+  std::vector<uint32_t> cnt(nn, 0);
+  for (size_t e = 0; e < ne; ++e) {
+    ++cnt[edge_src_[e]];
+    if (edge_dst_[e] != edge_src_[e]) ++cnt[edge_dst_[e]];
+  }
+  BuildCsr(nn, cnt, &inc_offset_, &inc_list_);
+  {
+    std::vector<uint32_t> pos(inc_offset_.begin(), inc_offset_.end() - 1);
+    for (EdgeId e = 0; e < ne; ++e) {
+      NodeId s = edge_src_[e], d = edge_dst_[e];
+      inc_list_[pos[s]++] = IncidentEdge{e, d, true};
+      if (d != s) inc_list_[pos[d]++] = IncidentEdge{e, s, false};
+    }
+  }
+  degree_.assign(cnt.begin(), cnt.end());
+
+  // Directed out/in adjacency.
+  std::fill(cnt.begin(), cnt.end(), 0);
+  for (size_t e = 0; e < ne; ++e) ++cnt[edge_src_[e]];
+  BuildCsr(nn, cnt, &out_offset_, &out_list_);
+  {
+    std::vector<uint32_t> pos(out_offset_.begin(), out_offset_.end() - 1);
+    for (EdgeId e = 0; e < ne; ++e) {
+      out_list_[pos[edge_src_[e]]++] = IncidentEdge{e, edge_dst_[e], true};
+    }
+  }
+  std::fill(cnt.begin(), cnt.end(), 0);
+  for (size_t e = 0; e < ne; ++e) ++cnt[edge_dst_[e]];
+  BuildCsr(nn, cnt, &in_offset_, &in_list_);
+  {
+    std::vector<uint32_t> pos(in_offset_.begin(), in_offset_.end() - 1);
+    for (EdgeId e = 0; e < ne; ++e) {
+      in_list_[pos[edge_dst_[e]]++] = IncidentEdge{e, edge_src_[e], false};
+    }
+  }
+
+  // Inverted indexes.
+  for (NodeId n = 0; n < nn; ++n) {
+    nodes_by_label_[node_label_[n]].push_back(n);
+    for (StrId t : node_types_[n]) nodes_by_type_[t].push_back(n);
+  }
+  for (EdgeId e = 0; e < ne; ++e) edges_by_label_[edge_label_[e]].push_back(e);
+
+  finalized_ = true;
+}
+
+std::span<const IncidentEdge> Graph::Incident(NodeId n) const {
+  assert(finalized_);
+  return {inc_list_.data() + inc_offset_[n], inc_offset_[n + 1] - inc_offset_[n]};
+}
+
+std::span<const IncidentEdge> Graph::OutEdges(NodeId n) const {
+  assert(finalized_);
+  return {out_list_.data() + out_offset_[n], out_offset_[n + 1] - out_offset_[n]};
+}
+
+std::span<const IncidentEdge> Graph::InEdges(NodeId n) const {
+  assert(finalized_);
+  return {in_list_.data() + in_offset_[n], in_offset_[n + 1] - in_offset_[n]};
+}
+
+namespace {
+const std::vector<NodeId> kEmptyNodes;
+const std::vector<EdgeId> kEmptyEdges;
+}  // namespace
+
+std::span<const NodeId> Graph::NodesWithLabel(StrId label) const {
+  assert(finalized_);
+  auto it = nodes_by_label_.find(label);
+  const auto& v = it == nodes_by_label_.end() ? kEmptyNodes : it->second;
+  return {v.data(), v.size()};
+}
+
+std::span<const NodeId> Graph::NodesWithType(StrId type) const {
+  assert(finalized_);
+  auto it = nodes_by_type_.find(type);
+  const auto& v = it == nodes_by_type_.end() ? kEmptyNodes : it->second;
+  return {v.data(), v.size()};
+}
+
+std::span<const EdgeId> Graph::EdgesWithLabel(StrId label) const {
+  assert(finalized_);
+  auto it = edges_by_label_.find(label);
+  const auto& v = it == edges_by_label_.end() ? kEmptyEdges : it->second;
+  return {v.data(), v.size()};
+}
+
+NodeId Graph::FindNode(std::string_view label) const {
+  StrId id = dict_.Lookup(label);
+  if (id == kNoStrId) return kNoNode;
+  if (!finalized_) {
+    auto bit = builder_node_by_label_.find(id);
+    return bit == builder_node_by_label_.end() ? kNoNode : bit->second;
+  }
+  auto it = nodes_by_label_.find(id);
+  if (it == nodes_by_label_.end() || it->second.empty()) return kNoNode;
+  return it->second.front();
+}
+
+std::string Graph::EdgeToString(EdgeId e) const {
+  return NodeLabel(edge_src_[e]) + " -" + EdgeLabel(e) + "-> " +
+         NodeLabel(edge_dst_[e]);
+}
+
+}  // namespace eql

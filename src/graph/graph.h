@@ -1,0 +1,180 @@
+// The graph data model of the paper (Definition 2.1) plus the access paths
+// every other module needs.
+//
+// A Graph holds labeled nodes and labeled directed edges (an RDF-style
+// multigraph; property-graph features map onto the same structures). Beyond
+// labels, nodes carry types and arbitrary string properties (Section 2,
+// "Node and edge properties").
+//
+// Connection search treats the graph as undirected (requirement R3), so
+// Finalize() builds an *incidence* CSR listing, for every node, all adjacent
+// edges in both directions, alongside directed out/in CSRs used by the
+// unidirectional baselines and the UNI filter. Label/type inverted indexes
+// support seed-set computation and BGP index scans.
+#ifndef EQL_GRAPH_GRAPH_H_
+#define EQL_GRAPH_GRAPH_H_
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/dictionary.h"
+#include "util/status.h"
+
+namespace eql {
+
+using NodeId = uint32_t;
+using EdgeId = uint32_t;
+
+inline constexpr NodeId kNoNode = UINT32_MAX;
+inline constexpr EdgeId kNoEdge = UINT32_MAX;
+
+/// One entry of a node's undirected incidence list.
+struct IncidentEdge {
+  EdgeId edge;
+  NodeId other;   ///< the endpoint that is not the indexed node
+  bool forward;   ///< true if the edge leaves the indexed node (n == source)
+};
+
+/// Labeled directed multigraph with types, properties and access-path indexes.
+///
+/// Usage: add nodes/edges, then call Finalize() exactly once; all index-based
+/// accessors (Incident, OutEdges, ...) require a finalized graph. The builder
+/// methods never fail for in-range arguments; they assert on misuse.
+class Graph {
+ public:
+  Graph() = default;
+
+  // ---- construction ----
+
+  /// Adds a node with the given label ("" for the empty label epsilon).
+  NodeId AddNode(std::string_view label);
+
+  /// Adds a node and marks it as a literal (cosmetic; mirrors RDF literals).
+  NodeId AddLiteralNode(std::string_view label);
+
+  /// Adds `type` to the node's type set.
+  void AddType(NodeId n, std::string_view type);
+
+  /// Sets a string property on a node (label and type have dedicated APIs).
+  void SetNodeProperty(NodeId n, std::string_view key, std::string_view value);
+
+  /// Adds a directed edge src --label--> dst.
+  EdgeId AddEdge(NodeId src, NodeId dst, std::string_view label);
+
+  /// Sets a string property on an edge.
+  void SetEdgeProperty(EdgeId e, std::string_view key, std::string_view value);
+
+  /// Returns the node with this exact label, adding it if absent. Convenience
+  /// for generators and the triple loader; requires labels to be unique keys,
+  /// which holds for all our datasets (labels act as RDF IRIs).
+  NodeId GetOrAddNode(std::string_view label);
+
+  /// Builds incidence/out/in CSRs and the label/type indexes. Must be called
+  /// once, after which the graph is immutable.
+  void Finalize();
+  bool finalized() const { return finalized_; }
+
+  // ---- sizes ----
+
+  size_t NumNodes() const { return node_label_.size(); }
+  size_t NumEdges() const { return edge_label_.size(); }
+
+  // ---- node/edge attributes ----
+
+  StrId NodeLabelId(NodeId n) const { return node_label_[n]; }
+  const std::string& NodeLabel(NodeId n) const { return dict_.Get(node_label_[n]); }
+  bool IsLiteral(NodeId n) const { return node_literal_[n]; }
+  std::span<const StrId> NodeTypes(NodeId n) const;
+  bool HasType(NodeId n, StrId type) const;
+
+  StrId EdgeLabelId(EdgeId e) const { return edge_label_[e]; }
+  const std::string& EdgeLabel(EdgeId e) const { return dict_.Get(edge_label_[e]); }
+  NodeId Source(EdgeId e) const { return edge_src_[e]; }
+  NodeId Target(EdgeId e) const { return edge_dst_[e]; }
+
+  /// Node/edge property lookup; returns kNoStrId when unset.
+  StrId NodePropertyId(NodeId n, std::string_view key) const;
+  StrId EdgePropertyId(EdgeId e, std::string_view key) const;
+
+  // ---- access paths (require Finalize) ----
+
+  /// All edges adjacent to n, both directions (the paper's default traversal).
+  std::span<const IncidentEdge> Incident(NodeId n) const;
+
+  /// Directed adjacency: edges leaving / entering n.
+  std::span<const IncidentEdge> OutEdges(NodeId n) const;
+  std::span<const IncidentEdge> InEdges(NodeId n) const;
+
+  /// d_n: number of graph edges adjacent to n (precomputed; LESP, Alg. 4).
+  uint32_t Degree(NodeId n) const { return degree_[n]; }
+
+  /// Inverted indexes. Missing label/type yields an empty span.
+  std::span<const NodeId> NodesWithLabel(StrId label) const;
+  std::span<const NodeId> NodesWithType(StrId type) const;
+  std::span<const EdgeId> EdgesWithLabel(StrId label) const;
+
+  /// Node lookup by exact label string; kNoNode if absent or ambiguous-free
+  /// lookup fails (returns the first node with that label).
+  NodeId FindNode(std::string_view label) const;
+
+  // ---- dictionary ----
+
+  const Dictionary& dict() const { return dict_; }
+  Dictionary& mutable_dict() { return dict_; }
+
+  /// Human-readable one-line description of an edge ("A -label-> B").
+  std::string EdgeToString(EdgeId e) const;
+
+ private:
+  struct PropKey {
+    uint32_t owner;
+    StrId key;
+    bool operator==(const PropKey&) const = default;
+  };
+  struct PropKeyHash {
+    size_t operator()(const PropKey& k) const;
+  };
+
+  Dictionary dict_;
+
+  // Node columns.
+  std::vector<StrId> node_label_;
+  std::vector<uint8_t> node_literal_;
+  std::vector<std::vector<StrId>> node_types_;  // usually 0-2 entries
+
+  // Edge columns.
+  std::vector<NodeId> edge_src_;
+  std::vector<NodeId> edge_dst_;
+  std::vector<StrId> edge_label_;
+
+  // Sparse properties.
+  std::unordered_map<PropKey, StrId, PropKeyHash> node_props_;
+  std::unordered_map<PropKey, StrId, PropKeyHash> edge_props_;
+
+  // Label -> node map maintained during construction for GetOrAddNode.
+  std::unordered_map<StrId, NodeId> builder_node_by_label_;
+
+  // CSRs (built by Finalize).
+  bool finalized_ = false;
+  std::vector<uint32_t> inc_offset_;
+  std::vector<IncidentEdge> inc_list_;
+  std::vector<uint32_t> out_offset_;
+  std::vector<IncidentEdge> out_list_;
+  std::vector<uint32_t> in_offset_;
+  std::vector<IncidentEdge> in_list_;
+  std::vector<uint32_t> degree_;
+
+  // Inverted indexes.
+  std::unordered_map<StrId, std::vector<NodeId>> nodes_by_label_;
+  std::unordered_map<StrId, std::vector<NodeId>> nodes_by_type_;
+  std::unordered_map<StrId, std::vector<EdgeId>> edges_by_label_;
+};
+
+}  // namespace eql
+
+#endif  // EQL_GRAPH_GRAPH_H_

@@ -1,0 +1,77 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace eql {
+
+Result<Graph> ParseGraphText(std::string_view text) {
+  Graph g;
+  size_t line_no = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = Trim(text.substr(start, end - start));
+    start = end + 1;
+    ++line_no;
+    if (line.empty() || line.front() == '#') continue;
+    std::vector<std::string> cols = Split(line, '\t');
+    if (cols.size() >= 2 && cols[0] == "@literal") {
+      NodeId n = g.GetOrAddNode(Trim(cols[1]));
+      // GetOrAddNode cannot mark literals after the fact; emulate by property.
+      g.SetNodeProperty(n, "literal", "true");
+      continue;
+    }
+    if (cols.size() >= 3 && cols[0] == "@type") {
+      NodeId n = g.GetOrAddNode(Trim(cols[1]));
+      g.AddType(n, Trim(cols[2]));
+      continue;
+    }
+    if (cols.size() != 3) {
+      return Status::InvalidArgument(
+          StrFormat("graph text line %zu: expected 3 tab-separated columns, got %zu",
+                    line_no, cols.size()));
+    }
+    NodeId s = g.GetOrAddNode(Trim(cols[0]));
+    NodeId d = g.GetOrAddNode(Trim(cols[2]));
+    g.AddEdge(s, d, Trim(cols[1]));
+  }
+  g.Finalize();
+  return g;
+}
+
+Result<Graph> LoadGraphFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open graph file: " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return ParseGraphText(buf.str());
+}
+
+std::string GraphToText(const Graph& g) {
+  std::string out;
+  out += "# eql graph: " + std::to_string(g.NumNodes()) + " nodes, " +
+         std::to_string(g.NumEdges()) + " edges\n";
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    for (StrId t : g.NodeTypes(n)) {
+      out += "@type\t" + g.NodeLabel(n) + "\t" + g.dict().Get(t) + "\n";
+    }
+  }
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    out += g.NodeLabel(g.Source(e)) + "\t" + g.EdgeLabel(e) + "\t" +
+           g.NodeLabel(g.Target(e)) + "\n";
+  }
+  return out;
+}
+
+Status SaveGraphFile(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::InvalidArgument("cannot open for writing: " + path);
+  out << GraphToText(g);
+  return Status::Ok();
+}
+
+}  // namespace eql

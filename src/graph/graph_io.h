@@ -1,0 +1,36 @@
+// Text serialization for graphs: a tab-separated triple format.
+//
+// Line forms (tab-separated, '#' starts a comment line):
+//   <src_label> \t <edge_label> \t <dst_label>      an edge (nodes auto-created)
+//   @type \t <node_label> \t <type_name>            assigns a type to a node
+//   @literal \t <node_label>                        marks a node as literal
+//
+// This mirrors the paper's PostgreSQL table graph(id, source, edgeLabel,
+// target) closely enough to load the same shape of data.
+#ifndef EQL_GRAPH_GRAPH_IO_H_
+#define EQL_GRAPH_GRAPH_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace eql {
+
+/// Parses triples from `text` into a fresh, finalized graph.
+Result<Graph> ParseGraphText(std::string_view text);
+
+/// Loads a graph from a triple file (see header comment for the format).
+Result<Graph> LoadGraphFile(const std::string& path);
+
+/// Serializes a graph to the triple format (inverse of ParseGraphText up to
+/// node ordering). Node labels must be unique for lossless round-trips.
+std::string GraphToText(const Graph& g);
+
+/// Writes GraphToText(g) to `path`.
+Status SaveGraphFile(const Graph& g, const std::string& path);
+
+}  // namespace eql
+
+#endif  // EQL_GRAPH_GRAPH_IO_H_

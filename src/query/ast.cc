@@ -1,0 +1,178 @@
+#include "query/ast.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace eql {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kLike:
+      return "~";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string PredicateToText(const Predicate& p) {
+  if (p.conditions.size() == 1 && p.conditions[0].property == "label" &&
+      p.conditions[0].op == CompareOp::kEq) {
+    return "\"" + p.conditions[0].constant + "\"";
+  }
+  return "?" + p.var;
+}
+
+std::string FilterClauses(const Query& q) {
+  std::string out;
+  // Conditions not expressible as label shorthands become FILTER clauses.
+  auto emit = [&](const Predicate& p) {
+    if (p.conditions.size() == 1 && p.conditions[0].property == "label" &&
+        p.conditions[0].op == CompareOp::kEq) {
+      return;  // printed inline as a string term
+    }
+    for (const Condition& c : p.conditions) {
+      out += "  FILTER(" + c.property + "(?" + p.var + ") " + CompareOpName(c.op) +
+             " \"" + c.constant + "\")\n";
+    }
+  };
+  for (const EdgePattern& ep : q.patterns) {
+    emit(ep.source);
+    emit(ep.edge);
+    emit(ep.target);
+  }
+  for (const CtpPattern& ctp : q.ctps) {
+    for (const Predicate& m : ctp.members) emit(m);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string QueryToText(const Query& q) {
+  std::string out = "SELECT";
+  for (const auto& h : q.head) out += " ?" + h;
+  out += "\nWHERE {\n";
+  for (const EdgePattern& ep : q.patterns) {
+    out += "  " + PredicateToText(ep.source) + " " + PredicateToText(ep.edge) + " " +
+           PredicateToText(ep.target) + " .\n";
+  }
+  for (const CtpPattern& ctp : q.ctps) {
+    out += "  CONNECT(";
+    for (size_t i = 0; i < ctp.members.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += PredicateToText(ctp.members[i]);
+    }
+    out += " -> ?" + ctp.tree_var + ")";
+    const CtpFilterSpec& f = ctp.filters;
+    if (f.uni) out += " UNI";
+    if (f.labels) {
+      out += " LABEL {";
+      for (size_t i = 0; i < f.labels->size(); ++i) {
+        if (i > 0) out += ", ";
+        out += "\"" + (*f.labels)[i] + "\"";
+      }
+      out += "}";
+    }
+    if (f.max_edges) out += StrFormat(" MAX %u", *f.max_edges);
+    if (f.score) {
+      out += " SCORE " + *f.score;
+      if (f.top_k) out += StrFormat(" TOP %d", *f.top_k);
+    }
+    if (f.timeout_ms) out += StrFormat(" TIMEOUT %lld", (long long)*f.timeout_ms);
+    if (f.limit) out += StrFormat(" LIMIT %llu", (unsigned long long)*f.limit);
+    out += "\n";
+  }
+  out += FilterClauses(q);
+  out += "}\n";
+  return out;
+}
+
+namespace {
+
+bool CompareValues(const std::string& lhs, CompareOp op, const std::string& rhs) {
+  switch (op) {
+    case CompareOp::kLike:
+      return GlobMatch(rhs, lhs);
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kLt:
+    case CompareOp::kLe: {
+      double a = 0, b = 0;
+      if (ParseDouble(lhs, &a) && ParseDouble(rhs, &b)) {
+        return op == CompareOp::kLt ? a < b : a <= b;
+      }
+      return op == CompareOp::kLt ? lhs < rhs : lhs <= rhs;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ConditionMatches(const Graph& g, const Condition& cond, uint32_t id,
+                      bool is_node) {
+  if (cond.property == "label") {
+    const std::string& label = is_node ? g.NodeLabel(id) : g.EdgeLabel(id);
+    return CompareValues(label, cond.op, cond.constant);
+  }
+  if (cond.property == "type") {
+    if (!is_node) return false;
+    for (StrId t : g.NodeTypes(id)) {
+      if (CompareValues(g.dict().Get(t), cond.op, cond.constant)) return true;
+    }
+    return false;
+  }
+  StrId v = is_node ? g.NodePropertyId(id, cond.property)
+                    : g.EdgePropertyId(id, cond.property);
+  if (v == kNoStrId) return false;
+  return CompareValues(g.dict().Get(v), cond.op, cond.constant);
+}
+
+bool PredicateMatches(const Graph& g, const Predicate& pred, uint32_t id,
+                      bool is_node) {
+  for (const Condition& c : pred.conditions) {
+    if (!ConditionMatches(g, c, id, is_node)) return false;
+  }
+  return true;
+}
+
+std::vector<NodeId> NodesMatchingPredicate(const Graph& g, const Predicate& pred) {
+  // Index-backed paths: an equality on label or type narrows to one posting
+  // list; remaining conditions filter it.
+  for (const Condition& c : pred.conditions) {
+    if (c.op != CompareOp::kEq) continue;
+    std::span<const NodeId> candidates;
+    if (c.property == "label") {
+      StrId id = g.dict().Lookup(c.constant);
+      if (id == kNoStrId) return {};
+      candidates = g.NodesWithLabel(id);
+    } else if (c.property == "type") {
+      StrId id = g.dict().Lookup(c.constant);
+      if (id == kNoStrId) return {};
+      candidates = g.NodesWithType(id);
+    } else {
+      continue;
+    }
+    std::vector<NodeId> out;
+    for (NodeId n : candidates) {
+      if (PredicateMatches(g, pred, n, true)) out.push_back(n);
+    }
+    return out;
+  }
+  // Fallback: full scan.
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    if (PredicateMatches(g, pred, n, true)) out.push_back(n);
+  }
+  return out;
+}
+
+}  // namespace eql

@@ -1,0 +1,111 @@
+// Abstract syntax of EQL — the Extended Query Language of Section 2.
+//
+// A query has a head (projected variables) and a body of edge patterns
+// (grouped into BGPs by connectivity, Def 2.4) plus connecting tree patterns
+// (CTPs, Def 2.5) with optional filters (Section 2, "CTP filters").
+//
+// Predicates follow Definition 2.2: conjunctions of conditions
+// `p(v) op c` over a single variable, with p a property (label, type, or a
+// named property), op in {=, <, <=, ~} and c a constant. The concrete syntax
+// (see parser.h) is SPARQL-flavored:
+//
+//   SELECT ?x ?w
+//   WHERE {
+//     ?x "citizenOf" "USA" .
+//     ?x "founded" ?o .
+//     FILTER(type(?x) = "entrepreneur")
+//     CONNECT(?x, ?y, ?z -> ?w) MAX 8 SCORE edge_count TOP 5 TIMEOUT 1000
+//   }
+//
+// String terms inside triple/CONNECT positions are label-equality shorthands
+// over fresh variables (the paper's "short syntax").
+#ifndef EQL_QUERY_AST_H_
+#define EQL_QUERY_AST_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace eql {
+
+/// Comparison operators Omega = {=, <, <=, ~} (Def 2.2).
+enum class CompareOp { kEq, kLt, kLe, kLike };
+
+const char* CompareOpName(CompareOp op);
+
+/// One condition `property(v) op constant`.
+struct Condition {
+  std::string property;  ///< "label", "type", or a property key
+  CompareOp op = CompareOp::kEq;
+  std::string constant;
+};
+
+/// A predicate over one variable: a conjunction of conditions (possibly
+/// empty, which any node/edge satisfies).
+struct Predicate {
+  std::string var;  ///< variable name without '?'; never empty after parsing
+  std::vector<Condition> conditions;
+
+  bool IsEmpty() const { return conditions.empty(); }
+};
+
+/// Edge pattern (p1, p2, p3): predicates over source, edge, target (Def 2.3).
+struct EdgePattern {
+  Predicate source;
+  Predicate edge;
+  Predicate target;
+};
+
+/// Filters attached to one CTP (Section 2).
+struct CtpFilterSpec {
+  bool uni = false;
+  std::optional<std::vector<std::string>> labels;
+  std::optional<uint32_t> max_edges;
+  std::optional<int64_t> timeout_ms;
+  std::optional<std::string> score;  ///< score function name
+  std::optional<int> top_k;
+  std::optional<uint64_t> limit;
+};
+
+/// Connecting tree pattern (g1, ..., gm, v_{m+1}) (Def 2.5).
+struct CtpPattern {
+  std::vector<Predicate> members;  ///< g1..gm; pairwise-distinct variables
+  std::string tree_var;            ///< v_{m+1}, the underlined variable
+  CtpFilterSpec filters;
+};
+
+/// A full EQL query (Defs 2.6 and 2.11).
+struct Query {
+  std::vector<std::string> head;
+  std::vector<EdgePattern> patterns;  ///< all triple patterns of the body
+  std::vector<CtpPattern> ctps;
+
+  /// All variables appearing in triple patterns or CTP members (not tree
+  /// vars); filled by the validator.
+  std::vector<std::string> simple_vars;
+};
+
+/// Pretty-prints a query back to (normalized) EQL text.
+std::string QueryToText(const Query& q);
+
+/// Evaluates one condition against a node (is_node) or an edge of g.
+/// Comparisons are numeric when both sides parse as doubles, else
+/// lexicographic; '~' uses glob matching (*, ?).
+bool ConditionMatches(const Graph& g, const Condition& cond, uint32_t id,
+                      bool is_node);
+
+/// Evaluates a full predicate (conjunction) against a node or edge.
+bool PredicateMatches(const Graph& g, const Predicate& pred, uint32_t id,
+                      bool is_node);
+
+/// All nodes of g satisfying `pred`, using the label/type inverted indexes
+/// when the predicate pins them with '='; otherwise a filtered scan.
+std::vector<NodeId> NodesMatchingPredicate(const Graph& g, const Predicate& pred);
+
+}  // namespace eql
+
+#endif  // EQL_QUERY_AST_H_

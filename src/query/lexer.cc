@@ -1,0 +1,139 @@
+#include "query/lexer.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace eql {
+
+namespace {
+
+const char* const kKeywords[] = {"SELECT", "WHERE", "CONNECT", "FILTER",
+                                 "UNI",    "LABEL", "MAX",     "SCORE",
+                                 "TOP",    "TIMEOUT", "LIMIT", "AND"};
+
+bool IsKeyword(const std::string& upper) {
+  for (const char* k : kKeywords) {
+    if (upper == k) return true;
+  }
+  return false;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view text) {
+  std::vector<Token> out;
+  int line = 1, col = 1;
+  size_t i = 0;
+  auto advance = [&](size_t n) {
+    for (size_t k = 0; k < n; ++k) {
+      if (text[i + k] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    i += n;
+  };
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      advance(1);
+      continue;
+    }
+    if (c == '#') {  // comment to end of line
+      while (i < text.size() && text[i] != '\n') advance(1);
+      continue;
+    }
+    Token tok;
+    tok.line = line;
+    tok.column = col;
+    if (c == '?') {
+      size_t j = i + 1;
+      while (j < text.size() && IsIdentChar(text[j])) ++j;
+      if (j == i + 1) {
+        return Status::InvalidArgument(
+            StrFormat("line %d:%d: '?' must start a variable name", line, col));
+      }
+      tok.kind = TokenKind::kVariable;
+      tok.text = std::string(text.substr(i + 1, j - i - 1));
+      advance(j - i);
+    } else if (c == '"') {
+      std::string body;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < text.size()) {
+        if (text[j] == '\\' && j + 1 < text.size()) {
+          body += text[j + 1];
+          j += 2;
+          continue;
+        }
+        if (text[j] == '"') {
+          closed = true;
+          break;
+        }
+        body += text[j];
+        ++j;
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            StrFormat("line %d:%d: unterminated string literal", line, col));
+      }
+      tok.kind = TokenKind::kString;
+      tok.text = std::move(body);
+      advance(j + 1 - i);
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      while (j < text.size() &&
+             (std::isdigit(static_cast<unsigned char>(text[j])) || text[j] == '.'))
+        ++j;
+      tok.kind = TokenKind::kNumber;
+      tok.text = std::string(text.substr(i, j - i));
+      advance(j - i);
+    } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < text.size() && IsIdentChar(text[j])) ++j;
+      std::string word(text.substr(i, j - i));
+      std::string upper = word;
+      for (char& ch : upper) ch = static_cast<char>(std::toupper((unsigned char)ch));
+      if (IsKeyword(upper)) {
+        tok.kind = TokenKind::kKeyword;
+        tok.text = upper;
+      } else {
+        tok.kind = TokenKind::kIdent;
+        tok.text = word;
+      }
+      advance(j - i);
+    } else if (c == '-' && i + 1 < text.size() && text[i + 1] == '>') {
+      tok.kind = TokenKind::kPunct;
+      tok.text = "->";
+      advance(2);
+    } else if (c == '<' && i + 1 < text.size() && text[i + 1] == '=') {
+      tok.kind = TokenKind::kPunct;
+      tok.text = "<=";
+      advance(2);
+    } else if (c == '{' || c == '}' || c == '(' || c == ')' || c == ',' ||
+               c == '.' || c == '=' || c == '<' || c == '~') {
+      tok.kind = TokenKind::kPunct;
+      tok.text = std::string(1, c);
+      advance(1);
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("line %d:%d: unexpected character '%c'", line, col, c));
+    }
+    out.push_back(std::move(tok));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.line = line;
+  end.column = col;
+  out.push_back(end);
+  return out;
+}
+
+}  // namespace eql

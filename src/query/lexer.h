@@ -1,0 +1,39 @@
+// Tokenizer for EQL text (see ast.h for the grammar sketch).
+#ifndef EQL_QUERY_LEXER_H_
+#define EQL_QUERY_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace eql {
+
+enum class TokenKind {
+  kKeyword,   ///< SELECT WHERE CONNECT FILTER UNI LABEL MAX SCORE TOP TIMEOUT
+              ///< LIMIT AND (case-insensitive; normalized to upper case)
+  kVariable,  ///< ?name (text holds "name")
+  kString,    ///< "..." with \" and \\ escapes (text holds the unescaped body)
+  kNumber,    ///< integer or decimal literal
+  kIdent,     ///< bare identifier (score names, FILTER property names)
+  kPunct,     ///< one of { } ( ) , . -> = < <= ~
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  int line = 1;
+  int column = 1;
+
+  bool Is(TokenKind k, std::string_view t) const { return kind == k && text == t; }
+};
+
+/// Tokenizes `text`; fails with a position-annotated message on bad input
+/// (unterminated string, stray character).
+Result<std::vector<Token>> Tokenize(std::string_view text);
+
+}  // namespace eql
+
+#endif  // EQL_QUERY_LEXER_H_

@@ -1,0 +1,300 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <map>
+#include <set>
+
+#include "query/lexer.h"
+#include "util/string_util.h"
+
+namespace eql {
+
+namespace {
+
+// Local pseudo-macro: propagate Status from helpers that return Status.
+#define EQL_RETURN_WRAP(expr)  \
+  do {                         \
+    Status _s = (expr);        \
+    if (!_s.ok()) return _s;   \
+  } while (false)
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> Parse() {
+    Query q;
+    EQL_RETURN_WRAP(ExpectKeyword("SELECT"));
+    while (Peek().kind == TokenKind::kVariable) {
+      q.head.push_back(Next().text);
+    }
+    if (q.head.empty()) return Error("SELECT needs at least one ?variable");
+    EQL_RETURN_WRAP(ExpectKeyword("WHERE"));
+    EQL_RETURN_WRAP(ExpectPunct("{"));
+    while (!Peek().Is(TokenKind::kPunct, "}")) {
+      if (Peek().kind == TokenKind::kEnd) return Error("missing closing '}'");
+      if (Peek().Is(TokenKind::kKeyword, "CONNECT")) {
+        Status s = ParseConnect(&q);
+        if (!s.ok()) return s;
+      } else if (Peek().Is(TokenKind::kKeyword, "FILTER")) {
+        Status s = ParseFilter();
+        if (!s.ok()) return s;
+      } else {
+        Status s = ParseTriple(&q);
+        if (!s.ok()) return s;
+      }
+    }
+    Next();  // '}'
+    if (!Peek().Is(TokenKind::kEnd, "")) {
+      if (Peek().kind != TokenKind::kEnd) return Error("trailing input after '}'");
+    }
+    ApplyFilterConditions(&q);
+    for (const auto& [var, conds] : filter_conditions_) {
+      if (!used_filter_vars_.count(var)) {
+        return Status::InvalidArgument("FILTER references unknown variable ?" + var);
+      }
+    }
+    return q;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+
+  Status Error(const std::string& msg) const {
+    const Token& t = Peek();
+    return Status::InvalidArgument(
+        StrFormat("line %d:%d: %s", t.line, t.column, msg.c_str()));
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!Peek().Is(TokenKind::kKeyword, kw)) {
+      return Error(StrFormat("expected %s", kw));
+    }
+    Next();
+    return Status::Ok();
+  }
+
+  Status ExpectPunct(const char* p) {
+    if (!Peek().Is(TokenKind::kPunct, p)) {
+      return Error(StrFormat("expected '%s'", p));
+    }
+    Next();
+    return Status::Ok();
+  }
+
+  /// term := ?var | "string"; strings desugar to a fresh variable carrying a
+  /// label-equality condition (the paper's short syntax).
+  Result<Predicate> ParseTerm() {
+    if (Peek().kind == TokenKind::kVariable) {
+      Predicate p;
+      p.var = Next().text;
+      return p;
+    }
+    if (Peek().kind == TokenKind::kString) {
+      Predicate p;
+      p.var = StrFormat("_%d", anon_counter_++);
+      p.conditions.push_back(Condition{"label", CompareOp::kEq, Next().text});
+      return p;
+    }
+    return Error("expected ?variable or \"string\"");
+  }
+
+  Status ParseTriple(Query* q) {
+    EdgePattern ep;
+    auto s = ParseTerm();
+    if (!s.ok()) return s.status();
+    ep.source = std::move(s).value();
+    auto e = ParseTerm();
+    if (!e.ok()) return e.status();
+    ep.edge = std::move(e).value();
+    auto t = ParseTerm();
+    if (!t.ok()) return t.status();
+    ep.target = std::move(t).value();
+    EQL_RETURN_WRAP(ExpectPunct("."));
+    q->patterns.push_back(std::move(ep));
+    return Status::Ok();
+  }
+
+  Result<int64_t> ParseInt(const char* what) {
+    if (Peek().kind != TokenKind::kNumber) {
+      return Error(StrFormat("expected an integer after %s", what));
+    }
+    double v = 0;
+    if (!ParseDouble(Peek().text, &v) || v != static_cast<int64_t>(v)) {
+      return Error(StrFormat("%s must be an integer", what));
+    }
+    Next();
+    return static_cast<int64_t>(v);
+  }
+
+  Status ParseConnect(Query* q) {
+    Next();  // CONNECT
+    EQL_RETURN_WRAP(ExpectPunct("("));
+    CtpPattern ctp;
+    for (;;) {
+      auto m = ParseTerm();
+      if (!m.ok()) return m.status();
+      ctp.members.push_back(std::move(m).value());
+      if (Peek().Is(TokenKind::kPunct, ",")) {
+        Next();
+        continue;
+      }
+      break;
+    }
+    EQL_RETURN_WRAP(ExpectPunct("->"));
+    if (Peek().kind != TokenKind::kVariable) {
+      return Error("expected the tree ?variable after '->'");
+    }
+    ctp.tree_var = Next().text;
+    EQL_RETURN_WRAP(ExpectPunct(")"));
+
+    // Optional filters, in any order.
+    for (;;) {
+      if (Peek().Is(TokenKind::kKeyword, "UNI")) {
+        Next();
+        ctp.filters.uni = true;
+      } else if (Peek().Is(TokenKind::kKeyword, "LABEL")) {
+        Next();
+        EQL_RETURN_WRAP(ExpectPunct("{"));
+        std::vector<std::string> labels;
+        for (;;) {
+          if (Peek().kind != TokenKind::kString) {
+            return Error("LABEL expects \"label\" strings");
+          }
+          labels.push_back(Next().text);
+          if (Peek().Is(TokenKind::kPunct, ",")) {
+            Next();
+            continue;
+          }
+          break;
+        }
+        EQL_RETURN_WRAP(ExpectPunct("}"));
+        ctp.filters.labels = std::move(labels);
+      } else if (Peek().Is(TokenKind::kKeyword, "MAX")) {
+        Next();
+        auto v = ParseInt("MAX");
+        if (!v.ok()) return v.status();
+        if (*v <= 0) return Error("MAX must be positive");
+        ctp.filters.max_edges = static_cast<uint32_t>(*v);
+      } else if (Peek().Is(TokenKind::kKeyword, "SCORE")) {
+        Next();
+        if (Peek().kind != TokenKind::kIdent) {
+          return Error("SCORE expects a score function name");
+        }
+        ctp.filters.score = Next().text;
+        if (Peek().Is(TokenKind::kKeyword, "TOP")) {
+          Next();
+          auto v = ParseInt("TOP");
+          if (!v.ok()) return v.status();
+          if (*v <= 0) return Error("TOP must be positive");
+          ctp.filters.top_k = static_cast<int>(*v);
+        }
+      } else if (Peek().Is(TokenKind::kKeyword, "TIMEOUT")) {
+        Next();
+        auto v = ParseInt("TIMEOUT");
+        if (!v.ok()) return v.status();
+        ctp.filters.timeout_ms = *v;
+      } else if (Peek().Is(TokenKind::kKeyword, "LIMIT")) {
+        Next();
+        auto v = ParseInt("LIMIT");
+        if (!v.ok()) return v.status();
+        if (*v <= 0) return Error("LIMIT must be positive");
+        ctp.filters.limit = static_cast<uint64_t>(*v);
+      } else {
+        break;
+      }
+    }
+    q->ctps.push_back(std::move(ctp));
+    return Status::Ok();
+  }
+
+  Status ParseFilter() {
+    Next();  // FILTER
+    EQL_RETURN_WRAP(ExpectPunct("("));
+    for (;;) {
+      // Property names may collide with keywords ("label", "max", ...);
+      // keyword tokens are accepted here and lowered back to identifiers.
+      // Plain identifiers keep their case (user property keys).
+      if (Peek().kind != TokenKind::kIdent && Peek().kind != TokenKind::kKeyword) {
+        return Error("FILTER expects property(?var) op constant");
+      }
+      Condition cond;
+      const bool was_keyword = Peek().kind == TokenKind::kKeyword;
+      cond.property = Next().text;
+      if (was_keyword) {
+        for (char& c : cond.property) {
+          c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        }
+      }
+      EQL_RETURN_WRAP(ExpectPunct("("));
+      if (Peek().kind != TokenKind::kVariable) {
+        return Error("FILTER property expects a ?variable argument");
+      }
+      std::string var = Next().text;
+      EQL_RETURN_WRAP(ExpectPunct(")"));
+      if (Peek().Is(TokenKind::kPunct, "=")) {
+        cond.op = CompareOp::kEq;
+      } else if (Peek().Is(TokenKind::kPunct, "<")) {
+        cond.op = CompareOp::kLt;
+      } else if (Peek().Is(TokenKind::kPunct, "<=")) {
+        cond.op = CompareOp::kLe;
+      } else if (Peek().Is(TokenKind::kPunct, "~")) {
+        cond.op = CompareOp::kLike;
+      } else {
+        return Error("expected one of = < <= ~");
+      }
+      Next();
+      if (Peek().kind == TokenKind::kString || Peek().kind == TokenKind::kNumber ||
+          Peek().kind == TokenKind::kIdent) {
+        cond.constant = Next().text;
+      } else {
+        return Error("expected a constant after the comparison operator");
+      }
+      filter_conditions_[var].push_back(std::move(cond));
+      if (Peek().Is(TokenKind::kKeyword, "AND")) {
+        Next();
+        continue;
+      }
+      break;
+    }
+    return ExpectPunct(")");
+  }
+
+  /// Appends FILTER conditions to every predicate carrying their variable.
+  void ApplyFilterConditions(Query* q) {
+    auto apply = [&](Predicate* p) {
+      auto it = filter_conditions_.find(p->var);
+      if (it == filter_conditions_.end()) return;
+      used_filter_vars_.insert(p->var);
+      for (const Condition& c : it->second) p->conditions.push_back(c);
+    };
+    for (EdgePattern& ep : q->patterns) {
+      apply(&ep.source);
+      apply(&ep.edge);
+      apply(&ep.target);
+    }
+    for (CtpPattern& ctp : q->ctps) {
+      for (Predicate& m : ctp.members) apply(&m);
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  int anon_counter_ = 0;
+  std::map<std::string, std::vector<Condition>> filter_conditions_;
+  std::set<std::string> used_filter_vars_;
+};
+
+#undef EQL_RETURN_WRAP
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view text) {
+  auto tokens = Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  return parser.Parse();
+}
+
+}  // namespace eql

@@ -1,0 +1,38 @@
+// Recursive-descent parser for EQL text.
+//
+// Grammar (keywords case-insensitive; '#' comments):
+//
+//   query     := SELECT var+ WHERE '{' clause* '}'
+//   clause    := triple | connect | filter
+//   triple    := term term term '.'
+//   term      := ?var | "string"           (strings are label shorthands)
+//   connect   := CONNECT '(' member (',' member)* '->' ?var ')' ctpfilter*
+//   member    := ?var | "string"
+//   ctpfilter := UNI
+//              | LABEL '{' "l1" (',' "l2")* '}'
+//              | MAX <int>
+//              | SCORE <ident> [TOP <int>]
+//              | TIMEOUT <int-ms>
+//              | LIMIT <int>
+//   filter    := FILTER '(' cond (AND cond)* ')'
+//   cond      := <ident> '(' ?var ')' op constant      op in {=, <, <=, ~}
+//
+// FILTER conditions attach to every occurrence of their variable, forming
+// the conjunction predicates of Definition 2.2.
+#ifndef EQL_QUERY_PARSER_H_
+#define EQL_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "query/ast.h"
+#include "util/status.h"
+
+namespace eql {
+
+/// Parses EQL text into a Query. The result is syntactically sound but not
+/// yet validated (see validator.h).
+Result<Query> ParseQuery(std::string_view text);
+
+}  // namespace eql
+
+#endif  // EQL_QUERY_PARSER_H_

@@ -1,0 +1,92 @@
+#include "query/validator.h"
+
+#include <map>
+#include <set>
+
+namespace eql {
+
+namespace {
+
+enum class VarRole { kNode, kEdge, kTree };
+
+const char* RoleName(VarRole r) {
+  switch (r) {
+    case VarRole::kNode:
+      return "node";
+    case VarRole::kEdge:
+      return "edge";
+    case VarRole::kTree:
+      return "tree";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Status ValidateQuery(Query* q) {
+  if (q->patterns.empty() && q->ctps.empty()) {
+    return Status::InvalidArgument("query body must contain a BGP or a CTP");
+  }
+
+  std::map<std::string, VarRole> roles;
+  std::map<std::string, int> occurrences;
+  auto record = [&](const std::string& var, VarRole role) -> Status {
+    ++occurrences[var];
+    auto [it, inserted] = roles.emplace(var, role);
+    if (!inserted && it->second != role) {
+      return Status::InvalidArgument("variable ?" + var + " used both as " +
+                                     RoleName(it->second) + " and as " +
+                                     RoleName(role));
+    }
+    return Status::Ok();
+  };
+
+  for (const EdgePattern& ep : q->patterns) {
+    EQL_RETURN_IF_ERROR(record(ep.source.var, VarRole::kNode));
+    EQL_RETURN_IF_ERROR(record(ep.edge.var, VarRole::kEdge));
+    EQL_RETURN_IF_ERROR(record(ep.target.var, VarRole::kNode));
+  }
+  for (const CtpPattern& ctp : q->ctps) {
+    if (ctp.members.empty()) {
+      return Status::InvalidArgument("CONNECT needs at least one member");
+    }
+    if (ctp.members.size() > 64) {
+      return Status::InvalidArgument("CONNECT supports at most 64 members");
+    }
+    std::set<std::string> member_vars;
+    for (const Predicate& m : ctp.members) {
+      if (!member_vars.insert(m.var).second) {
+        return Status::InvalidArgument("CONNECT member variables must be distinct; ?" +
+                                       m.var + " repeats (Def 2.5)");
+      }
+      EQL_RETURN_IF_ERROR(record(m.var, VarRole::kNode));
+    }
+    if (ctp.filters.top_k && !ctp.filters.score) {
+      return Status::InvalidArgument("TOP requires SCORE on the same CONNECT");
+    }
+  }
+  // Tree variables last: they must not collide with anything else.
+  for (const CtpPattern& ctp : q->ctps) {
+    EQL_RETURN_IF_ERROR(record(ctp.tree_var, VarRole::kTree));
+    if (occurrences[ctp.tree_var] != 1) {
+      return Status::InvalidArgument("tree variable ?" + ctp.tree_var +
+                                     " must occur exactly once in the query body "
+                                     "(Def 2.6)");
+    }
+  }
+
+  for (const std::string& h : q->head) {
+    if (!roles.count(h)) {
+      return Status::InvalidArgument("head variable ?" + h +
+                                     " does not occur in the body");
+    }
+  }
+
+  q->simple_vars.clear();
+  for (const auto& [var, role] : roles) {
+    if (role != VarRole::kTree) q->simple_vars.push_back(var);
+  }
+  return Status::Ok();
+}
+
+}  // namespace eql

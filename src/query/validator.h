@@ -1,0 +1,25 @@
+// Semantic validation of parsed EQL queries (Definitions 2.5 and 2.6).
+//
+// Checks, with positionless but variable-specific messages:
+//  * every head variable occurs in the body (as a simple or tree variable);
+//  * each CTP's tree variable occurs exactly once in the whole body;
+//  * CTP member variables are pairwise distinct within their CTP;
+//  * no variable is used both in node positions (source/target/CTP member)
+//    and edge positions;
+//  * CTPs have between 1 and 64 members (the engine's signature width);
+//  * TOP k is only given together with SCORE.
+// On success fills Query::simple_vars (every non-tree body variable).
+#ifndef EQL_QUERY_VALIDATOR_H_
+#define EQL_QUERY_VALIDATOR_H_
+
+#include "query/ast.h"
+#include "util/status.h"
+
+namespace eql {
+
+/// Validates `q` in place (filling q->simple_vars).
+Status ValidateQuery(Query* q);
+
+}  // namespace eql
+
+#endif  // EQL_QUERY_VALIDATOR_H_

@@ -1,0 +1,131 @@
+#include "storage/bgp_eval.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+namespace eql {
+
+std::vector<std::vector<EdgePattern>> GroupIntoBgps(
+    const std::vector<EdgePattern>& patterns) {
+  // Union-find over pattern indexes, united through shared variables.
+  std::vector<size_t> parent(patterns.size());
+  for (size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  std::function<size_t(size_t)> find = [&](size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  std::map<std::string, size_t> first_use;
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    for (const Predicate* p :
+         {&patterns[i].source, &patterns[i].edge, &patterns[i].target}) {
+      auto [it, inserted] = first_use.emplace(p->var, i);
+      if (!inserted) parent[find(i)] = find(it->second);
+    }
+  }
+  std::map<size_t, std::vector<EdgePattern>> groups;
+  for (size_t i = 0; i < patterns.size(); ++i) groups[find(i)].push_back(patterns[i]);
+  std::vector<std::vector<EdgePattern>> out;
+  for (auto& [root, group] : groups) out.push_back(std::move(group));
+  return out;
+}
+
+namespace {
+
+/// Returns the constant of an equality condition on `property`, or nullptr.
+const std::string* EqConstant(const Predicate& p, const char* property) {
+  for (const Condition& c : p.conditions) {
+    if (c.op == CompareOp::kEq && c.property == property) return &c.constant;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+BindingTable EvaluateEdgePattern(const Graph& g, const EdgePattern& ep) {
+  BindingTable out({ep.source.var, ep.edge.var, ep.target.var},
+                   {ColKind::kNode, ColKind::kEdge, ColKind::kNode});
+  auto emit_if_match = [&](EdgeId e) {
+    NodeId s = g.Source(e), d = g.Target(e);
+    if (!PredicateMatches(g, ep.edge, e, false)) return;
+    if (!PredicateMatches(g, ep.source, s, true)) return;
+    if (!PredicateMatches(g, ep.target, d, true)) return;
+    out.AddRow({s, e, d});
+  };
+
+  // Access path 1: edge label pinned -> edge-label index.
+  if (const std::string* label = EqConstant(ep.edge, "label")) {
+    StrId id = g.dict().Lookup(*label);
+    if (id == kNoStrId) return out;
+    for (EdgeId e : g.EdgesWithLabel(id)) emit_if_match(e);
+    return out;
+  }
+  // Access path 2/3: source or target pinned by label/type -> directed
+  // adjacency of the matching nodes.
+  auto pinned_nodes = [&](const Predicate& p) -> std::optional<std::vector<NodeId>> {
+    if (EqConstant(p, "label") != nullptr || EqConstant(p, "type") != nullptr) {
+      return NodesMatchingPredicate(g, p);
+    }
+    return std::nullopt;
+  };
+  if (auto sources = pinned_nodes(ep.source)) {
+    for (NodeId n : *sources) {
+      for (const IncidentEdge& ie : g.OutEdges(n)) emit_if_match(ie.edge);
+    }
+    return out;
+  }
+  if (auto targets = pinned_nodes(ep.target)) {
+    for (NodeId n : *targets) {
+      for (const IncidentEdge& ie : g.InEdges(n)) emit_if_match(ie.edge);
+    }
+    return out;
+  }
+  // Fallback: full edge scan.
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) emit_if_match(e);
+  return out;
+}
+
+Result<BindingTable> EvaluateBgp(const Graph& g,
+                                 const std::vector<EdgePattern>& bgp) {
+  if (bgp.empty()) return Status::InvalidArgument("empty BGP");
+  std::vector<BindingTable> tables;
+  tables.reserve(bgp.size());
+  for (const EdgePattern& ep : bgp) tables.push_back(EvaluateEdgePattern(g, ep));
+
+  // Greedy left-deep join: start from the smallest table, repeatedly join
+  // the smallest table sharing a column (the BGP is connected, so one
+  // always exists).
+  std::vector<bool> used(tables.size(), false);
+  size_t start = 0;
+  for (size_t i = 1; i < tables.size(); ++i) {
+    if (tables[i].NumRows() < tables[start].NumRows()) start = i;
+  }
+  BindingTable acc = std::move(tables[start]);
+  used[start] = true;
+  for (size_t step = 1; step < tables.size(); ++step) {
+    int best = -1;
+    for (size_t i = 0; i < tables.size(); ++i) {
+      if (used[i]) continue;
+      bool shares = false;
+      for (const auto& col : tables[i].columns()) {
+        if (acc.HasColumn(col)) {
+          shares = true;
+          break;
+        }
+      }
+      if (!shares) continue;
+      if (best < 0 || tables[i].NumRows() < tables[best].NumRows()) {
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) {
+      return Status::Internal("BGP not connected despite grouping");
+    }
+    acc = BindingTable::NaturalJoin(acc, tables[best]);
+    used[best] = true;
+  }
+  return acc;
+}
+
+}  // namespace eql

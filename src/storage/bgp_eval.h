@@ -1,0 +1,34 @@
+// Conjunctive BGP evaluation — step (A) of the evaluation strategy
+// (Section 3). This is the stand-in for the paper's PostgreSQL substrate:
+// index scans over the graph's inverted indexes feed a greedy left-deep
+// hash-join of the edge patterns.
+#ifndef EQL_STORAGE_BGP_EVAL_H_
+#define EQL_STORAGE_BGP_EVAL_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "query/ast.h"
+#include "storage/binding_table.h"
+#include "util/status.h"
+
+namespace eql {
+
+/// Groups triple patterns into maximal variable-connected components — the
+/// query's BGPs b_1..b_k in the sense of Definition 2.4.
+std::vector<std::vector<EdgePattern>> GroupIntoBgps(
+    const std::vector<EdgePattern>& patterns);
+
+/// Evaluates one edge pattern to a [source, edge, target] binding table,
+/// choosing the cheapest access path (edge-label index, node-label/type
+/// index + directed adjacency, or full edge scan).
+BindingTable EvaluateEdgePattern(const Graph& g, const EdgePattern& pattern);
+
+/// Evaluates a connected BGP: per-pattern tables joined greedily, smallest
+/// first, always joining on at least one shared variable.
+Result<BindingTable> EvaluateBgp(const Graph& g,
+                                 const std::vector<EdgePattern>& bgp);
+
+}  // namespace eql
+
+#endif  // EQL_STORAGE_BGP_EVAL_H_

@@ -1,0 +1,159 @@
+#include "storage/binding_table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/hash.h"
+
+namespace eql {
+
+BindingTable::BindingTable(std::vector<std::string> columns,
+                           std::vector<ColKind> kinds)
+    : columns_(std::move(columns)), kinds_(std::move(kinds)) {
+  assert(columns_.size() == kinds_.size());
+}
+
+int BindingTable::ColumnIndex(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void BindingTable::AddRow(std::vector<uint32_t> row) {
+  assert(row.size() == columns_.size());
+  rows_.push_back(std::move(row));
+}
+
+BindingTable BindingTable::NaturalJoin(const BindingTable& a, const BindingTable& b) {
+  // Shared columns define the join key.
+  std::vector<std::pair<int, int>> shared;  // (a index, b index)
+  std::vector<int> b_extra;
+  for (size_t j = 0; j < b.columns_.size(); ++j) {
+    int i = a.ColumnIndex(b.columns_[j]);
+    if (i >= 0) {
+      shared.emplace_back(i, static_cast<int>(j));
+    } else {
+      b_extra.push_back(static_cast<int>(j));
+    }
+  }
+
+  std::vector<std::string> out_cols = a.columns_;
+  std::vector<ColKind> out_kinds = a.kinds_;
+  for (int j : b_extra) {
+    out_cols.push_back(b.columns_[j]);
+    out_kinds.push_back(b.kinds_[j]);
+  }
+  BindingTable out(std::move(out_cols), std::move(out_kinds));
+
+  if (shared.empty()) {
+    // Cross product.
+    for (const auto& ra : a.rows_) {
+      for (const auto& rb : b.rows_) {
+        std::vector<uint32_t> row = ra;
+        for (int j : b_extra) row.push_back(rb[j]);
+        out.AddRow(std::move(row));
+      }
+    }
+    return out;
+  }
+
+  // Build on b, probe with a (joins here are small; no size-based swap).
+  auto key_of = [&](const std::vector<uint32_t>& row, bool is_a) {
+    uint64_t h = 0x9ae16a3b2f90404fULL;
+    for (const auto& [ia, ib] : shared) h = HashCombine(h, row[is_a ? ia : ib]);
+    return h;
+  };
+  std::unordered_map<uint64_t, std::vector<size_t>> index;
+  for (size_t r = 0; r < b.rows_.size(); ++r) {
+    index[key_of(b.rows_[r], false)].push_back(r);
+  }
+  for (const auto& ra : a.rows_) {
+    auto it = index.find(key_of(ra, true));
+    if (it == index.end()) continue;
+    for (size_t rbi : it->second) {
+      const auto& rb = b.rows_[rbi];
+      bool match = true;
+      for (const auto& [ia, ib] : shared) {
+        if (ra[ia] != rb[ib]) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      std::vector<uint32_t> row = ra;
+      for (int j : b_extra) row.push_back(rb[j]);
+      out.AddRow(std::move(row));
+    }
+  }
+  return out;
+}
+
+Result<BindingTable> BindingTable::Project(const std::vector<std::string>& cols,
+                                           bool distinct) const {
+  std::vector<int> idx;
+  std::vector<ColKind> kinds;
+  for (const auto& c : cols) {
+    int i = ColumnIndex(c);
+    if (i < 0) return Status::NotFound("projection column ?" + c + " missing");
+    idx.push_back(i);
+    kinds.push_back(kinds_[i]);
+  }
+  BindingTable out(cols, std::move(kinds));
+  std::unordered_set<uint64_t> seen;
+  std::vector<std::vector<uint32_t>> seen_rows;  // collision-exact dedup
+  for (const auto& row : rows_) {
+    std::vector<uint32_t> proj;
+    proj.reserve(idx.size());
+    for (int i : idx) proj.push_back(row[i]);
+    if (distinct) {
+      uint64_t h = HashIdSpan(proj.data(), proj.size());
+      if (!seen.insert(h).second) {
+        bool dup = false;
+        for (const auto& sr : seen_rows) {
+          if (sr == proj) {
+            dup = true;
+            break;
+          }
+        }
+        if (dup) continue;
+      }
+      seen_rows.push_back(proj);
+    }
+    out.AddRow(std::move(proj));
+  }
+  return out;
+}
+
+std::vector<uint32_t> BindingTable::DistinctValues(std::string_view col) const {
+  int i = ColumnIndex(col);
+  if (i < 0) return {};
+  std::vector<uint32_t> out;
+  out.reserve(rows_.size());
+  for (const auto& row : rows_) out.push_back(row[i]);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string BindingTable::DebugString(size_t max_rows) const {
+  std::string out;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (c > 0) out += "\t";
+    out += "?" + columns_[c];
+  }
+  out += "\n";
+  for (size_t r = 0; r < rows_.size() && r < max_rows; ++r) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (c > 0) out += "\t";
+      out += std::to_string(rows_[r][c]);
+    }
+    out += "\n";
+  }
+  if (rows_.size() > max_rows) out += "... (" + std::to_string(rows_.size()) + " rows)\n";
+  return out;
+}
+
+}  // namespace eql

@@ -1,0 +1,65 @@
+// Binding tables: the relational workhorse of the evaluation strategy
+// (Section 3). BGP embeddings are materialized into tables (step A), CTP
+// results become tables (step B), and the query result is a projection over
+// their natural join (step C).
+//
+// Columns are named by variable and typed (node / edge / tree handle);
+// NaturalJoin hash-joins on all shared column names, degrading to a cross
+// product when none are shared — exactly Definition 2.10's ⋈.
+#ifndef EQL_STORAGE_BINDING_TABLE_H_
+#define EQL_STORAGE_BINDING_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace eql {
+
+/// What a column's uint32 values denote.
+enum class ColKind : uint8_t { kNode, kEdge, kTree };
+
+/// A named-column table of uint32 bindings (row-major).
+class BindingTable {
+ public:
+  BindingTable() = default;
+  BindingTable(std::vector<std::string> columns, std::vector<ColKind> kinds);
+
+  size_t NumRows() const { return rows_.size(); }
+  size_t NumColumns() const { return columns_.size(); }
+  const std::vector<std::string>& columns() const { return columns_; }
+  ColKind kind(size_t c) const { return kinds_[c]; }
+
+  /// Index of a column name, or -1.
+  int ColumnIndex(std::string_view name) const;
+  bool HasColumn(std::string_view name) const { return ColumnIndex(name) >= 0; }
+
+  /// Appends a row; arity must match.
+  void AddRow(std::vector<uint32_t> row);
+
+  const std::vector<uint32_t>& Row(size_t r) const { return rows_[r]; }
+  uint32_t At(size_t r, size_t c) const { return rows_[r][c]; }
+
+  /// Natural join on all shared column names (cross product if none).
+  static BindingTable NaturalJoin(const BindingTable& a, const BindingTable& b);
+
+  /// Projection onto `cols` (all must exist); optionally deduplicated.
+  Result<BindingTable> Project(const std::vector<std::string>& cols,
+                               bool distinct) const;
+
+  /// Sorted distinct values of one column; empty if the column is missing.
+  std::vector<uint32_t> DistinctValues(std::string_view col) const;
+
+  std::string DebugString(size_t max_rows = 20) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<ColKind> kinds_;
+  std::vector<std::vector<uint32_t>> rows_;
+};
+
+}  // namespace eql
+
+#endif  // EQL_STORAGE_BINDING_TABLE_H_

@@ -1,0 +1,203 @@
+// eql_shell — run EQL queries against a triple file from the command line.
+//
+// Usage:
+//   eql_shell GRAPH.tsv [options] [-q QUERY]...
+//   eql_shell GRAPH.tsv < queries.eql        (queries separated by ';')
+//
+// Options:
+//   -q QUERY          run this query (repeatable); otherwise read stdin
+//   --algorithm NAME  bft|bft_m|bft_am|gam|esp|moesp|lesp|molesp (default molesp)
+//   --adaptive        pick ESP automatically for plain m=2 CTPs (Property 3)
+//   --timeout MS      default per-CTP timeout (default 60000)
+//   --max-rows N      print at most N result rows per query (default 20)
+//   --stats           print per-CTP search statistics
+//   --demo            load the paper's Figure 1 graph instead of a file
+//
+// The graph file format is the tab-separated triple format of
+// src/graph/graph_io.h ("src<TAB>label<TAB>dst", plus @type/@literal lines).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "eval/engine.h"
+#include "graph/graph_io.h"
+#include "util/string_util.h"
+
+namespace eql {
+namespace {
+
+Graph MakeDemoGraph() {
+  const char* triples =
+      "Bob\tfounded\tOrgB\n"
+      "Alice\tinvestsIn\tOrgB\n"
+      "Bob\tparentOf\tAlice\n"
+      "OrgB\tlocatedIn\tFrance\n"
+      "Bob\tcitizenOf\tUSA\n"
+      "Carole\tcitizenOf\tUSA\n"
+      "Carole\tfounded\tOrgA\n"
+      "Doug\tCEO\tOrgA\n"
+      "Doug\tinvestsIn\tOrgC\n"
+      "Carole\tfounded\tOrgC\n"
+      "Elon\tparentOf\tDoug\n"
+      "Alice\tcitizenOf\tFrance\n"
+      "Doug\tcitizenOf\tFrance\n"
+      "Elon\tcitizenOf\tFrance\n"
+      "OrgC\tlocatedIn\tUSA\n"
+      "Elon\taffiliation\tNLP\n"
+      "OrgB\tfunds\tNLP\n"
+      "Falcon\taffiliation\tNLP\n"
+      "Falcon\tinvestsIn\tUSA\n"
+      "@type\tBob\tentrepreneur\n"
+      "@type\tAlice\tentrepreneur\n"
+      "@type\tCarole\tentrepreneur\n"
+      "@type\tDoug\tentrepreneur\n"
+      "@type\tElon\tpolitician\n"
+      "@type\tFalcon\tpolitician\n"
+      "@type\tOrgA\tcompany\n"
+      "@type\tOrgB\tcompany\n"
+      "@type\tOrgC\tcompany\n"
+      "@type\tUSA\tcountry\n"
+      "@type\tFrance\tcountry\n";
+  auto g = ParseGraphText(triples);
+  return std::move(g).value();
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s GRAPH.tsv|--demo [--algorithm NAME] [--adaptive]\n"
+               "       [--timeout MS] [--max-rows N] [--stats] [-q QUERY]...\n",
+               argv0);
+  return 2;
+}
+
+struct ShellArgs {
+  std::string graph_path;
+  bool demo = false;
+  bool stats = false;
+  size_t max_rows = 20;
+  EngineOptions options;
+  std::vector<std::string> queries;
+};
+
+bool ParseArgs(int argc, char** argv, ShellArgs* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (a == "--demo") {
+      args->demo = true;
+    } else if (a == "--stats") {
+      args->stats = true;
+    } else if (a == "--adaptive") {
+      args->options.adaptive_algorithm = true;
+    } else if (a == "--algorithm") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      auto kind = ParseAlgorithmName(v);
+      if (!kind) {
+        std::fprintf(stderr, "unknown algorithm '%s'\n", v);
+        return false;
+      }
+      args->options.algorithm = *kind;
+    } else if (a == "--timeout") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->options.default_ctp_timeout_ms = std::atoll(v);
+    } else if (a == "--max-rows") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->max_rows = static_cast<size_t>(std::atoll(v));
+    } else if (a == "-q") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->queries.push_back(v);
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+      return false;
+    } else if (args->graph_path.empty()) {
+      args->graph_path = a;
+    } else {
+      return false;
+    }
+  }
+  return args->demo || !args->graph_path.empty();
+}
+
+void RunQuery(const EqlEngine& engine, const Graph& g, const ShellArgs& args,
+              const std::string& query) {
+  auto r = engine.Run(query);
+  if (!r.ok()) {
+    std::printf("error: %s\n", r.status().ToString().c_str());
+    return;
+  }
+  std::printf("%zu row(s) in %.1f ms (BGP %.1f | CTP %.1f | join %.1f)\n",
+              r->table.NumRows(), r->total_ms, r->bgp_ms, r->ctp_ms, r->join_ms);
+  for (size_t row = 0; row < r->table.NumRows() && row < args.max_rows; ++row) {
+    std::printf("  %s\n", r->RowToString(g, row).c_str());
+  }
+  if (r->table.NumRows() > args.max_rows) {
+    std::printf("  ... (%zu more)\n", r->table.NumRows() - args.max_rows);
+  }
+  if (args.stats) {
+    for (const auto& run : r->ctp_runs) {
+      std::printf("  [?%s via %s%s] %s\n", run.tree_var.c_str(),
+                  AlgorithmName(run.algorithm),
+                  run.used_subset_queues ? ", subset-queues" : "",
+                  run.stats.ToString().c_str());
+    }
+  }
+}
+
+int Main(int argc, char** argv) {
+  ShellArgs args;
+  if (!ParseArgs(argc, argv, &args)) return Usage(argv[0]);
+
+  Graph graph;
+  if (args.demo) {
+    graph = MakeDemoGraph();
+    std::printf("loaded demo graph (paper Figure 1): %zu nodes, %zu edges\n",
+                graph.NumNodes(), graph.NumEdges());
+  } else {
+    auto loaded = LoadGraphFile(args.graph_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    graph = std::move(loaded).value();
+    std::printf("loaded %s: %zu nodes, %zu edges\n", args.graph_path.c_str(),
+                graph.NumNodes(), graph.NumEdges());
+  }
+  EqlEngine engine(graph, args.options);
+
+  if (!args.queries.empty()) {
+    for (const std::string& q : args.queries) {
+      std::printf("\n> %s\n", q.c_str());
+      RunQuery(engine, graph, args, q);
+    }
+    return 0;
+  }
+
+  // Interactive / piped mode: statements separated by ';'.
+  std::printf("enter queries terminated by ';' (Ctrl-D to quit)\n");
+  std::string buffer, line;
+  while (std::getline(std::cin, line)) {
+    buffer += line;
+    buffer += '\n';
+    size_t semi;
+    while ((semi = buffer.find(';')) != std::string::npos) {
+      std::string q(Trim(std::string_view(buffer).substr(0, semi)));
+      buffer.erase(0, semi + 1);
+      if (q.empty()) continue;
+      RunQuery(engine, graph, args, q);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace eql
+
+int main(int argc, char** argv) { return eql::Main(argc, argv); }

@@ -1,0 +1,57 @@
+// Seed-set signatures: up to 64 seed sets per CTP, one bit per set.
+//
+// Used for sat(t) (Observation 1), the Merge2 disjointness test, and LESP's
+// per-node seed signatures ss_n (Section 4.6 of the paper).
+#ifndef EQL_UTIL_BITSET64_H_
+#define EQL_UTIL_BITSET64_H_
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace eql {
+
+/// A set over {0..63} with constant-time union/intersection/popcount.
+class Bitset64 {
+ public:
+  constexpr Bitset64() : bits_(0) {}
+  constexpr explicit Bitset64(uint64_t bits) : bits_(bits) {}
+
+  /// A signature with bits [0, n) set; n must be <= 64.
+  static constexpr Bitset64 FullMask(int n) {
+    assert(n >= 0 && n <= 64);
+    if (n == 64) return Bitset64(~0ULL);
+    return Bitset64((1ULL << n) - 1);
+  }
+  static constexpr Bitset64 Single(int i) {
+    assert(i >= 0 && i < 64);
+    return Bitset64(1ULL << i);
+  }
+
+  constexpr bool Test(int i) const { return (bits_ >> i) & 1ULL; }
+  constexpr void Set(int i) { bits_ |= (1ULL << i); }
+  constexpr void Reset(int i) { bits_ &= ~(1ULL << i); }
+  constexpr bool Empty() const { return bits_ == 0; }
+  constexpr int Count() const { return std::popcount(bits_); }
+  constexpr uint64_t bits() const { return bits_; }
+
+  constexpr bool Intersects(Bitset64 o) const { return (bits_ & o.bits_) != 0; }
+  constexpr bool Contains(Bitset64 o) const { return (bits_ & o.bits_) == o.bits_; }
+
+  constexpr Bitset64 operator|(Bitset64 o) const { return Bitset64(bits_ | o.bits_); }
+  constexpr Bitset64 operator&(Bitset64 o) const { return Bitset64(bits_ & o.bits_); }
+  /// Bits in this set but not in `o`.
+  constexpr Bitset64 AndNot(Bitset64 o) const { return Bitset64(bits_ & ~o.bits_); }
+  constexpr Bitset64& operator|=(Bitset64 o) {
+    bits_ |= o.bits_;
+    return *this;
+  }
+  constexpr bool operator==(const Bitset64&) const = default;
+
+ private:
+  uint64_t bits_;
+};
+
+}  // namespace eql
+
+#endif  // EQL_UTIL_BITSET64_H_

@@ -1,0 +1,48 @@
+// Hash primitives shared by the search history, join tables and dictionaries.
+#ifndef EQL_UTIL_HASH_H_
+#define EQL_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace eql {
+
+/// 64-bit finalizer (splitmix64); good avalanche for integer keys.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Order-dependent combiner (boost-style, 64-bit).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (Mix64(value) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// Hash of a sorted id sequence; the canonical key of an edge set.
+inline uint64_t HashIdSpan(const uint32_t* data, size_t n) {
+  uint64_t h = 0x51ab2e4c9d3f8b71ULL ^ (n * 0x9e3779b97f4a7c15ULL);
+  for (size_t i = 0; i < n; ++i) h = HashCombine(h, data[i]);
+  return h;
+}
+
+inline uint64_t HashIdVector(const std::vector<uint32_t>& v) {
+  return HashIdSpan(v.data(), v.size());
+}
+
+/// FNV-1a for strings (dictionary keys).
+inline uint64_t HashString(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace eql
+
+#endif  // EQL_UTIL_HASH_H_

@@ -1,0 +1,65 @@
+// Deterministic pseudo-random generator for synthetic data and property tests.
+//
+// Benches and tests must be reproducible across runs and platforms, so the
+// generators take explicit seeds and use this xoshiro256** implementation
+// rather than std::mt19937 (whose distributions are not portable).
+#ifndef EQL_UTIL_RNG_H_
+#define EQL_UTIL_RNG_H_
+
+#include <cassert>
+#include <cstdint>
+
+#include "util/hash.h"
+
+namespace eql {
+
+/// xoshiro256** 1.0; seeded via splitmix64 so any 64-bit seed works.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) {
+    uint64_t x = seed;
+    for (auto& s : state_) s = Mix64(x++);
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound); bound must be > 0. Uses rejection to avoid bias.
+  uint64_t Below(uint64_t bound) {
+    assert(bound > 0);
+    const uint64_t threshold = -bound % bound;
+    for (;;) {
+      uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  /// Bernoulli(p).
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t state_[4];
+};
+
+}  // namespace eql
+
+#endif  // EQL_UTIL_RNG_H_

@@ -1,0 +1,114 @@
+// Status / Result: exception-free error propagation for the whole library.
+//
+// Library code never throws (Google style / RocksDB practice); fallible
+// operations return Status or Result<T>. Both are cheap to move and carry a
+// code plus a human-readable message (with position info for parse errors).
+#ifndef EQL_UTIL_STATUS_H_
+#define EQL_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace eql {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< bad user input (query text, generator parameters)
+  kNotFound,          ///< missing label/node/variable
+  kOutOfRange,        ///< index/limit violations
+  kUnimplemented,     ///< feature combination not supported
+  kInternal,          ///< invariant violation (a bug if ever seen)
+  kTimeout,           ///< a budgeted operation hit its deadline
+};
+
+/// Returns a stable lowercase name for a status code ("ok", "timeout", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation with no payload.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>", for logs and test failure output.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value or an error. Minimal StatusOr<T> stand-in (no Abseil offline).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}        // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) { // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "Result(Status) requires an error status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace eql
+
+/// Propagates a non-OK Status from an expression, RocksDB-style.
+#define EQL_RETURN_IF_ERROR(expr)             \
+  do {                                        \
+    ::eql::Status _eql_status = (expr);       \
+    if (!_eql_status.ok()) return _eql_status; \
+  } while (false)
+
+#endif  // EQL_UTIL_STATUS_H_

@@ -1,0 +1,57 @@
+// Wall-clock timing and deadlines for CTP timeouts (Section 2 / 4.8).
+#ifndef EQL_UTIL_STOPWATCH_H_
+#define EQL_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+namespace eql {
+
+/// Monotonic stopwatch; Restart() resets, ElapsedMs/Us read without stopping.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
+  }
+  double ElapsedUs() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A point in time after which budgeted work must stop. The default-built
+/// deadline is infinite. Checking is cheap enough for inner loops, but the
+/// search engines batch checks every few hundred operations anyway.
+class Deadline {
+ public:
+  /// Infinite deadline (never expires).
+  Deadline() : expires_(Clock::time_point::max()) {}
+
+  static Deadline AfterMs(int64_t ms) {
+    Deadline d;
+    if (ms >= 0) d.expires_ = Clock::now() + std::chrono::milliseconds(ms);
+    return d;
+  }
+  static Deadline Infinite() { return Deadline(); }
+
+  bool Expired() const {
+    return expires_ != Clock::time_point::max() && Clock::now() >= expires_;
+  }
+  bool IsInfinite() const { return expires_ == Clock::time_point::max(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point expires_;
+};
+
+}  // namespace eql
+
+#endif  // EQL_UTIL_STOPWATCH_H_

@@ -1,0 +1,33 @@
+// Small string helpers used by the lexer, dictionary and bench harnesses.
+#ifndef EQL_UTIL_STRING_UTIL_H_
+#define EQL_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eql {
+
+/// Splits on a single character; empty pieces are kept.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True if `text` matches `pattern` where '*' matches any run (including
+/// empty) and '?' matches exactly one character. This is the semantics of the
+/// paper's '~' (LIKE-style) predicate operator (Definition 2.2).
+bool GlobMatch(std::string_view pattern, std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Joins pieces with a separator.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// True if `s` parses fully as a finite double; stores it in *out.
+bool ParseDouble(std::string_view s, double* out);
+
+}  // namespace eql
+
+#endif  // EQL_UTIL_STRING_UTIL_H_

@@ -1,0 +1,64 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace eql {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::Render() const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += row[c];
+      line.append(width[c] - row[c].size(), ' ');
+      if (c + 1 < row.size()) line += "  ";
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line += '\n';
+    return line;
+  };
+  std::string out = render_row(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < width.size(); ++c) total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string TablePrinter::RenderCsv() const {
+  auto csv_row = [](const std::vector<std::string>& row) {
+    std::string line = "CSV";
+    for (const auto& cell : row) {
+      line += ',';
+      line += cell;
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out = csv_row(header_);
+  for (const auto& row : rows_) out += csv_row(row);
+  return out;
+}
+
+void TablePrinter::Print() const {
+  std::fputs(Render().c_str(), stdout);
+  std::fputs(RenderCsv().c_str(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace eql

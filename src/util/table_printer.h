@@ -1,0 +1,39 @@
+// Aligned text tables + CSV echo for the benchmark harnesses.
+//
+// Every bench binary prints the series a paper figure/table reports, both as
+// a human-readable aligned table and as machine-greppable "CSV," lines.
+#ifndef EQL_UTIL_TABLE_PRINTER_H_
+#define EQL_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace eql {
+
+/// Collects rows of string cells and renders them column-aligned.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the aligned table (header, rule, rows).
+  std::string Render() const;
+
+  /// Renders "CSV,<h1>,<h2>,..." lines for scripting.
+  std::string RenderCsv() const;
+
+  /// Prints Render() then RenderCsv() to stdout.
+  void Print() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace eql
+
+#endif  // EQL_UTIL_TABLE_PRINTER_H_

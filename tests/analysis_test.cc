@@ -1,0 +1,143 @@
+// Unit tests for result-shape analysis: simple tree decomposition (Def 4.6),
+// p-simple / p-ps classification (Defs 4.5/4.7), path results, and the
+// Property-9 (rooted-merge) recognizer, on the paper's own example trees.
+#include <gtest/gtest.h>
+
+#include "ctp/analysis.h"
+#include "test_util.h"
+
+namespace eql {
+namespace {
+
+// Figure 4's graph: seeds A..F; result = red + blue + violet edges with the
+// simple tree decomposition {A-4-D, A-1-2-B, B-7-E, B-8-F, B-3-C}.
+struct Figure4 {
+  Graph g;
+  std::vector<std::vector<NodeId>> sets;
+  std::vector<EdgeId> result_edges;
+};
+
+Figure4 MakeFigure4() {
+  Figure4 f;
+  Graph& g = f.g;
+  NodeId a = g.AddNode("A");
+  NodeId b = g.AddNode("B");
+  NodeId c = g.AddNode("C");
+  NodeId d = g.AddNode("D");
+  NodeId e = g.AddNode("E");
+  NodeId fn = g.AddNode("F");
+  NodeId n1 = g.AddNode("1");
+  NodeId n2 = g.AddNode("2");
+  NodeId n3 = g.AddNode("3");
+  NodeId n4 = g.AddNode("4");
+  NodeId n7 = g.AddNode("7");
+  NodeId n8 = g.AddNode("8");
+  EdgeId e0 = g.AddEdge(a, n4, "t");   // A-4
+  EdgeId e1 = g.AddEdge(n4, d, "t");   // 4-D
+  EdgeId e2 = g.AddEdge(a, n1, "t");   // A-1
+  EdgeId e3 = g.AddEdge(n1, n2, "t");  // 1-2
+  EdgeId e4 = g.AddEdge(n2, b, "t");   // 2-B
+  EdgeId e5 = g.AddEdge(b, n7, "t");   // B-7
+  EdgeId e6 = g.AddEdge(n7, e, "t");   // 7-E
+  EdgeId e7 = g.AddEdge(b, n8, "t");   // B-8
+  EdgeId e8 = g.AddEdge(n8, fn, "t");  // 8-F
+  EdgeId e9 = g.AddEdge(b, n3, "t");   // B-3
+  EdgeId e10 = g.AddEdge(n3, c, "t");  // 3-C
+  g.Finalize();
+  f.sets = {{a}, {b}, {c}, {d}, {e}, {fn}};
+  f.result_edges = {e0, e1, e2, e3, e4, e5, e6, e7, e8, e9, e10};
+  return f;
+}
+
+TEST(AnalysisTest, Figure4Decomposition) {
+  Figure4 f = MakeFigure4();
+  auto seeds = SeedSets::Of(f.g, f.sets);
+  ASSERT_TRUE(seeds.ok());
+  TreeArena arena;
+  TreeId id = arena.MakeAdHoc(f.g.FindNode("A"), f.result_edges, f.g, *seeds);
+  TreeShape shape = AnalyzeTree(f.g, *seeds, arena.Get(id));
+  EXPECT_EQ(shape.pieces.size(), 5u) << "the paper lists 5 simple edge sets";
+  EXPECT_EQ(shape.max_piece_leaves, 2) << "the sample result is 2ps";
+  EXPECT_TRUE(IsPiecewiseSimple(shape, 2));
+  EXPECT_FALSE(shape.is_path) << "B has 3 tree edges";
+  EXPECT_TRUE(shape.property9_applies) << "all pieces are paths (u<=2 merges)";
+}
+
+TEST(AnalysisTest, StarIsSingleRootedMerge) {
+  auto d = MakeStar(4, 2);
+  auto seeds = SeedSets::Of(d.graph, d.seed_sets);
+  ASSERT_TRUE(seeds.ok());
+  std::vector<EdgeId> all;
+  for (EdgeId e = 0; e < d.graph.NumEdges(); ++e) all.push_back(e);
+  TreeArena arena;
+  TreeId id = arena.MakeAdHoc(d.graph.FindNode("center"), all, d.graph, *seeds);
+  TreeShape shape = AnalyzeTree(d.graph, *seeds, arena.Get(id));
+  EXPECT_EQ(shape.pieces.size(), 1u);
+  EXPECT_EQ(shape.max_piece_leaves, 4) << "a (4, center)-rooted merge";
+  EXPECT_FALSE(IsPiecewiseSimple(shape, 3));
+  EXPECT_TRUE(shape.property9_applies);
+}
+
+TEST(AnalysisTest, LineResultIsTwoPs) {
+  auto d = MakeLine(4, 2);
+  auto seeds = SeedSets::Of(d.graph, d.seed_sets);
+  std::vector<EdgeId> all;
+  for (EdgeId e = 0; e < d.graph.NumEdges(); ++e) all.push_back(e);
+  TreeArena arena;
+  TreeId id = arena.MakeAdHoc(d.seed_sets[0][0], all, d.graph, *seeds);
+  TreeShape shape = AnalyzeTree(d.graph, *seeds, arena.Get(id));
+  EXPECT_EQ(shape.pieces.size(), 3u) << "one piece per seed-to-seed segment";
+  EXPECT_EQ(shape.max_piece_leaves, 2);
+  EXPECT_TRUE(shape.is_path);
+  EXPECT_TRUE(shape.property9_applies);
+}
+
+TEST(AnalysisTest, Figure7PiecesAreRootedMerges) {
+  auto d = MakeFigure7Graph();
+  auto seeds = SeedSets::Of(d.graph, d.seed_sets);
+  std::vector<EdgeId> all;
+  for (EdgeId e = 0; e < d.graph.NumEdges(); ++e) all.push_back(e);
+  TreeArena arena;
+  TreeId id = arena.MakeAdHoc(d.seed_sets[0][0], all, d.graph, *seeds);
+  TreeShape shape = AnalyzeTree(d.graph, *seeds, arena.Get(id));
+  EXPECT_TRUE(shape.property9_applies)
+      << "Figure 7 is the paper's Property-9 completeness example";
+  EXPECT_GT(shape.max_piece_leaves, 2) << "not 2ps: spiders at nodes 2 and 5";
+}
+
+TEST(AnalysisTest, SingleNodeTree) {
+  Graph g;
+  NodeId a = g.AddNode("A");
+  NodeId b = g.AddNode("B");
+  g.AddEdge(a, b, "t");
+  g.Finalize();
+  auto seeds = SeedSets::Of(g, {{a}, {a, b}});
+  TreeArena arena;
+  TreeId id = arena.MakeAdHoc(a, {}, g, *seeds);
+  TreeShape shape = AnalyzeTree(g, *seeds, arena.Get(id));
+  EXPECT_TRUE(shape.pieces.empty());
+  EXPECT_TRUE(shape.is_path);
+  EXPECT_TRUE(shape.property9_applies);
+}
+
+TEST(AnalysisTest, InternalSeedSplitsPieces) {
+  // A - B - C where B is a seed: the 2-edge path decomposes into two pieces
+  // that share the (leaf) node B.
+  Graph g;
+  NodeId a = g.AddNode("A");
+  NodeId b = g.AddNode("B");
+  NodeId c = g.AddNode("C");
+  EdgeId e0 = g.AddEdge(a, b, "t");
+  EdgeId e1 = g.AddEdge(b, c, "t");
+  g.Finalize();
+  auto seeds = SeedSets::Of(g, {{a}, {b}, {c}});
+  TreeArena arena;
+  TreeId id = arena.MakeAdHoc(a, {e0, e1}, g, *seeds);
+  TreeShape shape = AnalyzeTree(g, *seeds, arena.Get(id));
+  ASSERT_EQ(shape.pieces.size(), 2u);
+  EXPECT_EQ(shape.pieces[0].size(), 1u);
+  EXPECT_EQ(shape.pieces[1].size(), 1u);
+}
+
+}  // namespace
+}  // namespace eql

@@ -1,0 +1,109 @@
+// Tests for the DOT exporters and the engine's adaptive algorithm choice.
+#include <gtest/gtest.h>
+
+#include "ctp/provenance_export.h"
+#include "eval/engine.h"
+#include "test_util.h"
+
+namespace eql {
+namespace {
+
+TEST(DotExportTest, TreeDotContainsNodesEdgesAndSeedMarkers) {
+  Graph g = MakeFigure1Graph();
+  std::vector<std::vector<NodeId>> sets = {{g.FindNode("Bob")},
+                                           {g.FindNode("Carole")}};
+  auto seeds = SeedSets::Of(g, sets);
+  ASSERT_TRUE(seeds.ok());
+  auto algo = RunAlgo(AlgorithmKind::kMoLesp, g, sets);
+  ASSERT_GE(algo->results().size(), 1u);
+  const RootedTree& t = algo->arena().Get(algo->results().results()[0].tree);
+  std::string dot = TreeToDot(g, *seeds, t, "bob_carole");
+  EXPECT_EQ(dot.rfind("digraph bob_carole {", 0), 0u);
+  EXPECT_NE(dot.find("peripheries=2"), std::string::npos) << "seeds are marked";
+  EXPECT_NE(dot.find("Bob"), std::string::npos);
+  for (EdgeId e : t.edges) {
+    std::string arrow = "n" + std::to_string(g.Source(e)) + " -> n" +
+                        std::to_string(g.Target(e));
+    EXPECT_NE(dot.find(arrow), std::string::npos);
+  }
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(DotExportTest, ProvenanceDagCoversAllAncestors) {
+  Graph g;
+  NodeId a = g.AddNode("A");
+  NodeId x = g.AddNode("x");
+  NodeId b = g.AddNode("B");
+  EdgeId e0 = g.AddEdge(a, x, "t");
+  EdgeId e1 = g.AddEdge(b, x, "t");
+  g.Finalize();
+  auto seeds = SeedSets::Of(g, {{a}, {b}});
+  TreeArena arena;
+  TreeId ta = arena.MakeGrow(arena.MakeInit(a, *seeds), e0, x, *seeds);
+  TreeId tb = arena.MakeGrow(arena.MakeInit(b, *seeds), e1, x, *seeds);
+  TreeId m = arena.MakeMerge(ta, tb, *seeds);
+  std::string dot = ProvenanceToDot(arena, m, g);
+  EXPECT_NE(dot.find("Merge"), std::string::npos);
+  // Two Init boxes, two Grow boxes, one Merge box.
+  size_t inits = 0, grows = 0;
+  for (size_t pos = 0; (pos = dot.find("Init #", pos)) != std::string::npos; ++pos)
+    ++inits;
+  for (size_t pos = 0; (pos = dot.find("Grow #", pos)) != std::string::npos; ++pos)
+    ++grows;
+  EXPECT_EQ(inits, 2u);
+  EXPECT_EQ(grows, 2u);
+  // Child-to-parent arrows for both merge operands.
+  EXPECT_NE(dot.find("t" + std::to_string(ta) + " -> t" + std::to_string(m)),
+            std::string::npos);
+  EXPECT_NE(dot.find("t" + std::to_string(tb) + " -> t" + std::to_string(m)),
+            std::string::npos);
+}
+
+TEST(DotExportTest, QuotingSurvivesSpecialLabels) {
+  Graph g;
+  NodeId a = g.AddNode("A \"quoted\"");
+  NodeId b = g.AddNode("B\\slash");
+  g.AddEdge(a, b, "rel");
+  g.Finalize();
+  auto seeds = SeedSets::Of(g, {{a}, {b}});
+  TreeArena arena;
+  TreeId t = arena.MakeAdHoc(a, {0}, g, *seeds);
+  std::string dot = TreeToDot(g, *seeds, arena.Get(t));
+  EXPECT_NE(dot.find("\\\""), std::string::npos);
+}
+
+TEST(AdaptiveAlgorithmTest, EspPickedForPlainTwoSets) {
+  Graph g = MakeFigure1Graph();
+  EngineOptions opts;
+  opts.adaptive_algorithm = true;
+  EqlEngine engine(g, opts);
+  auto r = engine.Run("SELECT ?w WHERE { CONNECT(\"Bob\", \"Carole\" -> ?w) }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->ctp_runs.size(), 1u);
+  EXPECT_EQ(r->ctp_runs[0].algorithm, AlgorithmKind::kEsp);
+  // Same answers as the MoLESP default (Property 3: ESP complete for m=2).
+  EqlEngine plain(g);
+  auto r2 = plain.Run("SELECT ?w WHERE { CONNECT(\"Bob\", \"Carole\" -> ?w) }");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r->table.NumRows(), r2->table.NumRows());
+}
+
+TEST(AdaptiveAlgorithmTest, MolespKeptOtherwise) {
+  Graph g = MakeFigure1Graph();
+  EngineOptions opts;
+  opts.adaptive_algorithm = true;
+  EqlEngine engine(g, opts);
+  // m=3: no ESP shortcut.
+  auto r = engine.Run(
+      "SELECT ?w WHERE { CONNECT(\"Bob\", \"Alice\", \"Elon\" -> ?w) }");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->ctp_runs[0].algorithm, AlgorithmKind::kMoLesp);
+  // m=2 + UNI: conservative, still MoLESP.
+  auto r2 = engine.Run(
+      "SELECT ?w WHERE { CONNECT(\"Elon\", \"Doug\" -> ?w) UNI }");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->ctp_runs[0].algorithm, AlgorithmKind::kMoLesp);
+}
+
+}  // namespace
+}  // namespace eql

@@ -1,0 +1,256 @@
+// CTP filter behavior at the search-engine level (Sections 2 and 4.8):
+// UNI, LABEL, MAX, SCORE/TOP, LIMIT, TIMEOUT, tree budgets, and the
+// score-guided exploration order.
+#include <gtest/gtest.h>
+
+#include "ctp/analysis.h"
+#include "test_util.h"
+
+namespace eql {
+namespace {
+
+TEST(FilterTest, MaxEdgesCutsLargerResults) {
+  Graph g = MakeFigure1Graph();
+  std::vector<std::vector<NodeId>> sets = {{g.FindNode("Bob")},
+                                           {g.FindNode("Carole")}};
+  auto unbounded = RunAlgo(AlgorithmKind::kMoLesp, g, sets);
+  size_t all = unbounded->results().size();
+  CtpFilters f;
+  f.max_edges = 2;
+  auto bounded = RunAlgo(AlgorithmKind::kMoLesp, g, sets, f);
+  EXPECT_LT(bounded->results().size(), all);
+  EXPECT_GE(bounded->results().size(), 1u);
+  for (const auto& r : bounded->results().results()) {
+    EXPECT_LE(bounded->arena().Get(r.tree).NumEdges(), 2u);
+  }
+  // MAX also bounds the search itself: fewer trees are ever built.
+  EXPECT_LT(bounded->stats().trees_built, unbounded->stats().trees_built);
+}
+
+TEST(FilterTest, MaxAppliesToAllAlgorithms) {
+  Graph g = MakeFigure1Graph();
+  std::vector<std::vector<NodeId>> sets = {{g.FindNode("Bob")},
+                                           {g.FindNode("Alice")}};
+  CtpFilters f;
+  f.max_edges = 3;
+  for (AlgorithmKind kind : kAllAlgorithms) {
+    auto algo = RunAlgo(kind, g, sets, f);
+    for (const auto& r : algo->results().results()) {
+      EXPECT_LE(algo->arena().Get(r.tree).NumEdges(), 3u) << AlgorithmName(kind);
+    }
+  }
+}
+
+TEST(FilterTest, LabelFilterRestrictsEveryResultEdge) {
+  Graph g = MakeFigure1Graph();
+  std::vector<std::vector<NodeId>> sets = {{g.FindNode("Bob")},
+                                           {g.FindNode("Elon")}};
+  CtpFilters f;
+  StrId cit = g.dict().Lookup("citizenOf");
+  StrId par = g.dict().Lookup("parentOf");
+  f.allowed_labels = std::vector<StrId>{cit, par};
+  f.NormalizeLabels();
+  auto algo = RunAlgo(AlgorithmKind::kMoLesp, g, sets, f);
+  EXPECT_GE(algo->results().size(), 1u);
+  for (const auto& r : algo->results().results()) {
+    for (EdgeId e : algo->arena().Get(r.tree).edges) {
+      StrId l = g.EdgeLabelId(e);
+      EXPECT_TRUE(l == cit || l == par);
+    }
+  }
+}
+
+TEST(FilterTest, UniResultsHaveDirectedWitnessRoot) {
+  // Chain edges all point forward: under UNI, node 1 reaches node N+1.
+  auto d = MakeChain(3);
+  CtpFilters f;
+  f.unidirectional = true;
+  auto algo = RunAlgo(AlgorithmKind::kMoLesp, d.graph, d.seed_sets, f);
+  EXPECT_EQ(algo->results().size(), 8u) << "2^3 directed paths";
+  for (const auto& r : algo->results().results()) {
+    const RootedTree& t = algo->arena().Get(r.tree);
+    bool has_witness = false;
+    for (NodeId n : t.nodes) {
+      if (RootReachesAllDirected(d.graph, t, n)) {
+        has_witness = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(has_witness);
+  }
+}
+
+TEST(FilterTest, UniOnAlternatingLineFindsNothing) {
+  auto d = MakeLine(2, 3);  // alternating edge directions
+  CtpFilters f;
+  f.unidirectional = true;
+  auto algo = RunAlgo(AlgorithmKind::kMoLesp, d.graph, d.seed_sets, f);
+  EXPECT_EQ(algo->results().size(), 0u);
+  // Bidirectionally the result exists — requirement R3.
+  auto bidir = RunAlgo(AlgorithmKind::kMoLesp, d.graph, d.seed_sets);
+  EXPECT_EQ(bidir->results().size(), 1u);
+}
+
+TEST(FilterTest, UniStarInward) {
+  // Star arms of length 1: AddPath emits a single forward edge
+  // center->seed, so the center is a directed witness for all m seeds.
+  auto d = MakeStar(3, 1);
+  CtpFilters f;
+  f.unidirectional = true;
+  auto algo = RunAlgo(AlgorithmKind::kMoLesp, d.graph, d.seed_sets, f);
+  ASSERT_EQ(algo->results().size(), 1u);
+  const RootedTree& t = algo->arena().Get(algo->results().results()[0].tree);
+  NodeId center = d.graph.FindNode("center");
+  EXPECT_TRUE(RootReachesAllDirected(d.graph, t, center));
+}
+
+TEST(FilterTest, LimitStopsEarly) {
+  auto d = MakeChain(8);  // 256 results available
+  CtpFilters f;
+  f.limit = 10;
+  auto algo = RunAlgo(AlgorithmKind::kMoLesp, d.graph, d.seed_sets, f);
+  EXPECT_EQ(algo->results().size(), 10u);
+  EXPECT_TRUE(algo->stats().budget_exhausted);
+  EXPECT_FALSE(algo->stats().complete);
+}
+
+TEST(FilterTest, TreeBudgetStopsCleanly) {
+  auto d = MakeChain(10);
+  CtpFilters f;
+  f.max_trees = 500;
+  auto algo = RunAlgo(AlgorithmKind::kMoLesp, d.graph, d.seed_sets, f);
+  EXPECT_TRUE(algo->stats().budget_exhausted);
+  EXPECT_LE(algo->stats().trees_built, 502u) << "stops within one step of budget";
+}
+
+TEST(FilterTest, TimeoutTriggersOnExponentialChain) {
+  // Figure 2's motivation: Chain(24) has ~16M results; a 30ms budget must
+  // stop the search and mark it timed out, still returning partial results.
+  auto d = MakeChain(24);
+  CtpFilters f;
+  f.timeout_ms = 30;
+  auto algo = RunAlgo(AlgorithmKind::kMoLesp, d.graph, d.seed_sets, f);
+  EXPECT_TRUE(algo->stats().timed_out);
+  EXPECT_FALSE(algo->stats().complete);
+}
+
+TEST(FilterTest, ScoreAnnotatesResults) {
+  Graph g = MakeFigure1Graph();
+  std::vector<std::vector<NodeId>> sets = {{g.FindNode("Bob")},
+                                           {g.FindNode("Carole")}};
+  EdgeCountScore score;
+  CtpFilters f;
+  f.score = &score;
+  auto algo = RunAlgo(AlgorithmKind::kMoLesp, g, sets, f);
+  for (const auto& r : algo->results().results()) {
+    EXPECT_DOUBLE_EQ(
+        r.score,
+        -static_cast<double>(algo->arena().Get(r.tree).NumEdges()));
+  }
+}
+
+TEST(FilterTest, TopKKeepsBestScores) {
+  Graph g = MakeFigure1Graph();
+  std::vector<std::vector<NodeId>> sets = {{g.FindNode("Bob")},
+                                           {g.FindNode("Carole")}};
+  EdgeCountScore score;
+  CtpFilters f;
+  f.score = &score;
+  f.top_k = 3;
+  auto all_filters = CtpFilters{};
+  all_filters.score = &score;
+  auto all = RunAlgo(AlgorithmKind::kMoLesp, g, sets, all_filters);
+  auto top = RunAlgo(AlgorithmKind::kMoLesp, g, sets, f);
+  ASSERT_EQ(top->results().size(), 3u);
+  // The kept scores must be the 3 globally best.
+  std::vector<double> all_scores;
+  for (const auto& r : all->results().results()) all_scores.push_back(r.score);
+  std::sort(all_scores.rbegin(), all_scores.rend());
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(top->results().results()[i].score, all_scores[i]);
+  }
+}
+
+TEST(FilterTest, ScoreFunctionsDisagreeOnPurpose) {
+  // The introduction's point: the smallest tree (through a hub) is not the
+  // best under a hub-penalizing score. Star + shortcut through a high-degree
+  // hub node.
+  Graph g;
+  NodeId a = g.AddNode("A");
+  NodeId b = g.AddNode("B");
+  NodeId hub = g.AddNode("hub");
+  NodeId q1 = g.AddNode("q1");
+  NodeId q2 = g.AddNode("q2");
+  g.AddEdge(a, hub, "t");
+  g.AddEdge(hub, b, "t");
+  g.AddEdge(a, q1, "t");
+  g.AddEdge(q1, q2, "t");
+  g.AddEdge(q2, b, "t");
+  // Fatten the hub.
+  for (int i = 0; i < 20; ++i) {
+    NodeId extra = g.AddNode("x" + std::to_string(i));
+    g.AddEdge(hub, extra, "t");
+  }
+  g.Finalize();
+  auto seeds = SeedSets::Of(g, {{a}, {b}});
+  ASSERT_TRUE(seeds.ok());
+  auto algo = RunAlgo(AlgorithmKind::kMoLesp, g, {{a}, {b}});
+  ASSERT_EQ(algo->results().size(), 2u);
+  EdgeCountScore by_size;
+  DegreePenaltyScore by_degree;
+  const RootedTree& hub_path =
+      algo->arena().Get(algo->results().results()[0].tree).NumEdges() == 2
+          ? algo->arena().Get(algo->results().results()[0].tree)
+          : algo->arena().Get(algo->results().results()[1].tree);
+  const RootedTree& quiet_path =
+      algo->arena().Get(algo->results().results()[0].tree).NumEdges() == 3
+          ? algo->arena().Get(algo->results().results()[0].tree)
+          : algo->arena().Get(algo->results().results()[1].tree);
+  EXPECT_GT(by_size.Score(g, *seeds, hub_path),
+            by_size.Score(g, *seeds, quiet_path));
+  EXPECT_GT(by_degree.Score(g, *seeds, quiet_path),
+            by_degree.Score(g, *seeds, hub_path));
+}
+
+TEST(FilterTest, ScoreGuidedOrderIsCompleteAndBiased) {
+  // Section 4.8: any order may be used with MoLESP; a score-guided one still
+  // finds everything (completeness is order-independent).
+  Graph g = MakeFigure1Graph();
+  std::vector<std::vector<NodeId>> sets = {{g.FindNode("Bob")},
+                                           {g.FindNode("Carole")}};
+  DegreePenaltyScore score;
+  ScoreGuidedOrder order(&score);
+  auto guided = RunAlgo(AlgorithmKind::kMoLesp, g, sets, {}, &order);
+  auto plain = RunAlgo(AlgorithmKind::kMoLesp, g, sets);
+  EXPECT_EQ(Canonical(guided->results()), Canonical(plain->results()));
+}
+
+TEST(FilterTest, CombinedFiltersCompose) {
+  Graph g = MakeFigure1Graph();
+  std::vector<std::vector<NodeId>> sets = {{g.FindNode("Bob")},
+                                           {g.FindNode("Carole")}};
+  EdgeCountScore score;
+  CtpFilters f;
+  f.max_edges = 5;
+  StrId cit = g.dict().Lookup("citizenOf");
+  StrId par = g.dict().Lookup("parentOf");
+  StrId fra = g.dict().Lookup("citizenOf");
+  (void)fra;
+  f.allowed_labels = std::vector<StrId>{cit, par};
+  f.NormalizeLabels();
+  f.score = &score;
+  f.top_k = 2;
+  auto algo = RunAlgo(AlgorithmKind::kMoLesp, g, sets, f);
+  EXPECT_LE(algo->results().size(), 2u);
+  for (const auto& r : algo->results().results()) {
+    const RootedTree& t = algo->arena().Get(r.tree);
+    EXPECT_LE(t.NumEdges(), 5u);
+    for (EdgeId e : t.edges) {
+      StrId l = g.EdgeLabelId(e);
+      EXPECT_TRUE(l == cit || l == par);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eql

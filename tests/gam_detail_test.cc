@@ -1,0 +1,205 @@
+// White-box tests of the GAM-family engine internals: seed signatures
+// (Section 4.6), Mo-tree injection (Section 4.5), LESP spares (Alg. 4),
+// provenance bookkeeping, effort orderings between variants, and
+// grow-disabled-on-Mo behavior.
+#include <gtest/gtest.h>
+
+#include "ctp/gam.h"
+#include "gen/synthetic.h"
+#include "test_util.h"
+
+namespace eql {
+namespace {
+
+TEST(SeedSignatureTest, RootedPathsSetBits) {
+  // Line A - x - y - B: after a full MoLESP run, ss_x and ss_y carry bits
+  // from both seeds (rooted paths from each side reach them).
+  Graph g;
+  NodeId a = g.AddNode("A");
+  NodeId x = g.AddNode("x");
+  NodeId y = g.AddNode("y");
+  NodeId b = g.AddNode("B");
+  g.AddEdge(a, x, "t");
+  g.AddEdge(x, y, "t");
+  g.AddEdge(y, b, "t");
+  g.Finalize();
+  auto seeds = SeedSets::Of(g, {{a}, {b}});
+  ASSERT_TRUE(seeds.ok());
+  GamSearch search(g, *seeds, GamConfig::MoLesp());
+  ASSERT_TRUE(search.Run().ok());
+  EXPECT_EQ(search.results().size(), 1u);
+  EXPECT_EQ(search.SeedSignatureOf(x).Count(), 2);
+  EXPECT_EQ(search.SeedSignatureOf(y).Count(), 2);
+  // Def 4.4: a rooted path may contain no *second* seed, so the chain from B
+  // stops counting once it reaches A — ss_A keeps only A's own bit.
+  EXPECT_EQ(search.SeedSignatureOf(a).Count(), 1);
+}
+
+TEST(SeedSignatureTest, SeedsStartWithOwnBit) {
+  Graph g;
+  NodeId a = g.AddNode("A");
+  NodeId b = g.AddNode("B");
+  g.AddEdge(a, b, "t");
+  g.Finalize();
+  auto seeds = SeedSets::Of(g, {{a}, {b}});
+  GamSearch search(g, *seeds, GamConfig::Lesp());
+  ASSERT_TRUE(search.Run().ok());
+  EXPECT_TRUE(search.SeedSignatureOf(a).Test(0));
+  EXPECT_TRUE(search.SeedSignatureOf(b).Test(1));
+}
+
+TEST(MoTreeTest, StarCenterSignatureReachesThree) {
+  // On Star(3, sL) the center accumulates all three bits — the condition
+  // that "spares" LESP merges (Section 4.6).
+  auto d = MakeStar(3, 2);
+  auto seeds = SeedSets::Of(d.graph, d.seed_sets);
+  GamSearch search(d.graph, *seeds, GamConfig::MoLesp());
+  ASSERT_TRUE(search.Run().ok());
+  NodeId center = d.graph.FindNode("center");
+  EXPECT_EQ(search.SeedSignatureOf(center).Count(), 3);
+  EXPECT_EQ(search.results().size(), 1u);
+}
+
+TEST(MoTreeTest, MoEspBuildsMoTrees) {
+  auto d = MakeLine(3, 1);
+  auto seeds = SeedSets::Of(d.graph, d.seed_sets);
+  GamSearch moesp(d.graph, *seeds, GamConfig::MoEsp());
+  ASSERT_TRUE(moesp.Run().ok());
+  EXPECT_GT(moesp.stats().mo_trees, 0u);
+  GamSearch esp(d.graph, *seeds, GamConfig::Esp());
+  ASSERT_TRUE(esp.Run().ok());
+  EXPECT_EQ(esp.stats().mo_trees, 0u);
+  // "MoESP builds a strict superset of the rooted trees created by ESP".
+  EXPECT_GT(moesp.stats().trees_built, esp.stats().trees_built);
+}
+
+TEST(MoTreeTest, GrowDisabledOnMoTaintedTrees) {
+  // All Mo-tainted trees in the arena must have no Grow children: verify by
+  // scanning provenances after a MoLESP run.
+  auto d = MakeComb(2, 1, 2, 2);
+  auto seeds = SeedSets::Of(d.graph, d.seed_sets);
+  GamSearch search(d.graph, *seeds, GamConfig::MoLesp());
+  ASSERT_TRUE(search.Run().ok());
+  const TreeArena& arena = search.arena();
+  for (TreeId id = 0; id < arena.size(); ++id) {
+    const RootedTree& t = arena.Get(id);
+    if (t.kind == ProvKind::kGrow) {
+      EXPECT_FALSE(arena.Get(t.child1).mo_tainted)
+          << "Grow applied to a Mo-tainted tree (§4.5 violation)";
+    }
+  }
+}
+
+TEST(LespTest, SpareFiresUnderSomeOrderOnStar) {
+  // With the default smallest-first order, the center merges win every race
+  // and the LESP provision never needs to fire; under adversarial random
+  // orders (where grow chains cross the center first) it must — that is
+  // what rescues the (u,n)-rooted merge (Property 6).
+  auto d = MakeStar(4, 2);
+  auto seeds = SeedSets::Of(d.graph, d.seed_sets);
+  GamSearch default_order(d.graph, *seeds, GamConfig::Lesp());
+  ASSERT_TRUE(default_order.Run().ok());
+  EXPECT_EQ(default_order.results().size(), 1u);
+
+  bool spared_somewhere = false;
+  for (uint64_t order_seed = 0; order_seed < 30 && !spared_somewhere;
+       ++order_seed) {
+    RandomOrder order(order_seed);
+    GamConfig config = GamConfig::Lesp();
+    config.order = &order;
+    GamSearch lesp(d.graph, *seeds, config);
+    ASSERT_TRUE(lesp.Run().ok());
+    EXPECT_EQ(lesp.results().size(), 1u) << "Property 6, order " << order_seed;
+    spared_somewhere |= lesp.stats().lesp_spared > 0;
+  }
+  EXPECT_TRUE(spared_somewhere);
+
+  // ESP never spares (it lacks the provision).
+  GamSearch esp(d.graph, *seeds, GamConfig::Esp());
+  ASSERT_TRUE(esp.Run().ok());
+  EXPECT_EQ(esp.stats().lesp_spared, 0u);
+}
+
+TEST(EffortOrderingTest, PruningReducesProvenances) {
+  // Fig 11d-f: gam >= lesp >= esp and molesp >= moesp in kept provenances;
+  // esp is the floor of the non-Mo family.
+  for (auto make : {+[] { return MakeComb(2, 2, 3, 3); },
+                    +[] { return MakeStar(5, 3); }}) {
+    SyntheticDataset d = make();
+    auto seeds = SeedSets::Of(d.graph, d.seed_sets);
+    auto count = [&](GamConfig config) {
+      GamSearch s(d.graph, *seeds, config);
+      EXPECT_TRUE(s.Run().ok());
+      return s.stats().trees_built;
+    };
+    uint64_t gam = count(GamConfig::Gam());
+    uint64_t esp = count(GamConfig::Esp());
+    uint64_t lesp = count(GamConfig::Lesp());
+    uint64_t moesp = count(GamConfig::MoEsp());
+    uint64_t molesp = count(GamConfig::MoLesp());
+    EXPECT_GE(gam, lesp);
+    EXPECT_GE(lesp, esp);
+    EXPECT_GE(moesp, esp);
+    EXPECT_GE(molesp, moesp);
+  }
+}
+
+TEST(ProvenanceTest, StringsReflectStructure) {
+  Graph g;
+  NodeId a = g.AddNode("A");
+  NodeId x = g.AddNode("x");
+  NodeId b = g.AddNode("B");
+  EdgeId e0 = g.AddEdge(a, x, "t");
+  EdgeId e1 = g.AddEdge(b, x, "t");
+  g.Finalize();
+  auto seeds = SeedSets::Of(g, {{a}, {b}});
+  TreeArena arena;
+  TreeId ia = arena.MakeInit(a, *seeds);
+  TreeId ta = arena.MakeGrow(ia, e0, x, *seeds);
+  TreeId ib = arena.MakeInit(b, *seeds);
+  TreeId tb = arena.MakeGrow(ib, e1, x, *seeds);
+  TreeId m = arena.MakeMerge(ta, tb, *seeds);
+  std::string prov = arena.ProvenanceToString(m, g);
+  EXPECT_NE(prov.find("Merge("), std::string::npos);
+  EXPECT_NE(prov.find("Init(A)"), std::string::npos);
+  EXPECT_NE(prov.find("Init(B)"), std::string::npos);
+  TreeId mo = arena.MakeMo(m, a);
+  EXPECT_EQ(arena.ProvenanceToString(mo, g).rfind("Mo(", 0), 0u);
+}
+
+TEST(QueueStrategyTest, SubsetQueuesCreateMultipleQueues) {
+  auto d = MakeLine(3, 2);
+  auto seeds = SeedSets::Of(d.graph, d.seed_sets);
+  GamConfig config = GamConfig::MoLesp();
+  config.queue_strategy = QueueStrategy::kPerSatSubset;
+  GamSearch search(d.graph, *seeds, config);
+  ASSERT_TRUE(search.Run().ok());
+  EXPECT_EQ(search.results().size(), 1u);
+}
+
+TEST(DeadlineTest, ZeroTimeoutStillReturnsCleanly) {
+  auto d = MakeChain(12);
+  auto seeds = SeedSets::Of(d.graph, d.seed_sets);
+  GamConfig config = GamConfig::MoLesp();
+  config.filters.timeout_ms = 0;
+  GamSearch search(d.graph, *seeds, config);
+  ASSERT_TRUE(search.Run().ok());
+  EXPECT_TRUE(search.stats().timed_out);
+  EXPECT_FALSE(search.stats().complete);
+}
+
+TEST(StatsTest, GrowAttemptsMatchQueueDrain) {
+  auto d = MakeStar(3, 2);
+  auto seeds = SeedSets::Of(d.graph, d.seed_sets);
+  GamSearch search(d.graph, *seeds, GamConfig::MoLesp());
+  ASSERT_TRUE(search.Run().ok());
+  const SearchStats& s = search.stats();
+  EXPECT_EQ(s.grow_attempts, s.queue_pushed)
+      << "a complete run drains exactly what was pushed";
+  EXPECT_LE(s.trees_built + s.trees_pruned,
+            s.init_trees + s.grow_attempts + s.merge_attempts + s.mo_trees)
+      << "every provenance (kept or pruned) stems from Init/Grow/Merge/Mo";
+}
+
+}  // namespace
+}  // namespace eql

@@ -1,0 +1,214 @@
+// Unit tests for the synthetic generators: node/edge count formulas from
+// Section 5.3 and structural properties the benchmarks rely on.
+#include <gtest/gtest.h>
+
+#include "gen/cdf.h"
+#include "gen/kg.h"
+#include "gen/synthetic.h"
+#include "util/rng.h"
+
+namespace eql {
+namespace {
+
+TEST(SeedNameTest, LettersThenNumbered) {
+  EXPECT_EQ(SeedName(0), "A");
+  EXPECT_EQ(SeedName(25), "Z");
+  EXPECT_EQ(SeedName(26), "S26");
+}
+
+TEST(LineTest, CountsAndSeeds) {
+  // Line(m, nL): m seeds, (m-1) segments of (nL+1) edges and nL fresh nodes.
+  for (int m : {2, 3, 5}) {
+    for (int nl : {0, 1, 4}) {
+      auto d = MakeLine(m, nl);
+      EXPECT_EQ(d.graph.NumNodes(), static_cast<size_t>(m + (m - 1) * nl));
+      EXPECT_EQ(d.graph.NumEdges(), static_cast<size_t>((m - 1) * (nl + 1)));
+      EXPECT_EQ(d.seed_sets.size(), static_cast<size_t>(m));
+      for (const auto& s : d.seed_sets) EXPECT_EQ(s.size(), 1u);
+    }
+  }
+}
+
+TEST(LineTest, AlternatingDirectionsBlockUnidirectionalTraversal) {
+  auto d = MakeLine(2, 3);  // 4 edges alternating forward/backward
+  const Graph& g = d.graph;
+  int fwd = 0, bwd = 0;
+  NodeId a = d.seed_sets[0][0];
+  // Walk the path from A; count orientations.
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    (void)a;
+    if (e % 2 == 0) ++fwd; else ++bwd;
+  }
+  EXPECT_GT(fwd, 0);
+  EXPECT_GT(bwd, 0);
+}
+
+TEST(CombTest, SeedCountFormula) {
+  // m = nA * (nS + 1).
+  for (int na : {2, 4, 6}) {
+    auto d = MakeComb(na, 2, 3, 3);
+    EXPECT_EQ(d.seed_sets.size(), static_cast<size_t>(na * 3));
+    // main line: (na-1)*dBA edges; bristles: na*nS*sL edges.
+    EXPECT_EQ(d.graph.NumEdges(), static_cast<size_t>((na - 1) * 3 + na * 2 * 3));
+  }
+}
+
+TEST(StarTest, Counts) {
+  auto d = MakeStar(4, 2);
+  // center + per arm: 1 seed + (sL-1) intermediates.
+  EXPECT_EQ(d.graph.NumNodes(), 1u + 4u * 2u);
+  EXPECT_EQ(d.graph.NumEdges(), 4u * 2u);
+  EXPECT_EQ(d.seed_sets.size(), 4u);
+  // Center has degree m.
+  NodeId center = d.graph.FindNode("center");
+  ASSERT_NE(center, kNoNode);
+  EXPECT_EQ(d.graph.Degree(center), 4u);
+}
+
+TEST(ChainTest, ParallelEdges) {
+  auto d = MakeChain(5);
+  EXPECT_EQ(d.graph.NumNodes(), 6u);
+  EXPECT_EQ(d.graph.NumEdges(), 10u);  // 2 per hop
+  EXPECT_EQ(d.seed_sets.size(), 2u);
+  StrId a = d.graph.dict().Lookup("a");
+  StrId b = d.graph.dict().Lookup("b");
+  EXPECT_EQ(d.graph.EdgesWithLabel(a).size(), 5u);
+  EXPECT_EQ(d.graph.EdgesWithLabel(b).size(), 5u);
+}
+
+TEST(CdfTest, EdgeCountFormulaM2) {
+  // 12*NT + NL*SL edges; 14*NT + NL*(SL-1) nodes for m=2 (paper formulas).
+  CdfParams p;
+  p.m = 2;
+  p.num_trees = 5;
+  p.num_links = 7;
+  p.link_len = 3;
+  auto d = MakeCdf(p);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->graph.NumEdges(), static_cast<size_t>(12 * 5 + 7 * 3));
+  EXPECT_EQ(d->graph.NumNodes(), static_cast<size_t>(14 * 5 + 7 * (3 - 1)));
+}
+
+TEST(CdfTest, EdgeCountFormulaM3) {
+  CdfParams p;
+  p.m = 3;
+  p.num_trees = 4;
+  p.num_links = 6;
+  p.link_len = 3;
+  auto d = MakeCdf(p);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->graph.NumEdges(), static_cast<size_t>(12 * 4 + 6 * 3));
+  // Y-link with SL=3 has exactly 1 internal node (see DESIGN.md §6).
+  EXPECT_EQ(d->graph.NumNodes(), static_cast<size_t>(14 * 4 + 6 * 1));
+}
+
+TEST(CdfTest, LeafInventory) {
+  CdfParams p;
+  p.m = 2;
+  p.num_trees = 3;
+  p.num_links = 2;
+  auto d = MakeCdf(p);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->top_leaves.size(), 6u);       // 2 c-targets per tree
+  EXPECT_EQ(d->bottom_g_leaves.size(), 6u);  // 2 g-targets per tree
+  EXPECT_EQ(d->bottom_h_leaves.size(), 6u);
+}
+
+TEST(CdfTest, RejectsBadParams) {
+  CdfParams p;
+  p.m = 4;
+  EXPECT_FALSE(MakeCdf(p).ok());
+  p.m = 3;
+  p.link_len = 2;
+  EXPECT_FALSE(MakeCdf(p).ok());
+  p.m = 2;
+  p.link_len = 1;
+  p.num_trees = 0;
+  EXPECT_FALSE(MakeCdf(p).ok());
+}
+
+TEST(CdfTest, DeterministicForSeed) {
+  CdfParams p;
+  p.m = 2;
+  p.num_trees = 4;
+  p.num_links = 5;
+  p.seed = 99;
+  auto d1 = MakeCdf(p);
+  auto d2 = MakeCdf(p);
+  ASSERT_TRUE(d1.ok());
+  ASSERT_TRUE(d2.ok());
+  ASSERT_EQ(d1->graph.NumEdges(), d2->graph.NumEdges());
+  for (EdgeId e = 0; e < d1->graph.NumEdges(); ++e) {
+    EXPECT_EQ(d1->graph.Source(e), d2->graph.Source(e));
+    EXPECT_EQ(d1->graph.Target(e), d2->graph.Target(e));
+  }
+}
+
+TEST(CdfTest, QueryTextMentionsConnect) {
+  EXPECT_NE(CdfQueryText(2).find("CONNECT(?tl, ?bl -> ?l)"), std::string::npos);
+  EXPECT_NE(CdfQueryText(3).find("?bl2"), std::string::npos);
+}
+
+TEST(KgTest, SizesAndConnectivity) {
+  KgParams p;
+  p.num_nodes = 500;
+  p.num_edges = 1500;
+  auto g = MakeSyntheticKg(p);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumNodes(), 500u);
+  EXPECT_EQ(g->NumEdges(), 1500u);
+  // Preferential attachment keeps everything connected: no isolated nodes.
+  for (NodeId n = 0; n < g->NumNodes(); ++n) EXPECT_GE(g->Degree(n), 1u);
+}
+
+TEST(KgTest, HeavyTail) {
+  KgParams p;
+  p.num_nodes = 2000;
+  p.num_edges = 6000;
+  auto g = MakeSyntheticKg(p);
+  ASSERT_TRUE(g.ok());
+  uint32_t max_deg = 0;
+  for (NodeId n = 0; n < g->NumNodes(); ++n) max_deg = std::max(max_deg, g->Degree(n));
+  // Scale-free graphs grow hubs far above the mean degree (6 here).
+  EXPECT_GT(max_deg, 30u);
+}
+
+TEST(KgTest, RejectsBadParams) {
+  KgParams p;
+  p.num_nodes = 1;
+  EXPECT_FALSE(MakeSyntheticKg(p).ok());
+  p.num_nodes = 10;
+  p.num_edges = 5;
+  EXPECT_FALSE(MakeSyntheticKg(p).ok());
+}
+
+TEST(KgTest, WorkloadShape) {
+  KgParams p;
+  p.num_nodes = 300;
+  p.num_edges = 900;
+  auto g = MakeSyntheticKg(p);
+  ASSERT_TRUE(g.ok());
+  Rng rng(3);
+  auto work = MakeCtpWorkload(*g, 10, 4, 2, &rng);
+  ASSERT_EQ(work.size(), 10u);
+  for (const auto& ctp : work) {
+    ASSERT_EQ(ctp.seed_sets.size(), 4u);
+    std::set<NodeId> all;
+    for (const auto& s : ctp.seed_sets) {
+      EXPECT_EQ(s.size(), 2u);
+      for (NodeId n : s) {
+        EXPECT_TRUE(all.insert(n).second) << "duplicate seed across sets";
+        EXPECT_GE(g->Degree(n), 1u);
+      }
+    }
+  }
+}
+
+TEST(KgTest, DbpediaWorkloadCountsMatchPaper) {
+  int total = 0;
+  for (int c : kDbpediaWorkloadCounts) total += c;
+  EXPECT_EQ(total, 312);
+}
+
+}  // namespace
+}  // namespace eql

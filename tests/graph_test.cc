@@ -1,0 +1,185 @@
+// Unit tests for the graph layer: dictionary, node/edge attributes, CSR
+// incidence (undirected + directed), inverted indexes, text I/O round-trips.
+#include <gtest/gtest.h>
+
+#include "graph/dictionary.h"
+#include "graph/graph.h"
+#include "graph/graph_io.h"
+
+namespace eql {
+namespace {
+
+TEST(DictionaryTest, EpsilonIsZero) {
+  Dictionary d;
+  EXPECT_EQ(d.Lookup(""), Dictionary::kEpsilon);
+  EXPECT_EQ(d.Get(0), "");
+}
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary d;
+  StrId a = d.Intern("Alice");
+  EXPECT_EQ(d.Intern("Alice"), a);
+  EXPECT_EQ(d.Get(a), "Alice");
+  EXPECT_NE(d.Intern("Bob"), a);
+  EXPECT_EQ(d.size(), 3u);  // epsilon + 2
+}
+
+TEST(DictionaryTest, LookupMissing) {
+  Dictionary d;
+  EXPECT_EQ(d.Lookup("nope"), kNoStrId);
+}
+
+class GraphFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = g_.AddNode("A");
+    b_ = g_.AddNode("B");
+    c_ = g_.AddNode("C");
+    g_.AddType(b_, "person");
+    g_.AddType(b_, "entrepreneur");
+    g_.SetNodeProperty(a_, "since", "1999");
+    e0_ = g_.AddEdge(a_, b_, "knows");
+    e1_ = g_.AddEdge(c_, b_, "knows");
+    e2_ = g_.AddEdge(b_, b_, "self");
+    g_.SetEdgeProperty(e0_, "weight", "3");
+    g_.Finalize();
+  }
+  Graph g_;
+  NodeId a_, b_, c_;
+  EdgeId e0_, e1_, e2_;
+};
+
+TEST_F(GraphFixture, SizesAndLabels) {
+  EXPECT_EQ(g_.NumNodes(), 3u);
+  EXPECT_EQ(g_.NumEdges(), 3u);
+  EXPECT_EQ(g_.NodeLabel(a_), "A");
+  EXPECT_EQ(g_.EdgeLabel(e0_), "knows");
+  EXPECT_EQ(g_.Source(e1_), c_);
+  EXPECT_EQ(g_.Target(e1_), b_);
+}
+
+TEST_F(GraphFixture, Types) {
+  EXPECT_EQ(g_.NodeTypes(b_).size(), 2u);
+  StrId person = g_.dict().Lookup("person");
+  ASSERT_NE(person, kNoStrId);
+  EXPECT_TRUE(g_.HasType(b_, person));
+  EXPECT_FALSE(g_.HasType(a_, person));
+}
+
+TEST_F(GraphFixture, Properties) {
+  StrId v = g_.NodePropertyId(a_, "since");
+  ASSERT_NE(v, kNoStrId);
+  EXPECT_EQ(g_.dict().Get(v), "1999");
+  EXPECT_EQ(g_.NodePropertyId(b_, "since"), kNoStrId);
+  EXPECT_EQ(g_.NodePropertyId(a_, "never-set-key"), kNoStrId);
+  StrId w = g_.EdgePropertyId(e0_, "weight");
+  ASSERT_NE(w, kNoStrId);
+  EXPECT_EQ(g_.dict().Get(w), "3");
+}
+
+TEST_F(GraphFixture, UndirectedIncidenceBothDirections) {
+  // b has: e0 incoming, e1 incoming, e2 self-loop (listed once).
+  auto inc = g_.Incident(b_);
+  EXPECT_EQ(inc.size(), 3u);
+  EXPECT_EQ(g_.Degree(b_), 3u);
+  // a sees e0 as forward; b sees it as backward.
+  bool found = false;
+  for (const auto& ie : g_.Incident(a_)) {
+    if (ie.edge == e0_) {
+      EXPECT_TRUE(ie.forward);
+      EXPECT_EQ(ie.other, b_);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  for (const auto& ie : g_.Incident(b_)) {
+    if (ie.edge == e0_) {
+      EXPECT_FALSE(ie.forward);
+      EXPECT_EQ(ie.other, a_);
+    }
+  }
+}
+
+TEST_F(GraphFixture, DirectedAdjacency) {
+  EXPECT_EQ(g_.OutEdges(a_).size(), 1u);
+  EXPECT_EQ(g_.InEdges(a_).size(), 0u);
+  EXPECT_EQ(g_.OutEdges(b_).size(), 1u);  // self-loop
+  EXPECT_EQ(g_.InEdges(b_).size(), 3u);   // e0, e1, e2
+}
+
+TEST_F(GraphFixture, InvertedIndexes) {
+  StrId knows = g_.dict().Lookup("knows");
+  EXPECT_EQ(g_.EdgesWithLabel(knows).size(), 2u);
+  StrId a_label = g_.dict().Lookup("A");
+  ASSERT_NE(a_label, kNoStrId);
+  ASSERT_EQ(g_.NodesWithLabel(a_label).size(), 1u);
+  EXPECT_EQ(g_.NodesWithLabel(a_label)[0], a_);
+  StrId ent = g_.dict().Lookup("entrepreneur");
+  EXPECT_EQ(g_.NodesWithType(ent).size(), 1u);
+  EXPECT_EQ(g_.NodesWithLabel(kNoStrId).size(), 0u) << "unknown label id";
+}
+
+TEST_F(GraphFixture, FindNode) {
+  EXPECT_EQ(g_.FindNode("C"), c_);
+  EXPECT_EQ(g_.FindNode("nope"), kNoNode);
+}
+
+TEST_F(GraphFixture, EdgeToString) {
+  EXPECT_EQ(g_.EdgeToString(e0_), "A -knows-> B");
+}
+
+TEST(GraphBuilderTest, GetOrAddNodeDedupes) {
+  Graph g;
+  NodeId x = g.GetOrAddNode("X");
+  NodeId y = g.GetOrAddNode("Y");
+  EXPECT_EQ(g.GetOrAddNode("X"), x);
+  EXPECT_NE(x, y);
+  EXPECT_EQ(g.FindNode("X"), x);  // builder-time lookup
+  EXPECT_EQ(g.NumNodes(), 2u);
+}
+
+TEST(GraphBuilderTest, LiteralNodes) {
+  Graph g;
+  NodeId l = g.AddLiteralNode("42");
+  NodeId n = g.AddNode("N");
+  g.Finalize();
+  EXPECT_TRUE(g.IsLiteral(l));
+  EXPECT_FALSE(g.IsLiteral(n));
+}
+
+TEST(GraphIoTest, ParseAndIndex) {
+  auto r = ParseGraphText(
+      "# comment\n"
+      "Alice\tknows\tBob\n"
+      "Bob\tknows\tCarol\n"
+      "@type\tAlice\tperson\n"
+      "\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Graph& g = *r;
+  EXPECT_EQ(g.NumNodes(), 3u);
+  EXPECT_EQ(g.NumEdges(), 2u);
+  NodeId alice = g.FindNode("Alice");
+  ASSERT_NE(alice, kNoNode);
+  StrId person = g.dict().Lookup("person");
+  EXPECT_TRUE(g.HasType(alice, person));
+}
+
+TEST(GraphIoTest, RejectsMalformedLine) {
+  auto r = ParseGraphText("just-two\tcolumns\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphIoTest, RoundTrip) {
+  auto r = ParseGraphText("A\tp\tB\nB\tq\tC\n@type\tA\tx\n");
+  ASSERT_TRUE(r.ok());
+  std::string text = GraphToText(*r);
+  auto r2 = ParseGraphText(text);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->NumNodes(), r->NumNodes());
+  EXPECT_EQ(r2->NumEdges(), r->NumEdges());
+  EXPECT_NE(r2->FindNode("C"), kNoNode);
+}
+
+}  // namespace
+}  // namespace eql

@@ -1,0 +1,123 @@
+// Cross-module integration: save/load a graph through the filesystem, run
+// the full EQL stack on the loaded copy, and verify the results survive the
+// round trip; plus a larger end-to-end scenario chaining generator ->
+// engine -> analysis -> export.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "ctp/analysis.h"
+#include "ctp/provenance_export.h"
+#include "eval/engine.h"
+#include "gen/kg.h"
+#include "graph/graph_io.h"
+#include "test_util.h"
+
+namespace eql {
+namespace {
+
+TEST(IntegrationTest, FileRoundTripPreservesQueryAnswers) {
+  Graph original = MakeFigure1Graph();
+  std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "eql_fig1_roundtrip.tsv";
+  ASSERT_TRUE(SaveGraphFile(original, path.string()).ok());
+  auto loaded = LoadGraphFile(path.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  std::remove(path.string().c_str());
+
+  const char* query =
+      "SELECT ?x ?w WHERE {\n"
+      "  ?x \"citizenOf\" \"USA\" .\n"
+      "  FILTER(type(?x) = \"entrepreneur\")\n"
+      "  CONNECT(?x, \"Elon\" -> ?w) MAX 4\n"
+      "}";
+  EqlEngine e1(original), e2(*loaded);
+  auto r1 = e1.Run(query);
+  auto r2 = e2.Run(query);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->table.NumRows(), r2->table.NumRows());
+  // Edge ids may differ after the round trip; compare tree sizes multiset.
+  std::multiset<size_t> s1, s2;
+  for (const auto& t : r1->trees) s1.insert(t.edges.size());
+  for (const auto& t : r2->trees) s2.insert(t.edges.size());
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(IntegrationTest, LoadRejectsMissingFile) {
+  auto r = LoadGraphFile("/nonexistent/path/to/graph.tsv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(IntegrationTest, SaveRejectsUnwritablePath) {
+  Graph g = MakeFigure1Graph();
+  EXPECT_FALSE(SaveGraphFile(g, "/nonexistent/dir/out.tsv").ok());
+}
+
+TEST(IntegrationTest, GeneratorToEngineToAnalysisToExport) {
+  // Full pipeline: synthetic KG -> EQL query -> shape analysis of every
+  // returned tree -> DOT export sanity.
+  KgParams p;
+  p.num_nodes = 800;
+  p.num_edges = 2600;
+  p.seed = 3;
+  auto g = MakeSyntheticKg(p);
+  ASSERT_TRUE(g.ok());
+  EngineOptions opts;
+  opts.adaptive_algorithm = true;
+  EqlEngine engine(*g, opts);
+  auto r = engine.Run(
+      "SELECT ?x ?y ?w WHERE {\n"
+      "  ?x \"p0\" ?a .\n"
+      "  ?y \"p1\" ?b .\n"
+      "  CONNECT(?x, ?y -> ?w) MAX 3 SCORE edge_count TOP 25\n"
+      "}");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_GT(r->table.NumRows(), 0u);
+  EXPECT_LE(r->trees.size(), 25u);
+
+  // Rebuild seed sets the way the engine did, to validate every tree.
+  StrId p0 = g->dict().Lookup("p0");
+  StrId p1 = g->dict().Lookup("p1");
+  std::vector<NodeId> s1, s2;
+  for (EdgeId e : g->EdgesWithLabel(p0)) s1.push_back(g->Source(e));
+  for (EdgeId e : g->EdgesWithLabel(p1)) s2.push_back(g->Source(e));
+  auto seeds = SeedSets::Of(*g, {s1, s2});
+  ASSERT_TRUE(seeds.ok());
+  TreeArena arena;
+  for (const ResultTreeInfo& t : r->trees) {
+    TreeId id = arena.MakeAdHoc(t.root, t.edges, *g, *seeds);
+    Status ok = VerifyTreeInvariants(*g, *seeds, arena.Get(id), true);
+    EXPECT_TRUE(ok.ok()) << ok.ToString();
+    TreeShape shape = AnalyzeTree(*g, *seeds, arena.Get(id));
+    EXPECT_GE(shape.max_piece_leaves, 0);
+    std::string dot = TreeToDot(*g, *seeds, arena.Get(id));
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+  }
+}
+
+TEST(IntegrationTest, TwoCtpsWithSharedVariableAndScores) {
+  Graph g = MakeFigure1Graph();
+  EqlEngine engine(g);
+  auto r = engine.Run(
+      "SELECT ?z ?w1 ?w2 WHERE {\n"
+      "  ?z \"citizenOf\" \"France\" .\n"
+      "  FILTER(type(?z) = \"politician\")\n"
+      "  CONNECT(?z, \"Bob\" -> ?w1) MAX 3 SCORE edge_count TOP 2\n"
+      "  CONNECT(?z, \"Carole\" -> ?w2) MAX 3 SCORE edge_count TOP 2\n"
+      "}");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->ctp_runs.size(), 2u);
+  // Rows = cross product of the two TOP-2 CTP tables joined on ?z=Elon.
+  EXPECT_LE(r->table.NumRows(), 4u);
+  EXPECT_GT(r->table.NumRows(), 0u);
+  int zi = r->table.ColumnIndex("z");
+  for (size_t row = 0; row < r->table.NumRows(); ++row) {
+    EXPECT_EQ(g.NodeLabel(r->table.At(row, zi)), "Elon");
+  }
+}
+
+}  // namespace
+}  // namespace eql

@@ -1,0 +1,174 @@
+// Tests for multi-threaded CTP evaluation (seed-split parallelism): exact
+// equivalence with the sequential algorithms on randomized inputs, the
+// Def 2.8 (ii) post-filter, global TOP-k/LIMIT, and option validation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ctp/parallel.h"
+#include "gen/kg.h"
+#include "test_util.h"
+
+namespace eql {
+namespace {
+
+CanonicalResults CanonicalParallel(const ParallelCtpOutcome& out) {
+  CanonicalResults res;
+  for (const CtpResult& r : out.results) res.insert(out.arena.Get(r.tree).edges);
+  return res;
+}
+
+TEST(ParallelTest, MatchesSequentialOnRandomGraphs) {
+  for (int seed = 0; seed < 10; ++seed) {
+    Rng rng(500 + seed);
+    Graph g = MakeRandomGraph(12, 18, &rng);
+    auto sets = PickSeedSets(g, 3, 3, &rng);
+    auto seeds = SeedSets::Of(g, sets);
+    ASSERT_TRUE(seeds.ok());
+    auto sequential = RunAlgo(AlgorithmKind::kMoLesp, g, sets);
+    for (unsigned threads : {1u, 2u, 4u}) {
+      ParallelCtpOptions opts;
+      opts.num_threads = threads;
+      auto parallel = EvaluateCtpParallel(g, *seeds, {}, opts);
+      ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+      EXPECT_EQ(CanonicalParallel(*parallel), Canonical(sequential->results()))
+          << "seed=" << seed << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelTest, PostFilterDropsSecondSplitSeed) {
+  // S1 = {A1, A2} on a path A1 - A2 - B: the chunk searching {A1} alone
+  // would find A1-A2-B (A2 is no seed for it); the merge must drop it.
+  Graph g;
+  NodeId a1 = g.AddNode("A1");
+  NodeId a2 = g.AddNode("A2");
+  NodeId b = g.AddNode("B");
+  g.AddEdge(a1, a2, "t");
+  g.AddEdge(a2, b, "t");
+  g.Finalize();
+  auto seeds = SeedSets::Of(g, {{a1, a2}, {b}});
+  ASSERT_TRUE(seeds.ok());
+  ParallelCtpOptions opts;
+  opts.num_threads = 2;  // one chunk per S1 node
+  auto out = EvaluateCtpParallel(g, *seeds, {}, opts);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->results.size(), 1u) << "only A2-B qualifies (Def 2.8 (ii))";
+  EXPECT_GT(out->postfiltered, 0u);
+  EXPECT_EQ(CanonicalParallel(*out), Canonical(RunAlgo(AlgorithmKind::kMoLesp, g,
+                                                       {{a1, a2}, {b}})
+                                                   ->results()));
+}
+
+TEST(ParallelTest, GlobalTopKAcrossChunks) {
+  Graph g = MakeFigure1Graph();
+  std::vector<std::vector<NodeId>> sets = {
+      {g.FindNode("Bob"), g.FindNode("Carole"), g.FindNode("Alice"),
+       g.FindNode("Doug")},
+      {g.FindNode("Elon")}};
+  auto seeds = SeedSets::Of(g, sets);
+  ASSERT_TRUE(seeds.ok());
+  EdgeCountScore score;
+  CtpFilters f;
+  f.score = &score;
+  f.top_k = 4;
+  ParallelCtpOptions opts;
+  opts.num_threads = 4;
+  auto parallel = EvaluateCtpParallel(g, *seeds, f, opts);
+  ASSERT_TRUE(parallel.ok());
+  auto sequential = RunAlgo(AlgorithmKind::kMoLesp, g, sets, f);
+  ASSERT_EQ(parallel->results.size(), 4u);
+  // The K best scores must match the sequential TOP-k exactly.
+  std::multiset<double> par_scores, seq_scores;
+  for (const auto& r : parallel->results) par_scores.insert(r.score);
+  for (const auto& r : sequential->results().results()) seq_scores.insert(r.score);
+  EXPECT_EQ(par_scores, seq_scores);
+}
+
+TEST(ParallelTest, LimitCapsUnion) {
+  auto d = MakeChain(6);  // 64 results from one seed each side
+  auto seeds = SeedSets::Of(d.graph, d.seed_sets);
+  CtpFilters f;
+  f.limit = 5;
+  ParallelCtpOptions opts;
+  opts.num_threads = 2;
+  auto out = EvaluateCtpParallel(d.graph, *seeds, f, opts);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->results.size(), 5u);
+}
+
+TEST(ParallelTest, FiltersPushDownPerChunk) {
+  Graph g = MakeFigure1Graph();
+  std::vector<std::vector<NodeId>> sets = {
+      {g.FindNode("Bob"), g.FindNode("Carole")}, {g.FindNode("Elon")}};
+  auto seeds = SeedSets::Of(g, sets);
+  CtpFilters f;
+  f.max_edges = 3;
+  ParallelCtpOptions opts;
+  opts.num_threads = 2;
+  auto out = EvaluateCtpParallel(g, *seeds, f, opts);
+  ASSERT_TRUE(out.ok());
+  EXPECT_GT(out->results.size(), 0u);
+  for (const auto& r : out->results) {
+    EXPECT_LE(out->arena.Get(r.tree).edges.size(), 3u);
+  }
+  EXPECT_EQ(CanonicalParallel(*out),
+            Canonical(RunAlgo(AlgorithmKind::kMoLesp, g, sets, f)->results()));
+}
+
+TEST(ParallelTest, StatsAggregateAcrossChunks) {
+  auto d = MakeLine(2, 4);
+  auto seeds = SeedSets::Of(d.graph, d.seed_sets);
+  ParallelCtpOptions opts;
+  opts.num_threads = 2;
+  auto out = EvaluateCtpParallel(d.graph, *seeds, {}, opts);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->chunk_stats.size(), out->threads_used);
+  uint64_t sum = 0;
+  for (const auto& s : out->chunk_stats) sum += s.trees_built;
+  EXPECT_EQ(out->stats.trees_built, sum);
+  EXPECT_TRUE(out->stats.complete);
+}
+
+TEST(ParallelTest, RejectsBftFamily) {
+  auto d = MakeLine(2, 1);
+  auto seeds = SeedSets::Of(d.graph, d.seed_sets);
+  ParallelCtpOptions opts;
+  opts.algorithm = AlgorithmKind::kBft;
+  auto out = EvaluateCtpParallel(d.graph, *seeds, {}, opts);
+  EXPECT_FALSE(out.ok());
+}
+
+TEST(ParallelTest, MoreThreadsThanSeedsIsFine) {
+  auto d = MakeLine(2, 2);
+  auto seeds = SeedSets::Of(d.graph, d.seed_sets);
+  ParallelCtpOptions opts;
+  opts.num_threads = 16;  // both sets are singletons
+  auto out = EvaluateCtpParallel(d.graph, *seeds, {}, opts);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->threads_used, 1u);
+  EXPECT_EQ(out->results.size(), 1u);
+}
+
+TEST(ParallelTest, LargeKgSmokeAndAgreement) {
+  KgParams p;
+  p.num_nodes = 2000;
+  p.num_edges = 7000;
+  auto g = MakeSyntheticKg(p);
+  ASSERT_TRUE(g.ok());
+  std::vector<std::vector<NodeId>> sets = {{}, {1}};
+  for (NodeId n = 100; n < 160; ++n) sets[0].push_back(n);
+  auto seeds = SeedSets::Of(*g, sets);
+  ASSERT_TRUE(seeds.ok());
+  CtpFilters f;
+  f.max_edges = 3;
+  ParallelCtpOptions opts;
+  opts.num_threads = 4;
+  auto out = EvaluateCtpParallel(*g, *seeds, f, opts);
+  ASSERT_TRUE(out.ok());
+  auto sequential = RunAlgo(AlgorithmKind::kMoLesp, *g, sets, f);
+  EXPECT_EQ(CanonicalParallel(*out), Canonical(sequential->results()));
+}
+
+}  // namespace
+}  // namespace eql

@@ -1,0 +1,325 @@
+// Property-based verification of the paper's formal claims (Properties 1-9)
+// against the exhaustive BFT oracle, over randomized graphs, seed choices,
+// and — crucially — randomized *execution orders*: the completeness
+// guarantees of Section 4 are order-independent, while the pruning
+// algorithms' misses are order-dependent.
+#include <gtest/gtest.h>
+
+#include "ctp/analysis.h"
+#include "test_util.h"
+
+namespace eql {
+namespace {
+
+/// Oracle: all CTP results via plain BFT (complete, Section 4.1).
+CanonicalResults Oracle(const Graph& g,
+                        const std::vector<std::vector<NodeId>>& sets) {
+  auto bft = RunAlgo(AlgorithmKind::kBft, g, sets);
+  EXPECT_TRUE(bft->stats().complete);
+  return Canonical(bft->results());
+}
+
+/// Results of a GAM-family algorithm under a specific random order seed.
+CanonicalResults RunWithOrder(AlgorithmKind kind, const Graph& g,
+                              const std::vector<std::vector<NodeId>>& sets,
+                              uint64_t order_seed) {
+  RandomOrder order(order_seed);
+  auto algo = RunAlgo(kind, g, sets, {}, &order);
+  return Canonical(algo->results());
+}
+
+/// Test parameter: RNG seed for one random (graph, seeds) instance.
+class RandomInstanceTest : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomInstanceTest, ::testing::Range(0, 12));
+
+TEST_P(RandomInstanceTest, Property1GamIsComplete) {
+  Rng rng(1000 + GetParam());
+  Graph g = MakeRandomGraph(8, 11, &rng);
+  for (int m : {2, 3}) {
+    auto sets = PickSeedSets(g, m, 2, &rng);
+    CanonicalResults oracle = Oracle(g, sets);
+    for (uint64_t order_seed : {1u, 2u, 3u}) {
+      EXPECT_EQ(RunWithOrder(AlgorithmKind::kGam, g, sets, order_seed), oracle)
+          << "GAM (Property 1) must be complete; m=" << m
+          << " order=" << order_seed;
+    }
+  }
+}
+
+TEST_P(RandomInstanceTest, Property2GamResultsAreMinimal) {
+  Rng rng(2000 + GetParam());
+  Graph g = MakeRandomGraph(9, 13, &rng);
+  auto sets = PickSeedSets(g, 3, 2, &rng);
+  auto seeds = SeedSets::Of(g, sets);
+  ASSERT_TRUE(seeds.ok());
+  for (AlgorithmKind kind : {AlgorithmKind::kGam, AlgorithmKind::kMoLesp}) {
+    auto algo = RunAlgo(kind, g, sets);
+    for (const auto& r : algo->results().results()) {
+      Status s = VerifyTreeInvariants(g, *seeds, algo->arena().Get(r.tree),
+                                      /*require_minimal=*/true);
+      EXPECT_TRUE(s.ok()) << AlgorithmName(kind) << ": " << s.ToString();
+    }
+  }
+}
+
+TEST_P(RandomInstanceTest, Property3EspCompleteForTwoSeedSets) {
+  Rng rng(3000 + GetParam());
+  Graph g = MakeRandomGraph(8, 12, &rng);
+  auto sets = PickSeedSets(g, 2, 3, &rng);
+  CanonicalResults oracle = Oracle(g, sets);
+  for (uint64_t order_seed = 0; order_seed < 6; ++order_seed) {
+    EXPECT_EQ(RunWithOrder(AlgorithmKind::kEsp, g, sets, order_seed), oracle)
+        << "ESP must find every result for m=2 (Property 3), any order";
+  }
+}
+
+TEST_P(RandomInstanceTest, Property4MoEspFindsTwoPsResults) {
+  Rng rng(4000 + GetParam());
+  Graph g = MakeRandomGraph(8, 11, &rng);
+  auto sets = PickSeedSets(g, 3, 1, &rng);
+  auto seeds = SeedSets::Of(g, sets);
+  ASSERT_TRUE(seeds.ok());
+  // Oracle results classified by shape.
+  auto bft = RunAlgo(AlgorithmKind::kBft, g, sets);
+  std::vector<std::vector<EdgeId>> two_ps;
+  for (const auto& r : bft->results().results()) {
+    TreeShape shape = AnalyzeTree(g, *seeds, bft->arena().Get(r.tree));
+    if (IsPiecewiseSimple(shape, 2)) two_ps.push_back(bft->arena().Get(r.tree).edges);
+  }
+  for (uint64_t order_seed = 0; order_seed < 4; ++order_seed) {
+    CanonicalResults found = RunWithOrder(AlgorithmKind::kMoEsp, g, sets, order_seed);
+    for (const auto& t : two_ps) {
+      EXPECT_TRUE(found.count(t))
+          << "MoESP must find every 2ps result (Property 4)";
+    }
+  }
+}
+
+TEST_P(RandomInstanceTest, Property5MoEspFindsAllPathResults) {
+  Rng rng(5000 + GetParam());
+  Graph g = MakeRandomGraph(9, 12, &rng);
+  auto sets = PickSeedSets(g, 4, 1, &rng);
+  auto seeds = SeedSets::Of(g, sets);
+  ASSERT_TRUE(seeds.ok());
+  auto bft = RunAlgo(AlgorithmKind::kBft, g, sets);
+  std::vector<std::vector<EdgeId>> paths;
+  for (const auto& r : bft->results().results()) {
+    TreeShape shape = AnalyzeTree(g, *seeds, bft->arena().Get(r.tree));
+    if (shape.is_path) paths.push_back(bft->arena().Get(r.tree).edges);
+  }
+  for (uint64_t order_seed = 0; order_seed < 4; ++order_seed) {
+    CanonicalResults found = RunWithOrder(AlgorithmKind::kMoEsp, g, sets, order_seed);
+    for (const auto& t : paths) {
+      EXPECT_TRUE(found.count(t)) << "MoESP must find path results (Property 5)";
+    }
+  }
+}
+
+TEST_P(RandomInstanceTest, Property6LespFindsRootedMerges) {
+  // Star graphs: the unique result is an (m, center)-rooted merge; LESP must
+  // find it under every execution order (Property 6 / Lemma 4.2).
+  int m = 3 + GetParam() % 4;
+  auto d = MakeStar(m, 1 + GetParam() % 3);
+  for (uint64_t order_seed = 0; order_seed < 6; ++order_seed) {
+    CanonicalResults found =
+        RunWithOrder(AlgorithmKind::kLesp, d.graph, d.seed_sets, order_seed);
+    EXPECT_EQ(found.size(), 1u) << "LESP misses the (u,n)-rooted merge, m=" << m;
+  }
+}
+
+TEST_P(RandomInstanceTest, Property8MolespCompleteForThreeSeedSets) {
+  Rng rng(8000 + GetParam());
+  Graph g = MakeRandomGraph(8, 12, &rng);
+  for (int m : {2, 3}) {
+    auto sets = PickSeedSets(g, m, 2, &rng);
+    CanonicalResults oracle = Oracle(g, sets);
+    for (uint64_t order_seed = 0; order_seed < 6; ++order_seed) {
+      EXPECT_EQ(RunWithOrder(AlgorithmKind::kMoLesp, g, sets, order_seed), oracle)
+          << "MoLESP must be complete for m<=3 (Property 8); m=" << m
+          << " order=" << order_seed;
+    }
+  }
+}
+
+TEST_P(RandomInstanceTest, Property9RootedMergeDecompositions) {
+  // Every oracle result whose decomposition is made of rooted merges must be
+  // found by MoLESP regardless of m and order (Property 9).
+  Rng rng(9000 + GetParam());
+  Graph g = MakeRandomGraph(10, 13, &rng);
+  auto sets = PickSeedSets(g, 4, 1, &rng);
+  auto seeds = SeedSets::Of(g, sets);
+  ASSERT_TRUE(seeds.ok());
+  auto bft = RunAlgo(AlgorithmKind::kBft, g, sets);
+  std::vector<std::vector<EdgeId>> guaranteed;
+  for (const auto& r : bft->results().results()) {
+    TreeShape shape = AnalyzeTree(g, *seeds, bft->arena().Get(r.tree));
+    if (shape.property9_applies) guaranteed.push_back(bft->arena().Get(r.tree).edges);
+  }
+  for (uint64_t order_seed = 0; order_seed < 4; ++order_seed) {
+    CanonicalResults found =
+        RunWithOrder(AlgorithmKind::kMoLesp, g, sets, order_seed);
+    for (const auto& t : guaranteed) {
+      EXPECT_TRUE(found.count(t)) << "Property 9 violated, order=" << order_seed;
+    }
+  }
+}
+
+TEST_P(RandomInstanceTest, PrunedAlgorithmsNeverInventResults) {
+  // Soundness: everything any algorithm reports is an oracle result.
+  Rng rng(10000 + GetParam());
+  Graph g = MakeRandomGraph(8, 12, &rng);
+  auto sets = PickSeedSets(g, 3, 2, &rng);
+  CanonicalResults oracle = Oracle(g, sets);
+  for (AlgorithmKind kind : kAllAlgorithms) {
+    auto algo = RunAlgo(kind, g, sets);
+    for (const auto& t : Canonical(algo->results())) {
+      EXPECT_TRUE(oracle.count(t))
+          << AlgorithmName(kind) << " reported a non-result";
+    }
+  }
+}
+
+TEST_P(RandomInstanceTest, VariantInclusionsUnderSharedOrder) {
+  // With the same deterministic order, MoESP finds at least what ESP finds,
+  // LESP at least what ESP finds, and MoLESP at least what MoESP and LESP
+  // find (each variant only ever *adds* trees, Sections 4.5-4.7).
+  Rng rng(11000 + GetParam());
+  Graph g = MakeRandomGraph(8, 11, &rng);
+  auto sets = PickSeedSets(g, 3, 1, &rng);
+  auto run = [&](AlgorithmKind kind) {
+    auto algo = RunAlgo(kind, g, sets);
+    return Canonical(algo->results());
+  };
+  CanonicalResults esp = run(AlgorithmKind::kEsp);
+  CanonicalResults moesp = run(AlgorithmKind::kMoEsp);
+  CanonicalResults lesp = run(AlgorithmKind::kLesp);
+  CanonicalResults molesp = run(AlgorithmKind::kMoLesp);
+  for (const auto& t : esp) {
+    EXPECT_TRUE(moesp.count(t)) << "MoESP ⊇ ESP";
+    EXPECT_TRUE(lesp.count(t)) << "LESP ⊇ ESP";
+  }
+  for (const auto& t : moesp) EXPECT_TRUE(molesp.count(t)) << "MoLESP ⊇ MoESP";
+  for (const auto& t : lesp) EXPECT_TRUE(molesp.count(t)) << "MoLESP ⊇ LESP";
+}
+
+TEST_P(RandomInstanceTest, BftVariantsAgreeWithOracle) {
+  // BFT-M and BFT-AM are complete (Section 4.3).
+  Rng rng(12000 + GetParam());
+  Graph g = MakeRandomGraph(7, 10, &rng);
+  auto sets = PickSeedSets(g, 3, 1, &rng);
+  CanonicalResults oracle = Oracle(g, sets);
+  for (AlgorithmKind kind : {AlgorithmKind::kBftM, AlgorithmKind::kBftAM}) {
+    auto algo = RunAlgo(kind, g, sets);
+    EXPECT_EQ(Canonical(algo->results()), oracle) << AlgorithmName(kind);
+  }
+}
+
+// ---- The paper's incompleteness counterexamples (Figures 3, 5, 6) ----
+
+TEST(IncompletenessTest, Figure3EspCanMissButMolespNever) {
+  auto d = MakeFigure3Graph();
+  bool esp_missed_somewhere = false;
+  for (uint64_t order_seed = 0; order_seed < 40; ++order_seed) {
+    CanonicalResults esp =
+        RunWithOrder(AlgorithmKind::kEsp, d.graph, d.seed_sets, order_seed);
+    if (esp.empty()) esp_missed_somewhere = true;
+    CanonicalResults molesp =
+        RunWithOrder(AlgorithmKind::kMoLesp, d.graph, d.seed_sets, order_seed);
+    EXPECT_EQ(molesp.size(), 1u) << "MoLESP must always find it (m=3)";
+    CanonicalResults moesp =
+        RunWithOrder(AlgorithmKind::kMoEsp, d.graph, d.seed_sets, order_seed);
+    EXPECT_EQ(moesp.size(), 1u) << "the Figure 3 result is 2ps (Property 4)";
+  }
+  EXPECT_TRUE(esp_missed_somewhere)
+      << "Section 4.4: some execution order makes ESP miss on Figure 3";
+}
+
+TEST(IncompletenessTest, Figure5MoEspCanMissButMolespNever) {
+  auto d = MakeFigure5Graph();
+  bool moesp_missed_somewhere = false;
+  for (uint64_t order_seed = 0; order_seed < 60; ++order_seed) {
+    CanonicalResults moesp =
+        RunWithOrder(AlgorithmKind::kMoEsp, d.graph, d.seed_sets, order_seed);
+    if (moesp.empty()) moesp_missed_somewhere = true;
+    CanonicalResults molesp =
+        RunWithOrder(AlgorithmKind::kMoLesp, d.graph, d.seed_sets, order_seed);
+    EXPECT_EQ(molesp.size(), 1u)
+        << "the result is 3-simple; MoLESP finds it (Property 7)";
+    CanonicalResults lesp =
+        RunWithOrder(AlgorithmKind::kLesp, d.graph, d.seed_sets, order_seed);
+    EXPECT_EQ(lesp.size(), 1u)
+        << "a (3,x)-rooted merge; LESP finds it (Lemma 4.2)";
+  }
+  EXPECT_TRUE(moesp_missed_somewhere)
+      << "Section 4.5: some execution order makes MoESP miss on Figure 5";
+}
+
+TEST(IncompletenessTest, Figure6OutsideAllGuarantees) {
+  // Figure 6 (m=4): the unique result's decomposition is a single 4-leaf
+  // piece with *two* branching nodes — not a rooted merge, not 3ps. It is
+  // the paper's LESP counterexample, and no MoLESP guarantee covers it
+  // either; only the unpruned algorithms must always find it.
+  auto d = MakeFigure6Graph();
+  auto oracle = Oracle(d.graph, d.seed_sets);
+  ASSERT_EQ(oracle.size(), 1u);
+  auto seeds = SeedSets::Of(d.graph, d.seed_sets);
+  TreeShape shape;
+  {
+    auto bft = RunAlgo(AlgorithmKind::kBft, d.graph, d.seed_sets);
+    shape = AnalyzeTree(d.graph, *seeds,
+                        bft->arena().Get(bft->results().results()[0].tree));
+  }
+  EXPECT_FALSE(shape.property9_applies);
+  EXPECT_FALSE(IsPiecewiseSimple(shape, 3));
+  bool lesp_missed = false;
+  for (uint64_t order_seed = 0; order_seed < 40; ++order_seed) {
+    EXPECT_EQ(RunWithOrder(AlgorithmKind::kGam, d.graph, d.seed_sets, order_seed),
+              oracle)
+        << "GAM is complete regardless of shape";
+    if (RunWithOrder(AlgorithmKind::kLesp, d.graph, d.seed_sets, order_seed)
+            .empty()) {
+      lesp_missed = true;
+    }
+    // MoLESP may or may not find it (no guarantee applies); whatever it
+    // reports must be sound.
+    for (const auto& t :
+         RunWithOrder(AlgorithmKind::kMoLesp, d.graph, d.seed_sets, order_seed)) {
+      EXPECT_TRUE(oracle.count(t));
+    }
+  }
+  EXPECT_TRUE(lesp_missed)
+      << "Section 4.6: some execution order makes LESP miss on Figure 6";
+}
+
+TEST(IncompletenessTest, Figure7MolespFindsViaProperty9) {
+  auto d = MakeFigure7Graph();
+  auto oracle = Oracle(d.graph, d.seed_sets);
+  ASSERT_EQ(oracle.size(), 1u);
+  for (uint64_t order_seed = 0; order_seed < 30; ++order_seed) {
+    CanonicalResults molesp =
+        RunWithOrder(AlgorithmKind::kMoLesp, d.graph, d.seed_sets, order_seed);
+    EXPECT_EQ(molesp, oracle) << "Property 9 guarantees this 6-seed result";
+  }
+}
+
+TEST(IncompletenessTest, LineGraphsEspMissesWithDefaultOrder) {
+  // Fig. 11a/b: with the smallest-first order, ESP and LESP find no results
+  // on Line graphs while MoESP and MoLESP find the unique one.
+  for (int m : {3, 5}) {
+    auto d = MakeLine(m, 2);
+    auto esp = RunAlgo(AlgorithmKind::kEsp, d.graph, d.seed_sets);
+    auto lesp = RunAlgo(AlgorithmKind::kLesp, d.graph, d.seed_sets);
+    auto moesp = RunAlgo(AlgorithmKind::kMoEsp, d.graph, d.seed_sets);
+    auto molesp = RunAlgo(AlgorithmKind::kMoLesp, d.graph, d.seed_sets);
+    EXPECT_EQ(moesp->results().size(), 1u);
+    EXPECT_EQ(molesp->results().size(), 1u);
+    // ESP/LESP behavior is order-dependent; at minimum they must not invent
+    // results, and with the default order on m>=3 lines they miss.
+    EXPECT_LE(esp->results().size(), 1u);
+    EXPECT_LE(lesp->results().size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace eql

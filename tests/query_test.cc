@@ -1,0 +1,246 @@
+// Unit tests for the EQL language front end: lexer, parser, validator,
+// predicate evaluation, and round-trip printing.
+#include <gtest/gtest.h>
+
+#include "query/ast.h"
+#include "query/lexer.h"
+#include "query/parser.h"
+#include "query/validator.h"
+#include "test_util.h"
+
+namespace eql {
+namespace {
+
+TEST(LexerTest, TokenKinds) {
+  auto toks = Tokenize("SELECT ?x WHERE { \"ab c\" 42 ident -> <= ~ }");
+  ASSERT_TRUE(toks.ok()) << toks.status().ToString();
+  const auto& t = *toks;
+  EXPECT_TRUE(t[0].Is(TokenKind::kKeyword, "SELECT"));
+  EXPECT_TRUE(t[1].Is(TokenKind::kVariable, "x"));
+  EXPECT_TRUE(t[2].Is(TokenKind::kKeyword, "WHERE"));
+  EXPECT_TRUE(t[3].Is(TokenKind::kPunct, "{"));
+  EXPECT_TRUE(t[4].Is(TokenKind::kString, "ab c"));
+  EXPECT_TRUE(t[5].Is(TokenKind::kNumber, "42"));
+  EXPECT_TRUE(t[6].Is(TokenKind::kIdent, "ident"));
+  EXPECT_TRUE(t[7].Is(TokenKind::kPunct, "->"));
+  EXPECT_TRUE(t[8].Is(TokenKind::kPunct, "<="));
+  EXPECT_TRUE(t[9].Is(TokenKind::kPunct, "~"));
+  EXPECT_EQ(t.back().kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto toks = Tokenize("select connect uni");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_TRUE((*toks)[0].Is(TokenKind::kKeyword, "SELECT"));
+  EXPECT_TRUE((*toks)[1].Is(TokenKind::kKeyword, "CONNECT"));
+  EXPECT_TRUE((*toks)[2].Is(TokenKind::kKeyword, "UNI"));
+}
+
+TEST(LexerTest, StringEscapes) {
+  auto toks = Tokenize("\"a\\\"b\\\\c\"");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].text, "a\"b\\c");
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto toks = Tokenize("?x # rest is ignored ?y\n?z");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[1].text, "z");
+}
+
+TEST(LexerTest, ErrorsCarryPosition) {
+  auto toks = Tokenize("?x\n  @");
+  ASSERT_FALSE(toks.ok());
+  EXPECT_NE(toks.status().message().find("line 2"), std::string::npos);
+  EXPECT_FALSE(Tokenize("\"unterminated").ok());
+  EXPECT_FALSE(Tokenize("? x").ok());
+}
+
+TEST(ParserTest, TriplesAndShorthand) {
+  auto q = ParseQuery(
+      "SELECT ?x WHERE { ?x \"citizenOf\" \"USA\" . ?x \"founded\" ?o . }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->patterns.size(), 2u);
+  EXPECT_EQ(q->head, std::vector<std::string>({"x"}));
+  // "citizenOf" desugars to a fresh variable with a label condition.
+  const EdgePattern& p0 = q->patterns[0];
+  EXPECT_EQ(p0.source.var, "x");
+  ASSERT_EQ(p0.edge.conditions.size(), 1u);
+  EXPECT_EQ(p0.edge.conditions[0].property, "label");
+  EXPECT_EQ(p0.edge.conditions[0].constant, "citizenOf");
+  ASSERT_EQ(p0.target.conditions.size(), 1u);
+  EXPECT_EQ(p0.target.conditions[0].constant, "USA");
+}
+
+TEST(ParserTest, ConnectWithAllFilters) {
+  auto q = ParseQuery(
+      "SELECT ?w WHERE {\n"
+      "  CONNECT(?a, \"Bob\", ?c -> ?w) UNI LABEL {\"x\", \"y\"} MAX 7"
+      " SCORE edge_count TOP 3 TIMEOUT 500 LIMIT 9\n"
+      "}");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->ctps.size(), 1u);
+  const CtpPattern& ctp = q->ctps[0];
+  ASSERT_EQ(ctp.members.size(), 3u);
+  EXPECT_EQ(ctp.members[0].var, "a");
+  EXPECT_EQ(ctp.members[1].conditions[0].constant, "Bob");
+  EXPECT_EQ(ctp.tree_var, "w");
+  EXPECT_TRUE(ctp.filters.uni);
+  ASSERT_TRUE(ctp.filters.labels.has_value());
+  EXPECT_EQ(ctp.filters.labels->size(), 2u);
+  EXPECT_EQ(ctp.filters.max_edges, 7u);
+  EXPECT_EQ(ctp.filters.score, "edge_count");
+  EXPECT_EQ(ctp.filters.top_k, 3);
+  EXPECT_EQ(ctp.filters.timeout_ms, 500);
+  EXPECT_EQ(ctp.filters.limit, 9u);
+}
+
+TEST(ParserTest, FilterConditionsAttachToAllOccurrences) {
+  auto q = ParseQuery(
+      "SELECT ?x WHERE {\n"
+      "  ?x \"knows\" ?y .\n"
+      "  FILTER(type(?x) = \"person\" AND label(?x) ~ \"*lice\")\n"
+      "}");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const Predicate& px = q->patterns[0].source;
+  ASSERT_EQ(px.conditions.size(), 2u);
+  EXPECT_EQ(px.conditions[0].property, "type");
+  EXPECT_EQ(px.conditions[1].op, CompareOp::kLike);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseQuery("WHERE { }").ok()) << "missing SELECT";
+  EXPECT_FALSE(ParseQuery("SELECT WHERE { }").ok()) << "no head vars";
+  EXPECT_FALSE(ParseQuery("SELECT ?x WHERE { ?x ?y }").ok()) << "bad triple";
+  EXPECT_FALSE(ParseQuery("SELECT ?x WHERE { ?a ?b ?c . ").ok()) << "no }";
+  EXPECT_FALSE(ParseQuery("SELECT ?w WHERE { CONNECT(?a ?b -> ?w) }").ok())
+      << "missing comma";
+  EXPECT_FALSE(ParseQuery("SELECT ?w WHERE { CONNECT(?a, ?b) }").ok())
+      << "missing tree var";
+  EXPECT_FALSE(
+      ParseQuery("SELECT ?w WHERE { CONNECT(?a, ?b -> ?w) MAX 0 }").ok())
+      << "MAX must be positive";
+  EXPECT_FALSE(
+      ParseQuery("SELECT ?x WHERE { ?x \"p\" ?y . FILTER(label(?z) = \"v\") }").ok())
+      << "FILTER on unknown variable";
+}
+
+TEST(ValidatorTest, AcceptsQ1Shape) {
+  // The paper's Q1: three BGP patterns + one CTP over x, y, z.
+  auto q = ParseQuery(
+      "SELECT ?x ?y ?z ?w WHERE {\n"
+      "  ?x \"citizenOf\" \"USA\" .\n"
+      "  ?y \"citizenOf\" \"France\" .\n"
+      "  ?z \"citizenOf\" \"France\" .\n"
+      "  FILTER(type(?x) = \"entrepreneur\")\n"
+      "  FILTER(type(?y) = \"entrepreneur\")\n"
+      "  FILTER(type(?z) = \"politician\")\n"
+      "  CONNECT(?x, ?y, ?z -> ?w)\n"
+      "}");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  Query query = std::move(*q);
+  Status s = ValidateQuery(&query);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_GE(query.simple_vars.size(), 3u);
+}
+
+TEST(ValidatorTest, RejectsTreeVarReuse) {
+  auto q = ParseQuery("SELECT ?w WHERE { ?w \"p\" ?y . CONNECT(?y, ?z -> ?w) }");
+  ASSERT_TRUE(q.ok());
+  Query query = std::move(*q);
+  EXPECT_FALSE(ValidateQuery(&query).ok());
+}
+
+TEST(ValidatorTest, RejectsDuplicateCtpMembers) {
+  auto q = ParseQuery("SELECT ?w WHERE { CONNECT(?a, ?a -> ?w) }");
+  ASSERT_TRUE(q.ok());
+  Query query = std::move(*q);
+  EXPECT_FALSE(ValidateQuery(&query).ok());
+}
+
+TEST(ValidatorTest, RejectsHeadVarNotInBody) {
+  auto q = ParseQuery("SELECT ?nope WHERE { ?a \"p\" ?b . }");
+  ASSERT_TRUE(q.ok());
+  Query query = std::move(*q);
+  EXPECT_FALSE(ValidateQuery(&query).ok());
+}
+
+TEST(ValidatorTest, RejectsNodeEdgeRoleConflict) {
+  auto q = ParseQuery("SELECT ?a WHERE { ?a ?p ?b . ?x ?a ?y . }");
+  ASSERT_TRUE(q.ok());
+  Query query = std::move(*q);
+  EXPECT_FALSE(ValidateQuery(&query).ok());
+}
+
+TEST(ValidatorTest, RejectsTopWithoutScore) {
+  auto q = ParseQuery("SELECT ?w WHERE { CONNECT(?a, ?b -> ?w) TOP 3 }");
+  // TOP without SCORE does not parse as a filter; the parser stops at TOP
+  // and then fails on trailing input.
+  EXPECT_FALSE(q.ok());
+}
+
+TEST(ValidatorTest, RejectsEmptyBody) {
+  auto q = ParseQuery("SELECT ?x WHERE { }");
+  ASSERT_TRUE(q.ok());
+  Query query = std::move(*q);
+  EXPECT_FALSE(ValidateQuery(&query).ok());
+}
+
+TEST(AstTest, ConditionMatchesOnGraph) {
+  Graph g = MakeFigure1Graph();
+  NodeId alice = g.FindNode("Alice");
+  EXPECT_TRUE(ConditionMatches(g, {"label", CompareOp::kLike, "*lice"}, alice, true));
+  EXPECT_TRUE(
+      ConditionMatches(g, {"type", CompareOp::kEq, "entrepreneur"}, alice, true));
+  EXPECT_FALSE(
+      ConditionMatches(g, {"type", CompareOp::kEq, "politician"}, alice, true));
+  EXPECT_FALSE(ConditionMatches(g, {"missing", CompareOp::kEq, "x"}, alice, true));
+}
+
+TEST(AstTest, NumericVsLexicographicComparison) {
+  Graph g;
+  NodeId n9 = g.AddNode("9");
+  NodeId n10 = g.AddNode("10");
+  g.AddEdge(n9, n10, "t");
+  g.Finalize();
+  // Numeric: 9 < 10; lexicographic would say "10" < "9".
+  EXPECT_TRUE(ConditionMatches(g, {"label", CompareOp::kLt, "10"}, n9, true));
+  EXPECT_FALSE(ConditionMatches(g, {"label", CompareOp::kLt, "9"}, n10, true));
+  EXPECT_TRUE(ConditionMatches(g, {"label", CompareOp::kLe, "9"}, n9, true));
+}
+
+TEST(AstTest, NodesMatchingPredicateUsesIndexes) {
+  Graph g = MakeFigure1Graph();
+  Predicate by_type{"v", {{"type", CompareOp::kEq, "entrepreneur"}}};
+  EXPECT_EQ(NodesMatchingPredicate(g, by_type).size(), 4u);
+  Predicate by_label{"v", {{"label", CompareOp::kEq, "Alice"}}};
+  ASSERT_EQ(NodesMatchingPredicate(g, by_label).size(), 1u);
+  Predicate by_glob{"v", {{"label", CompareOp::kLike, "Org*"}}};
+  EXPECT_EQ(NodesMatchingPredicate(g, by_glob).size(), 3u);
+  Predicate none{"v", {{"label", CompareOp::kEq, "Nobody"}}};
+  EXPECT_TRUE(NodesMatchingPredicate(g, none).empty());
+  Predicate empty{"v", {}};
+  EXPECT_EQ(NodesMatchingPredicate(g, empty).size(), g.NumNodes());
+}
+
+TEST(AstTest, QueryToTextRoundTrips) {
+  const char* text =
+      "SELECT ?x ?w WHERE {\n"
+      "  ?x \"citizenOf\" \"USA\" .\n"
+      "  CONNECT(?x, ?y -> ?w) UNI MAX 5 TIMEOUT 100\n"
+      "  FILTER(type(?x) = \"entrepreneur\")\n"
+      "}";
+  auto q1 = ParseQuery(text);
+  ASSERT_TRUE(q1.ok()) << q1.status().ToString();
+  std::string printed = QueryToText(*q1);
+  auto q2 = ParseQuery(printed);
+  ASSERT_TRUE(q2.ok()) << "re-parse failed on:\n" << printed << "\n"
+                       << q2.status().ToString();
+  EXPECT_EQ(q2->patterns.size(), q1->patterns.size());
+  EXPECT_EQ(q2->ctps.size(), q1->ctps.size());
+  EXPECT_EQ(q2->ctps[0].filters.uni, true);
+  EXPECT_EQ(q2->ctps[0].filters.max_edges, 5u);
+}
+
+}  // namespace
+}  // namespace eql

@@ -1,0 +1,105 @@
+// Unit tests for the score-function framework (requirement R2): concrete
+// values on known trees, the name registry, and result annotation ordering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ctp/score.h"
+#include "test_util.h"
+
+namespace eql {
+namespace {
+
+class ScoreFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_ = MakeFigure1Graph();
+    auto s = SeedSets::Of(g_, {{g_.FindNode("Bob")}, {g_.FindNode("Carole")}});
+    ASSERT_TRUE(s.ok());
+    seeds_ = std::make_unique<SeedSets>(std::move(s).value());
+    // Bob -e5-> USA <-e6- Carole (0-based edges 4, 5).
+    tree_ = arena_.MakeAdHoc(g_.FindNode("USA"), {4, 5}, g_, *seeds_);
+  }
+  Graph g_;
+  std::unique_ptr<SeedSets> seeds_;
+  TreeArena arena_;
+  TreeId tree_;
+};
+
+TEST_F(ScoreFixture, EdgeCount) {
+  EdgeCountScore s;
+  EXPECT_DOUBLE_EQ(s.Score(g_, *seeds_, arena_.Get(tree_)), -2.0);
+  EXPECT_EQ(s.Name(), "edge_count");
+}
+
+TEST_F(ScoreFixture, DegreePenaltySumsNodeDegrees) {
+  DegreePenaltyScore s;
+  const RootedTree& t = arena_.Get(tree_);
+  double expected = 0;
+  for (NodeId n : t.nodes) expected -= std::log2(1.0 + g_.Degree(n));
+  EXPECT_DOUBLE_EQ(s.Score(g_, *seeds_, t), expected);
+  EXPECT_LT(expected, 0);
+}
+
+TEST_F(ScoreFixture, LabelDiversityCountsDistinctLabels) {
+  LabelDiversityScore s;
+  // Both edges are citizenOf -> diversity 1.
+  EXPECT_DOUBLE_EQ(s.Score(g_, *seeds_, arena_.Get(tree_)), 1.0);
+  // Bob -founded-> OrgB <-investsIn- Alice (edges 0, 1) -> diversity 2.
+  TreeId t2 = arena_.MakeAdHoc(g_.FindNode("OrgB"), {0, 1}, g_, *seeds_);
+  EXPECT_DOUBLE_EQ(s.Score(g_, *seeds_, arena_.Get(t2)), 2.0);
+}
+
+TEST_F(ScoreFixture, RootDegreePenalizesHubRoots) {
+  RootDegreeScore s(2.0);
+  const RootedTree& t = arena_.Get(tree_);
+  double expected = -2.0 - 2.0 * std::log2(1.0 + g_.Degree(t.root));
+  EXPECT_DOUBLE_EQ(s.Score(g_, *seeds_, t), expected);
+}
+
+TEST(ScoreRegistryTest, KnownAndUnknownNames) {
+  for (const char* name :
+       {"edge_count", "degree_penalty", "label_diversity", "root_degree"}) {
+    auto s = CreateScoreFunction(name);
+    ASSERT_NE(s, nullptr) << name;
+    EXPECT_EQ(s->Name(), name);
+  }
+  EXPECT_EQ(CreateScoreFunction("no_such_score"), nullptr);
+}
+
+TEST(ScoreOrderingTest, TopKOrderIsDescendingScore) {
+  Graph g = MakeFigure1Graph();
+  std::vector<std::vector<NodeId>> sets = {{g.FindNode("Bob")},
+                                           {g.FindNode("Elon")}};
+  DegreePenaltyScore score;
+  CtpFilters f;
+  f.score = &score;
+  f.top_k = 5;
+  auto algo = RunAlgo(AlgorithmKind::kMoLesp, g, sets, f);
+  const auto& rs = algo->results().results();
+  ASSERT_GE(rs.size(), 2u);
+  for (size_t i = 1; i < rs.size(); ++i) {
+    EXPECT_GE(rs[i - 1].score, rs[i].score) << "TOP-k must sort descending";
+  }
+}
+
+TEST(ScoreOrderingTest, DifferentScoresPickDifferentWinners) {
+  Graph g = MakeFigure1Graph();
+  std::vector<std::vector<NodeId>> sets = {{g.FindNode("Bob")},
+                                           {g.FindNode("Elon")}};
+  auto top1 = [&](const char* name) {
+    auto score = CreateScoreFunction(name);
+    CtpFilters f;
+    f.score = score.get();
+    f.top_k = 1;
+    auto algo = RunAlgo(AlgorithmKind::kMoLesp, g, sets, f);
+    return algo->arena().Get(algo->results().results()[0].tree).edges;
+  };
+  // edge_count and label_diversity value different things; on Figure 1 the
+  // Bob-Elon winners differ (3-edge path through France vs a label-diverse
+  // larger tree).
+  EXPECT_NE(top1("edge_count"), top1("label_diversity"));
+}
+
+}  // namespace
+}  // namespace eql

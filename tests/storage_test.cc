@@ -1,0 +1,178 @@
+// Unit tests for the storage layer: binding tables (joins, projections) and
+// the conjunctive BGP engine over the Figure 1 graph.
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+#include "query/validator.h"
+#include "storage/bgp_eval.h"
+#include "storage/binding_table.h"
+#include "test_util.h"
+
+namespace eql {
+namespace {
+
+TEST(BindingTableTest, BasicsAndProjection) {
+  BindingTable t({"a", "b"}, {ColKind::kNode, ColKind::kNode});
+  t.AddRow({1, 2});
+  t.AddRow({1, 3});
+  t.AddRow({1, 2});
+  EXPECT_EQ(t.NumRows(), 3u);
+  EXPECT_EQ(t.ColumnIndex("b"), 1);
+  EXPECT_EQ(t.ColumnIndex("zz"), -1);
+  auto proj = t.Project({"a"}, /*distinct=*/true);
+  ASSERT_TRUE(proj.ok());
+  EXPECT_EQ(proj->NumRows(), 1u);
+  auto bag = t.Project({"a"}, /*distinct=*/false);
+  ASSERT_TRUE(bag.ok());
+  EXPECT_EQ(bag->NumRows(), 3u);
+  EXPECT_FALSE(t.Project({"zz"}, false).ok());
+}
+
+TEST(BindingTableTest, DistinctValuesSorted) {
+  BindingTable t({"a"}, {ColKind::kNode});
+  t.AddRow({5});
+  t.AddRow({1});
+  t.AddRow({5});
+  EXPECT_EQ(t.DistinctValues("a"), std::vector<uint32_t>({1, 5}));
+  EXPECT_TRUE(t.DistinctValues("zz").empty());
+}
+
+TEST(BindingTableTest, NaturalJoinOnSharedColumn) {
+  BindingTable a({"x", "y"}, {ColKind::kNode, ColKind::kNode});
+  a.AddRow({1, 10});
+  a.AddRow({2, 20});
+  BindingTable b({"y", "z"}, {ColKind::kNode, ColKind::kNode});
+  b.AddRow({10, 100});
+  b.AddRow({10, 101});
+  b.AddRow({30, 300});
+  BindingTable j = BindingTable::NaturalJoin(a, b);
+  ASSERT_EQ(j.NumColumns(), 3u);
+  EXPECT_EQ(j.NumRows(), 2u);  // (1,10,100), (1,10,101)
+  EXPECT_EQ(j.At(0, 0), 1u);
+}
+
+TEST(BindingTableTest, NaturalJoinMultiColumn) {
+  BindingTable a({"x", "y"}, {ColKind::kNode, ColKind::kNode});
+  a.AddRow({1, 2});
+  a.AddRow({1, 3});
+  BindingTable b({"x", "y", "z"}, {ColKind::kNode, ColKind::kNode, ColKind::kNode});
+  b.AddRow({1, 2, 9});
+  b.AddRow({1, 4, 8});
+  BindingTable j = BindingTable::NaturalJoin(a, b);
+  EXPECT_EQ(j.NumRows(), 1u);
+  EXPECT_EQ(j.At(0, 2), 9u);
+}
+
+TEST(BindingTableTest, CrossProductWhenNoSharedColumns) {
+  BindingTable a({"x"}, {ColKind::kNode});
+  a.AddRow({1});
+  a.AddRow({2});
+  BindingTable b({"y"}, {ColKind::kNode});
+  b.AddRow({7});
+  BindingTable j = BindingTable::NaturalJoin(a, b);
+  EXPECT_EQ(j.NumRows(), 2u);
+  EXPECT_EQ(j.NumColumns(), 2u);
+}
+
+TEST(BindingTableTest, TreeColumnsKeepKind) {
+  BindingTable a({"x", "w"}, {ColKind::kNode, ColKind::kTree});
+  a.AddRow({1, 0});
+  BindingTable b({"x"}, {ColKind::kNode});
+  b.AddRow({1});
+  BindingTable j = BindingTable::NaturalJoin(b, a);
+  ASSERT_EQ(j.NumColumns(), 2u);
+  EXPECT_EQ(j.kind(1), ColKind::kTree);
+}
+
+TEST(GroupIntoBgpsTest, ComponentsByVariableConnectivity) {
+  auto q = ParseQuery(
+      "SELECT ?a WHERE {\n"
+      "  ?a \"p\" ?b . ?b \"q\" ?c .\n"
+      "  ?x \"r\" ?y .\n"
+      "}");
+  ASSERT_TRUE(q.ok());
+  auto groups = GroupIntoBgps(q->patterns);
+  ASSERT_EQ(groups.size(), 2u);
+  size_t sizes[2] = {groups[0].size(), groups[1].size()};
+  std::sort(sizes, sizes + 2);
+  EXPECT_EQ(sizes[0], 1u);
+  EXPECT_EQ(sizes[1], 2u);
+}
+
+class BgpEvalFixture : public ::testing::Test {
+ protected:
+  void SetUp() override { g_ = MakeFigure1Graph(); }
+  BindingTable Eval(const std::string& query_text) {
+    auto q = ParseQuery(query_text);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    Query query = std::move(*q);
+    EXPECT_TRUE(ValidateQuery(&query).ok());
+    auto groups = GroupIntoBgps(query.patterns);
+    EXPECT_EQ(groups.size(), 1u);
+    auto t = EvaluateBgp(g_, groups[0]);
+    EXPECT_TRUE(t.ok()) << t.status().ToString();
+    return std::move(t).value();
+  }
+  Graph g_;
+};
+
+TEST_F(BgpEvalFixture, EdgeLabelIndexPath) {
+  BindingTable t = Eval("SELECT ?x WHERE { ?x \"citizenOf\" ?c . }");
+  EXPECT_EQ(t.NumRows(), 5u);  // five citizenOf edges in Figure 1
+}
+
+TEST_F(BgpEvalFixture, SourcePinnedPath) {
+  BindingTable t = Eval("SELECT ?o WHERE { \"Carole\" ?p ?o . }");
+  EXPECT_EQ(t.NumRows(), 3u);  // founded OrgA, founded OrgC, citizenOf USA
+}
+
+TEST_F(BgpEvalFixture, TargetPinnedPath) {
+  BindingTable t = Eval("SELECT ?x WHERE { ?x \"citizenOf\" \"USA\" . }");
+  ASSERT_EQ(t.NumRows(), 2u);  // Bob, Carole
+  auto xs = t.DistinctValues("x");
+  EXPECT_EQ(xs.size(), 2u);
+}
+
+TEST_F(BgpEvalFixture, TypeFilterNarrowsBindings) {
+  BindingTable t = Eval(
+      "SELECT ?x WHERE { ?x \"citizenOf\" \"France\" . "
+      "FILTER(type(?x) = \"entrepreneur\") }");
+  EXPECT_EQ(t.NumRows(), 2u);  // Alice, Doug (not Elon)
+}
+
+TEST_F(BgpEvalFixture, TwoPatternJoin) {
+  BindingTable t = Eval(
+      "SELECT ?x ?o WHERE { ?x \"citizenOf\" \"USA\" . ?x \"founded\" ?o . }");
+  // Bob founded OrgB; Carole founded OrgA and OrgC.
+  EXPECT_EQ(t.NumRows(), 3u);
+}
+
+TEST_F(BgpEvalFixture, TriangleJoin) {
+  BindingTable t = Eval(
+      "SELECT ?a ?b WHERE { ?a \"parentOf\" ?b . ?b \"citizenOf\" ?c . "
+      "?a \"citizenOf\" ?c2 . }");
+  // Bob->Alice (both citizens), Elon->Doug (both citizens).
+  EXPECT_EQ(t.NumRows(), 2u);
+}
+
+TEST_F(BgpEvalFixture, UnconstrainedPatternScansAllEdges) {
+  BindingTable t = Eval("SELECT ?a WHERE { ?a ?p ?b . }");
+  EXPECT_EQ(t.NumRows(), g_.NumEdges());
+}
+
+TEST_F(BgpEvalFixture, NoMatchesYieldsEmptyTable) {
+  BindingTable t = Eval("SELECT ?x WHERE { ?x \"owns\" ?y . }");
+  EXPECT_EQ(t.NumRows(), 0u);
+}
+
+TEST_F(BgpEvalFixture, EdgeVariableBinding) {
+  BindingTable t = Eval("SELECT ?p WHERE { \"Bob\" ?p \"USA\" . }");
+  ASSERT_EQ(t.NumRows(), 1u);
+  int pi = t.ColumnIndex("p");
+  ASSERT_GE(pi, 0);
+  EXPECT_EQ(t.kind(pi), ColKind::kEdge);
+  EXPECT_EQ(g_.EdgeLabel(t.At(0, pi)), "citizenOf");
+}
+
+}  // namespace
+}  // namespace eql

@@ -1,0 +1,219 @@
+// Unit tests for the tree/provenance machinery: arena constructors, sat
+// maintenance, rooted-path tracking, Merge preconditions, history dedup,
+// invariant verification, and the UNI reachability check.
+#include <gtest/gtest.h>
+
+#include "ctp/history.h"
+#include "ctp/seed_sets.h"
+#include "ctp/tree.h"
+#include "gen/synthetic.h"
+#include "test_util.h"
+
+namespace eql {
+namespace {
+
+class TreeFixture : public ::testing::Test {
+ protected:
+  // A - e0 -> x <- e1 - B ; x - e2 -> C   (seeds A, B, C)
+  void SetUp() override {
+    a_ = g_.AddNode("A");
+    b_ = g_.AddNode("B");
+    c_ = g_.AddNode("C");
+    x_ = g_.AddNode("x");
+    e0_ = g_.AddEdge(a_, x_, "t");
+    e1_ = g_.AddEdge(b_, x_, "t");
+    e2_ = g_.AddEdge(x_, c_, "t");
+    g_.Finalize();
+    auto s = SeedSets::Of(g_, {{a_}, {b_}, {c_}});
+    ASSERT_TRUE(s.ok());
+    seeds_ = std::make_unique<SeedSets>(std::move(s).value());
+  }
+  Graph g_;
+  NodeId a_, b_, c_, x_;
+  EdgeId e0_, e1_, e2_;
+  std::unique_ptr<SeedSets> seeds_;
+  TreeArena arena_;
+};
+
+TEST_F(TreeFixture, InitTree) {
+  TreeId id = arena_.MakeInit(a_, *seeds_);
+  const RootedTree& t = arena_.Get(id);
+  EXPECT_EQ(t.root, a_);
+  EXPECT_TRUE(t.edges.empty());
+  EXPECT_EQ(t.nodes, std::vector<NodeId>({a_}));
+  EXPECT_EQ(t.sat.Count(), 1);
+  EXPECT_TRUE(t.sat.Test(0));
+  EXPECT_TRUE(t.is_rooted_path);
+  EXPECT_EQ(t.path_seed, a_);
+}
+
+TEST_F(TreeFixture, GrowMaintainsSortedSetsAndSat) {
+  TreeId init = arena_.MakeInit(a_, *seeds_);
+  TreeId grown = arena_.MakeGrow(init, e0_, x_, *seeds_);
+  const RootedTree& t = arena_.Get(grown);
+  EXPECT_EQ(t.root, x_);
+  EXPECT_EQ(t.edges, std::vector<EdgeId>({e0_}));
+  EXPECT_EQ(t.nodes, std::vector<NodeId>({a_, x_}));
+  EXPECT_EQ(t.sat.Count(), 1);
+  EXPECT_TRUE(t.is_rooted_path) << "A->x is an (x,A)-rooted path";
+  EXPECT_EQ(t.path_seed, a_);
+  EXPECT_EQ(t.kind, ProvKind::kGrow);
+  EXPECT_EQ(t.child1, init);
+}
+
+TEST_F(TreeFixture, GrowOntoSeedEndsRootedPath) {
+  TreeId init = arena_.MakeInit(a_, *seeds_);
+  TreeId t1 = arena_.MakeGrow(init, e0_, x_, *seeds_);
+  TreeId t2 = arena_.MakeGrow(t1, e2_, c_, *seeds_);
+  const RootedTree& t = arena_.Get(t2);
+  EXPECT_EQ(t.sat.Count(), 2);
+  EXPECT_FALSE(t.is_rooted_path) << "path now contains two seeds (Def 4.4)";
+}
+
+TEST_F(TreeFixture, MergeCombinesDisjointSatAtSharedRoot) {
+  TreeId ta = arena_.MakeGrow(arena_.MakeInit(a_, *seeds_), e0_, x_, *seeds_);
+  TreeId tb = arena_.MakeGrow(arena_.MakeInit(b_, *seeds_), e1_, x_, *seeds_);
+  const RootedTree& a = arena_.Get(ta);
+  const RootedTree& b = arena_.Get(tb);
+  EXPECT_FALSE(a.sat.Intersects(b.sat));
+  EXPECT_TRUE(a.SharesOnlyRootWith(b, x_));
+  TreeId tm = arena_.MakeMerge(ta, tb, *seeds_);
+  const RootedTree& m = arena_.Get(tm);
+  EXPECT_EQ(m.root, x_);
+  EXPECT_EQ(m.sat.Count(), 2);
+  EXPECT_EQ(m.edges, std::vector<EdgeId>({e0_, e1_}));
+  EXPECT_EQ(m.nodes, std::vector<NodeId>({a_, b_, x_}));
+  EXPECT_FALSE(m.is_rooted_path);
+}
+
+TEST_F(TreeFixture, SharesOnlyRootRejectsSecondCommonNode) {
+  TreeId ta = arena_.MakeGrow(arena_.MakeInit(a_, *seeds_), e0_, x_, *seeds_);
+  const RootedTree& a = arena_.Get(ta);
+  EXPECT_FALSE(a.SharesOnlyRootWith(a, x_)) << "identical trees share everything";
+}
+
+TEST_F(TreeFixture, MoTreeReRootsAndTaints) {
+  TreeId ta = arena_.MakeGrow(arena_.MakeInit(a_, *seeds_), e0_, x_, *seeds_);
+  TreeId mo = arena_.MakeMo(ta, a_);
+  const RootedTree& t = arena_.Get(mo);
+  EXPECT_EQ(t.root, a_);
+  EXPECT_EQ(t.edges, arena_.Get(ta).edges);
+  EXPECT_TRUE(t.mo_tainted);
+  EXPECT_EQ(t.edge_set_hash, arena_.Get(ta).edge_set_hash);
+}
+
+TEST_F(TreeFixture, MakeAdHocDerivesNodesAndSat) {
+  TreeId id = arena_.MakeAdHoc(a_, {e1_, e0_}, g_, *seeds_);
+  const RootedTree& t = arena_.Get(id);
+  EXPECT_EQ(t.edges, std::vector<EdgeId>({e0_, e1_}));
+  EXPECT_EQ(t.nodes, std::vector<NodeId>({a_, b_, x_}));
+  EXPECT_EQ(t.sat.Count(), 2);
+  EXPECT_EQ(t.kind, ProvKind::kExternal);
+}
+
+TEST_F(TreeFixture, HistoryDistinguishesEdgeSetAndRootedLevels) {
+  SearchHistory hist(&arena_);
+  TreeId ta = arena_.MakeGrow(arena_.MakeInit(a_, *seeds_), e0_, x_, *seeds_);
+  hist.Insert(ta);
+  // Same edge set re-rooted at A.
+  TreeId mo = arena_.MakeMo(ta, a_);
+  EXPECT_TRUE(hist.SeenEdgeSet(arena_.Get(mo)));
+  EXPECT_FALSE(hist.SeenRooted(arena_.Get(mo)));
+  hist.Insert(mo);
+  EXPECT_TRUE(hist.SeenRooted(arena_.Get(mo)));
+  EXPECT_EQ(hist.NumEdgeSets(), 1u) << "one distinct edge set despite two trees";
+}
+
+TEST_F(TreeFixture, HistoryInitTreesShareEmptyEdgeSet) {
+  SearchHistory hist(&arena_);
+  TreeId ia = arena_.MakeInit(a_, *seeds_);
+  TreeId ib = arena_.MakeInit(b_, *seeds_);
+  hist.Insert(ia);
+  EXPECT_TRUE(hist.SeenEdgeSet(arena_.Get(ib)));
+  EXPECT_FALSE(hist.SeenRooted(arena_.Get(ib)));
+}
+
+TEST_F(TreeFixture, VerifyAcceptsMinimalResult) {
+  TreeId ta = arena_.MakeGrow(arena_.MakeInit(a_, *seeds_), e0_, x_, *seeds_);
+  TreeId tb = arena_.MakeGrow(arena_.MakeInit(b_, *seeds_), e1_, x_, *seeds_);
+  TreeId tm = arena_.MakeMerge(ta, tb, *seeds_);
+  TreeId tc = arena_.MakeGrow(arena_.MakeInit(c_, *seeds_), e2_, x_, *seeds_);
+  TreeId full = arena_.MakeMerge(tm, tc, *seeds_);
+  Status s = VerifyTreeInvariants(g_, *seeds_, arena_.Get(full), true);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+TEST_F(TreeFixture, VerifyRejectsNonSeedLeaf) {
+  // A - x alone leaves x as a non-seed leaf.
+  TreeId ta = arena_.MakeGrow(arena_.MakeInit(a_, *seeds_), e0_, x_, *seeds_);
+  Status s = VerifyTreeInvariants(g_, *seeds_, arena_.Get(ta), true);
+  EXPECT_FALSE(s.ok());
+  // But it passes when the root may be a non-seed leaf (universal sets).
+  EXPECT_TRUE(VerifyTreeInvariants(g_, *seeds_, arena_.Get(ta), true, true).ok());
+  // And when minimality is not required.
+  EXPECT_TRUE(VerifyTreeInvariants(g_, *seeds_, arena_.Get(ta), false).ok());
+}
+
+TEST_F(TreeFixture, RootReachesAllDirected) {
+  TreeId ta = arena_.MakeGrow(arena_.MakeInit(a_, *seeds_), e0_, x_, *seeds_);
+  const RootedTree& t = arena_.Get(ta);
+  EXPECT_TRUE(RootReachesAllDirected(g_, t, a_)) << "edge A->x";
+  EXPECT_FALSE(RootReachesAllDirected(g_, t, x_)) << "x cannot reach A against e0";
+}
+
+TEST(SeedSetsTest, SignatureAndMasks) {
+  Graph g;
+  NodeId a = g.AddNode("A");
+  NodeId b = g.AddNode("B");
+  g.AddEdge(a, b, "t");
+  g.Finalize();
+  auto s = SeedSets::Of(g, {{a}, {b, a}});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_sets(), 2);
+  EXPECT_EQ(s->Signature(a).Count(), 2) << "a seeds both sets";
+  EXPECT_EQ(s->Signature(b).Count(), 1);
+  EXPECT_EQ(s->FullMask().Count(), 2);
+  EXPECT_EQ(s->RequiredMask().Count(), 2);
+  EXPECT_EQ(s->AllSeeds().size(), 2u);
+}
+
+TEST(SeedSetsTest, UniversalSets) {
+  Graph g;
+  NodeId a = g.AddNode("A");
+  NodeId b = g.AddNode("B");
+  g.AddEdge(a, b, "t");
+  g.Finalize();
+  auto s = SeedSets::Make(g, {{a}, {}}, {false, true});
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->HasUniversal());
+  EXPECT_TRUE(s->IsUniversal(1));
+  EXPECT_EQ(s->RequiredMask().Count(), 1);
+  EXPECT_EQ(s->FullMask().Count(), 2);
+  EXPECT_EQ(s->Signature(b).Count(), 0) << "universal sets contribute no bits";
+}
+
+TEST(SeedSetsTest, Validation) {
+  Graph g;
+  NodeId a = g.AddNode("A");
+  g.Finalize();
+  EXPECT_FALSE(SeedSets::Of(g, {}).ok()) << "no sets";
+  EXPECT_FALSE(SeedSets::Of(g, {{a}, {}}).ok()) << "empty non-universal set";
+  EXPECT_FALSE(SeedSets::Of(g, {{a}, {99}}).ok()) << "node out of range";
+  EXPECT_FALSE(SeedSets::Make(g, {{}, {}}, {true, true}).ok()) << "all universal";
+  std::vector<std::vector<NodeId>> too_many(65, {a});
+  EXPECT_FALSE(SeedSets::Of(g, too_many).ok()) << "more than 64 sets";
+}
+
+TEST(SeedSetsTest, DuplicatesWithinSetDeduped) {
+  Graph g;
+  NodeId a = g.AddNode("A");
+  NodeId b = g.AddNode("B");
+  g.AddEdge(a, b, "t");
+  g.Finalize();
+  auto s = SeedSets::Of(g, {{a, a, a}, {b}});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->Set(0).size(), 1u);
+}
+
+}  // namespace
+}  // namespace eql
