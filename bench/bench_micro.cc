@@ -11,6 +11,7 @@
 #include "gen/synthetic.h"
 #include "query/ast.h"
 #include "storage/bgp_eval.h"
+#include "util/epoch.h"
 
 namespace eql {
 namespace {
@@ -30,20 +31,27 @@ void BM_TreeGrowChain(benchmark::State& state) {
   const int len = static_cast<int>(state.range(0));
   auto d = MakeLine(2, len);
   auto seeds = SeedSets::Of(d.graph, d.seed_sets);
+  // Membership is probed the way the engines do it: an epoch-stamped node
+  // set maintained incrementally, O(1) per probe and per Grow.
+  EpochSet nodes;
+  nodes.Reserve(d.graph.NodeIdBound());
   for (auto _ : state) {
     TreeArena arena;
     TreeId t = arena.MakeInit(d.seed_sets[0][0], *seeds);
     NodeId cur = d.seed_sets[0][0];
+    nodes.Clear();
+    nodes.Insert(cur);
     for (int i = 0; i < len; ++i) {
       const IncidentEdge* next = nullptr;
       for (const IncidentEdge& ie : d.graph.Incident(cur)) {
-        if (!arena.Get(t).ContainsNode(ie.other)) {
+        if (!nodes.Contains(ie.other)) {
           next = &ie;
           break;
         }
       }
       if (next == nullptr) break;
       t = arena.MakeGrow(t, next->edge, next->other, *seeds);
+      nodes.Insert(next->other);
       cur = next->other;
     }
     benchmark::DoNotOptimize(arena.Get(t).edge_set_hash);
@@ -63,7 +71,7 @@ void BM_TreeMerge(benchmark::State& state) {
     for (;;) {
       const IncidentEdge* next = nullptr;
       for (const IncidentEdge& ie : d.graph.Incident(cur)) {
-        if (!arena.Get(t).ContainsNode(ie.other)) {
+        if (!arena.ContainsNode(d.graph, t, ie.other)) {
           next = &ie;
           break;
         }
@@ -98,9 +106,9 @@ void BM_HistoryInsertLookup(benchmark::State& state) {
     NodeId cur = d.seed_sets[0][0];
     for (int i = 0; i < 16; ++i) {
       for (const IncidentEdge& ie : d.graph.Incident(cur)) {
-        if (arena.Get(t).ContainsNode(ie.other)) continue;
+        if (arena.ContainsNode(d.graph, t, ie.other)) continue;
         TreeId nt = arena.MakeGrow(t, ie.edge, ie.other, *seeds);
-        if (!hist.SeenEdgeSet(arena.Get(nt))) hist.Insert(nt);
+        if (!hist.SeenEdgeSet(nt)) hist.Insert(nt);
         benchmark::DoNotOptimize(hist.NumEdgeSets());
         t = nt;
         cur = ie.other;
@@ -152,6 +160,28 @@ void BM_MolespTwoSeedKg(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MolespTwoSeedKg);
+
+void BM_MolespFourSeedSubsetQueues(benchmark::State& state) {
+  // Exercises the §4.9 per-sat-subset queues and the O(1) PickQueue index.
+  // The tree budget bounds the walk deterministically: the bench measures
+  // per-provenance cost, not the (huge) 4-seed search space.
+  const Graph& g = KgGraph();
+  for (auto _ : state) {
+    auto seeds = SeedSets::Of(g, {{10}, {20}, {30}, {40}});
+    CtpFilters f;
+    f.max_edges = 3;
+    f.max_trees = 100000;
+    GamSearch search(g, *seeds, [&] {
+      GamConfig c = GamConfig::MoLesp();
+      c.filters = f;
+      c.queue_strategy = QueueStrategy::kPerSatSubset;
+      return c;
+    }());
+    search.Run();
+    benchmark::DoNotOptimize(search.results().size());
+  }
+}
+BENCHMARK(BM_MolespFourSeedSubsetQueues);
 
 }  // namespace
 }  // namespace eql

@@ -60,10 +60,9 @@ int main(int argc, char** argv) {
   std::printf("top %zu connection trees (degree_penalty score):\n",
               algo->results().size());
   for (const CtpResult& r : algo->results().results()) {
-    const RootedTree& t = algo->arena().Get(r.tree);
-    TreeShape shape = AnalyzeTree(g, *seeds, t);
+    TreeShape shape = AnalyzeTree(g, *seeds, algo->arena(), r.tree);
     std::printf("  score=%7.2f edges=%zu pieces=%zu %s\n", r.score,
-                t.NumEdges(), shape.pieces.size(),
+                algo->arena().Get(r.tree).NumEdges(), shape.pieces.size(),
                 algo->arena().TreeToString(r.tree, g).c_str());
   }
   std::printf(

@@ -5,9 +5,11 @@
 
 namespace eql {
 
-TreeShape AnalyzeTree(const Graph& g, const SeedSets& seeds, const RootedTree& t) {
+TreeShape AnalyzeTree(const Graph& g, const SeedSets& seeds,
+                      const TreeArena& arena, TreeId id) {
+  const std::vector<EdgeId> edges = arena.EdgeSet(id);
   TreeShape shape;
-  if (t.edges.empty()) {
+  if (edges.empty()) {
     shape.is_path = true;
     shape.property9_applies = true;
     return shape;
@@ -15,7 +17,7 @@ TreeShape AnalyzeTree(const Graph& g, const SeedSets& seeds, const RootedTree& t
 
   // Local adjacency over the tree's edges.
   std::unordered_map<NodeId, std::vector<EdgeId>> adj;
-  for (EdgeId e : t.edges) {
+  for (EdgeId e : edges) {
     adj[g.Source(e)].push_back(e);
     adj[g.Target(e)].push_back(e);
   }
@@ -31,7 +33,7 @@ TreeShape AnalyzeTree(const Graph& g, const SeedSets& seeds, const RootedTree& t
   // minimality), and its internal nodes are non-seeds.
   std::unordered_map<EdgeId, bool> visited;
   shape.property9_applies = true;
-  for (EdgeId start : t.edges) {
+  for (EdgeId start : edges) {
     if (visited[start]) continue;
     std::vector<EdgeId> piece;
     std::vector<EdgeId> stack = {start};

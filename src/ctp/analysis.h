@@ -42,10 +42,11 @@ struct TreeShape {
   bool property9_applies = false;
 };
 
-/// Computes theta(t) and the shape flags. `t` must be a tree whose leaves
-/// are all seeds (a CTP result); single-node trees yield an empty
-/// decomposition with property9_applies = true.
-TreeShape AnalyzeTree(const Graph& g, const SeedSets& seeds, const RootedTree& t);
+/// Computes theta(t) and the shape flags. Tree `id` must have only seed
+/// leaves (a CTP result); single-node trees yield an empty decomposition
+/// with property9_applies = true.
+TreeShape AnalyzeTree(const Graph& g, const SeedSets& seeds,
+                      const TreeArena& arena, TreeId id);
 
 /// True if the result is p-piecewise simple (Def 4.7).
 inline bool IsPiecewiseSimple(const TreeShape& shape, int p) {

@@ -4,32 +4,6 @@
 
 namespace eql {
 
-namespace {
-
-/// Returns the number of shared nodes (early exit at 2) and the first shared
-/// node between two sorted node sets.
-std::pair<int, NodeId> SharedNodes(const std::vector<NodeId>& a,
-                                   const std::vector<NodeId>& b) {
-  size_t i = 0, j = 0;
-  int count = 0;
-  NodeId first = kNoNode;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] < b[j]) {
-      ++i;
-    } else if (a[i] > b[j]) {
-      ++j;
-    } else {
-      if (count == 0) first = a[i];
-      if (++count >= 2) return {count, first};
-      ++i;
-      ++j;
-    }
-  }
-  return {count, first};
-}
-
-}  // namespace
-
 BftSearch::BftSearch(const Graph& g, const SeedSets& seeds, BftConfig config)
     : g_(g),
       seeds_(seeds),
@@ -37,6 +11,43 @@ BftSearch::BftSearch(const Graph& g, const SeedSets& seeds, BftConfig config)
       history_(&arena_),
       results_(&g_, &seeds_, &arena_, &config_.filters) {
   config_.filters.NormalizeLabels();
+  trees_with_node_.resize(g_.NodeIdBound());
+  history_.ReserveEdgeScratch(g_.EdgeIdBound());
+  grow_nodes_.Reserve(g_.NodeIdBound());
+  min_degree_.Reserve(g_.NodeIdBound());
+}
+
+void BftSearch::RegisterNodes(TreeId id) {
+  if (node_span_.size() <= id) node_span_.resize(id + 1, {0, 0});
+  node_buf_.clear();
+  arena_.ForEachNodeDup(g_, id, [&](NodeId n) { node_buf_.push_back(n); });
+  std::sort(node_buf_.begin(), node_buf_.end());
+  node_buf_.erase(std::unique(node_buf_.begin(), node_buf_.end()), node_buf_.end());
+  node_span_[id] = {static_cast<uint32_t>(node_pool_.size()),
+                    static_cast<uint32_t>(node_buf_.size())};
+  node_pool_.insert(node_pool_.end(), node_buf_.begin(), node_buf_.end());
+}
+
+std::pair<int, NodeId> BftSearch::SharedNodes(TreeId a, TreeId b) const {
+  const auto [ao, al] = node_span_[a];
+  const auto [bo, bl] = node_span_[b];
+  uint32_t i = 0, j = 0;
+  int count = 0;
+  NodeId first = kNoNode;
+  while (i < al && j < bl) {
+    NodeId na = node_pool_[ao + i], nb = node_pool_[bo + j];
+    if (na < nb) {
+      ++i;
+    } else if (na > nb) {
+      ++j;
+    } else {
+      if (count == 0) first = na;
+      if (++count >= 2) return {count, first};
+      ++i;
+      ++j;
+    }
+  }
+  return {count, first};
 }
 
 void BftSearch::CheckDeadline() {
@@ -49,36 +60,39 @@ void BftSearch::CheckDeadline() {
 }
 
 void BftSearch::MinimizeAndReport(TreeId id) {
-  const RootedTree& t = arena_.Get(id);
-  std::vector<EdgeId> edges = t.edges;
+  edge_buf_.clear();
+  arena_.AppendEdges(id, &edge_buf_);
   // Strip edges not on a path between seeds: repeatedly drop edges whose
   // endpoint is a non-seed leaf (Section 4.1: "removing all edges that do
-  // not lead to a seed").
+  // not lead to a seed"). Degrees are computed once into the epoch-versioned
+  // counter and decremented as edges are dropped.
   ++stats_.minimizations;
+  min_degree_.Clear();
+  for (EdgeId e : edge_buf_) {
+    min_degree_.Add(g_.Source(e), 1);
+    min_degree_.Add(g_.Target(e), 1);
+  }
   bool changed = true;
-  while (changed && !edges.empty()) {
+  while (changed && !edge_buf_.empty()) {
     changed = false;
-    std::unordered_map<NodeId, int> deg;
-    for (EdgeId e : edges) {
-      ++deg[g_.Source(e)];
-      ++deg[g_.Target(e)];
-    }
-    std::vector<EdgeId> kept;
-    kept.reserve(edges.size());
-    for (EdgeId e : edges) {
+    size_t kept = 0;
+    for (size_t i = 0; i < edge_buf_.size(); ++i) {
+      EdgeId e = edge_buf_[i];
       NodeId s = g_.Source(e), d = g_.Target(e);
-      bool drop = (deg[s] == 1 && seeds_.Signature(s).Empty()) ||
-                  (deg[d] == 1 && seeds_.Signature(d).Empty());
+      bool drop = (min_degree_.Get(s) == 1 && seeds_.Signature(s).Empty()) ||
+                  (min_degree_.Get(d) == 1 && seeds_.Signature(d).Empty());
       if (drop) {
         changed = true;
+        min_degree_.Add(s, -1);
+        min_degree_.Add(d, -1);
       } else {
-        kept.push_back(e);
+        edge_buf_[kept++] = e;
       }
     }
-    edges.swap(kept);
+    edge_buf_.resize(kept);
   }
-  NodeId anchor = edges.empty() ? t.root : g_.Source(edges.front());
-  TreeId mid = arena_.MakeAdHoc(anchor, std::move(edges), g_, seeds_);
+  NodeId anchor = edge_buf_.empty() ? arena_.Get(id).root : g_.Source(edge_buf_.front());
+  TreeId mid = arena_.MakeAdHocInPlace(anchor, &edge_buf_, g_, seeds_);
   if (results_.Add(mid)) {
     ++stats_.results_found;
     if (stats_.results_found >= config_.filters.limit) {
@@ -92,8 +106,11 @@ void BftSearch::MinimizeAndReport(TreeId id) {
 }
 
 void BftSearch::Keep(TreeId id, std::vector<TreeId>* next_gen) {
-  const RootedTree& t = arena_.Get(id);
-  for (NodeId n : t.nodes) trees_with_node_[n].push_back(id);
+  RegisterNodes(id);
+  const auto [off, len] = node_span_[id];
+  for (uint32_t i = 0; i < len; ++i) {
+    trees_with_node_[node_pool_[off + i]].push_back(id);
+  }
   next_gen->push_back(id);
 }
 
@@ -104,31 +121,32 @@ void BftSearch::TryMerges(TreeId id, std::vector<TreeId>* next_gen,
   while (!work.empty() && !stop_) {
     TreeId cur = work.back();
     work.pop_back();
-    const std::vector<NodeId> nodes_copy = arena_.Get(cur).nodes;
-    for (NodeId n : nodes_copy) {
-      if (stop_) break;
-      auto it = trees_with_node_.find(n);
-      if (it == trees_with_node_.end()) continue;
-      const std::vector<TreeId> partners = it->second;  // snapshot
-      for (TreeId pid : partners) {
+    // cur is always a kept tree, so its pool span is registered. Iterate by
+    // index: Keep() below appends to pool and partner vectors; appended
+    // partners are products that already attempted their merges.
+    const auto [cur_off, cur_len] = node_span_[cur];
+    for (uint32_t ni = 0; ni < cur_len && !stop_; ++ni) {
+      const NodeId n = node_pool_[cur_off + ni];
+      const size_t num_partners = trees_with_node_[n].size();
+      for (size_t pi = 0; pi < num_partners; ++pi) {
+        const TreeId pid = trees_with_node_[n][pi];
         CheckDeadline();
         if (stop_) break;
         if (pid == cur) continue;
         ++stats_.merge_attempts;
-        const RootedTree& a = arena_.Get(cur);
-        const RootedTree& b = arena_.Get(pid);
+        const RootedTree a = arena_.Get(cur);
+        const RootedTree b = arena_.Get(pid);
         if (a.NumEdges() + b.NumEdges() > config_.filters.max_edges) continue;
-        auto [shared, first_shared] = SharedNodes(a.nodes, b.nodes);
         // Merge exactly when they share one node, and only at that node's
         // iteration to avoid creating the same union repeatedly.
+        auto [shared, first_shared] = SharedNodes(cur, pid);
         if (shared != 1 || first_shared != n) continue;
         // Merge2 analogue: at most one node per seed set in the union; the
         // shared node's own memberships are counted once, not twice.
         const Bitset64 shared_sig = seeds_.Signature(first_shared);
         if (a.sat.AndNot(shared_sig).Intersects(b.sat.AndNot(shared_sig))) continue;
         TreeId merged = arena_.MakeMerge(cur, pid, seeds_);
-        const RootedTree& mt = arena_.Get(merged);
-        if (history_.SeenEdgeSet(mt)) {
+        if (history_.SeenEdgeSet(merged)) {
           ++stats_.trees_pruned;
           arena_.PopLast();
           continue;
@@ -139,7 +157,7 @@ void BftSearch::TryMerges(TreeId id, std::vector<TreeId>* next_gen,
           stop_ = true;
           stats_.budget_exhausted = true;
         }
-        if (mt.sat.Contains(seeds_.RequiredMask())) {
+        if (arena_.Get(merged).sat.Contains(seeds_.RequiredMask())) {
           MinimizeAndReport(merged);
         } else {
           Keep(merged, next_gen);
@@ -184,21 +202,24 @@ Status BftSearch::Run() {
     for (TreeId id : gen) {
       CheckDeadline();
       if (stop_) break;
-      const std::vector<NodeId> nodes_copy = arena_.Get(id).nodes;
-      for (NodeId n : nodes_copy) {
-        if (stop_) break;
+      // Every generation tree is kept, so its sorted node set sits in the
+      // pool; one stamping pass makes every Grow1 probe below O(1).
+      const auto [id_off, id_len] = node_span_[id];
+      grow_nodes_.Clear();
+      for (uint32_t i = 0; i < id_len; ++i) grow_nodes_.Insert(node_pool_[id_off + i]);
+      const RootedTree t = arena_.Get(id);
+      for (uint32_t ni = 0; ni < id_len && !stop_; ++ni) {
+        const NodeId n = node_pool_[id_off + ni];
         for (const IncidentEdge& ie : g_.Incident(n)) {
           CheckDeadline();
           if (stop_) break;
           if (!config_.filters.LabelAllowed(g_.EdgeLabelId(ie.edge))) continue;
-          const RootedTree& t = arena_.Get(id);
           if (t.NumEdges() + 1 > config_.filters.max_edges) break;
-          if (t.ContainsNode(ie.other)) continue;                      // Grow1
+          if (grow_nodes_.Contains(ie.other)) continue;                // Grow1
           if (seeds_.Signature(ie.other).Intersects(t.sat)) continue;  // Grow2
           ++stats_.grow_attempts;
           TreeId nid = arena_.MakeGrow(id, ie.edge, ie.other, seeds_);
-          const RootedTree& nt = arena_.Get(nid);
-          if (history_.SeenEdgeSet(nt)) {
+          if (history_.SeenEdgeSet(nid)) {
             ++stats_.trees_pruned;
             arena_.PopLast();
             continue;
@@ -209,7 +230,7 @@ Status BftSearch::Run() {
             stop_ = true;
             stats_.budget_exhausted = true;
           }
-          if (nt.sat.Contains(seeds_.RequiredMask())) {
+          if (arena_.Get(nid).sat.Contains(seeds_.RequiredMask())) {
             MinimizeAndReport(nid);
           } else {
             Keep(nid, &next);

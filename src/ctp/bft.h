@@ -13,11 +13,12 @@
 // exactly one node is the natural rootless reading (see DESIGN.md §6).
 //
 // These algorithms are complete but infeasible beyond small graphs (Fig. 10);
-// they double as the ground-truth oracle for the property tests.
+// they double as the ground-truth oracle for the property tests. Like
+// GamSearch, all per-tree scratch (node membership, shared-node counting,
+// minimization degrees) lives in flat epoch-versioned arrays.
 #ifndef EQL_CTP_BFT_H_
 #define EQL_CTP_BFT_H_
 
-#include <unordered_map>
 #include <vector>
 
 #include "ctp/filters.h"
@@ -27,6 +28,7 @@
 #include "ctp/stats.h"
 #include "ctp/tree.h"
 #include "graph/graph.h"
+#include "util/epoch.h"
 #include "util/stopwatch.h"
 
 namespace eql {
@@ -74,7 +76,28 @@ class BftSearch {
   BftConfig config_;
   TreeArena arena_;
   SearchHistory history_;
-  std::unordered_map<NodeId, std::vector<TreeId>> trees_with_node_;
+  /// Registers the sorted node set of a kept tree in the flat node pool.
+  void RegisterNodes(TreeId id);
+  /// Counts shared nodes of two registered trees (early exit at 2) and the
+  /// first shared node, by two-pointer scan over their pool spans.
+  std::pair<int, NodeId> SharedNodes(TreeId a, TreeId b) const;
+
+  /// Trees containing each node (merge partner index). Flat per-NodeId.
+  std::vector<std::vector<TreeId>> trees_with_node_;
+
+  /// Sorted node sets of *kept* trees, packed in one flat pool. BFT scans a
+  /// kept tree's nodes many times (growth frontier, merge partner checks);
+  /// one packed span per tree keeps those scans contiguous and allocation-
+  /// free instead of re-walking the provenance DAG each time.
+  std::vector<NodeId> node_pool_;
+  std::vector<std::pair<uint32_t, uint32_t>> node_span_;  ///< by TreeId: {offset, len}
+
+  // Epoch-versioned per-tree scratch (no clearing between trees).
+  EpochSet grow_nodes_;     ///< node set of the generation tree being grown
+  EpochCounter min_degree_; ///< minimization degrees (built once, decremented)
+  std::vector<EdgeId> edge_buf_;
+  std::vector<NodeId> node_buf_;
+
   CtpResultSet results_;
   SearchStats stats_;
   Deadline deadline_;

@@ -12,26 +12,35 @@ GamSearch::GamSearch(const Graph& g, const SeedSets& seeds, GamConfig config)
       history_(&arena_),
       results_(&g_, &seeds_, &arena_, &config_.filters) {
   config_.filters.NormalizeLabels();
-  if (config_.queue_strategy == QueueStrategy::kSingle) queues_.resize(1);
+  trees_rooted_in_.resize(g_.NodeIdBound());
+  history_.ReserveEdgeScratch(g_.EdgeIdBound());
+  seed_sig_.assign(g_.NodeIdBound(), Bitset64());
+  grow_nodes_.Reserve(g_.NodeIdBound());
+  merge_nodes_.Reserve(g_.NodeIdBound());
+  if (config_.queue_strategy == QueueStrategy::kSingle) {
+    queues_.resize(1);
+  } else if (seeds_.num_sets() <= kDenseMaskBits) {
+    queue_of_mask_dense_.assign(1ULL << seeds_.num_sets(), UINT32_MAX);
+  }
 }
 
-bool GamSearch::IsNew(const RootedTree& t, bool* lesp_spared) const {
+bool GamSearch::IsNew(TreeId id, bool* lesp_spared) const {
   if (lesp_spared != nullptr) *lesp_spared = false;
+  const RootedTree& t = arena_.Get(id);
   // Plain GAM: duplicate detection at the rooted-tree level only.
-  if (!config_.edge_set_pruning) return !history_.SeenRooted(t);
+  if (!config_.edge_set_pruning) return !history_.SeenRooted(id);
   // Init trees all share the empty edge set; Def 4.3 prunes only non-empty
   // edge sets, so they are deduplicated at the rooted level.
-  if (t.edges.empty()) return !history_.SeenRooted(t);
+  if (t.num_edges == 0) return !history_.SeenRooted(id);
   // Mo trees are deliberately injected duplicates of their base's edge set
   // (§4.5); only identical re-rootings are redundant.
-  if (t.kind == ProvKind::kMo) return !history_.SeenRooted(t);
-  if (!history_.SeenEdgeSet(t)) return true;
+  if (t.kind == ProvKind::kMo) return !history_.SeenRooted(id);
+  if (!history_.SeenEdgeSet(id)) return true;
   if (config_.lesp_spare) {
     // Alg. 4 lines 4-8: nodes already connected to >= 3 seed sets, with
     // enough graph edges for >= 3 rooted paths to meet, escape ESP.
-    auto it = seed_sig_.find(t.root);
-    if (it != seed_sig_.end() && it->second.Count() >= 3 && g_.Degree(t.root) >= 3) {
-      if (!history_.SeenRooted(t)) {
+    if (seed_sig_[t.root].Count() >= 3 && g_.Degree(t.root) >= 3) {
+      if (!history_.SeenRooted(id)) {
         if (lesp_spared != nullptr) *lesp_spared = true;
         return true;
       }
@@ -72,43 +81,81 @@ void GamSearch::CheckDeadline() {
 
 size_t GamSearch::QueueIndexFor(const RootedTree& t) {
   if (config_.queue_strategy == QueueStrategy::kSingle) return 0;
-  auto [it, inserted] = queue_of_mask_.try_emplace(t.sat.bits(), queues_.size());
-  if (inserted) queues_.emplace_back();
-  return it->second;
+  const uint64_t mask = t.sat.bits();
+  uint32_t* slot;
+  if (!queue_of_mask_dense_.empty()) {
+    slot = &queue_of_mask_dense_[mask];
+  } else {
+    slot = &queue_of_mask_sparse_.try_emplace(mask, UINT32_MAX).first->second;
+  }
+  if (*slot == UINT32_MAX) {
+    *slot = static_cast<uint32_t>(queues_.size());
+    queues_.emplace_back();
+  }
+  return *slot;
 }
 
-size_t GamSearch::PickQueue() const {
-  size_t best = SIZE_MAX;
-  size_t best_size = SIZE_MAX;
-  for (size_t i = 0; i < queues_.size(); ++i) {
-    if (queues_[i].empty()) continue;
-    if (queues_[i].size() < best_size) {
-      best = i;
-      best_size = queues_[i].size();
-    }
+void GamSearch::NoteQueueSize(size_t qi) {
+  if (config_.queue_strategy == QueueStrategy::kSingle) return;
+  if (!queues_[qi].empty()) queue_size_heap_.emplace(queues_[qi].size(), qi);
+}
+
+size_t GamSearch::PickQueue() {
+  if (config_.queue_strategy == QueueStrategy::kSingle) {
+    return queues_[0].empty() ? SIZE_MAX : 0;
   }
-  return best;
+  // Lazy deletion: NoteQueueSize records an exact entry at *every* size
+  // change, so each nonempty queue always has one entry carrying its current
+  // size. Stale entries are simply discarded (never re-pushed — a re-push
+  // here would duplicate entries 1:1 with queue pushes and turn every size
+  // change into an O(cohort) sweep). The first exact top is therefore the
+  // global fewest-entries queue, at amortized O(log) per operation.
+  while (!queue_size_heap_.empty()) {
+    auto [sz, qi] = queue_size_heap_.top();
+    if (queues_[qi].size() == sz) return static_cast<size_t>(qi);
+    queue_size_heap_.pop();
+  }
+  return SIZE_MAX;
 }
 
 void GamSearch::EnqueueGrows(TreeId id) {
   const RootedTree& t = arena_.Get(id);
   if (t.NumEdges() + 1 > config_.filters.max_edges) return;  // MAX filter
   const size_t qi = QueueIndexFor(t);
-  for (const IncidentEdge& ie : g_.Incident(t.root)) {
+  // One O(|T|) stamping pass makes every Grow1 membership probe O(1), and
+  // edge-independent orders (all but RandomOrder) price the tree once
+  // instead of once per incident edge.
+  arena_.StampNodes(g_, id, &grow_nodes_);
+  const bool shared_priority = order_->EdgeIndependent();
+  double priority = 0;
+  bool priority_computed = false;
+  bool pushed_any = false;
+  const NodeId root = t.root;
+  for (const IncidentEdge& ie : g_.Incident(root)) {
     // UNI: backward expansion — only traverse edges that *enter* the current
     // root, preserving "root reaches every tree node along directed edges".
     if (config_.filters.unidirectional && ie.forward) continue;
     if (!config_.filters.LabelAllowed(g_.EdgeLabelId(ie.edge))) continue;
-    if (t.ContainsNode(ie.other)) continue;                          // Grow1
+    if (grow_nodes_.Contains(ie.other)) continue;                    // Grow1
     if (seeds_.Signature(ie.other).Intersects(t.sat)) continue;      // Grow2
-    queues_[qi].push(QueueEntry{order_->Priority(g_, seeds_, t, ie.edge),
-                                order_->TieBreak(), seq_++, id, ie.edge, ie.other});
+    if (!shared_priority || !priority_computed) {
+      priority = order_->Priority(g_, seeds_, arena_, id, ie.edge);
+      priority_computed = true;
+    }
+    queues_[qi].push(QueueEntry{priority, order_->TieBreak(), seq_++, id,
+                                ie.edge, ie.other});
     ++stats_.queue_pushed;
+    pushed_any = true;
   }
+  // One exact heap entry after the burst keeps the PickQueue invariant;
+  // per-push entries would all be stale except the last.
+  if (pushed_any) NoteQueueSize(qi);
 }
 
 void GamSearch::ProcessNewTree(TreeId id) {
-  const RootedTree& t = arena_.Get(id);
+  // Copy the record: Mo injection below may grow the arena and invalidate
+  // references (trees are O(64) bytes).
+  const RootedTree t = arena_.Get(id);
   history_.Insert(id);
   ++stats_.trees_built;
   if (stats_.trees_built >= config_.filters.max_trees) {
@@ -149,19 +196,24 @@ void GamSearch::ProcessNewTree(TreeId id) {
         break;
     }
     if (seed_gain) {
-      // t.nodes is copied because MakeMo may grow the arena while iterating.
-      const std::vector<NodeId> nodes_copy = t.nodes;
-      const NodeId base_root = t.root;
-      for (NodeId n : nodes_copy) {
-        if (n == base_root || seeds_.Signature(n).Empty()) continue;
+      // Materialized once; MakeMo grows the arena while we iterate, and
+      // under UNI the same edge list serves every candidate root below.
+      const std::vector<NodeId> nodes = arena_.NodeSet(g_, id);
+      std::vector<EdgeId> edges;
+      if (config_.filters.unidirectional) {
+        edges.reserve(t.num_edges);
+        arena_.AppendEdges(id, &edges);
+      }
+      for (NodeId n : nodes) {
+        if (n == t.root || seeds_.Signature(n).Empty()) continue;
         // Under UNI every kept tree must keep the "root reaches all nodes
         // along directed edges" invariant; re-rooting may break it.
         if (config_.filters.unidirectional &&
-            !RootReachesAllDirected(g_, arena_.Get(id), n)) {
+            !RootReachesAllDirected(g_, edges, t.NumNodes(), n)) {
           continue;
         }
         TreeId mo_id = arena_.MakeMo(id, n);
-        if (!history_.SeenRooted(arena_.Get(mo_id))) {
+        if (!history_.SeenRooted(mo_id)) {
           history_.Insert(mo_id);
           ++stats_.trees_built;
           ++stats_.mo_trees;
@@ -175,7 +227,7 @@ void GamSearch::ProcessNewTree(TreeId id) {
   }
 
   // Grow is disabled on Mo-tainted trees (§4.5).
-  if (!arena_.Get(id).mo_tainted && !stop_) EnqueueGrows(id);
+  if (!t.mo_tainted && !stop_) EnqueueGrows(id);
 }
 
 void GamSearch::DrainMerges() {
@@ -190,23 +242,30 @@ void GamSearch::DrainMerges() {
     // from the disjointness test (the paper's Fig. 3 trace merges A-1-2-B
     // with B-3-C at the seed root B).
     const Bitset64 root_sig = seeds_.Signature(root);
-    // Snapshot: partners appended during the loop get their own pending pass
-    // (and would see `id` in trees_rooted_in_), so no pair is lost.
-    const std::vector<TreeId> partners = trees_rooted_in_[root];
-    for (TreeId pid : partners) {
+    // One stamping pass for the merge subject; each partner's Merge1 test is
+    // then a walk of the partner only.
+    arena_.StampNodes(g_, id, &merge_nodes_);
+    // Iterate by index up to the pre-loop size: partners appended during the
+    // loop get their own pending pass (and would see `id` in
+    // trees_rooted_in_), so no pair is lost. The vector may reallocate, so
+    // re-index on every access.
+    const size_t num_partners = trees_rooted_in_[root].size();
+    for (size_t pi = 0; pi < num_partners; ++pi) {
+      const TreeId pid = trees_rooted_in_[root][pi];
       if (pid == id) continue;
       CheckDeadline();
       if (stop_) break;
       ++stats_.merge_attempts;
-      const RootedTree& a = arena_.Get(id);
-      const RootedTree& b = arena_.Get(pid);
+      // Copies: ProcessNewTree below grows the arena.
+      const RootedTree a = arena_.Get(id);
+      const RootedTree b = arena_.Get(pid);
       if (a.sat.AndNot(root_sig).Intersects(b.sat.AndNot(root_sig))) continue;
       if (a.NumEdges() + b.NumEdges() > config_.filters.max_edges) continue;
-      if (a.edges.empty() || b.edges.empty()) continue;  // Init merges are no-ops
-      if (!a.SharesOnlyRootWith(b, root)) continue;      // Merge1
+      if (a.num_edges == 0 || b.num_edges == 0) continue;  // Init merges are no-ops
+      if (!arena_.SharesOnlyNode(g_, pid, merge_nodes_, root)) continue;  // Merge1
       TreeId mid = arena_.MakeMerge(id, pid, seeds_);
       bool spared = false;
-      if (IsNew(arena_.Get(mid), &spared)) {
+      if (IsNew(mid, &spared)) {
         if (spared) ++stats_.lesp_spared;
         ProcessNewTree(mid);
       } else {
@@ -233,7 +292,7 @@ Status GamSearch::Run() {
     if (seeds_.IsUniversal(i)) continue;
     for (NodeId n : seeds_.Set(i)) {
       TreeId id = arena_.MakeInit(n, seeds_);
-      if (IsNew(arena_.Get(id), nullptr)) {
+      if (IsNew(id, nullptr)) {
         ++stats_.init_trees;
         ProcessNewTree(id);
       } else {
@@ -253,14 +312,14 @@ Status GamSearch::Run() {
     if (qi == SIZE_MAX) break;  // search space exhausted
     QueueEntry e = queues_[qi].top();
     queues_[qi].pop();
+    NoteQueueSize(qi);
     ++stats_.grow_attempts;
     TreeId nid = arena_.MakeGrow(e.tree, e.edge, e.new_root, seeds_);
-    const RootedTree& t = arena_.Get(nid);
     // Alg. 1 line 10: ss maintenance happens for every Grow product, kept or
     // pruned.
-    UpdateSeedSignature(t);
+    UpdateSeedSignature(arena_.Get(nid));
     bool spared = false;
-    if (IsNew(t, &spared)) {
+    if (IsNew(nid, &spared)) {
       if (spared) ++stats_.lesp_spared;
       ProcessNewTree(nid);
       DrainMerges();

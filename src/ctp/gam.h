@@ -23,6 +23,12 @@
 // The engine also implements the Section 4.9 strategies for very large and
 // universal (N) seed sets: per-sat-subset priority queues popped
 // smallest-first, and suppression of Init trees for universal sets.
+//
+// Memory discipline: all per-tree scratch state lives in flat per-NodeId /
+// per-EdgeId arrays with epoch versioning (util/epoch.h) — nothing is
+// cleared or reallocated between trees — and trees themselves are O(1)
+// parent-pointer records (ctp/tree.h), so the grow/dedup inner loop does no
+// heap allocation.
 #ifndef EQL_CTP_GAM_H_
 #define EQL_CTP_GAM_H_
 
@@ -39,6 +45,7 @@
 #include "ctp/stats.h"
 #include "ctp/tree.h"
 #include "graph/graph.h"
+#include "util/epoch.h"
 #include "util/stopwatch.h"
 
 namespace eql {
@@ -101,8 +108,7 @@ class GamSearch {
 
   /// ss_n after the run (exposed for tests of the LESP machinery).
   Bitset64 SeedSignatureOf(NodeId n) const {
-    auto it = seed_sig_.find(n);
-    return it == seed_sig_.end() ? Bitset64() : it->second;
+    return n < seed_sig_.size() ? seed_sig_[n] : Bitset64();
   }
 
  private:
@@ -123,8 +129,9 @@ class GamSearch {
   };
   using PrioQ = std::priority_queue<QueueEntry, std::vector<QueueEntry>, EntryGreater>;
 
-  /// Algorithm 4. Also classifies LESP spares (out-param may be null).
-  bool IsNew(const RootedTree& t, bool* lesp_spared) const;
+  /// Algorithm 4. Also classifies LESP spares (out-param may be null). `id`
+  /// must be the most recent arena tree (the candidate under test).
+  bool IsNew(TreeId id, bool* lesp_spared) const;
 
   /// Algorithm 2 after a positive isNew: history, result emission, merge
   /// registration, Mo injection, Grow enqueueing.
@@ -144,8 +151,11 @@ class GamSearch {
   void CheckDeadline();
 
   size_t QueueIndexFor(const RootedTree& t);
-  /// Index of the non-empty queue with fewest entries; SIZE_MAX if all empty.
-  size_t PickQueue() const;
+  /// Index of the non-empty queue with fewest entries; SIZE_MAX if all
+  /// empty. O(log) amortized via the lazy size heap, not a linear scan.
+  size_t PickQueue();
+  /// Records a size change of queue `qi` in the lazy size heap.
+  void NoteQueueSize(size_t qi);
 
   const Graph& g_;
   const SeedSets& seeds_;
@@ -155,11 +165,27 @@ class GamSearch {
 
   TreeArena arena_;
   SearchHistory history_;
-  std::unordered_map<NodeId, std::vector<TreeId>> trees_rooted_in_;
-  std::unordered_map<NodeId, Bitset64> seed_sig_;
+  /// recordForMerging index: trees rooted at each node. Flat per-NodeId.
+  std::vector<std::vector<TreeId>> trees_rooted_in_;
+  /// ss_n (§4.6). Flat per-NodeId.
+  std::vector<Bitset64> seed_sig_;
   std::vector<PrioQ> queues_;
-  std::unordered_map<uint64_t, size_t> queue_of_mask_;
+  /// sat-mask -> queue index (§4.9). Dense-indexed by the mask's bits for
+  /// small m (the common case); hash fallback beyond kDenseMaskBits sets.
+  static constexpr int kDenseMaskBits = 16;
+  std::vector<uint32_t> queue_of_mask_dense_;
+  std::unordered_map<uint64_t, uint32_t> queue_of_mask_sparse_;
+  /// Lazy min-heap of (queue size, queue index); stale entries are dropped
+  /// on pop. Every nonempty queue always has one exact entry.
+  std::priority_queue<std::pair<uint64_t, uint64_t>,
+                      std::vector<std::pair<uint64_t, uint64_t>>,
+                      std::greater<std::pair<uint64_t, uint64_t>>>
+      queue_size_heap_;
   std::vector<TreeId> pending_merge_;
+
+  // Epoch-versioned per-tree scratch (no clearing between trees).
+  EpochSet grow_nodes_;   ///< node set of the tree being grown (Grow1)
+  EpochSet merge_nodes_;  ///< node set of the merge subject (Merge1)
 
   CtpResultSet results_;
   SearchStats stats_;

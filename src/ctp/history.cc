@@ -2,38 +2,64 @@
 
 namespace eql {
 
-bool SearchHistory::SeenEdgeSet(const RootedTree& t) const {
-  auto it = by_edge_hash_.find(t.edge_set_hash);
-  if (it == by_edge_hash_.end()) return false;
-  for (TreeId id : it->second) {
-    if (arena_->Get(id).edges == t.edges) return true;
+size_t SearchHistory::FindSlot(const std::vector<Slot>& slots, uint64_t hash,
+                               TreeId id, bool rooted) const {
+  const size_t mask = slots.size() - 1;
+  size_t i = static_cast<size_t>(hash) & mask;
+  for (;;) {
+    const Slot& s = slots[i];
+    if (s.id == kNoTree) return i;
+    if (s.hash == hash &&
+        (rooted ? SameRooted(s.id, id) : SameEdgeSet(s.id, id))) {
+      return i;
+    }
+    i = (i + 1) & mask;
   }
-  return false;
 }
 
-bool SearchHistory::SeenRooted(const RootedTree& t) const {
-  auto it = by_rooted_hash_.find(RootedHash(t));
-  if (it == by_rooted_hash_.end()) return false;
-  for (TreeId id : it->second) {
-    const RootedTree& other = arena_->Get(id);
-    if (other.root == t.root && other.edges == t.edges) return true;
+void SearchHistory::GrowTable(std::vector<Slot>* slots) {
+  std::vector<Slot> old = std::move(*slots);
+  slots->assign(old.size() * 2, Slot{});
+  const size_t mask = slots->size() - 1;
+  for (const Slot& s : old) {
+    if (s.id == kNoTree) continue;
+    size_t i = static_cast<size_t>(s.hash) & mask;
+    while ((*slots)[i].id != kNoTree) i = (i + 1) & mask;
+    (*slots)[i] = s;
   }
-  return false;
+}
+
+bool SearchHistory::SeenEdgeSet(TreeId id) const {
+  const uint64_t h = arena_->Get(id).edge_set_hash;
+  return edge_slots_[FindSlot(edge_slots_, h, id, /*rooted=*/false)].id != kNoTree;
+}
+
+bool SearchHistory::SeenRooted(TreeId id) const {
+  const uint64_t h = RootedHash(arena_->Get(id));
+  return rooted_slots_[FindSlot(rooted_slots_, h, id, /*rooted=*/true)].id != kNoTree;
 }
 
 void SearchHistory::Insert(TreeId id) {
-  const RootedTree& t = arena_->Get(id);
-  auto& edge_bucket = by_edge_hash_[t.edge_set_hash];
-  bool fresh_edge_set = true;
-  for (TreeId other : edge_bucket) {
-    if (arena_->Get(other).edges == t.edges) {
-      fresh_edge_set = false;
-      break;
-    }
+  // Tables hold one representative per distinct key; later trees with the
+  // same edge set (Mo re-rootings, LESP spares) leave the edge-level entry
+  // untouched.
+  if (edge_entries_ * 10 >= edge_slots_.size() * 7) GrowTable(&edge_slots_);
+  if (rooted_entries_ * 10 >= rooted_slots_.size() * 7) GrowTable(&rooted_slots_);
+
+  const uint64_t eh = arena_->Get(id).edge_set_hash;
+  size_t ei = FindSlot(edge_slots_, eh, id, /*rooted=*/false);
+  if (edge_slots_[ei].id == kNoTree) {
+    edge_slots_[ei] = Slot{eh, id};
+    ++edge_entries_;
+    ++edge_sets_;
   }
-  if (fresh_edge_set) ++edge_sets_;
-  edge_bucket.push_back(id);
-  by_rooted_hash_[RootedHash(t)].push_back(id);
+
+  const uint64_t rh = RootedHash(arena_->Get(id));
+  size_t ri = FindSlot(rooted_slots_, rh, id, /*rooted=*/true);
+  if (rooted_slots_[ri].id == kNoTree) {
+    rooted_slots_[ri] = Slot{rh, id};
+    ++rooted_entries_;
+  }
 }
 
 }  // namespace eql

@@ -8,51 +8,87 @@
 //    trees (whose edge sets are all empty), for Mo trees, and for trees
 //    spared by LESP's limited pruning (Alg. 4 lines 4-8).
 //
-// Hash collisions are resolved by comparing the actual edge vectors stored in
-// the arena, so dedup is exact.
+// Storage is two open-addressing tables of (hash, representative TreeId)
+// slots keyed by the trees' incremental edge-set hash — one cache line probe
+// per lookup instead of an unordered_map bucket chase, and no per-tree edge
+// vector to hash. On a 64-bit hash hit the actual edge sets are compared by
+// an epoch-stamped provenance walk, so dedup stays exact.
 #ifndef EQL_CTP_HISTORY_H_
 #define EQL_CTP_HISTORY_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "ctp/tree.h"
+#include "util/epoch.h"
 
 namespace eql {
 
 /// Exact duplicate detection for edge sets and rooted trees.
 class SearchHistory {
  public:
-  explicit SearchHistory(const TreeArena* arena) : arena_(arena) {}
+  explicit SearchHistory(const TreeArena* arena) : arena_(arena) {
+    edge_slots_.resize(kInitialCapacity);
+    rooted_slots_.resize(kInitialCapacity);
+  }
 
-  /// True if some kept tree already has exactly this edge set.
-  bool SeenEdgeSet(const RootedTree& t) const;
+  /// True if some kept tree already has exactly this edge set. `id` must be
+  /// in the arena (the engines check the tree they just built).
+  bool SeenEdgeSet(TreeId id) const;
 
   /// True if some kept tree already has this (root, edge set).
-  bool SeenRooted(const RootedTree& t) const;
+  bool SeenRooted(TreeId id) const;
 
   /// Registers a kept tree in both indexes.
   void Insert(TreeId id);
 
+  /// Pre-sizes the edge-stamp scratch used by exact set comparison
+  /// (typically to Graph::EdgeIdBound()), avoiding growth during the search.
+  void ReserveEdgeScratch(size_t edge_bound) { eq_scratch_.Reserve(edge_bound); }
+
   size_t NumEdgeSets() const { return edge_sets_; }
 
   void Clear() {
-    by_edge_hash_.clear();
-    by_rooted_hash_.clear();
+    edge_slots_.assign(kInitialCapacity, Slot{});
+    rooted_slots_.assign(kInitialCapacity, Slot{});
+    edge_entries_ = rooted_entries_ = 0;
     edge_sets_ = 0;
   }
 
  private:
+  static constexpr size_t kInitialCapacity = 1024;  // power of two
+
+  struct Slot {
+    uint64_t hash = 0;
+    TreeId id = kNoTree;  ///< kNoTree marks an empty slot
+  };
+
   static uint64_t RootedHash(const RootedTree& t) {
     return HashCombine(t.edge_set_hash, t.root);
   }
 
+  /// True if the trees' edge sets are identical (hashes already matched).
+  bool SameEdgeSet(TreeId a, TreeId b) const {
+    return arena_->EdgeSetsEqual(a, b, &eq_scratch_);
+  }
+  bool SameRooted(TreeId a, TreeId b) const {
+    return arena_->Get(a).root == arena_->Get(b).root && SameEdgeSet(a, b);
+  }
+
+  /// Finds `id`'s slot in `slots` (linear probing): the matching slot, or the
+  /// first empty one. `rooted` selects the equality relation.
+  size_t FindSlot(const std::vector<Slot>& slots, uint64_t hash, TreeId id,
+                  bool rooted) const;
+
+  void GrowTable(std::vector<Slot>* slots);
+
   const TreeArena* arena_;
-  // hash -> tree ids with that hash; vectors are almost always length 1.
-  std::unordered_map<uint64_t, std::vector<TreeId>> by_edge_hash_;
-  std::unordered_map<uint64_t, std::vector<TreeId>> by_rooted_hash_;
+  std::vector<Slot> edge_slots_;
+  std::vector<Slot> rooted_slots_;
+  size_t edge_entries_ = 0;
+  size_t rooted_entries_ = 0;
   size_t edge_sets_ = 0;
+  mutable EpochSet eq_scratch_;  ///< edge stamps for exact set comparison
 };
 
 }  // namespace eql

@@ -50,9 +50,8 @@ void RunChunk(const Graph* g, const SeedSets* full_seeds, size_t split_idx,
   if (!out->status.ok()) return;
   out->stats = algo->stats();
   for (const CtpResult& r : algo->results().results()) {
-    const RootedTree& t = algo->arena().Get(r.tree);
-    out->edge_sets.push_back(t.edges);
-    out->roots.push_back(t.root);
+    out->edge_sets.push_back(algo->arena().EdgeSet(r.tree));
+    out->roots.push_back(algo->arena().Get(r.tree).root);
   }
 }
 
@@ -130,9 +129,8 @@ Result<ParallelCtpOutcome> EvaluateCtpParallel(const Graph& g,
                                       std::move(chunk.edge_sets[i]), g, seeds);
       // A chunk cannot see the rest of S_split: discard trees that contain a
       // second S_split node (they are not results of the full CTP).
-      const RootedTree& t = out.arena.Get(id);
       int split_nodes = 0;
-      for (NodeId n : t.nodes) {
+      for (NodeId n : out.arena.NodeSet(g, id)) {
         if (seeds.Signature(n).Test(static_cast<int>(split_idx))) ++split_nodes;
       }
       if (split_nodes > 1) {

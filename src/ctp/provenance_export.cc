@@ -21,11 +21,13 @@ std::string Quoted(const std::string& s) {
 
 }  // namespace
 
-std::string TreeToDot(const Graph& g, const SeedSets& seeds, const RootedTree& t,
+std::string TreeToDot(const Graph& g, const SeedSets& seeds,
+                      const TreeArena& arena, TreeId id,
                       const std::string& graph_name) {
+  const NodeId root = arena.Get(id).root;
   std::string out = "digraph " + graph_name + " {\n";
   out += "  rankdir=LR;\n  node [shape=ellipse];\n";
-  for (NodeId n : t.nodes) {
+  for (NodeId n : arena.NodeSet(g, id)) {
     Bitset64 sig = seeds.Signature(n);
     std::string attrs;
     if (!sig.Empty()) {
@@ -33,12 +35,12 @@ std::string TreeToDot(const Graph& g, const SeedSets& seeds, const RootedTree& t
               Quoted(g.NodeLabel(n) + StrFormat(" (S%d)",
                                                 std::countr_zero(sig.bits()) + 1)) +
               "]";
-    } else if (n == t.root) {
+    } else if (n == root) {
       attrs = " [style=filled, fillcolor=lightgrey]";
     }
     out += "  n" + std::to_string(n) + attrs + ";\n";
   }
-  for (EdgeId e : t.edges) {
+  for (EdgeId e : arena.EdgeSet(id)) {
     out += "  n" + std::to_string(g.Source(e)) + " -> n" +
            std::to_string(g.Target(e)) + " [label=" + Quoted(g.EdgeLabel(e)) +
            "];\n";
@@ -77,7 +79,7 @@ std::string ProvenanceToDot(const TreeArena& arena, TreeId id, const Graph& g,
         break;
     }
     std::string label = StrFormat("%s #%u\\nroot=%s |edges|=%zu", kind, cur,
-                                  g.NodeLabel(t.root).c_str(), t.edges.size());
+                                  g.NodeLabel(t.root).c_str(), t.NumEdges());
     if (t.kind == ProvKind::kGrow) {
       label += "\\n+" + g.EdgeToString(t.grow_edge);
     }

@@ -16,7 +16,8 @@ namespace eql {
 
 /// DOT graph of one result tree: seed nodes doubled, edges labeled, original
 /// edge directions preserved.
-std::string TreeToDot(const Graph& g, const SeedSets& seeds, const RootedTree& t,
+std::string TreeToDot(const Graph& g, const SeedSets& seeds,
+                      const TreeArena& arena, TreeId id,
                       const std::string& graph_name = "ctp_result");
 
 /// DOT graph of the provenance DAG that produced `id`: one box per

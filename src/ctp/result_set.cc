@@ -10,35 +10,37 @@ CtpResultSet::CtpResultSet(const Graph* g, const SeedSets* seeds,
                            const TreeArena* arena, const CtpFilters* filters)
     : g_(g), seeds_(seeds), arena_(arena), filters_(filters) {}
 
-bool CtpResultSet::ContainsEdgeSet(const RootedTree& t) const {
-  auto it = by_edge_hash_.find(t.edge_set_hash);
+bool CtpResultSet::ContainsEdgeSet(TreeId id) const {
+  auto it = by_edge_hash_.find(arena_->Get(id).edge_set_hash);
   if (it == by_edge_hash_.end()) return false;
   for (size_t idx : it->second) {
-    if (arena_->Get(results_[idx].tree).edges == t.edges) return true;
+    if (arena_->EdgeSetsEqual(results_[idx].tree, id, &eq_scratch_)) return true;
   }
   return false;
 }
 
 bool CtpResultSet::Add(TreeId id) {
+  if (ContainsEdgeSet(id)) return false;
   const RootedTree& t = arena_->Get(id);
-  if (ContainsEdgeSet(t)) return false;
 
   CtpResult r;
   r.tree = id;
   r.seed_of_set.assign(seeds_->num_sets(), kNoNode);
-  for (NodeId n : t.nodes) {
+  // Duplicate node mentions are harmless here: re-assigning the same seed to
+  // the same slot is idempotent, and Def 2.8 (ii) guarantees one node per set.
+  arena_->ForEachNodeDup(*g_, id, [&](NodeId n) {
     Bitset64 sig = seeds_->Signature(n);
-    if (sig.Empty()) continue;
+    if (sig.Empty()) return;
     for (int i = 0; i < seeds_->num_sets(); ++i) {
       if (sig.Test(i)) r.seed_of_set[i] = n;
     }
-  }
+  });
   // Universal sets (Section 4.9): the root stands in as their match.
   for (int i = 0; i < seeds_->num_sets(); ++i) {
     if (seeds_->IsUniversal(i)) r.seed_of_set[i] = t.root;
   }
   if (filters_->score != nullptr) {
-    r.score = filters_->score->Score(*g_, *seeds_, t);
+    r.score = filters_->score->Score(*g_, *seeds_, *arena_, id);
   }
   by_edge_hash_[t.edge_set_hash].push_back(results_.size());
   results_.push_back(std::move(r));
@@ -64,7 +66,7 @@ void CtpResultSet::FinalizeTopK() {
 std::vector<std::vector<EdgeId>> CtpResultSet::EdgeSets() const {
   std::vector<std::vector<EdgeId>> out;
   out.reserve(results_.size());
-  for (const auto& r : results_) out.push_back(arena_->Get(r.tree).edges);
+  for (const auto& r : results_) out.push_back(arena_->EdgeSet(r.tree));
   return out;
 }
 

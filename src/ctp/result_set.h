@@ -10,6 +10,7 @@
 #include "ctp/filters.h"
 #include "ctp/seed_sets.h"
 #include "ctp/tree.h"
+#include "util/epoch.h"
 
 namespace eql {
 
@@ -46,8 +47,8 @@ class CtpResultSet {
   /// Applies TOP-k: sorts by score (desc, stable) and keeps the k best.
   void FinalizeTopK();
 
-  /// True if the edge set of `t` was already reported.
-  bool ContainsEdgeSet(const RootedTree& t) const;
+  /// True if the edge set of tree `id` was already reported.
+  bool ContainsEdgeSet(TreeId id) const;
 
   /// All result edge sets, each as a sorted EdgeId vector (for test oracles).
   std::vector<std::vector<EdgeId>> EdgeSets() const;
@@ -59,6 +60,7 @@ class CtpResultSet {
   const CtpFilters* filters_;
   std::vector<CtpResult> results_;
   std::unordered_map<uint64_t, std::vector<size_t>> by_edge_hash_;
+  mutable EpochSet eq_scratch_;
 };
 
 }  // namespace eql

@@ -6,21 +6,22 @@
 namespace eql {
 
 double DegreePenaltyScore::Score(const Graph& g, const SeedSets&,
-                                 const RootedTree& t) const {
+                                 const TreeArena& arena, TreeId id) const {
   double penalty = 0;
-  for (NodeId n : t.nodes) penalty += std::log2(1.0 + g.Degree(n));
+  for (NodeId n : arena.NodeSet(g, id)) penalty += std::log2(1.0 + g.Degree(n));
   return -penalty;
 }
 
 double LabelDiversityScore::Score(const Graph& g, const SeedSets&,
-                                  const RootedTree& t) const {
+                                  const TreeArena& arena, TreeId id) const {
   std::unordered_set<StrId> labels;
-  for (EdgeId e : t.edges) labels.insert(g.EdgeLabelId(e));
+  arena.ForEachEdge(id, [&](EdgeId e) { labels.insert(g.EdgeLabelId(e)); });
   return static_cast<double>(labels.size());
 }
 
 double RootDegreeScore::Score(const Graph& g, const SeedSets&,
-                              const RootedTree& t) const {
+                              const TreeArena& arena, TreeId id) const {
+  const RootedTree& t = arena.Get(id);
   return -static_cast<double>(t.NumEdges()) -
          lambda_ * std::log2(1.0 + g.Degree(t.root));
 }

@@ -16,6 +16,7 @@
 #include "ctp/tree.h"
 #include "graph/graph.h"
 
+
 namespace eql {
 
 /// Assigns each tree a real score; higher is better (Section 2).
@@ -23,7 +24,7 @@ class ScoreFunction {
  public:
   virtual ~ScoreFunction() = default;
   virtual double Score(const Graph& g, const SeedSets& seeds,
-                       const RootedTree& t) const = 0;
+                       const TreeArena& arena, TreeId id) const = 0;
   virtual std::string Name() const = 0;
 };
 
@@ -31,8 +32,9 @@ class ScoreFunction {
 /// "smallest results first" exploration the paper uses in its experiments.
 class EdgeCountScore : public ScoreFunction {
  public:
-  double Score(const Graph&, const SeedSets&, const RootedTree& t) const override {
-    return -static_cast<double>(t.NumEdges());
+  double Score(const Graph&, const SeedSets&, const TreeArena& arena,
+               TreeId id) const override {
+    return -static_cast<double>(arena.Get(id).NumEdges());
   }
   std::string Name() const override { return "edge_count"; }
 };
@@ -42,14 +44,16 @@ class EdgeCountScore : public ScoreFunction {
 /// (through the "country" hub) is not the interesting one.
 class DegreePenaltyScore : public ScoreFunction {
  public:
-  double Score(const Graph& g, const SeedSets&, const RootedTree& t) const override;
+  double Score(const Graph& g, const SeedSets&, const TreeArena& arena,
+               TreeId id) const override;
   std::string Name() const override { return "degree_penalty"; }
 };
 
 /// sigma = number of distinct edge labels: favors semantically rich trees.
 class LabelDiversityScore : public ScoreFunction {
  public:
-  double Score(const Graph& g, const SeedSets&, const RootedTree& t) const override;
+  double Score(const Graph& g, const SeedSets&, const TreeArena& arena,
+               TreeId id) const override;
   std::string Name() const override { return "label_diversity"; }
 };
 
@@ -57,7 +61,8 @@ class LabelDiversityScore : public ScoreFunction {
 class RootDegreeScore : public ScoreFunction {
  public:
   explicit RootDegreeScore(double lambda = 1.0) : lambda_(lambda) {}
-  double Score(const Graph& g, const SeedSets&, const RootedTree& t) const override;
+  double Score(const Graph& g, const SeedSets&, const TreeArena& arena,
+               TreeId id) const override;
   std::string Name() const override { return "root_degree"; }
 
  private:

@@ -26,12 +26,18 @@ class SearchOrder {
  public:
   virtual ~SearchOrder() = default;
 
-  /// Priority of growing `t` with `e`; lower is explored earlier.
+  /// Priority of growing tree `id` with `e`; lower is explored earlier.
   virtual double Priority(const Graph& g, const SeedSets& seeds,
-                          const RootedTree& t, EdgeId e) = 0;
+                          const TreeArena& arena, TreeId id, EdgeId e) = 0;
 
   /// Tie-break value; default 0 lets the engine's FIFO sequence decide.
   virtual uint64_t TieBreak() { return 0; }
+
+  /// True if Priority ignores the candidate edge (and is deterministic per
+  /// tree) — the engine then computes it once per tree instead of once per
+  /// incident edge. Opt-in: the default is false so a new edge-sensitive
+  /// order cannot silently inherit the caching contract.
+  virtual bool EdgeIndependent() const { return false; }
 
   virtual std::string Name() const = 0;
 };
@@ -41,10 +47,11 @@ class SearchOrder {
 /// arbitrarily").
 class SmallestFirstOrder : public SearchOrder {
  public:
-  double Priority(const Graph&, const SeedSets&, const RootedTree& t,
-                  EdgeId) override {
-    return static_cast<double>(t.NumEdges() + 1);
+  double Priority(const Graph&, const SeedSets&, const TreeArena& arena,
+                  TreeId id, EdgeId) override {
+    return static_cast<double>(arena.Get(id).NumEdges() + 1);
   }
+  bool EdgeIndependent() const override { return true; }
   std::string Name() const override { return "smallest_first"; }
 };
 
@@ -53,11 +60,12 @@ class SmallestFirstOrder : public SearchOrder {
 class RandomTieBreakOrder : public SearchOrder {
  public:
   explicit RandomTieBreakOrder(uint64_t seed) : rng_(seed) {}
-  double Priority(const Graph&, const SeedSets&, const RootedTree& t,
-                  EdgeId) override {
-    return static_cast<double>(t.NumEdges() + 1);
+  double Priority(const Graph&, const SeedSets&, const TreeArena& arena,
+                  TreeId id, EdgeId) override {
+    return static_cast<double>(arena.Get(id).NumEdges() + 1);
   }
   uint64_t TieBreak() override { return rng_.Next(); }
+  bool EdgeIndependent() const override { return true; }
   std::string Name() const override { return "random_tie"; }
 
  private:
@@ -69,7 +77,7 @@ class RandomTieBreakOrder : public SearchOrder {
 class RandomOrder : public SearchOrder {
  public:
   explicit RandomOrder(uint64_t seed) : rng_(seed) {}
-  double Priority(const Graph&, const SeedSets&, const RootedTree&,
+  double Priority(const Graph&, const SeedSets&, const TreeArena&, TreeId,
                   EdgeId) override {
     return rng_.NextDouble();
   }
@@ -85,10 +93,11 @@ class RandomOrder : public SearchOrder {
 class ScoreGuidedOrder : public SearchOrder {
  public:
   explicit ScoreGuidedOrder(const ScoreFunction* score) : score_(score) {}
-  double Priority(const Graph& g, const SeedSets& seeds, const RootedTree& t,
-                  EdgeId) override {
-    return -score_->Score(g, seeds, t);
+  double Priority(const Graph& g, const SeedSets& seeds, const TreeArena& arena,
+                  TreeId id, EdgeId) override {
+    return -score_->Score(g, seeds, arena, id);
   }
+  bool EdgeIndependent() const override { return true; }
   std::string Name() const override { return "score_guided:" + score_->Name(); }
 
  private:

@@ -21,6 +21,7 @@ Result<SeedSets> SeedSets::Make(const Graph& g, std::vector<std::vector<NodeId>>
   SeedSets out;
   out.universal_ = universal;
   out.full_mask_ = Bitset64::FullMask(static_cast<int>(sets.size()));
+  out.signature_.assign(g.NumNodes(), Bitset64());
   for (size_t i = 0; i < sets.size(); ++i) {
     auto& s = sets[i];
     if (universal[i]) {
@@ -46,9 +47,9 @@ Result<SeedSets> SeedSets::Make(const Graph& g, std::vector<std::vector<NodeId>>
   if (out.required_mask_.Empty()) {
     return Status::InvalidArgument("all seed sets are universal; nothing to search");
   }
-  out.all_seeds_.reserve(out.signature_.size());
-  for (const auto& [n, sig] : out.signature_) out.all_seeds_.push_back(n);
-  std::sort(out.all_seeds_.begin(), out.all_seeds_.end());
+  for (NodeId n = 0; n < out.signature_.size(); ++n) {
+    if (!out.signature_[n].Empty()) out.all_seeds_.push_back(n);
+  }
   return out;
 }
 

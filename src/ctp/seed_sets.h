@@ -8,7 +8,6 @@
 #ifndef EQL_CTP_SEED_SETS_H_
 #define EQL_CTP_SEED_SETS_H_
 
-#include <unordered_map>
 #include <vector>
 
 #include "graph/graph.h"
@@ -39,11 +38,10 @@ class SeedSets {
   bool HasUniversal() const { return has_universal_; }
 
   /// Bitset of sets that node n seeds (universal sets contribute no bits).
-  Bitset64 Signature(NodeId n) const {
-    auto it = signature_.find(n);
-    return it == signature_.end() ? Bitset64() : it->second;
-  }
-  bool IsSeed(NodeId n) const { return signature_.contains(n); }
+  /// A dense per-NodeId array: the innermost Grow2 loop probes this per
+  /// incident edge, so the lookup must be one indexed load, not a hash probe.
+  Bitset64 Signature(NodeId n) const { return signature_[n]; }
+  bool IsSeed(NodeId n) const { return !signature_[n].Empty(); }
 
   /// All m sets.
   Bitset64 FullMask() const { return full_mask_; }
@@ -61,7 +59,7 @@ class SeedSets {
 
   std::vector<std::vector<NodeId>> sets_;
   std::vector<bool> universal_;
-  std::unordered_map<NodeId, Bitset64> signature_;
+  std::vector<Bitset64> signature_;  ///< dense, one slot per graph node
   std::vector<NodeId> all_seeds_;
   Bitset64 full_mask_;
   Bitset64 required_mask_;

@@ -6,26 +6,183 @@
 
 namespace eql {
 
-bool RootedTree::ContainsNode(NodeId n) const {
-  return std::binary_search(nodes.begin(), nodes.end(), n);
+TreeId TreeArena::MakeInit(NodeId n, const SeedSets& seeds) {
+  RootedTree t;
+  t.root = n;
+  t.sat = seeds.Signature(n);
+  t.kind = ProvKind::kInit;
+  t.is_rooted_path = true;  // the trivial (n, n)-rooted path
+  t.path_seed = n;
+  t.edge_set_hash = 0;  // empty set
+  return Push(t);
 }
 
-bool RootedTree::ContainsEdge(EdgeId e) const {
-  return std::binary_search(edges.begin(), edges.end(), e);
+TreeId TreeArena::MakeGrow(TreeId id, EdgeId e, NodeId new_root,
+                           const SeedSets& seeds) {
+  const RootedTree& t = trees_[id];
+  RootedTree out;
+  out.root = new_root;
+  out.sat = t.sat | seeds.Signature(new_root);
+  out.kind = ProvKind::kGrow;
+  out.child1 = id;
+  out.grow_edge = e;
+  out.num_edges = t.num_edges + 1;
+  out.edge_set_hash = t.edge_set_hash ^ HashSetElem(e);
+  out.mo_tainted = t.mo_tainted;
+  // A Grow chain from Init(s) remains an (n, s)-rooted path as long as it
+  // never touches another seed node (Def 4.4).
+  out.is_rooted_path = t.is_rooted_path && seeds.Signature(new_root).Empty();
+  out.path_seed = out.is_rooted_path ? t.path_seed : kNoNode;
+  return Push(out);
 }
 
-bool RootedTree::SharesOnlyRootWith(const RootedTree& other,
-                                    NodeId shared_root) const {
-  // Two-pointer sorted intersection; succeed iff it is exactly {shared_root}.
+TreeId TreeArena::MakeMerge(TreeId id1, TreeId id2, const SeedSets& seeds) {
+  const RootedTree& t1 = trees_[id1];
+  const RootedTree& t2 = trees_[id2];
+  (void)seeds;
+  RootedTree out;
+  out.root = t1.root;
+  out.sat = t1.sat | t2.sat;
+  out.kind = ProvKind::kMerge;
+  out.child1 = id1;
+  out.child2 = id2;
+  out.num_edges = t1.num_edges + t2.num_edges;
+  // Merge1 guarantees edge-disjoint operands, so the set hash is the XOR.
+  out.edge_set_hash = t1.edge_set_hash ^ t2.edge_set_hash;
+  out.mo_tainted = t1.mo_tainted || t2.mo_tainted;
+  return Push(out);
+}
+
+TreeId TreeArena::MakeMo(TreeId id, NodeId new_root) {
+  const RootedTree& t = trees_[id];
+  RootedTree out;
+  out.root = new_root;
+  out.sat = t.sat;
+  out.kind = ProvKind::kMo;
+  out.child1 = id;
+  out.num_edges = t.num_edges;
+  out.edge_set_hash = t.edge_set_hash;
+  out.mo_tainted = true;
+  return Push(out);
+}
+
+TreeId TreeArena::MakeAdHocInPlace(NodeId root, std::vector<EdgeId>* edges, const Graph& g,
+                            const SeedSets& seeds) {
+  std::sort(edges->begin(), edges->end());
+  edges->erase(std::unique(edges->begin(), edges->end()), edges->end());
+  RootedTree out;
+  out.root = root;
+  out.kind = ProvKind::kExternal;
+  out.ext_offset = static_cast<uint32_t>(ext_pool_.size());
+  out.num_edges = static_cast<uint32_t>(edges->size());
+  out.sat = seeds.Signature(root);
+  for (EdgeId e : *edges) {
+    out.edge_set_hash ^= HashSetElem(e);
+    out.sat |= seeds.Signature(g.Source(e));
+    out.sat |= seeds.Signature(g.Target(e));
+  }
+  ext_pool_.insert(ext_pool_.end(), edges->begin(), edges->end());
+  return Push(out);
+}
+
+std::vector<EdgeId> TreeArena::EdgeSet(TreeId id) const {
+  std::vector<EdgeId> out;
+  out.reserve(trees_[id].num_edges);
+  ForEachEdge(id, [&](EdgeId e) { out.push_back(e); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void TreeArena::AppendEdges(TreeId id, std::vector<EdgeId>* out) const {
+  ForEachEdge(id, [&](EdgeId e) { out->push_back(e); });
+}
+
+std::vector<NodeId> TreeArena::NodeSet(const Graph& g, TreeId id) const {
+  std::vector<NodeId> out;
+  out.reserve(trees_[id].NumNodes());
+  ForEachNodeDup(g, id, [&](NodeId n) { out.push_back(n); });
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool TreeArena::ContainsNode(const Graph& g, TreeId id, NodeId n) const {
+  TreeId cur = id;
+  if (trees_[id].root == n) return true;
+  while (cur != kNoTree) {
+    const RootedTree& t = trees_[cur];
+    switch (t.kind) {
+      case ProvKind::kInit:
+        return t.root == n;
+      case ProvKind::kGrow:
+        if (t.root == n || g.Source(t.grow_edge) == n || g.Target(t.grow_edge) == n) {
+          return true;
+        }
+        cur = t.child1;
+        break;
+      case ProvKind::kMo:
+        cur = t.child1;
+        break;
+      case ProvKind::kMerge:
+        if (ContainsNode(g, t.child2, n)) return true;
+        cur = t.child1;
+        break;
+      case ProvKind::kExternal:
+        for (uint32_t i = 0; i < t.num_edges; ++i) {
+          EdgeId e = ext_pool_[t.ext_offset + i];
+          if (g.Source(e) == n || g.Target(e) == n) return true;
+        }
+        return t.root == n;
+    }
+  }
+  return false;
+}
+
+bool TreeArena::SharesOnlyNode(const Graph& g, TreeId id,
+                               const EpochSet& stamped_other, NodeId shared) const {
+  // Walk this tree's nodes (duplicate mentions are fine: a repeated probe of
+  // the same node gives the same verdict) and fail on any stamped node that
+  // is not `shared`.
+  if (trees_[id].root != shared && stamped_other.Contains(trees_[id].root)) {
+    return false;
+  }
+  bool ok = true;
+  ForEachEdge(id, [&](EdgeId e) {
+    NodeId s = g.Source(e), d = g.Target(e);
+    if (s != shared && stamped_other.Contains(s)) ok = false;
+    if (d != shared && stamped_other.Contains(d)) ok = false;
+  });
+  return ok;
+}
+
+bool TreeArena::EdgeSetsEqual(TreeId a, TreeId b, EpochSet* scratch) const {
+  const RootedTree& ta = trees_[a];
+  const RootedTree& tb = trees_[b];
+  if (ta.num_edges != tb.num_edges) return false;
+  scratch->Clear();
+  ForEachEdge(a, [&](EdgeId e) { scratch->Insert(e); });
+  bool equal = true;
+  // Edges within one tree are distinct, so membership of every edge of b in
+  // a, plus equal cardinality, implies set equality.
+  ForEachEdge(b, [&](EdgeId e) {
+    if (!scratch->Contains(e)) equal = false;
+  });
+  return equal;
+}
+
+bool TreeArena::SharesOnlyRoot(const Graph& g, TreeId a, TreeId b,
+                               NodeId shared_root) const {
+  std::vector<NodeId> na = NodeSet(g, a);
+  std::vector<NodeId> nb = NodeSet(g, b);
   size_t i = 0, j = 0;
   bool saw_root = false;
-  while (i < nodes.size() && j < other.nodes.size()) {
-    if (nodes[i] < other.nodes[j]) {
+  while (i < na.size() && j < nb.size()) {
+    if (na[i] < nb[j]) {
       ++i;
-    } else if (nodes[i] > other.nodes[j]) {
+    } else if (na[i] > nb[j]) {
       ++j;
     } else {
-      if (nodes[i] != shared_root) return false;
+      if (na[i] != shared_root) return false;
       saw_root = true;
       ++i;
       ++j;
@@ -34,98 +191,8 @@ bool RootedTree::SharesOnlyRootWith(const RootedTree& other,
   return saw_root;
 }
 
-TreeId TreeArena::MakeInit(NodeId n, const SeedSets& seeds) {
-  RootedTree t;
-  t.root = n;
-  t.sat = seeds.Signature(n);
-  t.nodes = {n};
-  t.kind = ProvKind::kInit;
-  t.is_rooted_path = true;  // the trivial (n, n)-rooted path
-  t.path_seed = n;
-  t.edge_set_hash = HashIdVector(t.edges);
-  return Push(std::move(t));
-}
-
-TreeId TreeArena::MakeGrow(TreeId id, EdgeId e, NodeId new_root,
-                           const SeedSets& seeds) {
-  const RootedTree& t = Get(id);
-  RootedTree out;
-  out.root = new_root;
-  out.sat = t.sat | seeds.Signature(new_root);
-  out.edges = t.edges;
-  out.edges.insert(std::upper_bound(out.edges.begin(), out.edges.end(), e), e);
-  out.nodes = t.nodes;
-  out.nodes.insert(std::upper_bound(out.nodes.begin(), out.nodes.end(), new_root),
-                   new_root);
-  out.kind = ProvKind::kGrow;
-  out.child1 = id;
-  out.grow_edge = e;
-  out.mo_tainted = t.mo_tainted;
-  // A Grow chain from Init(s) remains an (n, s)-rooted path as long as it
-  // never touches another seed node (Def 4.4).
-  out.is_rooted_path = t.is_rooted_path && seeds.Signature(new_root).Empty();
-  out.path_seed = out.is_rooted_path ? t.path_seed : kNoNode;
-  out.edge_set_hash = HashIdVector(out.edges);
-  return Push(std::move(out));
-}
-
-TreeId TreeArena::MakeMerge(TreeId id1, TreeId id2, const SeedSets& seeds) {
-  const RootedTree& t1 = Get(id1);
-  const RootedTree& t2 = Get(id2);
-  (void)seeds;
-  RootedTree out;
-  out.root = t1.root;
-  out.sat = t1.sat | t2.sat;
-  out.edges.resize(t1.edges.size() + t2.edges.size());
-  std::merge(t1.edges.begin(), t1.edges.end(), t2.edges.begin(), t2.edges.end(),
-             out.edges.begin());
-  out.nodes.reserve(t1.nodes.size() + t2.nodes.size() - 1);
-  std::set_union(t1.nodes.begin(), t1.nodes.end(), t2.nodes.begin(), t2.nodes.end(),
-                 std::back_inserter(out.nodes));
-  out.kind = ProvKind::kMerge;
-  out.child1 = id1;
-  out.child2 = id2;
-  out.mo_tainted = t1.mo_tainted || t2.mo_tainted;
-  out.edge_set_hash = HashIdVector(out.edges);
-  return Push(std::move(out));
-}
-
-TreeId TreeArena::MakeMo(TreeId id, NodeId new_root) {
-  const RootedTree& t = Get(id);
-  RootedTree out;
-  out.root = new_root;
-  out.sat = t.sat;
-  out.edges = t.edges;
-  out.nodes = t.nodes;
-  out.kind = ProvKind::kMo;
-  out.child1 = id;
-  out.mo_tainted = true;
-  out.edge_set_hash = t.edge_set_hash;
-  return Push(std::move(out));
-}
-
-TreeId TreeArena::MakeAdHoc(NodeId root, std::vector<EdgeId> edges, const Graph& g,
-                            const SeedSets& seeds) {
-  RootedTree out;
-  out.root = root;
-  out.edges = std::move(edges);
-  std::sort(out.edges.begin(), out.edges.end());
-  out.edges.erase(std::unique(out.edges.begin(), out.edges.end()), out.edges.end());
-  for (EdgeId e : out.edges) {
-    out.nodes.push_back(g.Source(e));
-    out.nodes.push_back(g.Target(e));
-  }
-  out.nodes.push_back(root);
-  std::sort(out.nodes.begin(), out.nodes.end());
-  out.nodes.erase(std::unique(out.nodes.begin(), out.nodes.end()), out.nodes.end());
-  for (NodeId n : out.nodes) out.sat |= seeds.Signature(n);
-  out.kind = ProvKind::kExternal;
-  out.edge_set_hash = HashIdVector(out.edges);
-  return Push(std::move(out));
-}
-
 std::string TreeArena::ProvenanceToString(TreeId id, const Graph& g) const {
-  const RootedTree& t = Get(id);
+  const RootedTree& t = trees_[id];
   switch (t.kind) {
     case ProvKind::kInit:
       return "Init(" + g.NodeLabel(t.root) + ")";
@@ -145,26 +212,37 @@ std::string TreeArena::ProvenanceToString(TreeId id, const Graph& g) const {
 }
 
 std::string TreeArena::TreeToString(TreeId id, const Graph& g) const {
-  const RootedTree& t = Get(id);
-  std::string out = "root=" + g.NodeLabel(t.root) + " {";
-  for (size_t i = 0; i < t.edges.size(); ++i) {
+  std::vector<EdgeId> edges = EdgeSet(id);
+  std::string out = "root=" + g.NodeLabel(trees_[id].root) + " {";
+  for (size_t i = 0; i < edges.size(); ++i) {
     if (i > 0) out += ", ";
-    out += g.EdgeToString(t.edges[i]);
+    out += g.EdgeToString(edges[i]);
   }
   out += "}";
   return out;
 }
 
-bool RootReachesAllDirected(const Graph& g, const RootedTree& t, NodeId root) {
-  if (t.nodes.size() <= 1) return true;
+bool RootReachesAllDirected(const Graph& g, const TreeArena& arena, TreeId id,
+                            NodeId root) {
+  const RootedTree& t = arena.Get(id);
+  if (t.num_edges == 0) return true;
+  std::vector<EdgeId> edges;
+  edges.reserve(t.num_edges);
+  arena.AppendEdges(id, &edges);
+  return RootReachesAllDirected(g, edges, t.NumNodes(), root);
+}
+
+bool RootReachesAllDirected(const Graph& g, const std::vector<EdgeId>& edges,
+                            size_t num_nodes, NodeId root) {
+  if (edges.empty()) return true;
   // BFS over tree edges, respecting direction. Tree size is small, so a
-  // simple frontier over the node set suffices.
+  // simple frontier over the edge list suffices.
   std::vector<NodeId> frontier = {root};
   std::vector<NodeId> reached = {root};
   while (!frontier.empty()) {
     NodeId n = frontier.back();
     frontier.pop_back();
-    for (EdgeId e : t.edges) {
+    for (EdgeId e : edges) {
       if (g.Source(e) != n) continue;
       NodeId to = g.Target(e);
       if (std::find(reached.begin(), reached.end(), to) == reached.end()) {
@@ -173,29 +251,38 @@ bool RootReachesAllDirected(const Graph& g, const RootedTree& t, NodeId root) {
       }
     }
   }
-  return reached.size() == t.nodes.size();
+  return reached.size() == num_nodes;
 }
 
 Status VerifyTreeInvariants(const Graph& g, const SeedSets& seeds,
-                            const RootedTree& t, bool require_minimal,
-                            bool allow_root_leaf) {
-  if (t.nodes.empty()) return Status::Internal("tree has no nodes");
-  if (!std::is_sorted(t.nodes.begin(), t.nodes.end()) ||
-      std::adjacent_find(t.nodes.begin(), t.nodes.end()) != t.nodes.end()) {
-    return Status::Internal("node set not sorted/unique");
+                            const TreeArena& arena, TreeId id,
+                            bool require_minimal, bool allow_root_leaf) {
+  const RootedTree& t = arena.Get(id);
+  std::vector<EdgeId> edges = arena.EdgeSet(id);
+  std::vector<NodeId> nodes = arena.NodeSet(g, id);
+  if (nodes.empty()) return Status::Internal("tree has no nodes");
+  if (std::adjacent_find(edges.begin(), edges.end()) != edges.end()) {
+    return Status::Internal("edge multiset contains a duplicate");
   }
-  if (!std::is_sorted(t.edges.begin(), t.edges.end()) ||
-      std::adjacent_find(t.edges.begin(), t.edges.end()) != t.edges.end()) {
-    return Status::Internal("edge set not sorted/unique");
+  if (edges.size() != t.num_edges) {
+    return Status::Internal(StrFormat("num_edges=%u but %zu edges materialize",
+                                      t.num_edges, edges.size()));
   }
-  if (t.edges.size() + 1 != t.nodes.size()) {
+  uint64_t hash = 0;
+  for (EdgeId e : edges) hash ^= HashSetElem(e);
+  if (hash != t.edge_set_hash) {
+    return Status::Internal("incremental edge-set hash mismatch");
+  }
+  if (edges.size() + 1 != nodes.size()) {
     return Status::Internal(StrFormat("not a tree: %zu edges, %zu nodes",
-                                      t.edges.size(), t.nodes.size()));
+                                      edges.size(), nodes.size()));
   }
-  if (!t.ContainsNode(t.root)) return Status::Internal("root not in node set");
+  if (!std::binary_search(nodes.begin(), nodes.end(), t.root)) {
+    return Status::Internal("root not in node set");
+  }
 
   // Connectivity + degree census via union-find over the node set.
-  std::vector<NodeId> parent(t.nodes.size());
+  std::vector<NodeId> parent(nodes.size());
   for (size_t i = 0; i < parent.size(); ++i) parent[i] = static_cast<NodeId>(i);
   auto find = [&](NodeId x) {
     while (parent[x] != x) x = parent[x] = parent[parent[x]];
@@ -203,13 +290,13 @@ Status VerifyTreeInvariants(const Graph& g, const SeedSets& seeds,
   };
   auto index_of = [&](NodeId n) {
     return static_cast<NodeId>(
-        std::lower_bound(t.nodes.begin(), t.nodes.end(), n) - t.nodes.begin());
+        std::lower_bound(nodes.begin(), nodes.end(), n) - nodes.begin());
   };
-  std::vector<int> deg(t.nodes.size(), 0);
-  for (EdgeId e : t.edges) {
+  std::vector<int> deg(nodes.size(), 0);
+  for (EdgeId e : edges) {
     NodeId a = index_of(g.Source(e)), b = index_of(g.Target(e));
-    if (a >= t.nodes.size() || b >= t.nodes.size() ||
-        t.nodes[a] != g.Source(e) || t.nodes[b] != g.Target(e)) {
+    if (a >= nodes.size() || b >= nodes.size() ||
+        nodes[a] != g.Source(e) || nodes[b] != g.Target(e)) {
       return Status::Internal("edge endpoint outside node set");
     }
     ++deg[a];
@@ -219,14 +306,14 @@ Status VerifyTreeInvariants(const Graph& g, const SeedSets& seeds,
     parent[ra] = rb;
   }
   NodeId r0 = find(0);
-  for (size_t i = 1; i < t.nodes.size(); ++i) {
+  for (size_t i = 1; i < nodes.size(); ++i) {
     if (find(static_cast<NodeId>(i)) != r0) return Status::Internal("tree disconnected");
   }
 
   // sat must equal the union of node signatures; one node per covered set.
   Bitset64 sat;
   Bitset64 overlap_check;
-  for (NodeId n : t.nodes) {
+  for (NodeId n : nodes) {
     Bitset64 sig = seeds.Signature(n);
     if (sig.Intersects(overlap_check)) {
       return Status::Internal("two nodes from the same seed set (Def 2.8 (ii))");
@@ -236,13 +323,13 @@ Status VerifyTreeInvariants(const Graph& g, const SeedSets& seeds,
   }
   if (!(sat == t.sat)) return Status::Internal("sat signature mismatch");
 
-  if (require_minimal && t.nodes.size() > 1) {
+  if (require_minimal && nodes.size() > 1) {
     // (deg computed above; leaves are deg==1 nodes)
-    for (size_t i = 0; i < t.nodes.size(); ++i) {
+    for (size_t i = 0; i < nodes.size(); ++i) {
       if (deg[i] != 1) continue;  // only leaves must be seeds (Observation 1)
-      if (seeds.Signature(t.nodes[i]).Empty() &&
-          !(allow_root_leaf && t.nodes[i] == t.root)) {
-        return Status::Internal("non-seed leaf " + g.NodeLabel(t.nodes[i]) +
+      if (seeds.Signature(nodes[i]).Empty() &&
+          !(allow_root_leaf && nodes[i] == t.root)) {
+        return Status::Internal("non-seed leaf " + g.NodeLabel(nodes[i]) +
                                 " (result not minimal)");
       }
     }

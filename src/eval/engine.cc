@@ -177,12 +177,12 @@ Result<QueryResult> EqlEngine::RunParsed(const Query& q) const {
     kinds.push_back(ColKind::kTree);
     BindingTable ctp_table(std::move(cols), std::move(kinds));
     for (const CtpResult& r : algo->results().results()) {
-      const RootedTree& tree = algo->arena().Get(r.tree);
       std::vector<uint32_t> row;
       row.reserve(ctp.members.size() + 1);
       for (NodeId n : r.seed_of_set) row.push_back(n);
       row.push_back(static_cast<uint32_t>(out.trees.size()));
-      out.trees.push_back(ResultTreeInfo{tree.edges, tree.root, r.score});
+      out.trees.push_back(ResultTreeInfo{algo->arena().EdgeSet(r.tree),
+                                         algo->arena().Get(r.tree).root, r.score});
       ctp_table.AddRow(std::move(row));
     }
     tables.push_back(std::move(ctp_table));

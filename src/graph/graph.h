@@ -84,6 +84,12 @@ class Graph {
   size_t NumNodes() const { return node_label_.size(); }
   size_t NumEdges() const { return edge_label_.size(); }
 
+  /// Scratch-buffer sizing: one past the largest valid NodeId/EdgeId. The
+  /// search engines size their flat epoch-versioned per-id arrays
+  /// (util/epoch.h) with these.
+  uint32_t NodeIdBound() const { return static_cast<uint32_t>(node_label_.size()); }
+  uint32_t EdgeIdBound() const { return static_cast<uint32_t>(edge_label_.size()); }
+
   // ---- node/edge attributes ----
 
   StrId NodeLabelId(NodeId n) const { return node_label_[n]; }

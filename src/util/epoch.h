@@ -1,0 +1,97 @@
+// Epoch-versioned flat scratch buffers for dense uint32 id spaces.
+//
+// The CTP hot loops (Grow1 membership, Merge1 overlap, BFT minimization
+// degrees, history equality probes) need per-NodeId / per-EdgeId scratch
+// state that is conceptually reset between trees. Allocating or clearing a
+// hash map per tree dominates the cost on small trees, so these structures
+// keep one lazily-grown flat array per id space and "clear" in O(1) by
+// bumping an epoch counter: a slot is live only if its stamp equals the
+// current epoch. Epoch wrap-around (after 2^32 clears) falls back to one
+// real O(n) wipe.
+#ifndef EQL_UTIL_EPOCH_H_
+#define EQL_UTIL_EPOCH_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace eql {
+
+/// A set over dense uint32 ids with O(1) insert/lookup and O(1) clear.
+class EpochSet {
+ public:
+  /// Pre-sizes the stamp array (optional; Insert grows on demand).
+  void Reserve(size_t n) {
+    if (stamp_.size() < n) stamp_.resize(n, 0);
+  }
+
+  /// Empties the set in O(1).
+  void Clear() {
+    if (++epoch_ == 0) {  // wrapped: every stale stamp would look live
+      std::fill(stamp_.begin(), stamp_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+
+  /// Inserts `id`; returns true if it was not yet in the set.
+  bool Insert(uint32_t id) {
+    if (id >= stamp_.size()) stamp_.resize(std::max<size_t>(id + 1, stamp_.size() * 2), 0);
+    if (stamp_[id] == epoch_) return false;
+    stamp_[id] = epoch_;
+    return true;
+  }
+
+  bool Contains(uint32_t id) const {
+    return id < stamp_.size() && stamp_[id] == epoch_;
+  }
+
+ private:
+  std::vector<uint32_t> stamp_;
+  uint32_t epoch_ = 1;
+};
+
+/// A counter array over dense uint32 ids with O(1) clear; reads of slots not
+/// touched since the last Clear() return 0.
+class EpochCounter {
+ public:
+  void Reserve(size_t n) {
+    if (stamp_.size() < n) {
+      stamp_.resize(n, 0);
+      count_.resize(n, 0);
+    }
+  }
+
+  void Clear() {
+    if (++epoch_ == 0) {
+      std::fill(stamp_.begin(), stamp_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+
+  int32_t Get(uint32_t id) const {
+    return (id < stamp_.size() && stamp_[id] == epoch_) ? count_[id] : 0;
+  }
+
+  /// Adds `delta` to the slot and returns the new value.
+  int32_t Add(uint32_t id, int32_t delta) {
+    if (id >= stamp_.size()) {
+      size_t n = std::max<size_t>(id + 1, stamp_.size() * 2);
+      stamp_.resize(n, 0);
+      count_.resize(n, 0);
+    }
+    if (stamp_[id] != epoch_) {
+      stamp_[id] = epoch_;
+      count_[id] = 0;
+    }
+    return count_[id] += delta;
+  }
+
+ private:
+  std::vector<uint32_t> stamp_;
+  std::vector<int32_t> count_;
+  uint32_t epoch_ = 1;
+};
+
+}  // namespace eql
+
+#endif  // EQL_UTIL_EPOCH_H_

@@ -33,6 +33,15 @@ inline uint64_t HashIdVector(const std::vector<uint32_t>& v) {
   return HashIdSpan(v.data(), v.size());
 }
 
+/// Per-element term of the *incremental* edge-set hash: the hash of a set is
+/// the XOR of its elements' terms (0 for the empty set), so Grow updates it
+/// in O(1) and Merge of disjoint sets in O(1) (XOR of the operand hashes).
+/// Terms are avalanched so XOR composes well; exactness is restored by the
+/// history's collision check.
+inline uint64_t HashSetElem(uint32_t id) {
+  return Mix64(static_cast<uint64_t>(id) + 0x6a09e667f3bcc909ULL);
+}
+
 /// FNV-1a for strings (dictionary keys).
 inline uint64_t HashString(std::string_view s) {
   uint64_t h = 0xcbf29ce484222325ULL;

@@ -55,7 +55,7 @@ TEST(AnalysisTest, Figure4Decomposition) {
   ASSERT_TRUE(seeds.ok());
   TreeArena arena;
   TreeId id = arena.MakeAdHoc(f.g.FindNode("A"), f.result_edges, f.g, *seeds);
-  TreeShape shape = AnalyzeTree(f.g, *seeds, arena.Get(id));
+  TreeShape shape = AnalyzeTree(f.g, *seeds, arena, id);
   EXPECT_EQ(shape.pieces.size(), 5u) << "the paper lists 5 simple edge sets";
   EXPECT_EQ(shape.max_piece_leaves, 2) << "the sample result is 2ps";
   EXPECT_TRUE(IsPiecewiseSimple(shape, 2));
@@ -71,7 +71,7 @@ TEST(AnalysisTest, StarIsSingleRootedMerge) {
   for (EdgeId e = 0; e < d.graph.NumEdges(); ++e) all.push_back(e);
   TreeArena arena;
   TreeId id = arena.MakeAdHoc(d.graph.FindNode("center"), all, d.graph, *seeds);
-  TreeShape shape = AnalyzeTree(d.graph, *seeds, arena.Get(id));
+  TreeShape shape = AnalyzeTree(d.graph, *seeds, arena, id);
   EXPECT_EQ(shape.pieces.size(), 1u);
   EXPECT_EQ(shape.max_piece_leaves, 4) << "a (4, center)-rooted merge";
   EXPECT_FALSE(IsPiecewiseSimple(shape, 3));
@@ -85,7 +85,7 @@ TEST(AnalysisTest, LineResultIsTwoPs) {
   for (EdgeId e = 0; e < d.graph.NumEdges(); ++e) all.push_back(e);
   TreeArena arena;
   TreeId id = arena.MakeAdHoc(d.seed_sets[0][0], all, d.graph, *seeds);
-  TreeShape shape = AnalyzeTree(d.graph, *seeds, arena.Get(id));
+  TreeShape shape = AnalyzeTree(d.graph, *seeds, arena, id);
   EXPECT_EQ(shape.pieces.size(), 3u) << "one piece per seed-to-seed segment";
   EXPECT_EQ(shape.max_piece_leaves, 2);
   EXPECT_TRUE(shape.is_path);
@@ -99,7 +99,7 @@ TEST(AnalysisTest, Figure7PiecesAreRootedMerges) {
   for (EdgeId e = 0; e < d.graph.NumEdges(); ++e) all.push_back(e);
   TreeArena arena;
   TreeId id = arena.MakeAdHoc(d.seed_sets[0][0], all, d.graph, *seeds);
-  TreeShape shape = AnalyzeTree(d.graph, *seeds, arena.Get(id));
+  TreeShape shape = AnalyzeTree(d.graph, *seeds, arena, id);
   EXPECT_TRUE(shape.property9_applies)
       << "Figure 7 is the paper's Property-9 completeness example";
   EXPECT_GT(shape.max_piece_leaves, 2) << "not 2ps: spiders at nodes 2 and 5";
@@ -114,7 +114,7 @@ TEST(AnalysisTest, SingleNodeTree) {
   auto seeds = SeedSets::Of(g, {{a}, {a, b}});
   TreeArena arena;
   TreeId id = arena.MakeAdHoc(a, {}, g, *seeds);
-  TreeShape shape = AnalyzeTree(g, *seeds, arena.Get(id));
+  TreeShape shape = AnalyzeTree(g, *seeds, arena, id);
   EXPECT_TRUE(shape.pieces.empty());
   EXPECT_TRUE(shape.is_path);
   EXPECT_TRUE(shape.property9_applies);
@@ -133,7 +133,7 @@ TEST(AnalysisTest, InternalSeedSplitsPieces) {
   auto seeds = SeedSets::Of(g, {{a}, {b}, {c}});
   TreeArena arena;
   TreeId id = arena.MakeAdHoc(a, {e0, e1}, g, *seeds);
-  TreeShape shape = AnalyzeTree(g, *seeds, arena.Get(id));
+  TreeShape shape = AnalyzeTree(g, *seeds, arena, id);
   ASSERT_EQ(shape.pieces.size(), 2u);
   EXPECT_EQ(shape.pieces[0].size(), 1u);
   EXPECT_EQ(shape.pieces[1].size(), 1u);

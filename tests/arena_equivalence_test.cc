@@ -1,0 +1,221 @@
+// Equivalence tests for the parent-pointer tree arena: the lazily
+// materialized edge sets, the incremental (XOR) edge-set hash, and the
+// epoch-scratch duplicate detection must be indistinguishable from the old
+// eagerly-materialized representation. Three angles:
+//
+//  1. A *reference materializer* — an independent recursive recomputation of
+//     each provenance's edge set — must agree with TreeArena::EdgeSet,
+//     ForEachEdge, num_edges, the incremental hash, and EdgeSetsEqual for
+//     every tree ever built during real searches.
+//  2. Result counts and scores must be identical across algorithms whose
+//     completeness guarantees make them comparable (ESP on/off: GAM vs
+//     ESP/MoLESP for m=2; GAM vs MoLESP vs the BFT oracle for m=3), under
+//     MAX on/off.
+//  3. Under the UNI filter (where the BFT oracle is unavailable) the pruned
+//     engines must agree with unpruned GAM on the same pushed semantics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "ctp/algorithm.h"
+#include "gen/synthetic.h"
+#include "test_util.h"
+#include "util/epoch.h"
+
+namespace eql {
+namespace {
+
+/// Independent recursive materialization of a provenance's edge set, using
+/// none of the arena's traversal machinery (External trees have no second
+/// source of truth and are resolved via the stored pool, like EdgeSet).
+std::vector<EdgeId> ReferenceEdgeSet(const TreeArena& arena, TreeId id) {
+  const RootedTree& t = arena.Get(id);
+  std::vector<EdgeId> out;
+  switch (t.kind) {
+    case ProvKind::kInit:
+      break;
+    case ProvKind::kGrow:
+      out = ReferenceEdgeSet(arena, t.child1);
+      out.push_back(t.grow_edge);
+      break;
+    case ProvKind::kMo:
+      out = ReferenceEdgeSet(arena, t.child1);
+      break;
+    case ProvKind::kMerge: {
+      out = ReferenceEdgeSet(arena, t.child1);
+      std::vector<EdgeId> right = ReferenceEdgeSet(arena, t.child2);
+      out.insert(out.end(), right.begin(), right.end());
+      break;
+    }
+    case ProvKind::kExternal:
+      return arena.EdgeSet(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Checks every tree of a finished search against the reference.
+void CheckArena(const Graph& g, const TreeArena& arena) {
+  EpochSet scratch;
+  for (TreeId id = 0; id < arena.size(); ++id) {
+    const RootedTree& t = arena.Get(id);
+    const std::vector<EdgeId> ref = ReferenceEdgeSet(arena, id);
+    ASSERT_EQ(arena.EdgeSet(id), ref) << "tree " << id;
+    ASSERT_EQ(t.num_edges, ref.size()) << "tree " << id;
+
+    std::vector<EdgeId> via_foreach;
+    arena.ForEachEdge(id, [&](EdgeId e) { via_foreach.push_back(e); });
+    std::sort(via_foreach.begin(), via_foreach.end());
+    ASSERT_EQ(via_foreach, ref) << "ForEachEdge disagrees, tree " << id;
+
+    uint64_t hash = 0;
+    for (EdgeId e : ref) hash ^= HashSetElem(e);
+    ASSERT_EQ(t.edge_set_hash, hash) << "incremental hash, tree " << id;
+
+    ASSERT_TRUE(arena.EdgeSetsEqual(id, id, &scratch));
+    // Node set: derived endpoints + root, exactly num_edges + 1 distinct.
+    ASSERT_EQ(arena.NodeSet(g, id).size(), t.NumNodes()) << "tree " << id;
+  }
+}
+
+TEST(ArenaEquivalenceTest, ReferenceMaterializerAgreesOnSyntheticSearches) {
+  std::vector<SyntheticDataset> datasets;
+  datasets.push_back(MakeLine(3, 2));
+  datasets.push_back(MakeStar(4, 2));
+  datasets.push_back(MakeComb(2, 2, 2, 2));
+  datasets.push_back(MakeChain(5));
+  for (auto& d : datasets) {
+    for (AlgorithmKind kind : {AlgorithmKind::kGam, AlgorithmKind::kMoLesp,
+                               AlgorithmKind::kBftAM}) {
+      auto algo = RunAlgo(kind, d.graph, d.seed_sets);
+      ASSERT_NE(algo, nullptr);
+      CheckArena(d.graph, algo->arena());
+    }
+  }
+}
+
+TEST(ArenaEquivalenceTest, ReferenceMaterializerAgreesOnRandomGraphs) {
+  for (int seed = 0; seed < 5; ++seed) {
+    Rng rng(4200 + seed);
+    Graph g = MakeRandomGraph(10, 14, &rng);
+    auto sets = PickSeedSets(g, 2 + seed % 2, 2, &rng);
+    auto algo = RunAlgo(AlgorithmKind::kMoLesp, g, sets);
+    ASSERT_NE(algo, nullptr);
+    CheckArena(g, algo->arena());
+  }
+}
+
+TEST(ArenaEquivalenceTest, EdgeSetsEqualMatchesVectorEquality) {
+  auto d = MakeChain(4);  // many distinct edge sets of equal size
+  auto algo = RunAlgo(AlgorithmKind::kMoLesp, d.graph, d.seed_sets);
+  ASSERT_NE(algo, nullptr);
+  const TreeArena& arena = algo->arena();
+  EpochSet scratch;
+  int cross_checked = 0;
+  for (TreeId a = 0; a < arena.size() && a < 60; ++a) {
+    for (TreeId b = a; b < arena.size() && b < 60; ++b) {
+      bool expect = arena.EdgeSet(a) == arena.EdgeSet(b);
+      ASSERT_EQ(arena.EdgeSetsEqual(a, b, &scratch), expect)
+          << "trees " << a << ", " << b;
+      if (expect) {
+        ASSERT_EQ(arena.Get(a).edge_set_hash, arena.Get(b).edge_set_hash)
+            << "equal sets must have equal incremental hashes";
+      }
+      ++cross_checked;
+    }
+  }
+  ASSERT_GT(cross_checked, 100);
+}
+
+/// Sorted multiset of result scores, for score-identity assertions.
+std::vector<double> Scores(const CtpAlgorithm& algo) {
+  std::vector<double> out;
+  for (const auto& r : algo.results().results()) out.push_back(r.score);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(ArenaEquivalenceTest, CountsAndScoresAcrossEspOnOff) {
+  // ESP on/off comparison is sound for m=2 (Property 3: ESP complete).
+  DegreePenaltyScore score;
+  for (int seed = 0; seed < 8; ++seed) {
+    Rng rng(5200 + seed);
+    Graph g = MakeRandomGraph(9, 13, &rng);
+    auto sets = PickSeedSets(g, 2, 2, &rng);
+    for (uint32_t max_edges : {UINT32_MAX, 3u}) {
+      CtpFilters f;
+      f.max_edges = max_edges;
+      f.score = &score;
+      auto gam = RunAlgo(AlgorithmKind::kGam, g, sets, f);      // ESP off
+      auto esp = RunAlgo(AlgorithmKind::kEsp, g, sets, f);      // ESP on
+      auto molesp = RunAlgo(AlgorithmKind::kMoLesp, g, sets, f);
+      auto bft = RunAlgo(AlgorithmKind::kBft, g, sets, f);      // oracle
+      ASSERT_NE(gam, nullptr);
+      EXPECT_EQ(Canonical(gam->results()), Canonical(bft->results()));
+      EXPECT_EQ(Canonical(esp->results()), Canonical(bft->results()));
+      EXPECT_EQ(Canonical(molesp->results()), Canonical(bft->results()));
+      EXPECT_EQ(Scores(*gam), Scores(*bft));
+      EXPECT_EQ(Scores(*esp), Scores(*bft));
+      EXPECT_EQ(Scores(*molesp), Scores(*bft));
+    }
+  }
+}
+
+TEST(ArenaEquivalenceTest, CountsAndScoresThreeSets) {
+  // m=3: MoLESP complete (Property 8); compare against GAM and the oracle.
+  EdgeCountScore score;
+  for (int seed = 0; seed < 6; ++seed) {
+    Rng rng(6200 + seed);
+    Graph g = MakeRandomGraph(8, 12, &rng);
+    auto sets = PickSeedSets(g, 3, 2, &rng);
+    for (uint32_t max_edges : {UINT32_MAX, 4u}) {
+      CtpFilters f;
+      f.max_edges = max_edges;
+      f.score = &score;
+      auto gam = RunAlgo(AlgorithmKind::kGam, g, sets, f);
+      auto molesp = RunAlgo(AlgorithmKind::kMoLesp, g, sets, f);
+      auto bft = RunAlgo(AlgorithmKind::kBft, g, sets, f);
+      ASSERT_NE(gam, nullptr);
+      EXPECT_EQ(Canonical(gam->results()), Canonical(bft->results()));
+      EXPECT_EQ(Canonical(molesp->results()), Canonical(bft->results()));
+      EXPECT_EQ(Scores(*gam), Scores(*bft));
+      EXPECT_EQ(Scores(*molesp), Scores(*bft));
+    }
+  }
+}
+
+TEST(ArenaEquivalenceTest, CountsAndScoresUnderUni) {
+  // UNI excludes the BFT oracle (rootless); unpruned GAM is the reference.
+  EdgeCountScore score;
+  for (int n : {3, 5}) {
+    auto d = MakeChain(n);  // all edges directed forward: UNI keeps all 2^n
+    CtpFilters f;
+    f.unidirectional = true;
+    f.score = &score;
+    auto gam = RunAlgo(AlgorithmKind::kGam, d.graph, d.seed_sets, f);
+    auto molesp = RunAlgo(AlgorithmKind::kMoLesp, d.graph, d.seed_sets, f);
+    ASSERT_NE(gam, nullptr);
+    EXPECT_EQ(gam->results().size(), 1u << n);
+    EXPECT_EQ(Canonical(gam->results()), Canonical(molesp->results()));
+    EXPECT_EQ(Scores(*gam), Scores(*molesp));
+  }
+  for (int seed = 0; seed < 6; ++seed) {
+    Rng rng(7200 + seed);
+    Graph g = MakeRandomGraph(9, 13, &rng);
+    auto sets = PickSeedSets(g, 2, 2, &rng);
+    CtpFilters f;
+    f.unidirectional = true;
+    f.max_edges = 4;
+    f.score = &score;
+    auto gam = RunAlgo(AlgorithmKind::kGam, g, sets, f);
+    auto molesp = RunAlgo(AlgorithmKind::kMoLesp, g, sets, f);
+    ASSERT_NE(gam, nullptr);
+    EXPECT_EQ(Canonical(gam->results()), Canonical(molesp->results()));
+    EXPECT_EQ(Scores(*gam), Scores(*molesp));
+    CheckArena(g, gam->arena());
+  }
+}
+
+}  // namespace
+}  // namespace eql

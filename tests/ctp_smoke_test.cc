@@ -34,10 +34,10 @@ TEST(CtpSmokeTest, StarSingleResult) {
     auto algo = RunAlgo(kind, d.graph, d.seed_sets);
     ASSERT_NE(algo, nullptr);
     ASSERT_EQ(algo->results().size(), 1u) << AlgorithmName(kind);
-    const RootedTree& t = algo->arena().Get(algo->results().results()[0].tree);
-    EXPECT_EQ(t.NumEdges(), 8u);
+    const TreeId tid = algo->results().results()[0].tree;
+    EXPECT_EQ(algo->arena().Get(tid).NumEdges(), 8u);
     Status s = VerifyTreeInvariants(d.graph, SeedSets::Of(d.graph, d.seed_sets).value(),
-                                    t, true);
+                                    algo->arena(), tid, true);
     EXPECT_TRUE(s.ok()) << s.ToString();
   }
 }
@@ -94,7 +94,7 @@ TEST(CtpSmokeTest, Figure1TwoSeedPaths) {
   // All 2-seed results are paths (Property 5 context).
   auto seeds = SeedSets::Of(g, sets);
   for (const auto& r : algo->results().results()) {
-    TreeShape shape = AnalyzeTree(g, *seeds, algo->arena().Get(r.tree));
+    TreeShape shape = AnalyzeTree(g, *seeds, algo->arena(), r.tree);
     EXPECT_TRUE(shape.is_path);
   }
 }
@@ -111,7 +111,7 @@ TEST(CtpSmokeTest, ResultsAreMinimalAndVerified) {
     auto algo = RunAlgo(kind, g, sets);
     ASSERT_NE(algo, nullptr);
     for (const auto& r : algo->results().results()) {
-      Status s = VerifyTreeInvariants(g, *seeds, algo->arena().Get(r.tree), true);
+      Status s = VerifyTreeInvariants(g, *seeds, algo->arena(), r.tree, true);
       EXPECT_TRUE(s.ok()) << AlgorithmName(kind) << ": " << s.ToString();
     }
   }

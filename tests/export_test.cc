@@ -16,12 +16,12 @@ TEST(DotExportTest, TreeDotContainsNodesEdgesAndSeedMarkers) {
   ASSERT_TRUE(seeds.ok());
   auto algo = RunAlgo(AlgorithmKind::kMoLesp, g, sets);
   ASSERT_GE(algo->results().size(), 1u);
-  const RootedTree& t = algo->arena().Get(algo->results().results()[0].tree);
-  std::string dot = TreeToDot(g, *seeds, t, "bob_carole");
+  const TreeId tid = algo->results().results()[0].tree;
+  std::string dot = TreeToDot(g, *seeds, algo->arena(), tid, "bob_carole");
   EXPECT_EQ(dot.rfind("digraph bob_carole {", 0), 0u);
   EXPECT_NE(dot.find("peripheries=2"), std::string::npos) << "seeds are marked";
   EXPECT_NE(dot.find("Bob"), std::string::npos);
-  for (EdgeId e : t.edges) {
+  for (EdgeId e : algo->arena().EdgeSet(tid)) {
     std::string arrow = "n" + std::to_string(g.Source(e)) + " -> n" +
                         std::to_string(g.Target(e));
     EXPECT_NE(dot.find(arrow), std::string::npos);
@@ -68,7 +68,7 @@ TEST(DotExportTest, QuotingSurvivesSpecialLabels) {
   auto seeds = SeedSets::Of(g, {{a}, {b}});
   TreeArena arena;
   TreeId t = arena.MakeAdHoc(a, {0}, g, *seeds);
-  std::string dot = TreeToDot(g, *seeds, arena.Get(t));
+  std::string dot = TreeToDot(g, *seeds, arena, t);
   EXPECT_NE(dot.find("\\\""), std::string::npos);
 }
 

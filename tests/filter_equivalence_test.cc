@@ -20,10 +20,10 @@ CanonicalResults ReferenceFiltered(const Graph& g,
   EXPECT_TRUE(bft->stats().complete);
   CanonicalResults out;
   for (const auto& r : bft->results().results()) {
-    const RootedTree& t = bft->arena().Get(r.tree);
-    if (t.edges.size() > f.max_edges) continue;
+    const std::vector<EdgeId> edges = bft->arena().EdgeSet(r.tree);
+    if (edges.size() > f.max_edges) continue;
     bool labels_ok = true;
-    for (EdgeId e : t.edges) {
+    for (EdgeId e : edges) {
       if (!f.LabelAllowed(g.EdgeLabelId(e))) {
         labels_ok = false;
         break;
@@ -32,15 +32,15 @@ CanonicalResults ReferenceFiltered(const Graph& g,
     if (!labels_ok) continue;
     if (f.unidirectional) {
       bool witness = false;
-      for (NodeId n : t.nodes) {
-        if (RootReachesAllDirected(g, t, n)) {
+      for (NodeId n : bft->arena().NodeSet(g, r.tree)) {
+        if (RootReachesAllDirected(g, bft->arena(), r.tree, n)) {
           witness = true;
           break;
         }
       }
       if (!witness) continue;
     }
-    out.insert(t.edges);
+    out.insert(edges);
   }
   return out;
 }
@@ -117,11 +117,11 @@ TEST_P(FilterEquivalence, UniPushdownMatchesPostFilter) {
   auto seeds = SeedSets::Of(g, sets);
   auto bft = RunAlgo(AlgorithmKind::kBft, g, sets);
   for (const auto& r : bft->results().results()) {
-    const RootedTree& t = bft->arena().Get(r.tree);
-    if (!reference.count(t.edges)) continue;
-    TreeShape shape = AnalyzeTree(g, *seeds, t);
+    const std::vector<EdgeId> edges = bft->arena().EdgeSet(r.tree);
+    if (!reference.count(edges)) continue;
+    TreeShape shape = AnalyzeTree(g, *seeds, bft->arena(), r.tree);
     if (!shape.is_path) continue;
-    EXPECT_TRUE(Canonical(pushed->results()).count(t.edges))
+    EXPECT_TRUE(Canonical(pushed->results()).count(edges))
         << "UNI pushdown missed a directed path result";
   }
 }

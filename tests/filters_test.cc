@@ -53,7 +53,7 @@ TEST(FilterTest, LabelFilterRestrictsEveryResultEdge) {
   auto algo = RunAlgo(AlgorithmKind::kMoLesp, g, sets, f);
   EXPECT_GE(algo->results().size(), 1u);
   for (const auto& r : algo->results().results()) {
-    for (EdgeId e : algo->arena().Get(r.tree).edges) {
+    for (EdgeId e : algo->arena().EdgeSet(r.tree)) {
       StrId l = g.EdgeLabelId(e);
       EXPECT_TRUE(l == cit || l == par);
     }
@@ -68,10 +68,9 @@ TEST(FilterTest, UniResultsHaveDirectedWitnessRoot) {
   auto algo = RunAlgo(AlgorithmKind::kMoLesp, d.graph, d.seed_sets, f);
   EXPECT_EQ(algo->results().size(), 8u) << "2^3 directed paths";
   for (const auto& r : algo->results().results()) {
-    const RootedTree& t = algo->arena().Get(r.tree);
     bool has_witness = false;
-    for (NodeId n : t.nodes) {
-      if (RootReachesAllDirected(d.graph, t, n)) {
+    for (NodeId n : algo->arena().NodeSet(d.graph, r.tree)) {
+      if (RootReachesAllDirected(d.graph, algo->arena(), r.tree, n)) {
         has_witness = true;
         break;
       }
@@ -99,9 +98,9 @@ TEST(FilterTest, UniStarInward) {
   f.unidirectional = true;
   auto algo = RunAlgo(AlgorithmKind::kMoLesp, d.graph, d.seed_sets, f);
   ASSERT_EQ(algo->results().size(), 1u);
-  const RootedTree& t = algo->arena().Get(algo->results().results()[0].tree);
+  const TreeId tid = algo->results().results()[0].tree;
   NodeId center = d.graph.FindNode("center");
-  EXPECT_TRUE(RootReachesAllDirected(d.graph, t, center));
+  EXPECT_TRUE(RootReachesAllDirected(d.graph, algo->arena(), tid, center));
 }
 
 TEST(FilterTest, LimitStopsEarly) {
@@ -198,18 +197,14 @@ TEST(FilterTest, ScoreFunctionsDisagreeOnPurpose) {
   ASSERT_EQ(algo->results().size(), 2u);
   EdgeCountScore by_size;
   DegreePenaltyScore by_degree;
-  const RootedTree& hub_path =
-      algo->arena().Get(algo->results().results()[0].tree).NumEdges() == 2
-          ? algo->arena().Get(algo->results().results()[0].tree)
-          : algo->arena().Get(algo->results().results()[1].tree);
-  const RootedTree& quiet_path =
-      algo->arena().Get(algo->results().results()[0].tree).NumEdges() == 3
-          ? algo->arena().Get(algo->results().results()[0].tree)
-          : algo->arena().Get(algo->results().results()[1].tree);
-  EXPECT_GT(by_size.Score(g, *seeds, hub_path),
-            by_size.Score(g, *seeds, quiet_path));
-  EXPECT_GT(by_degree.Score(g, *seeds, quiet_path),
-            by_degree.Score(g, *seeds, hub_path));
+  const TreeId t0 = algo->results().results()[0].tree;
+  const TreeId t1 = algo->results().results()[1].tree;
+  const TreeId hub_path = algo->arena().Get(t0).NumEdges() == 2 ? t0 : t1;
+  const TreeId quiet_path = algo->arena().Get(t0).NumEdges() == 3 ? t0 : t1;
+  EXPECT_GT(by_size.Score(g, *seeds, algo->arena(), hub_path),
+            by_size.Score(g, *seeds, algo->arena(), quiet_path));
+  EXPECT_GT(by_degree.Score(g, *seeds, algo->arena(), quiet_path),
+            by_degree.Score(g, *seeds, algo->arena(), hub_path));
 }
 
 TEST(FilterTest, ScoreGuidedOrderIsCompleteAndBiased) {
@@ -243,9 +238,8 @@ TEST(FilterTest, CombinedFiltersCompose) {
   auto algo = RunAlgo(AlgorithmKind::kMoLesp, g, sets, f);
   EXPECT_LE(algo->results().size(), 2u);
   for (const auto& r : algo->results().results()) {
-    const RootedTree& t = algo->arena().Get(r.tree);
-    EXPECT_LE(t.NumEdges(), 5u);
-    for (EdgeId e : t.edges) {
+    EXPECT_LE(algo->arena().Get(r.tree).NumEdges(), 5u);
+    for (EdgeId e : algo->arena().EdgeSet(r.tree)) {
       StrId l = g.EdgeLabelId(e);
       EXPECT_TRUE(l == cit || l == par);
     }

@@ -89,11 +89,11 @@ TEST(IntegrationTest, GeneratorToEngineToAnalysisToExport) {
   TreeArena arena;
   for (const ResultTreeInfo& t : r->trees) {
     TreeId id = arena.MakeAdHoc(t.root, t.edges, *g, *seeds);
-    Status ok = VerifyTreeInvariants(*g, *seeds, arena.Get(id), true);
+    Status ok = VerifyTreeInvariants(*g, *seeds, arena, id, true);
     EXPECT_TRUE(ok.ok()) << ok.ToString();
-    TreeShape shape = AnalyzeTree(*g, *seeds, arena.Get(id));
+    TreeShape shape = AnalyzeTree(*g, *seeds, arena, id);
     EXPECT_GE(shape.max_piece_leaves, 0);
-    std::string dot = TreeToDot(*g, *seeds, arena.Get(id));
+    std::string dot = TreeToDot(*g, *seeds, arena, id);
     EXPECT_NE(dot.find("digraph"), std::string::npos);
   }
 }

@@ -64,7 +64,7 @@ TEST(UniversalSeedTest, MaxEdgesBoundsUniversalExplosion) {
   auto algo = RunUniversal(*g, {{0}, {}}, {false, true}, f);
   EXPECT_TRUE(algo->stats().complete);
   for (const auto& r : algo->results().results()) {
-    EXPECT_LE(algo->arena().Get(r.tree).edges.size(), 2u);
+    EXPECT_LE(algo->arena().Get(r.tree).NumEdges(), 2u);
   }
   EXPECT_GT(algo->results().size(), 1u);
 }

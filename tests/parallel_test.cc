@@ -14,7 +14,7 @@ namespace {
 
 CanonicalResults CanonicalParallel(const ParallelCtpOutcome& out) {
   CanonicalResults res;
-  for (const CtpResult& r : out.results) res.insert(out.arena.Get(r.tree).edges);
+  for (const CtpResult& r : out.results) res.insert(out.arena.EdgeSet(r.tree));
   return res;
 }
 
@@ -110,7 +110,7 @@ TEST(ParallelTest, FiltersPushDownPerChunk) {
   ASSERT_TRUE(out.ok());
   EXPECT_GT(out->results.size(), 0u);
   for (const auto& r : out->results) {
-    EXPECT_LE(out->arena.Get(r.tree).edges.size(), 3u);
+    EXPECT_LE(out->arena.Get(r.tree).NumEdges(), 3u);
   }
   EXPECT_EQ(CanonicalParallel(*out),
             Canonical(RunAlgo(AlgorithmKind::kMoLesp, g, sets, f)->results()));

@@ -56,7 +56,7 @@ TEST_P(RandomInstanceTest, Property2GamResultsAreMinimal) {
   for (AlgorithmKind kind : {AlgorithmKind::kGam, AlgorithmKind::kMoLesp}) {
     auto algo = RunAlgo(kind, g, sets);
     for (const auto& r : algo->results().results()) {
-      Status s = VerifyTreeInvariants(g, *seeds, algo->arena().Get(r.tree),
+      Status s = VerifyTreeInvariants(g, *seeds, algo->arena(), r.tree,
                                       /*require_minimal=*/true);
       EXPECT_TRUE(s.ok()) << AlgorithmName(kind) << ": " << s.ToString();
     }
@@ -84,8 +84,8 @@ TEST_P(RandomInstanceTest, Property4MoEspFindsTwoPsResults) {
   auto bft = RunAlgo(AlgorithmKind::kBft, g, sets);
   std::vector<std::vector<EdgeId>> two_ps;
   for (const auto& r : bft->results().results()) {
-    TreeShape shape = AnalyzeTree(g, *seeds, bft->arena().Get(r.tree));
-    if (IsPiecewiseSimple(shape, 2)) two_ps.push_back(bft->arena().Get(r.tree).edges);
+    TreeShape shape = AnalyzeTree(g, *seeds, bft->arena(), r.tree);
+    if (IsPiecewiseSimple(shape, 2)) two_ps.push_back(bft->arena().EdgeSet(r.tree));
   }
   for (uint64_t order_seed = 0; order_seed < 4; ++order_seed) {
     CanonicalResults found = RunWithOrder(AlgorithmKind::kMoEsp, g, sets, order_seed);
@@ -105,8 +105,8 @@ TEST_P(RandomInstanceTest, Property5MoEspFindsAllPathResults) {
   auto bft = RunAlgo(AlgorithmKind::kBft, g, sets);
   std::vector<std::vector<EdgeId>> paths;
   for (const auto& r : bft->results().results()) {
-    TreeShape shape = AnalyzeTree(g, *seeds, bft->arena().Get(r.tree));
-    if (shape.is_path) paths.push_back(bft->arena().Get(r.tree).edges);
+    TreeShape shape = AnalyzeTree(g, *seeds, bft->arena(), r.tree);
+    if (shape.is_path) paths.push_back(bft->arena().EdgeSet(r.tree));
   }
   for (uint64_t order_seed = 0; order_seed < 4; ++order_seed) {
     CanonicalResults found = RunWithOrder(AlgorithmKind::kMoEsp, g, sets, order_seed);
@@ -153,8 +153,8 @@ TEST_P(RandomInstanceTest, Property9RootedMergeDecompositions) {
   auto bft = RunAlgo(AlgorithmKind::kBft, g, sets);
   std::vector<std::vector<EdgeId>> guaranteed;
   for (const auto& r : bft->results().results()) {
-    TreeShape shape = AnalyzeTree(g, *seeds, bft->arena().Get(r.tree));
-    if (shape.property9_applies) guaranteed.push_back(bft->arena().Get(r.tree).edges);
+    TreeShape shape = AnalyzeTree(g, *seeds, bft->arena(), r.tree);
+    if (shape.property9_applies) guaranteed.push_back(bft->arena().EdgeSet(r.tree));
   }
   for (uint64_t order_seed = 0; order_seed < 4; ++order_seed) {
     CanonicalResults found =
@@ -267,8 +267,8 @@ TEST(IncompletenessTest, Figure6OutsideAllGuarantees) {
   TreeShape shape;
   {
     auto bft = RunAlgo(AlgorithmKind::kBft, d.graph, d.seed_sets);
-    shape = AnalyzeTree(d.graph, *seeds,
-                        bft->arena().Get(bft->results().results()[0].tree));
+    shape = AnalyzeTree(d.graph, *seeds, bft->arena(),
+                        bft->results().results()[0].tree);
   }
   EXPECT_FALSE(shape.property9_applies);
   EXPECT_FALSE(IsPiecewiseSimple(shape, 3));

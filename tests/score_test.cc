@@ -28,33 +28,32 @@ class ScoreFixture : public ::testing::Test {
 
 TEST_F(ScoreFixture, EdgeCount) {
   EdgeCountScore s;
-  EXPECT_DOUBLE_EQ(s.Score(g_, *seeds_, arena_.Get(tree_)), -2.0);
+  EXPECT_DOUBLE_EQ(s.Score(g_, *seeds_, arena_, tree_), -2.0);
   EXPECT_EQ(s.Name(), "edge_count");
 }
 
 TEST_F(ScoreFixture, DegreePenaltySumsNodeDegrees) {
   DegreePenaltyScore s;
-  const RootedTree& t = arena_.Get(tree_);
   double expected = 0;
-  for (NodeId n : t.nodes) expected -= std::log2(1.0 + g_.Degree(n));
-  EXPECT_DOUBLE_EQ(s.Score(g_, *seeds_, t), expected);
+  for (NodeId n : arena_.NodeSet(g_, tree_)) expected -= std::log2(1.0 + g_.Degree(n));
+  EXPECT_DOUBLE_EQ(s.Score(g_, *seeds_, arena_, tree_), expected);
   EXPECT_LT(expected, 0);
 }
 
 TEST_F(ScoreFixture, LabelDiversityCountsDistinctLabels) {
   LabelDiversityScore s;
   // Both edges are citizenOf -> diversity 1.
-  EXPECT_DOUBLE_EQ(s.Score(g_, *seeds_, arena_.Get(tree_)), 1.0);
+  EXPECT_DOUBLE_EQ(s.Score(g_, *seeds_, arena_, tree_), 1.0);
   // Bob -founded-> OrgB <-investsIn- Alice (edges 0, 1) -> diversity 2.
   TreeId t2 = arena_.MakeAdHoc(g_.FindNode("OrgB"), {0, 1}, g_, *seeds_);
-  EXPECT_DOUBLE_EQ(s.Score(g_, *seeds_, arena_.Get(t2)), 2.0);
+  EXPECT_DOUBLE_EQ(s.Score(g_, *seeds_, arena_, t2), 2.0);
 }
 
 TEST_F(ScoreFixture, RootDegreePenalizesHubRoots) {
   RootDegreeScore s(2.0);
-  const RootedTree& t = arena_.Get(tree_);
-  double expected = -2.0 - 2.0 * std::log2(1.0 + g_.Degree(t.root));
-  EXPECT_DOUBLE_EQ(s.Score(g_, *seeds_, t), expected);
+  double expected =
+      -2.0 - 2.0 * std::log2(1.0 + g_.Degree(arena_.Get(tree_).root));
+  EXPECT_DOUBLE_EQ(s.Score(g_, *seeds_, arena_, tree_), expected);
 }
 
 TEST(ScoreRegistryTest, KnownAndUnknownNames) {
@@ -93,7 +92,7 @@ TEST(ScoreOrderingTest, DifferentScoresPickDifferentWinners) {
     f.score = score.get();
     f.top_k = 1;
     auto algo = RunAlgo(AlgorithmKind::kMoLesp, g, sets, f);
-    return algo->arena().Get(algo->results().results()[0].tree).edges;
+    return algo->arena().EdgeSet(algo->results().results()[0].tree);
   };
   // edge_count and label_diversity value different things; on Figure 1 the
   // Bob-Elon winners differ (3-edge path through France vs a label-diverse

@@ -39,8 +39,9 @@ TEST_F(TreeFixture, InitTree) {
   TreeId id = arena_.MakeInit(a_, *seeds_);
   const RootedTree& t = arena_.Get(id);
   EXPECT_EQ(t.root, a_);
-  EXPECT_TRUE(t.edges.empty());
-  EXPECT_EQ(t.nodes, std::vector<NodeId>({a_}));
+  EXPECT_EQ(t.NumEdges(), 0u);
+  EXPECT_TRUE(arena_.EdgeSet(id).empty());
+  EXPECT_EQ(arena_.NodeSet(g_, id), std::vector<NodeId>({a_}));
   EXPECT_EQ(t.sat.Count(), 1);
   EXPECT_TRUE(t.sat.Test(0));
   EXPECT_TRUE(t.is_rooted_path);
@@ -52,8 +53,11 @@ TEST_F(TreeFixture, GrowMaintainsSortedSetsAndSat) {
   TreeId grown = arena_.MakeGrow(init, e0_, x_, *seeds_);
   const RootedTree& t = arena_.Get(grown);
   EXPECT_EQ(t.root, x_);
-  EXPECT_EQ(t.edges, std::vector<EdgeId>({e0_}));
-  EXPECT_EQ(t.nodes, std::vector<NodeId>({a_, x_}));
+  EXPECT_EQ(arena_.EdgeSet(grown), std::vector<EdgeId>({e0_}));
+  EXPECT_EQ(arena_.NodeSet(g_, grown), std::vector<NodeId>({a_, x_}));
+  EXPECT_TRUE(arena_.ContainsNode(g_, grown, a_));
+  EXPECT_TRUE(arena_.ContainsNode(g_, grown, x_));
+  EXPECT_FALSE(arena_.ContainsNode(g_, grown, b_));
   EXPECT_EQ(t.sat.Count(), 1);
   EXPECT_TRUE(t.is_rooted_path) << "A->x is an (x,A)-rooted path";
   EXPECT_EQ(t.path_seed, a_);
@@ -73,23 +77,25 @@ TEST_F(TreeFixture, GrowOntoSeedEndsRootedPath) {
 TEST_F(TreeFixture, MergeCombinesDisjointSatAtSharedRoot) {
   TreeId ta = arena_.MakeGrow(arena_.MakeInit(a_, *seeds_), e0_, x_, *seeds_);
   TreeId tb = arena_.MakeGrow(arena_.MakeInit(b_, *seeds_), e1_, x_, *seeds_);
-  const RootedTree& a = arena_.Get(ta);
-  const RootedTree& b = arena_.Get(tb);
-  EXPECT_FALSE(a.sat.Intersects(b.sat));
-  EXPECT_TRUE(a.SharesOnlyRootWith(b, x_));
+  EXPECT_FALSE(arena_.Get(ta).sat.Intersects(arena_.Get(tb).sat));
+  EXPECT_TRUE(arena_.SharesOnlyRoot(g_, ta, tb, x_));
   TreeId tm = arena_.MakeMerge(ta, tb, *seeds_);
   const RootedTree& m = arena_.Get(tm);
   EXPECT_EQ(m.root, x_);
   EXPECT_EQ(m.sat.Count(), 2);
-  EXPECT_EQ(m.edges, std::vector<EdgeId>({e0_, e1_}));
-  EXPECT_EQ(m.nodes, std::vector<NodeId>({a_, b_, x_}));
+  EXPECT_EQ(arena_.EdgeSet(tm), std::vector<EdgeId>({e0_, e1_}));
+  EXPECT_EQ(arena_.NodeSet(g_, tm), std::vector<NodeId>({a_, b_, x_}));
   EXPECT_FALSE(m.is_rooted_path);
 }
 
 TEST_F(TreeFixture, SharesOnlyRootRejectsSecondCommonNode) {
   TreeId ta = arena_.MakeGrow(arena_.MakeInit(a_, *seeds_), e0_, x_, *seeds_);
-  const RootedTree& a = arena_.Get(ta);
-  EXPECT_FALSE(a.SharesOnlyRootWith(a, x_)) << "identical trees share everything";
+  EXPECT_FALSE(arena_.SharesOnlyRoot(g_, ta, ta, x_))
+      << "identical trees share everything";
+  // The stamped (hot-path) variant agrees.
+  EpochSet stamped;
+  arena_.StampNodes(g_, ta, &stamped);
+  EXPECT_FALSE(arena_.SharesOnlyNode(g_, ta, stamped, x_));
 }
 
 TEST_F(TreeFixture, MoTreeReRootsAndTaints) {
@@ -97,7 +103,9 @@ TEST_F(TreeFixture, MoTreeReRootsAndTaints) {
   TreeId mo = arena_.MakeMo(ta, a_);
   const RootedTree& t = arena_.Get(mo);
   EXPECT_EQ(t.root, a_);
-  EXPECT_EQ(t.edges, arena_.Get(ta).edges);
+  EXPECT_EQ(arena_.EdgeSet(mo), arena_.EdgeSet(ta));
+  EpochSet scratch;
+  EXPECT_TRUE(arena_.EdgeSetsEqual(mo, ta, &scratch));
   EXPECT_TRUE(t.mo_tainted);
   EXPECT_EQ(t.edge_set_hash, arena_.Get(ta).edge_set_hash);
 }
@@ -105,8 +113,8 @@ TEST_F(TreeFixture, MoTreeReRootsAndTaints) {
 TEST_F(TreeFixture, MakeAdHocDerivesNodesAndSat) {
   TreeId id = arena_.MakeAdHoc(a_, {e1_, e0_}, g_, *seeds_);
   const RootedTree& t = arena_.Get(id);
-  EXPECT_EQ(t.edges, std::vector<EdgeId>({e0_, e1_}));
-  EXPECT_EQ(t.nodes, std::vector<NodeId>({a_, b_, x_}));
+  EXPECT_EQ(arena_.EdgeSet(id), std::vector<EdgeId>({e0_, e1_}));
+  EXPECT_EQ(arena_.NodeSet(g_, id), std::vector<NodeId>({a_, b_, x_}));
   EXPECT_EQ(t.sat.Count(), 2);
   EXPECT_EQ(t.kind, ProvKind::kExternal);
 }
@@ -117,10 +125,10 @@ TEST_F(TreeFixture, HistoryDistinguishesEdgeSetAndRootedLevels) {
   hist.Insert(ta);
   // Same edge set re-rooted at A.
   TreeId mo = arena_.MakeMo(ta, a_);
-  EXPECT_TRUE(hist.SeenEdgeSet(arena_.Get(mo)));
-  EXPECT_FALSE(hist.SeenRooted(arena_.Get(mo)));
+  EXPECT_TRUE(hist.SeenEdgeSet(mo));
+  EXPECT_FALSE(hist.SeenRooted(mo));
   hist.Insert(mo);
-  EXPECT_TRUE(hist.SeenRooted(arena_.Get(mo)));
+  EXPECT_TRUE(hist.SeenRooted(mo));
   EXPECT_EQ(hist.NumEdgeSets(), 1u) << "one distinct edge set despite two trees";
 }
 
@@ -129,8 +137,8 @@ TEST_F(TreeFixture, HistoryInitTreesShareEmptyEdgeSet) {
   TreeId ia = arena_.MakeInit(a_, *seeds_);
   TreeId ib = arena_.MakeInit(b_, *seeds_);
   hist.Insert(ia);
-  EXPECT_TRUE(hist.SeenEdgeSet(arena_.Get(ib)));
-  EXPECT_FALSE(hist.SeenRooted(arena_.Get(ib)));
+  EXPECT_TRUE(hist.SeenEdgeSet(ib));
+  EXPECT_FALSE(hist.SeenRooted(ib));
 }
 
 TEST_F(TreeFixture, VerifyAcceptsMinimalResult) {
@@ -139,26 +147,26 @@ TEST_F(TreeFixture, VerifyAcceptsMinimalResult) {
   TreeId tm = arena_.MakeMerge(ta, tb, *seeds_);
   TreeId tc = arena_.MakeGrow(arena_.MakeInit(c_, *seeds_), e2_, x_, *seeds_);
   TreeId full = arena_.MakeMerge(tm, tc, *seeds_);
-  Status s = VerifyTreeInvariants(g_, *seeds_, arena_.Get(full), true);
+  Status s = VerifyTreeInvariants(g_, *seeds_, arena_, full, true);
   EXPECT_TRUE(s.ok()) << s.ToString();
 }
 
 TEST_F(TreeFixture, VerifyRejectsNonSeedLeaf) {
   // A - x alone leaves x as a non-seed leaf.
   TreeId ta = arena_.MakeGrow(arena_.MakeInit(a_, *seeds_), e0_, x_, *seeds_);
-  Status s = VerifyTreeInvariants(g_, *seeds_, arena_.Get(ta), true);
+  Status s = VerifyTreeInvariants(g_, *seeds_, arena_, ta, true);
   EXPECT_FALSE(s.ok());
   // But it passes when the root may be a non-seed leaf (universal sets).
-  EXPECT_TRUE(VerifyTreeInvariants(g_, *seeds_, arena_.Get(ta), true, true).ok());
+  EXPECT_TRUE(VerifyTreeInvariants(g_, *seeds_, arena_, ta, true, true).ok());
   // And when minimality is not required.
-  EXPECT_TRUE(VerifyTreeInvariants(g_, *seeds_, arena_.Get(ta), false).ok());
+  EXPECT_TRUE(VerifyTreeInvariants(g_, *seeds_, arena_, ta, false).ok());
 }
 
 TEST_F(TreeFixture, RootReachesAllDirected) {
   TreeId ta = arena_.MakeGrow(arena_.MakeInit(a_, *seeds_), e0_, x_, *seeds_);
-  const RootedTree& t = arena_.Get(ta);
-  EXPECT_TRUE(RootReachesAllDirected(g_, t, a_)) << "edge A->x";
-  EXPECT_FALSE(RootReachesAllDirected(g_, t, x_)) << "x cannot reach A against e0";
+  EXPECT_TRUE(RootReachesAllDirected(g_, arena_, ta, a_)) << "edge A->x";
+  EXPECT_FALSE(RootReachesAllDirected(g_, arena_, ta, x_))
+      << "x cannot reach A against e0";
 }
 
 TEST(SeedSetsTest, SignatureAndMasks) {
