@@ -48,6 +48,21 @@ bool IsGamFamily(AlgorithmKind kind) {
   }
 }
 
+GamConfig MakeGamConfig(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::kGam:
+      return GamConfig::Gam();
+    case AlgorithmKind::kEsp:
+      return GamConfig::Esp();
+    case AlgorithmKind::kMoEsp:
+      return GamConfig::MoEsp();
+    case AlgorithmKind::kLesp:
+      return GamConfig::Lesp();
+    default:
+      return GamConfig::MoLesp();
+  }
+}
+
 namespace {
 
 class GamAdapter : public CtpAlgorithm {
@@ -97,24 +112,7 @@ std::unique_ptr<CtpAlgorithm> CreateCtpAlgorithm(AlgorithmKind kind, const Graph
                                                          : BftMergeMode::kAggressive;
     return std::make_unique<BftAdapter>(kind, g, seeds, std::move(config));
   }
-  GamConfig config;
-  switch (kind) {
-    case AlgorithmKind::kGam:
-      config = GamConfig::Gam();
-      break;
-    case AlgorithmKind::kEsp:
-      config = GamConfig::Esp();
-      break;
-    case AlgorithmKind::kMoEsp:
-      config = GamConfig::MoEsp();
-      break;
-    case AlgorithmKind::kLesp:
-      config = GamConfig::Lesp();
-      break;
-    default:
-      config = GamConfig::MoLesp();
-      break;
-  }
+  GamConfig config = MakeGamConfig(kind);
   config.filters = std::move(filters);
   config.order = order;
   config.queue_strategy = queue_strategy;

@@ -43,6 +43,11 @@ inline constexpr AlgorithmKind kAllAlgorithms[] = {
 /// True for the GAM family (root-directed growth; supports UNI/universal).
 bool IsGamFamily(AlgorithmKind kind);
 
+/// The GamConfig preset behind a GAM-family kind (callers that drive
+/// GamSearch directly, e.g. the parallel executor's chunk workers). `kind`
+/// must satisfy IsGamFamily.
+GamConfig MakeGamConfig(AlgorithmKind kind);
+
 /// A ready-to-run CTP evaluation; owns its arena, results and stats.
 class CtpAlgorithm {
  public:

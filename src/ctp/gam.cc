@@ -4,24 +4,50 @@
 
 namespace eql {
 
-GamSearch::GamSearch(const Graph& g, const SeedSets& seeds, GamConfig config)
+void SearchMemory::PrepareFor(const Graph& g) {
+  arena.Clear();
+  history.Clear();
+  history.ReserveEdgeScratch(g.EdgeIdBound());
+  trees_rooted_in.Reserve(g.NodeIdBound());
+  trees_rooted_in.Clear();
+  seed_sig.Reserve(g.NodeIdBound());
+  seed_sig.Clear();
+  grow_nodes.Reserve(g.NodeIdBound());
+  merge_nodes.Reserve(g.NodeIdBound());
+}
+
+GamSearch::GamSearch(const Graph& g, const SeedSets& seeds, GamConfig config,
+                     SearchMemory* memory)
     : g_(g),
       seeds_(seeds),
       config_(std::move(config)),
       order_(config_.order != nullptr ? config_.order : &default_order_),
-      history_(&arena_),
+      owned_memory_(memory == nullptr ? std::make_unique<SearchMemory>()
+                                      : nullptr),
+      mem_(memory != nullptr ? memory : owned_memory_.get()),
+      arena_(mem_->arena),
+      history_(mem_->history),
+      trees_rooted_in_(mem_->trees_rooted_in),
+      seed_sig_(mem_->seed_sig),
+      grow_nodes_(mem_->grow_nodes),
+      merge_nodes_(mem_->merge_nodes),
       results_(&g_, &seeds_, &arena_, &config_.filters) {
   config_.filters.NormalizeLabels();
-  trees_rooted_in_.resize(g_.NodeIdBound());
-  history_.ReserveEdgeScratch(g_.EdgeIdBound());
-  seed_sig_.assign(g_.NodeIdBound(), Bitset64());
-  grow_nodes_.Reserve(g_.NodeIdBound());
-  merge_nodes_.Reserve(g_.NodeIdBound());
+  mem_->PrepareFor(g_);
   if (config_.queue_strategy == QueueStrategy::kSingle) {
     queues_.resize(1);
   } else if (seeds_.num_sets() <= kDenseMaskBits) {
     queue_of_mask_dense_.assign(1ULL << seeds_.num_sets(), UINT32_MAX);
   }
+}
+
+/// True when chunking excludes node `n` from the search: `n` belongs to the
+/// chunked seed set but not to this chunk (see GamConfig::chunk_set).
+bool GamSearch::ChunkExcludes(NodeId n) const {
+  return config_.chunk_set >= 0 && config_.chunk_nodes != nullptr &&
+         seeds_.Signature(n).Test(config_.chunk_set) &&
+         !std::binary_search(config_.chunk_nodes->begin(),
+                             config_.chunk_nodes->end(), n);
 }
 
 bool GamSearch::IsNew(TreeId id, bool* lesp_spared) const {
@@ -39,7 +65,7 @@ bool GamSearch::IsNew(TreeId id, bool* lesp_spared) const {
   if (config_.lesp_spare) {
     // Alg. 4 lines 4-8: nodes already connected to >= 3 seed sets, with
     // enough graph edges for >= 3 rooted paths to meet, escape ESP.
-    if (seed_sig_[t.root].Count() >= 3 && g_.Degree(t.root) >= 3) {
+    if (seed_sig_.Get(t.root).Count() >= 3 && g_.Degree(t.root) >= 3) {
       if (!history_.SeenRooted(id)) {
         if (lesp_spared != nullptr) *lesp_spared = true;
         return true;
@@ -67,7 +93,7 @@ void GamSearch::EmitResult(TreeId id) {
 
 void GamSearch::UpdateSeedSignature(const RootedTree& t) {
   if (!t.is_rooted_path || t.path_seed == kNoNode) return;
-  seed_sig_[t.root] |= seeds_.Signature(t.path_seed);
+  seed_sig_.Mut(t.root) |= seeds_.Signature(t.path_seed);
 }
 
 void GamSearch::CheckDeadline() {
@@ -136,6 +162,9 @@ void GamSearch::EnqueueGrows(TreeId id) {
     // root, preserving "root reaches every tree node along directed edges".
     if (config_.filters.unidirectional && ie.forward) continue;
     if (!config_.filters.LabelAllowed(g_.EdgeLabelId(ie.edge))) continue;
+    // Chunked runs: members of the chunked set outside this chunk are not
+    // part of this chunk's graph slice at all (see GamConfig::chunk_set).
+    if (ChunkExcludes(ie.other)) continue;
     if (grow_nodes_.Contains(ie.other)) continue;                    // Grow1
     if (seeds_.Signature(ie.other).Intersects(t.sat)) continue;      // Grow2
     if (!shared_priority || !priority_computed) {
@@ -175,7 +204,7 @@ void GamSearch::ProcessNewTree(TreeId id) {
   }
 
   // recordForMerging (Algorithm 3).
-  trees_rooted_in_[t.root].push_back(id);
+  trees_rooted_in_.Mut(t.root).push_back(id);
   pending_merge_.push_back(id);
 
   // Mo injection (§4.5): when this tree covers strictly more seed sets than
@@ -217,7 +246,7 @@ void GamSearch::ProcessNewTree(TreeId id) {
           history_.Insert(mo_id);
           ++stats_.trees_built;
           ++stats_.mo_trees;
-          trees_rooted_in_[n].push_back(mo_id);
+          trees_rooted_in_.Mut(n).push_back(mo_id);
           pending_merge_.push_back(mo_id);
         } else {
           arena_.PopLast();
@@ -249,9 +278,9 @@ void GamSearch::DrainMerges() {
     // loop get their own pending pass (and would see `id` in
     // trees_rooted_in_), so no pair is lost. The vector may reallocate, so
     // re-index on every access.
-    const size_t num_partners = trees_rooted_in_[root].size();
+    const size_t num_partners = trees_rooted_in_.Mut(root).size();
     for (size_t pi = 0; pi < num_partners; ++pi) {
-      const TreeId pid = trees_rooted_in_[root][pi];
+      const TreeId pid = trees_rooted_in_.Mut(root)[pi];
       if (pid == id) continue;
       CheckDeadline();
       if (stop_) break;
@@ -284,13 +313,20 @@ Status GamSearch::Run() {
                   : Deadline::Infinite();
 
   // ss_n initialization (§4.6): seeds start with their own membership bits.
-  for (NodeId n : seeds_.AllSeeds()) seed_sig_[n] = seeds_.Signature(n);
+  for (NodeId n : seeds_.AllSeeds()) seed_sig_.Mut(n) = seeds_.Signature(n);
 
   // Init trees for every non-universal seed set (§4.9: universal sets are
-  // never instantiated; exploration starts from the others).
+  // never instantiated; exploration starts from the others). Chunked runs
+  // (GamConfig::chunk_set) instantiate only the chunk's slice of the chunked
+  // set, and skip excluded nodes even when another set also contains them.
   for (int i = 0; i < seeds_.num_sets() && !stop_; ++i) {
     if (seeds_.IsUniversal(i)) continue;
-    for (NodeId n : seeds_.Set(i)) {
+    const std::vector<NodeId>& init_nodes =
+        (i == config_.chunk_set && config_.chunk_nodes != nullptr)
+            ? *config_.chunk_nodes
+            : seeds_.Set(i);
+    for (NodeId n : init_nodes) {
+      if (i != config_.chunk_set && ChunkExcludes(n)) continue;
       TreeId id = arena_.MakeInit(n, seeds_);
       if (IsNew(id, nullptr)) {
         ++stats_.init_trees;

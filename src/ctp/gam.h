@@ -67,6 +67,18 @@ struct GamConfig {
   /// Exploration order; not owned; nullptr selects SmallestFirstOrder.
   SearchOrder* order = nullptr;
 
+  /// Seed-set chunking for the parallel executor (ctp/parallel.h). When
+  /// `chunk_set >= 0`, Init trees for that seed set come only from
+  /// `chunk_nodes` (sorted ascending), and the set's *other* members are
+  /// excluded from the search entirely — Grow never enters them and Init
+  /// skips them even when they also belong to another set. The run is then
+  /// exactly the CTP with S_chunk_set := chunk_nodes evaluated on the graph
+  /// minus the excluded nodes, so chunk result sets are disjoint slices of
+  /// the full CTP's result set (each result contains exactly one S_chunk_set
+  /// node, Def 2.8 (ii), and it lies in exactly one chunk).
+  int chunk_set = -1;
+  const std::vector<NodeId>* chunk_nodes = nullptr;  ///< not owned; sorted
+
   static GamConfig Gam() { return GamConfig{}; }
   static GamConfig Esp() {
     GamConfig c;
@@ -91,11 +103,39 @@ struct GamConfig {
   }
 };
 
+/// Long-lived search memory a GamSearch can borrow instead of allocating its
+/// own: the tree arena, the history tables, and the flat per-node scratch
+/// whose construction dominates short searches. A pool worker keeps one
+/// SearchMemory for its lifetime and reuses it across chunks, CTPs, and
+/// queries (ctp/parallel.h); PrepareFor() logically clears everything in
+/// O(touched), not O(graph), via epoch versioning, and every buffer keeps
+/// its grown capacity.
+///
+/// A SearchMemory may serve only one live GamSearch at a time.
+struct SearchMemory {
+  TreeArena arena;
+  SearchHistory history{&arena};
+  /// recordForMerging index: trees rooted at each node (flat per-NodeId).
+  EpochBuckets trees_rooted_in;
+  /// ss_n (§4.6), flat per-NodeId.
+  EpochArray<Bitset64> seed_sig;
+  // Epoch-versioned per-tree scratch (no clearing between trees).
+  EpochSet grow_nodes;   ///< node set of the tree being grown (Grow1)
+  EpochSet merge_nodes;  ///< node set of the merge subject (Merge1)
+
+  /// Clears all state and sizes the flat buffers for `g`'s id bounds.
+  void PrepareFor(const Graph& g);
+};
+
 /// One CTP evaluation over one graph and seed-set collection. Single-use:
 /// construct, Run() once, read results()/stats().
 class GamSearch {
  public:
-  GamSearch(const Graph& g, const SeedSets& seeds, GamConfig config);
+  /// `memory` (optional, not owned) is a reusable SearchMemory; it is
+  /// Prepared here and must outlive the search. nullptr allocates a private
+  /// one (the single-shot path).
+  GamSearch(const Graph& g, const SeedSets& seeds, GamConfig config,
+            SearchMemory* memory = nullptr);
 
   /// Executes the search to completion, timeout, LIMIT, or tree budget.
   /// Always returns OK; consult stats() for how the run ended.
@@ -107,9 +147,7 @@ class GamSearch {
   const GamConfig& config() const { return config_; }
 
   /// ss_n after the run (exposed for tests of the LESP machinery).
-  Bitset64 SeedSignatureOf(NodeId n) const {
-    return n < seed_sig_.size() ? seed_sig_[n] : Bitset64();
-  }
+  Bitset64 SeedSignatureOf(NodeId n) const { return seed_sig_.Get(n); }
 
  private:
   struct QueueEntry {
@@ -149,6 +187,7 @@ class GamSearch {
   bool IsResult(const RootedTree& t) const;
   void EmitResult(TreeId id);
   void CheckDeadline();
+  bool ChunkExcludes(NodeId n) const;
 
   size_t QueueIndexFor(const RootedTree& t);
   /// Index of the non-empty queue with fewest entries; SIZE_MAX if all
@@ -163,12 +202,14 @@ class GamSearch {
   SmallestFirstOrder default_order_;
   SearchOrder* order_;
 
-  TreeArena arena_;
-  SearchHistory history_;
-  /// recordForMerging index: trees rooted at each node. Flat per-NodeId.
-  std::vector<std::vector<TreeId>> trees_rooted_in_;
-  /// ss_n (§4.6). Flat per-NodeId.
-  std::vector<Bitset64> seed_sig_;
+  /// Borrowed or privately owned memory; the references below alias into it
+  /// so the search body reads the same either way.
+  std::unique_ptr<SearchMemory> owned_memory_;
+  SearchMemory* mem_;
+  TreeArena& arena_;
+  SearchHistory& history_;
+  EpochBuckets& trees_rooted_in_;
+  EpochArray<Bitset64>& seed_sig_;
   std::vector<PrioQ> queues_;
   /// sat-mask -> queue index (§4.9). Dense-indexed by the mask's bits for
   /// small m (the common case); hash fallback beyond kDenseMaskBits sets.
@@ -183,9 +224,8 @@ class GamSearch {
       queue_size_heap_;
   std::vector<TreeId> pending_merge_;
 
-  // Epoch-versioned per-tree scratch (no clearing between trees).
-  EpochSet grow_nodes_;   ///< node set of the tree being grown (Grow1)
-  EpochSet merge_nodes_;  ///< node set of the merge subject (Merge1)
+  EpochSet& grow_nodes_;   ///< node set of the tree being grown (Grow1)
+  EpochSet& merge_nodes_;  ///< node set of the merge subject (Merge1)
 
   CtpResultSet results_;
   SearchStats stats_;

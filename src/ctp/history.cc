@@ -8,7 +8,7 @@ size_t SearchHistory::FindSlot(const std::vector<Slot>& slots, uint64_t hash,
   size_t i = static_cast<size_t>(hash) & mask;
   for (;;) {
     const Slot& s = slots[i];
-    if (s.id == kNoTree) return i;
+    if (!Live(s)) return i;
     if (s.hash == hash &&
         (rooted ? SameRooted(s.id, id) : SameEdgeSet(s.id, id))) {
       return i;
@@ -22,7 +22,7 @@ void SearchHistory::GrowTable(std::vector<Slot>* slots) {
   slots->assign(old.size() * 2, Slot{});
   const size_t mask = slots->size() - 1;
   for (const Slot& s : old) {
-    if (s.id == kNoTree) continue;
+    if (!Live(s)) continue;
     size_t i = static_cast<size_t>(s.hash) & mask;
     while ((*slots)[i].id != kNoTree) i = (i + 1) & mask;
     (*slots)[i] = s;
@@ -31,12 +31,12 @@ void SearchHistory::GrowTable(std::vector<Slot>* slots) {
 
 bool SearchHistory::SeenEdgeSet(TreeId id) const {
   const uint64_t h = arena_->Get(id).edge_set_hash;
-  return edge_slots_[FindSlot(edge_slots_, h, id, /*rooted=*/false)].id != kNoTree;
+  return Live(edge_slots_[FindSlot(edge_slots_, h, id, /*rooted=*/false)]);
 }
 
 bool SearchHistory::SeenRooted(TreeId id) const {
   const uint64_t h = RootedHash(arena_->Get(id));
-  return rooted_slots_[FindSlot(rooted_slots_, h, id, /*rooted=*/true)].id != kNoTree;
+  return Live(rooted_slots_[FindSlot(rooted_slots_, h, id, /*rooted=*/true)]);
 }
 
 void SearchHistory::Insert(TreeId id) {
@@ -48,16 +48,16 @@ void SearchHistory::Insert(TreeId id) {
 
   const uint64_t eh = arena_->Get(id).edge_set_hash;
   size_t ei = FindSlot(edge_slots_, eh, id, /*rooted=*/false);
-  if (edge_slots_[ei].id == kNoTree) {
-    edge_slots_[ei] = Slot{eh, id};
+  if (!Live(edge_slots_[ei])) {
+    edge_slots_[ei] = Slot{eh, id, epoch_};
     ++edge_entries_;
     ++edge_sets_;
   }
 
   const uint64_t rh = RootedHash(arena_->Get(id));
   size_t ri = FindSlot(rooted_slots_, rh, id, /*rooted=*/true);
-  if (rooted_slots_[ri].id == kNoTree) {
-    rooted_slots_[ri] = Slot{rh, id};
+  if (!Live(rooted_slots_[ri])) {
+    rooted_slots_[ri] = Slot{rh, id, epoch_};
     ++rooted_entries_;
   }
 }

@@ -16,6 +16,7 @@
 #ifndef EQL_CTP_HISTORY_H_
 #define EQL_CTP_HISTORY_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -48,9 +49,16 @@ class SearchHistory {
 
   size_t NumEdgeSets() const { return edge_sets_; }
 
+  /// Empties both tables in O(1) by bumping the slot epoch, keeping their
+  /// capacity: a pooled worker clearing between searches reuses the grown
+  /// tables with no per-clear wipe (the wipe happens only on 32-bit epoch
+  /// wrap-around).
   void Clear() {
-    edge_slots_.assign(kInitialCapacity, Slot{});
-    rooted_slots_.assign(kInitialCapacity, Slot{});
+    if (++epoch_ == 0) {  // wrapped: every stale slot would look live again
+      std::fill(edge_slots_.begin(), edge_slots_.end(), Slot{});
+      std::fill(rooted_slots_.begin(), rooted_slots_.end(), Slot{});
+      epoch_ = 1;
+    }
     edge_entries_ = rooted_entries_ = 0;
     edge_sets_ = 0;
   }
@@ -58,10 +66,17 @@ class SearchHistory {
  private:
   static constexpr size_t kInitialCapacity = 1024;  // power of two
 
+  /// Live only when `epoch` matches the table's current epoch — stale slots
+  /// read as empty, which is probe-safe because staleness only ever flips at
+  /// a Clear(), when the *whole* table goes stale at once (no mixed chains).
+  /// The epoch field fills what was padding, so slots stay 16 bytes.
   struct Slot {
     uint64_t hash = 0;
-    TreeId id = kNoTree;  ///< kNoTree marks an empty slot
+    TreeId id = kNoTree;  ///< kNoTree marks a never-used slot
+    uint32_t epoch = 0;
   };
+
+  bool Live(const Slot& s) const { return s.id != kNoTree && s.epoch == epoch_; }
 
   static uint64_t RootedHash(const RootedTree& t) {
     return HashCombine(t.edge_set_hash, t.root);
@@ -88,6 +103,7 @@ class SearchHistory {
   size_t edge_entries_ = 0;
   size_t rooted_entries_ = 0;
   size_t edge_sets_ = 0;
+  uint32_t epoch_ = 1;
   mutable EpochSet eq_scratch_;  ///< edge stamps for exact set comparison
 };
 

@@ -1,66 +1,150 @@
 #include "ctp/parallel.h"
 
 #include <algorithm>
-#include <thread>
 #include <unordered_map>
 
-#include "util/hash.h"
+#include "util/stopwatch.h"
 
 namespace eql {
 
 namespace {
 
-/// Result of one chunk worker, staged for the merge step.
+/// One result staged by a chunk worker: everything the merge step needs,
+/// extracted before the worker's arena is recycled. `edges` is sorted, so
+/// cross-chunk equality on a hash collision is a plain vector compare.
+struct ChunkResult {
+  uint64_t hash = 0;  ///< incremental XOR edge-set hash (the dedup word)
+  double score = 0;
+  NodeId root = kNoNode;
+  std::vector<EdgeId> edges;
+  std::vector<NodeId> seed_of_set;
+};
+
+/// Output slot of one chunk task (written by exactly one worker).
 struct ChunkOutput {
   Status status = Status::Ok();
   SearchStats stats;
-  // Materialized results: edge set + root (the arena dies with the worker).
-  std::vector<std::vector<EdgeId>> edge_sets;
-  std::vector<NodeId> roots;
+  std::vector<ChunkResult> results;
 };
 
-void RunChunk(const Graph* g, const SeedSets* full_seeds, size_t split_idx,
-              std::vector<NodeId> chunk, const CtpFilters* filters,
-              const ParallelCtpOptions* options, ChunkOutput* out) {
-  // Rebuild the seed sets with S_split replaced by this chunk.
-  std::vector<std::vector<NodeId>> sets;
-  std::vector<bool> universal;
-  for (int i = 0; i < full_seeds->num_sets(); ++i) {
-    if (static_cast<size_t>(i) == split_idx) {
-      sets.push_back(std::move(chunk));
-      universal.push_back(false);
-    } else {
-      sets.push_back(full_seeds->Set(i));
-      universal.push_back(full_seeds->IsUniversal(i));
-    }
-  }
-  auto seeds = SeedSets::Make(*g, std::move(sets), std::move(universal));
-  if (!seeds.ok()) {
-    out->status = seeds.status();
-    return;
-  }
-  CtpFilters chunk_filters = *filters;
-  // TOP-k / LIMIT need the global result set; chunks run uncapped in count.
-  chunk_filters.top_k = -1;
-  chunk_filters.score = nullptr;
-  chunk_filters.limit = UINT64_MAX;
-  auto algo = CreateCtpAlgorithm(options->algorithm, *g, *seeds, chunk_filters,
-                                 nullptr, options->queue_strategy);
-  out->status = algo->Run();
-  if (!out->status.ok()) return;
-  out->stats = algo->stats();
-  for (const CtpResult& r : algo->results().results()) {
-    out->edge_sets.push_back(algo->arena().EdgeSet(r.tree));
-    out->roots.push_back(algo->arena().Get(r.tree).root);
-  }
+/// Total order on results: score desc, then fewest edges, then edge-set
+/// hash, then seed tuple, then the edge sets themselves. Independent of
+/// thread scheduling and chunk order, so TOP-k/LIMIT tie-breaks are stable
+/// run to run and across pool sizes.
+bool ResultLess(const ChunkResult& a, const ChunkResult& b) {
+  if (a.score != b.score) return a.score > b.score;
+  if (a.edges.size() != b.edges.size()) return a.edges.size() < b.edges.size();
+  if (a.hash != b.hash) return a.hash < b.hash;
+  if (a.seed_of_set != b.seed_of_set) return a.seed_of_set < b.seed_of_set;
+  return a.edges < b.edges;
 }
 
 }  // namespace
 
-Result<ParallelCtpOutcome> EvaluateCtpParallel(const Graph& g,
-                                               const SeedSets& seeds,
-                                               const CtpFilters& filters,
-                                               const ParallelCtpOptions& options) {
+CtpExecutor::CtpExecutor(unsigned num_workers) {
+  if (num_workers == 0) {
+    num_workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  num_workers = std::min(num_workers, 512u);  // header: thread-spawn guard
+  workers_.reserve(num_workers);
+  for (unsigned i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+CtpExecutor::~CtpExecutor() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+CtpExecutor& CtpExecutor::Default() {
+  static CtpExecutor* pool = new CtpExecutor(0);  // leaked by design (header)
+  return *pool;
+}
+
+void CtpExecutor::Submit(TaskGroup* group, std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++group->pending_;
+    queue_.push_back(Task{group, std::move(fn)});
+  }
+  work_cv_.notify_one();
+}
+
+void CtpExecutor::FinishTask(TaskGroup* group) {
+  bool last;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    last = --group->pending_ == 0;
+  }
+  if (last) done_cv_.notify_all();
+}
+
+void CtpExecutor::WorkerLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [this] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // shutdown with nothing left to run
+    Task t = std::move(queue_.front());
+    queue_.pop_front();
+    lk.unlock();
+    t.fn();
+    FinishTask(t.group);
+    lk.lock();
+  }
+}
+
+void CtpExecutor::Wait(TaskGroup* group) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    if (group->pending_ == 0) return;
+    // Help: run a queued task of this group inline rather than sleeping.
+    auto it = std::find_if(queue_.begin(), queue_.end(),
+                           [&](const Task& t) { return t.group == group; });
+    if (it != queue_.end()) {
+      Task t = std::move(*it);
+      queue_.erase(it);
+      lk.unlock();
+      t.fn();
+      FinishTask(group);
+      lk.lock();
+      continue;
+    }
+    // All remaining group tasks are running on workers; they signal done_cv_.
+    done_cv_.wait(lk, [&] { return group->pending_ == 0; });
+  }
+}
+
+std::unique_ptr<SearchMemory> CtpExecutor::AcquireMemory() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!free_memory_.empty()) {
+      auto m = std::move(free_memory_.back());
+      free_memory_.pop_back();
+      return m;
+    }
+  }
+  return std::make_unique<SearchMemory>();
+}
+
+void CtpExecutor::ReleaseMemory(std::unique_ptr<SearchMemory> m) {
+  std::lock_guard<std::mutex> lk(mu_);
+  // Retain at most one memory per worker plus a couple for helping caller
+  // threads; an unbounded list would pin peak-search-sized arenas for the
+  // life of the pool (Default() lives as long as the process).
+  if (free_memory_.size() < workers_.size() + 2) {
+    free_memory_.push_back(std::move(m));
+  }
+}
+
+Result<ParallelCtpOutcome> CtpExecutor::Evaluate(
+    const Graph& g, const SeedSets& seeds, const CtpFilters& filters,
+    const ParallelCtpOptions& options) {
+  Stopwatch sw;
   if (!IsGamFamily(options.algorithm)) {
     return Status::InvalidArgument(
         "parallel evaluation needs a GAM-family algorithm");
@@ -79,38 +163,79 @@ Result<ParallelCtpOutcome> EvaluateCtpParallel(const Graph& g,
     return Status::InvalidArgument("no splittable seed set");
   }
 
-  unsigned threads = options.num_threads != 0
-                         ? options.num_threads
-                         : std::max(1u, std::thread::hardware_concurrency());
-  threads = std::min<unsigned>(threads, static_cast<unsigned>(split_size));
+  unsigned chunks =
+      options.num_threads != 0 ? options.num_threads : num_workers();
+  chunks = std::min<unsigned>(std::max(1u, chunks),
+                              static_cast<unsigned>(split_size));
   const std::vector<NodeId>& split_set = seeds.Set(static_cast<int>(split_idx));
 
-  // Round-robin chunking keeps chunk workloads balanced even when the seed
-  // set is sorted by graph region.
-  std::vector<std::vector<NodeId>> chunks(threads);
-  for (size_t i = 0; i < split_set.size(); ++i) {
-    chunks[i % threads].push_back(split_set[i]);
-  }
+  // One shared absolute deadline for the whole CTP: chunks started late (more
+  // chunks than workers) get the remaining budget, not a fresh one.
+  const Deadline deadline = filters.timeout_ms >= 0
+                                ? Deadline::AfterMs(filters.timeout_ms)
+                                : Deadline::Infinite();
 
-  std::vector<ChunkOutput> outputs(threads);
-  {
-    std::vector<std::thread> workers;
-    workers.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) {
-      workers.emplace_back(RunChunk, &g, &seeds, split_idx, std::move(chunks[t]),
-                           &filters, &options, &outputs[t]);
-    }
-    for (auto& w : workers) w.join();
+  // Round-robin chunking keeps chunk workloads balanced even when the seed
+  // set is sorted by graph region; each chunk is then sorted so the chunk
+  // exclusion probe in the search is a binary search.
+  std::vector<std::vector<NodeId>> chunk_nodes(chunks);
+  for (size_t i = 0; i < split_set.size(); ++i) {
+    chunk_nodes[i % chunks].push_back(split_set[i]);
   }
+  for (auto& c : chunk_nodes) std::sort(c.begin(), c.end());
+
+  std::vector<ChunkOutput> outputs(chunks);
+  TaskGroup group;
+  for (unsigned c = 0; c < chunks; ++c) {
+    Submit(&group, [this, &g, &seeds, &filters, &options, &deadline,
+                    &chunk_nodes, &outputs, c, split_idx] {
+      ChunkOutput& out = outputs[c];
+      const int64_t remaining = deadline.RemainingMs();
+      if (remaining == 0) {  // budget spent before this chunk even started
+        out.stats.timed_out = true;
+        return;
+      }
+      GamConfig config = MakeGamConfig(options.algorithm);
+      config.queue_strategy = options.queue_strategy;
+      config.filters = filters;
+      config.filters.top_k = -1;  // TOP-k needs the global union
+      if (filters.timeout_ms >= 0) config.filters.timeout_ms = remaining;
+      // LIMIT push-down: without a score every chunk result survives to the
+      // union (chunk results partition the full result set), so no chunk
+      // needs more than `limit` of them. With a score the global TOP-k /
+      // LIMIT pick from the full candidate set, so chunks run uncapped.
+      if (filters.score != nullptr) config.filters.limit = UINT64_MAX;
+      config.chunk_set = static_cast<int>(split_idx);
+      config.chunk_nodes = &chunk_nodes[c];
+
+      std::unique_ptr<SearchMemory> memory = AcquireMemory();
+      {
+        GamSearch search(g, seeds, std::move(config), memory.get());
+        out.status = search.Run();
+        if (out.status.ok()) {
+          out.stats = search.stats();
+          out.results.reserve(search.results().size());
+          for (const CtpResult& r : search.results().results()) {
+            ChunkResult cr;
+            const RootedTree& t = search.arena().Get(r.tree);
+            cr.hash = t.edge_set_hash;
+            cr.root = t.root;
+            cr.score = r.score;
+            cr.seed_of_set = r.seed_of_set;
+            cr.edges = search.arena().EdgeSet(r.tree);
+            out.results.push_back(std::move(cr));
+          }
+        }
+      }
+      ReleaseMemory(std::move(memory));
+    });
+  }
+  Wait(&group);
 
   ParallelCtpOutcome out;
   out.split_set = split_idx;
-  out.threads_used = threads;
+  out.threads_used = chunks;
 
-  // Merge: post-filter Def 2.8 (ii) violations, dedup across chunks, rebuild
-  // result tuples against a fresh arena, then apply score/TOP-k/LIMIT.
-  CtpFilters merged_filters = filters;  // keeps score/top_k for the set below
-  CtpResultSet results(&g, &seeds, &out.arena, &merged_filters);
   for (ChunkOutput& chunk : outputs) {
     if (!chunk.status.ok()) return chunk.status;
     out.chunk_stats.push_back(chunk.stats);
@@ -120,41 +245,68 @@ Result<ParallelCtpOutcome> EvaluateCtpParallel(const Graph& g,
     out.stats.trees_built += chunk.stats.trees_built;
     out.stats.mo_trees += chunk.stats.mo_trees;
     out.stats.trees_pruned += chunk.stats.trees_pruned;
+    out.stats.lesp_spared += chunk.stats.lesp_spared;
     out.stats.queue_pushed += chunk.stats.queue_pushed;
+    out.stats.duplicate_results += chunk.stats.duplicate_results;
     out.stats.timed_out |= chunk.stats.timed_out;
     out.stats.budget_exhausted |= chunk.stats.budget_exhausted;
-    out.stats.elapsed_ms = std::max(out.stats.elapsed_ms, chunk.stats.elapsed_ms);
-    for (size_t i = 0; i < chunk.edge_sets.size(); ++i) {
-      TreeId id = out.arena.MakeAdHoc(chunk.roots[i],
-                                      std::move(chunk.edge_sets[i]), g, seeds);
-      // A chunk cannot see the rest of S_split: discard trees that contain a
-      // second S_split node (they are not results of the full CTP).
-      int split_nodes = 0;
-      for (NodeId n : out.arena.NodeSet(g, id)) {
-        if (seeds.Signature(n).Test(static_cast<int>(split_idx))) ++split_nodes;
+  }
+
+  // Cross-chunk dedup on the one-word incremental hash, in chunk order.
+  // Chunk result sets are disjoint by construction (header), so this is pure
+  // insurance; exactness on a 64-bit collision costs one vector compare.
+  std::vector<ChunkResult*> merged;
+  std::unordered_map<uint64_t, std::vector<const ChunkResult*>> by_hash;
+  for (ChunkOutput& chunk : outputs) {
+    for (ChunkResult& r : chunk.results) {
+      auto& bucket = by_hash[r.hash];
+      bool dup = false;
+      for (const ChunkResult* seen : bucket) {
+        if (seen->edges == r.edges) {
+          dup = true;
+          break;
+        }
       }
-      if (split_nodes > 1) {
-        ++out.postfiltered;
-        out.arena.PopLast();
+      if (dup) {
+        ++out.stats.duplicate_results;
         continue;
       }
-      if (!results.Add(id)) {
-        ++out.stats.duplicate_results;
-        out.arena.PopLast();
-      }
+      bucket.push_back(&r);
+      merged.push_back(&r);
     }
   }
-  out.stats.complete = !out.stats.timed_out && !out.stats.budget_exhausted;
 
-  results.FinalizeTopK();
-  std::vector<CtpResult> final_results = results.results();
-  if (filters.limit != UINT64_MAX &&
-      final_results.size() > filters.limit) {
-    final_results.resize(filters.limit);
+  // Deterministic total order before TOP-k/LIMIT (header).
+  std::sort(merged.begin(), merged.end(),
+            [](const ChunkResult* a, const ChunkResult* b) {
+              return ResultLess(*a, *b);
+            });
+  if (filters.score != nullptr && filters.top_k > 0 &&
+      merged.size() > static_cast<size_t>(filters.top_k)) {
+    merged.resize(static_cast<size_t>(filters.top_k));
   }
-  out.stats.results_found = final_results.size();
-  out.results = std::move(final_results);
+  if (filters.limit != UINT64_MAX && merged.size() > filters.limit) {
+    merged.resize(filters.limit);
+  }
+
+  out.results.reserve(merged.size());
+  for (ChunkResult* r : merged) {
+    TreeId id = out.arena.MakeAdHocInPlace(r->root, &r->edges, g, seeds);
+    out.results.push_back(CtpResult{id, std::move(r->seed_of_set), r->score});
+  }
+  out.stats.results_found = out.results.size();
+  out.stats.complete = !out.stats.timed_out && !out.stats.budget_exhausted;
+  out.stats.elapsed_ms = sw.ElapsedMs();
   return out;
+}
+
+Result<ParallelCtpOutcome> EvaluateCtpParallel(const Graph& g,
+                                               const SeedSets& seeds,
+                                               const CtpFilters& filters,
+                                               const ParallelCtpOptions& options) {
+  CtpExecutor& executor =
+      options.executor != nullptr ? *options.executor : CtpExecutor::Default();
+  return executor.Evaluate(g, seeds, filters, options);
 }
 
 }  // namespace eql

@@ -1,56 +1,157 @@
-// Multi-threaded CTP evaluation by seed-set splitting.
+// Worker-pool parallel CTP execution.
 //
 // Section 6 notes that the Java GAM algorithm was sped up by up to 100x in a
-// multi-threaded C++ version. This module provides the coarse-grained
-// parallelization that preserves the sequential algorithms' guarantees:
-// the largest seed set S_i is split into k chunks, and k independent
-// searches over (S_1, ..., chunk_j, ..., S_m) run on separate threads.
+// multi-threaded C++ version. This module provides that scale-out as a
+// persistent executor rather than one-shot thread spawns:
 //
-// Correctness argument: a CTP result contains exactly one S_i node, so every
-// result of the full problem is a result of exactly the chunk containing its
-// S_i node — provided we *post-filter* chunk results that contain another
-// node of the full S_i (chunk runs cannot apply Grow2 against seeds they do
-// not know; such trees violate Def 2.8 (ii) for the full CTP and are
-// discarded here). Conversely, every surviving chunk result is a result of
-// the full CTP. Hence the union after filtering equals the sequential result
-// set, and per-chunk completeness guarantees (Properties 3-9) carry over.
+//  * CtpExecutor owns a fixed pool of worker threads and a shared work
+//    queue. Chunk work items are queued and pulled ("stolen") by whichever
+//    worker frees up first, so chunk counts and worker counts are
+//    independent — a CTP can be split 8 ways on a 2-worker pool, or many
+//    CTPs/queries can share one pool (EqlEngine::RunBatch).
+//  * Every worker keeps one long-lived SearchMemory (ctp/gam.h): a tree
+//    arena plus epoch-versioned flat scratch, logically cleared in
+//    O(touched) between chunks. Repeated searches therefore do no per-query
+//    allocation churn — the reuse the PR 1 arena refactor was built for.
+//  * A thread that waits on a task group helps drain that group's queued
+//    tasks, so nested dispatch (batch query -> CTP -> chunks) cannot
+//    deadlock even on a single-worker pool.
 //
-// Restrictions: TOP-k and LIMIT need a global view and are applied after the
-// union; the per-chunk searches run unbounded in count (MAX/LABEL/UNI/
-// timeout push down chunk-locally).
+// Chunking and correctness: the largest non-universal seed set S_i is split
+// into k chunks; each chunk runs the *full* CTP but with Init trees of S_i
+// restricted to the chunk and the remaining S_i members excluded from the
+// search (GamConfig::chunk_set). Each chunk run is therefore exactly the CTP
+// (S_1, ..., chunk_j, ..., S_m) on the graph minus the excluded nodes, so
+// per-chunk completeness guarantees (Properties 3-9) carry over, every chunk
+// result is a result of the full CTP, and a result's unique S_i node
+// (Def 2.8 (ii)) places it in exactly one chunk — the chunk result sets
+// partition the full result set with no post-filtering.
+//
+// Global filters: LIMIT pushes down per chunk when no score function is
+// attached (each chunk result survives to the union, so no chunk needs more
+// than LIMIT of them); TIMEOUT is one shared absolute deadline — a chunk
+// starting late runs with the remaining budget only, so queued chunks cannot
+// multiply the user's wall-clock budget. Results are deduplicated across
+// chunks by the one-word incremental XOR edge-set hash (exact compare only
+// on hash collision), then sorted by a total order — score desc, edge count,
+// edge-set hash, seed tuple, edge set — before TOP-k/LIMIT, making the
+// output independent of thread scheduling and, when nothing truncates the
+// union, of the chunk count itself.
 #ifndef EQL_CTP_PARALLEL_H_
 #define EQL_CTP_PARALLEL_H_
 
+#include <condition_variable>
+#include <deque>
+#include <functional>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "ctp/algorithm.h"
 
 namespace eql {
 
+class CtpExecutor;
+
 struct ParallelCtpOptions {
-  /// Worker count; 0 = std::thread::hardware_concurrency() (capped at the
-  /// split set's size).
+  /// Number of seed-set chunks (the degree of parallelism); 0 = the
+  /// executor's worker count. Capped at the split set's size. The chunk
+  /// count — not the pool size — determines the result partition, so
+  /// outputs are identical for a fixed num_threads on any pool.
   unsigned num_threads = 0;
   AlgorithmKind algorithm = AlgorithmKind::kMoLesp;
   QueueStrategy queue_strategy = QueueStrategy::kSingle;
+  /// Pool to run on (not owned); nullptr = the process-wide default pool.
+  CtpExecutor* executor = nullptr;
 };
 
-/// Aggregated outcome of a parallel run. Result trees are materialized as
-/// plain edge sets + per-set seed tuples (arena-independent).
+/// Aggregated outcome of a parallel run. Result trees are materialized into
+/// `arena` (chunk-worker arenas are recycled, not exposed).
 struct ParallelCtpOutcome {
   std::vector<CtpResult> results;          ///< tree field indexes `arena`
   TreeArena arena;                         ///< holds the surviving trees
   SearchStats stats;                       ///< summed over chunks
-  std::vector<SearchStats> chunk_stats;
+  std::vector<SearchStats> chunk_stats;    ///< in chunk order
   size_t split_set = 0;                    ///< which S_i was split
-  unsigned threads_used = 1;
-  uint64_t postfiltered = 0;  ///< chunk results violating Def 2.8 (ii)
+  unsigned threads_used = 1;               ///< chunk count actually used
 };
 
-/// Runs `filters` CTP over (g, seeds) with chunked parallelism. The graph
-/// and seeds must outlive the call; `filters.score`/TOP-k/LIMIT are applied
-/// globally after the union.
+/// A persistent pool of search workers. Thread-safe: any thread may Submit,
+/// Wait, or Evaluate concurrently; nested use (a task that itself Evaluates)
+/// is supported via helping.
+class CtpExecutor {
+ public:
+  /// Waitable handle for a batch of submitted tasks. Not reusable across
+  /// executors; must outlive its tasks.
+  class TaskGroup {
+   public:
+    TaskGroup() = default;
+    TaskGroup(const TaskGroup&) = delete;
+    TaskGroup& operator=(const TaskGroup&) = delete;
+
+   private:
+    friend class CtpExecutor;
+    size_t pending_ = 0;  ///< guarded by the executor's mutex
+  };
+
+  /// 0 = std::thread::hardware_concurrency() (at least 1). Capped at 512
+  /// workers so a bogus count cannot exhaust the process's thread limit.
+  explicit CtpExecutor(unsigned num_workers = 0);
+  /// Joins the workers. All Waits must have returned.
+  ~CtpExecutor();
+
+  CtpExecutor(const CtpExecutor&) = delete;
+  CtpExecutor& operator=(const CtpExecutor&) = delete;
+
+  unsigned num_workers() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Runs `filters` CTP over (g, seeds) with chunked parallelism on this
+  /// pool. The graph and seeds must outlive the call; score/TOP-k/LIMIT are
+  /// applied globally after the union (scores are computed chunk-locally, in
+  /// parallel). `options.executor` is ignored — this pool runs the chunks.
+  Result<ParallelCtpOutcome> Evaluate(const Graph& g, const SeedSets& seeds,
+                                      const CtpFilters& filters,
+                                      const ParallelCtpOptions& options);
+
+  /// Enqueues an arbitrary task under `group`.
+  void Submit(TaskGroup* group, std::function<void()> fn);
+
+  /// Blocks until every task of `group` has finished. The calling thread
+  /// helps: queued tasks of this group are executed inline, so waiting from
+  /// inside a pool task (nested dispatch) always makes progress.
+  void Wait(TaskGroup* group);
+
+  /// The process-wide default pool (hardware concurrency), created on first
+  /// use and intentionally leaked so worker threads never race static
+  /// destruction.
+  static CtpExecutor& Default();
+
+ private:
+  struct Task {
+    TaskGroup* group;
+    std::function<void()> fn;
+  };
+
+  void WorkerLoop();
+  void FinishTask(TaskGroup* group);  ///< decrement under lock, signal done
+
+  /// Borrows a long-lived SearchMemory from the pool's free list (grown on
+  /// demand — helping caller threads need one too).
+  std::unique_ptr<SearchMemory> AcquireMemory();
+  void ReleaseMemory(std::unique_ptr<SearchMemory> m);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers: queue non-empty / shutdown
+  std::condition_variable done_cv_;  ///< waiters: some group completed
+  std::deque<Task> queue_;
+  std::vector<std::unique_ptr<SearchMemory>> free_memory_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Convenience wrapper: Evaluate on `options.executor`, or on the default
+/// pool when null.
 Result<ParallelCtpOutcome> EvaluateCtpParallel(const Graph& g,
                                                const SeedSets& seeds,
                                                const CtpFilters& filters,

@@ -1,6 +1,7 @@
 #include "eval/engine.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "query/parser.h"
 #include "query/validator.h"
@@ -11,7 +12,14 @@
 namespace eql {
 
 EqlEngine::EqlEngine(const Graph& g, EngineOptions options)
-    : g_(g), options_(options) {}
+    : g_(g), options_(options) {
+  if (options_.executor != nullptr) {
+    executor_ = options_.executor;
+  } else if (options_.num_threads > 1) {
+    owned_executor_ = std::make_unique<CtpExecutor>(options_.num_threads);
+    executor_ = owned_executor_.get();
+  }
+}
 
 Result<QueryResult> EqlEngine::Run(std::string_view query_text) const {
   auto parsed = ParseQuery(query_text);
@@ -59,6 +67,177 @@ Result<CtpFilters> CompileFilters(const Graph& g, const CtpFilterSpec& spec,
 
 }  // namespace
 
+/// Staged output of one CTP evaluation: everything RunParsed needs to stitch
+/// the CTP table into the query. Tree handles are still CTP-local — row i
+/// pairs with trees[i], and the stitch step offsets them into
+/// QueryResult::trees — so stages can be produced concurrently.
+struct EqlEngine::CtpStage {
+  CtpRunInfo run;
+  std::vector<ResultTreeInfo> trees;
+  std::vector<std::vector<uint32_t>> rows;  ///< member bindings, no tree col
+};
+
+Status EqlEngine::EvalOneCtp(const CtpPattern& ctp,
+                             const std::vector<BindingTable>& tables,
+                             CtpStage* stage) const {
+  CtpRunInfo& run = stage->run;
+  run.tree_var = ctp.tree_var;
+
+  std::vector<std::vector<NodeId>> sets;
+  std::vector<bool> universal;
+  for (const Predicate& member : ctp.members) {
+    const BindingTable* source_table = nullptr;
+    for (const BindingTable& t : tables) {
+      if (t.HasColumn(member.var)) {
+        source_table = &t;
+        break;
+      }
+    }
+    if (source_table != nullptr) {
+      // Bound by a BGP: seed set = distinct bindings, narrowed by the
+      // member's own predicate if it has one (Section 3, step B.1).
+      std::vector<NodeId> nodes = source_table->DistinctValues(member.var);
+      if (!member.IsEmpty()) {
+        std::erase_if(nodes, [&](NodeId n) {
+          return !PredicateMatches(g_, member, n, true);
+        });
+      }
+      sets.push_back(std::move(nodes));
+      universal.push_back(false);
+    } else if (!member.IsEmpty()) {
+      sets.push_back(NodesMatchingPredicate(g_, member));
+      universal.push_back(false);
+    } else if (options_.materialize_universal_sets) {
+      // Ablation path: instantiate N explicitly (an Init tree per graph
+      // node) — the blowup Section 4.9 (i) exists to avoid.
+      std::vector<NodeId> all(g_.NumNodes());
+      for (NodeId n = 0; n < g_.NumNodes(); ++n) all[n] = n;
+      sets.push_back(std::move(all));
+      universal.push_back(false);
+    } else {
+      // Unconstrained member: the universal N seed set (Section 4.9).
+      sets.push_back({});
+      universal.push_back(true);
+    }
+  }
+  for (size_t i = 0; i < sets.size(); ++i) {
+    run.seed_set_sizes.push_back(universal[i] ? SIZE_MAX : sets[i].size());
+  }
+
+  auto seeds = SeedSets::Make(g_, std::move(sets), universal);
+  if (!seeds.ok()) {
+    return Status(seeds.status().code(),
+                  "CTP ?" + ctp.tree_var + ": " + seeds.status().message());
+  }
+
+  std::unique_ptr<ScoreFunction> score;
+  auto filters = CompileFilters(g_, ctp.filters, options_, &score);
+  if (!filters.ok()) return filters.status();
+  if (seeds->HasUniversal() && filters->limit == UINT64_MAX &&
+      options_.universal_default_limit > 0) {
+    filters->limit = options_.universal_default_limit;
+  }
+
+  // Dead-label short-circuit: a LABEL clause whose names all miss the
+  // dictionary admits no edge, so unless a single seed node alone satisfies
+  // every required set (a zero-edge result), the CTP table is empty and the
+  // search — Init trees, signatures, merge machinery — can be skipped.
+  if (ctp.filters.labels && !ctp.filters.labels->empty() &&
+      filters->allowed_labels && filters->allowed_labels->empty()) {
+    bool zero_edge_possible = false;
+    for (NodeId n : seeds->AllSeeds()) {
+      if (seeds->Signature(n).Contains(seeds->RequiredMask())) {
+        zero_edge_possible = true;
+        break;
+      }
+    }
+    if (!zero_edge_possible) {
+      run.dead_labels = true;
+      run.stats.complete = true;
+      return Status::Ok();  // stage stays empty -> empty CTP table
+    }
+  }
+
+  // Section 4.9: universal sets or badly skewed sizes -> subset queues.
+  QueueStrategy qs = QueueStrategy::kSingle;
+  if (options_.auto_queue_strategy) {
+    size_t min_size = SIZE_MAX, max_size = 0;
+    for (int i = 0; i < seeds->num_sets(); ++i) {
+      if (seeds->IsUniversal(i)) continue;
+      min_size = std::min(min_size, seeds->SetSize(i));
+      max_size = std::max(max_size, seeds->SetSize(i));
+    }
+    if (seeds->HasUniversal() ||
+        (min_size > 0 && static_cast<double>(max_size) / min_size >=
+                             options_.skew_threshold)) {
+      qs = QueueStrategy::kPerSatSubset;
+    }
+  }
+  run.used_subset_queues = qs == QueueStrategy::kPerSatSubset;
+
+  // Adaptive choice (Property 3): two plain seed sets are fully served by
+  // the cheaper ESP; anything else gets the configured default.
+  AlgorithmKind kind = options_.algorithm;
+  if (options_.adaptive_algorithm && seeds->num_sets() == 2 &&
+      !seeds->HasUniversal() && !filters->unidirectional) {
+    kind = AlgorithmKind::kEsp;
+  }
+  run.algorithm = kind;
+
+  // Worker-pool path: chunk the CTP across the pool (ctp/parallel.h) when
+  // one is configured and some seed set is splittable.
+  bool parallel = executor_ != nullptr && options_.num_threads > 1 &&
+                  IsGamFamily(kind);
+  if (parallel) {
+    bool splittable = false;
+    for (int i = 0; i < seeds->num_sets(); ++i) {
+      if (!seeds->IsUniversal(i) && seeds->SetSize(i) > 0) {
+        splittable = true;
+        break;
+      }
+    }
+    parallel = splittable;
+  }
+  if (parallel) {
+    ParallelCtpOptions popts;
+    popts.num_threads = options_.num_threads;
+    popts.algorithm = kind;
+    popts.queue_strategy = qs;
+    auto outcome = executor_->Evaluate(g_, *seeds, *filters, popts);
+    if (!outcome.ok()) return outcome.status();
+    run.stats = outcome->stats;
+    run.num_results = outcome->results.size();
+    run.parallel_chunks = outcome->threads_used;
+    for (const CtpResult& r : outcome->results) {
+      std::vector<uint32_t> row;
+      row.reserve(ctp.members.size());
+      for (NodeId n : r.seed_of_set) row.push_back(n);
+      stage->rows.push_back(std::move(row));
+      stage->trees.push_back(ResultTreeInfo{
+          outcome->arena.EdgeSet(r.tree), outcome->arena.Get(r.tree).root,
+          r.score});
+    }
+    return Status::Ok();
+  }
+
+  auto algo = CreateCtpAlgorithm(kind, g_, *seeds, std::move(filters).value(),
+                                 nullptr, qs);
+  Status st = algo->Run();
+  if (!st.ok()) return st;
+  run.stats = algo->stats();
+  run.num_results = algo->results().size();
+  for (const CtpResult& r : algo->results().results()) {
+    std::vector<uint32_t> row;
+    row.reserve(ctp.members.size());
+    for (NodeId n : r.seed_of_set) row.push_back(n);
+    stage->rows.push_back(std::move(row));
+    stage->trees.push_back(ResultTreeInfo{algo->arena().EdgeSet(r.tree),
+                                          algo->arena().Get(r.tree).root,
+                                          r.score});
+  }
+  return Status::Ok();
+}
+
 Result<QueryResult> EqlEngine::RunParsed(const Query& q) const {
   Stopwatch total_sw;
   QueryResult out;
@@ -75,98 +254,32 @@ Result<QueryResult> EqlEngine::RunParsed(const Query& q) const {
 
   // ---- Step (B): evaluate every CTP against seed sets derived from (A).
   sw.Restart();
-  for (const CtpPattern& ctp : q.ctps) {
-    CtpRunInfo run;
-    run.tree_var = ctp.tree_var;
 
-    std::vector<std::vector<NodeId>> sets;
-    std::vector<bool> universal;
-    for (const Predicate& member : ctp.members) {
-      const BindingTable* source_table = nullptr;
-      for (const BindingTable& t : tables) {
-        if (t.HasColumn(member.var)) {
-          source_table = &t;
-          break;
+  // A later CTP may seed a member from an earlier CTP's table (a variable
+  // bound by no BGP but shared with an earlier CONNECT). Such dependent
+  // CTPs must run serially in query order with the tables threaded through;
+  // only independent CTPs may be dispatched concurrently onto the pool.
+  bool dependent = false;
+  for (size_t i = 1; i < q.ctps.size() && !dependent; ++i) {
+    for (const Predicate& m : q.ctps[i].members) {
+      bool in_bgp = false;
+      for (const BindingTable& t : tables) in_bgp |= t.HasColumn(m.var);
+      if (in_bgp) continue;
+      for (size_t j = 0; j < i && !dependent; ++j) {
+        if (q.ctps[j].tree_var == m.var) dependent = true;
+        for (const Predicate& pm : q.ctps[j].members) {
+          if (pm.var == m.var) dependent = true;
         }
       }
-      if (source_table != nullptr) {
-        // Bound by a BGP: seed set = distinct bindings, narrowed by the
-        // member's own predicate if it has one (Section 3, step B.1).
-        std::vector<NodeId> nodes = source_table->DistinctValues(member.var);
-        if (!member.IsEmpty()) {
-          std::erase_if(nodes, [&](NodeId n) {
-            return !PredicateMatches(g_, member, n, true);
-          });
-        }
-        sets.push_back(std::move(nodes));
-        universal.push_back(false);
-      } else if (!member.IsEmpty()) {
-        sets.push_back(NodesMatchingPredicate(g_, member));
-        universal.push_back(false);
-      } else if (options_.materialize_universal_sets) {
-        // Ablation path: instantiate N explicitly (an Init tree per graph
-        // node) — the blowup Section 4.9 (i) exists to avoid.
-        std::vector<NodeId> all(g_.NumNodes());
-        for (NodeId n = 0; n < g_.NumNodes(); ++n) all[n] = n;
-        sets.push_back(std::move(all));
-        universal.push_back(false);
-      } else {
-        // Unconstrained member: the universal N seed set (Section 4.9).
-        sets.push_back({});
-        universal.push_back(true);
-      }
     }
-    for (size_t i = 0; i < sets.size(); ++i) {
-      run.seed_set_sizes.push_back(universal[i] ? SIZE_MAX : sets[i].size());
-    }
+  }
 
-    auto seeds = SeedSets::Make(g_, std::move(sets), universal);
-    if (!seeds.ok()) {
-      return Status(seeds.status().code(),
-                    "CTP ?" + ctp.tree_var + ": " + seeds.status().message());
-    }
-
-    std::unique_ptr<ScoreFunction> score;
-    auto filters = CompileFilters(g_, ctp.filters, options_, &score);
-    if (!filters.ok()) return filters.status();
-    if (seeds->HasUniversal() && filters->limit == UINT64_MAX &&
-        options_.universal_default_limit > 0) {
-      filters->limit = options_.universal_default_limit;
-    }
-
-    // Section 4.9: universal sets or badly skewed sizes -> subset queues.
-    QueueStrategy qs = QueueStrategy::kSingle;
-    if (options_.auto_queue_strategy) {
-      size_t min_size = SIZE_MAX, max_size = 0;
-      for (int i = 0; i < seeds->num_sets(); ++i) {
-        if (seeds->IsUniversal(i)) continue;
-        min_size = std::min(min_size, seeds->SetSize(i));
-        max_size = std::max(max_size, seeds->SetSize(i));
-      }
-      if (seeds->HasUniversal() ||
-          (min_size > 0 && static_cast<double>(max_size) / min_size >=
-                               options_.skew_threshold)) {
-        qs = QueueStrategy::kPerSatSubset;
-      }
-    }
-    run.used_subset_queues = qs == QueueStrategy::kPerSatSubset;
-
-    // Adaptive choice (Property 3): two plain seed sets are fully served by
-    // the cheaper ESP; anything else gets the configured default.
-    AlgorithmKind kind = options_.algorithm;
-    if (options_.adaptive_algorithm && seeds->num_sets() == 2 &&
-        !seeds->HasUniversal() && !filters->unidirectional) {
-      kind = AlgorithmKind::kEsp;
-    }
-    run.algorithm = kind;
-    auto algo = CreateCtpAlgorithm(kind, g_, *seeds, std::move(filters).value(),
-                                   nullptr, qs);
-    Status st = algo->Run();
-    if (!st.ok()) return st;
-    run.stats = algo->stats();
-    run.num_results = algo->results().size();
-
-    // Materialize the CTP table: member vars + tree handle.
+  std::vector<CtpStage> stages(q.ctps.size());
+  // Appends stage i's CTP table (member vars + tree handle) to `tables` and
+  // its trees/run info to `out`, offsetting the stage-local tree indexes.
+  auto stitch = [&](size_t i) {
+    CtpStage& stage = stages[i];
+    const CtpPattern& ctp = q.ctps[i];
     std::vector<std::string> cols;
     std::vector<ColKind> kinds;
     for (const Predicate& m : ctp.members) {
@@ -176,17 +289,36 @@ Result<QueryResult> EqlEngine::RunParsed(const Query& q) const {
     cols.push_back(ctp.tree_var);
     kinds.push_back(ColKind::kTree);
     BindingTable ctp_table(std::move(cols), std::move(kinds));
-    for (const CtpResult& r : algo->results().results()) {
-      std::vector<uint32_t> row;
-      row.reserve(ctp.members.size() + 1);
-      for (NodeId n : r.seed_of_set) row.push_back(n);
-      row.push_back(static_cast<uint32_t>(out.trees.size()));
-      out.trees.push_back(ResultTreeInfo{algo->arena().EdgeSet(r.tree),
-                                         algo->arena().Get(r.tree).root, r.score});
+    const uint32_t tree_offset = static_cast<uint32_t>(out.trees.size());
+    for (size_t r = 0; r < stage.rows.size(); ++r) {
+      std::vector<uint32_t> row = std::move(stage.rows[r]);
+      row.push_back(tree_offset + static_cast<uint32_t>(r));
       ctp_table.AddRow(std::move(row));
     }
+    for (ResultTreeInfo& t : stage.trees) out.trees.push_back(std::move(t));
     tables.push_back(std::move(ctp_table));
-    out.ctp_runs.push_back(std::move(run));
+    out.ctp_runs.push_back(std::move(stage.run));
+  };
+
+  if (!dependent && executor_ != nullptr && q.ctps.size() > 1) {
+    std::vector<Status> stage_status(q.ctps.size());
+    CtpExecutor::TaskGroup group;
+    for (size_t i = 0; i < q.ctps.size(); ++i) {
+      executor_->Submit(&group, [this, &q, &tables, &stages, &stage_status, i] {
+        stage_status[i] = EvalOneCtp(q.ctps[i], tables, &stages[i]);
+      });
+    }
+    executor_->Wait(&group);
+    for (size_t i = 0; i < q.ctps.size(); ++i) {
+      if (!stage_status[i].ok()) return stage_status[i];
+      stitch(i);
+    }
+  } else {
+    for (size_t i = 0; i < q.ctps.size(); ++i) {
+      Status st = EvalOneCtp(q.ctps[i], tables, &stages[i]);
+      if (!st.ok()) return st;
+      stitch(i);  // before the next CTP: it may seed from this table
+    }
   }
   out.ctp_ms = sw.ElapsedMs();
 
@@ -224,6 +356,26 @@ Result<QueryResult> EqlEngine::RunParsed(const Query& q) const {
   out.table = std::move(projected).value();
   out.join_ms = sw.ElapsedMs();
   out.total_ms = total_sw.ElapsedMs();
+  return out;
+}
+
+std::vector<Result<QueryResult>> EqlEngine::RunBatch(
+    std::span<const std::string_view> queries) const {
+  std::vector<std::optional<Result<QueryResult>>> staged(queries.size());
+  if (executor_ == nullptr || queries.size() <= 1) {
+    for (size_t i = 0; i < queries.size(); ++i) staged[i].emplace(Run(queries[i]));
+  } else {
+    CtpExecutor::TaskGroup group;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      executor_->Submit(&group, [this, &staged, &queries, i] {
+        staged[i].emplace(Run(queries[i]));
+      });
+    }
+    executor_->Wait(&group);
+  }
+  std::vector<Result<QueryResult>> out;
+  out.reserve(staged.size());
+  for (auto& s : staged) out.push_back(std::move(*s));
   return out;
 }
 

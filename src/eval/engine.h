@@ -15,11 +15,13 @@
 #define EQL_EVAL_ENGINE_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "ctp/algorithm.h"
+#include "ctp/parallel.h"
 #include "graph/graph.h"
 #include "query/ast.h"
 #include "storage/binding_table.h"
@@ -49,6 +51,15 @@ struct EngineOptions {
   /// seed sets instead of applying Section 4.9 (i). Exists to demonstrate
   /// why the optimization matters (Table 1); never enable in production.
   bool materialize_universal_sets = false;
+  /// CTP parallelism: the number of seed-set chunks each CTP is split into
+  /// and dispatched onto the worker pool (ctp/parallel.h). 0 or 1 =
+  /// sequential, in-process evaluation. Parallel CTP results are emitted in
+  /// the executor's deterministic total order, not search order.
+  unsigned num_threads = 0;
+  /// Pool to run on (not owned). nullptr with num_threads > 1 makes the
+  /// engine build a private pool with num_threads workers; pass a shared
+  /// pool to amortize workers (and their arenas) across engines.
+  CtpExecutor* executor = nullptr;
 };
 
 /// One materialized connecting tree in a query result.
@@ -66,6 +77,11 @@ struct CtpRunInfo {
   bool used_subset_queues = false;
   AlgorithmKind algorithm = AlgorithmKind::kMoLesp;  ///< what actually ran
   std::vector<size_t> seed_set_sizes;  ///< SIZE_MAX marks a universal set
+  unsigned parallel_chunks = 0;  ///< seed-set chunks used; 0 = sequential
+  /// The LABEL filter named only labels absent from the dictionary and no
+  /// zero-edge result was possible: the search was short-circuited to an
+  /// empty table (no edge can match a dead label set).
+  bool dead_labels = false;
 };
 
 /// The outcome of one query: a head-projected table plus the tree registry
@@ -84,8 +100,9 @@ struct QueryResult {
   std::string RowToString(const Graph& g, size_t r) const;
 };
 
-/// Facade: construct once per graph, Run queries repeatedly (const,
-/// thread-compatible: no mutable state).
+/// Facade: construct once per graph, Run queries repeatedly (const and
+/// thread-safe: per-query state is local; the worker pool is internally
+/// synchronized).
 class EqlEngine {
  public:
   explicit EqlEngine(const Graph& g, EngineOptions options = {});
@@ -93,14 +110,33 @@ class EqlEngine {
   /// Parses + validates + executes.
   Result<QueryResult> Run(std::string_view query_text) const;
 
-  /// Executes an already-validated query.
+  /// Executes an already-validated query. With a worker pool configured
+  /// (EngineOptions::num_threads/executor), step (B) dispatches every CTP of
+  /// the query onto the pool: the CTPs of one query run concurrently, and
+  /// each GAM-family CTP is additionally chunk-parallel (ctp/parallel.h).
   Result<QueryResult> RunParsed(const Query& q) const;
 
+  /// Executes many queries, amortizing the worker pool — and its per-worker
+  /// arenas/scratch — across the batch: each query runs as one pool task
+  /// (whose CTPs then fan out onto the same pool). Falls back to a serial
+  /// loop when the engine has no pool. results[i] corresponds to queries[i].
+  std::vector<Result<QueryResult>> RunBatch(
+      std::span<const std::string_view> queries) const;
+
   const EngineOptions& options() const { return options_; }
+  /// The pool CTPs run on; nullptr when evaluation is sequential.
+  CtpExecutor* executor() const { return executor_; }
 
  private:
+  struct CtpStage;
+  Status EvalOneCtp(const CtpPattern& ctp,
+                    const std::vector<BindingTable>& tables,
+                    CtpStage* stage) const;
+
   const Graph& g_;
   EngineOptions options_;
+  std::unique_ptr<CtpExecutor> owned_executor_;
+  CtpExecutor* executor_ = nullptr;
 };
 
 }  // namespace eql

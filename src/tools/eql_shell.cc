@@ -8,20 +8,33 @@
 //   -q QUERY          run this query (repeatable); otherwise read stdin
 //   --algorithm NAME  bft|bft_m|bft_am|gam|esp|moesp|lesp|molesp (default molesp)
 //   --adaptive        pick ESP automatically for plain m=2 CTPs (Property 3)
+//   --parallel N      evaluate CTPs on a worker pool, split N ways (0 = off)
 //   --timeout MS      default per-CTP timeout (default 60000)
 //   --max-rows N      print at most N result rows per query (default 20)
 //   --stats           print per-CTP search statistics
 //   --demo            load the paper's Figure 1 graph instead of a file
 //
+// Interactive / piped mode additionally understands dot-commands on their
+// own line:
+//   .parallel N       switch CTP parallelism to N chunks (0 = sequential)
+//   .batch FILE       run the ';'-separated queries in FILE as one batch
+//                     through EqlEngine::RunBatch (amortizes the pool)
+//
 // The graph file format is the tab-separated triple format of
 // src/graph/graph_io.h ("src<TAB>label<TAB>dst", plus @type/@literal lines).
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "util/stopwatch.h"
 
 #include "eval/engine.h"
 #include "graph/graph_io.h"
@@ -69,7 +82,8 @@ Graph MakeDemoGraph() {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s GRAPH.tsv|--demo [--algorithm NAME] [--adaptive]\n"
-               "       [--timeout MS] [--max-rows N] [--stats] [-q QUERY]...\n",
+               "       [--parallel N] [--timeout MS] [--max-rows N] [--stats]\n"
+               "       [-q QUERY]...\n",
                argv0);
   return 2;
 }
@@ -102,6 +116,15 @@ bool ParseArgs(int argc, char** argv, ShellArgs* args) {
         return false;
       }
       args->options.algorithm = *kind;
+    } else if (a == "--parallel") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      long n = std::atol(v);
+      if (n < 0 || n > 256) {
+        std::fprintf(stderr, "--parallel must be in [0, 256]\n");
+        return false;
+      }
+      args->options.num_threads = static_cast<unsigned>(n);
     } else if (a == "--timeout") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -126,6 +149,15 @@ bool ParseArgs(int argc, char** argv, ShellArgs* args) {
   return args->demo || !args->graph_path.empty();
 }
 
+void PrintRows(const Graph& g, const ShellArgs& args, const QueryResult& r) {
+  for (size_t row = 0; row < r.table.NumRows() && row < args.max_rows; ++row) {
+    std::printf("  %s\n", r.RowToString(g, row).c_str());
+  }
+  if (r.table.NumRows() > args.max_rows) {
+    std::printf("  ... (%zu more)\n", r.table.NumRows() - args.max_rows);
+  }
+}
+
 void RunQuery(const EqlEngine& engine, const Graph& g, const ShellArgs& args,
               const std::string& query) {
   auto r = engine.Run(query);
@@ -135,20 +167,66 @@ void RunQuery(const EqlEngine& engine, const Graph& g, const ShellArgs& args,
   }
   std::printf("%zu row(s) in %.1f ms (BGP %.1f | CTP %.1f | join %.1f)\n",
               r->table.NumRows(), r->total_ms, r->bgp_ms, r->ctp_ms, r->join_ms);
-  for (size_t row = 0; row < r->table.NumRows() && row < args.max_rows; ++row) {
-    std::printf("  %s\n", r->RowToString(g, row).c_str());
-  }
-  if (r->table.NumRows() > args.max_rows) {
-    std::printf("  ... (%zu more)\n", r->table.NumRows() - args.max_rows);
-  }
+  PrintRows(g, args, *r);
   if (args.stats) {
     for (const auto& run : r->ctp_runs) {
+      std::string mode;
+      if (run.used_subset_queues) mode += ", subset-queues";
+      if (run.parallel_chunks > 0) {
+        mode += ", " + std::to_string(run.parallel_chunks) + " chunks";
+      }
+      if (run.dead_labels) mode += ", dead-labels";
       std::printf("  [?%s via %s%s] %s\n", run.tree_var.c_str(),
-                  AlgorithmName(run.algorithm),
-                  run.used_subset_queues ? ", subset-queues" : "",
+                  AlgorithmName(run.algorithm), mode.c_str(),
                   run.stats.ToString().c_str());
     }
   }
+}
+
+/// Splits `text` into ';'-separated, trimmed, non-empty queries.
+std::vector<std::string> SplitQueries(const std::string& text) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t semi = text.find(';', pos);
+    if (semi == std::string::npos) semi = text.size();
+    std::string q(Trim(std::string_view(text).substr(pos, semi - pos)));
+    if (!q.empty()) out.push_back(std::move(q));
+    pos = semi + 1;
+  }
+  return out;
+}
+
+void RunBatchFile(const EqlEngine& engine, const Graph& g, const ShellArgs& args,
+                  const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::printf("error: cannot open '%s'\n", path.c_str());
+    return;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::vector<std::string> queries = SplitQueries(ss.str());
+  if (queries.empty()) {
+    std::printf("no queries in '%s'\n", path.c_str());
+    return;
+  }
+  std::vector<std::string_view> views(queries.begin(), queries.end());
+  Stopwatch sw;
+  auto results = engine.RunBatch(views);
+  double total_ms = sw.ElapsedMs();
+  for (size_t i = 0; i < results.size(); ++i) {
+    std::printf("\n> %s\n", queries[i].c_str());
+    if (!results[i].ok()) {
+      std::printf("error: %s\n", results[i].status().ToString().c_str());
+      continue;
+    }
+    const QueryResult& r = *results[i];
+    std::printf("%zu row(s) in %.1f ms\n", r.table.NumRows(), r.total_ms);
+    PrintRows(g, args, r);
+  }
+  std::printf("\nbatch: %zu queries in %.1f ms (pool: %s)\n", queries.size(),
+              total_ms, engine.executor() != nullptr ? "yes" : "no");
 }
 
 int Main(int argc, char** argv) {
@@ -170,20 +248,56 @@ int Main(int argc, char** argv) {
     std::printf("loaded %s: %zu nodes, %zu edges\n", args.graph_path.c_str(),
                 graph.NumNodes(), graph.NumEdges());
   }
-  EqlEngine engine(graph, args.options);
+  auto engine = std::make_unique<EqlEngine>(graph, args.options);
 
   if (!args.queries.empty()) {
     for (const std::string& q : args.queries) {
       std::printf("\n> %s\n", q.c_str());
-      RunQuery(engine, graph, args, q);
+      RunQuery(*engine, graph, args, q);
     }
     return 0;
   }
 
-  // Interactive / piped mode: statements separated by ';'.
-  std::printf("enter queries terminated by ';' (Ctrl-D to quit)\n");
+  // Interactive / piped mode: statements separated by ';', dot-commands on
+  // their own line.
+  std::printf(
+      "enter queries terminated by ';' (.parallel N | .batch FILE | Ctrl-D)\n");
   std::string buffer, line;
   while (std::getline(std::cin, line)) {
+    std::string trimmed(Trim(line));
+    // Dot-commands are ".word ..." — a lone '.' is query text (the triple
+    // terminator may sit on its own line).
+    if (trimmed.size() >= 2 && trimmed[0] == '.' &&
+        std::isalpha(static_cast<unsigned char>(trimmed[1]))) {
+      std::istringstream cmd(trimmed);
+      std::string name, arg;
+      cmd >> name >> arg;
+      if (name == ".parallel") {
+        long n = std::atol(arg.c_str());
+        if (n < 0 || n > 256) {
+          std::printf(".parallel expects a chunk count in [0, 256]\n");
+          continue;
+        }
+        args.options.num_threads = static_cast<unsigned>(n);
+        engine = std::make_unique<EqlEngine>(graph, args.options);
+        if (args.options.num_threads > 1) {
+          std::printf("parallel: %u chunks on a %u-worker pool\n",
+                      args.options.num_threads, args.options.num_threads);
+        } else {
+          std::printf("parallel: off (sequential CTP evaluation)\n");
+        }
+      } else if (name == ".batch") {
+        if (arg.empty()) {
+          std::printf(".batch needs a file name\n");
+        } else {
+          RunBatchFile(*engine, graph, args, arg);
+        }
+      } else {
+        std::printf("unknown command '%s' (try .parallel N or .batch FILE)\n",
+                    name.c_str());
+      }
+      continue;
+    }
     buffer += line;
     buffer += '\n';
     size_t semi;
@@ -191,7 +305,7 @@ int Main(int argc, char** argv) {
       std::string q(Trim(std::string_view(buffer).substr(0, semi)));
       buffer.erase(0, semi + 1);
       if (q.empty()) continue;
-      RunQuery(engine, graph, args, q);
+      RunQuery(*engine, graph, args, q);
     }
   }
   return 0;

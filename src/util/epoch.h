@@ -50,6 +50,92 @@ class EpochSet {
   uint32_t epoch_ = 1;
 };
 
+/// A value array over dense uint32 ids with O(1) clear: a slot reads as a
+/// default-constructed T after Clear() until written again through Mut().
+/// Used for per-node state that must survive across searches without an
+/// O(graph) wipe per run (e.g. the LESP seed signatures ss_n).
+template <typename T>
+class EpochArray {
+ public:
+  void Reserve(size_t n) {
+    if (stamp_.size() < n) {
+      stamp_.resize(n, 0);
+      slot_.resize(n);
+    }
+  }
+
+  void Clear() {
+    if (++epoch_ == 0) {
+      std::fill(stamp_.begin(), stamp_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+
+  /// The slot's value, or T{} if it was not written since the last Clear().
+  T Get(uint32_t id) const {
+    return (id < stamp_.size() && stamp_[id] == epoch_) ? slot_[id] : T{};
+  }
+
+  /// Mutable access; resets the slot to T{} first if it is stale.
+  T& Mut(uint32_t id) {
+    if (id >= stamp_.size()) {
+      size_t n = std::max<size_t>(id + 1, stamp_.size() * 2);
+      stamp_.resize(n, 0);
+      slot_.resize(n);
+    }
+    if (stamp_[id] != epoch_) {
+      slot_[id] = T{};
+      stamp_[id] = epoch_;
+    }
+    return slot_[id];
+  }
+
+ private:
+  std::vector<T> slot_;
+  std::vector<uint32_t> stamp_;
+  uint32_t epoch_ = 1;
+};
+
+/// Per-id growable uint32 lists with O(1) logical clear: a bucket is lazily
+/// emptied on first access after Clear(), and the inner vectors keep their
+/// capacity, so steady-state reuse (the worker pool's recordForMerging index)
+/// allocates nothing.
+class EpochBuckets {
+ public:
+  void Reserve(size_t n) {
+    if (stamp_.size() < n) {
+      stamp_.resize(n, 0);
+      buckets_.resize(n);
+    }
+  }
+
+  void Clear() {
+    if (++epoch_ == 0) {
+      std::fill(stamp_.begin(), stamp_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+
+  /// The bucket for `id`, emptied first if it predates the last Clear().
+  std::vector<uint32_t>& Mut(uint32_t id) {
+    if (id >= stamp_.size()) {
+      size_t n = std::max<size_t>(id + 1, stamp_.size() * 2);
+      stamp_.resize(n, 0);
+      buckets_.resize(n);
+    }
+    if (stamp_[id] != epoch_) {
+      buckets_[id].clear();
+      stamp_[id] = epoch_;
+    }
+    return buckets_[id];
+  }
+
+ private:
+  std::vector<std::vector<uint32_t>> buckets_;
+  std::vector<uint32_t> stamp_;
+  uint32_t epoch_ = 1;
+};
+
 /// A counter array over dense uint32 ids with O(1) clear; reads of slots not
 /// touched since the last Clear() return 0.
 class EpochCounter {

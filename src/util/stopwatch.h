@@ -47,6 +47,17 @@ class Deadline {
   }
   bool IsInfinite() const { return expires_ == Clock::time_point::max(); }
 
+  /// Milliseconds until expiry, clamped at 0; INT64_MAX when infinite. Lets
+  /// work items started late against a shared deadline (the parallel
+  /// executor's chunks) run with the *remaining* budget only.
+  int64_t RemainingMs() const {
+    if (IsInfinite()) return std::numeric_limits<int64_t>::max();
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    expires_ - Clock::now())
+                    .count();
+    return left < 0 ? 0 : left;
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point expires_;

@@ -1,0 +1,362 @@
+// Scheduling-determinism tests for the worker-pool CTP executor and its
+// engine wiring: results must be byte-identical across chunk counts and pool
+// sizes (the merge sorts the union with a total order before TOP-k/LIMIT),
+// match the sequential engine as sets, respect one shared TIMEOUT budget
+// across queued chunks, bound per-chunk work under LIMIT push-down, and
+// short-circuit dead LABEL filters.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ctp/parallel.h"
+#include "eval/engine.h"
+#include "gen/kg.h"
+#include "test_util.h"
+#include "util/stopwatch.h"
+
+namespace eql {
+namespace {
+
+/// Everything observable about a parallel outcome's ordered results.
+struct ParSnap {
+  std::vector<std::vector<EdgeId>> edges;
+  std::vector<double> scores;
+  std::vector<std::vector<NodeId>> seeds;
+  bool operator==(const ParSnap&) const = default;
+};
+
+ParSnap Snap(const ParallelCtpOutcome& out) {
+  ParSnap s;
+  for (const CtpResult& r : out.results) {
+    s.edges.push_back(out.arena.EdgeSet(r.tree));
+    s.scores.push_back(r.score);
+    s.seeds.push_back(r.seed_of_set);
+  }
+  return s;
+}
+
+CanonicalResults CanonicalOf(const ParallelCtpOutcome& out) {
+  CanonicalResults res;
+  for (const CtpResult& r : out.results) res.insert(out.arena.EdgeSet(r.tree));
+  return res;
+}
+
+Result<ParallelCtpOutcome> RunPar(const Graph& g, const SeedSets& seeds,
+                                  const CtpFilters& f, unsigned chunks,
+                                  CtpExecutor* pool) {
+  ParallelCtpOptions opts;
+  opts.num_threads = chunks;
+  opts.executor = pool;
+  return EvaluateCtpParallel(g, seeds, f, opts);
+}
+
+TEST(ParallelDeterminismTest, IdenticalAcrossChunkCountsAndPoolSizes) {
+  CtpExecutor pool1(1);
+  CtpExecutor pool3(3);
+  for (int seed = 0; seed < 6; ++seed) {
+    Rng rng(1200 + seed);
+    Graph g = MakeRandomGraph(12, 18, &rng);
+    auto sets = PickSeedSets(g, 3, 3, &rng);
+    auto seeds = SeedSets::Of(g, sets);
+    ASSERT_TRUE(seeds.ok());
+
+    CtpFilters uni;
+    uni.unidirectional = true;
+    CtpFilters max3;
+    max3.max_edges = 3;
+    const CtpFilters configs[] = {CtpFilters{}, uni, max3};
+    for (const CtpFilters& f : configs) {
+      auto reference = RunPar(g, *seeds, f, 1, &pool1);
+      ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+      const ParSnap want = Snap(*reference);
+      for (unsigned chunks : {1u, 2u, 4u}) {
+        for (CtpExecutor* pool : {&pool1, &pool3}) {
+          auto out = RunPar(g, *seeds, f, chunks, pool);
+          ASSERT_TRUE(out.ok()) << out.status().ToString();
+          EXPECT_EQ(Snap(*out), want)
+              << "seed=" << seed << " chunks=" << chunks
+              << " workers=" << pool->num_workers();
+        }
+      }
+      // Sets (not order) must equal the sequential algorithm's.
+      auto sequential = RunAlgo(AlgorithmKind::kMoLesp, g, sets, f);
+      EXPECT_EQ(CanonicalOf(*reference), Canonical(sequential->results()))
+          << "seed=" << seed;
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, LabelFilterIdenticalAcrossChunkCounts) {
+  Graph g = MakeFigure1Graph();
+  std::vector<std::vector<NodeId>> sets = {
+      {g.FindNode("Bob"), g.FindNode("Carole"), g.FindNode("Alice")},
+      {g.FindNode("Elon")}};
+  auto seeds = SeedSets::Of(g, sets);
+  ASSERT_TRUE(seeds.ok());
+  CtpFilters f;
+  f.allowed_labels = std::vector<StrId>{g.dict().Lookup("citizenOf"),
+                                        g.dict().Lookup("parentOf"),
+                                        g.dict().Lookup("founded")};
+  f.NormalizeLabels();
+  CtpExecutor pool(3);
+  auto reference = RunPar(g, *seeds, f, 1, &pool);
+  ASSERT_TRUE(reference.ok());
+  for (unsigned chunks : {2u, 3u}) {
+    auto out = RunPar(g, *seeds, f, chunks, &pool);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(Snap(*out), Snap(*reference)) << "chunks=" << chunks;
+  }
+  EXPECT_EQ(CanonicalOf(*reference),
+            Canonical(RunAlgo(AlgorithmKind::kMoLesp, g, sets, f)->results()));
+}
+
+TEST(ParallelDeterminismTest, TopKTieBreaksDeterministic) {
+  Graph g = MakeFigure1Graph();
+  std::vector<std::vector<NodeId>> sets = {
+      {g.FindNode("Bob"), g.FindNode("Carole"), g.FindNode("Alice"),
+       g.FindNode("Doug")},
+      {g.FindNode("Elon")}};
+  auto seeds = SeedSets::Of(g, sets);
+  ASSERT_TRUE(seeds.ok());
+  EdgeCountScore score;
+  CtpFilters f;
+  f.score = &score;
+  f.top_k = 4;  // many 3-edge results tie at the cut — the total order decides
+  CtpExecutor pool1(1);
+  CtpExecutor pool4(4);
+  auto reference = RunPar(g, *seeds, f, 1, &pool1);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_EQ(reference->results.size(), 4u);
+  for (unsigned chunks : {1u, 2u, 4u}) {
+    for (CtpExecutor* pool : {&pool1, &pool4}) {
+      auto out = RunPar(g, *seeds, f, chunks, pool);
+      ASSERT_TRUE(out.ok());
+      EXPECT_EQ(Snap(*out), Snap(*reference))
+          << "chunks=" << chunks << " workers=" << pool->num_workers();
+    }
+  }
+  // The kept scores must match the sequential TOP-k exactly.
+  auto sequential = RunAlgo(AlgorithmKind::kMoLesp, g, sets, f);
+  std::multiset<double> par_scores, seq_scores;
+  for (const CtpResult& r : reference->results) par_scores.insert(r.score);
+  for (const CtpResult& r : sequential->results().results()) {
+    seq_scores.insert(r.score);
+  }
+  EXPECT_EQ(par_scores, seq_scores);
+}
+
+TEST(ParallelDeterminismTest, LimitPushdownBoundsChunkWork) {
+  KgParams p;
+  p.num_nodes = 2000;
+  p.num_edges = 7000;
+  auto g = MakeSyntheticKg(p);
+  ASSERT_TRUE(g.ok());
+  std::vector<std::vector<NodeId>> sets = {{}, {1}};
+  for (NodeId n = 100; n < 140; ++n) sets[0].push_back(n);
+  auto seeds = SeedSets::Of(*g, sets);
+  ASSERT_TRUE(seeds.ok());
+  CtpExecutor pool(2);
+
+  CtpFilters unbounded;
+  unbounded.max_edges = 3;
+  auto full = RunPar(*g, *seeds, unbounded, 4, &pool);
+  ASSERT_TRUE(full.ok());
+  const CanonicalResults all = CanonicalOf(*full);
+  ASSERT_GT(all.size(), 7u);
+
+  CtpFilters limited = unbounded;
+  limited.limit = 7;
+  auto out = RunPar(*g, *seeds, limited, 4, &pool);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->results.size(), 7u);
+  // Push-down: no chunk kept searching past the global LIMIT...
+  for (const SearchStats& s : out->chunk_stats) {
+    EXPECT_LE(s.results_found, 7u);
+  }
+  // ... so the limited run did strictly less work than the full one.
+  EXPECT_LT(out->stats.trees_built, full->stats.trees_built);
+  // And every returned result is a genuine full-CTP result.
+  for (const auto& es : CanonicalOf(*out)) {
+    EXPECT_TRUE(all.count(es)) << "limited run produced a non-result";
+  }
+}
+
+TEST(ParallelDeterminismTest, SharedDeadlineAcrossQueuedChunks) {
+  KgParams p;
+  p.num_nodes = 2000;
+  p.num_edges = 7000;
+  auto g = MakeSyntheticKg(p);
+  ASSERT_TRUE(g.ok());
+  // Unbounded MoLESP over 32 seeds: will not finish in 150 ms.
+  std::vector<std::vector<NodeId>> sets = {{}, {1}};
+  for (NodeId n = 100; n < 132; ++n) sets[0].push_back(n);
+  auto seeds = SeedSets::Of(*g, sets);
+  ASSERT_TRUE(seeds.ok());
+  CtpFilters f;
+  f.timeout_ms = 150;
+  CtpExecutor pool(2);  // 8 chunks on 2 workers: 4 queued waves
+  ParallelCtpOptions opts;
+  opts.num_threads = 8;
+  opts.executor = &pool;
+  Stopwatch sw;
+  auto out = EvaluateCtpParallel(*g, *seeds, f, opts);
+  const double wall_ms = sw.ElapsedMs();
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->stats.timed_out);
+  EXPECT_FALSE(out->stats.complete);
+  // The budget is shared: queued chunks get the *remaining* time, so the
+  // wall clock stays near one TIMEOUT, not chunks/workers many (the old
+  // behavior: >= 4 waves x 150 ms = 600 ms).
+  EXPECT_LT(wall_ms, 450.0);
+}
+
+// ---- engine wiring ---------------------------------------------------------
+
+std::multiset<std::string> RowStrings(const Graph& g, const QueryResult& r) {
+  std::multiset<std::string> rows;
+  for (size_t i = 0; i < r.table.NumRows(); ++i) rows.insert(r.RowToString(g, i));
+  return rows;
+}
+
+TEST(ParallelDeterminismTest, EngineParallelMatchesSequential) {
+  Graph g = MakeFigure1Graph();
+  const std::vector<std::string> queries = {
+      "SELECT ?x ?y ?w WHERE {\n"
+      "  ?x \"citizenOf\" \"USA\" .\n"
+      "  ?y \"citizenOf\" \"France\" .\n"
+      "  CONNECT(?x, ?y -> ?w) MAX 3\n"
+      "}",
+      "SELECT ?w WHERE { CONNECT(\"Bob\", \"Carole\" -> ?w) }",
+  };
+  EqlEngine sequential(g);
+  EngineOptions par2_opts;
+  par2_opts.num_threads = 2;
+  EqlEngine par2(g, par2_opts);
+  EngineOptions par4_opts;
+  par4_opts.num_threads = 4;
+  EqlEngine par4(g, par4_opts);
+  for (const std::string& q : queries) {
+    auto rs = sequential.Run(q);
+    auto r2 = par2.Run(q);
+    auto r4 = par4.Run(q);
+    ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+    ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+    ASSERT_TRUE(r4.ok()) << r4.status().ToString();
+    ASSERT_EQ(r2->ctp_runs.size(), 1u);
+    EXPECT_GT(r2->ctp_runs[0].parallel_chunks, 0u) << q;
+    // Row multisets agree with the sequential engine; the two parallel
+    // engines agree exactly (scores included via RowToString's tree edges).
+    EXPECT_EQ(RowStrings(g, *r2), RowStrings(g, *rs)) << q;
+    EXPECT_EQ(RowStrings(g, *r4), RowStrings(g, *r2)) << q;
+  }
+
+  // TOP-k with tied scores: sequential keeps the first k in search order,
+  // the executor keeps k by its total order — different tied members are
+  // legitimate, but the parallel engines must agree with each other exactly
+  // and keep the same k best scores as the sequential engine.
+  const std::string top_q =
+      "SELECT ?x ?w WHERE {\n"
+      "  ?x \"citizenOf\" \"USA\" .\n"
+      "  CONNECT(?x, \"Elon\" -> ?w) SCORE edge_count TOP 3\n"
+      "}";
+  auto rs = sequential.Run(top_q);
+  auto r2 = par2.Run(top_q);
+  auto r4 = par4.Run(top_q);
+  ASSERT_TRUE(rs.ok() && r2.ok() && r4.ok());
+  EXPECT_EQ(RowStrings(g, *r4), RowStrings(g, *r2));
+  auto scores = [](const QueryResult& r) {
+    std::multiset<double> s;
+    for (const ResultTreeInfo& t : r.trees) s.insert(t.score);
+    return s;
+  };
+  EXPECT_EQ(scores(*r2), scores(*rs));
+  EXPECT_EQ(r2->table.NumRows(), rs->table.NumRows());
+}
+
+TEST(ParallelDeterminismTest, DependentCtpsSeedFromEarlierCtpTable) {
+  // ?m is bound by no BGP: CTP 1 binds it (universal member -> roots), and
+  // CTP 2 must seed from CTP 1's table, not fall back to a universal set —
+  // dependent CTPs run serially with tables threaded through even when a
+  // pool is configured.
+  Graph g = MakeFigure1Graph();
+  const std::string q =
+      "SELECT ?m ?w1 ?w2 WHERE {\n"
+      "  CONNECT(\"Bob\", ?m -> ?w1) MAX 2\n"
+      "  CONNECT(?m, \"Elon\" -> ?w2) MAX 3\n"
+      "}";
+  EqlEngine sequential(g);
+  EngineOptions par_opts;
+  par_opts.num_threads = 2;
+  EqlEngine parallel(g, par_opts);
+  auto rs = sequential.Run(q);
+  auto rp = parallel.Run(q);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_TRUE(rp.ok()) << rp.status().ToString();
+  ASSERT_EQ(rs->ctp_runs.size(), 2u);
+  // CTP 2's first member must be a concrete seed set (CTP 1's ?m bindings).
+  EXPECT_NE(rs->ctp_runs[1].seed_set_sizes[0], SIZE_MAX);
+  EXPECT_NE(rp->ctp_runs[1].seed_set_sizes[0], SIZE_MAX);
+  EXPECT_GT(rs->table.NumRows(), 0u);
+  EXPECT_EQ(RowStrings(g, *rp), RowStrings(g, *rs));
+}
+
+TEST(ParallelDeterminismTest, RunBatchMatchesIndividualRuns) {
+  Graph g = MakeFigure1Graph();
+  const std::vector<std::string> queries = {
+      "SELECT ?w WHERE { CONNECT(\"Bob\", \"Elon\" -> ?w) MAX 4 }",
+      "SELECT ?w WHERE { CONNECT(\"Alice\", \"Doug\" -> ?w) MAX 4 }",
+      "SELECT ?w WHERE { CONNECT(\"Carole\", \"Falcon\" -> ?w) MAX 4 }",
+      "SELECT ?w WHERE { syntax error }",
+  };
+  EngineOptions opts;
+  opts.num_threads = 2;
+  EqlEngine engine(g, opts);
+  std::vector<std::string_view> views(queries.begin(), queries.end());
+  auto batch = engine.RunBatch(views);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto single = engine.Run(queries[i]);
+    ASSERT_EQ(batch[i].ok(), single.ok()) << queries[i];
+    if (!single.ok()) continue;
+    EXPECT_EQ(RowStrings(g, *batch[i]), RowStrings(g, *single)) << queries[i];
+  }
+  EXPECT_FALSE(batch.back().ok());
+}
+
+TEST(ParallelDeterminismTest, DeadLabelFilterShortCircuits) {
+  Graph g = MakeFigure1Graph();
+  EqlEngine engine(g);
+  auto r = engine.Run(
+      "SELECT ?w WHERE { CONNECT(\"Bob\", \"Elon\" -> ?w) "
+      "LABEL {\"noSuchLabel\"} }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->table.NumRows(), 0u);
+  ASSERT_EQ(r->ctp_runs.size(), 1u);
+  EXPECT_TRUE(r->ctp_runs[0].dead_labels);
+  EXPECT_EQ(r->ctp_runs[0].stats.trees_built, 0u) << "search must not run";
+  EXPECT_TRUE(r->ctp_runs[0].stats.complete);
+
+  // Control: known labels keep the search alive (and dead_labels off);
+  // Bob -parentOf-> Alice -citizenOf-> France <-citizenOf- Elon connects.
+  auto alive = engine.Run(
+      "SELECT ?w WHERE { CONNECT(\"Bob\", \"Elon\" -> ?w) "
+      "LABEL {\"noSuchLabel\", \"parentOf\", \"citizenOf\"} }");
+  ASSERT_TRUE(alive.ok());
+  EXPECT_FALSE(alive->ctp_runs[0].dead_labels);
+  EXPECT_GT(alive->table.NumRows(), 0u);
+
+  // A zero-edge result is still possible when one node covers every member
+  // set; the short-circuit must not fire then.
+  auto zero_edge = engine.Run(
+      "SELECT ?w WHERE { CONNECT(\"Bob\", \"Bob\" -> ?w) "
+      "LABEL {\"noSuchLabel\"} }");
+  ASSERT_TRUE(zero_edge.ok()) << zero_edge.status().ToString();
+  EXPECT_FALSE(zero_edge->ctp_runs[0].dead_labels);
+  EXPECT_EQ(zero_edge->table.NumRows(), 1u) << "the empty tree connects Bob to Bob";
+}
+
+}  // namespace
+}  // namespace eql

@@ -1,6 +1,8 @@
-// Tests for multi-threaded CTP evaluation (seed-split parallelism): exact
+// Tests for worker-pool CTP evaluation (seed-split chunking): exact
 // equivalence with the sequential algorithms on randomized inputs, the
-// Def 2.8 (ii) post-filter, global TOP-k/LIMIT, and option validation.
+// Def 2.8 (ii) chunk exclusion, global TOP-k/LIMIT, pool reuse, and option
+// validation. Scheduling determinism is covered by
+// parallel_determinism_test.cc.
 #include <gtest/gtest.h>
 
 #include <set>
@@ -37,9 +39,11 @@ TEST(ParallelTest, MatchesSequentialOnRandomGraphs) {
   }
 }
 
-TEST(ParallelTest, PostFilterDropsSecondSplitSeed) {
-  // S1 = {A1, A2} on a path A1 - A2 - B: the chunk searching {A1} alone
-  // would find A1-A2-B (A2 is no seed for it); the merge must drop it.
+TEST(ParallelTest, ChunkExclusionDropsSecondSplitSeed) {
+  // S1 = {A1, A2} on a path A1 - A2 - B: the chunk searching {A1} must not
+  // produce A1-A2-B — A2 keeps its S1 signature even in A1's chunk, so the
+  // tree violates Def 2.8 (ii) and is never built (A2 is excluded from that
+  // chunk's graph slice).
   Graph g;
   NodeId a1 = g.AddNode("A1");
   NodeId a2 = g.AddNode("A2");
@@ -54,7 +58,7 @@ TEST(ParallelTest, PostFilterDropsSecondSplitSeed) {
   auto out = EvaluateCtpParallel(g, *seeds, {}, opts);
   ASSERT_TRUE(out.ok());
   EXPECT_EQ(out->results.size(), 1u) << "only A2-B qualifies (Def 2.8 (ii))";
-  EXPECT_GT(out->postfiltered, 0u);
+  EXPECT_EQ(out->stats.duplicate_results, 0u);
   EXPECT_EQ(CanonicalParallel(*out), Canonical(RunAlgo(AlgorithmKind::kMoLesp, g,
                                                        {{a1, a2}, {b}})
                                                    ->results()));
@@ -148,6 +152,26 @@ TEST(ParallelTest, MoreThreadsThanSeedsIsFine) {
   ASSERT_TRUE(out.ok());
   EXPECT_EQ(out->threads_used, 1u);
   EXPECT_EQ(out->results.size(), 1u);
+}
+
+TEST(ParallelTest, PoolAndMemoryReuseAcrossCalls) {
+  // One executor serves many CTPs over different graphs: the per-worker
+  // SearchMemory is recycled between chunks and results stay correct.
+  CtpExecutor pool(2);
+  for (int seed = 0; seed < 5; ++seed) {
+    Rng rng(900 + seed);
+    Graph g = MakeRandomGraph(10, 16, &rng);
+    auto sets = PickSeedSets(g, 2, 3, &rng);
+    auto seeds = SeedSets::Of(g, sets);
+    ASSERT_TRUE(seeds.ok());
+    ParallelCtpOptions opts;
+    opts.num_threads = 3;
+    opts.executor = &pool;
+    auto out = EvaluateCtpParallel(g, *seeds, {}, opts);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(CanonicalParallel(*out),
+              Canonical(RunAlgo(AlgorithmKind::kMoLesp, g, sets)->results()));
+  }
 }
 
 TEST(ParallelTest, LargeKgSmokeAndAgreement) {
