@@ -9,19 +9,14 @@ namespace eql {
 
 namespace {
 
-bool LabelAllowed(const PathEnumOptions& opts, StrId label) {
-  if (!opts.allowed_labels) return true;
-  return std::binary_search(opts.allowed_labels->begin(), opts.allowed_labels->end(),
-                            label);
-}
-
-/// Shared DFS enumerator; `directed` restricts expansion to out-edges.
+/// Shared DFS enumerator over a compiled view; a kForward view restricts
+/// expansion to out-edges (directed mode), kBoth explores both directions.
 class DfsEnumerator {
  public:
   DfsEnumerator(const Graph& g, const std::vector<NodeId>& targets,
-                const PathEnumOptions& opts, bool directed,
+                const PathEnumOptions& opts, const CompiledCtpView& view,
                 std::vector<EnumeratedPath>* out)
-      : g_(g), opts_(opts), directed_(directed), out_(out) {
+      : g_(g), opts_(opts), view_(view), out_(out) {
     deadline_ = opts.timeout_ms >= 0 ? Deadline::AfterMs(opts.timeout_ms)
                                      : Deadline::Infinite();
     targets_.insert(targets.begin(), targets.end());
@@ -60,10 +55,8 @@ class DfsEnumerator {
       stats_.timed_out = true;
       return;
     }
-    auto edges = directed_ ? g_.OutEdges(n) : g_.Incident(n);
-    for (const IncidentEdge& ie : edges) {
+    for (const IncidentEdge& ie : view_.Edges(n)) {
       if (stop_) return;
-      if (!LabelAllowed(opts_, g_.EdgeLabelId(ie.edge))) continue;
       if (on_path_.count(ie.other)) continue;  // simple paths only
       path_.push_back(ie.edge);
       on_path_.insert(ie.other);
@@ -78,7 +71,7 @@ class DfsEnumerator {
 
   const Graph& g_;
   const PathEnumOptions& opts_;
-  bool directed_;
+  const CompiledCtpView& view_;
   std::vector<EnumeratedPath>* out_;
   std::unordered_set<NodeId> targets_;
   std::unordered_set<NodeId> on_path_;
@@ -97,7 +90,10 @@ PathEnumStats EnumerateUndirectedPaths(const Graph& g,
                                        const std::vector<NodeId>& targets,
                                        const PathEnumOptions& opts,
                                        std::vector<EnumeratedPath>* out) {
-  DfsEnumerator dfs(g, targets, opts, /*directed=*/false, out);
+  std::optional<CompiledCtpView> local;
+  const CompiledCtpView* view = ViewOrLocal(g, opts.view, opts.allowed_labels,
+                                            ViewDirection::kBoth, &local);
+  DfsEnumerator dfs(g, targets, opts, *view, out);
   return dfs.Run(sources);
 }
 
@@ -106,7 +102,10 @@ PathEnumStats EnumerateDirectedPaths(const Graph& g,
                                      const std::vector<NodeId>& targets,
                                      const PathEnumOptions& opts,
                                      std::vector<EnumeratedPath>* out) {
-  DfsEnumerator dfs(g, targets, opts, /*directed=*/true, out);
+  std::optional<CompiledCtpView> local;
+  const CompiledCtpView* view = ViewOrLocal(g, opts.view, opts.allowed_labels,
+                                            ViewDirection::kForward, &local);
+  DfsEnumerator dfs(g, targets, opts, *view, out);
   return dfs.Run(sources);
 }
 
@@ -121,6 +120,9 @@ PathEnumStats RecursivePathTable(const Graph& g, const std::vector<NodeId>& sour
   Stopwatch sw;
   Deadline deadline = opts.timeout_ms >= 0 ? Deadline::AfterMs(opts.timeout_ms)
                                            : Deadline::Infinite();
+  std::optional<CompiledCtpView> local;
+  const CompiledCtpView* view = ViewOrLocal(g, opts.view, opts.allowed_labels,
+                                            ViewDirection::kForward, &local);
   std::unordered_set<NodeId> target_set(targets.begin(), targets.end());
 
   struct Row {
@@ -153,8 +155,7 @@ PathEnumStats RecursivePathTable(const Graph& g, const std::vector<NodeId>& sour
         stats.elapsed_ms = sw.ElapsedMs();
         return stats;
       }
-      for (const IncidentEdge& ie : g.OutEdges(r.end)) {
-        if (!LabelAllowed(opts, g.EdgeLabelId(ie.edge))) continue;
+      for (const IncidentEdge& ie : view->Edges(r.end)) {
         if (std::binary_search(r.visited.begin(), r.visited.end(), ie.other)) {
           continue;  // WHERE NOT node = ANY(path)
         }

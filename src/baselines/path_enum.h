@@ -22,6 +22,7 @@
 #include <optional>
 #include <vector>
 
+#include "ctp/view.h"
 #include "graph/graph.h"
 
 namespace eql {
@@ -31,8 +32,17 @@ struct PathEnumOptions {
   int64_t timeout_ms = -1;
   uint64_t max_paths = UINT64_MAX;
   /// Allowed edge labels (sorted StrIds); nullopt = all. Models the label
-  /// constraints SPARQL property paths / JEDI require.
+  /// constraints SPARQL property paths / JEDI require. Compiled into an
+  /// adjacency view (ctp/view.h) before enumeration, so the DFS/recursive
+  /// loops never test labels per edge.
   std::optional<std::vector<StrId>> allowed_labels;
+  /// Compiled view to traverse (not owned); must match `allowed_labels` and
+  /// the engine's direction (kForward for the directed enumerators, kBoth
+  /// for the undirected one). nullptr compiles one locally — an O(V+E)
+  /// one-time cost when a LABEL set is present (free pass-through
+  /// otherwise); callers issuing many filtered enumerations over one graph
+  /// should pass a cached view to amortize it.
+  const CompiledCtpView* view = nullptr;
 };
 
 struct PathEnumStats {

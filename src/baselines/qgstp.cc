@@ -12,12 +12,14 @@ namespace {
 
 constexpr uint32_t kInf = UINT32_MAX;
 
-/// Multi-source BFS from one seed group. In unidirectional mode only
-/// in-edges are followed (so dist[n] is the length of a directed path
-/// n -> ... -> seed, i.e. from a candidate root towards the group).
-void GroupBfs(const Graph& g, const std::vector<NodeId>& group, bool uni,
-              std::vector<uint32_t>* dist, std::vector<EdgeId>* parent,
-              uint64_t* settled) {
+/// Multi-source BFS from one seed group over a compiled adjacency view
+/// (ctp/view.h). In unidirectional mode the view is backward-laid-out, so
+/// only in-edges are followed (dist[n] is then the length of a directed
+/// path n -> ... -> seed, i.e. from a candidate root towards the group);
+/// with a LABEL filter the view holds only allowed edges.
+void GroupBfs(const Graph& g, const CompiledCtpView& view,
+              const std::vector<NodeId>& group, std::vector<uint32_t>* dist,
+              std::vector<EdgeId>* parent, uint64_t* settled) {
   dist->assign(g.NumNodes(), kInf);
   parent->assign(g.NumNodes(), kNoEdge);
   std::deque<NodeId> frontier;
@@ -29,8 +31,7 @@ void GroupBfs(const Graph& g, const std::vector<NodeId>& group, bool uni,
     NodeId n = frontier.front();
     frontier.pop_front();
     ++*settled;
-    auto edges = uni ? g.InEdges(n) : g.Incident(n);
-    for (const IncidentEdge& ie : edges) {
+    for (const IncidentEdge& ie : view.Edges(n)) {
       if ((*dist)[ie.other] != kInf) continue;
       (*dist)[ie.other] = (*dist)[n] + 1;
       (*parent)[ie.other] = ie.edge;
@@ -88,12 +89,18 @@ QgstpResult QgstpApprox(const Graph& g, const SeedSets& seeds,
                                            : Deadline::Infinite();
   const int m = seeds.num_sets();
 
+  // The traversal view: caller-provided (and cache-amortized) or compiled
+  // here. With neither LABEL nor UNI this is a free pass-through.
+  std::optional<CompiledCtpView> local_view;
+  const CompiledCtpView* view =
+      ViewOrLocal(g, opts.view, opts.allowed_labels,
+                  CompiledCtpView::DirectionFor(opts.unidirectional), &local_view);
+
   // Phase 1: per-group shortest-path fields.
   std::vector<std::vector<uint32_t>> dist(m);
   std::vector<std::vector<EdgeId>> parent(m);
   for (int i = 0; i < m; ++i) {
-    GroupBfs(g, seeds.Set(i), opts.unidirectional, &dist[i], &parent[i],
-             &out.nodes_settled);
+    GroupBfs(g, *view, seeds.Set(i), &dist[i], &parent[i], &out.nodes_settled);
     if (deadline.Expired()) {
       out.elapsed_ms = sw.ElapsedMs();
       return out;

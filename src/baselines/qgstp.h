@@ -18,9 +18,11 @@
 #define EQL_BASELINES_QGSTP_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "ctp/seed_sets.h"
+#include "ctp/view.h"
 #include "graph/graph.h"
 
 namespace eql {
@@ -42,6 +44,16 @@ struct QgstpOptions {
   /// candidates across the graph — the exhaustive default reflects that
   /// cost profile; tests may narrow it.
   int candidate_roots = 0;
+  /// Allowed edge labels (CtpFilters semantics: nullopt = all). Matches the
+  /// LABEL filter of the CTP being compared against, so baseline-vs-CTP
+  /// numbers measure algorithmic differences, not filtering overhead.
+  std::optional<std::vector<StrId>> allowed_labels;
+  /// Compiled adjacency view to traverse (ctp/view.h); must match
+  /// `allowed_labels` and the direction implied by `unidirectional`
+  /// (kBackward when set, kBoth otherwise). nullptr compiles one locally —
+  /// an O(V+E) one-time cost when a LABEL set is present (free pass-through
+  /// otherwise); pass a cached view to amortize across calls.
+  const CompiledCtpView* view = nullptr;
 };
 
 /// Computes one approximate group Steiner tree over `seeds` (universal sets

@@ -103,10 +103,12 @@ std::unique_ptr<CtpAlgorithm> CreateCtpAlgorithm(AlgorithmKind kind, const Graph
                                                  const SeedSets& seeds,
                                                  CtpFilters filters,
                                                  SearchOrder* order,
-                                                 QueueStrategy queue_strategy) {
+                                                 QueueStrategy queue_strategy,
+                                                 const CtpAlgorithmTuning& tuning) {
   if (!IsGamFamily(kind)) {
     BftConfig config;
     config.filters = std::move(filters);
+    config.view = tuning.view;
     config.merge_mode = kind == AlgorithmKind::kBft      ? BftMergeMode::kNone
                         : kind == AlgorithmKind::kBftM   ? BftMergeMode::kMergeOnce
                                                          : BftMergeMode::kAggressive;
@@ -116,6 +118,9 @@ std::unique_ptr<CtpAlgorithm> CreateCtpAlgorithm(AlgorithmKind kind, const Graph
   config.filters = std::move(filters);
   config.order = order;
   config.queue_strategy = queue_strategy;
+  config.view = tuning.view;
+  config.incremental_scores = tuning.incremental_scores;
+  config.bound_pruning = tuning.bound_pruning;
   return std::make_unique<GamAdapter>(kind, g, seeds, std::move(config));
 }
 

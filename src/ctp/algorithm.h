@@ -59,13 +59,23 @@ class CtpAlgorithm {
   virtual AlgorithmKind kind() const = 0;
 };
 
+/// PR 3 execution knobs shared by the GAM and BFT adapters: the compiled
+/// adjacency view (must match `filters`; ctp/view.h) and the incremental-
+/// scoring / bound-pruning toggles (see GamConfig for their contracts).
+struct CtpAlgorithmTuning {
+  const CompiledCtpView* view = nullptr;  ///< not owned; must outlive the algo
+  bool incremental_scores = true;
+  bool bound_pruning = true;
+};
+
 /// Builds an algorithm instance. `order` (optional, GAM family only) biases
 /// exploration; `queue_strategy` selects Section 4.9's multi-queue handling.
 /// The graph and seed sets must outlive the returned object.
 std::unique_ptr<CtpAlgorithm> CreateCtpAlgorithm(
     AlgorithmKind kind, const Graph& g, const SeedSets& seeds, CtpFilters filters,
     SearchOrder* order = nullptr,
-    QueueStrategy queue_strategy = QueueStrategy::kSingle);
+    QueueStrategy queue_strategy = QueueStrategy::kSingle,
+    const CtpAlgorithmTuning& tuning = {});
 
 }  // namespace eql
 

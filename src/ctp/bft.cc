@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ctp/view.h"
+
 namespace eql {
 
 BftSearch::BftSearch(const Graph& g, const SeedSets& seeds, BftConfig config)
@@ -11,6 +13,9 @@ BftSearch::BftSearch(const Graph& g, const SeedSets& seeds, BftConfig config)
       history_(&arena_),
       results_(&g_, &seeds_, &arena_, &config_.filters) {
   config_.filters.NormalizeLabels();
+  assert(config_.view == nullptr ||
+         config_.view->Matches(g_, config_.filters.allowed_labels,
+                               ViewDirection::kBoth));
   trees_with_node_.resize(g_.NodeIdBound());
   history_.ReserveEdgeScratch(g_.EdgeIdBound());
   grow_nodes_.Reserve(g_.NodeIdBound());
@@ -208,12 +213,20 @@ Status BftSearch::Run() {
       grow_nodes_.Clear();
       for (uint32_t i = 0; i < id_len; ++i) grow_nodes_.Insert(node_pool_[id_off + i]);
       const RootedTree t = arena_.Get(id);
+      const bool use_view = config_.view != nullptr;
       for (uint32_t ni = 0; ni < id_len && !stop_; ++ni) {
         const NodeId n = node_pool_[id_off + ni];
-        for (const IncidentEdge& ie : g_.Incident(n)) {
+        // The compiled view's span holds only LABEL-qualified edges, in the
+        // same ascending order the filtered incidence scan would visit.
+        const std::span<const IncidentEdge> edges =
+            use_view ? config_.view->Edges(n) : g_.Incident(n);
+        for (const IncidentEdge& ie : edges) {
           CheckDeadline();
           if (stop_) break;
-          if (!config_.filters.LabelAllowed(g_.EdgeLabelId(ie.edge))) continue;
+          if (!use_view &&
+              !config_.filters.LabelAllowed(g_.EdgeLabelId(ie.edge))) {
+            continue;
+          }
           if (t.NumEdges() + 1 > config_.filters.max_edges) break;
           if (grow_nodes_.Contains(ie.other)) continue;                // Grow1
           if (seeds_.Signature(ie.other).Intersects(t.sat)) continue;  // Grow2

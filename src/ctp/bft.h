@@ -33,6 +33,8 @@
 
 namespace eql {
 
+class CompiledCtpView;
+
 /// Merge behavior of the BFT variants (§4.3).
 enum class BftMergeMode {
   kNone,       ///< plain BFT
@@ -43,6 +45,14 @@ enum class BftMergeMode {
 struct BftConfig {
   BftMergeMode merge_mode = BftMergeMode::kNone;
   CtpFilters filters;
+  /// Compiled adjacency view for the LABEL filter (ctp/view.h); not owned;
+  /// direction must be kBoth (BFT rejects UNI). nullptr filters inline.
+  /// (The incremental score accumulator is deliberately NOT used here: BFT
+  /// scores only its minimized external trees, for which the accumulator
+  /// would eagerly pay an O(|T| log |T|) node census per candidate —
+  /// including duplicates — while the recompute path prices survivors only,
+  /// after the result set's dedup.)
+  const CompiledCtpView* view = nullptr;
 };
 
 /// One breadth-first CTP evaluation. Single-use, like GamSearch.

@@ -15,14 +15,29 @@
 #define EQL_CTP_FILTERS_H_
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "ctp/score.h"
 #include "graph/graph.h"
 
 namespace eql {
+
+/// Canonical form of a LABEL set: sorted, deduplicated. The single
+/// definition every consumer shares — CtpFilters::NormalizeLabels, the
+/// compiled-view cache key and the view compatibility check (ctp/view.cc)
+/// all agree because they all call this.
+inline std::optional<std::vector<StrId>> NormalizeLabelSet(
+    std::optional<std::vector<StrId>> labels) {
+  if (labels) {
+    std::sort(labels->begin(), labels->end());
+    labels->erase(std::unique(labels->begin(), labels->end()), labels->end());
+  }
+  return labels;
+}
 
 /// The filters attached to one CTP. Plain data; the search engines read it.
 struct CtpFilters {
@@ -51,14 +66,16 @@ struct CtpFilters {
   /// when exhausted, like a timeout. UINT64_MAX = unbounded.
   uint64_t max_trees = UINT64_MAX;
 
-  /// Normalizes (sorts) the label set; call after filling allowed_labels.
-  void NormalizeLabels() {
-    if (allowed_labels) std::sort(allowed_labels->begin(), allowed_labels->end());
-  }
+  /// Normalizes (sorts + dedups) the label set; call after filling
+  /// allowed_labels. Duplicates would be harmless for LabelAllowed but make
+  /// label-set comparisons (the compiled-view cache key, ctp/view.h) miss.
+  void NormalizeLabels() { allowed_labels = NormalizeLabelSet(std::move(allowed_labels)); }
 
-  /// True if edge label `l` passes the LABEL filter.
+  /// True if edge label `l` passes the LABEL filter. The set must be
+  /// normalized — binary_search silently misses on unsorted input.
   bool LabelAllowed(StrId l) const {
     if (!allowed_labels) return true;
+    assert(std::is_sorted(allowed_labels->begin(), allowed_labels->end()));
     return std::binary_search(allowed_labels->begin(), allowed_labels->end(), l);
   }
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ctp/view.h"
+
 namespace eql {
 
 void SearchMemory::PrepareFor(const Graph& g) {
@@ -33,7 +35,30 @@ GamSearch::GamSearch(const Graph& g, const SeedSets& seeds, GamConfig config,
       merge_nodes_(mem_->merge_nodes),
       results_(&g_, &seeds_, &arena_, &config_.filters) {
   config_.filters.NormalizeLabels();
+  assert(config_.view == nullptr ||
+         config_.view->Matches(
+             g_, config_.filters.allowed_labels,
+             CompiledCtpView::DirectionFor(config_.filters.unidirectional)));
   mem_->PrepareFor(g_);
+  // Incremental decomposable scoring + TOP-k bound pruning (gam.h). The
+  // accumulator attaches after PrepareFor — Clear() detaches the previous
+  // search's. Pruning additionally needs an anti-monotone sigma, a k, and
+  // no LIMIT or tree budget: a truncated search reports the first results
+  // (LIMIT) or the first trees (max_trees) found, and pruning redirects
+  // which those are — only an untruncated search provably keeps its TOP-k.
+  const ScoreFunction* sigma = config_.filters.score;
+  if (sigma != nullptr && sigma->IsEdgeAdditive() && config_.incremental_scores) {
+    decomposed_score_ = sigma;
+    arena_.SetScoreAccumulator(&g_, sigma);
+    const int prune_k =
+        config_.bound_prune_k > 0 ? config_.bound_prune_k : config_.filters.top_k;
+    if (config_.bound_pruning && sigma->HasNonPositiveDeltas() && prune_k > 0 &&
+        config_.filters.limit == UINT64_MAX &&
+        config_.filters.max_trees == UINT64_MAX) {
+      prune_active_ = true;
+      results_.TrackKthBest(prune_k);
+    }
+  }
   if (config_.queue_strategy == QueueStrategy::kSingle) {
     queues_.resize(1);
   } else if (seeds_.num_sets() <= kDenseMaskBits) {
@@ -157,11 +182,21 @@ void GamSearch::EnqueueGrows(TreeId id) {
   bool priority_computed = false;
   bool pushed_any = false;
   const NodeId root = t.root;
-  for (const IncidentEdge& ie : g_.Incident(root)) {
-    // UNI: backward expansion — only traverse edges that *enter* the current
-    // root, preserving "root reaches every tree node along directed edges".
-    if (config_.filters.unidirectional && ie.forward) continue;
-    if (!config_.filters.LabelAllowed(g_.EdgeLabelId(ie.edge))) continue;
+  // A compiled view serves the root's pre-qualified edges as one dense span
+  // (backward-only under UNI) with no per-edge predicate work; the fallback
+  // filters the full incidence list inline. Both yield the same entry
+  // sequence, so the two paths do byte-identical search work.
+  const bool use_view = config_.view != nullptr;
+  const std::span<const IncidentEdge> edges =
+      use_view ? config_.view->Edges(root) : g_.Incident(root);
+  for (const IncidentEdge& ie : edges) {
+    if (!use_view) {
+      // UNI: backward expansion — only traverse edges that *enter* the
+      // current root, preserving "root reaches every tree node along
+      // directed edges".
+      if (config_.filters.unidirectional && ie.forward) continue;
+      if (!config_.filters.LabelAllowed(g_.EdgeLabelId(ie.edge))) continue;
+    }
     // Chunked runs: members of the chunked set outside this chunk are not
     // part of this chunk's graph slice at all (see GamConfig::chunk_set).
     if (ChunkExcludes(ie.other)) continue;
@@ -190,6 +225,23 @@ void GamSearch::ProcessNewTree(TreeId id) {
   if (stats_.trees_built >= config_.filters.max_trees) {
     stop_ = true;
     stats_.budget_exhausted = true;
+  }
+
+  // TOP-k bound pruning: sigma never increases along Grow/Merge (gam.h), so
+  // neither this tree's own score (score_acc + a non-positive root term)
+  // nor any descendant's can beat the k-th best — drop it before result
+  // emission, merge registration, Mo injection, and growth. It stays in the
+  // history, so re-derivations are rejected cheaply. Rooted paths are
+  // exempt here and at the grow-pop check: their grow chains maintain ss_n
+  // (Alg. 1 l.10), and LESP's spare decisions — hence which results a
+  // complete search finds — depend on every ss bit; keeping the path spine
+  // un-pruned leaves the ss trajectory, and with it the explored
+  // above-threshold space, untouched. (Their *merges* may still be pruned
+  // in DrainMerges — merge products are never rooted paths and never feed
+  // ss_n.)
+  if (!t.is_rooted_path && ScorePrunable(t.score_acc)) {
+    ++stats_.bound_pruned;
+    return;
   }
 
   if (IsResult(t)) {
@@ -266,6 +318,15 @@ void GamSearch::DrainMerges() {
     TreeId id = pending_merge_.back();
     pending_merge_.pop_back();
     const NodeId root = arena_.Get(id).root;
+    // The k-th best may have improved since this subject was queued.
+    if (ScorePrunable(arena_.Get(id).score_acc)) {
+      ++stats_.bound_pruned;
+      continue;
+    }
+    // Merge products score a.score_acc + b.score_acc - delta(root); hoist
+    // the root's delta so the per-partner bound test is pure arithmetic.
+    const double root_delta =
+        prune_active_ ? decomposed_score_->NodeDelta(g_, root) : 0;
     // Merge2: the merged tree may contain at most one node per seed set. The
     // shared root's own memberships appear in both sats and must be excluded
     // from the disjointness test (the paper's Fig. 3 trace merges A-1-2-B
@@ -291,6 +352,10 @@ void GamSearch::DrainMerges() {
       if (a.sat.AndNot(root_sig).Intersects(b.sat.AndNot(root_sig))) continue;
       if (a.NumEdges() + b.NumEdges() > config_.filters.max_edges) continue;
       if (a.num_edges == 0 || b.num_edges == 0) continue;  // Init merges are no-ops
+      if (ScorePrunable(a.score_acc + b.score_acc - root_delta)) {
+        ++stats_.bound_pruned;
+        continue;
+      }
       if (!arena_.SharesOnlyNode(g_, pid, merge_nodes_, root)) continue;  // Merge1
       TreeId mid = arena_.MakeMerge(id, pid, seeds_);
       bool spared = false;
@@ -349,6 +414,18 @@ Status GamSearch::Run() {
     QueueEntry e = queues_[qi].top();
     queues_[qi].pop();
     NoteQueueSize(qi);
+    // The k-th best may have improved since this opportunity was pushed;
+    // every product of the base tree is bounded by its partial sum. Rooted-
+    // path bases are exempt (their products can extend the ss-maintaining
+    // path spine — see ProcessNewTree); other bases only yield
+    // non-rooted-path products, whose ss update is a no-op.
+    {
+      const RootedTree& base = arena_.Get(e.tree);
+      if (!base.is_rooted_path && ScorePrunable(base.score_acc)) {
+        ++stats_.bound_pruned;
+        continue;
+      }
+    }
     ++stats_.grow_attempts;
     TreeId nid = arena_.MakeGrow(e.tree, e.edge, e.new_root, seeds_);
     // Alg. 1 line 10: ss maintenance happens for every Grow product, kept or

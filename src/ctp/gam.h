@@ -50,6 +50,8 @@
 
 namespace eql {
 
+class CompiledCtpView;
+
 /// How Grow opportunities are distributed over priority queues (§4.9).
 enum class QueueStrategy {
   kSingle,        ///< one global queue (the default)
@@ -78,6 +80,40 @@ struct GamConfig {
   /// node, Def 2.8 (ii), and it lies in exactly one chunk).
   int chunk_set = -1;
   const std::vector<NodeId>* chunk_nodes = nullptr;  ///< not owned; sorted
+
+  /// Compiled adjacency view for the filters' static predicates (ctp/view.h);
+  /// not owned, must outlive the search. nullptr falls back to iterating
+  /// Graph::Incident with per-edge LABEL/UNI checks. The view's direction
+  /// must be kBackward when filters.unidirectional and kBoth otherwise, and
+  /// its label set must equal filters.allowed_labels (asserted in debug).
+  const CompiledCtpView* view = nullptr;
+
+  /// Maintain a decomposable sigma (score.h) incrementally in the arena
+  /// records; result emission then reads the score in O(1) instead of
+  /// walking the tree. Bit-identical to the recomputing path by design.
+  bool incremental_scores = true;
+
+  /// Sound TOP-k bound pruning: with an anti-monotone decomposable sigma
+  /// (HasNonPositiveDeltas), TOP k, and no LIMIT, once k results are held
+  /// any tree whose partial score sum cannot beat the k-th best is neither
+  /// grown, merged, nor reported — sigma never increases along Grow/Merge,
+  /// so no descendant of such a tree can enter the final TOP-k window.
+  /// Rooted-path trees stay exempt from the grow/registration prunes so
+  /// the ss_n maintenance LESP's spare decisions read (§4.6) is unchanged
+  /// (their merges may still be pruned: merge products are never rooted
+  /// paths and never feed ss_n). Pruning disables itself under LIMIT or a
+  /// max_trees budget — those truncate deterministically, and pruning
+  /// would redirect which work fits; a TIMEOUT cutoff is best-effort
+  /// either way. See the ROADMAP PR 3 note for the full soundness
+  /// argument. Needs incremental_scores.
+  bool bound_pruning = true;
+
+  /// k used by bound pruning; 0 = filters.top_k. The parallel executor
+  /// clears filters.top_k on chunk configs (the TOP-k window is applied to
+  /// the global union) but passes the user's k here so chunks keep pruning
+  /// against their local k-th best, which is itself a lower bound on work
+  /// the global window can accept.
+  int bound_prune_k = 0;
 
   static GamConfig Gam() { return GamConfig{}; }
   static GamConfig Esp() {
@@ -189,6 +225,16 @@ class GamSearch {
   void CheckDeadline();
   bool ChunkExcludes(NodeId n) const;
 
+  /// True if bound pruning is active and no tree whose partial score sum is
+  /// `bound` (an upper bound on every descendant's score) can still enter
+  /// the TOP-k window. Strictly-below comparison: candidates that could tie
+  /// the k-th best are kept, so the pruned search reports the same TOP-k
+  /// under both the sequential (insertion-order) and the parallel
+  /// (total-order) tie-breaks.
+  bool ScorePrunable(double bound) const {
+    return prune_active_ && bound < results_.KthBestScore();
+  }
+
   size_t QueueIndexFor(const RootedTree& t);
   /// Index of the non-empty queue with fewest entries; SIZE_MAX if all
   /// empty. O(log) amortized via the lazy size heap, not a linear scan.
@@ -233,6 +279,11 @@ class GamSearch {
   uint64_t seq_ = 0;
   uint64_t ops_since_deadline_check_ = 0;
   bool stop_ = false;
+  /// Set when the config + filters enable TOP-k bound pruning (ctor).
+  bool prune_active_ = false;
+  /// The decomposable sigma driving the arena accumulator; nullptr when
+  /// incremental scoring is off or sigma is not decomposable.
+  const ScoreFunction* decomposed_score_ = nullptr;
 };
 
 }  // namespace eql

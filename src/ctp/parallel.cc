@@ -184,11 +184,20 @@ Result<ParallelCtpOutcome> CtpExecutor::Evaluate(
   }
   for (auto& c : chunk_nodes) std::sort(c.begin(), c.end());
 
+  // Compile the CTP's static predicates once; every chunk shares the view
+  // read-only. The cache makes this one lookup for repeated label sets
+  // (query batches); pass-through views (no LABEL) cost nothing to make.
+  std::shared_ptr<const CompiledCtpView> view;
+  if (options.use_views && (filters.allowed_labels || filters.unidirectional)) {
+    view = view_cache_.Get(g, filters.allowed_labels,
+                           CompiledCtpView::DirectionFor(filters.unidirectional));
+  }
+
   std::vector<ChunkOutput> outputs(chunks);
   TaskGroup group;
   for (unsigned c = 0; c < chunks; ++c) {
     Submit(&group, [this, &g, &seeds, &filters, &options, &deadline,
-                    &chunk_nodes, &outputs, c, split_idx] {
+                    &chunk_nodes, &outputs, &view, c, split_idx] {
       ChunkOutput& out = outputs[c];
       const int64_t remaining = deadline.RemainingMs();
       if (remaining == 0) {  // budget spent before this chunk even started
@@ -199,6 +208,16 @@ Result<ParallelCtpOutcome> CtpExecutor::Evaluate(
       config.queue_strategy = options.queue_strategy;
       config.filters = filters;
       config.filters.top_k = -1;  // TOP-k needs the global union
+      config.view = view.get();
+      config.incremental_scores = options.incremental_scores;
+      config.bound_pruning = options.bound_pruning;
+      // Chunks keep pruning against their local k-th best even though their
+      // filters carry no TOP-k: a chunk's k results with score >= s all
+      // reach the union, so a chunk candidate strictly below its local s can
+      // never enter the global TOP-k window either.
+      if (filters.score != nullptr && filters.top_k > 0) {
+        config.bound_prune_k = filters.top_k;
+      }
       if (filters.timeout_ms >= 0) config.filters.timeout_ms = remaining;
       // LIMIT push-down: without a score every chunk result survives to the
       // union (chunk results partition the full result set), so no chunk
@@ -235,6 +254,7 @@ Result<ParallelCtpOutcome> CtpExecutor::Evaluate(
   ParallelCtpOutcome out;
   out.split_set = split_idx;
   out.threads_used = chunks;
+  out.used_view = view != nullptr;
 
   for (ChunkOutput& chunk : outputs) {
     if (!chunk.status.ok()) return chunk.status;
@@ -246,6 +266,7 @@ Result<ParallelCtpOutcome> CtpExecutor::Evaluate(
     out.stats.mo_trees += chunk.stats.mo_trees;
     out.stats.trees_pruned += chunk.stats.trees_pruned;
     out.stats.lesp_spared += chunk.stats.lesp_spared;
+    out.stats.bound_pruned += chunk.stats.bound_pruned;
     out.stats.queue_pushed += chunk.stats.queue_pushed;
     out.stats.duplicate_results += chunk.stats.duplicate_results;
     out.stats.timed_out |= chunk.stats.timed_out;

@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "ctp/algorithm.h"
+#include "ctp/view.h"
 
 namespace eql {
 
@@ -64,6 +65,14 @@ struct ParallelCtpOptions {
   QueueStrategy queue_strategy = QueueStrategy::kSingle;
   /// Pool to run on (not owned); nullptr = the process-wide default pool.
   CtpExecutor* executor = nullptr;
+  /// Compile the CTP's LABEL/UNI predicates into an adjacency view once per
+  /// CTP, cached in the executor and shared read-only by every chunk
+  /// (ctp/view.h); repeated CTPs over the same label vocabulary — e.g. a
+  /// query batch — reuse the cached view.
+  bool use_views = true;
+  /// Toggles forwarded to every chunk's GamConfig (ctp/gam.h).
+  bool incremental_scores = true;
+  bool bound_pruning = true;
 };
 
 /// Aggregated outcome of a parallel run. Result trees are materialized into
@@ -75,6 +84,7 @@ struct ParallelCtpOutcome {
   std::vector<SearchStats> chunk_stats;    ///< in chunk order
   size_t split_set = 0;                    ///< which S_i was split
   unsigned threads_used = 1;               ///< chunk count actually used
+  bool used_view = false;                  ///< chunks ran on a compiled view
 };
 
 /// A persistent pool of search workers. Thread-safe: any thread may Submit,
@@ -127,6 +137,11 @@ class CtpExecutor {
   /// destruction.
   static CtpExecutor& Default();
 
+  /// The executor's compiled-view cache (internally synchronized). Shared
+  /// by every Evaluate call and by engines running on this pool, so a batch
+  /// of queries over the same label vocabulary compiles each view once.
+  ViewCache& view_cache() { return view_cache_; }
+
  private:
   struct Task {
     TaskGroup* group;
@@ -148,6 +163,7 @@ class CtpExecutor {
   std::vector<std::unique_ptr<SearchMemory>> free_memory_;
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
+  ViewCache view_cache_;  ///< own mutex; never taken together with mu_
 };
 
 /// Convenience wrapper: Evaluate on `options.executor`, or on the default

@@ -1,6 +1,8 @@
 #include "ctp/result_set.h"
 
 #include <algorithm>
+#include <limits>
+#include <numeric>
 
 #include "util/string_util.h"
 
@@ -40,22 +42,54 @@ bool CtpResultSet::Add(TreeId id) {
     if (seeds_->IsUniversal(i)) r.seed_of_set[i] = t.root;
   }
   if (filters_->score != nullptr) {
-    r.score = filters_->score->Score(*g_, *seeds_, *arena_, id);
+    // With a decomposable sigma attached to the arena the partial sum is
+    // already in the record; only the root term remains (score.h). The two
+    // paths agree bit-for-bit (quantized deltas), so toggling the
+    // accumulator never changes scores.
+    const ScoreFunction* acc = arena_->score_accumulator();
+    r.score = acc != nullptr ? t.score_acc + acc->RootTerm(*g_, t.root)
+                             : filters_->score->Score(*g_, *seeds_, *arena_, id);
+  }
+  if (track_k_ > 0) {
+    if (static_cast<int>(kth_heap_.size()) < track_k_) {
+      kth_heap_.push(r.score);
+    } else if (r.score > kth_heap_.top()) {
+      kth_heap_.pop();
+      kth_heap_.push(r.score);
+    }
   }
   by_edge_hash_[t.edge_set_hash].push_back(results_.size());
   results_.push_back(std::move(r));
   return true;
 }
 
+double CtpResultSet::KthBestScore() const {
+  if (track_k_ <= 0 || static_cast<int>(kth_heap_.size()) < track_k_) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  return kth_heap_.top();
+}
+
 void CtpResultSet::FinalizeTopK() {
   if (filters_->score == nullptr || filters_->top_k <= 0) return;
-  std::stable_sort(results_.begin(), results_.end(),
-                   [](const CtpResult& a, const CtpResult& b) {
-                     return a.score > b.score;
-                   });
-  if (results_.size() > static_cast<size_t>(filters_->top_k)) {
-    results_.resize(static_cast<size_t>(filters_->top_k));
-  }
+  const size_t k =
+      std::min(results_.size(), static_cast<size_t>(filters_->top_k));
+  // O(n log k): partially sort an index vector under (score desc, insertion
+  // index asc) — exactly the prefix a stable descending sort would yield, so
+  // tie-break order is unchanged from the full-sort implementation.
+  std::vector<uint32_t> idx(results_.size());
+  std::iota(idx.begin(), idx.end(), 0u);
+  std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                    [&](uint32_t a, uint32_t b) {
+                      if (results_[a].score != results_[b].score) {
+                        return results_[a].score > results_[b].score;
+                      }
+                      return a < b;
+                    });
+  std::vector<CtpResult> kept;
+  kept.reserve(k);
+  for (size_t i = 0; i < k; ++i) kept.push_back(std::move(results_[idx[i]]));
+  results_ = std::move(kept);
   // The hash index is stale after truncation; rebuild.
   by_edge_hash_.clear();
   for (size_t i = 0; i < results_.size(); ++i) {

@@ -4,6 +4,7 @@
 #define EQL_CTP_RESULT_SET_H_
 
 #include <cstdint>
+#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -33,7 +34,9 @@ class CtpResultSet {
   CtpResultSet(const Graph* g, const SeedSets* seeds, const TreeArena* arena,
                const CtpFilters* filters);
 
-  /// Adds the tree if its edge set is new; returns true if added.
+  /// Adds the tree if its edge set is new; returns true if added. The score
+  /// is read from the arena's incremental accumulator when one is attached
+  /// (TreeArena::SetScoreAccumulator), avoiding the O(|T|) recomputation.
   bool Add(TreeId id);
 
   /// Number of distinct results kept (after TOP-k truncation).
@@ -44,8 +47,20 @@ class CtpResultSet {
   /// sort by descending score and truncate.
   const std::vector<CtpResult>& results() const { return results_; }
 
-  /// Applies TOP-k: sorts by score (desc, stable) and keeps the k best.
+  /// Applies TOP-k: keeps the k best by score (desc), ties broken by
+  /// insertion order (the order a stable descending sort would produce).
+  /// O(n log k) via a partial sort of k, not a full sort of n.
   void FinalizeTopK();
+
+  /// Enables k-th-best tracking for the search's TOP-k bound pruning
+  /// (ctp/gam.h). Must be called before the first Add; k > 0.
+  void TrackKthBest(int k) { track_k_ = k; }
+
+  /// The k-th best score among the results added so far, or -infinity while
+  /// fewer than k are held (or tracking is off). A candidate whose score
+  /// upper bound is strictly below this value can never enter the final
+  /// TOP-k window.
+  double KthBestScore() const;
 
   /// True if the edge set of tree `id` was already reported.
   bool ContainsEdgeSet(TreeId id) const;
@@ -61,6 +76,9 @@ class CtpResultSet {
   std::vector<CtpResult> results_;
   std::unordered_map<uint64_t, std::vector<size_t>> by_edge_hash_;
   mutable EpochSet eq_scratch_;
+  /// Min-heap of the best track_k_ scores seen (top = the k-th best).
+  std::priority_queue<double, std::vector<double>, std::greater<double>> kth_heap_;
+  int track_k_ = 0;
 };
 
 }  // namespace eql

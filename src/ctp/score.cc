@@ -7,9 +7,16 @@ namespace eql {
 
 double DegreePenaltyScore::Score(const Graph& g, const SeedSets&,
                                  const TreeArena& arena, TreeId id) const {
-  double penalty = 0;
-  for (NodeId n : arena.NodeSet(g, id)) penalty += std::log2(1.0 + g.Degree(n));
-  return -penalty;
+  // When the arena maintains this very sigma, the partial sum is the score
+  // (RootTerm is identically 0) — Score() sits on the ScoreGuidedOrder hot
+  // path, so don't re-walk what the records already hold.
+  if (arena.score_accumulator() == this) return arena.Get(id).score_acc;
+  // Quantized node deltas (score.h) make this sum equal to the incremental
+  // accumulator bit-for-bit despite the different summation order; the edge
+  // deltas are identically 0, so no provenance edge walk.
+  double sum = 0;
+  for (NodeId n : arena.NodeSet(g, id)) sum += NodeDelta(g, n);
+  return sum;
 }
 
 double LabelDiversityScore::Score(const Graph& g, const SeedSets&,
@@ -21,9 +28,10 @@ double LabelDiversityScore::Score(const Graph& g, const SeedSets&,
 
 double RootDegreeScore::Score(const Graph& g, const SeedSets&,
                               const TreeArena& arena, TreeId id) const {
+  // Closed form, O(1): the edge-delta sum is exactly -|T| (see
+  // EdgeCountScore), and the root term is added last in every path.
   const RootedTree& t = arena.Get(id);
-  return -static_cast<double>(t.NumEdges()) -
-         lambda_ * std::log2(1.0 + g.Degree(t.root));
+  return -static_cast<double>(t.NumEdges()) + RootTerm(g, t.root);
 }
 
 std::unique_ptr<ScoreFunction> CreateScoreFunction(const std::string& name) {

@@ -3,12 +3,34 @@
 // The paper's central language decision is that connection search is
 // *orthogonal* to scoring: any sigma may be attached to a CTP, results carry
 // sigma(t), and TOP k keeps the k best. The search algorithms never rely on
-// score properties for pruning; a score may merely bias the exploration
+// score properties for correctness; a score may merely bias the exploration
 // order (see search_order.h), which is sound because MoLESP's completeness
 // guarantees hold for every execution order (§4.8).
+//
+// Decomposable sigmas: most practical scores decompose over the tree as
+//
+//   sigma(t) = sum_{n in nodes(t)} NodeDelta(n)
+//            + sum_{e in edges(t)} EdgeDelta(e)
+//            + RootTerm(root(t))
+//
+// (IsEdgeAdditive() opts in). The tree arena then maintains the node+edge
+// partial sum *incrementally* in every RootedTree record, like the XOR
+// edge-set hash: Init seeds NodeDelta(n), Grow adds one node and one edge
+// delta, Merge adds the operand sums and un-counts the shared root — O(1)
+// per constructor, no O(|T|) walk at result emission (ctp/tree.h). To make
+// the incremental sum bit-identical to a from-scratch recomputation despite
+// the different association order, irrational per-node terms are snapped to
+// the 2^-20 grid by QuantizeDelta: sums of exact multiples of 2^-20 are
+// associative in double up to ~2^33, far beyond any tree size here.
+//
+// When additionally every delta and the root term are <= 0
+// (HasNonPositiveDeltas()), sigma is anti-monotone under Grow/Merge: any
+// tree derived from t scores at most t's partial sum. That is the soundness
+// condition the TOP-k bound pruning in GamSearch relies on (ctp/gam.h).
 #ifndef EQL_CTP_SCORE_H_
 #define EQL_CTP_SCORE_H_
 
+#include <cmath>
 #include <memory>
 #include <string>
 
@@ -19,6 +41,10 @@
 
 namespace eql {
 
+/// Snaps a score delta onto the 2^-20 grid so that sums of deltas are exact
+/// in double regardless of summation order (see the header comment).
+inline double QuantizeDelta(double v) { return std::round(v * 1048576.0) / 1048576.0; }
+
 /// Assigns each tree a real score; higher is better (Section 2).
 class ScoreFunction {
  public:
@@ -26,6 +52,32 @@ class ScoreFunction {
   virtual double Score(const Graph& g, const SeedSets& seeds,
                        const TreeArena& arena, TreeId id) const = 0;
   virtual std::string Name() const = 0;
+
+  // ---- optional decomposable interface (header comment) ----
+
+  /// True if sigma decomposes into per-node/per-edge deltas plus a root
+  /// term, with Score() == the decomposed sum bit-for-bit. Enables the O(1)
+  /// incremental accumulator in TreeArena.
+  virtual bool IsEdgeAdditive() const { return false; }
+  /// Contribution of node `n` to any tree containing it.
+  virtual double NodeDelta(const Graph& g, NodeId n) const {
+    (void)g, (void)n;
+    return 0;
+  }
+  /// Contribution of edge `e` to any tree containing it.
+  virtual double EdgeDelta(const Graph& g, EdgeId e) const {
+    (void)g, (void)e;
+    return 0;
+  }
+  /// Root-dependent term added once, outside the incremental sum.
+  virtual double RootTerm(const Graph& g, NodeId root) const {
+    (void)g, (void)root;
+    return 0;
+  }
+  /// True if every NodeDelta/EdgeDelta/RootTerm is <= 0 for this graph —
+  /// sigma then never increases along Grow/Merge, which makes TOP-k bound
+  /// pruning sound (ctp/gam.h). Only meaningful when IsEdgeAdditive().
+  virtual bool HasNonPositiveDeltas() const { return false; }
 };
 
 /// sigma = -|edges|: smaller trees are better. The default, matching the
@@ -34,22 +86,36 @@ class EdgeCountScore : public ScoreFunction {
  public:
   double Score(const Graph&, const SeedSets&, const TreeArena& arena,
                TreeId id) const override {
+    // Closed form, O(1): a sum of |T| exact -1.0 terms is -|T| bit-for-bit,
+    // so this matches the incremental accumulator. Score() sits on hot
+    // paths (ScoreGuidedOrder prices every new tree) — don't walk the tree.
     return -static_cast<double>(arena.Get(id).NumEdges());
   }
   std::string Name() const override { return "edge_count"; }
+  bool IsEdgeAdditive() const override { return true; }
+  double EdgeDelta(const Graph&, EdgeId) const override { return -1.0; }
+  bool HasNonPositiveDeltas() const override { return true; }
 };
 
 /// sigma = -sum(log2(1 + deg(n))): penalizes trees passing through hubs.
 /// Mirrors the introduction's journalism example, where the smallest tree
-/// (through the "country" hub) is not the interesting one.
+/// (through the "country" hub) is not the interesting one. Node terms are
+/// quantized (QuantizeDelta) so the incremental sum is order-independent.
 class DegreePenaltyScore : public ScoreFunction {
  public:
   double Score(const Graph& g, const SeedSets&, const TreeArena& arena,
                TreeId id) const override;
   std::string Name() const override { return "degree_penalty"; }
+  bool IsEdgeAdditive() const override { return true; }
+  double NodeDelta(const Graph& g, NodeId n) const override {
+    return -QuantizeDelta(std::log2(1.0 + g.Degree(n)));
+  }
+  bool HasNonPositiveDeltas() const override { return true; }
 };
 
 /// sigma = number of distinct edge labels: favors semantically rich trees.
+/// Not decomposable (distinctness is a whole-tree property): results pay the
+/// O(|T|) recomputation, and bound pruning never engages for it.
 class LabelDiversityScore : public ScoreFunction {
  public:
   double Score(const Graph& g, const SeedSets&, const TreeArena& arena,
@@ -64,6 +130,12 @@ class RootDegreeScore : public ScoreFunction {
   double Score(const Graph& g, const SeedSets&, const TreeArena& arena,
                TreeId id) const override;
   std::string Name() const override { return "root_degree"; }
+  bool IsEdgeAdditive() const override { return true; }
+  double EdgeDelta(const Graph&, EdgeId) const override { return -1.0; }
+  double RootTerm(const Graph& g, NodeId root) const override {
+    return -(lambda_ * std::log2(1.0 + g.Degree(root)));
+  }
+  bool HasNonPositiveDeltas() const override { return lambda_ >= 0; }
 
  private:
   double lambda_;

@@ -18,6 +18,7 @@ struct SearchStats {
   uint64_t mo_trees = 0;         ///< of which Mo re-rootings (§4.5)
   uint64_t trees_pruned = 0;     ///< provenances discarded by isNew
   uint64_t lesp_spared = 0;      ///< trees kept only thanks to LESP's provision
+  uint64_t bound_pruned = 0;     ///< grows/merges skipped by TOP-k bound pruning
   uint64_t queue_pushed = 0;
   uint64_t results_found = 0;    ///< distinct result edge sets
   uint64_t duplicate_results = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ctp/score.h"
 #include "util/string_util.h"
 
 namespace eql {
@@ -14,6 +15,7 @@ TreeId TreeArena::MakeInit(NodeId n, const SeedSets& seeds) {
   t.is_rooted_path = true;  // the trivial (n, n)-rooted path
   t.path_seed = n;
   t.edge_set_hash = 0;  // empty set
+  if (acc_score_ != nullptr) t.score_acc = acc_score_->NodeDelta(*acc_graph_, n);
   return Push(t);
 }
 
@@ -28,6 +30,12 @@ TreeId TreeArena::MakeGrow(TreeId id, EdgeId e, NodeId new_root,
   out.grow_edge = e;
   out.num_edges = t.num_edges + 1;
   out.edge_set_hash = t.edge_set_hash ^ HashSetElem(e);
+  // Grow adds exactly node new_root and edge e; quantized deltas (score.h)
+  // keep this sum exact in any association order.
+  if (acc_score_ != nullptr) {
+    out.score_acc = t.score_acc + acc_score_->NodeDelta(*acc_graph_, new_root) +
+                    acc_score_->EdgeDelta(*acc_graph_, e);
+  }
   out.mo_tainted = t.mo_tainted;
   // A Grow chain from Init(s) remains an (n, s)-rooted path as long as it
   // never touches another seed node (Def 4.4).
@@ -49,6 +57,12 @@ TreeId TreeArena::MakeMerge(TreeId id1, TreeId id2, const SeedSets& seeds) {
   out.num_edges = t1.num_edges + t2.num_edges;
   // Merge1 guarantees edge-disjoint operands, so the set hash is the XOR.
   out.edge_set_hash = t1.edge_set_hash ^ t2.edge_set_hash;
+  // Merge1 also guarantees the operands share exactly the root node, whose
+  // delta both partial sums counted — subtract one copy.
+  if (acc_score_ != nullptr) {
+    out.score_acc = t1.score_acc + t2.score_acc -
+                    acc_score_->NodeDelta(*acc_graph_, t1.root);
+  }
   out.mo_tainted = t1.mo_tainted || t2.mo_tainted;
   return Push(out);
 }
@@ -62,6 +76,7 @@ TreeId TreeArena::MakeMo(TreeId id, NodeId new_root) {
   out.child1 = id;
   out.num_edges = t.num_edges;
   out.edge_set_hash = t.edge_set_hash;
+  out.score_acc = t.score_acc;  // same nodes and edges, only the root moves
   out.mo_tainted = true;
   return Push(out);
 }
@@ -80,6 +95,23 @@ TreeId TreeArena::MakeAdHocInPlace(NodeId root, std::vector<EdgeId>* edges, cons
     out.edge_set_hash ^= HashSetElem(e);
     out.sat |= seeds.Signature(g.Source(e));
     out.sat |= seeds.Signature(g.Target(e));
+  }
+  if (acc_score_ != nullptr) {
+    // External trees have no provenance to inherit a sum from; evaluate the
+    // decomposition over the explicit parts (still exact: on-grid deltas).
+    std::vector<NodeId> nodes;
+    nodes.reserve(2 * edges->size() + 1);
+    nodes.push_back(root);
+    double sum = 0;
+    for (EdgeId e : *edges) {
+      sum += acc_score_->EdgeDelta(g, e);
+      nodes.push_back(g.Source(e));
+      nodes.push_back(g.Target(e));
+    }
+    std::sort(nodes.begin(), nodes.end());
+    nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+    for (NodeId n : nodes) sum += acc_score_->NodeDelta(g, n);
+    out.score_acc = sum;
   }
   ext_pool_.insert(ext_pool_.end(), edges->begin(), edges->end());
   return Push(out);

@@ -15,6 +15,10 @@
 //  * the edge count (node count is always edge count + 1),
 //  * an incremental edge-set hash (XOR of per-edge terms; see HashSetElem)
 //    maintained in O(1) per constructor and used by the search history,
+//  * when a decomposable score function is attached to the arena
+//    (SetScoreAccumulator), the running node+edge delta sum of sigma —
+//    maintained in O(1) per constructor exactly like the hash, so result
+//    emission reads the score without an O(|T|) walk (ctp/score.h),
 //  * provenance: the Init/Grow/Merge/Mo formula that built it (Def 4.1, 4.5),
 //  * whether the provenance contains Mo (Grow is disabled on those, §4.5),
 //  * whether it is an (n, s)-rooted path (Def 4.4) and its seed endpoint,
@@ -36,6 +40,8 @@
 #include "util/hash.h"
 
 namespace eql {
+
+class ScoreFunction;
 
 using TreeId = uint32_t;
 inline constexpr TreeId kNoTree = UINT32_MAX;
@@ -62,6 +68,11 @@ struct RootedTree {
   /// Init trees, which all share the empty edge set).
   uint64_t edge_set_hash = 0;
 
+  /// Incremental partial score: sum of NodeDelta over nodes plus EdgeDelta
+  /// over edges of the attached decomposable sigma (ctp/score.h); the full
+  /// score is score_acc + RootTerm(root). 0 when no accumulator is attached.
+  double score_acc = 0;
+
   ProvKind kind = ProvKind::kInit;
 
   /// True if any ancestor in the provenance is a Mo re-rooting; Grow is
@@ -85,6 +96,19 @@ class TreeArena {
  public:
   const RootedTree& Get(TreeId id) const { return trees_[id]; }
   size_t size() const { return trees_.size(); }
+
+  /// Attaches a decomposable score function (score.h): every Make* from now
+  /// on maintains RootedTree::score_acc incrementally. `score` must satisfy
+  /// IsEdgeAdditive(); both pointers must outlive the attachment, which ends
+  /// at the next Clear() or SetScoreAccumulator(nullptr, nullptr) — the
+  /// engines re-attach per search.
+  void SetScoreAccumulator(const Graph* g, const ScoreFunction* score) {
+    assert((g == nullptr) == (score == nullptr));
+    acc_graph_ = g;
+    acc_score_ = score;
+  }
+  /// The attached score function; nullptr when score_acc is not maintained.
+  const ScoreFunction* score_accumulator() const { return acc_score_; }
 
   /// Builds Init(n) (Def 4.1 case 1).
   TreeId MakeInit(NodeId n, const SeedSets& seeds);
@@ -208,10 +232,13 @@ class TreeArena {
   /// Renders the edge set as "{A-l->B, ...}" for messages and examples.
   std::string TreeToString(TreeId id, const Graph& g) const;
 
-  /// Drops all trees (arena reuse between runs).
+  /// Drops all trees and detaches the score accumulator (arena reuse
+  /// between runs; the accumulator's lifetime is one search).
   void Clear() {
     trees_.clear();
     ext_pool_.clear();
+    acc_graph_ = nullptr;
+    acc_score_ = nullptr;
   }
 
  private:
@@ -222,6 +249,8 @@ class TreeArena {
 
   std::vector<RootedTree> trees_;
   std::vector<EdgeId> ext_pool_;  ///< edge storage for kExternal trees
+  const Graph* acc_graph_ = nullptr;
+  const ScoreFunction* acc_score_ = nullptr;  ///< not owned; see setter
 };
 
 /// Sanity-checks that the tree's edge set forms a tree over its node set,

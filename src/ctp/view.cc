@@ -1,0 +1,151 @@
+#include "ctp/view.h"
+
+#include <algorithm>
+
+#include "ctp/filters.h"  // NormalizeLabelSet: the one canonical label form
+
+namespace eql {
+
+CompiledCtpView::CompiledCtpView(const Graph& g,
+                                 std::optional<std::vector<StrId>> allowed_labels,
+                                 ViewDirection direction)
+    : g_(&g),
+      graph_uid_(g.uid()),
+      direction_(direction),
+      materialized_(allowed_labels.has_value()),
+      labels_(NormalizeLabelSet(std::move(allowed_labels))) {
+  assert(g.finalized());
+  if (!materialized_) return;  // pass-through: Edges() delegates to the graph
+
+  const std::vector<StrId>& allowed = *labels_;
+  auto label_ok = [&](EdgeId e) {
+    return std::binary_search(allowed.begin(), allowed.end(), g.EdgeLabelId(e));
+  };
+
+  // Two passes over the edge list, exactly like Graph::Finalize: count, then
+  // fill in ascending EdgeId order so every per-node span stays sorted the
+  // way the graph CSRs are. Self-loop conventions mirror the source CSRs
+  // (once in kBoth as a forward entry; as the dst entry in kBackward; as the
+  // src entry in kForward), so a search sees the same entry sequence it
+  // would after filtering the corresponding graph span.
+  const size_t nn = g.NumNodes();
+  const EdgeId ne = g.EdgeIdBound();
+  std::vector<uint32_t> cnt(nn, 0);
+  for (EdgeId e = 0; e < ne; ++e) {
+    if (!label_ok(e)) continue;
+    const NodeId s = g.Source(e), d = g.Target(e);
+    switch (direction_) {
+      case ViewDirection::kBoth:
+        ++cnt[s];
+        if (d != s) ++cnt[d];
+        break;
+      case ViewDirection::kBackward:
+        ++cnt[d];
+        break;
+      case ViewDirection::kForward:
+        ++cnt[s];
+        break;
+    }
+  }
+  offset_.assign(nn + 1, 0);
+  for (size_t n = 0; n < nn; ++n) offset_[n + 1] = offset_[n] + cnt[n];
+  list_.resize(offset_[nn]);
+  std::vector<uint32_t> pos(offset_.begin(), offset_.end() - 1);
+  for (EdgeId e = 0; e < ne; ++e) {
+    if (!label_ok(e)) continue;
+    const NodeId s = g.Source(e), d = g.Target(e);
+    switch (direction_) {
+      case ViewDirection::kBoth:
+        list_[pos[s]++] = IncidentEdge{e, d, true};
+        if (d != s) list_[pos[d]++] = IncidentEdge{e, s, false};
+        break;
+      case ViewDirection::kBackward:
+        list_[pos[d]++] = IncidentEdge{e, s, false};
+        break;
+      case ViewDirection::kForward:
+        list_[pos[s]++] = IncidentEdge{e, d, true};
+        break;
+    }
+  }
+}
+
+bool CompiledCtpView::Matches(const Graph& g,
+                              const std::optional<std::vector<StrId>>& labels,
+                              ViewDirection direction) const {
+  if (graph_uid_ != g.uid() || direction_ != direction) return false;
+  if (labels_.has_value() != labels.has_value()) return false;
+  if (!labels_) return true;
+  return *labels_ == *NormalizeLabelSet(labels);
+}
+
+std::shared_ptr<const CompiledCtpView> ViewCache::Get(
+    const Graph& g, const std::optional<std::vector<StrId>>& allowed_labels,
+    ViewDirection direction) {
+  if (!allowed_labels) {
+    // Pass-through views delegate to the graph's CSRs; constructing one is
+    // free and caching one would pin a Graph pointer (header).
+    return std::make_shared<const CompiledCtpView>(g, std::nullopt, direction);
+  }
+  std::optional<std::vector<StrId>> key = NormalizeLabelSet(allowed_labels);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++tick_;
+    if (Entry* e = FindEntryLocked(g.uid(), direction, *key)) {
+      e->last_used = tick_;
+      ++hits_;
+      return e->view;
+    }
+  }
+  // Compile outside the lock: the O(V+E) build must not serialize hits for
+  // unrelated keys on a shared executor cache. Concurrent misses on the
+  // same key may compile twice; the double-check below keeps one.
+  auto view =
+      std::make_shared<const CompiledCtpView>(g, std::move(key), direction);
+  std::lock_guard<std::mutex> lk(mu_);
+  ++misses_;
+  if (Entry* e = FindEntryLocked(g.uid(), direction, *view->labels_)) {
+    e->last_used = tick_;
+    return e->view;  // another thread won the race; drop our copy
+  }
+  // A single view beyond the whole-cache storage cap is served uncached —
+  // otherwise the eviction loop below would empty the cache and pin the
+  // oversized view anyway.
+  if (view->entries_kept() > kMaxTotalCsrEntries) return view;
+  while (!entries_.empty() &&
+         (entries_.size() >= kMaxEntries ||
+          total_csr_entries_ + view->entries_kept() > kMaxTotalCsrEntries)) {
+    auto oldest = std::min_element(
+        entries_.begin(), entries_.end(),
+        [](const Entry& a, const Entry& b) { return a.last_used < b.last_used; });
+    total_csr_entries_ -= oldest->view->entries_kept();
+    entries_.erase(oldest);
+  }
+  total_csr_entries_ += view->entries_kept();
+  entries_.push_back(Entry{g.uid(), direction, *view->labels_, tick_, view});
+  return view;
+}
+
+ViewCache::Entry* ViewCache::FindEntryLocked(uint64_t graph_uid,
+                                             ViewDirection direction,
+                                             const std::vector<StrId>& labels) {
+  for (Entry& e : entries_) {
+    if (e.graph_uid == graph_uid && e.direction == direction &&
+        e.labels == labels) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+ViewCache::Stats ViewCache::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return Stats{hits_, misses_, entries_.size()};
+}
+
+void ViewCache::Clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  entries_.clear();
+  total_csr_entries_ = 0;
+}
+
+}  // namespace eql

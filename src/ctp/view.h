@@ -1,0 +1,175 @@
+// Compiled CTP views (Section 4.8, taken to its logical end): the static
+// predicates of a CTP — its LABEL set and its traversal direction — are
+// compiled *once* into a filter-specialized adjacency CSR, so the search
+// engines' innermost loops iterate a dense span of pre-qualified edges with
+// zero per-edge predicate work. This is the filtered-projection trick of
+// ranked keyword-search engines (BANKS-style systems, RAQ; see PAPERS.md):
+// precompute query-specific adjacency before enumeration instead of
+// re-filtering the full incidence list at every expansion.
+//
+//  * A CompiledCtpView holds, per node, the incident edges that pass the
+//    LABEL filter, laid out for one traversal direction: kBoth mirrors
+//    Graph::Incident (undirected connection search), kBackward mirrors
+//    Graph::InEdges (the UNI filter's backward expansion), kForward mirrors
+//    Graph::OutEdges (directed path baselines). Per-node lists keep the
+//    graph CSR's ascending-EdgeId order, so a search on the view performs
+//    byte-identical work to the filter-in-the-loop path — just without the
+//    skipped entries and per-edge label/direction tests.
+//  * With no LABEL set the view is a zero-copy pass-through onto the graph's
+//    own CSRs (building it costs nothing; Edges() delegates).
+//  * A ViewCache deduplicates views by (graph identity, direction,
+//    normalized label set) behind a mutex and hands out shared_ptrs, so a
+//    batch of queries over the same label vocabulary — or the chunks and
+//    concurrent CTPs of one parallel run — compile the view once and share
+//    it read-only (CtpExecutor and EqlEngine each keep one).
+#ifndef EQL_CTP_VIEW_H_
+#define EQL_CTP_VIEW_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace eql {
+
+struct CtpFilters;
+
+/// Which incident edges of a node the view exposes.
+enum class ViewDirection : uint8_t {
+  kBoth,      ///< all incident edges (Graph::Incident; undirected search)
+  kBackward,  ///< edges entering the node (Graph::InEdges; UNI expansion)
+  kForward,   ///< edges leaving the node (Graph::OutEdges; directed paths)
+};
+
+/// An immutable filter-specialized adjacency view over one finalized graph.
+/// Thread-safe for concurrent reads; the graph must outlive the view.
+class CompiledCtpView {
+ public:
+  /// Compiles the view. `allowed_labels` follows CtpFilters semantics:
+  /// nullopt admits every label (pass-through mode); a set — including the
+  /// empty set — materializes the filtered CSR. The labels need not be
+  /// normalized; the view normalizes (sorts + dedups) its own copy.
+  CompiledCtpView(const Graph& g, std::optional<std::vector<StrId>> allowed_labels,
+                  ViewDirection direction);
+
+  /// The pre-qualified incident edges of `n` for this view's direction, in
+  /// ascending EdgeId order (the same order the graph CSRs yield).
+  std::span<const IncidentEdge> Edges(NodeId n) const {
+    if (!materialized_) {
+      switch (direction_) {
+        case ViewDirection::kBoth:
+          return g_->Incident(n);
+        case ViewDirection::kBackward:
+          return g_->InEdges(n);
+        case ViewDirection::kForward:
+          return g_->OutEdges(n);
+      }
+    }
+    return {list_.data() + offset_[n], offset_[n + 1] - offset_[n]};
+  }
+
+  ViewDirection direction() const { return direction_; }
+  /// False in pass-through mode (no LABEL set: nothing to specialize).
+  bool materialized() const { return materialized_; }
+  /// Entries kept across all nodes (an edge contributes one entry per
+  /// qualifying endpoint); 0 for pass-through views.
+  size_t entries_kept() const { return list_.size(); }
+
+  /// True if this view serves searches over `g` with `labels`/`direction` —
+  /// the compatibility contract the engines assert in debug builds.
+  bool Matches(const Graph& g, const std::optional<std::vector<StrId>>& labels,
+               ViewDirection direction) const;
+
+  /// The direction a GAM/BFT search with these filters needs.
+  static ViewDirection DirectionFor(bool unidirectional) {
+    return unidirectional ? ViewDirection::kBackward : ViewDirection::kBoth;
+  }
+
+ private:
+  friend class ViewCache;
+
+  const Graph* g_;
+  uint64_t graph_uid_;
+  ViewDirection direction_;
+  bool materialized_;
+  std::optional<std::vector<StrId>> labels_;  ///< normalized
+  std::vector<uint32_t> offset_;
+  std::vector<IncidentEdge> list_;
+};
+
+/// Borrow-or-compile: the caller-supplied view when given (compatibility
+/// assert-checked in debug), else a locally compiled one placed in `*local`.
+/// The dance every baseline that accepts an optional external view needs
+/// (qgstp, path_enum); a pass-through compile costs nothing.
+inline const CompiledCtpView* ViewOrLocal(
+    const Graph& g, const CompiledCtpView* view,
+    const std::optional<std::vector<StrId>>& allowed_labels, ViewDirection dir,
+    std::optional<CompiledCtpView>* local) {
+  if (view != nullptr) {
+    assert(view->Matches(g, allowed_labels, dir));
+    return view;
+  }
+  local->emplace(g, allowed_labels, dir);
+  return &**local;
+}
+
+/// A small, internally-synchronized cache of compiled views. Pass-through
+/// views (no LABEL set) are constructed on the fly and never stored — they
+/// carry no state worth caching and would otherwise pin a dangling Graph
+/// pointer past the graph's lifetime. Materialized views own their CSR and
+/// never dereference the graph after construction, so a cached entry is safe
+/// even if its graph has been destroyed (it can only be *returned* again for
+/// a graph with the same identity).
+class ViewCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    size_t entries = 0;
+  };
+
+  /// Returns the cached view for the key, compiling and inserting on miss.
+  std::shared_ptr<const CompiledCtpView> Get(
+      const Graph& g, const std::optional<std::vector<StrId>>& allowed_labels,
+      ViewDirection direction);
+
+  Stats stats() const;
+  void Clear();
+
+ private:
+  struct Entry {
+    uint64_t graph_uid;
+    ViewDirection direction;
+    std::vector<StrId> labels;  ///< normalized
+    uint64_t last_used;
+    std::shared_ptr<const CompiledCtpView> view;
+  };
+
+  /// The entry for the key, or nullptr. Caller holds mu_. The single
+  /// definition of key equality for both sides of Get's double-check.
+  Entry* FindEntryLocked(uint64_t graph_uid, ViewDirection direction,
+                         const std::vector<StrId>& labels);
+
+  /// Bounds on retained views, enforced by LRU eviction: a count cap (far
+  /// above any realistic live label-vocabulary size) and a total-CSR-entry
+  /// cap (~192 MB of IncidentEdge storage) so a long-lived executor that
+  /// outlives many large graphs — whose uids can never hit again — cannot
+  /// pin unbounded dead view storage.
+  static constexpr size_t kMaxEntries = 128;
+  static constexpr size_t kMaxTotalCsrEntries = 16u << 20;
+
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+  size_t total_csr_entries_ = 0;
+  uint64_t tick_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace eql
+
+#endif  // EQL_CTP_VIEW_H_

@@ -203,8 +203,12 @@ Status EqlEngine::EvalOneCtp(const CtpPattern& ctp,
     popts.num_threads = options_.num_threads;
     popts.algorithm = kind;
     popts.queue_strategy = qs;
+    popts.use_views = options_.use_compiled_views;
+    popts.incremental_scores = options_.incremental_scores;
+    popts.bound_pruning = options_.bound_pruning;
     auto outcome = executor_->Evaluate(g_, *seeds, *filters, popts);
     if (!outcome.ok()) return outcome.status();
+    run.used_view = outcome->used_view;
     run.stats = outcome->stats;
     run.num_results = outcome->results.size();
     run.parallel_chunks = outcome->threads_used;
@@ -220,8 +224,26 @@ Status EqlEngine::EvalOneCtp(const CtpPattern& ctp,
     return Status::Ok();
   }
 
+  // Sequential path: compile (or fetch) the filter view. BFT under UNI is
+  // rejected downstream, so only GAM-family searches request the backward
+  // layout. The cache is the executor's when a pool exists — RunBatch
+  // queries then share compiled views — and engine-local otherwise.
+  CtpAlgorithmTuning tuning;
+  tuning.incremental_scores = options_.incremental_scores;
+  tuning.bound_pruning = options_.bound_pruning;
+  std::shared_ptr<const CompiledCtpView> view;
+  if (options_.use_compiled_views &&
+      (filters->allowed_labels.has_value() || filters->unidirectional) &&
+      (IsGamFamily(kind) || !filters->unidirectional)) {
+    ViewCache& cache =
+        executor_ != nullptr ? executor_->view_cache() : view_cache_;
+    view = cache.Get(g_, filters->allowed_labels,
+                     CompiledCtpView::DirectionFor(filters->unidirectional));
+    tuning.view = view.get();
+    run.used_view = true;
+  }
   auto algo = CreateCtpAlgorithm(kind, g_, *seeds, std::move(filters).value(),
-                                 nullptr, qs);
+                                 nullptr, qs, tuning);
   Status st = algo->Run();
   if (!st.ok()) return st;
   run.stats = algo->stats();

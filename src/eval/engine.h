@@ -51,6 +51,23 @@ struct EngineOptions {
   /// seed sets instead of applying Section 4.9 (i). Exists to demonstrate
   /// why the optimization matters (Table 1); never enable in production.
   bool materialize_universal_sets = false;
+  /// Compile each CTP's LABEL/UNI predicates into a cached adjacency view
+  /// (ctp/view.h): the search then iterates pre-qualified edges with zero
+  /// per-edge predicate work, and queries sharing a label vocabulary share
+  /// the compiled view (the cache lives in the executor when one is
+  /// configured, in the engine otherwise).
+  bool use_compiled_views = true;
+  /// Maintain decomposable score functions incrementally in the tree arena
+  /// (ctp/score.h): result scoring becomes O(1) instead of O(|tree|).
+  bool incremental_scores = true;
+  /// Sound TOP-k bound pruning for anti-monotone decomposable scores
+  /// (ctp/gam.h): provably answer-preserving for every search that runs to
+  /// completion (it disables itself under LIMIT/tree budgets, whose
+  /// truncation is deterministic), so on by default. A search cut off by
+  /// TIMEOUT reports whatever the deadline allowed — already best-effort
+  /// and machine-dependent without pruning; pruning changes which prefix
+  /// fits, typically for the better (low-bound subtrees are skipped first).
+  bool bound_pruning = true;
   /// CTP parallelism: the number of seed-set chunks each CTP is split into
   /// and dispatched onto the worker pool (ctp/parallel.h). 0 or 1 =
   /// sequential, in-process evaluation. Parallel CTP results are emitted in
@@ -78,6 +95,9 @@ struct CtpRunInfo {
   AlgorithmKind algorithm = AlgorithmKind::kMoLesp;  ///< what actually ran
   std::vector<size_t> seed_set_sizes;  ///< SIZE_MAX marks a universal set
   unsigned parallel_chunks = 0;  ///< seed-set chunks used; 0 = sequential
+  /// The search iterated a compiled filter view (ctp/view.h) instead of
+  /// filtering the full incidence CSR per edge.
+  bool used_view = false;
   /// The LABEL filter named only labels absent from the dictionary and no
   /// zero-edge result was possible: the search was short-circuited to an
   /// empty table (no edge can match a dead label set).
@@ -137,6 +157,10 @@ class EqlEngine {
   EngineOptions options_;
   std::unique_ptr<CtpExecutor> owned_executor_;
   CtpExecutor* executor_ = nullptr;
+  /// Compiled-view cache for sequential evaluation without a pool; engines
+  /// with a pool share the executor's cache instead. Internally
+  /// synchronized, hence usable from the const Run methods.
+  mutable ViewCache view_cache_;
 };
 
 }  // namespace eql

@@ -1,6 +1,7 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "util/hash.h"
 
@@ -148,6 +149,8 @@ void Graph::Finalize() {
   }
   for (EdgeId e = 0; e < ne; ++e) edges_by_label_[edge_label_[e]].push_back(e);
 
+  static std::atomic<uint64_t> uid_counter{0};
+  uid_ = ++uid_counter;
   finalized_ = true;
 }
 

@@ -79,6 +79,12 @@ class Graph {
   void Finalize();
   bool finalized() const { return finalized_; }
 
+  /// Process-unique identity of this graph's finalized contents, minted by
+  /// Finalize() (0 before). Copies share the uid — they carry identical,
+  /// immutable data — so caches keyed on it (ctp/view.h) stay valid across
+  /// copies and never confuse address-reused Graph objects.
+  uint64_t uid() const { return uid_; }
+
   // ---- sizes ----
 
   size_t NumNodes() const { return node_label_.size(); }
@@ -167,6 +173,7 @@ class Graph {
 
   // CSRs (built by Finalize).
   bool finalized_ = false;
+  uint64_t uid_ = 0;
   std::vector<uint32_t> inc_offset_;
   std::vector<IncidentEdge> inc_list_;
   std::vector<uint32_t> out_offset_;

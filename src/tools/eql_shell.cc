@@ -12,11 +12,14 @@
 //   --timeout MS      default per-CTP timeout (default 60000)
 //   --max-rows N      print at most N result rows per query (default 20)
 //   --stats           print per-CTP search statistics
+//   --no-views        disable compiled LABEL/UNI adjacency views (ctp/view.h)
+//   --no-bound-pruning disable TOP-k score bound pruning (ctp/gam.h)
 //   --demo            load the paper's Figure 1 graph instead of a file
 //
 // Interactive / piped mode additionally understands dot-commands on their
 // own line:
 //   .parallel N       switch CTP parallelism to N chunks (0 = sequential)
+//   .views on|off     toggle compiled filter views
 //   .batch FILE       run the ';'-separated queries in FILE as one batch
 //                     through EqlEngine::RunBatch (amortizes the pool)
 //
@@ -83,7 +86,7 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s GRAPH.tsv|--demo [--algorithm NAME] [--adaptive]\n"
                "       [--parallel N] [--timeout MS] [--max-rows N] [--stats]\n"
-               "       [-q QUERY]...\n",
+               "       [--no-views] [--no-bound-pruning] [-q QUERY]...\n",
                argv0);
   return 2;
 }
@@ -105,6 +108,10 @@ bool ParseArgs(int argc, char** argv, ShellArgs* args) {
       args->demo = true;
     } else if (a == "--stats") {
       args->stats = true;
+    } else if (a == "--no-views") {
+      args->options.use_compiled_views = false;
+    } else if (a == "--no-bound-pruning") {
+      args->options.bound_pruning = false;
     } else if (a == "--adaptive") {
       args->options.adaptive_algorithm = true;
     } else if (a == "--algorithm") {
@@ -175,6 +182,7 @@ void RunQuery(const EqlEngine& engine, const Graph& g, const ShellArgs& args,
       if (run.parallel_chunks > 0) {
         mode += ", " + std::to_string(run.parallel_chunks) + " chunks";
       }
+      if (run.used_view) mode += ", view";
       if (run.dead_labels) mode += ", dead-labels";
       std::printf("  [?%s via %s%s] %s\n", run.tree_var.c_str(),
                   AlgorithmName(run.algorithm), mode.c_str(),
@@ -261,7 +269,8 @@ int Main(int argc, char** argv) {
   // Interactive / piped mode: statements separated by ';', dot-commands on
   // their own line.
   std::printf(
-      "enter queries terminated by ';' (.parallel N | .batch FILE | Ctrl-D)\n");
+      "enter queries terminated by ';' (.parallel N | .views on|off | "
+      ".batch FILE | Ctrl-D)\n");
   std::string buffer, line;
   while (std::getline(std::cin, line)) {
     std::string trimmed(Trim(line));
@@ -286,6 +295,14 @@ int Main(int argc, char** argv) {
         } else {
           std::printf("parallel: off (sequential CTP evaluation)\n");
         }
+      } else if (name == ".views") {
+        if (arg != "on" && arg != "off") {
+          std::printf(".views expects 'on' or 'off'\n");
+          continue;
+        }
+        args.options.use_compiled_views = arg == "on";
+        engine = std::make_unique<EqlEngine>(graph, args.options);
+        std::printf("compiled filter views: %s\n", arg.c_str());
       } else if (name == ".batch") {
         if (arg.empty()) {
           std::printf(".batch needs a file name\n");
@@ -293,8 +310,10 @@ int Main(int argc, char** argv) {
           RunBatchFile(*engine, graph, args, arg);
         }
       } else {
-        std::printf("unknown command '%s' (try .parallel N or .batch FILE)\n",
-                    name.c_str());
+        std::printf(
+            "unknown command '%s' (try .parallel N, .views on|off or "
+            ".batch FILE)\n",
+            name.c_str());
       }
       continue;
     }

@@ -9,6 +9,15 @@
 namespace eql {
 namespace {
 
+TEST(FilterTest, NormalizeLabelsSortsAndDedups) {
+  CtpFilters f;
+  f.allowed_labels = std::vector<StrId>{7, 3, 7, 1, 3};
+  f.NormalizeLabels();
+  EXPECT_EQ(*f.allowed_labels, (std::vector<StrId>{1, 3, 7}));
+  EXPECT_TRUE(f.LabelAllowed(3));
+  EXPECT_FALSE(f.LabelAllowed(2));
+}
+
 TEST(FilterTest, MaxEdgesCutsLargerResults) {
   Graph g = MakeFigure1Graph();
   std::vector<std::vector<NodeId>> sets = {{g.FindNode("Bob")},

@@ -34,9 +34,17 @@ TEST_F(ScoreFixture, EdgeCount) {
 
 TEST_F(ScoreFixture, DegreePenaltySumsNodeDegrees) {
   DegreePenaltyScore s;
+  // Node terms are quantized (score.h) so incremental and recomputed sums
+  // agree bit-for-bit in any order; the quantized sum must track the raw
+  // log-sum to within the grid resolution per node.
   double expected = 0;
-  for (NodeId n : arena_.NodeSet(g_, tree_)) expected -= std::log2(1.0 + g_.Degree(n));
+  double raw = 0;
+  for (NodeId n : arena_.NodeSet(g_, tree_)) {
+    expected += s.NodeDelta(g_, n);
+    raw -= std::log2(1.0 + g_.Degree(n));
+  }
   EXPECT_DOUBLE_EQ(s.Score(g_, *seeds_, arena_, tree_), expected);
+  EXPECT_NEAR(expected, raw, 1e-5);
   EXPECT_LT(expected, 0);
 }
 
@@ -54,6 +62,25 @@ TEST_F(ScoreFixture, RootDegreePenalizesHubRoots) {
   double expected =
       -2.0 - 2.0 * std::log2(1.0 + g_.Degree(arena_.Get(tree_).root));
   EXPECT_DOUBLE_EQ(s.Score(g_, *seeds_, arena_, tree_), expected);
+}
+
+TEST_F(ScoreFixture, AdHocTreesCarryIncrementalScore) {
+  // External trees (BFT minimization products, parallel-union arenas) get
+  // score_acc from an explicit node census when an accumulator is attached;
+  // shared endpoints (USA here, on both edges) must be counted once.
+  DegreePenaltyScore s;
+  TreeArena arena;
+  arena.SetScoreAccumulator(&g_, &s);
+  TreeId t = arena.MakeAdHoc(g_.FindNode("USA"), {4, 5}, g_, *seeds_);
+  double expected = 0;
+  for (NodeId n : arena.NodeSet(g_, t)) expected += s.NodeDelta(g_, n);
+  EXPECT_EQ(arena.Get(t).score_acc, expected);
+
+  RootDegreeScore rd(2.0);
+  TreeArena arena2;
+  arena2.SetScoreAccumulator(&g_, &rd);
+  TreeId t2 = arena2.MakeAdHoc(g_.FindNode("USA"), {4, 5}, g_, *seeds_);
+  EXPECT_EQ(arena2.Get(t2).score_acc, -2.0);  // edge deltas only; root term later
 }
 
 TEST(ScoreRegistryTest, KnownAndUnknownNames) {

@@ -1,0 +1,335 @@
+// PR 3 equivalence suite: compiled views, incremental decomposable scoring,
+// and TOP-k bound pruning are pure performance features — each one, toggled
+// on or off, must leave the observable outcome byte-identical.
+//
+//  * views on/off: identical result sequences (edge sets, seed tuples,
+//    scores) AND identical search statistics — the view changes where the
+//    qualified edges come from, not which work the search does;
+//  * incremental scoring on/off: identical results with bit-identical
+//    scores (the quantized-delta design, score.h);
+//  * bound pruning on/off under TOP-k: identical finalized TOP-k windows
+//    (stats legitimately differ — skipping work is the point);
+//  * all of the above through the chunked parallel executor, across chunk
+//    counts.
+#include <gtest/gtest.h>
+
+#include "ctp/parallel.h"
+#include "ctp/view.h"
+#include "eval/engine.h"
+#include "test_util.h"
+
+namespace eql {
+namespace {
+
+Graph MakeTwoLabelGraph(int nodes, int edges, Rng* rng) {
+  Graph g;
+  for (int i = 0; i < nodes; ++i) g.AddNode("n" + std::to_string(i));
+  for (int i = 1; i < nodes; ++i) {
+    NodeId other = static_cast<NodeId>(rng->Below(i));
+    const char* label = rng->Chance(0.5) ? "red" : "blue";
+    if (rng->Chance(0.5)) {
+      g.AddEdge(i, other, label);
+    } else {
+      g.AddEdge(other, i, label);
+    }
+  }
+  while (g.NumEdges() < static_cast<size_t>(edges)) {
+    NodeId a = static_cast<NodeId>(rng->Below(nodes));
+    NodeId b = static_cast<NodeId>(rng->Below(nodes));
+    if (a == b) continue;
+    g.AddEdge(a, b, rng->Chance(0.5) ? "red" : "blue");
+  }
+  g.Finalize();
+  return g;
+}
+
+/// Everything observable about one run, in result insertion order.
+struct Capture {
+  std::vector<std::vector<EdgeId>> edge_sets;
+  std::vector<std::vector<NodeId>> seed_tuples;
+  std::vector<double> scores;
+  SearchStats stats;
+};
+
+Capture CaptureGam(const Graph& g, const SeedSets& seeds, GamConfig config) {
+  GamSearch search(g, seeds, std::move(config));
+  EXPECT_TRUE(search.Run().ok());
+  Capture out;
+  for (const CtpResult& r : search.results().results()) {
+    out.edge_sets.push_back(search.arena().EdgeSet(r.tree));
+    out.seed_tuples.push_back(r.seed_of_set);
+    out.scores.push_back(r.score);
+  }
+  out.stats = search.stats();
+  return out;
+}
+
+/// Field-by-field equality of the deterministic counters (elapsed_ms is
+/// wall-clock and excluded).
+void ExpectStatsEqual(const SearchStats& a, const SearchStats& b,
+                      const char* what) {
+  EXPECT_EQ(a.init_trees, b.init_trees) << what;
+  EXPECT_EQ(a.grow_attempts, b.grow_attempts) << what;
+  EXPECT_EQ(a.merge_attempts, b.merge_attempts) << what;
+  EXPECT_EQ(a.trees_built, b.trees_built) << what;
+  EXPECT_EQ(a.mo_trees, b.mo_trees) << what;
+  EXPECT_EQ(a.trees_pruned, b.trees_pruned) << what;
+  EXPECT_EQ(a.lesp_spared, b.lesp_spared) << what;
+  EXPECT_EQ(a.bound_pruned, b.bound_pruned) << what;
+  EXPECT_EQ(a.queue_pushed, b.queue_pushed) << what;
+  EXPECT_EQ(a.results_found, b.results_found) << what;
+  EXPECT_EQ(a.duplicate_results, b.duplicate_results) << what;
+  EXPECT_EQ(a.timed_out, b.timed_out) << what;
+  EXPECT_EQ(a.budget_exhausted, b.budget_exhausted) << what;
+  EXPECT_EQ(a.complete, b.complete) << what;
+}
+
+void ExpectResultsEqual(const Capture& a, const Capture& b, const char* what) {
+  EXPECT_EQ(a.edge_sets, b.edge_sets) << what;
+  EXPECT_EQ(a.seed_tuples, b.seed_tuples) << what;
+  ASSERT_EQ(a.scores.size(), b.scores.size()) << what;
+  for (size_t i = 0; i < a.scores.size(); ++i) {
+    EXPECT_EQ(a.scores[i], b.scores[i]) << what << " score " << i;
+  }
+}
+
+class ViewEquivalence : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ViewEquivalence, ::testing::Range(0, 10));
+
+TEST_P(ViewEquivalence, GamViewOnOffIsByteIdentical) {
+  Rng rng(4200 + GetParam());
+  Graph g = MakeTwoLabelGraph(10, 16, &rng);
+  auto sets = PickSeedSets(g, 2 + GetParam() % 2, 2, &rng);
+  auto seeds = SeedSets::Of(g, sets);
+  ASSERT_TRUE(seeds.ok());
+  const StrId red = g.dict().Lookup("red");
+  const StrId blue = g.dict().Lookup("blue");
+  EdgeCountScore score;
+
+  struct Variant {
+    const char* name;
+    CtpFilters filters;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"label-red", {}});
+  variants.back().filters.allowed_labels = std::vector<StrId>{red};
+  variants.push_back({"uni", {}});
+  variants.back().filters.unidirectional = true;
+  variants.push_back({"label+uni", {}});
+  variants.back().filters.allowed_labels = std::vector<StrId>{red, blue};
+  variants.back().filters.unidirectional = true;
+  variants.push_back({"label+score", {}});
+  variants.back().filters.allowed_labels = std::vector<StrId>{blue};
+  variants.back().filters.score = &score;
+  variants.back().filters.top_k = 3;
+
+  for (Variant& v : variants) {
+    v.filters.NormalizeLabels();
+    CompiledCtpView view(
+        g, v.filters.allowed_labels,
+        CompiledCtpView::DirectionFor(v.filters.unidirectional));
+    for (AlgorithmKind kind : {AlgorithmKind::kMoLesp, AlgorithmKind::kEsp}) {
+      GamConfig off = MakeGamConfig(kind);
+      off.filters = v.filters;
+      GamConfig on = off;
+      on.view = &view;
+      Capture a = CaptureGam(g, *seeds, off);
+      Capture b = CaptureGam(g, *seeds, on);
+      ExpectResultsEqual(a, b, v.name);
+      ExpectStatsEqual(a.stats, b.stats, v.name);
+    }
+  }
+}
+
+TEST_P(ViewEquivalence, BftViewOnOffIsByteIdentical) {
+  Rng rng(4300 + GetParam());
+  Graph g = MakeTwoLabelGraph(9, 13, &rng);
+  auto sets = PickSeedSets(g, 2, 2, &rng);
+  CtpFilters f;
+  f.allowed_labels = std::vector<StrId>{g.dict().Lookup("red")};
+  f.NormalizeLabels();
+  CompiledCtpView view(g, f.allowed_labels, ViewDirection::kBoth);
+  auto off = RunAlgo(AlgorithmKind::kBftAM, g, sets, f);
+  auto seeds = SeedSets::Of(g, sets);
+  ASSERT_TRUE(seeds.ok());
+  BftConfig config;
+  config.merge_mode = BftMergeMode::kAggressive;
+  config.filters = f;
+  config.view = &view;
+  BftSearch on(g, *seeds, std::move(config));
+  ASSERT_TRUE(on.Run().ok());
+  EXPECT_EQ(Canonical(off->results()), Canonical(on.results()));
+  EXPECT_EQ(off->stats().trees_built, on.stats().trees_built);
+  EXPECT_EQ(off->stats().grow_attempts, on.stats().grow_attempts);
+  EXPECT_EQ(off->stats().merge_attempts, on.stats().merge_attempts);
+  EXPECT_EQ(off->stats().results_found, on.stats().results_found);
+}
+
+TEST_P(ViewEquivalence, IncrementalScoreMatchesRecomputedBitForBit) {
+  Rng rng(4400 + GetParam());
+  Graph g = MakeTwoLabelGraph(10, 15, &rng);
+  auto sets = PickSeedSets(g, 2 + GetParam() % 2, 1, &rng);
+  auto seeds = SeedSets::Of(g, sets);
+  ASSERT_TRUE(seeds.ok());
+  for (const char* name :
+       {"edge_count", "degree_penalty", "root_degree", "label_diversity"}) {
+    auto score = CreateScoreFunction(name);
+    GamConfig base = GamConfig::MoLesp();
+    base.filters.score = score.get();
+    base.bound_pruning = false;
+    GamConfig off = base;
+    off.incremental_scores = false;
+    Capture inc = CaptureGam(g, *seeds, base);
+    Capture rec = CaptureGam(g, *seeds, off);
+    ExpectResultsEqual(inc, rec, name);
+    ExpectStatsEqual(inc.stats, rec.stats, name);
+  }
+}
+
+TEST_P(ViewEquivalence, BoundPruningPreservesTopK) {
+  Rng rng(4500 + GetParam());
+  Graph g = MakeTwoLabelGraph(11, 18, &rng);
+  auto sets = PickSeedSets(g, 2 + GetParam() % 2, 2, &rng);
+  auto seeds = SeedSets::Of(g, sets);
+  ASSERT_TRUE(seeds.ok());
+  for (const char* name : {"edge_count", "degree_penalty", "root_degree"}) {
+    auto score = CreateScoreFunction(name);
+    for (int k : {1, 3}) {
+      GamConfig on = GamConfig::MoLesp();
+      on.filters.score = score.get();
+      on.filters.top_k = k;
+      GamConfig off = on;
+      off.bound_pruning = false;
+      Capture pruned = CaptureGam(g, *seeds, on);
+      Capture full = CaptureGam(g, *seeds, off);
+      // Run() finalizes TOP-k, so both captures are the post-truncation
+      // window; pruning must not change it (stats legitimately differ).
+      ExpectResultsEqual(pruned, full, name);
+      EXPECT_EQ(full.stats.bound_pruned, 0u);
+    }
+  }
+}
+
+TEST(ViewEquivalenceTest, BoundPruningActuallyFires) {
+  Rng rng(77);
+  Graph g = MakeTwoLabelGraph(40, 90, &rng);
+  auto sets = PickSeedSets(g, 2, 2, &rng);
+  auto seeds = SeedSets::Of(g, sets);
+  ASSERT_TRUE(seeds.ok());
+  EdgeCountScore score;
+  GamConfig config = GamConfig::MoLesp();
+  config.filters.score = &score;
+  config.filters.top_k = 1;
+  config.filters.max_edges = 6;
+  Capture pruned = CaptureGam(g, *seeds, config);
+  EXPECT_GT(pruned.stats.bound_pruned, 0u)
+      << "pruning never engaged; the equivalence tests above would be vacuous";
+}
+
+TEST_P(ViewEquivalence, ParallelViewAndPruningTogglesAgree) {
+  Rng rng(4600 + GetParam());
+  Graph g = MakeTwoLabelGraph(12, 20, &rng);
+  auto sets = PickSeedSets(g, 2, 3, &rng);
+  auto seeds = SeedSets::Of(g, sets);
+  ASSERT_TRUE(seeds.ok());
+  DegreePenaltyScore score;
+  CtpFilters f;
+  f.allowed_labels =
+      std::vector<StrId>{g.dict().Lookup("red"), g.dict().Lookup("blue")};
+  f.NormalizeLabels();
+  f.score = &score;
+  f.top_k = 4;
+  CtpExecutor pool(2);
+
+  auto run = [&](unsigned chunks, bool views, bool pruning) {
+    ParallelCtpOptions opts;
+    opts.num_threads = chunks;
+    opts.executor = &pool;
+    opts.use_views = views;
+    opts.bound_pruning = pruning;
+    auto out = pool.Evaluate(g, *seeds, f, opts);
+    EXPECT_TRUE(out.ok());
+    std::vector<std::vector<EdgeId>> edge_sets;
+    std::vector<double> scores;
+    for (const CtpResult& r : out->results) {
+      edge_sets.push_back(out->arena.EdgeSet(r.tree));
+      scores.push_back(r.score);
+    }
+    return std::make_pair(edge_sets, scores);
+  };
+
+  const auto reference = run(1, true, true);
+  for (unsigned chunks : {1u, 2u, 3u}) {
+    for (bool views : {true, false}) {
+      for (bool pruning : {true, false}) {
+        EXPECT_EQ(run(chunks, views, pruning), reference)
+            << "chunks=" << chunks << " views=" << views
+            << " pruning=" << pruning;
+      }
+    }
+  }
+}
+
+TEST(ViewEquivalenceTest, TopKTieBreakKeepsInsertionOrder) {
+  // Three distinct 1-edge trees tie under edge_count; TOP 2 must keep the
+  // first two *added*, in order — the contract FinalizeTopK's partial sort
+  // preserves from the old stable_sort implementation.
+  Graph g = MakeFigure1Graph();
+  auto seeds = SeedSets::Of(g, {{g.FindNode("Bob")}, {g.FindNode("Carole")}});
+  ASSERT_TRUE(seeds.ok());
+  EdgeCountScore score;
+  CtpFilters f;
+  f.score = &score;
+  f.top_k = 2;
+  TreeArena arena;
+  CtpResultSet rs(&g, &*seeds, &arena, &f);
+  TreeId t0 = arena.MakeAdHoc(g.FindNode("USA"), {4}, g, *seeds);
+  TreeId t1 = arena.MakeAdHoc(g.FindNode("USA"), {5}, g, *seeds);
+  TreeId t2 = arena.MakeAdHoc(g.FindNode("OrgB"), {0}, g, *seeds);
+  EXPECT_TRUE(rs.Add(t0));
+  EXPECT_TRUE(rs.Add(t1));
+  EXPECT_TRUE(rs.Add(t2));
+  rs.FinalizeTopK();
+  ASSERT_EQ(rs.size(), 2u);
+  EXPECT_EQ(rs.results()[0].tree, t0);
+  EXPECT_EQ(rs.results()[1].tree, t1);
+}
+
+TEST(ViewEquivalenceTest, EngineViewToggleIsInvisible) {
+  Graph g = MakeFigure1Graph();
+  struct Case {
+    const char* query;
+    bool expect_view;  ///< views engage only when LABEL or UNI is present
+  };
+  const Case queries[] = {
+      {"SELECT ?w WHERE { CONNECT(\"Bob\", \"Carole\" -> ?w)"
+       " LABEL {\"citizenOf\", \"founded\"} }",
+       true},
+      {"SELECT ?w WHERE { CONNECT(\"Bob\", \"Elon\" -> ?w) UNI MAX 4 }", true},
+      {"SELECT ?w WHERE { CONNECT(\"Bob\", \"Carole\" -> ?w)"
+       " SCORE degree_penalty TOP 2 }",
+       false},
+  };
+  for (const Case& c : queries) {
+    const char* q = c.query;
+    EngineOptions with, without;
+    without.use_compiled_views = false;
+    without.bound_pruning = false;
+    without.incremental_scores = false;
+    auto a = EqlEngine(g, with).Run(q);
+    auto b = EqlEngine(g, without).Run(q);
+    ASSERT_TRUE(a.ok()) << q;
+    ASSERT_TRUE(b.ok()) << q;
+    ASSERT_EQ(a->table.NumRows(), b->table.NumRows()) << q;
+    for (size_t r = 0; r < a->table.NumRows(); ++r) {
+      EXPECT_EQ(a->RowToString(g, r), b->RowToString(g, r)) << q;
+    }
+    ASSERT_EQ(a->ctp_runs.size(), 1u);
+    EXPECT_EQ(a->ctp_runs[0].used_view, c.expect_view) << q;
+    EXPECT_FALSE(b->ctp_runs[0].used_view) << q;
+  }
+}
+
+}  // namespace
+}  // namespace eql

@@ -1,0 +1,161 @@
+// Unit tests for compiled CTP views (ctp/view.h): pass-through delegation,
+// materialized CSR contents/order per direction, compatibility checks, and
+// the cache's keying, sharing and normalization behavior.
+#include <gtest/gtest.h>
+
+#include "ctp/view.h"
+#include "test_util.h"
+
+namespace eql {
+namespace {
+
+/// The filtered sequence a search would visit over `span` (order preserved).
+std::vector<IncidentEdge> Filtered(const Graph& g,
+                                   std::span<const IncidentEdge> span,
+                                   const std::vector<StrId>& allowed) {
+  std::vector<IncidentEdge> out;
+  for (const IncidentEdge& ie : span) {
+    if (std::binary_search(allowed.begin(), allowed.end(), g.EdgeLabelId(ie.edge))) {
+      out.push_back(ie);
+    }
+  }
+  return out;
+}
+
+bool SameEntries(std::span<const IncidentEdge> a,
+                 const std::vector<IncidentEdge>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].edge != b[i].edge || a[i].other != b[i].other ||
+        a[i].forward != b[i].forward) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Graph MakeTwoLabelGraph(int nodes, int edges, Rng* rng) {
+  Graph g;
+  for (int i = 0; i < nodes; ++i) g.AddNode("n" + std::to_string(i));
+  for (int i = 1; i < nodes; ++i) {
+    NodeId other = static_cast<NodeId>(rng->Below(i));
+    const char* label = rng->Chance(0.5) ? "red" : "blue";
+    if (rng->Chance(0.5)) {
+      g.AddEdge(i, other, label);
+    } else {
+      g.AddEdge(other, i, label);
+    }
+  }
+  while (g.NumEdges() < static_cast<size_t>(edges)) {
+    NodeId a = static_cast<NodeId>(rng->Below(nodes));
+    NodeId b = static_cast<NodeId>(rng->Below(nodes));
+    if (a == b) continue;
+    g.AddEdge(a, b, rng->Chance(0.5) ? "red" : "blue");
+  }
+  g.Finalize();
+  return g;
+}
+
+TEST(ViewTest, PassthroughDelegatesToGraphCsrs) {
+  Rng rng(1);
+  Graph g = MakeTwoLabelGraph(12, 24, &rng);
+  CompiledCtpView both(g, std::nullopt, ViewDirection::kBoth);
+  CompiledCtpView back(g, std::nullopt, ViewDirection::kBackward);
+  CompiledCtpView fwd(g, std::nullopt, ViewDirection::kForward);
+  EXPECT_FALSE(both.materialized());
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    EXPECT_EQ(both.Edges(n).data(), g.Incident(n).data());
+    EXPECT_EQ(both.Edges(n).size(), g.Incident(n).size());
+    EXPECT_EQ(back.Edges(n).data(), g.InEdges(n).data());
+    EXPECT_EQ(fwd.Edges(n).data(), g.OutEdges(n).data());
+  }
+}
+
+TEST(ViewTest, MaterializedEqualsFilteredGraphSpans) {
+  Rng rng(2);
+  Graph g = MakeTwoLabelGraph(14, 30, &rng);
+  const std::vector<StrId> red = {g.dict().Lookup("red")};
+  CompiledCtpView both(g, red, ViewDirection::kBoth);
+  CompiledCtpView back(g, red, ViewDirection::kBackward);
+  CompiledCtpView fwd(g, red, ViewDirection::kForward);
+  EXPECT_TRUE(both.materialized());
+  EXPECT_GT(both.entries_kept(), 0u);
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    EXPECT_TRUE(SameEntries(both.Edges(n), Filtered(g, g.Incident(n), red)))
+        << "node " << n << " (kBoth)";
+    EXPECT_TRUE(SameEntries(back.Edges(n), Filtered(g, g.InEdges(n), red)))
+        << "node " << n << " (kBackward)";
+    EXPECT_TRUE(SameEntries(fwd.Edges(n), Filtered(g, g.OutEdges(n), red)))
+        << "node " << n << " (kForward)";
+  }
+}
+
+TEST(ViewTest, EmptyLabelSetYieldsEmptySpans) {
+  Rng rng(3);
+  Graph g = MakeTwoLabelGraph(8, 12, &rng);
+  CompiledCtpView v(g, std::vector<StrId>{}, ViewDirection::kBoth);
+  EXPECT_TRUE(v.materialized());
+  EXPECT_EQ(v.entries_kept(), 0u);
+  for (NodeId n = 0; n < g.NumNodes(); ++n) EXPECT_TRUE(v.Edges(n).empty());
+}
+
+TEST(ViewTest, MatchesChecksGraphLabelsAndDirection) {
+  Rng rng(4);
+  Graph g1 = MakeTwoLabelGraph(8, 12, &rng);
+  Graph g2 = MakeTwoLabelGraph(8, 12, &rng);
+  const StrId red = g1.dict().Lookup("red");
+  const StrId blue = g1.dict().Lookup("blue");
+  CompiledCtpView v(g1, std::vector<StrId>{red}, ViewDirection::kBackward);
+  EXPECT_TRUE(v.Matches(g1, std::vector<StrId>{red}, ViewDirection::kBackward));
+  // Unnormalized query keys still match: Matches normalizes.
+  EXPECT_TRUE(v.Matches(g1, std::vector<StrId>{red, red}, ViewDirection::kBackward));
+  EXPECT_FALSE(v.Matches(g1, std::vector<StrId>{blue}, ViewDirection::kBackward));
+  EXPECT_FALSE(v.Matches(g1, std::vector<StrId>{red}, ViewDirection::kBoth));
+  EXPECT_FALSE(v.Matches(g1, std::nullopt, ViewDirection::kBackward));
+  EXPECT_FALSE(v.Matches(g2, std::vector<StrId>{red}, ViewDirection::kBackward));
+}
+
+TEST(ViewTest, GraphsGetDistinctUids) {
+  Rng rng(5);
+  Graph g1 = MakeTwoLabelGraph(6, 8, &rng);
+  Graph g2 = MakeTwoLabelGraph(6, 8, &rng);
+  EXPECT_NE(g1.uid(), 0u);
+  EXPECT_NE(g1.uid(), g2.uid());
+  Graph copy = g1;  // copies carry the same immutable data -> same identity
+  EXPECT_EQ(copy.uid(), g1.uid());
+}
+
+TEST(ViewCacheTest, SharesMaterializedViewsAndNormalizesKeys) {
+  Rng rng(6);
+  Graph g = MakeTwoLabelGraph(10, 16, &rng);
+  const StrId red = g.dict().Lookup("red");
+  const StrId blue = g.dict().Lookup("blue");
+  ViewCache cache;
+  auto a = cache.Get(g, std::vector<StrId>{red, blue}, ViewDirection::kBoth);
+  // Same set, different order and with a duplicate: one cache entry.
+  auto b = cache.Get(g, std::vector<StrId>{blue, red, red}, ViewDirection::kBoth);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  // Different direction or label set: distinct entries.
+  auto c = cache.Get(g, std::vector<StrId>{red, blue}, ViewDirection::kBackward);
+  auto d = cache.Get(g, std::vector<StrId>{red}, ViewDirection::kBoth);
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_NE(a.get(), d.get());
+  EXPECT_EQ(cache.stats().entries, 3u);
+}
+
+TEST(ViewCacheTest, PassthroughViewsAreNotCached) {
+  Rng rng(7);
+  Graph g = MakeTwoLabelGraph(6, 8, &rng);
+  ViewCache cache;
+  auto a = cache.Get(g, std::nullopt, ViewDirection::kBoth);
+  auto b = cache.Get(g, std::nullopt, ViewDirection::kBoth);
+  EXPECT_FALSE(a->materialized());
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+}  // namespace
+}  // namespace eql
