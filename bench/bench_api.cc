@@ -1,0 +1,180 @@
+// bench_api — the prepared/streaming API (eval/engine.h) vs the one-shot
+// text path, on the synthetic KG.
+//
+// Two measurements:
+//   * prepare-once/execute-many QPS vs parse-per-call on a parameterized
+//     point-lookup workload (cheap CTPs, the high-traffic serving shape —
+//     the front end is the per-call overhead Prepare amortizes: lexing,
+//     parsing, validation, planning, score construction, LABEL resolution,
+//     view cache probes);
+//   * time-to-first-result under the streaming sink vs time-to-full-
+//     materialization on a multi-result CONNECT workload (the anytime
+//     character of Algorithm 1, surfaced through the API).
+// Both paths must produce identical row counts (the equivalence suite pins
+// byte-identity; the bench re-checks counts as a tripwire).
+//
+// Usage: bench_api [OUT.json]   (default BENCH_api.json)
+// Honors EQL_BENCH_SCALE: 0 smoke (4k/16k KG), 1 default (20k/80k KG),
+// 2 paper-scale (50k/200k), and EQL_BENCH_TIMEOUT_MS.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "eval/engine.h"
+#include "gen/kg.h"
+#include "util/stopwatch.h"
+
+namespace eql {
+namespace {
+
+int Main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_api.json";
+  bench::Banner("prepared queries + streaming cursor",
+                "Section 3 (evaluation strategy, served at scale)");
+
+  KgParams p;
+  const int scale = bench::Scale();
+  p.num_nodes = scale == 0 ? 4000u : scale == 1 ? 20000u : 50000u;
+  p.num_edges = static_cast<uint64_t>(p.num_nodes) * 4;
+  auto g = MakeSyntheticKg(p);
+  if (!g.ok()) {
+    std::fprintf(stderr, "%s\n", g.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("KG: %zu nodes, %zu edges\n", g->NumNodes(), g->NumEdges());
+  EqlEngine engine(*g);
+
+  // ---- QPS: a parameterized 2-member connection lookup, LABEL-filtered and
+  // tightly bounded — the cheap-query regime where millions of users hit the
+  // same template and the front end is a real fraction of the work.
+  Rng rng(42);
+  const int num_pairs = 64;
+  std::vector<std::pair<std::string, std::string>> pairs;
+  std::vector<WorkloadCtp> workload =
+      MakeCtpWorkload(*g, num_pairs, /*m=*/2, /*set_size=*/1, &rng);
+  for (const WorkloadCtp& w : workload) {
+    pairs.emplace_back(g->NodeLabel(w.seed_sets[0][0]),
+                       g->NodeLabel(w.seed_sets[1][0]));
+  }
+  const char* kTemplate =
+      "SELECT ?w WHERE { CONNECT($a, $b -> ?w)"
+      " LABEL {\"p0\", \"p1\", \"p2\"} MAX 2 TIMEOUT 5000 }";
+  auto render = [](const std::string& a, const std::string& b) {
+    return std::string(
+               "SELECT ?w WHERE { CONNECT(\"") + a + "\", \"" + b +
+           "\" -> ?w) LABEL {\"p0\", \"p1\", \"p2\"} MAX 2 TIMEOUT 5000 }";
+  };
+
+  auto prepared = engine.Prepare(kTemplate);
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "%s\n", prepared.status().ToString().c_str());
+    return 1;
+  }
+
+  const int iters = scale == 0 ? 400 : 2000;
+  size_t rows_oneshot = 0, rows_prepared = 0;
+
+  // Interleave the two loops' repetitions (min-of-reps) so host load drift
+  // cannot masquerade as an API-level difference.
+  const int reps = 5;
+  double oneshot_ms = 0, prepared_ms = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    Stopwatch sw;
+    rows_oneshot = 0;
+    for (int i = 0; i < iters; ++i) {
+      const auto& [a, b] = pairs[i % pairs.size()];
+      auto r = engine.Run(render(a, b));
+      if (r.ok()) rows_oneshot += r->table.NumRows();
+    }
+    const double one = sw.ElapsedMs();
+
+    sw.Restart();
+    rows_prepared = 0;
+    for (int i = 0; i < iters; ++i) {
+      const auto& [a, b] = pairs[i % pairs.size()];
+      auto r = prepared->Execute(ParamMap().Set("a", a).Set("b", b));
+      if (r.ok()) rows_prepared += r->table.NumRows();
+    }
+    const double prep = sw.ElapsedMs();
+    if (rep == 0 || one < oneshot_ms) oneshot_ms = one;
+    if (rep == 0 || prep < prepared_ms) prepared_ms = prep;
+  }
+  if (rows_oneshot != rows_prepared) {
+    std::fprintf(stderr, "API MISMATCH: %zu oneshot rows vs %zu prepared\n",
+                 rows_oneshot, rows_prepared);
+    return 1;
+  }
+  const double qps_oneshot = iters / (oneshot_ms / 1000.0);
+  const double qps_prepared = iters / (prepared_ms / 1000.0);
+  std::printf(
+      "QPS (%d iters, %d pairs): parse-per-call %8.0f q/s | "
+      "prepare-once %8.0f q/s | %.2fx (%zu rows)\n",
+      iters, num_pairs, qps_oneshot, qps_prepared, qps_prepared / qps_oneshot,
+      rows_prepared);
+
+  // ---- Streaming: a multi-result CONNECT whose full enumeration takes real
+  // time; the first row is available long before the last.
+  std::vector<WorkloadCtp> wide =
+      MakeCtpWorkload(*g, 4, /*m=*/2, /*set_size=*/1, &rng);
+  const int64_t timeout = bench::TimeoutMs(30000, 120000, 240000);
+  double ttfr_ms = 0, ttfr_total_ms = 0, full_ms = 0;
+  size_t stream_rows = 0, full_rows = 0;
+  for (const WorkloadCtp& w : wide) {
+    std::string query = "SELECT ?w WHERE { CONNECT(\"" +
+                        g->NodeLabel(w.seed_sets[0][0]) + "\", \"" +
+                        g->NodeLabel(w.seed_sets[1][0]) + "\" -> ?w) MAX 4" +
+                        " TIMEOUT " + std::to_string(timeout) + " }";
+
+    auto pq = engine.Prepare(query);
+    if (!pq.ok()) continue;
+    auto materialized = pq->Execute();
+    if (!materialized.ok()) continue;
+    full_ms += materialized->total_ms;
+    full_rows += materialized->table.NumRows();
+
+    CollectingSink sink;
+    auto streamed = pq->Execute({}, sink);
+    if (!streamed.ok()) continue;
+    if (streamed->first_row_ms >= 0) ttfr_ms += streamed->first_row_ms;
+    ttfr_total_ms += streamed->total_ms;
+    stream_rows += streamed->rows_streamed;
+  }
+  if (stream_rows != full_rows) {
+    std::fprintf(stderr, "STREAM MISMATCH: %zu streamed vs %zu materialized\n",
+                 stream_rows, full_rows);
+    return 1;
+  }
+  std::printf(
+      "streaming: first row after %8.2f ms vs %8.2f ms full materialization "
+      "(%.0fx earlier; %zu rows; stream total %.2f ms)\n",
+      ttfr_ms, full_ms, full_ms / (ttfr_ms > 0 ? ttfr_ms : 1e-9), stream_rows,
+      ttfr_total_ms);
+
+  FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(
+      f,
+      "{\n"
+      "  \"bench\": \"prepared_api\",\n"
+      "  \"kg\": {\"nodes\": %zu, \"edges\": %zu},\n"
+      "  \"qps\": {\"iters\": %d, \"pairs\": %d, \"parse_per_call\": %.1f,\n"
+      "          \"prepare_once\": %.1f, \"speedup\": %.3f, \"rows\": %zu},\n"
+      "  \"streaming\": {\"first_result_ms\": %.3f, \"materialized_ms\": %.3f,\n"
+      "                \"stream_total_ms\": %.3f, \"rows\": %zu}\n"
+      "}\n",
+      g->NumNodes(), g->NumEdges(), iters, num_pairs, qps_oneshot, qps_prepared,
+      qps_prepared / qps_oneshot, rows_prepared, ttfr_ms, full_ms,
+      ttfr_total_ms, stream_rows);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path);
+  return 0;
+}
+
+}  // namespace
+}  // namespace eql
+
+int main(int argc, char** argv) { return eql::Main(argc, argv); }

@@ -1,8 +1,9 @@
 // Investigative-journalism walkthrough on the paper's Figure 1 graph:
 // the running query Q1, score functions re-ranking the same connections
-// (requirement R2), and the UNI / LABEL / MAX filters.
+// (requirement R2), the UNI / LABEL / MAX filters, and the prepared-query
+// API serving a parameterized investigation (one plan, many suspects).
 //
-//   $ ./build/examples/investigation
+//   $ ./build/investigation
 #include <cstdio>
 
 #include "ctp/score.h"
@@ -121,5 +122,58 @@ int main() {
               "SELECT ?w WHERE { CONNECT(\"Elon\", \"Doug\" -> ?w) UNI MAX 3 }");
   RunAndPrint(engine, g, "Bidirectional connections Elon-Doug (MAX 3)",
               "SELECT ?w WHERE { CONNECT(\"Elon\", \"Doug\" -> ?w) MAX 3 }");
+
+  // Prepared + parameterized: one plan serves the whole suspect list — the
+  // front end (parse/validate/plan, view pre-warm) ran once at Prepare.
+  std::printf("---- Prepared: who connects $suspect to the NLP? ----\n");
+  auto prepared = engine.Prepare(
+      "SELECT ?w WHERE {\n"
+      "  CONNECT($suspect, \"National Liberal Party\" -> ?w) MAX $hops\n"
+      "}");
+  if (!prepared.ok()) {
+    std::printf("error: %s\n", prepared.status().ToString().c_str());
+    return 1;
+  }
+  for (const char* suspect : {"Bob", "Carole", "Doug"}) {
+    auto r = prepared->Execute(ParamMap().Set("suspect", suspect).Set("hops", 3));
+    if (!r.ok()) {
+      std::printf("error: %s\n", r.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%s: %zu connection(s) within 3 hops\n", suspect,
+                r->table.NumRows());
+    for (size_t row = 0; row < r->table.NumRows() && row < 2; ++row) {
+      std::printf("  %s\n", r->RowToString(g, row).c_str());
+    }
+  }
+
+  // Streaming: print connections the moment the search finds them — the
+  // anytime behavior of the paper's Algorithm 1, surfaced through the API.
+  std::printf("\n---- Streaming: Bob-Elon connections as they are found ----\n");
+  class PrintFirstRows : public ResultSink {
+   public:
+    explicit PrintFirstRows(const Graph& g) : g_(g) {}
+    bool OnRow(StreamRow row) override {
+      const ResultTreeInfo& t = row.trees[row.values[0]];
+      std::printf("  found a %zu-edge connection (score %.1f)\n",
+                  t.edges.size(), t.score);
+      (void)g_;
+      return ++count_ < 4;  // stop after 4: cancels the rest of the search
+    }
+
+   private:
+    const Graph& g_;
+    int count_ = 0;
+  } sink(g);
+  auto bob_elon =
+      engine.Prepare("SELECT ?w WHERE { CONNECT(\"Bob\", \"Elon\" -> ?w) }");
+  if (!bob_elon.ok()) return 1;
+  auto streamed = bob_elon->Execute({}, sink);
+  if (streamed.ok()) {
+    std::printf("streamed %llu row(s), first after %.3f ms%s\n",
+                static_cast<unsigned long long>(streamed->rows_streamed),
+                streamed->first_row_ms,
+                streamed->cancelled ? " (stopped early)" : "");
+  }
   return 0;
 }

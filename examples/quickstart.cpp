@@ -1,11 +1,13 @@
-// Quickstart: build a small graph, run an EQL query with a CONNECT clause,
-// print the connecting trees.
+// Quickstart: build a small graph, prepare a parameterized EQL query with a
+// CONNECT clause once, execute it for several bindings, and stream the
+// connecting trees as the search finds them.
 //
-//   $ ./build/examples/quickstart
+//   $ ./build/quickstart
 //
 // EQL extends conjunctive graph queries with Connecting Tree Patterns: the
 // CONNECT(...) clause binds ?w to minimal trees linking its members,
-// traversing edges in either direction.
+// traversing edges in either direction. The prepared-query API compiles the
+// front end once — repeated traffic only re-binds `$name` parameters.
 #include <cstdio>
 
 #include "eval/engine.h"
@@ -33,13 +35,23 @@ int main() {
   g.Finalize();
 
   EqlEngine engine(g);
+
+  // Prepare once: parse/validate/plan happen here, not per call.
   const char* query =
       "SELECT ?w WHERE {\n"
-      "  CONNECT(\"MrShady\", \"BankABC\", \"TaxOfficeDEF\" -> ?w)\n"
+      "  CONNECT($suspect, $institution, \"TaxOfficeDEF\" -> ?w)\n"
       "}";
-  std::printf("query:\n%s\n", query);
+  std::printf("prepared query:\n%s\n", query);
+  auto prepared = engine.Prepare(query);
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "prepare failed: %s\n",
+                 prepared.status().ToString().c_str());
+    return 1;
+  }
 
-  auto result = engine.Run(query);
+  // Execute many: bind fresh parameters against the cached plan.
+  auto result = prepared->Execute(
+      ParamMap().Set("suspect", "MrShady").Set("institution", "BankABC"));
   if (!result.ok()) {
     std::fprintf(stderr, "query failed: %s\n", result.status().ToString().c_str());
     return 1;
@@ -50,6 +62,20 @@ int main() {
   }
   std::printf(
       "\nBoth accounts appear even though their edges point in opposite\n"
-      "directions; a path-only engine would miss the acct2 route.\n");
+      "directions; a path-only engine would miss the acct2 route.\n\n");
+
+  // Streaming: rows arrive as the search produces trees — act on the first
+  // connection without waiting for the full enumeration.
+  CollectingSink sink;
+  auto streamed = prepared->Execute(
+      ParamMap().Set("suspect", "MrShady").Set("institution", "BankABC"), sink);
+  if (!streamed.ok()) {
+    std::fprintf(stderr, "stream failed: %s\n",
+                 streamed.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("streamed %llu row(s); first row after %.3f ms (total %.3f ms)\n",
+              static_cast<unsigned long long>(streamed->rows_streamed),
+              streamed->first_row_ms, streamed->total_ms);
   return 0;
 }

@@ -109,6 +109,8 @@ std::unique_ptr<CtpAlgorithm> CreateCtpAlgorithm(AlgorithmKind kind, const Graph
     BftConfig config;
     config.filters = std::move(filters);
     config.view = tuning.view;
+    config.cancel = tuning.cancel;
+    config.on_result = tuning.on_result;
     config.merge_mode = kind == AlgorithmKind::kBft      ? BftMergeMode::kNone
                         : kind == AlgorithmKind::kBftM   ? BftMergeMode::kMergeOnce
                                                          : BftMergeMode::kAggressive;
@@ -121,6 +123,8 @@ std::unique_ptr<CtpAlgorithm> CreateCtpAlgorithm(AlgorithmKind kind, const Graph
   config.view = tuning.view;
   config.incremental_scores = tuning.incremental_scores;
   config.bound_pruning = tuning.bound_pruning;
+  config.cancel = tuning.cancel;
+  config.on_result = tuning.on_result;
   return std::make_unique<GamAdapter>(kind, g, seeds, std::move(config));
 }
 

@@ -66,6 +66,10 @@ struct CtpAlgorithmTuning {
   const CompiledCtpView* view = nullptr;  ///< not owned; must outlive the algo
   bool incremental_scores = true;
   bool bound_pruning = true;
+  /// Cooperative cancellation and streaming emission, forwarded to the
+  /// search config (GamConfig / BftConfig; see ctp/gam.h for the contracts).
+  const std::atomic<bool>* cancel = nullptr;
+  ResultHook on_result;
 };
 
 /// Builds an algorithm instance. `order` (optional, GAM family only) biases

@@ -20,6 +20,12 @@ BftSearch::BftSearch(const Graph& g, const SeedSets& seeds, BftConfig config)
   history_.ReserveEdgeScratch(g_.EdgeIdBound());
   grow_nodes_.Reserve(g_.NodeIdBound());
   min_degree_.Reserve(g_.NodeIdBound());
+  if (config_.on_result) {
+    assert(config_.filters.top_k <= 0 &&
+           "streaming hook is incompatible with TOP-k truncation");
+    // See GamSearch: never mis-stream under TOP-k in Release builds.
+    if (config_.filters.top_k <= 0) results_.SetOnResult(config_.on_result);
+  }
 }
 
 void BftSearch::RegisterNodes(TreeId id) {
@@ -58,6 +64,12 @@ std::pair<int, NodeId> BftSearch::SharedNodes(TreeId a, TreeId b) const {
 void BftSearch::CheckDeadline() {
   if (++ops_ < 128) return;
   ops_ = 0;
+  if (config_.cancel != nullptr &&
+      config_.cancel->load(std::memory_order_relaxed)) {
+    stop_ = true;
+    stats_.cancelled = true;
+    return;
+  }
   if (deadline_.Expired()) {
     stop_ = true;
     stats_.timed_out = true;
@@ -100,7 +112,11 @@ void BftSearch::MinimizeAndReport(TreeId id) {
   TreeId mid = arena_.MakeAdHocInPlace(anchor, &edge_buf_, g_, seeds_);
   if (results_.Add(mid)) {
     ++stats_.results_found;
-    if (stats_.results_found >= config_.filters.limit) {
+    if (stats_.results_found == 1) stats_.first_result_ms = run_sw_.ElapsedMs();
+    if (results_.stop_requested()) {  // streaming sink said stop
+      stop_ = true;
+      stats_.cancelled = true;
+    } else if (stats_.results_found >= config_.filters.limit) {
       stop_ = true;
       stats_.budget_exhausted = true;
     }
@@ -183,7 +199,7 @@ Status BftSearch::Run() {
     return Status::Unimplemented(
         "BFT trees are rootless; the UNI filter requires a GAM variant");
   }
-  Stopwatch sw;
+  run_sw_.Restart();
   deadline_ = config_.filters.timeout_ms >= 0
                   ? Deadline::AfterMs(config_.filters.timeout_ms)
                   : Deadline::Infinite();
@@ -196,9 +212,19 @@ Status BftSearch::Run() {
     ++stats_.trees_built;
     if (arena_.Get(id).sat.Contains(seeds_.RequiredMask())) {
       // A node seeding every set is a one-node result (Def 2.8).
-      if (results_.Add(id)) ++stats_.results_found;
+      if (results_.Add(id)) {
+        ++stats_.results_found;
+        if (stats_.results_found == 1) {
+          stats_.first_result_ms = run_sw_.ElapsedMs();
+        }
+        if (results_.stop_requested()) stop_ = true;
+      }
     } else {
       Keep(id, &gen);
+    }
+    if (stop_) {
+      stats_.cancelled = true;
+      break;
     }
   }
 
@@ -259,9 +285,11 @@ Status BftSearch::Run() {
     gen = std::move(next);
   }
 
-  if (!stats_.timed_out && !stats_.budget_exhausted) stats_.complete = true;
+  if (!stats_.timed_out && !stats_.budget_exhausted && !stats_.cancelled) {
+    stats_.complete = true;
+  }
   results_.FinalizeTopK();
-  stats_.elapsed_ms = sw.ElapsedMs();
+  stats_.elapsed_ms = run_sw_.ElapsedMs();
   return Status::Ok();
 }
 

@@ -19,6 +19,7 @@
 #ifndef EQL_CTP_BFT_H_
 #define EQL_CTP_BFT_H_
 
+#include <atomic>
 #include <vector>
 
 #include "ctp/filters.h"
@@ -53,6 +54,10 @@ struct BftConfig {
   /// including duplicates — while the recompute path prices survivors only,
   /// after the result set's dedup.)
   const CompiledCtpView* view = nullptr;
+  /// Cooperative cancellation and streaming emission, with the same
+  /// contracts as GamConfig::cancel / GamConfig::on_result (ctp/gam.h).
+  const std::atomic<bool>* cancel = nullptr;
+  ResultHook on_result;
 };
 
 /// One breadth-first CTP evaluation. Single-use, like GamSearch.
@@ -111,6 +116,7 @@ class BftSearch {
   CtpResultSet results_;
   SearchStats stats_;
   Deadline deadline_;
+  Stopwatch run_sw_;  ///< restarted by Run(); prices first_result_ms
   uint64_t ops_ = 0;
   bool stop_ = false;
 };

@@ -64,6 +64,15 @@ GamSearch::GamSearch(const Graph& g, const SeedSets& seeds, GamConfig config,
   } else if (seeds_.num_sets() <= kDenseMaskBits) {
     queue_of_mask_dense_.assign(1ULL << seeds_.num_sets(), UINT32_MAX);
   }
+  if (config_.on_result) {
+    assert(config_.filters.top_k <= 0 &&
+           "streaming hook is incompatible with TOP-k truncation");
+    // Release builds must not mis-stream: FinalizeTopK reorders after the
+    // fact, so under TOP-k the hook is dropped (results stay correct, rows
+    // simply don't stream) rather than emitting rows the truncation will
+    // disown.
+    if (config_.filters.top_k <= 0) results_.SetOnResult(config_.on_result);
+  }
 }
 
 /// True when chunking excludes node `n` from the search: `n` belongs to the
@@ -110,6 +119,12 @@ void GamSearch::EmitResult(TreeId id) {
     return;
   }
   ++stats_.results_found;
+  if (stats_.results_found == 1) stats_.first_result_ms = run_sw_.ElapsedMs();
+  if (results_.stop_requested()) {  // streaming sink said stop
+    stop_ = true;
+    stats_.cancelled = true;
+    return;
+  }
   if (stats_.results_found >= config_.filters.limit) {
     stop_ = true;
     stats_.budget_exhausted = true;
@@ -124,6 +139,12 @@ void GamSearch::UpdateSeedSignature(const RootedTree& t) {
 void GamSearch::CheckDeadline() {
   if (++ops_since_deadline_check_ < 128) return;
   ops_since_deadline_check_ = 0;
+  if (config_.cancel != nullptr &&
+      config_.cancel->load(std::memory_order_relaxed)) {
+    stop_ = true;
+    stats_.cancelled = true;
+    return;
+  }
   if (deadline_.Expired()) {
     stop_ = true;
     stats_.timed_out = true;
@@ -372,7 +393,7 @@ void GamSearch::DrainMerges() {
 }
 
 Status GamSearch::Run() {
-  Stopwatch sw;
+  run_sw_.Restart();
   deadline_ = config_.filters.timeout_ms >= 0
                   ? Deadline::AfterMs(config_.filters.timeout_ms)
                   : Deadline::Infinite();
@@ -442,9 +463,11 @@ Status GamSearch::Run() {
     }
   }
 
-  if (!stats_.timed_out && !stats_.budget_exhausted) stats_.complete = true;
+  if (!stats_.timed_out && !stats_.budget_exhausted && !stats_.cancelled) {
+    stats_.complete = true;
+  }
   results_.FinalizeTopK();
-  stats_.elapsed_ms = sw.ElapsedMs();
+  stats_.elapsed_ms = run_sw_.ElapsedMs();
   return Status::Ok();
 }
 

@@ -32,6 +32,7 @@
 #ifndef EQL_CTP_GAM_H_
 #define EQL_CTP_GAM_H_
 
+#include <atomic>
 #include <memory>
 #include <queue>
 #include <unordered_map>
@@ -107,6 +108,22 @@ struct GamConfig {
   /// either way. See the ROADMAP PR 3 note for the full soundness
   /// argument. Needs incremental_scores.
   bool bound_pruning = true;
+
+  /// Cooperative cancellation (not owned; may be null). Polled at the same
+  /// batched check sites as the TIMEOUT deadline, so a set flag stops the
+  /// search within ~128 operations with stats.cancelled — this is how a
+  /// streaming sink's early stop reaches every search of a query, including
+  /// chunk workers on the pool (ctp/parallel.h threads one flag into every
+  /// chunk's config alongside the shared deadline).
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// Streaming emission hook, installed into the result set (result_set.h):
+  /// called with each accepted result; returning false stops the search with
+  /// stats.cancelled. Incompatible with TOP-k truncation (FinalizeTopK
+  /// reorders after the fact) — with filters.top_k set the hook is ignored
+  /// (debug builds assert), so rows are never streamed that the truncation
+  /// would disown. The engine's streaming path leaves top_k unset.
+  ResultHook on_result;
 
   /// k used by bound pruning; 0 = filters.top_k. The parallel executor
   /// clears filters.top_k on chunk configs (the TOP-k window is applied to
@@ -276,6 +293,7 @@ class GamSearch {
   CtpResultSet results_;
   SearchStats stats_;
   Deadline deadline_;
+  Stopwatch run_sw_;  ///< restarted by Run(); prices first_result_ms
   uint64_t seq_ = 0;
   uint64_t ops_since_deadline_check_ = 0;
   bool stop_ = false;

@@ -196,9 +196,13 @@ Result<ParallelCtpOutcome> CtpExecutor::Evaluate(
   std::vector<ChunkOutput> outputs(chunks);
   TaskGroup group;
   for (unsigned c = 0; c < chunks; ++c) {
-    Submit(&group, [this, &g, &seeds, &filters, &options, &deadline,
+    Submit(&group, [this, &g, &seeds, &filters, &options, &deadline, &sw,
                     &chunk_nodes, &outputs, &view, c, split_idx] {
       ChunkOutput& out = outputs[c];
+      // Chunks queued behind a smaller pool start late; remember the offset
+      // so first_result_ms reports time since Evaluate() entry, not since
+      // this chunk's own start.
+      const double chunk_start_ms = sw.ElapsedMs();
       const int64_t remaining = deadline.RemainingMs();
       if (remaining == 0) {  // budget spent before this chunk even started
         out.stats.timed_out = true;
@@ -211,6 +215,7 @@ Result<ParallelCtpOutcome> CtpExecutor::Evaluate(
       config.view = view.get();
       config.incremental_scores = options.incremental_scores;
       config.bound_pruning = options.bound_pruning;
+      config.cancel = options.cancel;
       // Chunks keep pruning against their local k-th best even though their
       // filters carry no TOP-k: a chunk's k results with score >= s all
       // reach the union, so a chunk candidate strictly below its local s can
@@ -233,6 +238,9 @@ Result<ParallelCtpOutcome> CtpExecutor::Evaluate(
         out.status = search.Run();
         if (out.status.ok()) {
           out.stats = search.stats();
+          if (out.stats.first_result_ms >= 0) {
+            out.stats.first_result_ms += chunk_start_ms;
+          }
           out.results.reserve(search.results().size());
           for (const CtpResult& r : search.results().results()) {
             ChunkResult cr;
@@ -271,6 +279,14 @@ Result<ParallelCtpOutcome> CtpExecutor::Evaluate(
     out.stats.duplicate_results += chunk.stats.duplicate_results;
     out.stats.timed_out |= chunk.stats.timed_out;
     out.stats.budget_exhausted |= chunk.stats.budget_exhausted;
+    out.stats.cancelled |= chunk.stats.cancelled;
+    // Earliest first-result across chunks, measured from Evaluate() entry
+    // (chunk starts are offset above, so queued chunks report honestly).
+    if (chunk.stats.first_result_ms >= 0 &&
+        (out.stats.first_result_ms < 0 ||
+         chunk.stats.first_result_ms < out.stats.first_result_ms)) {
+      out.stats.first_result_ms = chunk.stats.first_result_ms;
+    }
   }
 
   // Cross-chunk dedup on the one-word incremental hash, in chunk order.
@@ -316,7 +332,8 @@ Result<ParallelCtpOutcome> CtpExecutor::Evaluate(
     out.results.push_back(CtpResult{id, std::move(r->seed_of_set), r->score});
   }
   out.stats.results_found = out.results.size();
-  out.stats.complete = !out.stats.timed_out && !out.stats.budget_exhausted;
+  out.stats.complete = !out.stats.timed_out && !out.stats.budget_exhausted &&
+                       !out.stats.cancelled;
   out.stats.elapsed_ms = sw.ElapsedMs();
   return out;
 }

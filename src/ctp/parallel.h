@@ -73,6 +73,11 @@ struct ParallelCtpOptions {
   /// Toggles forwarded to every chunk's GamConfig (ctp/gam.h).
   bool incremental_scores = true;
   bool bound_pruning = true;
+  /// Cooperative cancellation flag threaded into every chunk's config (not
+  /// owned; may be null). Setting it stops all chunks of this CTP within
+  /// ~128 operations each — the lever a streaming sink's early stop and
+  /// Cursor::Close pull to tear down pool work they no longer need.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Aggregated outcome of a parallel run. Result trees are materialized into

@@ -60,6 +60,7 @@ bool CtpResultSet::Add(TreeId id) {
   }
   by_edge_hash_[t.edge_set_hash].push_back(results_.size());
   results_.push_back(std::move(r));
+  if (on_result_ && !on_result_(*arena_, results_.back())) stop_requested_ = true;
   return true;
 }
 

@@ -4,6 +4,7 @@
 #define EQL_CTP_RESULT_SET_H_
 
 #include <cstdint>
+#include <functional>
 #include <queue>
 #include <unordered_map>
 #include <vector>
@@ -22,6 +23,15 @@ struct CtpResult {
   std::vector<NodeId> seed_of_set;
   double score = 0;
 };
+
+/// Streaming emission hook: called with each result the instant its edge set
+/// is accepted (post-dedup, pre-TOP-k). Return false to request that the
+/// producing search stop — the result itself is still kept, so an early-
+/// stopped run holds exactly the prefix a full run would have produced.
+/// Only meaningful when no TOP-k truncation is attached: FinalizeTopK
+/// reorders, so hooked searches must be run without TOP k (the engine's
+/// streaming path enforces this).
+using ResultHook = std::function<bool(const TreeArena&, const CtpResult&)>;
 
 /// Result accumulator with edge-set dedup and TOP-k maintenance.
 ///
@@ -62,6 +72,14 @@ class CtpResultSet {
   /// TOP-k window.
   double KthBestScore() const;
 
+  /// Installs the streaming emission hook (see ResultHook above). Must be
+  /// set before the first Add.
+  void SetOnResult(ResultHook hook) { on_result_ = std::move(hook); }
+
+  /// True once the hook returned false; the search polls this after Add and
+  /// winds down with stats.cancelled.
+  bool stop_requested() const { return stop_requested_; }
+
   /// True if the edge set of tree `id` was already reported.
   bool ContainsEdgeSet(TreeId id) const;
 
@@ -79,6 +97,8 @@ class CtpResultSet {
   /// Min-heap of the best track_k_ scores seen (top = the k-th best).
   std::priority_queue<double, std::vector<double>, std::greater<double>> kth_heap_;
   int track_k_ = 0;
+  ResultHook on_result_;
+  bool stop_requested_ = false;
 };
 
 }  // namespace eql

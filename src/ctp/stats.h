@@ -25,8 +25,13 @@ struct SearchStats {
   uint64_t minimizations = 0;    ///< BFT-family result minimizations
 
   double elapsed_ms = 0;
+  /// Wall-clock ms from search start to the first emitted result; < 0 when
+  /// the search produced none. Drives the streaming API's time-to-first-
+  /// result telemetry (eval/engine.h, CtpRunInfo).
+  double first_result_ms = -1;
   bool timed_out = false;
   bool budget_exhausted = false;  ///< max_trees or limit reached
+  bool cancelled = false;  ///< stopped by the caller (sink early-stop / cancel flag)
   bool complete = false;          ///< search space exhausted before any cutoff
 
   std::string ToString() const {
@@ -37,6 +42,7 @@ struct SearchStats {
                     " ms=" + std::to_string(elapsed_ms);
     if (timed_out) s += " TIMEOUT";
     if (budget_exhausted) s += " BUDGET";
+    if (cancelled) s += " CANCELLED";
     if (complete) s += " complete";
     return s;
   }

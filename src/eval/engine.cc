@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <utility>
 
 #include "query/parser.h"
 #include "query/validator.h"
@@ -10,6 +11,116 @@
 #include "util/string_util.h"
 
 namespace eql {
+
+// ---------------------------------------------------------------------------
+// The compiled plan behind PreparedQuery: everything Execute can reuse across
+// calls. Immutable after PlanQuery; shared by concurrent executions.
+// ---------------------------------------------------------------------------
+
+struct PreparedQuery::Plan {
+  /// The validated query, possibly still carrying `$name` placeholders.
+  Query query;
+  /// Head columns + kinds of streamed rows (static: roles are structural).
+  RowSchema schema;
+  /// A later CTP seeds a member from an earlier CTP's table, so stages must
+  /// run serially in query order (static: table schemas are structural).
+  bool dependent_ctps = false;
+
+  struct PlannedCtp {
+    /// SCORE function, constructed (and its name validated) once; shared by
+    /// concurrent executions — score functions are stateless.
+    std::unique_ptr<ScoreFunction> score;
+    /// LABEL ids resolved + normalized at Prepare when the label set is
+    /// fully literal; nullopt when `$` params force per-call resolution.
+    std::optional<std::vector<StrId>> static_labels;
+    /// Pre-warmed compiled view for static LABEL/UNI predicates; holding the
+    /// shared_ptr keeps it alive across cache LRU churn.
+    std::shared_ptr<const CompiledCtpView> warmed_view;
+  };
+  std::vector<PlannedCtp> ctps;
+};
+
+// ---------------------------------------------------------------------------
+// Per-call execution state.
+// ---------------------------------------------------------------------------
+
+/// Merged options + resolved executor + deadlines for one execution.
+struct EqlEngine::ExecEnv {
+  EngineOptions opts;
+  std::optional<int> top_k_override;
+  Deadline query_deadline;
+  CtpExecutor* executor = nullptr;
+  /// Set when a streaming sink stops the execution; checked by searches at
+  /// their deadline sites (null in materialized mode — nothing sets it).
+  std::atomic<bool>* cancel = nullptr;
+  StreamState* stream = nullptr;
+  /// Index of the CTP whose results stream row-by-row (the last one).
+  size_t stream_ctp = SIZE_MAX;
+};
+
+/// State of one streaming execution: the sink, the pre-joined context table,
+/// and the emission counters.
+struct EqlEngine::StreamState {
+  ResultSink* sink = nullptr;
+  const std::vector<std::string>* head = nullptr;
+  /// Tree registry of the *earlier* (materialized) CTP stages; the streaming
+  /// CTP's trees are passed alongside each emission instead.
+  const std::vector<ResultTreeInfo>* earlier = nullptr;
+  BindingTable pre;   ///< join of every table except the streaming CTP's
+  bool has_pre = false;
+  std::vector<std::string> ctp_cols;  ///< streaming CTP: member vars + tree var
+  std::vector<ColKind> ctp_kinds;
+  uint64_t rows = 0;
+  double first_row_ms = -1;
+  Stopwatch sw;  ///< started at ExecutePlan entry
+  std::atomic<bool> cancel{false};
+  /// The execution's effective cancel flag: &cancel, unless the caller
+  /// supplied an external one (ExecOptions::cancel) — then that, so sink
+  /// stops and caller cancellation share one lever.
+  std::atomic<bool>* cancel_flag = &cancel;
+  bool stopped = false;  ///< the sink returned false
+
+  /// Emits every final row induced by one connecting tree of the streaming
+  /// CTP: its one-row table joins against the pre-joined context and
+  /// projects the head. Returns false once the sink requests a stop.
+  bool EmitTreeRows(std::vector<uint32_t> member_row,
+                    const ResultTreeInfo& tree);
+};
+
+bool EqlEngine::StreamState::EmitTreeRows(std::vector<uint32_t> member_row,
+                                          const ResultTreeInfo& tree) {
+  BindingTable one(ctp_cols, ctp_kinds);
+  // The fresh tree gets the first index past the earlier-stage registry; the
+  // per-row remap below resolves it.
+  member_row.push_back(static_cast<uint32_t>(earlier->size()));
+  one.AddRow(std::move(member_row));
+  BindingTable joined =
+      has_pre ? BindingTable::NaturalJoin(one, pre) : std::move(one);
+  auto projected = joined.Project(*head, /*distinct=*/false);
+  if (!projected.ok()) return false;  // head ⊆ columns: cannot happen
+  const BindingTable& t = *projected;
+  for (size_t r = 0; r < t.NumRows(); ++r) {
+    StreamRow row;
+    row.values.reserve(t.NumColumns());
+    for (size_t c = 0; c < t.NumColumns(); ++c) {
+      const uint32_t v = t.At(r, c);
+      if (t.kind(c) == ColKind::kTree) {
+        row.values.push_back(static_cast<uint32_t>(row.trees.size()));
+        row.trees.push_back(v < earlier->size() ? (*earlier)[v] : tree);
+      } else {
+        row.values.push_back(v);
+      }
+    }
+    ++rows;
+    if (first_row_ms < 0) first_row_ms = sw.ElapsedMs();
+    if (!sink->OnRow(std::move(row))) {
+      stopped = true;
+      cancel_flag->store(true, std::memory_order_relaxed);
+      return false;
+    }
+  }
+  return true;
+}
 
 EqlEngine::EqlEngine(const Graph& g, EngineOptions options)
     : g_(g), options_(options) {
@@ -21,55 +132,256 @@ EqlEngine::EqlEngine(const Graph& g, EngineOptions options)
   }
 }
 
-Result<QueryResult> EqlEngine::Run(std::string_view query_text) const {
+EqlEngine::~EqlEngine() = default;
+
+namespace {
+
+/// Builds engine-level CtpFilters from the (bound) filter spec, the merged
+/// options and the plan's precompiled pieces. The whole-query deadline clamps
+/// every CTP's budget to the *remaining* time, so a multi-CTP query cannot
+/// run N x the user's budget.
+Result<CtpFilters> CompileFilters(const Graph& g, const CtpFilterSpec& spec,
+                                  const EngineOptions& opts,
+                                  const PreparedQuery::Plan::PlannedCtp& pc,
+                                  const std::optional<int>& top_k_override,
+                                  const Deadline& query_deadline) {
+  CtpFilters f;
+  f.unidirectional = spec.uni;
+  if (spec.labels) {
+    if (pc.static_labels) {
+      f.allowed_labels = *pc.static_labels;  // resolved + normalized at Prepare
+    } else {
+      std::vector<StrId> ids;
+      for (const std::string& l : *spec.labels) {
+        StrId id = g.dict().Lookup(l);
+        if (id != kNoStrId) ids.push_back(id);
+        // Unknown labels simply cannot match any edge; they narrow the set.
+      }
+      f.allowed_labels = std::move(ids);
+      f.NormalizeLabels();
+    }
+  }
+  if (spec.max_edges) f.max_edges = *spec.max_edges;
+  f.timeout_ms = spec.timeout_ms ? *spec.timeout_ms : opts.default_ctp_timeout_ms;
+  if (!query_deadline.IsInfinite()) {
+    const int64_t remaining = query_deadline.RemainingMs();
+    f.timeout_ms = f.timeout_ms < 0 ? remaining : std::min(f.timeout_ms, remaining);
+  }
+  if (spec.limit) f.limit = *spec.limit;
+  if (opts.default_max_trees > 0) f.max_trees = opts.default_max_trees;
+  if (pc.score != nullptr) {
+    f.score = pc.score.get();
+    if (spec.top_k) f.top_k = *spec.top_k;
+    if (top_k_override && *top_k_override > 0) f.top_k = *top_k_override;
+  }
+  return f;
+}
+
+/// Step (C)'s join order: tables sharing columns first, cross products last.
+/// `consume` moves out of `tables` (the one-shot path); false copies the
+/// first table so `tables` stays usable (the streaming path still derives
+/// the final CTP's seeds from them).
+BindingTable GreedyJoin(std::vector<BindingTable>& tables, bool consume) {
+  BindingTable acc;
+  if (tables.empty()) return acc;
+  std::vector<bool> used(tables.size(), false);
+  acc = consume ? std::move(tables[0]) : tables[0];
+  used[0] = true;
+  for (size_t step = 1; step < tables.size(); ++step) {
+    int best = -1;
+    for (size_t i = 0; i < tables.size(); ++i) {
+      if (used[i]) continue;
+      for (const auto& col : tables[i].columns()) {
+        if (acc.HasColumn(col)) {
+          best = static_cast<int>(i);
+          break;
+        }
+      }
+      if (best >= 0) break;
+    }
+    if (best < 0) {  // no shared columns anywhere: cross with the first unused
+      for (size_t i = 0; i < tables.size() && best < 0; ++i) {
+        if (!used[i]) best = static_cast<int>(i);
+      }
+    }
+    acc = BindingTable::NaturalJoin(acc, tables[best]);
+    used[best] = true;
+  }
+  return acc;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Planning (the Prepare-time front end).
+// ---------------------------------------------------------------------------
+
+Result<std::shared_ptr<const PreparedQuery::Plan>> EqlEngine::PlanQuery(
+    Query q) const {
+  auto plan = std::make_shared<PreparedQuery::Plan>();
+  if (q.param_names.empty()) q.param_names = CollectParamNames(q);
+
+  // Head schema: roles are structural, so kinds are known without executing.
+  plan->schema.columns = q.head;
+  for (const std::string& h : q.head) {
+    ColKind kind = ColKind::kNode;
+    for (const CtpPattern& ctp : q.ctps) {
+      if (ctp.tree_var == h) kind = ColKind::kTree;
+    }
+    for (const EdgePattern& ep : q.patterns) {
+      if (ep.edge.var == h) kind = ColKind::kEdge;
+    }
+    plan->schema.kinds.push_back(kind);
+  }
+
+  // Dependent-CTP stage analysis (static: BGP table columns are the pattern
+  // variables; CTP tables carry member + tree variables).
+  for (size_t i = 1; i < q.ctps.size() && !plan->dependent_ctps; ++i) {
+    for (const Predicate& m : q.ctps[i].members) {
+      bool in_bgp = false;
+      for (const EdgePattern& ep : q.patterns) {
+        in_bgp |= ep.source.var == m.var || ep.edge.var == m.var ||
+                  ep.target.var == m.var;
+      }
+      if (in_bgp) continue;
+      for (size_t j = 0; j < i && !plan->dependent_ctps; ++j) {
+        if (q.ctps[j].tree_var == m.var) plan->dependent_ctps = true;
+        for (const Predicate& pm : q.ctps[j].members) {
+          if (pm.var == m.var) plan->dependent_ctps = true;
+        }
+      }
+    }
+  }
+
+  // Per-CTP compilation: score construction (validating the name), literal
+  // LABEL resolution, and compiled-view pre-warming.
+  for (const CtpPattern& ctp : q.ctps) {
+    PreparedQuery::Plan::PlannedCtp pc;
+    const CtpFilterSpec& spec = ctp.filters;
+    if (spec.score) {
+      pc.score = CreateScoreFunction(*spec.score);
+      if (pc.score == nullptr) {
+        return Status::InvalidArgument("unknown score function '" + *spec.score +
+                                       "' (try edge_count, degree_penalty, "
+                                       "label_diversity, root_degree)");
+      }
+    }
+    if (spec.labels && spec.label_params.empty()) {
+      std::vector<StrId> ids;
+      for (const std::string& l : *spec.labels) {
+        StrId id = g_.dict().Lookup(l);
+        if (id != kNoStrId) ids.push_back(id);
+      }
+      pc.static_labels = NormalizeLabelSet(std::move(ids));
+    }
+    // Pre-warm the compiled view for static predicates, mirroring the
+    // execution-time condition so the Get there is a guaranteed cache hit.
+    if (options_.use_compiled_views &&
+        (pc.static_labels.has_value() || spec.uni) &&
+        spec.label_params.empty() &&
+        (IsGamFamily(options_.algorithm) || !spec.uni)) {
+      ViewCache& cache =
+          executor_ != nullptr ? executor_->view_cache() : view_cache_;
+      pc.warmed_view = cache.Get(
+          g_, pc.static_labels, CompiledCtpView::DirectionFor(spec.uni));
+    }
+    plan->ctps.push_back(std::move(pc));
+  }
+
+  plan->query = std::move(q);
+  return std::shared_ptr<const PreparedQuery::Plan>(std::move(plan));
+}
+
+Result<PreparedQuery> EqlEngine::Prepare(std::string_view query_text) const {
   auto parsed = ParseQuery(query_text);
   if (!parsed.ok()) return parsed.status();
   Query q = std::move(parsed).value();
   Status st = ValidateQuery(&q);
   if (!st.ok()) return st;
-  return RunParsed(q);
+  auto plan = PlanQuery(std::move(q));
+  if (!plan.ok()) return plan.status();
+  return PreparedQuery(this, std::move(plan).value());
 }
+
+Result<QueryResult> EqlEngine::Run(std::string_view query_text) const {
+  auto prepared = Prepare(query_text);
+  if (!prepared.ok()) return prepared.status();
+  return prepared->Execute();
+}
+
+Result<QueryResult> EqlEngine::RunParsed(const Query& q) const {
+  auto plan = PlanQuery(q);
+  if (!plan.ok()) return plan.status();
+  const PreparedQuery::Plan& p = **plan;
+  if (!p.query.param_names.empty()) {
+    return Status::InvalidArgument(
+        "query has unbound parameters ($" + p.query.param_names[0] +
+        "); use Prepare + Execute(params)");
+  }
+  QueryResult out;
+  Status st = ExecutePlan(p, p.query, ExecOptions{}, nullptr, &out);
+  if (!st.ok()) return st;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// PreparedQuery surface.
+// ---------------------------------------------------------------------------
+
+const std::vector<std::string>& PreparedQuery::param_names() const {
+  return plan_->query.param_names;
+}
+const Query& PreparedQuery::query() const { return plan_->query; }
+const RowSchema& PreparedQuery::schema() const { return plan_->schema; }
 
 namespace {
 
-/// Builds engine-level CtpFilters from the query's filter spec + defaults.
-Result<CtpFilters> CompileFilters(const Graph& g, const CtpFilterSpec& spec,
-                                  const EngineOptions& opts,
-                                  std::unique_ptr<ScoreFunction>* score_out) {
-  CtpFilters f;
-  f.unidirectional = spec.uni;
-  if (spec.labels) {
-    std::vector<StrId> ids;
-    for (const std::string& l : *spec.labels) {
-      StrId id = g.dict().Lookup(l);
-      if (id != kNoStrId) ids.push_back(id);
-      // Unknown labels simply cannot match any edge; they narrow the set.
-    }
-    f.allowed_labels = std::move(ids);
-    f.NormalizeLabels();
-  }
-  if (spec.max_edges) f.max_edges = *spec.max_edges;
-  f.timeout_ms = spec.timeout_ms ? *spec.timeout_ms : opts.default_ctp_timeout_ms;
-  if (spec.limit) f.limit = *spec.limit;
-  if (opts.default_max_trees > 0) f.max_trees = opts.default_max_trees;
-  if (spec.score) {
-    *score_out = CreateScoreFunction(*spec.score);
-    if (*score_out == nullptr) {
-      return Status::InvalidArgument("unknown score function '" + *spec.score +
-                                     "' (try edge_count, degree_penalty, "
-                                     "label_diversity, root_degree)");
-    }
-    f.score = score_out->get();
-    if (spec.top_k) f.top_k = *spec.top_k;
-  }
-  return f;
+/// Binds `params` against the plan's query, returning the query to execute:
+/// the plan's own (no binding needed) or `*storage`. One definition shared
+/// by both Execute overloads so binding semantics cannot diverge.
+Result<const Query*> BindForExecute(const PreparedQuery::Plan& plan,
+                                    const ParamMap& params, Query* storage) {
+  if (plan.query.param_names.empty() && params.empty()) return &plan.query;
+  auto b = BindParams(plan.query, params);
+  if (!b.ok()) return b.status();
+  *storage = std::move(b).value();
+  return storage;
 }
 
 }  // namespace
 
-/// Staged output of one CTP evaluation: everything RunParsed needs to stitch
-/// the CTP table into the query. Tree handles are still CTP-local — row i
-/// pairs with trees[i], and the stitch step offsets them into
+Result<QueryResult> PreparedQuery::Execute(const ParamMap& params,
+                                           const ExecOptions& opts) const {
+  Query bound_storage;
+  auto bound = BindForExecute(*plan_, params, &bound_storage);
+  if (!bound.ok()) return bound.status();
+  QueryResult out;
+  Status st = engine_->ExecutePlan(*plan_, **bound, opts, nullptr, &out);
+  if (!st.ok()) return st;
+  return out;
+}
+
+Result<QueryResult> PreparedQuery::Execute(const ParamMap& params,
+                                           ResultSink& sink,
+                                           const ExecOptions& opts) const {
+  Query bound_storage;
+  auto bound = BindForExecute(*plan_, params, &bound_storage);
+  if (!bound.ok()) return bound.status();
+  QueryResult out;
+  EqlEngine::StreamState stream;
+  stream.sink = &sink;
+  Status st = engine_->ExecutePlan(*plan_, **bound, opts, &stream, &out);
+  if (!st.ok()) return st;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Execution.
+// ---------------------------------------------------------------------------
+
+/// Staged output of one CTP evaluation: everything ExecutePlan needs to
+/// stitch the CTP table into the query. Tree handles are still CTP-local —
+/// row i pairs with trees[i], and the stitch step offsets them into
 /// QueryResult::trees — so stages can be produced concurrently.
 struct EqlEngine::CtpStage {
   CtpRunInfo run;
@@ -77,9 +389,11 @@ struct EqlEngine::CtpStage {
   std::vector<std::vector<uint32_t>> rows;  ///< member bindings, no tree col
 };
 
-Status EqlEngine::EvalOneCtp(const CtpPattern& ctp,
+Status EqlEngine::EvalOneCtp(const CtpPattern& ctp, size_t ctp_index,
+                             const PreparedQuery::Plan& plan, const ExecEnv& env,
                              const std::vector<BindingTable>& tables,
                              CtpStage* stage) const {
+  const EngineOptions& opts = env.opts;
   CtpRunInfo& run = stage->run;
   run.tree_var = ctp.tree_var;
 
@@ -107,7 +421,7 @@ Status EqlEngine::EvalOneCtp(const CtpPattern& ctp,
     } else if (!member.IsEmpty()) {
       sets.push_back(NodesMatchingPredicate(g_, member));
       universal.push_back(false);
-    } else if (options_.materialize_universal_sets) {
+    } else if (opts.materialize_universal_sets) {
       // Ablation path: instantiate N explicitly (an Init tree per graph
       // node) — the blowup Section 4.9 (i) exists to avoid.
       std::vector<NodeId> all(g_.NumNodes());
@@ -130,12 +444,12 @@ Status EqlEngine::EvalOneCtp(const CtpPattern& ctp,
                   "CTP ?" + ctp.tree_var + ": " + seeds.status().message());
   }
 
-  std::unique_ptr<ScoreFunction> score;
-  auto filters = CompileFilters(g_, ctp.filters, options_, &score);
+  auto filters = CompileFilters(g_, ctp.filters, opts, plan.ctps[ctp_index],
+                                env.top_k_override, env.query_deadline);
   if (!filters.ok()) return filters.status();
   if (seeds->HasUniversal() && filters->limit == UINT64_MAX &&
-      options_.universal_default_limit > 0) {
-    filters->limit = options_.universal_default_limit;
+      opts.universal_default_limit > 0) {
+    filters->limit = opts.universal_default_limit;
   }
 
   // Dead-label short-circuit: a LABEL clause whose names all miss the
@@ -160,7 +474,7 @@ Status EqlEngine::EvalOneCtp(const CtpPattern& ctp,
 
   // Section 4.9: universal sets or badly skewed sizes -> subset queues.
   QueueStrategy qs = QueueStrategy::kSingle;
-  if (options_.auto_queue_strategy) {
+  if (opts.auto_queue_strategy) {
     size_t min_size = SIZE_MAX, max_size = 0;
     for (int i = 0; i < seeds->num_sets(); ++i) {
       if (seeds->IsUniversal(i)) continue;
@@ -169,7 +483,7 @@ Status EqlEngine::EvalOneCtp(const CtpPattern& ctp,
     }
     if (seeds->HasUniversal() ||
         (min_size > 0 && static_cast<double>(max_size) / min_size >=
-                             options_.skew_threshold)) {
+                             opts.skew_threshold)) {
       qs = QueueStrategy::kPerSatSubset;
     }
   }
@@ -177,8 +491,8 @@ Status EqlEngine::EvalOneCtp(const CtpPattern& ctp,
 
   // Adaptive choice (Property 3): two plain seed sets are fully served by
   // the cheaper ESP; anything else gets the configured default.
-  AlgorithmKind kind = options_.algorithm;
-  if (options_.adaptive_algorithm && seeds->num_sets() == 2 &&
+  AlgorithmKind kind = opts.algorithm;
+  if (opts.adaptive_algorithm && seeds->num_sets() == 2 &&
       !seeds->HasUniversal() && !filters->unidirectional) {
     kind = AlgorithmKind::kEsp;
   }
@@ -186,7 +500,7 @@ Status EqlEngine::EvalOneCtp(const CtpPattern& ctp,
 
   // Worker-pool path: chunk the CTP across the pool (ctp/parallel.h) when
   // one is configured and some seed set is splittable.
-  bool parallel = executor_ != nullptr && options_.num_threads > 1 &&
+  bool parallel = env.executor != nullptr && opts.num_threads > 1 &&
                   IsGamFamily(kind);
   if (parallel) {
     bool splittable = false;
@@ -200,13 +514,14 @@ Status EqlEngine::EvalOneCtp(const CtpPattern& ctp,
   }
   if (parallel) {
     ParallelCtpOptions popts;
-    popts.num_threads = options_.num_threads;
+    popts.num_threads = opts.num_threads;
     popts.algorithm = kind;
     popts.queue_strategy = qs;
-    popts.use_views = options_.use_compiled_views;
-    popts.incremental_scores = options_.incremental_scores;
-    popts.bound_pruning = options_.bound_pruning;
-    auto outcome = executor_->Evaluate(g_, *seeds, *filters, popts);
+    popts.use_views = opts.use_compiled_views;
+    popts.incremental_scores = opts.incremental_scores;
+    popts.bound_pruning = opts.bound_pruning;
+    popts.cancel = env.cancel;
+    auto outcome = env.executor->Evaluate(g_, *seeds, *filters, popts);
     if (!outcome.ok()) return outcome.status();
     run.used_view = outcome->used_view;
     run.stats = outcome->stats;
@@ -227,42 +542,120 @@ Status EqlEngine::EvalOneCtp(const CtpPattern& ctp,
   // Sequential path: compile (or fetch) the filter view. BFT under UNI is
   // rejected downstream, so only GAM-family searches request the backward
   // layout. The cache is the executor's when a pool exists — RunBatch
-  // queries then share compiled views — and engine-local otherwise.
+  // queries then share compiled views — and engine-local otherwise; a plan
+  // with static predicates skips the cache entirely (pre-warmed at Prepare).
   CtpAlgorithmTuning tuning;
-  tuning.incremental_scores = options_.incremental_scores;
-  tuning.bound_pruning = options_.bound_pruning;
+  tuning.incremental_scores = opts.incremental_scores;
+  tuning.bound_pruning = opts.bound_pruning;
+  tuning.cancel = env.cancel;
   std::shared_ptr<const CompiledCtpView> view;
-  if (options_.use_compiled_views &&
+  if (opts.use_compiled_views &&
       (filters->allowed_labels.has_value() || filters->unidirectional) &&
       (IsGamFamily(kind) || !filters->unidirectional)) {
-    ViewCache& cache =
-        executor_ != nullptr ? executor_->view_cache() : view_cache_;
-    view = cache.Get(g_, filters->allowed_labels,
-                     CompiledCtpView::DirectionFor(filters->unidirectional));
+    const PreparedQuery::Plan::PlannedCtp& pc = plan.ctps[ctp_index];
+    if (pc.warmed_view != nullptr && pc.static_labels == filters->allowed_labels) {
+      view = pc.warmed_view;
+    } else {
+      ViewCache& cache =
+          env.executor != nullptr ? env.executor->view_cache() : view_cache_;
+      view = cache.Get(g_, filters->allowed_labels,
+                       CompiledCtpView::DirectionFor(filters->unidirectional));
+    }
     tuning.view = view.get();
     run.used_view = true;
   }
+
+  // Row streaming: the final CTP of a streaming execution emits joined rows
+  // straight from the search's result hook — unless TOP-k truncation means
+  // no row is final until the search ends (then the stage materializes and
+  // ExecutePlan emits afterwards).
+  if (env.stream != nullptr && ctp_index == env.stream_ctp &&
+      filters->top_k <= 0) {
+    StreamState& st = *env.stream;
+    tuning.on_result = [&st](const TreeArena& arena, const CtpResult& r) {
+      std::vector<uint32_t> member_row;
+      member_row.reserve(r.seed_of_set.size());
+      for (NodeId n : r.seed_of_set) member_row.push_back(n);
+      ResultTreeInfo tree{arena.EdgeSet(r.tree), arena.Get(r.tree).root,
+                          r.score};
+      return st.EmitTreeRows(std::move(member_row), tree);
+    };
+    run.streamed_rows = true;
+  }
+
   auto algo = CreateCtpAlgorithm(kind, g_, *seeds, std::move(filters).value(),
                                  nullptr, qs, tuning);
   Status st = algo->Run();
   if (!st.ok()) return st;
   run.stats = algo->stats();
   run.num_results = algo->results().size();
-  for (const CtpResult& r : algo->results().results()) {
-    std::vector<uint32_t> row;
-    row.reserve(ctp.members.size());
-    for (NodeId n : r.seed_of_set) row.push_back(n);
-    stage->rows.push_back(std::move(row));
-    stage->trees.push_back(ResultTreeInfo{algo->arena().EdgeSet(r.tree),
-                                          algo->arena().Get(r.tree).root,
-                                          r.score});
+  // Rows that already streamed through the hook are never read again —
+  // materializing them here would grow memory with the full result set,
+  // defeating the streaming contract.
+  if (!run.streamed_rows) {
+    for (const CtpResult& r : algo->results().results()) {
+      std::vector<uint32_t> row;
+      row.reserve(ctp.members.size());
+      for (NodeId n : r.seed_of_set) row.push_back(n);
+      stage->rows.push_back(std::move(row));
+      stage->trees.push_back(ResultTreeInfo{algo->arena().EdgeSet(r.tree),
+                                            algo->arena().Get(r.tree).root,
+                                            r.score});
+    }
   }
   return Status::Ok();
 }
 
-Result<QueryResult> EqlEngine::RunParsed(const Query& q) const {
+Status EqlEngine::ExecutePlan(const PreparedQuery::Plan& plan, const Query& q,
+                              const ExecOptions& exec_opts, StreamState* stream,
+                              QueryResult* out) const {
   Stopwatch total_sw;
-  QueryResult out;
+
+  // ---- Merge the per-call overrides into this execution's environment.
+  ExecEnv env;
+  env.opts = options_;
+  if (exec_opts.ctp_timeout_ms) {
+    env.opts.default_ctp_timeout_ms = *exec_opts.ctp_timeout_ms;
+  }
+  if (exec_opts.query_timeout_ms) {
+    env.opts.default_query_timeout_ms = *exec_opts.query_timeout_ms;
+  }
+  if (exec_opts.num_threads) env.opts.num_threads = *exec_opts.num_threads;
+  if (exec_opts.algorithm) env.opts.algorithm = *exec_opts.algorithm;
+  if (exec_opts.adaptive_algorithm) {
+    env.opts.adaptive_algorithm = *exec_opts.adaptive_algorithm;
+  }
+  if (exec_opts.use_compiled_views) {
+    env.opts.use_compiled_views = *exec_opts.use_compiled_views;
+  }
+  if (exec_opts.incremental_scores) {
+    env.opts.incremental_scores = *exec_opts.incremental_scores;
+  }
+  if (exec_opts.bound_pruning) env.opts.bound_pruning = *exec_opts.bound_pruning;
+  env.top_k_override = exec_opts.top_k;
+  env.executor = executor_;
+  if (exec_opts.num_threads) {
+    if (*exec_opts.num_threads > 1) {
+      // One long-lived engine serving heterogeneous traffic: a pool-less
+      // engine borrows the process-wide pool for this call.
+      if (env.executor == nullptr) env.executor = &CtpExecutor::Default();
+    } else {
+      env.executor = nullptr;  // forced sequential for this call
+    }
+  }
+  env.query_deadline = env.opts.default_query_timeout_ms >= 0
+                           ? Deadline::AfterMs(env.opts.default_query_timeout_ms)
+                           : Deadline::Infinite();
+  env.stream = stream;
+  env.cancel = exec_opts.cancel;  // caller cancellation works in both modes
+  if (stream != nullptr) {
+    if (env.cancel == nullptr) env.cancel = &stream->cancel;
+    stream->cancel_flag = env.cancel;
+    env.stream_ctp = q.ctps.empty() ? SIZE_MAX : q.ctps.size() - 1;
+    stream->head = &q.head;
+    stream->earlier = &out->trees;
+    stream->sink->OnSchema(plan.schema);
+  }
 
   // ---- Step (A): evaluate every BGP into a binding table.
   Stopwatch sw;
@@ -272,30 +665,15 @@ Result<QueryResult> EqlEngine::RunParsed(const Query& q) const {
     if (!t.ok()) return t.status();
     tables.push_back(std::move(t).value());
   }
-  out.bgp_ms = sw.ElapsedMs();
+  out->bgp_ms = sw.ElapsedMs();
 
   // ---- Step (B): evaluate every CTP against seed sets derived from (A).
   sw.Restart();
 
-  // A later CTP may seed a member from an earlier CTP's table (a variable
-  // bound by no BGP but shared with an earlier CONNECT). Such dependent
-  // CTPs must run serially in query order with the tables threaded through;
-  // only independent CTPs may be dispatched concurrently onto the pool.
-  bool dependent = false;
-  for (size_t i = 1; i < q.ctps.size() && !dependent; ++i) {
-    for (const Predicate& m : q.ctps[i].members) {
-      bool in_bgp = false;
-      for (const BindingTable& t : tables) in_bgp |= t.HasColumn(m.var);
-      if (in_bgp) continue;
-      for (size_t j = 0; j < i && !dependent; ++j) {
-        if (q.ctps[j].tree_var == m.var) dependent = true;
-        for (const Predicate& pm : q.ctps[j].members) {
-          if (pm.var == m.var) dependent = true;
-        }
-      }
-    }
-  }
-
+  // Dependent CTPs (plan.dependent_ctps) must run serially in query order
+  // with the tables threaded through; only independent CTPs may be
+  // dispatched concurrently onto the pool.
+  const bool dependent = plan.dependent_ctps;
   std::vector<CtpStage> stages(q.ctps.size());
   // Appends stage i's CTP table (member vars + tree handle) to `tables` and
   // its trees/run info to `out`, offsetting the stage-local tree indexes.
@@ -311,74 +689,133 @@ Result<QueryResult> EqlEngine::RunParsed(const Query& q) const {
     cols.push_back(ctp.tree_var);
     kinds.push_back(ColKind::kTree);
     BindingTable ctp_table(std::move(cols), std::move(kinds));
-    const uint32_t tree_offset = static_cast<uint32_t>(out.trees.size());
+    const uint32_t tree_offset = static_cast<uint32_t>(out->trees.size());
     for (size_t r = 0; r < stage.rows.size(); ++r) {
       std::vector<uint32_t> row = std::move(stage.rows[r]);
       row.push_back(tree_offset + static_cast<uint32_t>(r));
       ctp_table.AddRow(std::move(row));
     }
-    for (ResultTreeInfo& t : stage.trees) out.trees.push_back(std::move(t));
+    for (ResultTreeInfo& t : stage.trees) out->trees.push_back(std::move(t));
     tables.push_back(std::move(ctp_table));
-    out.ctp_runs.push_back(std::move(stage.run));
+    out->ctp_runs.push_back(std::move(stage.run));
   };
 
-  if (!dependent && executor_ != nullptr && q.ctps.size() > 1) {
-    std::vector<Status> stage_status(q.ctps.size());
-    CtpExecutor::TaskGroup group;
-    for (size_t i = 0; i < q.ctps.size(); ++i) {
-      executor_->Submit(&group, [this, &q, &tables, &stages, &stage_status, i] {
-        stage_status[i] = EvalOneCtp(q.ctps[i], tables, &stages[i]);
-      });
+  // Runs and stitches the first `count` CTP stages — concurrently on the
+  // pool when the stages are independent, serially (tables threaded through)
+  // otherwise. Shared by the materializing path (count = all) and the
+  // streaming path (count = all but the final, row-streaming CTP).
+  auto run_stages = [&](size_t count) -> Status {
+    if (!dependent && env.executor != nullptr && count > 1) {
+      std::vector<Status> stage_status(count);
+      CtpExecutor::TaskGroup group;
+      for (size_t i = 0; i < count; ++i) {
+        env.executor->Submit(
+            &group, [this, &q, &plan, &env, &tables, &stages, &stage_status, i] {
+              stage_status[i] =
+                  EvalOneCtp(q.ctps[i], i, plan, env, tables, &stages[i]);
+            });
+      }
+      env.executor->Wait(&group);
+      for (size_t i = 0; i < count; ++i) {
+        if (!stage_status[i].ok()) return stage_status[i];
+        stitch(i);
+      }
+    } else {
+      for (size_t i = 0; i < count; ++i) {
+        Status st = EvalOneCtp(q.ctps[i], i, plan, env, tables, &stages[i]);
+        if (!st.ok()) return st;
+        stitch(i);  // before the next CTP: it may seed from this table
+      }
     }
-    executor_->Wait(&group);
-    for (size_t i = 0; i < q.ctps.size(); ++i) {
-      if (!stage_status[i].ok()) return stage_status[i];
-      stitch(i);
+    return Status::Ok();
+  };
+
+  if (stream == nullptr) {
+    // Materializing path: byte-identical to the one-shot Run of old.
+    EQL_RETURN_IF_ERROR(run_stages(q.ctps.size()));
+    out->ctp_ms = sw.ElapsedMs();
+  } else if (!q.ctps.empty()) {
+    // Streaming path: all CTPs but the last run exactly as above; the last
+    // one emits rows against the pre-joined context as its search produces
+    // trees.
+    const size_t last = q.ctps.size() - 1;
+    EQL_RETURN_IF_ERROR(run_stages(last));
+
+    // Pre-join every table except the streaming CTP's (which does not exist
+    // yet): each emitted tree then joins against this one context table.
+    stream->has_pre = !tables.empty();
+    if (stream->has_pre) stream->pre = GreedyJoin(tables, /*consume=*/false);
+    const CtpPattern& ctp = q.ctps[last];
+    for (const Predicate& m : ctp.members) {
+      stream->ctp_cols.push_back(m.var);
+      stream->ctp_kinds.push_back(ColKind::kNode);
     }
+    stream->ctp_cols.push_back(ctp.tree_var);
+    stream->ctp_kinds.push_back(ColKind::kTree);
+
+    Status st = EvalOneCtp(ctp, last, plan, env, tables, &stages[last]);
+    if (!st.ok()) return st;
+    // TOP-k / chunk-parallel stages materialize first; emit their final
+    // result order now (still incremental relative to the join and any
+    // downstream consumer, and a deterministic prefix under early stop).
+    if (!stages[last].run.streamed_rows && !stream->stopped) {
+      for (size_t r = 0; r < stages[last].rows.size(); ++r) {
+        if (!stream->EmitTreeRows(std::move(stages[last].rows[r]),
+                                  stages[last].trees[r])) {
+          break;
+        }
+      }
+    }
+    out->ctp_runs.push_back(std::move(stages[last].run));
+    out->ctp_ms = sw.ElapsedMs();
   } else {
-    for (size_t i = 0; i < q.ctps.size(); ++i) {
-      Status st = EvalOneCtp(q.ctps[i], tables, &stages[i]);
-      if (!st.ok()) return st;
-      stitch(i);  // before the next CTP: it may seed from this table
-    }
+    out->ctp_ms = sw.ElapsedMs();
   }
-  out.ctp_ms = sw.ElapsedMs();
 
   // ---- Step (C): natural-join everything and project the head.
   sw.Restart();
-  BindingTable acc;
-  if (!tables.empty()) {
-    // Join tables that share columns first; cross products last.
-    std::vector<bool> used(tables.size(), false);
-    acc = std::move(tables[0]);
-    used[0] = true;
-    for (size_t step = 1; step < tables.size(); ++step) {
-      int best = -1;
-      for (size_t i = 0; i < tables.size(); ++i) {
-        if (used[i]) continue;
-        for (const auto& col : tables[i].columns()) {
-          if (acc.HasColumn(col)) {
-            best = static_cast<int>(i);
-            break;
-          }
-        }
-        if (best >= 0) break;
-      }
-      if (best < 0) {  // no shared columns anywhere: cross with the first unused
-        for (size_t i = 0; i < tables.size() && best < 0; ++i) {
-          if (!used[i]) best = static_cast<int>(i);
-        }
-      }
-      acc = BindingTable::NaturalJoin(acc, tables[best]);
-      used[best] = true;
+  if (stream == nullptr) {
+    BindingTable acc = GreedyJoin(tables, /*consume=*/true);
+    auto projected = acc.Project(q.head, /*distinct=*/false);
+    if (!projected.ok()) return projected.status();
+    out->table = std::move(projected).value();
+  } else if (q.ctps.empty()) {
+    // Pure-BGP streaming: the join is the result; emit its rows in order.
+    BindingTable acc = GreedyJoin(tables, /*consume=*/true);
+    auto projected = acc.Project(q.head, /*distinct=*/false);
+    if (!projected.ok()) return projected.status();
+    const BindingTable& t = *projected;
+    for (size_t r = 0; r < t.NumRows() && !stream->stopped; ++r) {
+      StreamRow row;
+      row.values = t.Row(r);
+      ++stream->rows;
+      if (stream->first_row_ms < 0) stream->first_row_ms = stream->sw.ElapsedMs();
+      if (!stream->sink->OnRow(std::move(row))) stream->stopped = true;
     }
   }
-  auto projected = acc.Project(q.head, /*distinct=*/false);
-  if (!projected.ok()) return projected.status();
-  out.table = std::move(projected).value();
-  out.join_ms = sw.ElapsedMs();
-  out.total_ms = total_sw.ElapsedMs();
-  return out;
+  out->join_ms = sw.ElapsedMs();
+  out->total_ms = total_sw.ElapsedMs();
+
+  // Cancellation from any lever — sink early-stop, Cursor::Close, or a
+  // caller-owned ExecOptions::cancel — must be visible in the result, or a
+  // truncated partial answer masquerades as a complete one.
+  out->cancelled = (stream != nullptr && stream->stopped) ||
+                   (env.cancel != nullptr &&
+                    env.cancel->load(std::memory_order_relaxed));
+  for (const CtpRunInfo& run : out->ctp_runs) {
+    out->cancelled |= run.stats.cancelled;
+  }
+
+  if (stream != nullptr) {
+    out->rows_streamed = stream->rows;
+    out->first_row_ms = stream->first_row_ms;
+    // Rows went to the sink; the materialized registry (used only to remap
+    // earlier-stage tree columns during emission) is not part of the
+    // streaming contract.
+    out->trees.clear();
+    out->table = BindingTable();
+  }
+  return Status::Ok();
 }
 
 std::vector<Result<QueryResult>> EqlEngine::RunBatch(

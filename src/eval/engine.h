@@ -11,10 +11,38 @@
 // Section 4.9 robustness: when a CTP has a universal set or badly skewed
 // seed-set sizes, the engine switches the search to per-sat-subset queues
 // automatically (EngineOptions::auto_queue_strategy).
+//
+// Public surface (this header + eval/sink.h + eval/params.h):
+//
+//   * One-shot: EqlEngine::Run(text) — parse, validate, plan, execute,
+//     materialize.
+//   * Prepared: EqlEngine::Prepare(text) compiles the front end ONCE —
+//     parse, validation, the BGP/CTP stage graph, score-function and LABEL
+//     resolution, pre-warmed compiled views — into a PreparedQuery whose
+//     Execute(params) re-binds `$name` placeholders against the cached plan.
+//   * Streaming: Execute(params, sink) pushes joined rows into a ResultSink
+//     as the CTP search produces connecting trees; Cursor wraps that in a
+//     pull interface. Early stop cancels the underlying searches, including
+//     chunk workers on the pool.
+//   * Per-call overrides: ExecOptions adjusts timeouts, TOP-k, chunking and
+//     feature toggles per Execute, so one long-lived engine + pool serves
+//     heterogeneous traffic.
+//
+// Thread-safety and lifetime contract:
+//   * EqlEngine is const and thread-safe after construction; it must outlive
+//     every PreparedQuery and Cursor it hands out (handles keep a pointer to
+//     the engine, not a copy).
+//   * PreparedQuery is immutable; any number of threads may Execute the same
+//     handle concurrently. Copies share the underlying plan. Parameters are
+//     per-call: a ParamMap is read-only during execution and owned by the
+//     caller.
+//   * The Graph must outlive the engine (and hence every handle).
 #ifndef EQL_EVAL_ENGINE_H_
 #define EQL_EVAL_ENGINE_H_
 
+#include <atomic>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -22,6 +50,8 @@
 
 #include "ctp/algorithm.h"
 #include "ctp/parallel.h"
+#include "eval/params.h"
+#include "eval/sink.h"
 #include "graph/graph.h"
 #include "query/ast.h"
 #include "storage/binding_table.h"
@@ -29,7 +59,8 @@
 
 namespace eql {
 
-/// Engine-wide defaults; per-CTP filters in the query override them.
+/// Engine-wide defaults; per-CTP filters in the query override them, and
+/// per-call ExecOptions override both.
 struct EngineOptions {
   AlgorithmKind algorithm = AlgorithmKind::kMoLesp;
   /// Pick the cheapest algorithm whose completeness guarantee covers the
@@ -38,6 +69,14 @@ struct EngineOptions {
   /// paper's "adaptive EQL optimization" future work (Section 6).
   bool adaptive_algorithm = false;
   int64_t default_ctp_timeout_ms = 60000;
+  /// Whole-query wall-clock budget in milliseconds; < 0 = none. Every CTP's
+  /// own TIMEOUT is additionally clamped to the *remaining* query budget, so
+  /// a multi-CTP query can no longer run ~N x the per-CTP budget — the
+  /// deadline is one shared absolute point in time, like the parallel
+  /// executor's chunk deadline. CTPs that start after expiry report
+  /// timed_out with empty tables; the query still returns its well-formed
+  /// (possibly empty) result rather than an error.
+  int64_t default_query_timeout_ms = -1;
   /// Safety cap on kept provenances per CTP (0 = unbounded).
   uint64_t default_max_trees = 0;
   /// Cap on emitted results per CTP when a universal (N) seed set makes the
@@ -79,17 +118,40 @@ struct EngineOptions {
   CtpExecutor* executor = nullptr;
 };
 
-/// One materialized connecting tree in a query result.
-struct ResultTreeInfo {
-  std::vector<EdgeId> edges;
-  NodeId root = kNoNode;
-  double score = 0;
+/// Per-call overrides for one Execute/Run: every set field supersedes the
+/// engine's EngineOptions (and, for top_k, the query's own TOP) for that
+/// call only. Defaults leave everything untouched, so Execute(params) with a
+/// default ExecOptions is byte-identical to the engine-options run.
+struct ExecOptions {
+  /// Whole-query deadline for this call (ms; < 0 = none). See
+  /// EngineOptions::default_query_timeout_ms for the clamping semantics.
+  std::optional<int64_t> query_timeout_ms;
+  /// Default per-CTP TIMEOUT for CTPs that set none in the query text.
+  std::optional<int64_t> ctp_timeout_ms;
+  /// Overrides TOP k on every CTP that carries a SCORE (ignored otherwise —
+  /// a score function is what makes "the k best" well-defined).
+  std::optional<int> top_k;
+  /// Per-CTP chunk count for this call. > 1 uses the engine's pool when it
+  /// has one, else the process-wide default pool (CtpExecutor::Default());
+  /// 0/1 forces sequential evaluation even on a pooled engine.
+  std::optional<unsigned> num_threads;
+  std::optional<AlgorithmKind> algorithm;
+  std::optional<bool> adaptive_algorithm;
+  std::optional<bool> use_compiled_views;
+  std::optional<bool> incremental_scores;
+  std::optional<bool> bound_pruning;
+  /// Caller-owned cancellation flag (not owned; may be null). Setting it
+  /// stops the execution at the searches' deadline-check sites — including
+  /// pool chunks — within ~128 operations, whether or not any row is in
+  /// flight. Cursor::Close uses this to tear down a stream whose search is
+  /// grinding on without producing rows.
+  std::atomic<bool>* cancel = nullptr;
 };
 
 /// Per-CTP execution report.
 struct CtpRunInfo {
   std::string tree_var;
-  SearchStats stats;
+  SearchStats stats;  ///< stats.first_result_ms = time to first tree (ms)
   size_t num_results = 0;
   bool used_subset_queues = false;
   AlgorithmKind algorithm = AlgorithmKind::kMoLesp;  ///< what actually ran
@@ -102,10 +164,18 @@ struct CtpRunInfo {
   /// zero-edge result was possible: the search was short-circuited to an
   /// empty table (no edge can match a dead label set).
   bool dead_labels = false;
+  /// Rows of this CTP reached the sink incrementally, straight from the
+  /// search's emission hook (streaming executions only; false means the CTP
+  /// materialized first — parallel chunking and TOP-k both require the full
+  /// candidate set before any row is final).
+  bool streamed_rows = false;
 };
 
 /// The outcome of one query: a head-projected table plus the tree registry
-/// that kTree columns index into, and execution telemetry.
+/// that kTree columns index into, and execution telemetry. A streaming
+/// execution (Execute with a sink) reports telemetry only: rows went to the
+/// sink, so `table`/`trees` stay empty and rows_streamed/first_row_ms record
+/// what the sink saw.
 struct QueryResult {
   BindingTable table;
   std::vector<ResultTreeInfo> trees;
@@ -114,20 +184,116 @@ struct QueryResult {
   double ctp_ms = 0;
   double join_ms = 0;
   double total_ms = 0;
+  uint64_t rows_streamed = 0;   ///< rows delivered to the sink (streaming)
+  double first_row_ms = -1;     ///< ms from Execute start to the first sink row
+  /// The execution was stopped early — by the sink returning false, by
+  /// Cursor::Close, or by a caller-owned ExecOptions::cancel flag. Partial
+  /// results are never silently complete.
+  bool cancelled = false;
 
   /// Renders row r as "var=value" pairs (labels for nodes, edge lists for
   /// trees).
   std::string RowToString(const Graph& g, size_t r) const;
 };
 
-/// Facade: construct once per graph, Run queries repeatedly (const and
-/// thread-safe: per-query state is local; the worker pool is internally
+class EqlEngine;
+
+/// A query compiled once and executable many times: parsing, validation,
+/// score-function construction, LABEL resolution, the dependent-CTP stage
+/// analysis and compiled-view pre-warming all happened at Prepare time.
+/// Execute re-binds `$name` parameters against the cached plan and runs.
+///
+/// Immutable and thread-safe: concurrent Execute calls on one handle are
+/// fine (per-call state is local; the plan is read-only). Copies are cheap
+/// and share the plan. The engine (and its graph) must outlive every handle.
+class PreparedQuery {
+ public:
+  /// Materializing execution: byte-identical to EqlEngine::Run on the text
+  /// with the parameter values written inline.
+  Result<QueryResult> Execute(const ParamMap& params = {},
+                              const ExecOptions& opts = {}) const;
+
+  /// Streaming execution: rows are pushed into `sink` as the final CTP's
+  /// search produces connecting trees (see eval/sink.h for the order
+  /// contract). The returned QueryResult carries telemetry only. If the
+  /// sink stops early, in-flight searches — including pool chunks — are
+  /// cancelled via the shared-deadline check sites and the result is marked
+  /// cancelled.
+  Result<QueryResult> Execute(const ParamMap& params, ResultSink& sink,
+                              const ExecOptions& opts = {}) const;
+
+  /// The `$name` placeholders Execute must bind, in first-appearance order.
+  const std::vector<std::string>& param_names() const;
+  /// The validated (unbound) query.
+  const Query& query() const;
+  /// Streamed-row schema (the head's columns and kinds).
+  const RowSchema& schema() const;
+
+  /// Opaque compiled plan (defined in engine.cc); exposed as a name only so
+  /// the engine can hand plans around.
+  struct Plan;
+
+ private:
+  friend class EqlEngine;
+  PreparedQuery(const EqlEngine* engine, std::shared_ptr<const Plan> plan)
+      : engine_(engine), plan_(std::move(plan)) {}
+
+  const EqlEngine* engine_;
+  std::shared_ptr<const Plan> plan_;
+};
+
+/// Pull-style wrapper over the streaming execution: the query runs on a
+/// background thread into a bounded row buffer; Next() blocks for the next
+/// row and the producer blocks when the buffer is full (backpressure).
+/// Close() — or destruction — cancels the underlying searches and joins the
+/// thread. Move-only; not thread-safe (one consumer).
+class Cursor {
+ public:
+  Cursor(Cursor&&) noexcept;
+  Cursor& operator=(Cursor&&) noexcept;
+  ~Cursor();
+
+  /// Blocks for the next row; false when the stream is exhausted, errored,
+  /// or closed. After false, status()/summary() are final.
+  bool Next(StreamRow* row);
+
+  /// Row schema; blocks until the background execution published it.
+  const RowSchema& schema();
+
+  /// Stops the execution (cancelling in-flight searches) and joins the
+  /// producer. Idempotent; implied by destruction.
+  void Close();
+
+  /// Final status of the execution; Ok while rows are still flowing.
+  Status status() const;
+  /// Telemetry of the finished execution; valid after Next returned false.
+  const QueryResult& summary() const;
+
+ private:
+  friend class PreparedQuery;
+  friend class EqlEngine;
+  struct Impl;
+  explicit Cursor(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Facade: construct once per graph, Run/Prepare queries repeatedly (const
+/// and thread-safe: per-query state is local; the worker pool is internally
 /// synchronized).
 class EqlEngine {
  public:
   explicit EqlEngine(const Graph& g, EngineOptions options = {});
+  ~EqlEngine();
 
-  /// Parses + validates + executes.
+  /// Compiles `query_text` into a reusable PreparedQuery (see its docs for
+  /// the thread-safety/lifetime contract). The whole front end — lexing,
+  /// parsing, validation, score construction, LABEL resolution, stage
+  /// analysis, view pre-warming — runs here, once.
+  Result<PreparedQuery> Prepare(std::string_view query_text) const;
+
+  /// One-shot: parses + validates + executes. A thin wrapper over
+  /// Prepare + Execute with a materializing result; parameterized queries
+  /// are rejected here (there is nothing to bind `$name` against).
   Result<QueryResult> Run(std::string_view query_text) const;
 
   /// Executes an already-validated query. With a worker pool configured
@@ -143,13 +309,34 @@ class EqlEngine {
   std::vector<Result<QueryResult>> RunBatch(
       std::span<const std::string_view> queries) const;
 
+  /// Opens a pull-style cursor over a streaming execution of `prepared`
+  /// (which must belong to this engine). Binding/validation errors surface
+  /// through Cursor::status() after the first Next() returns false.
+  Cursor OpenCursor(const PreparedQuery& prepared, const ParamMap& params = {},
+                    const ExecOptions& opts = {}) const;
+
   const EngineOptions& options() const { return options_; }
   /// The pool CTPs run on; nullptr when evaluation is sequential.
   CtpExecutor* executor() const { return executor_; }
 
  private:
+  friend class PreparedQuery;
   struct CtpStage;
-  Status EvalOneCtp(const CtpPattern& ctp,
+  struct ExecEnv;
+  struct StreamState;
+
+  /// Builds the reusable plan behind Prepare/RunParsed.
+  Result<std::shared_ptr<const PreparedQuery::Plan>> PlanQuery(Query q) const;
+
+  /// Runs a bound (parameter-free) query against its plan. `stream` null =
+  /// materialize into out->table exactly as Run always has; non-null =
+  /// stream rows into the sink and fill telemetry only.
+  Status ExecutePlan(const PreparedQuery::Plan& plan, const Query& bound,
+                     const ExecOptions& exec_opts, StreamState* stream,
+                     QueryResult* out) const;
+
+  Status EvalOneCtp(const CtpPattern& ctp, size_t ctp_index,
+                    const PreparedQuery::Plan& plan, const ExecEnv& env,
                     const std::vector<BindingTable>& tables,
                     CtpStage* stage) const;
 

@@ -1,0 +1,141 @@
+#include "eval/params.h"
+
+#include <algorithm>
+#include <charconv>
+#include <climits>
+
+#include "util/string_util.h"
+
+namespace eql {
+
+namespace {
+
+/// Renders a bound value as the constant string the parser would have seen.
+std::string AsString(const ParamValue& v) {
+  if (const auto* s = std::get_if<std::string>(&v)) return *s;
+  return std::to_string(std::get<int64_t>(v));
+}
+
+/// Integer view of a bound value; strings must parse exactly as integers
+/// (full-string, no precision loss — a double round-trip would silently
+/// corrupt values above 2^53).
+Result<int64_t> AsInt(const std::string& name, const ParamValue& v) {
+  if (const auto* i = std::get_if<int64_t>(&v)) return *i;
+  const std::string& s = std::get<std::string>(v);
+  int64_t value = 0;
+  auto [end, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || end != s.data() + s.size()) {
+    return Status::InvalidArgument("parameter $" + name +
+                                   " must be an integer, got \"" + s + "\"");
+  }
+  return value;
+}
+
+class Binder {
+ public:
+  Binder(const ParamMap& params) : params_(params) {}
+
+  Result<const ParamValue*> Lookup(const std::string& name) {
+    const ParamValue* v = params_.Find(name);
+    if (v == nullptr) {
+      return Status::InvalidArgument("missing value for parameter $" + name);
+    }
+    used_.push_back(name);
+    return v;
+  }
+
+  Status BindPredicate(Predicate* p) {
+    for (Condition& c : p->conditions) {
+      if (!c.is_param) continue;
+      auto v = Lookup(c.constant);
+      if (!v.ok()) return v.status();
+      c.constant = AsString(**v);
+      c.is_param = false;
+    }
+    return Status::Ok();
+  }
+
+  Result<int64_t> BindInt(const std::string& name, int64_t min_value,
+                          int64_t max_value, const char* what) {
+    auto v = Lookup(name);
+    if (!v.ok()) return v.status();
+    auto i = AsInt(name, **v);
+    if (!i.ok()) return i.status();
+    if (*i < min_value || *i > max_value) {
+      return Status::InvalidArgument(StrFormat(
+          "%s ($%s) must be in [%lld, %lld], got %lld", what, name.c_str(),
+          static_cast<long long>(min_value), static_cast<long long>(max_value),
+          static_cast<long long>(*i)));
+    }
+    return *i;
+  }
+
+  /// Every supplied parameter must have been consumed at least once.
+  Status CheckAllUsed() const {
+    for (const auto& [name, value] : params_.values()) {
+      if (std::find(used_.begin(), used_.end(), name) == used_.end()) {
+        return Status::InvalidArgument("parameter $" + name +
+                                       " is not used by this query");
+      }
+    }
+    return Status::Ok();
+  }
+
+ private:
+  const ParamMap& params_;
+  std::vector<std::string> used_;
+};
+
+}  // namespace
+
+Result<Query> BindParams(const Query& q, const ParamMap& params) {
+  Query out = q;
+  Binder binder(params);
+  for (EdgePattern& ep : out.patterns) {
+    EQL_RETURN_IF_ERROR(binder.BindPredicate(&ep.source));
+    EQL_RETURN_IF_ERROR(binder.BindPredicate(&ep.edge));
+    EQL_RETURN_IF_ERROR(binder.BindPredicate(&ep.target));
+  }
+  for (CtpPattern& ctp : out.ctps) {
+    for (Predicate& m : ctp.members) {
+      EQL_RETURN_IF_ERROR(binder.BindPredicate(&m));
+    }
+    CtpFilterSpec& f = ctp.filters;
+    for (const std::string& name : f.label_params) {
+      auto v = binder.Lookup(name);
+      if (!v.ok()) return v.status();
+      if (!f.labels) f.labels.emplace();
+      f.labels->push_back(AsString(**v));
+    }
+    f.label_params.clear();
+    if (f.max_edges_param) {
+      auto i = binder.BindInt(*f.max_edges_param, 1, UINT32_MAX, "MAX");
+      if (!i.ok()) return i.status();
+      f.max_edges = static_cast<uint32_t>(*i);
+      f.max_edges_param.reset();
+    }
+    if (f.top_k_param) {
+      auto i = binder.BindInt(*f.top_k_param, 1, INT_MAX, "TOP");
+      if (!i.ok()) return i.status();
+      f.top_k = static_cast<int>(*i);
+      f.top_k_param.reset();
+    }
+    if (f.timeout_param) {
+      auto i = binder.BindInt(*f.timeout_param, 0, INT64_MAX, "TIMEOUT");
+      if (!i.ok()) return i.status();
+      f.timeout_ms = *i;
+      f.timeout_param.reset();
+    }
+    if (f.limit_param) {
+      auto i = binder.BindInt(*f.limit_param, 1, INT64_MAX, "LIMIT");
+      if (!i.ok()) return i.status();
+      f.limit = static_cast<uint64_t>(*i);
+      f.limit_param.reset();
+    }
+  }
+  EQL_RETURN_IF_ERROR(binder.CheckAllUsed());
+  out.param_names.clear();
+  return out;
+}
+
+}  // namespace eql

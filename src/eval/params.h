@@ -1,0 +1,76 @@
+// Query parameters: the typed values bound to a prepared query's `$name`
+// placeholders at execution time (see eval/engine.h, PreparedQuery).
+//
+// A parameter is either a string (node IRIs/labels in predicates, LABEL set
+// members, FILTER constants) or an integer (MAX / TOP / TIMEOUT / LIMIT
+// values). Binding is strict both ways: executing with a missing parameter
+// and supplying a parameter the query does not mention are both errors —
+// silent partial binding is how prepared-statement typos ship to production.
+#ifndef EQL_EVAL_PARAMS_H_
+#define EQL_EVAL_PARAMS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "query/ast.h"
+#include "util/status.h"
+
+namespace eql {
+
+/// One bound parameter value.
+using ParamValue = std::variant<std::string, int64_t>;
+
+/// Name -> value map for one Execute call. Cheap to build per call; a
+/// ParamMap is independent of any engine or prepared query and may be reused
+/// across calls and threads (it is read-only during execution).
+class ParamMap {
+ public:
+  ParamMap() = default;
+
+  ParamMap& Set(std::string name, std::string value) {
+    values_[std::move(name)] = std::move(value);
+    return *this;
+  }
+  ParamMap& Set(std::string name, int64_t value) {
+    values_[std::move(name)] = value;
+    return *this;
+  }
+  ParamMap& Set(std::string name, int value) {
+    return Set(std::move(name), static_cast<int64_t>(value));
+  }
+
+  bool Has(std::string_view name) const {
+    return values_.find(name) != values_.end();
+  }
+  const ParamValue* Find(std::string_view name) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? nullptr : &it->second;
+  }
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  const std::map<std::string, ParamValue, std::less<>>& values() const {
+    return values_;
+  }
+
+ private:
+  /// Transparent comparator: Find/Has on the execute-many hot path take
+  /// string_views without materializing a temporary key.
+  std::map<std::string, ParamValue, std::less<>> values_;
+};
+
+/// Substitutes `params` into a validated query, producing a fully-literal
+/// query equivalent to what the parser would have produced had the values
+/// been written inline — so a bound execution is byte-identical to the
+/// one-shot text path by construction. Fails with InvalidArgument when a
+/// placeholder is missing from `params`, when `params` carries a name the
+/// query does not mention, or when a value has the wrong type or range
+/// (MAX/TOP/LIMIT must be positive integers; string values are accepted for
+/// integer positions only if they parse exactly as integers).
+Result<Query> BindParams(const Query& q, const ParamMap& params);
+
+}  // namespace eql
+
+#endif  // EQL_EVAL_PARAMS_H_

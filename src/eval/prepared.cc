@@ -1,0 +1,162 @@
+// Cursor: the pull-style wrapper over PreparedQuery's streaming execution.
+//
+// The execution runs on a background thread pushing into a bounded row
+// buffer; Next() pops. Backpressure falls out of the bound: a full buffer
+// blocks the producing sink inside OnRow, which blocks the CTP search —
+// no rows are computed that the consumer never asked for (beyond the buffer
+// capacity). Close() flips the sink to stop-mode: the next OnRow returns
+// false, the engine sets the shared cancel flag, and every in-flight search
+// (including pool chunks) winds down at its next deadline check.
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "eval/engine.h"
+
+namespace eql {
+
+namespace {
+
+/// Rows buffered between the producer thread and Next(). Small: each row is
+/// already a joined, projected result; buffering more only delays the
+/// backpressure signal.
+constexpr size_t kCursorBufferRows = 64;
+
+}  // namespace
+
+struct Cursor::Impl {
+  // -- producer-side sink bridging into the shared buffer.
+  struct QueueSink : ResultSink {
+    explicit QueueSink(Impl* impl) : impl(impl) {}
+    void OnSchema(const RowSchema& schema) override {
+      std::lock_guard<std::mutex> lk(impl->mu);
+      impl->schema = schema;
+      impl->schema_known = true;
+      impl->cv_consumer.notify_all();
+    }
+    bool OnRow(StreamRow row) override {
+      std::unique_lock<std::mutex> lk(impl->mu);
+      impl->cv_producer.wait(lk, [this] {
+        return impl->closed || impl->buffer.size() < kCursorBufferRows;
+      });
+      if (impl->closed) return false;
+      impl->buffer.push_back(std::move(row));
+      impl->cv_consumer.notify_one();
+      return true;
+    }
+    Impl* impl;
+  };
+
+  void Start(const PreparedQuery prepared, ParamMap params, ExecOptions opts) {
+    // Close() must stop the execution even while the search is grinding
+    // without producing rows (no OnRow to return false from): wire a cancel
+    // flag through ExecOptions — the searches poll it at their deadline
+    // checks. A caller-supplied flag stays authoritative if present.
+    cancel_target = opts.cancel != nullptr ? opts.cancel : &cancel;
+    opts.cancel = cancel_target;
+    thread = std::thread([this, prepared = std::move(prepared),
+                          params = std::move(params),
+                          opts = std::move(opts)]() mutable {
+      QueueSink sink(this);
+      auto result = prepared.Execute(params, sink, opts);
+      std::lock_guard<std::mutex> lk(mu);
+      if (result.ok()) {
+        summary = std::move(result).value();
+      } else {
+        status = result.status();
+      }
+      done = true;
+      schema_known = true;  // an errored run may never have published one
+      cv_consumer.notify_all();
+    });
+  }
+
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      closed = true;
+      if (cancel_target != nullptr) {
+        cancel_target->store(true, std::memory_order_relaxed);
+      }
+      cv_producer.notify_all();
+      cv_consumer.notify_all();
+    }
+    if (thread.joinable()) thread.join();
+  }
+
+  std::mutex mu;
+  std::condition_variable cv_producer;
+  std::condition_variable cv_consumer;
+  std::deque<StreamRow> buffer;
+  RowSchema schema;
+  bool schema_known = false;
+  bool closed = false;  ///< consumer closed; producer must stop
+  bool done = false;    ///< producer finished (summary/status final)
+  Status status = Status::Ok();
+  QueryResult summary;
+  std::atomic<bool> cancel{false};
+  std::atomic<bool>* cancel_target = nullptr;  ///< flag Close() sets
+  std::thread thread;
+};
+
+Cursor::Cursor(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+Cursor::Cursor(Cursor&&) noexcept = default;
+
+Cursor& Cursor::operator=(Cursor&& other) noexcept {
+  if (this != &other) {
+    // Shut down the current execution first: a defaulted move would destroy
+    // an Impl whose producer thread is still joinable (std::terminate) and
+    // still touching the Impl.
+    if (impl_ != nullptr) impl_->Close();
+    impl_ = std::move(other.impl_);
+  }
+  return *this;
+}
+
+Cursor::~Cursor() {
+  if (impl_ != nullptr) impl_->Close();
+}
+
+bool Cursor::Next(StreamRow* row) {
+  std::unique_lock<std::mutex> lk(impl_->mu);
+  impl_->cv_consumer.wait(
+      lk, [this] { return !impl_->buffer.empty() || impl_->done || impl_->closed; });
+  // A closed cursor is terminal even with rows still buffered: the consumer
+  // abandoned the stream (documented contract).
+  if (impl_->closed || impl_->buffer.empty()) return false;
+  *row = std::move(impl_->buffer.front());
+  impl_->buffer.pop_front();
+  impl_->cv_producer.notify_one();
+  return true;
+}
+
+const RowSchema& Cursor::schema() {
+  std::unique_lock<std::mutex> lk(impl_->mu);
+  impl_->cv_consumer.wait(lk, [this] { return impl_->schema_known; });
+  return impl_->schema;
+}
+
+void Cursor::Close() {
+  if (impl_ != nullptr) impl_->Close();
+}
+
+Status Cursor::status() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->status;
+}
+
+const QueryResult& Cursor::summary() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->summary;
+}
+
+Cursor EqlEngine::OpenCursor(const PreparedQuery& prepared,
+                             const ParamMap& params,
+                             const ExecOptions& opts) const {
+  auto impl = std::make_unique<Cursor::Impl>();
+  impl->Start(prepared, params, opts);
+  return Cursor(std::move(impl));
+}
+
+}  // namespace eql

@@ -1,0 +1,100 @@
+// Streaming result delivery: the push-style sink a PreparedQuery's streaming
+// execution emits joined result rows into (eval/engine.h).
+//
+// Row order contract: rows arrive grouped by connecting tree, in the order
+// the final CTP's search *produces* trees — the anytime order of the paper's
+// Algorithm 1 grow/merge loop, which is deterministic for a fixed query,
+// graph and configuration. For CONNECT-only queries (no BGP, one CTP) this
+// equals the materialized QueryResult row order byte for byte; when BGP
+// bindings fan out over tree results, the materialized table interleaves by
+// binding instead, so the two orders are permutations of the same multiset.
+// An early-stopped stream always holds exactly a prefix of the full stream.
+#ifndef EQL_EVAL_SINK_H_
+#define EQL_EVAL_SINK_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "storage/binding_table.h"
+
+namespace eql {
+
+/// One materialized connecting tree in a query result.
+struct ResultTreeInfo {
+  std::vector<EdgeId> edges;
+  NodeId root = kNoNode;
+  double score = 0;
+};
+
+/// Column layout of streamed rows: the query head, in order, with the value
+/// kind of each column. Delivered once via ResultSink::OnSchema before any
+/// row.
+struct RowSchema {
+  std::vector<std::string> columns;  ///< head variable names, without '?'
+  std::vector<ColKind> kinds;
+};
+
+/// One streamed result row. `values` aligns with the schema: kNode/kEdge
+/// cells hold NodeId/EdgeId; kTree cells index the row-local `trees` vector
+/// (each streamed row is self-contained — the global tree registry of a
+/// materialized QueryResult does not exist until the query finishes, which
+/// is exactly what streaming avoids waiting for).
+struct StreamRow {
+  std::vector<uint32_t> values;
+  std::vector<ResultTreeInfo> trees;
+};
+
+/// Receives streamed rows. Implementations need not be thread-safe: the
+/// engine invokes one sink from one thread at a time, in emission order.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  /// Called once, before any row.
+  virtual void OnSchema(const RowSchema& schema) { (void)schema; }
+
+  /// Called per result row, as soon as it is known. Return false to stop the
+  /// execution: the engine cancels the underlying CTP searches — including
+  /// chunk workers on a pool — and Execute returns with the work done so
+  /// far reported as cancelled. Blocking inside OnRow is the backpressure
+  /// mechanism: the producing search makes no progress until it returns.
+  virtual bool OnRow(StreamRow row) = 0;
+};
+
+/// Sink adapter over a callable — the one-liner for tests and tools.
+class CallbackSink : public ResultSink {
+ public:
+  explicit CallbackSink(std::function<bool(StreamRow)> fn) : fn_(std::move(fn)) {}
+  bool OnRow(StreamRow row) override { return fn_(std::move(row)); }
+
+ private:
+  std::function<bool(StreamRow)> fn_;
+};
+
+/// Collects everything; `stop_after` > 0 requests a stop once that many rows
+/// arrived (the early-stop test shape).
+class CollectingSink : public ResultSink {
+ public:
+  explicit CollectingSink(size_t stop_after = 0) : stop_after_(stop_after) {}
+
+  void OnSchema(const RowSchema& schema) override { schema_ = schema; }
+  bool OnRow(StreamRow row) override {
+    rows.push_back(std::move(row));
+    return stop_after_ == 0 || rows.size() < stop_after_;
+  }
+  const RowSchema& schema() const { return schema_; }
+
+  std::vector<StreamRow> rows;
+
+ private:
+  size_t stop_after_;
+  RowSchema schema_;
+};
+
+}  // namespace eql
+
+#endif  // EQL_EVAL_SINK_H_

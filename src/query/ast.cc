@@ -25,6 +25,7 @@ namespace {
 std::string PredicateToText(const Predicate& p) {
   if (p.conditions.size() == 1 && p.conditions[0].property == "label" &&
       p.conditions[0].op == CompareOp::kEq) {
+    if (p.conditions[0].is_param) return "$" + p.conditions[0].constant;
     return "\"" + p.conditions[0].constant + "\"";
   }
   return "?" + p.var;
@@ -39,8 +40,10 @@ std::string FilterClauses(const Query& q) {
       return;  // printed inline as a string term
     }
     for (const Condition& c : p.conditions) {
+      const std::string rhs =
+          c.is_param ? "$" + c.constant : "\"" + c.constant + "\"";
       out += "  FILTER(" + c.property + "(?" + p.var + ") " + CompareOpName(c.op) +
-             " \"" + c.constant + "\")\n";
+             " " + rhs + ")\n";
     }
   };
   for (const EdgePattern& ep : q.patterns) {
@@ -73,25 +76,63 @@ std::string QueryToText(const Query& q) {
     out += " -> ?" + ctp.tree_var + ")";
     const CtpFilterSpec& f = ctp.filters;
     if (f.uni) out += " UNI";
-    if (f.labels) {
+    if (f.labels || !f.label_params.empty()) {
       out += " LABEL {";
-      for (size_t i = 0; i < f.labels->size(); ++i) {
-        if (i > 0) out += ", ";
-        out += "\"" + (*f.labels)[i] + "\"";
+      size_t n = 0;
+      if (f.labels) {
+        for (const std::string& l : *f.labels) {
+          if (n++ > 0) out += ", ";
+          out += "\"" + l + "\"";
+        }
+      }
+      for (const std::string& p : f.label_params) {
+        if (n++ > 0) out += ", ";
+        out += "$" + p;
       }
       out += "}";
     }
     if (f.max_edges) out += StrFormat(" MAX %u", *f.max_edges);
+    if (f.max_edges_param) out += " MAX $" + *f.max_edges_param;
     if (f.score) {
       out += " SCORE " + *f.score;
       if (f.top_k) out += StrFormat(" TOP %d", *f.top_k);
+      if (f.top_k_param) out += " TOP $" + *f.top_k_param;
     }
     if (f.timeout_ms) out += StrFormat(" TIMEOUT %lld", (long long)*f.timeout_ms);
+    if (f.timeout_param) out += " TIMEOUT $" + *f.timeout_param;
     if (f.limit) out += StrFormat(" LIMIT %llu", (unsigned long long)*f.limit);
+    if (f.limit_param) out += " LIMIT $" + *f.limit_param;
     out += "\n";
   }
   out += FilterClauses(q);
   out += "}\n";
+  return out;
+}
+
+std::vector<std::string> CollectParamNames(const Query& q) {
+  std::vector<std::string> out;
+  auto add = [&](const std::string& name) {
+    if (std::find(out.begin(), out.end(), name) == out.end()) out.push_back(name);
+  };
+  auto from_pred = [&](const Predicate& p) {
+    for (const Condition& c : p.conditions) {
+      if (c.is_param) add(c.constant);
+    }
+  };
+  for (const EdgePattern& ep : q.patterns) {
+    from_pred(ep.source);
+    from_pred(ep.edge);
+    from_pred(ep.target);
+  }
+  for (const CtpPattern& ctp : q.ctps) {
+    for (const Predicate& m : ctp.members) from_pred(m);
+    const CtpFilterSpec& f = ctp.filters;
+    for (const std::string& p : f.label_params) add(p);
+    if (f.max_edges_param) add(*f.max_edges_param);
+    if (f.top_k_param) add(*f.top_k_param);
+    if (f.timeout_param) add(*f.timeout_param);
+    if (f.limit_param) add(*f.limit_param);
+  }
   return out;
 }
 

@@ -37,11 +37,15 @@ enum class CompareOp { kEq, kLt, kLe, kLike };
 
 const char* CompareOpName(CompareOp op);
 
-/// One condition `property(v) op constant`.
+/// One condition `property(v) op constant`. The constant may be a `$name`
+/// parameter placeholder: `is_param` is then true and `constant` holds the
+/// parameter *name*; binding (eval/params.h) substitutes the value before
+/// evaluation. A query with unbound parameters cannot be evaluated.
 struct Condition {
   std::string property;  ///< "label", "type", or a property key
   CompareOp op = CompareOp::kEq;
   std::string constant;
+  bool is_param = false;  ///< `constant` is a parameter name, not a value
 };
 
 /// A predicate over one variable: a conjunction of conditions (possibly
@@ -60,15 +64,23 @@ struct EdgePattern {
   Predicate target;
 };
 
-/// Filters attached to one CTP (Section 2).
+/// Filters attached to one CTP (Section 2). Every value position accepts a
+/// `$name` placeholder: label params are appended to `labels` at bind time,
+/// and a set `*_param` name supersedes the corresponding literal field until
+/// binding fills it in (the parser never sets both).
 struct CtpFilterSpec {
   bool uni = false;
   std::optional<std::vector<std::string>> labels;
+  std::vector<std::string> label_params;  ///< $params inside LABEL {...}
   std::optional<uint32_t> max_edges;
   std::optional<int64_t> timeout_ms;
   std::optional<std::string> score;  ///< score function name
   std::optional<int> top_k;
   std::optional<uint64_t> limit;
+  std::optional<std::string> max_edges_param;
+  std::optional<std::string> timeout_param;
+  std::optional<std::string> top_k_param;
+  std::optional<std::string> limit_param;
 };
 
 /// Connecting tree pattern (g1, ..., gm, v_{m+1}) (Def 2.5).
@@ -87,7 +99,17 @@ struct Query {
   /// All variables appearing in triple patterns or CTP members (not tree
   /// vars); filled by the validator.
   std::vector<std::string> simple_vars;
+
+  /// All `$name` parameter placeholders, in first-appearance order; filled
+  /// by the validator. Non-empty means the query must be bound via
+  /// EqlEngine::Prepare + Execute(params) — Run() rejects it.
+  std::vector<std::string> param_names;
 };
+
+/// Collects the query's parameter names in first-appearance order (condition
+/// constants first, then per-CTP LABEL/MAX/SCORE TOP/TIMEOUT/LIMIT values).
+/// The validator caches this in Query::param_names.
+std::vector<std::string> CollectParamNames(const Query& q);
 
 /// Pretty-prints a query back to (normalized) EQL text.
 std::string QueryToText(const Query& q);

@@ -53,14 +53,15 @@ Result<std::vector<Token>> Tokenize(std::string_view text) {
     Token tok;
     tok.line = line;
     tok.column = col;
-    if (c == '?') {
+    if (c == '?' || c == '$') {
       size_t j = i + 1;
       while (j < text.size() && IsIdentChar(text[j])) ++j;
       if (j == i + 1) {
         return Status::InvalidArgument(
-            StrFormat("line %d:%d: '?' must start a variable name", line, col));
+            StrFormat("line %d:%d: '%c' must start a %s name", line, col, c,
+                      c == '?' ? "variable" : "parameter"));
       }
-      tok.kind = TokenKind::kVariable;
+      tok.kind = c == '?' ? TokenKind::kVariable : TokenKind::kParam;
       tok.text = std::string(text.substr(i + 1, j - i - 1));
       advance(j - i);
     } else if (c == '"') {

@@ -14,6 +14,8 @@ enum class TokenKind {
   kKeyword,   ///< SELECT WHERE CONNECT FILTER UNI LABEL MAX SCORE TOP TIMEOUT
               ///< LIMIT AND (case-insensitive; normalized to upper case)
   kVariable,  ///< ?name (text holds "name")
+  kParam,     ///< $name — a placeholder bound at execution time (text holds
+              ///< "name"); see eval/params.h for the binding rules
   kString,    ///< "..." with \" and \\ escapes (text holds the unescaped body)
   kNumber,    ///< integer or decimal literal
   kIdent,     ///< bare identifier (score names, FILTER property names)

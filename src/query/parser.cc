@@ -83,21 +83,25 @@ class Parser {
     return Status::Ok();
   }
 
-  /// term := ?var | "string"; strings desugar to a fresh variable carrying a
-  /// label-equality condition (the paper's short syntax).
+  /// term := ?var | "string" | $param; strings desugar to a fresh variable
+  /// carrying a label-equality condition (the paper's short syntax), and a
+  /// $param desugars the same way with the label value bound at execution
+  /// time (eval/params.h).
   Result<Predicate> ParseTerm() {
     if (Peek().kind == TokenKind::kVariable) {
       Predicate p;
       p.var = Next().text;
       return p;
     }
-    if (Peek().kind == TokenKind::kString) {
+    if (Peek().kind == TokenKind::kString || Peek().kind == TokenKind::kParam) {
+      const bool is_param = Peek().kind == TokenKind::kParam;
       Predicate p;
       p.var = StrFormat("_%d", anon_counter_++);
-      p.conditions.push_back(Condition{"label", CompareOp::kEq, Next().text});
+      p.conditions.push_back(
+          Condition{"label", CompareOp::kEq, Next().text, is_param});
       return p;
     }
-    return Error("expected ?variable or \"string\"");
+    return Error("expected ?variable, \"string\" or $param");
   }
 
   Status ParseTriple(Query* q) {
@@ -126,6 +130,20 @@ class Parser {
     }
     Next();
     return static_cast<int64_t>(v);
+  }
+
+  /// A filter-value position: either an integer literal (returned through
+  /// `ParseInt`-equivalent checks via the caller) or a $param whose name is
+  /// stored in `*param`. Returns nullopt in `value` when a param was taken.
+  Result<std::optional<int64_t>> ParseIntOrParam(
+      const char* what, std::optional<std::string>* param) {
+    if (Peek().kind == TokenKind::kParam) {
+      *param = Next().text;
+      return std::optional<int64_t>();
+    }
+    auto v = ParseInt(what);
+    if (!v.ok()) return v.status();
+    return std::optional<int64_t>(*v);
   }
 
   Status ParseConnect(Query* q) {
@@ -159,10 +177,13 @@ class Parser {
         EQL_RETURN_WRAP(ExpectPunct("{"));
         std::vector<std::string> labels;
         for (;;) {
-          if (Peek().kind != TokenKind::kString) {
-            return Error("LABEL expects \"label\" strings");
+          if (Peek().kind == TokenKind::kParam) {
+            ctp.filters.label_params.push_back(Next().text);
+          } else if (Peek().kind == TokenKind::kString) {
+            labels.push_back(Next().text);
+          } else {
+            return Error("LABEL expects \"label\" strings or $params");
           }
-          labels.push_back(Next().text);
           if (Peek().Is(TokenKind::kPunct, ",")) {
             Next();
             continue;
@@ -173,10 +194,12 @@ class Parser {
         ctp.filters.labels = std::move(labels);
       } else if (Peek().Is(TokenKind::kKeyword, "MAX")) {
         Next();
-        auto v = ParseInt("MAX");
+        auto v = ParseIntOrParam("MAX", &ctp.filters.max_edges_param);
         if (!v.ok()) return v.status();
-        if (*v <= 0) return Error("MAX must be positive");
-        ctp.filters.max_edges = static_cast<uint32_t>(*v);
+        if (v->has_value()) {
+          if (**v <= 0) return Error("MAX must be positive");
+          ctp.filters.max_edges = static_cast<uint32_t>(**v);
+        }
       } else if (Peek().Is(TokenKind::kKeyword, "SCORE")) {
         Next();
         if (Peek().kind != TokenKind::kIdent) {
@@ -185,22 +208,26 @@ class Parser {
         ctp.filters.score = Next().text;
         if (Peek().Is(TokenKind::kKeyword, "TOP")) {
           Next();
-          auto v = ParseInt("TOP");
+          auto v = ParseIntOrParam("TOP", &ctp.filters.top_k_param);
           if (!v.ok()) return v.status();
-          if (*v <= 0) return Error("TOP must be positive");
-          ctp.filters.top_k = static_cast<int>(*v);
+          if (v->has_value()) {
+            if (**v <= 0) return Error("TOP must be positive");
+            ctp.filters.top_k = static_cast<int>(**v);
+          }
         }
       } else if (Peek().Is(TokenKind::kKeyword, "TIMEOUT")) {
         Next();
-        auto v = ParseInt("TIMEOUT");
+        auto v = ParseIntOrParam("TIMEOUT", &ctp.filters.timeout_param);
         if (!v.ok()) return v.status();
-        ctp.filters.timeout_ms = *v;
+        if (v->has_value()) ctp.filters.timeout_ms = **v;
       } else if (Peek().Is(TokenKind::kKeyword, "LIMIT")) {
         Next();
-        auto v = ParseInt("LIMIT");
+        auto v = ParseIntOrParam("LIMIT", &ctp.filters.limit_param);
         if (!v.ok()) return v.status();
-        if (*v <= 0) return Error("LIMIT must be positive");
-        ctp.filters.limit = static_cast<uint64_t>(*v);
+        if (v->has_value()) {
+          if (**v <= 0) return Error("LIMIT must be positive");
+          ctp.filters.limit = static_cast<uint64_t>(**v);
+        }
       } else {
         break;
       }
@@ -248,8 +275,11 @@ class Parser {
       if (Peek().kind == TokenKind::kString || Peek().kind == TokenKind::kNumber ||
           Peek().kind == TokenKind::kIdent) {
         cond.constant = Next().text;
+      } else if (Peek().kind == TokenKind::kParam) {
+        cond.constant = Next().text;
+        cond.is_param = true;
       } else {
-        return Error("expected a constant after the comparison operator");
+        return Error("expected a constant or $param after the comparison operator");
       }
       filter_conditions_[var].push_back(std::move(cond));
       if (Peek().Is(TokenKind::kKeyword, "AND")) {

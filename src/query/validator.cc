@@ -86,6 +86,7 @@ Status ValidateQuery(Query* q) {
   for (const auto& [var, role] : roles) {
     if (role != VarRole::kTree) q->simple_vars.push_back(var);
   }
+  q->param_names = CollectParamNames(*q);
   return Status::Ok();
 }
 

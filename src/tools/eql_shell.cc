@@ -10,6 +10,9 @@
 //   --adaptive        pick ESP automatically for plain m=2 CTPs (Property 3)
 //   --parallel N      evaluate CTPs on a worker pool, split N ways (0 = off)
 //   --timeout MS      default per-CTP timeout (default 60000)
+//   --query-timeout MS whole-query wall-clock budget (default: none)
+//   --stream          stream rows as the search produces them (prints the
+//                     time to first row); materialized output otherwise
 //   --max-rows N      print at most N result rows per query (default 20)
 //   --stats           print per-CTP search statistics
 //   --no-views        disable compiled LABEL/UNI adjacency views (ctp/view.h)
@@ -20,8 +23,17 @@
 // own line:
 //   .parallel N       switch CTP parallelism to N chunks (0 = sequential)
 //   .views on|off     toggle compiled filter views
+//   .stream on|off    toggle streaming row delivery
 //   .batch FILE       run the ';'-separated queries in FILE as one batch
 //                     through EqlEngine::RunBatch (amortizes the pool)
+//   .prepare NAME QUERY;
+//                     compile QUERY (which may use $param placeholders) once
+//                     under NAME — the query text runs to the next ';', so
+//                     it may span lines
+//   .bind NAME $k=v [$k2=v2 ...]
+//                     set NAME's parameters (strings may be "quoted";
+//                     integers bind as integers)
+//   .run NAME         execute the prepared query with its bound parameters
 //
 // The graph file format is the tab-separated triple format of
 // src/graph/graph_io.h ("src<TAB>label<TAB>dst", plus @type/@literal lines).
@@ -31,6 +43,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -85,7 +98,8 @@ Graph MakeDemoGraph() {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s GRAPH.tsv|--demo [--algorithm NAME] [--adaptive]\n"
-               "       [--parallel N] [--timeout MS] [--max-rows N] [--stats]\n"
+               "       [--parallel N] [--timeout MS] [--query-timeout MS]\n"
+               "       [--stream] [--max-rows N] [--stats]\n"
                "       [--no-views] [--no-bound-pruning] [-q QUERY]...\n",
                argv0);
   return 2;
@@ -95,6 +109,7 @@ struct ShellArgs {
   std::string graph_path;
   bool demo = false;
   bool stats = false;
+  bool stream = false;
   size_t max_rows = 20;
   EngineOptions options;
   std::vector<std::string> queries;
@@ -136,6 +151,12 @@ bool ParseArgs(int argc, char** argv, ShellArgs* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->options.default_ctp_timeout_ms = std::atoll(v);
+    } else if (a == "--query-timeout") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->options.default_query_timeout_ms = std::atoll(v);
+    } else if (a == "--stream") {
+      args->stream = true;
     } else if (a == "--max-rows") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -165,9 +186,98 @@ void PrintRows(const Graph& g, const ShellArgs& args, const QueryResult& r) {
   }
 }
 
-void RunQuery(const EqlEngine& engine, const Graph& g, const ShellArgs& args,
-              const std::string& query) {
-  auto r = engine.Run(query);
+void PrintCtpStats(const QueryResult& r) {
+  for (const auto& run : r.ctp_runs) {
+    std::string mode;
+    if (run.used_subset_queues) mode += ", subset-queues";
+    if (run.parallel_chunks > 0) {
+      mode += ", " + std::to_string(run.parallel_chunks) + " chunks";
+    }
+    if (run.used_view) mode += ", view";
+    if (run.dead_labels) mode += ", dead-labels";
+    if (run.streamed_rows) mode += ", streamed";
+    std::printf("  [?%s via %s%s] %s\n", run.tree_var.c_str(),
+                AlgorithmName(run.algorithm), mode.c_str(),
+                run.stats.ToString().c_str());
+  }
+}
+
+std::string StreamRowToString(const Graph& g, const RowSchema& schema,
+                              const StreamRow& row) {
+  std::string out;
+  for (size_t c = 0; c < row.values.size(); ++c) {
+    if (c > 0) out += "  ";
+    out += "?" + schema.columns[c] + "=";
+    uint32_t v = row.values[c];
+    switch (schema.kinds[c]) {
+      case ColKind::kNode:
+        out += g.NodeLabel(v);
+        break;
+      case ColKind::kEdge:
+        out += "[" + g.EdgeToString(v) + "]";
+        break;
+      case ColKind::kTree: {
+        const ResultTreeInfo& t = row.trees[v];
+        out += "{";
+        for (size_t i = 0; i < t.edges.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += g.EdgeToString(t.edges[i]);
+        }
+        out += "}";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+/// Streaming execution of one prepared query: rows print as they arrive.
+void StreamPrepared(const EqlEngine& engine, const Graph& g,
+                    const ShellArgs& args, const PreparedQuery& prepared,
+                    const ParamMap& params) {
+  (void)engine;
+  size_t printed = 0;
+  class PrintSink : public ResultSink {
+   public:
+    PrintSink(const Graph& g, size_t max_rows, size_t* printed)
+        : g_(g), max_rows_(max_rows), printed_(printed) {}
+    void OnSchema(const RowSchema& schema) override { schema_ = schema; }
+    bool OnRow(StreamRow row) override {
+      if (*printed_ < max_rows_) {
+        std::printf("  %s\n", StreamRowToString(g_, schema_, row).c_str());
+        std::fflush(stdout);
+      }
+      ++*printed_;
+      return true;
+    }
+
+   private:
+    const Graph& g_;
+    RowSchema schema_;
+    size_t max_rows_;
+    size_t* printed_;
+  } sink(g, args.max_rows, &printed);
+  auto r = prepared.Execute(params, sink);
+  if (!r.ok()) {
+    std::printf("error: %s\n", r.status().ToString().c_str());
+    return;
+  }
+  if (printed > args.max_rows) {
+    std::printf("  ... (%zu more)\n", printed - args.max_rows);
+  }
+  std::printf("%llu row(s) streamed in %.1f ms (first row after %.1f ms)\n",
+              static_cast<unsigned long long>(r->rows_streamed), r->total_ms,
+              r->first_row_ms);
+  if (args.stats) PrintCtpStats(*r);
+}
+
+void RunPrepared(const EqlEngine& engine, const Graph& g, const ShellArgs& args,
+                 const PreparedQuery& prepared, const ParamMap& params) {
+  if (args.stream) {
+    StreamPrepared(engine, g, args, prepared, params);
+    return;
+  }
+  auto r = prepared.Execute(params);
   if (!r.ok()) {
     std::printf("error: %s\n", r.status().ToString().c_str());
     return;
@@ -175,20 +285,61 @@ void RunQuery(const EqlEngine& engine, const Graph& g, const ShellArgs& args,
   std::printf("%zu row(s) in %.1f ms (BGP %.1f | CTP %.1f | join %.1f)\n",
               r->table.NumRows(), r->total_ms, r->bgp_ms, r->ctp_ms, r->join_ms);
   PrintRows(g, args, *r);
-  if (args.stats) {
-    for (const auto& run : r->ctp_runs) {
-      std::string mode;
-      if (run.used_subset_queues) mode += ", subset-queues";
-      if (run.parallel_chunks > 0) {
-        mode += ", " + std::to_string(run.parallel_chunks) + " chunks";
+  if (args.stats) PrintCtpStats(*r);
+}
+
+void RunQuery(const EqlEngine& engine, const Graph& g, const ShellArgs& args,
+              const std::string& query) {
+  auto prepared = engine.Prepare(query);
+  if (!prepared.ok()) {
+    std::printf("error: %s\n", prepared.status().ToString().c_str());
+    return;
+  }
+  if (!prepared->param_names().empty()) {
+    std::printf(
+        "query has unbound $parameters; use .prepare NAME / .bind / .run\n");
+    return;
+  }
+  RunPrepared(engine, g, args, *prepared, ParamMap());
+}
+
+/// Parses ".bind"-style `$k=v` assignments; values may be "quoted" (with
+/// spaces) and bare integers bind as integers. Returns false on bad syntax.
+bool ParseBindArgs(const std::string& text, ParamMap* params) {
+  size_t i = 0;
+  auto skip_ws = [&] { while (i < text.size() && std::isspace((unsigned char)text[i])) ++i; };
+  for (skip_ws(); i < text.size(); skip_ws()) {
+    if (text[i] == '$') ++i;  // optional $ prefix on the name
+    size_t name_start = i;
+    while (i < text.size() && (std::isalnum((unsigned char)text[i]) || text[i] == '_')) ++i;
+    if (i == name_start || i >= text.size() || text[i] != '=') return false;
+    std::string name = text.substr(name_start, i - name_start);
+    ++i;  // '='
+    std::string value;
+    bool quoted = false;
+    if (i < text.size() && text[i] == '"') {
+      quoted = true;
+      ++i;
+      while (i < text.size() && text[i] != '"') {
+        if (text[i] == '\\' && i + 1 < text.size()) ++i;
+        value += text[i++];
       }
-      if (run.used_view) mode += ", view";
-      if (run.dead_labels) mode += ", dead-labels";
-      std::printf("  [?%s via %s%s] %s\n", run.tree_var.c_str(),
-                  AlgorithmName(run.algorithm), mode.c_str(),
-                  run.stats.ToString().c_str());
+      if (i >= text.size()) return false;  // unterminated
+      ++i;
+    } else {
+      while (i < text.size() && !std::isspace((unsigned char)text[i])) value += text[i++];
+    }
+    bool is_int = !quoted && !value.empty();
+    for (size_t k = (value[0] == '-' ? 1 : 0); is_int && k < value.size(); ++k) {
+      is_int = std::isdigit((unsigned char)value[k]);
+    }
+    if (is_int && !(value.size() == 1 && value[0] == '-')) {
+      params->Set(std::move(name), static_cast<int64_t>(std::atoll(value.c_str())));
+    } else {
+      params->Set(std::move(name), std::move(value));
     }
   }
+  return true;
 }
 
 /// Splits `text` into ';'-separated, trimmed, non-empty queries.
@@ -270,13 +421,59 @@ int Main(int argc, char** argv) {
   // their own line.
   std::printf(
       "enter queries terminated by ';' (.parallel N | .views on|off | "
-      ".batch FILE | Ctrl-D)\n");
+      ".stream on|off | .batch FILE | .prepare NAME Q; | .bind NAME $k=v | "
+      ".run NAME | Ctrl-D)\n");
   std::string buffer, line;
+  // Prepared-query registry: handles borrow the engine, so rebuilding the
+  // engine (.parallel / .views) invalidates and clears them.
+  std::map<std::string, PreparedQuery> prepared_queries;
+  std::map<std::string, ParamMap> bound_params;
+  std::string pending_prepare;  ///< name awaiting its ';'-terminated text
+  auto rebuild_engine = [&] {
+    engine = std::make_unique<EqlEngine>(graph, args.options);
+    if (!prepared_queries.empty()) {
+      std::printf("(dropped %zu prepared quer%s: engine options changed)\n",
+                  prepared_queries.size(),
+                  prepared_queries.size() == 1 ? "y" : "ies");
+      prepared_queries.clear();
+    }
+  };
+  // Drains every complete ';'-terminated statement out of the buffer: a
+  // pending .prepare claims the statement, anything else runs as a query.
+  auto drain_buffer = [&] {
+    size_t semi;
+    while ((semi = buffer.find(';')) != std::string::npos) {
+      std::string q(Trim(std::string_view(buffer).substr(0, semi)));
+      buffer.erase(0, semi + 1);
+      if (q.empty() && pending_prepare.empty()) continue;
+      if (!pending_prepare.empty()) {
+        auto prepared = engine->Prepare(q);
+        if (!prepared.ok()) {
+          std::printf("error: %s\n", prepared.status().ToString().c_str());
+        } else {
+          std::string params_note;
+          if (!prepared->param_names().empty()) {
+            params_note = " (parameters:";
+            for (const auto& p : prepared->param_names()) params_note += " $" + p;
+            params_note += ")";
+          }
+          prepared_queries.insert_or_assign(pending_prepare,
+                                            std::move(prepared).value());
+          std::printf("prepared '%s'%s\n", pending_prepare.c_str(),
+                      params_note.c_str());
+        }
+        pending_prepare.clear();
+        continue;
+      }
+      RunQuery(*engine, graph, args, q);
+    }
+  };
   while (std::getline(std::cin, line)) {
     std::string trimmed(Trim(line));
     // Dot-commands are ".word ..." — a lone '.' is query text (the triple
-    // terminator may sit on its own line).
-    if (trimmed.size() >= 2 && trimmed[0] == '.' &&
+    // terminator may sit on its own line). While a .prepare is collecting
+    // its query text, everything flows into the buffer.
+    if (pending_prepare.empty() && trimmed.size() >= 2 && trimmed[0] == '.' &&
         std::isalpha(static_cast<unsigned char>(trimmed[1]))) {
       std::istringstream cmd(trimmed);
       std::string name, arg;
@@ -288,7 +485,7 @@ int Main(int argc, char** argv) {
           continue;
         }
         args.options.num_threads = static_cast<unsigned>(n);
-        engine = std::make_unique<EqlEngine>(graph, args.options);
+        rebuild_engine();
         if (args.options.num_threads > 1) {
           std::printf("parallel: %u chunks on a %u-worker pool\n",
                       args.options.num_threads, args.options.num_threads);
@@ -301,31 +498,74 @@ int Main(int argc, char** argv) {
           continue;
         }
         args.options.use_compiled_views = arg == "on";
-        engine = std::make_unique<EqlEngine>(graph, args.options);
+        rebuild_engine();
         std::printf("compiled filter views: %s\n", arg.c_str());
+      } else if (name == ".stream") {
+        if (arg != "on" && arg != "off") {
+          std::printf(".stream expects 'on' or 'off'\n");
+          continue;
+        }
+        args.stream = arg == "on";
+        std::printf("streaming row delivery: %s\n", arg.c_str());
       } else if (name == ".batch") {
         if (arg.empty()) {
           std::printf(".batch needs a file name\n");
         } else {
           RunBatchFile(*engine, graph, args, arg);
         }
+      } else if (name == ".prepare") {
+        if (arg.empty()) {
+          std::printf(".prepare needs a name: .prepare NAME SELECT ... ;\n");
+          continue;
+        }
+        if (!Trim(buffer).empty()) {
+          // Leftover unterminated input would silently prepend itself to
+          // the prepared statement; drop it loudly instead.
+          std::printf("(discarding unterminated input before .prepare)\n");
+          buffer.clear();
+        }
+        pending_prepare = arg;
+        // The rest of the line starts the query text; it runs to ';'.
+        std::string rest;
+        std::getline(cmd, rest);
+        buffer += rest;
+        buffer += '\n';
+        drain_buffer();  // a one-line .prepare completes immediately
+      } else if (name == ".bind") {
+        if (arg.empty() || !prepared_queries.count(arg)) {
+          std::printf(".bind: no prepared query named '%s'\n", arg.c_str());
+          continue;
+        }
+        std::string rest;
+        std::getline(cmd, rest);
+        ParamMap params;
+        if (!ParseBindArgs(rest, &params)) {
+          std::printf(".bind expects $name=value pairs (strings quoted)\n");
+          continue;
+        }
+        bound_params[arg] = std::move(params);
+        std::printf("bound %zu parameter(s) for '%s'\n",
+                    bound_params[arg].size(), arg.c_str());
+      } else if (name == ".run") {
+        auto it = prepared_queries.find(arg);
+        if (it == prepared_queries.end()) {
+          std::printf(".run: no prepared query named '%s'\n", arg.c_str());
+          continue;
+        }
+        auto pit = bound_params.find(arg);
+        RunPrepared(*engine, graph, args, it->second,
+                    pit != bound_params.end() ? pit->second : ParamMap());
       } else {
         std::printf(
-            "unknown command '%s' (try .parallel N, .views on|off or "
-            ".batch FILE)\n",
+            "unknown command '%s' (try .parallel N, .views on|off, "
+            ".stream on|off, .batch FILE, .prepare, .bind or .run)\n",
             name.c_str());
       }
       continue;
     }
     buffer += line;
     buffer += '\n';
-    size_t semi;
-    while ((semi = buffer.find(';')) != std::string::npos) {
-      std::string q(Trim(std::string_view(buffer).substr(0, semi)));
-      buffer.erase(0, semi + 1);
-      if (q.empty()) continue;
-      RunQuery(*engine, graph, args, q);
-    }
+    drain_buffer();
   }
   return 0;
 }

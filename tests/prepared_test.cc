@@ -1,0 +1,386 @@
+// Prepared queries and parameter binding: grammar ($name placeholders),
+// ParamMap/BindParams semantics, prepare-once/execute-many equivalence with
+// the one-shot path (byte-identical rows/trees/scores/stats), per-call
+// ExecOptions overrides, the whole-query deadline, and handle thread-safety.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+
+#include "eval/engine.h"
+#include "query/parser.h"
+#include "query/validator.h"
+#include "test_util.h"
+#include "util/stopwatch.h"
+
+namespace eql {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Byte-identity oracle: everything a caller can observe about a QueryResult
+// except wall-clock timings.
+// ---------------------------------------------------------------------------
+
+void ExpectSameStats(const SearchStats& a, const SearchStats& b) {
+  EXPECT_EQ(a.init_trees, b.init_trees);
+  EXPECT_EQ(a.grow_attempts, b.grow_attempts);
+  EXPECT_EQ(a.merge_attempts, b.merge_attempts);
+  EXPECT_EQ(a.trees_built, b.trees_built);
+  EXPECT_EQ(a.mo_trees, b.mo_trees);
+  EXPECT_EQ(a.trees_pruned, b.trees_pruned);
+  EXPECT_EQ(a.results_found, b.results_found);
+  EXPECT_EQ(a.duplicate_results, b.duplicate_results);
+  EXPECT_EQ(a.timed_out, b.timed_out);
+  EXPECT_EQ(a.budget_exhausted, b.budget_exhausted);
+  EXPECT_EQ(a.complete, b.complete);
+}
+
+void ExpectSameResult(const QueryResult& a, const QueryResult& b) {
+  ASSERT_EQ(a.table.NumRows(), b.table.NumRows());
+  ASSERT_EQ(a.table.NumColumns(), b.table.NumColumns());
+  EXPECT_EQ(a.table.columns(), b.table.columns());
+  for (size_t r = 0; r < a.table.NumRows(); ++r) {
+    EXPECT_EQ(a.table.Row(r), b.table.Row(r)) << "row " << r;
+  }
+  ASSERT_EQ(a.trees.size(), b.trees.size());
+  for (size_t i = 0; i < a.trees.size(); ++i) {
+    EXPECT_EQ(a.trees[i].edges, b.trees[i].edges) << "tree " << i;
+    EXPECT_EQ(a.trees[i].root, b.trees[i].root) << "tree " << i;
+    EXPECT_EQ(a.trees[i].score, b.trees[i].score) << "tree " << i;
+  }
+  ASSERT_EQ(a.ctp_runs.size(), b.ctp_runs.size());
+  for (size_t i = 0; i < a.ctp_runs.size(); ++i) {
+    ExpectSameStats(a.ctp_runs[i].stats, b.ctp_runs[i].stats);
+    EXPECT_EQ(a.ctp_runs[i].num_results, b.ctp_runs[i].num_results);
+    EXPECT_EQ(a.ctp_runs[i].algorithm, b.ctp_runs[i].algorithm);
+    EXPECT_EQ(a.ctp_runs[i].used_view, b.ctp_runs[i].used_view);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Grammar and binding.
+// ---------------------------------------------------------------------------
+
+TEST(ParamGrammarTest, ParamsParseInEveryValuePosition) {
+  auto q = ParseQuery(
+      "SELECT ?w WHERE {\n"
+      "  ?x \"citizenOf\" $country .\n"
+      "  FILTER(type(?x) = $t)\n"
+      "  CONNECT(?x, $other -> ?w) LABEL {\"founded\", $l} MAX $m"
+      " SCORE edge_count TOP $k TIMEOUT $budget LIMIT $cap\n"
+      "}");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  Status st = ValidateQuery(&*q);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  // First-appearance order walks predicates structurally: the FILTER on the
+  // triple's source lands before the target term's label shorthand.
+  EXPECT_EQ(q->param_names,
+            (std::vector<std::string>{"t", "country", "other", "l", "m", "k",
+                                      "budget", "cap"}));
+  const CtpFilterSpec& f = q->ctps[0].filters;
+  EXPECT_EQ(f.label_params, std::vector<std::string>{"l"});
+  EXPECT_EQ(f.max_edges_param, "m");
+  EXPECT_EQ(f.top_k_param, "k");
+  EXPECT_EQ(f.timeout_param, "budget");
+  EXPECT_EQ(f.limit_param, "cap");
+  // QueryToText round-trips placeholders.
+  std::string text = QueryToText(*q);
+  for (const char* s : {"$country", "$t", "$other", "$l", "MAX $m", "TOP $k",
+                        "TIMEOUT $budget", "LIMIT $cap"}) {
+    EXPECT_NE(text.find(s), std::string::npos) << s << " in:\n" << text;
+  }
+}
+
+TEST(ParamGrammarTest, BareDollarIsAnError) {
+  auto q = ParseQuery("SELECT ?w WHERE { CONNECT($ , \"B\" -> ?w) }");
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("parameter"), std::string::npos);
+}
+
+TEST(BindParamsTest, SubstitutesValuesAndTypes) {
+  auto q = ParseQuery(
+      "SELECT ?w WHERE { CONNECT($a, $b -> ?w) MAX $m LIMIT $cap }");
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(ValidateQuery(&*q).ok());
+  ParamMap p;
+  p.Set("a", "Bob").Set("b", "Carole").Set("m", 3).Set("cap", "7");
+  auto bound = BindParams(*q, p);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  EXPECT_TRUE(bound->param_names.empty());
+  EXPECT_EQ(bound->ctps[0].members[0].conditions[0].constant, "Bob");
+  EXPECT_FALSE(bound->ctps[0].members[0].conditions[0].is_param);
+  EXPECT_EQ(bound->ctps[0].filters.max_edges, 3u);
+  EXPECT_EQ(bound->ctps[0].filters.limit, 7u);  // "7" parses as an integer
+}
+
+TEST(BindParamsTest, MissingExtraAndBadValuesAreErrors) {
+  auto q = ParseQuery("SELECT ?w WHERE { CONNECT($a, \"B\" -> ?w) MAX $m }");
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(ValidateQuery(&*q).ok());
+
+  auto missing = BindParams(*q, ParamMap().Set("a", "A"));
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().message().find("$m"), std::string::npos);
+
+  auto extra = BindParams(
+      *q, ParamMap().Set("a", "A").Set("m", 3).Set("typo", "x"));
+  ASSERT_FALSE(extra.ok());
+  EXPECT_NE(extra.status().message().find("$typo"), std::string::npos);
+
+  auto bad_type = BindParams(*q, ParamMap().Set("a", "A").Set("m", "three"));
+  ASSERT_FALSE(bad_type.ok());
+  EXPECT_NE(bad_type.status().message().find("integer"), std::string::npos);
+
+  auto bad_range = BindParams(*q, ParamMap().Set("a", "A").Set("m", 0));
+  ASSERT_FALSE(bad_range.ok());
+  EXPECT_NE(bad_range.status().message().find("MAX"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Prepared-vs-oneshot equivalence.
+// ---------------------------------------------------------------------------
+
+class PreparedFixture : public ::testing::Test {
+ protected:
+  void SetUp() override { g_ = MakeFigure1Graph(); }
+  Graph g_;
+};
+
+TEST_F(PreparedFixture, ExecuteMatchesRunByteForByte) {
+  // The existing engine-suite queries, re-run through Prepare + Execute.
+  const char* queries[] = {
+      "SELECT ?x ?y ?z ?w WHERE {\n"
+      "  ?x \"citizenOf\" \"USA\" .\n"
+      "  ?y \"citizenOf\" \"France\" .\n"
+      "  ?z \"citizenOf\" \"France\" .\n"
+      "  FILTER(type(?x) = \"entrepreneur\")\n"
+      "  FILTER(type(?y) = \"entrepreneur\")\n"
+      "  FILTER(type(?z) = \"politician\")\n"
+      "  CONNECT(?x, ?y, ?z -> ?w)\n"
+      "}",
+      "SELECT ?w WHERE { CONNECT(\"Bob\", \"Carole\" -> ?w) }",
+      "SELECT ?w WHERE { CONNECT(\"Bob\", \"Carole\" -> ?w)"
+      " SCORE edge_count TOP 2 }",
+      "SELECT ?w WHERE { CONNECT(\"Bob\", \"Carole\" -> ?w) MAX 3 }",
+      "SELECT ?w WHERE { CONNECT(\"Bob\", \"Carole\" -> ?w)"
+      " LABEL {\"citizenOf\"} }",
+      "SELECT ?w WHERE { CONNECT(\"Bob\", ?anything -> ?w) LIMIT 12 }",
+      "SELECT ?x ?w1 ?w2 WHERE {\n"
+      "  ?x \"citizenOf\" \"USA\" .\n"
+      "  CONNECT(?x, \"Alice\" -> ?w1) MAX 4\n"
+      "  CONNECT(?x, \"Elon\" -> ?w2) MAX 4\n"
+      "}",
+  };
+  EqlEngine engine(g_);
+  for (const char* text : queries) {
+    SCOPED_TRACE(text);
+    auto oneshot = engine.Run(text);
+    ASSERT_TRUE(oneshot.ok()) << oneshot.status().ToString();
+    auto prepared = engine.Prepare(text);
+    ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+    // Execute the same handle several times: plans are reusable.
+    for (int rep = 0; rep < 3; ++rep) {
+      auto exec = prepared->Execute();
+      ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+      ExpectSameResult(*oneshot, *exec);
+    }
+  }
+}
+
+TEST_F(PreparedFixture, BoundParamsMatchInlineLiterals) {
+  EqlEngine engine(g_);
+  auto prepared = engine.Prepare(
+      "SELECT ?w WHERE { CONNECT($a, $b -> ?w) LABEL {$l1, $l2} MAX $m }");
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  EXPECT_EQ(prepared->param_names().size(), 5u);
+
+  struct Case {
+    const char* a;
+    const char* b;
+    const char* l1;
+    const char* l2;
+    int m;
+  } cases[] = {
+      {"Doug", "Carole", "founded", "investsIn", 4},
+      {"Bob", "Carole", "citizenOf", "citizenOf", 3},
+      {"Bob", "Elon", "parentOf", "citizenOf", 5},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.a);
+    std::string inline_text = std::string("SELECT ?w WHERE { CONNECT(\"") +
+                              c.a + "\", \"" + c.b + "\" -> ?w) LABEL {\"" +
+                              c.l1 + "\", \"" + c.l2 + "\"} MAX " +
+                              std::to_string(c.m) + " }";
+    auto oneshot = engine.Run(inline_text);
+    ASSERT_TRUE(oneshot.ok()) << oneshot.status().ToString();
+    auto exec = prepared->Execute(ParamMap()
+                                      .Set("a", c.a)
+                                      .Set("b", c.b)
+                                      .Set("l1", c.l1)
+                                      .Set("l2", c.l2)
+                                      .Set("m", c.m));
+    ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+    ExpectSameResult(*oneshot, *exec);
+  }
+}
+
+TEST_F(PreparedFixture, RunRejectsUnboundParameters) {
+  EqlEngine engine(g_);
+  auto r = engine.Run("SELECT ?w WHERE { CONNECT($a, \"Carole\" -> ?w) }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("$a"), std::string::npos);
+}
+
+TEST_F(PreparedFixture, ParamInTopRequiresScoreStillEnforced) {
+  EqlEngine engine(g_);
+  // TOP is only parseable after SCORE, so a $k TOP is always well-formed;
+  // binding enforces positivity.
+  auto prepared = engine.Prepare(
+      "SELECT ?w WHERE { CONNECT(\"Bob\", \"Carole\" -> ?w)"
+      " SCORE edge_count TOP $k }");
+  ASSERT_TRUE(prepared.ok());
+  auto bad = prepared->Execute(ParamMap().Set("k", -1));
+  ASSERT_FALSE(bad.ok());
+  auto good = prepared->Execute(ParamMap().Set("k", 2));
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good->table.NumRows(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// ExecOptions overrides.
+// ---------------------------------------------------------------------------
+
+TEST_F(PreparedFixture, TopKOverrideAppliesPerCall) {
+  EqlEngine engine(g_);
+  auto prepared = engine.Prepare(
+      "SELECT ?w WHERE { CONNECT(\"Bob\", \"Carole\" -> ?w)"
+      " SCORE edge_count TOP 5 }");
+  ASSERT_TRUE(prepared.ok());
+  auto five = prepared->Execute();
+  ASSERT_TRUE(five.ok());
+  ExecOptions two;
+  two.top_k = 2;
+  auto overridden = prepared->Execute({}, two);
+  ASSERT_TRUE(overridden.ok());
+  EXPECT_EQ(overridden->table.NumRows(), 2u);
+  EXPECT_GT(five->table.NumRows(), 2u);
+  // The override is per-call: the next default Execute sees TOP 5 again.
+  auto again = prepared->Execute();
+  ASSERT_TRUE(again.ok());
+  ExpectSameResult(*five, *again);
+}
+
+TEST_F(PreparedFixture, AlgorithmOverrideAppliesPerCall) {
+  EqlEngine engine(g_);
+  auto prepared =
+      engine.Prepare("SELECT ?w WHERE { CONNECT(\"Bob\", \"Carole\" -> ?w) }");
+  ASSERT_TRUE(prepared.ok());
+  ExecOptions esp;
+  esp.algorithm = AlgorithmKind::kEsp;
+  auto r = prepared->Execute({}, esp);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->ctp_runs.size(), 1u);
+  EXPECT_EQ(r->ctp_runs[0].algorithm, AlgorithmKind::kEsp);
+}
+
+TEST_F(PreparedFixture, NumThreadsOverrideUsesAPoolPerCall) {
+  EqlEngine engine(g_);  // no pool configured
+  auto prepared =
+      engine.Prepare("SELECT ?w WHERE { CONNECT(\"Bob\", \"Carole\" -> ?w) }");
+  ASSERT_TRUE(prepared.ok());
+  auto sequential = prepared->Execute();
+  ASSERT_TRUE(sequential.ok());
+  EXPECT_EQ(sequential->ctp_runs[0].parallel_chunks, 0u);
+  ExecOptions par;
+  par.num_threads = 2;
+  auto chunked = prepared->Execute({}, par);
+  ASSERT_TRUE(chunked.ok());
+  EXPECT_GT(chunked->ctp_runs[0].parallel_chunks, 0u);
+  // Same results either way (the parallel union uses the total order; both
+  // runs are complete, so the row multisets coincide — compare canonically).
+  auto canon = [](const QueryResult& r) {
+    std::set<std::vector<EdgeId>> out;
+    for (const auto& t : r.trees) {
+      auto e = t.edges;
+      std::sort(e.begin(), e.end());
+      out.insert(e);
+    }
+    return out;
+  };
+  EXPECT_EQ(canon(*sequential), canon(*chunked));
+}
+
+TEST_F(PreparedFixture, WholeQueryDeadlineBoundsMultiCtpQueries) {
+  // Bugfix regression: two CTPs with generous per-CTP budgets used to run
+  // sequentially to ~2x the user's intent; the query deadline is one shared
+  // absolute point, so the second CTP gets only the remainder.
+  Rng rng(7);
+  Graph big = MakeRandomGraph(600, 2400, &rng);
+  EqlEngine engine(big);
+  auto prepared = engine.Prepare(
+      "SELECT ?w1 ?w2 WHERE {\n"
+      "  CONNECT(\"n1\", \"n2\" -> ?w1) TIMEOUT 60000\n"
+      "  CONNECT(\"n3\", \"n4\" -> ?w2) TIMEOUT 60000\n"
+      "}");
+  ASSERT_TRUE(prepared.ok());
+  ExecOptions opts;
+  opts.query_timeout_ms = 150;
+  Stopwatch sw;
+  auto r = prepared->Execute({}, opts);
+  const double elapsed = sw.ElapsedMs();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Both CTPs together must respect the whole-query budget (wide margin for
+  // loaded CI hosts), far below the 120 s the per-CTP budgets would allow.
+  EXPECT_LT(elapsed, 5000.0);
+  ASSERT_EQ(r->ctp_runs.size(), 2u);
+}
+
+TEST_F(PreparedFixture, QueryDeadlineAlreadyExpiredYieldsTimedOutCtps) {
+  Rng rng(11);
+  Graph big = MakeRandomGraph(300, 1200, &rng);
+  EqlEngine engine(big);
+  auto prepared =
+      engine.Prepare("SELECT ?w WHERE { CONNECT(\"n1\", \"n2\" -> ?w) }");
+  ASSERT_TRUE(prepared.ok());
+  ExecOptions opts;
+  opts.query_timeout_ms = 0;
+  auto r = prepared->Execute({}, opts);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->ctp_runs.size(), 1u);
+  EXPECT_FALSE(r->ctp_runs[0].stats.complete);
+}
+
+// ---------------------------------------------------------------------------
+// Thread-safety: one prepared handle, concurrent executions.
+// ---------------------------------------------------------------------------
+
+TEST_F(PreparedFixture, ConcurrentExecutesOnOneHandleAgree) {
+  EqlEngine engine(g_);
+  auto prepared = engine.Prepare(
+      "SELECT ?w WHERE { CONNECT($a, $b -> ?w) MAX 4 }");
+  ASSERT_TRUE(prepared.ok());
+  auto baseline =
+      prepared->Execute(ParamMap().Set("a", "Bob").Set("b", "Carole"));
+  ASSERT_TRUE(baseline.ok());
+
+  constexpr int kThreads = 4;
+  std::vector<Result<QueryResult>> results;
+  results.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) results.push_back(QueryResult{});
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      results[i] =
+          prepared->Execute(ParamMap().Set("a", "Bob").Set("b", "Carole"));
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < kThreads; ++i) {
+    ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
+    ExpectSameResult(*baseline, *results[i]);
+  }
+}
+
+}  // namespace
+}  // namespace eql
