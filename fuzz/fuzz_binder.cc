@@ -1,0 +1,33 @@
+// Fuzz target: parse -> validate -> bind $params. Queries that survive the
+// front end get every placeholder bound (alternating int/string values), and
+// once more with an empty map to walk the missing-parameter error path; both
+// must return a Query or a Status, never crash.
+#include <cstdint>
+#include <string_view>
+#include <utility>
+
+#include "eval/params.h"
+#include "query/parser.h"
+#include "query/validator.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  auto parsed = eql::ParseQuery(text);
+  if (!parsed.ok()) return 0;
+  eql::Query q = std::move(parsed).value();
+  if (!eql::ValidateQuery(&q).ok()) return 0;
+  eql::ParamMap params;
+  size_t i = 0;
+  for (const std::string& name : q.param_names) {
+    if (i++ % 2 == 0) {
+      params.Set(name, static_cast<int64_t>(name.size() + 1));
+    } else {
+      params.Set(name, "L" + name);
+    }
+  }
+  (void)eql::BindParams(q, params);
+  if (!q.param_names.empty()) {
+    (void)eql::BindParams(q, eql::ParamMap());  // strictness: must not bind
+  }
+  return 0;
+}

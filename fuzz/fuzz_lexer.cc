@@ -1,0 +1,13 @@
+// Fuzz target: the EQL tokenizer must return Ok or a Status on every byte
+// sequence — never crash, hang, or read out of bounds.
+#include <cstdint>
+#include <string_view>
+
+#include "query/lexer.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  auto tokens = eql::Tokenize(text);
+  (void)tokens;
+  return 0;
+}

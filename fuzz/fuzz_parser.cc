@@ -1,0 +1,13 @@
+// Fuzz target: ParseQuery must turn every byte sequence into a Query or a
+// position-annotated Status — no asserts, UB, or unbounded recursion.
+#include <cstdint>
+#include <string_view>
+
+#include "query/parser.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  auto q = eql::ParseQuery(text);
+  (void)q;
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Fuzz target: the whole engine on arbitrary query text over a small fixed
+// graph, with tight time and memory budgets so pathological-but-valid
+// queries terminate quickly. Every input must produce a QueryResult or a
+// Status — never a crash, leak, or hang.
+#include <cstdint>
+#include <string_view>
+#include <utility>
+
+#include "eval/engine.h"
+#include "graph/graph_io.h"
+
+namespace {
+
+const eql::EqlEngine& FuzzEngine() {
+  static const eql::EqlEngine* engine = [] {
+    auto g = eql::ParseGraphText(
+        "Bob\tfounded\tOrgB\n"
+        "Alice\tinvestsIn\tOrgB\n"
+        "Bob\tparentOf\tAlice\n"
+        "OrgB\tlocatedIn\tFrance\n"
+        "Bob\tcitizenOf\tUSA\n"
+        "Carole\tcitizenOf\tUSA\n"
+        "Carole\tfounded\tOrgA\n"
+        "Doug\tCEO\tOrgA\n"
+        "Doug\tinvestsIn\tOrgC\n"
+        "Carole\tfounded\tOrgC\n"
+        "Elon\tparentOf\tDoug\n"
+        "Alice\tcitizenOf\tFrance\n"
+        "Doug\tcitizenOf\tFrance\n"
+        "Elon\tcitizenOf\tFrance\n"
+        "OrgC\tlocatedIn\tUSA\n"
+        "@type\tBob\tentrepreneur\n"
+        "@type\tAlice\tentrepreneur\n"
+        "@type\tOrgA\tcompany\n"
+        "@type\tOrgB\tcompany\n");
+    static eql::Graph graph = std::move(g).value();
+    eql::EngineOptions opts;
+    opts.default_ctp_timeout_ms = 100;
+    opts.default_query_timeout_ms = 200;
+    opts.default_memory_budget_bytes = 1 << 20;
+    opts.universal_default_limit = 64;
+    return new eql::EqlEngine(graph, opts);
+  }();
+  return *engine;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > 4096) return 0;  // long inputs just slow the search down
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  auto r = FuzzEngine().Run(text);
+  (void)r;
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Fuzz target: the parse -> validate pipeline on arbitrary text. Inputs
+// that parse exercise the semantic checks (role conflicts, tree-variable
+// uniqueness, member bounds) on whatever shapes the fuzzer finds.
+#include <cstdint>
+#include <string_view>
+#include <utility>
+
+#include "query/parser.h"
+#include "query/validator.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  auto parsed = eql::ParseQuery(text);
+  if (!parsed.ok()) return 0;
+  eql::Query q = std::move(parsed).value();
+  (void)eql::ValidateQuery(&q);
+  return 0;
+}

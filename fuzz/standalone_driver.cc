@@ -1,0 +1,33 @@
+// Replay driver for the fuzz targets when libFuzzer is unavailable (the
+// default GCC build; see CMakeLists.txt EQL_FUZZER_MODE). Feeds every file
+// named on the command line through LLVMFuzzerTestOneInput once. Success is
+// the process surviving: a crash/sanitizer abort kills it with a nonzero
+// status, so `fuzz_parser tests/corpus/*` is the corpus regression check.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s FILE...\n(replays each file once)\n",
+                 argv[0]);
+    return 0;  // no inputs is a no-op, not an error: globs may be empty
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 2;
+    }
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                           bytes.size());
+    std::fprintf(stderr, "ok: %s (%zu bytes)\n", argv[i], bytes.size());
+  }
+  return 0;
+}

@@ -111,6 +111,7 @@ std::unique_ptr<CtpAlgorithm> CreateCtpAlgorithm(AlgorithmKind kind, const Graph
     config.view = tuning.view;
     config.cancel = tuning.cancel;
     config.on_result = tuning.on_result;
+    config.fault = tuning.fault;
     config.merge_mode = kind == AlgorithmKind::kBft      ? BftMergeMode::kNone
                         : kind == AlgorithmKind::kBftM   ? BftMergeMode::kMergeOnce
                                                          : BftMergeMode::kAggressive;
@@ -125,6 +126,7 @@ std::unique_ptr<CtpAlgorithm> CreateCtpAlgorithm(AlgorithmKind kind, const Graph
   config.bound_pruning = tuning.bound_pruning;
   config.cancel = tuning.cancel;
   config.on_result = tuning.on_result;
+  config.fault = tuning.fault;
   return std::make_unique<GamAdapter>(kind, g, seeds, std::move(config));
 }
 

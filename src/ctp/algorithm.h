@@ -70,6 +70,9 @@ struct CtpAlgorithmTuning {
   /// search config (GamConfig / BftConfig; see ctp/gam.h for the contracts).
   const std::atomic<bool>* cancel = nullptr;
   ResultHook on_result;
+  /// Deterministic fault injection, forwarded to the search config (see
+  /// GamConfig::fault / BftConfig::fault); not owned, may be null.
+  FaultInjector* fault = nullptr;
 };
 
 /// Builds an algorithm instance. `order` (optional, GAM family only) biases

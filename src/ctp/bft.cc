@@ -73,6 +73,16 @@ void BftSearch::CheckDeadline() {
   if (deadline_.Expired()) {
     stop_ = true;
     stats_.timed_out = true;
+    return;
+  }
+  // Resource governor: same cadence and wind-down as the deadline (gam.cc).
+  if (config_.filters.memory_budget_bytes != 0) {
+    const uint64_t bytes = MemoryBytes();
+    if (bytes > stats_.memory_bytes_peak) stats_.memory_bytes_peak = bytes;
+    if (bytes > config_.filters.memory_budget_bytes) {
+      stop_ = true;
+      stats_.memory_budget_hit = true;
+    }
   }
 }
 
@@ -116,6 +126,11 @@ void BftSearch::MinimizeAndReport(TreeId id) {
     if (results_.stop_requested()) {  // streaming sink said stop
       stop_ = true;
       stats_.cancelled = true;
+    } else if (config_.fault != nullptr &&
+               config_.fault->ShouldFail(kFaultSiteEmit)) {
+      // Mid-stream fault: fires after the row is out (see gam.cc).
+      stop_ = true;
+      stats_.fault_injected = true;
     } else if (stats_.results_found >= config_.filters.limit) {
       stop_ = true;
       stats_.budget_exhausted = true;
@@ -127,10 +142,21 @@ void BftSearch::MinimizeAndReport(TreeId id) {
 }
 
 void BftSearch::Keep(TreeId id, std::vector<TreeId>* next_gen) {
+  // Fault site "alloc": the point a kept tree's storage (node spans, merge
+  // partner index) grows. The tree stays in the arena; the search winds
+  // down like a timeout would.
+  if (config_.fault != nullptr && config_.fault->ShouldFail(kFaultSiteAlloc)) {
+    stop_ = true;
+    stats_.fault_injected = true;
+    return;
+  }
   RegisterNodes(id);
   const auto [off, len] = node_span_[id];
   for (uint32_t i = 0; i < len; ++i) {
-    trees_with_node_[node_pool_[off + i]].push_back(id);
+    std::vector<TreeId>& bucket = trees_with_node_[node_pool_[off + i]];
+    const size_t before = bucket.capacity();
+    bucket.push_back(id);
+    index_bytes_ += (bucket.capacity() - before) * sizeof(TreeId);
   }
   next_gen->push_back(id);
 }
@@ -223,7 +249,9 @@ Status BftSearch::Run() {
       Keep(id, &gen);
     }
     if (stop_) {
-      stats_.cancelled = true;
+      // stop_ here is either the sink's early stop or an injected fault in
+      // Keep; only the former is a cancellation.
+      if (!stats_.fault_injected) stats_.cancelled = true;
       break;
     }
   }
@@ -285,7 +313,8 @@ Status BftSearch::Run() {
     gen = std::move(next);
   }
 
-  if (!stats_.timed_out && !stats_.budget_exhausted && !stats_.cancelled) {
+  if (!stats_.timed_out && !stats_.budget_exhausted && !stats_.cancelled &&
+      !stats_.memory_budget_hit && !stats_.fault_injected) {
     stats_.complete = true;
   }
   results_.FinalizeTopK();

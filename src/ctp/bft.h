@@ -30,6 +30,7 @@
 #include "ctp/tree.h"
 #include "graph/graph.h"
 #include "util/epoch.h"
+#include "util/fault.h"
 #include "util/stopwatch.h"
 
 namespace eql {
@@ -58,6 +59,10 @@ struct BftConfig {
   /// contracts as GamConfig::cancel / GamConfig::on_result (ctp/gam.h).
   const std::atomic<bool>* cancel = nullptr;
   ResultHook on_result;
+  /// Deterministic fault injection (util/fault.h); not owned, may be null.
+  /// BFT probes kFaultSiteAlloc when a non-result tree is kept and
+  /// kFaultSiteEmit per reported result, with GamConfig::fault semantics.
+  FaultInjector* fault = nullptr;
 };
 
 /// One breadth-first CTP evaluation. Single-use, like GamSearch.
@@ -72,6 +77,19 @@ class BftSearch {
   const CtpResultSet& results() const { return results_; }
   const SearchStats& stats() const { return stats_; }
   const TreeArena& arena() const { return arena_; }
+
+  /// Heap bytes of everything this search allocates (capacity-based; the
+  /// merge-partner index growth is tracked in O(1) by Keep). This is what
+  /// filters.memory_budget_bytes bounds, polled at the deadline sites.
+  size_t MemoryBytes() const {
+    return arena_.MemoryBytes() + history_.MemoryBytes() +
+           trees_with_node_.capacity() * sizeof(std::vector<TreeId>) +
+           index_bytes_ + node_pool_.capacity() * sizeof(NodeId) +
+           node_span_.capacity() * sizeof(std::pair<uint32_t, uint32_t>) +
+           grow_nodes_.MemoryBytes() + min_degree_.MemoryBytes() +
+           edge_buf_.capacity() * sizeof(EdgeId) +
+           node_buf_.capacity() * sizeof(NodeId) + results_.MemoryBytes();
+  }
 
  private:
   /// Reports minimize(t) (Section 4.1) if its edge set is new.
@@ -99,6 +117,8 @@ class BftSearch {
 
   /// Trees containing each node (merge partner index). Flat per-NodeId.
   std::vector<std::vector<TreeId>> trees_with_node_;
+  /// Sum of trees_with_node_ inner capacities, in bytes (see MemoryBytes).
+  size_t index_bytes_ = 0;
 
   /// Sorted node sets of *kept* trees, packed in one flat pool. BFT scans a
   /// kept tree's nodes many times (growth frontier, merge partner checks);

@@ -66,6 +66,15 @@ struct CtpFilters {
   /// when exhausted, like a timeout. UINT64_MAX = unbounded.
   uint64_t max_trees = UINT64_MAX;
 
+  /// Resource-governor budget on the search's own heap storage (arena,
+  /// history, scratch, queues, results — see GamSearch::MemoryBytes). The
+  /// search polls its accounting at the same batched sites as the TIMEOUT
+  /// deadline and, on exceeding the budget, finalizes what it has exactly
+  /// like a timeout does (stats.memory_budget_hit, complete=false, partial
+  /// results intact). 0 = unlimited; the accounting is then never read, so
+  /// governed-off runs do byte-identical work to builds without a governor.
+  uint64_t memory_budget_bytes = 0;
+
   /// Normalizes (sorts + dedups) the label set; call after filling
   /// allowed_labels. Duplicates would be harmless for LabelAllowed but make
   /// label-set comparisons (the compiled-view cache key, ctp/view.h) miss.

@@ -125,6 +125,14 @@ void GamSearch::EmitResult(TreeId id) {
     stats_.cancelled = true;
     return;
   }
+  // Fault site "emit": fires *after* the result (and any streamed row) is
+  // out — the mid-stream failure shape: arm with trigger n to fault right
+  // after the n-th row reached the sink.
+  if (config_.fault != nullptr && config_.fault->ShouldFail(kFaultSiteEmit)) {
+    stop_ = true;
+    stats_.fault_injected = true;
+    return;
+  }
   if (stats_.results_found >= config_.filters.limit) {
     stop_ = true;
     stats_.budget_exhausted = true;
@@ -148,6 +156,17 @@ void GamSearch::CheckDeadline() {
   if (deadline_.Expired()) {
     stop_ = true;
     stats_.timed_out = true;
+    return;
+  }
+  // Resource governor: same batched cadence as the deadline, same graceful
+  // wind-down — the caller still gets the finalized partial result.
+  if (config_.filters.memory_budget_bytes != 0) {
+    const uint64_t bytes = MemoryBytes();
+    if (bytes > stats_.memory_bytes_peak) stats_.memory_bytes_peak = bytes;
+    if (bytes > config_.filters.memory_budget_bytes) {
+      stop_ = true;
+      stats_.memory_budget_hit = true;
+    }
   }
 }
 
@@ -230,6 +249,7 @@ void GamSearch::EnqueueGrows(TreeId id) {
     queues_[qi].push(QueueEntry{priority, order_->TieBreak(), seq_++, id,
                                 ie.edge, ie.other});
     ++stats_.queue_pushed;
+    ++queue_entries_;
     pushed_any = true;
   }
   // One exact heap entry after the burst keeps the PickQueue invariant;
@@ -238,6 +258,14 @@ void GamSearch::EnqueueGrows(TreeId id) {
 }
 
 void GamSearch::ProcessNewTree(TreeId id) {
+  // Fault site "alloc": the moment a tree is kept (arena + history growth).
+  // Firing here models an allocation failure — the search winds down with
+  // whatever it has, exactly like a timeout at this point would.
+  if (config_.fault != nullptr && config_.fault->ShouldFail(kFaultSiteAlloc)) {
+    stop_ = true;
+    stats_.fault_injected = true;
+    return;
+  }
   // Copy the record: Mo injection below may grow the arena and invalidate
   // references (trees are O(64) bytes).
   const RootedTree t = arena_.Get(id);
@@ -276,8 +304,9 @@ void GamSearch::ProcessNewTree(TreeId id) {
     if (stop_) return;
   }
 
-  // recordForMerging (Algorithm 3).
-  trees_rooted_in_.Mut(t.root).push_back(id);
+  // recordForMerging (Algorithm 3). Append (not Mut().push_back) keeps the
+  // bucket growth inside the governor's byte accounting.
+  trees_rooted_in_.Append(t.root, id);
   pending_merge_.push_back(id);
 
   // Mo injection (§4.5): when this tree covers strictly more seed sets than
@@ -319,7 +348,7 @@ void GamSearch::ProcessNewTree(TreeId id) {
           history_.Insert(mo_id);
           ++stats_.trees_built;
           ++stats_.mo_trees;
-          trees_rooted_in_.Mut(n).push_back(mo_id);
+          trees_rooted_in_.Append(n, mo_id);
           pending_merge_.push_back(mo_id);
         } else {
           arena_.PopLast();
@@ -432,8 +461,15 @@ Status GamSearch::Run() {
     if (stop_) break;
     size_t qi = PickQueue();
     if (qi == SIZE_MAX) break;  // search space exhausted
+    // Fault site "queue-pop": one probe per main-loop pop.
+    if (config_.fault != nullptr &&
+        config_.fault->ShouldFail(kFaultSiteQueuePop)) {
+      stats_.fault_injected = true;
+      break;
+    }
     QueueEntry e = queues_[qi].top();
     queues_[qi].pop();
+    --queue_entries_;
     NoteQueueSize(qi);
     // The k-th best may have improved since this opportunity was pushed;
     // every product of the base tree is bounded by its partial sum. Rooted-
@@ -463,7 +499,8 @@ Status GamSearch::Run() {
     }
   }
 
-  if (!stats_.timed_out && !stats_.budget_exhausted && !stats_.cancelled) {
+  if (!stats_.timed_out && !stats_.budget_exhausted && !stats_.cancelled &&
+      !stats_.memory_budget_hit && !stats_.fault_injected) {
     stats_.complete = true;
   }
   results_.FinalizeTopK();

@@ -47,6 +47,7 @@
 #include "ctp/tree.h"
 #include "graph/graph.h"
 #include "util/epoch.h"
+#include "util/fault.h"
 #include "util/stopwatch.h"
 
 namespace eql {
@@ -125,6 +126,14 @@ struct GamConfig {
   /// would disown. The engine's streaming path leaves top_k unset.
   ResultHook on_result;
 
+  /// Deterministic fault injection for the robustness suites (util/fault.h);
+  /// not owned, may be null (the production configuration). When set, the
+  /// search probes the canonical sites — kFaultSiteAlloc in ProcessNewTree,
+  /// kFaultSiteQueuePop at each main-loop pop, kFaultSiteEmit per emitted
+  /// result — and a firing probe winds the search down gracefully with
+  /// stats.fault_injected, like a timeout.
+  FaultInjector* fault = nullptr;
+
   /// k used by bound pruning; 0 = filters.top_k. The parallel executor
   /// clears filters.top_k on chunk configs (the TOP-k window is applied to
   /// the global union) but passes the user's k here so chunks keep pruning
@@ -178,6 +187,16 @@ struct SearchMemory {
 
   /// Clears all state and sizes the flat buffers for `g`'s id bounds.
   void PrepareFor(const Graph& g);
+
+  /// Heap bytes owned by the borrowed allocators (capacity-based, O(1)).
+  /// Epoch-cleared structures keep their capacity, so a pooled worker's
+  /// bytes reflect its high-water footprint — exactly what a budget should
+  /// bound.
+  size_t MemoryBytes() const {
+    return arena.MemoryBytes() + history.MemoryBytes() +
+           trees_rooted_in.MemoryBytes() + seed_sig.MemoryBytes() +
+           grow_nodes.MemoryBytes() + merge_nodes.MemoryBytes();
+  }
 };
 
 /// One CTP evaluation over one graph and seed-set collection. Single-use:
@@ -201,6 +220,16 @@ class GamSearch {
 
   /// ss_n after the run (exposed for tests of the LESP machinery).
   Bitset64 SeedSignatureOf(NodeId n) const { return seed_sig_.Get(n); }
+
+  /// Heap bytes of everything this search allocates: the SearchMemory
+  /// allocators plus the result set, the priority queues (size-based — the
+  /// live entries; the underlying heap capacity is not observable) and the
+  /// merge worklist. O(1); this is what filters.memory_budget_bytes bounds.
+  size_t MemoryBytes() const {
+    return mem_->MemoryBytes() + results_.MemoryBytes() +
+           queue_entries_ * sizeof(QueueEntry) +
+           pending_merge_.capacity() * sizeof(TreeId);
+  }
 
  private:
   struct QueueEntry {
@@ -295,6 +324,7 @@ class GamSearch {
   Deadline deadline_;
   Stopwatch run_sw_;  ///< restarted by Run(); prices first_result_ms
   uint64_t seq_ = 0;
+  uint64_t queue_entries_ = 0;  ///< live entries across queues_ (accounting)
   uint64_t ops_since_deadline_check_ = 0;
   bool stop_ = false;
   /// Set when the config + filters enable TOP-k bound pruning (ctor).

@@ -49,6 +49,13 @@ class SearchHistory {
 
   size_t NumEdgeSets() const { return edge_sets_; }
 
+  /// Heap bytes owned (capacity-based): both slot tables plus the equality
+  /// scratch. O(1); polled by the resource governor (ctp/gam.h).
+  size_t MemoryBytes() const {
+    return (edge_slots_.capacity() + rooted_slots_.capacity()) * sizeof(Slot) +
+           eq_scratch_.MemoryBytes();
+  }
+
   /// Empties both tables in O(1) by bumping the slot epoch, keeping their
   /// capacity: a pooled worker clearing between searches reuses the grown
   /// tables with no per-clear wipe (the wipe happens only on 32-bit epoch

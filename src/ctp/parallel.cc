@@ -197,7 +197,7 @@ Result<ParallelCtpOutcome> CtpExecutor::Evaluate(
   TaskGroup group;
   for (unsigned c = 0; c < chunks; ++c) {
     Submit(&group, [this, &g, &seeds, &filters, &options, &deadline, &sw,
-                    &chunk_nodes, &outputs, &view, c, split_idx] {
+                    &chunk_nodes, &outputs, &view, c, chunks, split_idx] {
       ChunkOutput& out = outputs[c];
       // Chunks queued behind a smaller pool start late; remember the offset
       // so first_result_ms reports time since Evaluate() entry, not since
@@ -216,6 +216,14 @@ Result<ParallelCtpOutcome> CtpExecutor::Evaluate(
       config.incremental_scores = options.incremental_scores;
       config.bound_pruning = options.bound_pruning;
       config.cancel = options.cancel;
+      config.fault = options.fault;
+      // The per-query budget bounds the *sum* of chunk footprints: each
+      // chunk gets an equal slice. Integer division may leave a remainder
+      // unused — the budget is a ceiling, not a target.
+      if (filters.memory_budget_bytes != 0) {
+        config.filters.memory_budget_bytes =
+            std::max<uint64_t>(1, filters.memory_budget_bytes / chunks);
+      }
       // Chunks keep pruning against their local k-th best even though their
       // filters carry no TOP-k: a chunk's k results with score >= s all
       // reach the union, so a chunk candidate strictly below its local s can
@@ -280,6 +288,11 @@ Result<ParallelCtpOutcome> CtpExecutor::Evaluate(
     out.stats.timed_out |= chunk.stats.timed_out;
     out.stats.budget_exhausted |= chunk.stats.budget_exhausted;
     out.stats.cancelled |= chunk.stats.cancelled;
+    out.stats.memory_budget_hit |= chunk.stats.memory_budget_hit;
+    out.stats.fault_injected |= chunk.stats.fault_injected;
+    // Peaks sum: the chunks' footprints coexist (the per-query budget was
+    // divided across them), so the aggregate peak is the total.
+    out.stats.memory_bytes_peak += chunk.stats.memory_bytes_peak;
     // Earliest first-result across chunks, measured from Evaluate() entry
     // (chunk starts are offset above, so queued chunks report honestly).
     if (chunk.stats.first_result_ms >= 0 &&
@@ -295,6 +308,15 @@ Result<ParallelCtpOutcome> CtpExecutor::Evaluate(
   std::vector<ChunkResult*> merged;
   std::unordered_map<uint64_t, std::vector<const ChunkResult*>> by_hash;
   for (ChunkOutput& chunk : outputs) {
+    // Fault site "chunk-merge": one probe per chunk. A firing chunk's slice
+    // is dropped from the union — the shape of a worker lost after its
+    // search finished — and the run reports kFaultInjected; the surviving
+    // chunks still form a well-formed (partial) result set.
+    if (options.fault != nullptr &&
+        options.fault->ShouldFail(kFaultSiteChunkMerge)) {
+      out.stats.fault_injected = true;
+      continue;
+    }
     for (ChunkResult& r : chunk.results) {
       auto& bucket = by_hash[r.hash];
       bool dup = false;
@@ -333,7 +355,8 @@ Result<ParallelCtpOutcome> CtpExecutor::Evaluate(
   }
   out.stats.results_found = out.results.size();
   out.stats.complete = !out.stats.timed_out && !out.stats.budget_exhausted &&
-                       !out.stats.cancelled;
+                       !out.stats.cancelled && !out.stats.memory_budget_hit &&
+                       !out.stats.fault_injected;
   out.stats.elapsed_ms = sw.ElapsedMs();
   return out;
 }

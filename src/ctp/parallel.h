@@ -78,6 +78,14 @@ struct ParallelCtpOptions {
   /// ~128 operations each — the lever a streaming sink's early stop and
   /// Cursor::Close pull to tear down pool work they no longer need.
   const std::atomic<bool>* cancel = nullptr;
+  /// Deterministic fault injection (util/fault.h; not owned, may be null).
+  /// Shared by all chunks — in-search sites (alloc, queue-pop, emit) fire on
+  /// whichever chunk reaches the armed probe, and the executor itself probes
+  /// kFaultSiteChunkMerge once per chunk at the merge step: a firing chunk's
+  /// results are dropped (its searched slice is lost, like a crashed worker)
+  /// and the outcome reports kFaultInjected with the union of the surviving
+  /// chunks — a well-formed partial result.
+  FaultInjector* fault = nullptr;
 };
 
 /// Aggregated outcome of a parallel run. Result trees are materialized into

@@ -58,7 +58,11 @@ bool CtpResultSet::Add(TreeId id) {
       kth_heap_.push(r.score);
     }
   }
-  by_edge_hash_[t.edge_set_hash].push_back(results_.size());
+  std::vector<size_t>& chain = by_edge_hash_[t.edge_set_hash];
+  const size_t chain_before = chain.capacity();
+  chain.push_back(results_.size());
+  pool_bytes_ += (chain.capacity() - chain_before) * sizeof(size_t) +
+                 r.seed_of_set.capacity() * sizeof(NodeId);
   results_.push_back(std::move(r));
   if (on_result_ && !on_result_(*arena_, results_.back())) stop_requested_ = true;
   return true;
@@ -91,10 +95,16 @@ void CtpResultSet::FinalizeTopK() {
   kept.reserve(k);
   for (size_t i = 0; i < k; ++i) kept.push_back(std::move(results_[idx[i]]));
   results_ = std::move(kept);
-  // The hash index is stale after truncation; rebuild.
+  // The hash index is stale after truncation; rebuild, and recompute the
+  // byte tracking from scratch (cold path, O(n)).
   by_edge_hash_.clear();
+  pool_bytes_ = 0;
   for (size_t i = 0; i < results_.size(); ++i) {
     by_edge_hash_[arena_->Get(results_[i].tree).edge_set_hash].push_back(i);
+    pool_bytes_ += results_[i].seed_of_set.capacity() * sizeof(NodeId);
+  }
+  for (const auto& [hash, chain] : by_edge_hash_) {
+    pool_bytes_ += chain.capacity() * sizeof(size_t);
   }
 }
 

@@ -86,6 +86,20 @@ class CtpResultSet {
   /// All result edge sets, each as a sorted EdgeId vector (for test oracles).
   std::vector<std::vector<EdgeId>> EdgeSets() const;
 
+  /// Heap bytes held by the accumulated results: capacity-accurate for the
+  /// flat storage (result vector, per-result seed vectors, hash-index
+  /// vectors — their growth is tracked in O(1) by Add/FinalizeTopK) and a
+  /// fixed per-entry estimate for the unordered_map node overhead. O(1);
+  /// polled by the resource governor (ctp/gam.h).
+  size_t MemoryBytes() const {
+    // Estimated allocator cost of one unordered_map node: the key/value
+    // pair, a next pointer, and a bucket slot.
+    constexpr size_t kMapNodeEstimate =
+        sizeof(std::pair<const uint64_t, std::vector<size_t>>) + 2 * sizeof(void*);
+    return results_.capacity() * sizeof(CtpResult) + pool_bytes_ +
+           by_edge_hash_.size() * kMapNodeEstimate + eq_scratch_.MemoryBytes();
+  }
+
  private:
   const Graph* g_;
   const SeedSets* seeds_;
@@ -93,6 +107,8 @@ class CtpResultSet {
   const CtpFilters* filters_;
   std::vector<CtpResult> results_;
   std::unordered_map<uint64_t, std::vector<size_t>> by_edge_hash_;
+  /// Bytes in per-result seed vectors + hash-index vectors (see MemoryBytes).
+  size_t pool_bytes_ = 0;
   mutable EpochSet eq_scratch_;
   /// Min-heap of the best track_k_ scores seen (top = the k-th best).
   std::priority_queue<double, std::vector<double>, std::greater<double>> kth_heap_;

@@ -8,6 +8,35 @@
 
 namespace eql {
 
+/// How a search (or a whole query) ended, in increasing severity. A partial
+/// result is still well-formed under every non-kOk outcome — the search
+/// finalizes what it has (TOP-k sort, dedup) before reporting; only
+/// *coverage* is reduced. Severity drives aggregation: a query spanning
+/// several searches reports the worst outcome among them.
+enum class SearchOutcome : uint8_t {
+  kOk = 0,            ///< ran to its natural end (incl. LIMIT/max_trees cutoffs)
+  kTimeout = 1,       ///< TIMEOUT / query deadline expired
+  kCancelled = 2,     ///< caller cancel flag or sink early-stop
+  kMemoryBudget = 3,  ///< memory_budget_bytes exceeded
+  kFaultInjected = 4, ///< a FaultInjector site fired (tests only)
+};
+
+inline const char* SearchOutcomeName(SearchOutcome o) {
+  switch (o) {
+    case SearchOutcome::kOk: return "ok";
+    case SearchOutcome::kTimeout: return "timeout";
+    case SearchOutcome::kCancelled: return "cancelled";
+    case SearchOutcome::kMemoryBudget: return "memory_budget";
+    case SearchOutcome::kFaultInjected: return "fault_injected";
+  }
+  return "unknown";
+}
+
+/// The worse (higher-severity) of two outcomes.
+inline SearchOutcome CombineOutcomes(SearchOutcome a, SearchOutcome b) {
+  return static_cast<uint8_t>(a) >= static_cast<uint8_t>(b) ? a : b;
+}
+
 /// Counters filled by one CTP search run. "Provenances" are *kept* trees
 /// (those that pass isNew and enter the history), matching Fig. 11d-f.
 struct SearchStats {
@@ -32,7 +61,25 @@ struct SearchStats {
   bool timed_out = false;
   bool budget_exhausted = false;  ///< max_trees or limit reached
   bool cancelled = false;  ///< stopped by the caller (sink early-stop / cancel flag)
+  bool memory_budget_hit = false;  ///< CtpFilters::memory_budget_bytes exceeded
+  bool fault_injected = false;     ///< a FaultInjector site fired (tests only)
   bool complete = false;          ///< search space exhausted before any cutoff
+
+  /// Peak of the search's own heap accounting observed at the budget polls
+  /// (0 when no memory budget was set — the accounting only runs when
+  /// someone will read it).
+  uint64_t memory_bytes_peak = 0;
+
+  /// Structured outcome: the worst condition that ended the run. LIMIT and
+  /// max_trees cutoffs stay kOk (they are requested truncations; `complete`
+  /// still reports false for them).
+  SearchOutcome Outcome() const {
+    if (fault_injected) return SearchOutcome::kFaultInjected;
+    if (memory_budget_hit) return SearchOutcome::kMemoryBudget;
+    if (cancelled) return SearchOutcome::kCancelled;
+    if (timed_out) return SearchOutcome::kTimeout;
+    return SearchOutcome::kOk;
+  }
 
   std::string ToString() const {
     std::string s = "trees=" + std::to_string(trees_built) +
@@ -43,6 +90,8 @@ struct SearchStats {
     if (timed_out) s += " TIMEOUT";
     if (budget_exhausted) s += " BUDGET";
     if (cancelled) s += " CANCELLED";
+    if (memory_budget_hit) s += " MEMORY";
+    if (fault_injected) s += " FAULT";
     if (complete) s += " complete";
     return s;
   }

@@ -97,6 +97,13 @@ class TreeArena {
   const RootedTree& Get(TreeId id) const { return trees_[id]; }
   size_t size() const { return trees_.size(); }
 
+  /// Heap bytes owned (capacity-based), the unit the resource governor
+  /// budgets against (ctp/gam.h). O(1).
+  size_t MemoryBytes() const {
+    return trees_.capacity() * sizeof(RootedTree) +
+           ext_pool_.capacity() * sizeof(EdgeId);
+  }
+
   /// Attaches a decomposable score function (score.h): every Make* from now
   /// on maintains RootedTree::score_acc incrementally. `score` must satisfy
   /// IsEdgeAdditive(); both pointers must outlive the attachment, which ends

@@ -56,6 +56,12 @@ struct EqlEngine::ExecEnv {
   StreamState* stream = nullptr;
   /// Index of the CTP whose results stream row-by-row (the last one).
   size_t stream_ctp = SIZE_MAX;
+  /// Per-query memory budget on the search-side allocators (bytes; 0 =
+  /// unlimited). Every CTP checks the full budget — worker arenas are
+  /// recycled between stages, not cumulative (see engine.h).
+  uint64_t memory_budget = 0;
+  /// Deterministic fault injection for this call (tests only; may be null).
+  FaultInjector* fault = nullptr;
 };
 
 /// State of one streaming execution: the sink, the pre-joined context table,
@@ -447,6 +453,7 @@ Status EqlEngine::EvalOneCtp(const CtpPattern& ctp, size_t ctp_index,
   auto filters = CompileFilters(g_, ctp.filters, opts, plan.ctps[ctp_index],
                                 env.top_k_override, env.query_deadline);
   if (!filters.ok()) return filters.status();
+  filters->memory_budget_bytes = env.memory_budget;
   if (seeds->HasUniversal() && filters->limit == UINT64_MAX &&
       opts.universal_default_limit > 0) {
     filters->limit = opts.universal_default_limit;
@@ -521,6 +528,7 @@ Status EqlEngine::EvalOneCtp(const CtpPattern& ctp, size_t ctp_index,
     popts.incremental_scores = opts.incremental_scores;
     popts.bound_pruning = opts.bound_pruning;
     popts.cancel = env.cancel;
+    popts.fault = env.fault;
     auto outcome = env.executor->Evaluate(g_, *seeds, *filters, popts);
     if (!outcome.ok()) return outcome.status();
     run.used_view = outcome->used_view;
@@ -548,6 +556,7 @@ Status EqlEngine::EvalOneCtp(const CtpPattern& ctp, size_t ctp_index,
   tuning.incremental_scores = opts.incremental_scores;
   tuning.bound_pruning = opts.bound_pruning;
   tuning.cancel = env.cancel;
+  tuning.fault = env.fault;
   std::shared_ptr<const CompiledCtpView> view;
   if (opts.use_compiled_views &&
       (filters->allowed_labels.has_value() || filters->unidirectional) &&
@@ -633,6 +642,9 @@ Status EqlEngine::ExecutePlan(const PreparedQuery::Plan& plan, const Query& q,
   }
   if (exec_opts.bound_pruning) env.opts.bound_pruning = *exec_opts.bound_pruning;
   env.top_k_override = exec_opts.top_k;
+  env.memory_budget = exec_opts.memory_budget_bytes.value_or(
+      env.opts.default_memory_budget_bytes);
+  env.fault = exec_opts.fault;
   env.executor = executor_;
   if (exec_opts.num_threads) {
     if (*exec_opts.num_threads > 1) {
@@ -804,6 +816,16 @@ Status EqlEngine::ExecutePlan(const PreparedQuery::Plan& plan, const Query& q,
                     env.cancel->load(std::memory_order_relaxed));
   for (const CtpRunInfo& run : out->ctp_runs) {
     out->cancelled |= run.stats.cancelled;
+  }
+  // Structured outcome: the worst cutoff across the query's CTP runs, plus
+  // engine-level cancellation (a sink stop or ExecOptions::cancel can fire
+  // after every search finished clean).
+  out->outcome = SearchOutcome::kOk;
+  for (const CtpRunInfo& run : out->ctp_runs) {
+    out->outcome = CombineOutcomes(out->outcome, run.stats.Outcome());
+  }
+  if (out->cancelled) {
+    out->outcome = CombineOutcomes(out->outcome, SearchOutcome::kCancelled);
   }
 
   if (stream != nullptr) {

@@ -28,6 +28,34 @@
 //     feature toggles per Execute, so one long-lived engine + pool serves
 //     heterogeneous traffic.
 //
+// Failure semantics (the resource-governor / graceful-degradation contract):
+//   * Resource exhaustion is an *outcome*, not an error. A query that hits a
+//     TIMEOUT, the per-query memory budget, a cancel flag, or an injected
+//     fault still returns Ok with a well-formed QueryResult; only Status-
+//     level failures (parse/validate/bind errors, impossible plans) surface
+//     as errors. QueryResult::outcome says which cutoff — if any — ended the
+//     run (kOk | kTimeout | kCancelled | kMemoryBudget | kFaultInjected,
+//     worst across the query's searches), and per-CTP detail sits in
+//     ctp_runs[i].stats (Outcome(), complete, memory_bytes_peak).
+//   * `stats.complete == false` means the search stopped before exhausting
+//     its space: the result is a subset of the full answer. Which subset is
+//     deterministic for cutoffs that do not depend on wall-clock (LIMIT,
+//     max_trees: the first N in search order) and best-effort for those that
+//     do (TIMEOUT, memory budget on differently-sized machines, cancel).
+//   * Budgets: per-CTP TIMEOUT (query text), default_ctp_timeout_ms,
+//     default_query_timeout_ms / ExecOptions::query_timeout_ms (one shared
+//     absolute deadline clamping every CTP), LIMIT / max_trees (counted
+//     truncations, outcome stays kOk), and memory_budget_bytes (per query;
+//     divided equally among parallel chunks; enforced against the searches'
+//     own byte accounting at the same ~128-op poll sites as the deadline).
+//   * Ordering of partial results: a cut-off search finalizes exactly like a
+//     complete one (dedup, TOP-k sort, deterministic parallel total order),
+//     so partial output is always a *prefix* of some valid result order —
+//     streaming executions in emission order, materialized TOP-k runs in
+//     score order over the results found so far. Rows are never silently
+//     dropped after they were emitted; a mid-stream cutoff just ends the
+//     stream early and reports the outcome in the summary.
+//
 // Thread-safety and lifetime contract:
 //   * EqlEngine is const and thread-safe after construction; it must outlive
 //     every PreparedQuery and Cursor it hands out (handles keep a pointer to
@@ -116,6 +144,12 @@ struct EngineOptions {
   /// engine build a private pool with num_threads workers; pass a shared
   /// pool to amortize workers (and their arenas) across engines.
   CtpExecutor* executor = nullptr;
+  /// Default per-query memory budget (bytes; 0 = unlimited) on the search-
+  /// side allocators — see CtpFilters::memory_budget_bytes and the "Failure
+  /// semantics" section above. Each CTP of a query checks against the full
+  /// budget (CTPs run against recycled arenas, not cumulatively); parallel
+  /// chunks split it equally.
+  uint64_t default_memory_budget_bytes = 0;
 };
 
 /// Per-call overrides for one Execute/Run: every set field supersedes the
@@ -140,12 +174,19 @@ struct ExecOptions {
   std::optional<bool> use_compiled_views;
   std::optional<bool> incremental_scores;
   std::optional<bool> bound_pruning;
+  /// Per-query memory budget for this call (bytes; 0 = unlimited).
+  /// Overrides EngineOptions::default_memory_budget_bytes.
+  std::optional<uint64_t> memory_budget_bytes;
   /// Caller-owned cancellation flag (not owned; may be null). Setting it
   /// stops the execution at the searches' deadline-check sites — including
   /// pool chunks — within ~128 operations, whether or not any row is in
   /// flight. Cursor::Close uses this to tear down a stream whose search is
   /// grinding on without producing rows.
   std::atomic<bool>* cancel = nullptr;
+  /// Deterministic fault injection for this call (util/fault.h; not owned,
+  /// may be null). Threaded into every search and the parallel merge step;
+  /// see GamConfig::fault / ParallelCtpOptions::fault. Tests only.
+  FaultInjector* fault = nullptr;
 };
 
 /// Per-CTP execution report.
@@ -190,6 +231,11 @@ struct QueryResult {
   /// Cursor::Close, or by a caller-owned ExecOptions::cancel flag. Partial
   /// results are never silently complete.
   bool cancelled = false;
+  /// Structured outcome of the query: the worst SearchOutcome across its CTP
+  /// runs (and kCancelled when `cancelled` is set). kOk does not imply the
+  /// result is complete — LIMIT/max_trees truncations keep kOk; check
+  /// ctp_runs[i].stats.complete for coverage. See "Failure semantics" above.
+  SearchOutcome outcome = SearchOutcome::kOk;
 
   /// Renders row r as "var=value" pairs (labels for nodes, edge lists for
   /// trees).

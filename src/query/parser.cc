@@ -125,7 +125,10 @@ class Parser {
       return Error(StrFormat("expected an integer after %s", what));
     }
     double v = 0;
-    if (!ParseDouble(Peek().text, &v) || v != static_cast<int64_t>(v)) {
+    // Range-check before the int64 cast: casting a double at or above 2^63
+    // (e.g. a 20-digit literal) is undefined behavior, not just lossy.
+    if (!ParseDouble(Peek().text, &v) || v < 0.0 ||
+        v >= 9223372036854775808.0 || v != static_cast<double>(static_cast<int64_t>(v))) {
       return Error(StrFormat("%s must be an integer", what));
     }
     Next();
@@ -198,6 +201,7 @@ class Parser {
         if (!v.ok()) return v.status();
         if (v->has_value()) {
           if (**v <= 0) return Error("MAX must be positive");
+          if (**v > UINT32_MAX) return Error("MAX is too large");
           ctp.filters.max_edges = static_cast<uint32_t>(**v);
         }
       } else if (Peek().Is(TokenKind::kKeyword, "SCORE")) {
@@ -212,6 +216,7 @@ class Parser {
           if (!v.ok()) return v.status();
           if (v->has_value()) {
             if (**v <= 0) return Error("TOP must be positive");
+            if (**v > INT32_MAX) return Error("TOP is too large");
             ctp.filters.top_k = static_cast<int>(**v);
           }
         }

@@ -11,6 +11,9 @@
 //   --parallel N      evaluate CTPs on a worker pool, split N ways (0 = off)
 //   --timeout MS      default per-CTP timeout (default 60000)
 //   --query-timeout MS whole-query wall-clock budget (default: none)
+//   --memory-budget BYTES
+//                     per-query search-memory budget (default: none); a run
+//                     that hits it keeps its partial results and exits 5
 //   --stream          stream rows as the search produces them (prints the
 //                     time to first row); materialized output otherwise
 //   --max-rows N      print at most N result rows per query (default 20)
@@ -35,8 +38,16 @@
 //                     integers bind as integers)
 //   .run NAME         execute the prepared query with its bound parameters
 //
+// Exit codes (the highest-numbered category encountered wins when several
+// statements run): 0 = all queries ran to completion; 1 = the graph failed
+// to load; 2 = bad command line; 3 = a query failed to parse/validate/
+// prepare; 4 = a query failed during execution; 5 = a query ended on a
+// resource cutoff (TIMEOUT, query deadline, memory budget, cancellation) —
+// its partial results were printed, but coverage was reduced.
+//
 // The graph file format is the tab-separated triple format of
 // src/graph/graph_io.h ("src<TAB>label<TAB>dst", plus @type/@literal lines).
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -95,14 +106,33 @@ Graph MakeDemoGraph() {
   return std::move(g).value();
 }
 
+// Exit-code categories (see the file comment). Several statements may run
+// in one invocation; the highest-numbered category encountered is returned.
+constexpr int kExitOk = 0;
+constexpr int kExitGraphLoad = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitParse = 3;
+constexpr int kExitExec = 4;
+constexpr int kExitResource = 5;
+
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s GRAPH.tsv|--demo [--algorithm NAME] [--adaptive]\n"
                "       [--parallel N] [--timeout MS] [--query-timeout MS]\n"
-               "       [--stream] [--max-rows N] [--stats]\n"
+               "       [--memory-budget BYTES] [--stream] [--max-rows N] [--stats]\n"
                "       [--no-views] [--no-bound-pruning] [-q QUERY]...\n",
                argv0);
-  return 2;
+  return kExitUsage;
+}
+
+/// Prints the structured outcome line for a finished execution and maps it to
+/// an exit-code category: a resource cutoff (timeout, memory budget,
+/// cancellation) is not an error — results were printed — but it must not
+/// exit 0 either, or scripts treat a truncated answer as a complete one.
+int ReportOutcome(const QueryResult& r) {
+  if (r.outcome == SearchOutcome::kOk) return kExitOk;
+  std::printf("outcome: %s (partial results)\n", SearchOutcomeName(r.outcome));
+  return kExitResource;
 }
 
 struct ShellArgs {
@@ -155,6 +185,15 @@ bool ParseArgs(int argc, char** argv, ShellArgs* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->options.default_query_timeout_ms = std::atoll(v);
+    } else if (a == "--memory-budget") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      long long bytes = std::atoll(v);
+      if (bytes <= 0) {
+        std::fprintf(stderr, "--memory-budget must be a positive byte count\n");
+        return false;
+      }
+      args->options.default_memory_budget_bytes = static_cast<size_t>(bytes);
     } else if (a == "--stream") {
       args->stream = true;
     } else if (a == "--max-rows") {
@@ -232,9 +271,9 @@ std::string StreamRowToString(const Graph& g, const RowSchema& schema,
 }
 
 /// Streaming execution of one prepared query: rows print as they arrive.
-void StreamPrepared(const EqlEngine& engine, const Graph& g,
-                    const ShellArgs& args, const PreparedQuery& prepared,
-                    const ParamMap& params) {
+int StreamPrepared(const EqlEngine& engine, const Graph& g,
+                   const ShellArgs& args, const PreparedQuery& prepared,
+                   const ParamMap& params) {
   (void)engine;
   size_t printed = 0;
   class PrintSink : public ResultSink {
@@ -260,7 +299,7 @@ void StreamPrepared(const EqlEngine& engine, const Graph& g,
   auto r = prepared.Execute(params, sink);
   if (!r.ok()) {
     std::printf("error: %s\n", r.status().ToString().c_str());
-    return;
+    return kExitExec;
   }
   if (printed > args.max_rows) {
     std::printf("  ... (%zu more)\n", printed - args.max_rows);
@@ -269,38 +308,39 @@ void StreamPrepared(const EqlEngine& engine, const Graph& g,
               static_cast<unsigned long long>(r->rows_streamed), r->total_ms,
               r->first_row_ms);
   if (args.stats) PrintCtpStats(*r);
+  return ReportOutcome(*r);
 }
 
-void RunPrepared(const EqlEngine& engine, const Graph& g, const ShellArgs& args,
-                 const PreparedQuery& prepared, const ParamMap& params) {
+int RunPrepared(const EqlEngine& engine, const Graph& g, const ShellArgs& args,
+                const PreparedQuery& prepared, const ParamMap& params) {
   if (args.stream) {
-    StreamPrepared(engine, g, args, prepared, params);
-    return;
+    return StreamPrepared(engine, g, args, prepared, params);
   }
   auto r = prepared.Execute(params);
   if (!r.ok()) {
     std::printf("error: %s\n", r.status().ToString().c_str());
-    return;
+    return kExitExec;
   }
   std::printf("%zu row(s) in %.1f ms (BGP %.1f | CTP %.1f | join %.1f)\n",
               r->table.NumRows(), r->total_ms, r->bgp_ms, r->ctp_ms, r->join_ms);
   PrintRows(g, args, *r);
   if (args.stats) PrintCtpStats(*r);
+  return ReportOutcome(*r);
 }
 
-void RunQuery(const EqlEngine& engine, const Graph& g, const ShellArgs& args,
-              const std::string& query) {
+int RunQuery(const EqlEngine& engine, const Graph& g, const ShellArgs& args,
+             const std::string& query) {
   auto prepared = engine.Prepare(query);
   if (!prepared.ok()) {
     std::printf("error: %s\n", prepared.status().ToString().c_str());
-    return;
+    return kExitParse;
   }
   if (!prepared->param_names().empty()) {
     std::printf(
         "query has unbound $parameters; use .prepare NAME / .bind / .run\n");
-    return;
+    return kExitParse;
   }
-  RunPrepared(engine, g, args, *prepared, ParamMap());
+  return RunPrepared(engine, g, args, *prepared, ParamMap());
 }
 
 /// Parses ".bind"-style `$k=v` assignments; values may be "quoted" (with
@@ -356,36 +396,42 @@ std::vector<std::string> SplitQueries(const std::string& text) {
   return out;
 }
 
-void RunBatchFile(const EqlEngine& engine, const Graph& g, const ShellArgs& args,
-                  const std::string& path) {
+int RunBatchFile(const EqlEngine& engine, const Graph& g, const ShellArgs& args,
+                 const std::string& path) {
   std::ifstream in(path);
   if (!in) {
     std::printf("error: cannot open '%s'\n", path.c_str());
-    return;
+    return kExitExec;
   }
   std::stringstream ss;
   ss << in.rdbuf();
   const std::vector<std::string> queries = SplitQueries(ss.str());
   if (queries.empty()) {
     std::printf("no queries in '%s'\n", path.c_str());
-    return;
+    return kExitOk;
   }
   std::vector<std::string_view> views(queries.begin(), queries.end());
   Stopwatch sw;
   auto results = engine.RunBatch(views);
   double total_ms = sw.ElapsedMs();
+  int code = kExitOk;
   for (size_t i = 0; i < results.size(); ++i) {
     std::printf("\n> %s\n", queries[i].c_str());
     if (!results[i].ok()) {
       std::printf("error: %s\n", results[i].status().ToString().c_str());
+      code = std::max(code, results[i].status().code() == StatusCode::kInvalidArgument
+                                ? kExitParse
+                                : kExitExec);
       continue;
     }
     const QueryResult& r = *results[i];
     std::printf("%zu row(s) in %.1f ms\n", r.table.NumRows(), r.total_ms);
     PrintRows(g, args, r);
+    code = std::max(code, ReportOutcome(r));
   }
   std::printf("\nbatch: %zu queries in %.1f ms (pool: %s)\n", queries.size(),
               total_ms, engine.executor() != nullptr ? "yes" : "no");
+  return code;
 }
 
 int Main(int argc, char** argv) {
@@ -401,7 +447,7 @@ int Main(int argc, char** argv) {
     auto loaded = LoadGraphFile(args.graph_path);
     if (!loaded.ok()) {
       std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
-      return 1;
+      return kExitGraphLoad;
     }
     graph = std::move(loaded).value();
     std::printf("loaded %s: %zu nodes, %zu edges\n", args.graph_path.c_str(),
@@ -409,12 +455,13 @@ int Main(int argc, char** argv) {
   }
   auto engine = std::make_unique<EqlEngine>(graph, args.options);
 
+  int exit_code = kExitOk;
   if (!args.queries.empty()) {
     for (const std::string& q : args.queries) {
       std::printf("\n> %s\n", q.c_str());
-      RunQuery(*engine, graph, args, q);
+      exit_code = std::max(exit_code, RunQuery(*engine, graph, args, q));
     }
-    return 0;
+    return exit_code;
   }
 
   // Interactive / piped mode: statements separated by ';', dot-commands on
@@ -450,6 +497,7 @@ int Main(int argc, char** argv) {
         auto prepared = engine->Prepare(q);
         if (!prepared.ok()) {
           std::printf("error: %s\n", prepared.status().ToString().c_str());
+          exit_code = std::max(exit_code, kExitParse);
         } else {
           std::string params_note;
           if (!prepared->param_names().empty()) {
@@ -465,7 +513,7 @@ int Main(int argc, char** argv) {
         pending_prepare.clear();
         continue;
       }
-      RunQuery(*engine, graph, args, q);
+      exit_code = std::max(exit_code, RunQuery(*engine, graph, args, q));
     }
   };
   while (std::getline(std::cin, line)) {
@@ -511,7 +559,7 @@ int Main(int argc, char** argv) {
         if (arg.empty()) {
           std::printf(".batch needs a file name\n");
         } else {
-          RunBatchFile(*engine, graph, args, arg);
+          exit_code = std::max(exit_code, RunBatchFile(*engine, graph, args, arg));
         }
       } else if (name == ".prepare") {
         if (arg.empty()) {
@@ -553,8 +601,10 @@ int Main(int argc, char** argv) {
           continue;
         }
         auto pit = bound_params.find(arg);
-        RunPrepared(*engine, graph, args, it->second,
-                    pit != bound_params.end() ? pit->second : ParamMap());
+        exit_code = std::max(
+            exit_code,
+            RunPrepared(*engine, graph, args, it->second,
+                        pit != bound_params.end() ? pit->second : ParamMap()));
       } else {
         std::printf(
             "unknown command '%s' (try .parallel N, .views on|off, "
@@ -567,7 +617,7 @@ int Main(int argc, char** argv) {
     buffer += '\n';
     drain_buffer();
   }
-  return 0;
+  return exit_code;
 }
 
 }  // namespace

@@ -45,6 +45,9 @@ class EpochSet {
     return id < stamp_.size() && stamp_[id] == epoch_;
   }
 
+  /// Heap bytes owned (capacity-based; the resource governor's unit).
+  size_t MemoryBytes() const { return stamp_.capacity() * sizeof(uint32_t); }
+
  private:
   std::vector<uint32_t> stamp_;
   uint32_t epoch_ = 1;
@@ -90,6 +93,11 @@ class EpochArray {
     return slot_[id];
   }
 
+  /// Heap bytes owned (capacity-based; the resource governor's unit).
+  size_t MemoryBytes() const {
+    return slot_.capacity() * sizeof(T) + stamp_.capacity() * sizeof(uint32_t);
+  }
+
  private:
   std::vector<T> slot_;
   std::vector<uint32_t> stamp_;
@@ -130,9 +138,28 @@ class EpochBuckets {
     return buckets_[id];
   }
 
+  /// Appends through this accessor instead of Mut(id).push_back so the
+  /// inner-vector growth stays accounted — direct pushes on Mut()'s
+  /// reference would escape the byte tracking below.
+  void Append(uint32_t id, uint32_t v) {
+    std::vector<uint32_t>& b = Mut(id);
+    const size_t before = b.capacity();
+    b.push_back(v);
+    pool_bytes_ += (b.capacity() - before) * sizeof(uint32_t);
+  }
+
+  /// Heap bytes owned: the two flat arrays (capacity-based) plus the
+  /// accumulated inner-bucket capacities (tracked in O(1) by Append, so this
+  /// is O(1) and safe to poll from a search hot loop).
+  size_t MemoryBytes() const {
+    return stamp_.capacity() * sizeof(uint32_t) +
+           buckets_.capacity() * sizeof(std::vector<uint32_t>) + pool_bytes_;
+  }
+
  private:
   std::vector<std::vector<uint32_t>> buckets_;
   std::vector<uint32_t> stamp_;
+  size_t pool_bytes_ = 0;  ///< sum of inner capacities (bytes); never shrinks
   uint32_t epoch_ = 1;
 };
 
@@ -170,6 +197,11 @@ class EpochCounter {
       count_[id] = 0;
     }
     return count_[id] += delta;
+  }
+
+  /// Heap bytes owned (capacity-based; the resource governor's unit).
+  size_t MemoryBytes() const {
+    return stamp_.capacity() * sizeof(uint32_t) + count_.capacity() * sizeof(int32_t);
   }
 
  private:

@@ -1,0 +1,49 @@
+#include "util/fault.h"
+
+#include "util/hash.h"
+
+namespace eql {
+
+void FaultInjector::Arm(std::string site, uint64_t trigger) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_[std::move(site)].trigger = trigger;
+}
+
+void FaultInjector::ArmSeeded(std::string site, uint64_t seed, uint64_t range) {
+  if (range == 0) range = 1;
+  uint64_t h = seed;
+  for (char c : site) h = HashCombine(h, static_cast<uint64_t>(static_cast<unsigned char>(c)));
+  Arm(std::move(site), 1 + h % range);
+}
+
+bool FaultInjector::ShouldFail(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(std::string(site));
+  if (it == sites_.end()) {
+    // Count probes of unarmed sites too: tests arm "probe N" after a dry run
+    // that told them how many probes a site sees.
+    sites_[std::string(site)].probes = 1;
+    return false;
+  }
+  Site& s = it->second;
+  ++s.probes;
+  if (s.trigger != 0 && s.probes == s.trigger) {
+    ++s.fired;
+    return true;
+  }
+  return false;
+}
+
+uint64_t FaultInjector::Probes(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(std::string(site));
+  return it == sites_.end() ? 0 : it->second.probes;
+}
+
+uint64_t FaultInjector::Fired(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(std::string(site));
+  return it == sites_.end() ? 0 : it->second.fired;
+}
+
+}  // namespace eql

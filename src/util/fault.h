@@ -1,0 +1,74 @@
+// Deterministic fault injection for the robustness test suites.
+//
+// A FaultInjector is armed per *site label* with a 1-based trigger count:
+// the search-side code probes `ShouldFail(site)` at well-defined points
+// (allocation, queue pop, chunk merge) and the probe returns true exactly
+// once, on the armed trigger'th call for that site. Everything is counted,
+// so a test can also assert *how often* a site was reached. Unarmed sites
+// never fire and cost one mutex acquisition per probe — acceptable because
+// the engines only probe when an injector is attached at all (the pointer
+// is nullptr in production configurations, making the probe a branch on a
+// constant-false condition).
+//
+// Probes are thread-safe: parallel chunk workers share one injector, so the
+// trigger'th probe fires on exactly one worker regardless of interleaving
+// (which worker is scheduling-dependent; the *count* of fires is not).
+#ifndef EQL_UTIL_FAULT_H_
+#define EQL_UTIL_FAULT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace eql {
+
+/// Canonical site labels used by the engines. Tests may arm any label; these
+/// are the ones the search code probes.
+inline constexpr const char* kFaultSiteAlloc = "alloc";            ///< tree kept into the arena (GAM + BFT)
+inline constexpr const char* kFaultSiteQueuePop = "queue-pop";     ///< GAM main-loop pop
+inline constexpr const char* kFaultSiteChunkMerge = "chunk-merge"; ///< parallel per-chunk result merge
+inline constexpr const char* kFaultSiteEmit = "emit";              ///< per emitted result (mid-stream faults)
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Arms `site` to fire exactly once, on the `trigger`-th probe (1-based).
+  /// Re-arming an already-armed site resets its trigger but keeps its probe
+  /// count; a trigger of 0 disarms.
+  void Arm(std::string site, uint64_t trigger = 1);
+
+  /// Seeded arming: derives the trigger deterministically from (seed, site)
+  /// as 1 + H(seed, site) mod `range`. The same seed always picks the same
+  /// probe, so a failing fuzz/differential run reproduces from its printed
+  /// seed alone.
+  void ArmSeeded(std::string site, uint64_t seed, uint64_t range);
+
+  /// Probes `site`: bumps its counter and returns true exactly when the
+  /// armed trigger is reached. Thread-safe; unarmed sites never fire.
+  bool ShouldFail(std::string_view site);
+
+  /// Number of times `site` was probed so far.
+  uint64_t Probes(std::string_view site) const;
+
+  /// Number of times `site` actually fired (0 or 1 per arming).
+  uint64_t Fired(std::string_view site) const;
+
+ private:
+  struct Site {
+    uint64_t trigger = 0;  ///< 0 = disarmed
+    uint64_t probes = 0;
+    uint64_t fired = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Site> sites_;
+};
+
+}  // namespace eql
+
+#endif  // EQL_UTIL_FAULT_H_

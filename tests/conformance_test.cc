@@ -1,0 +1,227 @@
+// Conformance harness: every tests/conformance/*.manifest file bundles a
+// graph, a query, and the expected rows/outcome, and this runner executes it
+// against every algorithm the manifest names. The renderer canonicalizes
+// rows (edges inside a tree sorted, then rows sorted), so expectations are
+// stable across search orders, algorithms and parallel merges.
+//
+// Manifest format (sections in any order, '#' starts a comment line):
+//   [graph]    TSV triples, fed to ParseGraphText verbatim
+//   [query]    the EQL text (may span lines)
+//   [params]   name=value per line; all-digit values bind as int64
+//   [options]  algorithms=gam,bft,...  expect_outcome=ok  check_rows=true
+//   [expect]   one canonical row per line (omit when check_rows=false)
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ctp/algorithm.h"
+#include "ctp/stats.h"
+#include "eval/engine.h"
+#include "eval/params.h"
+#include "graph/graph_io.h"
+
+namespace eql {
+namespace {
+
+struct Manifest {
+  std::string graph_text;
+  std::string query;
+  std::vector<std::pair<std::string, std::string>> params;
+  std::map<std::string, std::string> options;
+  std::vector<std::string> expect_rows;
+};
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+Manifest LoadManifest(const std::string& path) {
+  Manifest m;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::string line;
+  std::string section;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] == '#') continue;
+    if (!line.empty() && line[0] == '[') {
+      section = Trim(line);
+      continue;
+    }
+    if (section == "[graph]") {
+      if (!Trim(line).empty()) m.graph_text += line + "\n";
+    } else if (section == "[query]") {
+      m.query += line + "\n";
+    } else if (section == "[params]" || section == "[options]") {
+      const std::string t = Trim(line);
+      if (t.empty()) continue;
+      size_t eq = t.find('=');
+      EXPECT_NE(eq, std::string::npos) << path << ": bad line '" << t << "'";
+      if (eq == std::string::npos) continue;
+      auto kv = std::make_pair(t.substr(0, eq), t.substr(eq + 1));
+      if (section == "[params]") {
+        m.params.push_back(std::move(kv));
+      } else {
+        m.options.insert(std::move(kv));
+      }
+    } else if (section == "[expect]") {
+      if (!Trim(line).empty()) m.expect_rows.push_back(Trim(line));
+    }
+  }
+  return m;
+}
+
+std::vector<std::string> SplitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      out.push_back(Trim(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!Trim(cur).empty()) out.push_back(Trim(cur));
+  return out;
+}
+
+bool AllDigits(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+/// Renders row `row` with every tree's edge list sorted, so the text is
+/// independent of the search's emission order.
+std::string CanonicalRow(const Graph& g, const QueryResult& r, size_t row) {
+  std::string out;
+  const BindingTable& t = r.table;
+  for (size_t c = 0; c < t.NumColumns(); ++c) {
+    if (c > 0) out += "  ";
+    out += "?" + t.columns()[c] + "=";
+    uint32_t v = t.At(row, c);
+    switch (t.kind(c)) {
+      case ColKind::kNode:
+        out += g.NodeLabel(v);
+        break;
+      case ColKind::kEdge:
+        out += "[" + g.EdgeToString(v) + "]";
+        break;
+      case ColKind::kTree: {
+        std::vector<std::string> edges;
+        for (auto e : r.trees[v].edges) edges.push_back(g.EdgeToString(e));
+        std::sort(edges.begin(), edges.end());
+        out += "{";
+        for (size_t i = 0; i < edges.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += edges[i];
+        }
+        out += "}";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> ManifestFiles() {
+  std::vector<std::string> files;
+  const std::filesystem::path dir =
+      std::filesystem::path(EQL_SOURCE_DIR) / "tests" / "conformance";
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".manifest") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(ConformanceCorpus, IsPresent) {
+  EXPECT_GE(ManifestFiles().size(), 8u)
+      << "conformance manifests went missing";
+}
+
+class ConformanceTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ConformanceTest, MatchesManifest) {
+  Manifest m = LoadManifest(GetParam());
+  ASSERT_FALSE(m.graph_text.empty()) << "manifest has no [graph]";
+  ASSERT_FALSE(Trim(m.query).empty()) << "manifest has no [query]";
+
+  auto g = ParseGraphText(m.graph_text);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+
+  std::string algos = "molesp";
+  if (auto it = m.options.find("algorithms"); it != m.options.end()) {
+    algos = it->second;
+  }
+  std::string expect_outcome = "ok";
+  if (auto it = m.options.find("expect_outcome"); it != m.options.end()) {
+    expect_outcome = it->second;
+  }
+  bool check_rows = true;
+  if (auto it = m.options.find("check_rows"); it != m.options.end()) {
+    check_rows = it->second != "false";
+  }
+
+  std::vector<std::string> expected = m.expect_rows;
+  std::sort(expected.begin(), expected.end());
+
+  for (const std::string& name : SplitCsv(algos)) {
+    SCOPED_TRACE("algorithm: " + name);
+    auto kind = ParseAlgorithmName(name);
+    ASSERT_TRUE(kind.has_value()) << "unknown algorithm '" << name << "'";
+    EngineOptions opts;
+    opts.algorithm = *kind;
+    EqlEngine engine(*g, opts);
+    auto prepared = engine.Prepare(m.query);
+    ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+    ParamMap params;
+    for (const auto& [k, v] : m.params) {
+      if (AllDigits(v)) {
+        params.Set(k, static_cast<int64_t>(std::stoll(v)));
+      } else {
+        params.Set(k, v);
+      }
+    }
+    auto r = prepared->Execute(params);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_STREQ(SearchOutcomeName(r->outcome), expect_outcome.c_str());
+    if (!check_rows) continue;
+    std::vector<std::string> actual;
+    for (size_t row = 0; row < r->table.NumRows(); ++row) {
+      actual.push_back(CanonicalRow(*g, *r, row));
+    }
+    std::sort(actual.begin(), actual.end());
+    EXPECT_EQ(actual, expected);
+  }
+}
+
+std::string ManifestTestName(
+    const ::testing::TestParamInfo<std::string>& info) {
+  std::string stem = std::filesystem::path(info.param).stem().string();
+  for (char& c : stem) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return stem;
+}
+
+INSTANTIATE_TEST_SUITE_P(Manifests, ConformanceTest,
+                         ::testing::ValuesIn(ManifestFiles()),
+                         ManifestTestName);
+
+}  // namespace
+}  // namespace eql

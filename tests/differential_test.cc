@@ -1,0 +1,175 @@
+// Differential conformance loop: randomized graphs cross-checked across
+// algorithms, tuning toggles, chunk counts, parameter binding and the
+// resource governor. Every run prints its seed; reproduce a failure with
+//   EQL_DIFF_SEED=<seed> ctest -R differential
+// Iteration counts are deliberately small — this is a regression net, the
+// open-ended exploration lives in fuzz/.
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ctp/algorithm.h"
+#include "ctp/parallel.h"
+#include "eval/engine.h"
+#include "eval/params.h"
+#include "test_util.h"
+
+namespace eql {
+namespace {
+
+uint64_t DiffSeed() {
+  static const uint64_t seed = [] {
+    uint64_t s = 20230807;  // default: fixed, so CI is deterministic
+    if (const char* env = std::getenv("EQL_DIFF_SEED")) {
+      s = std::strtoull(env, nullptr, 10);
+    }
+    std::printf("[ differential ] EQL_DIFF_SEED=%llu\n",
+                static_cast<unsigned long long>(s));
+    return s;
+  }();
+  return seed;
+}
+
+bool IsSubset(const CanonicalResults& part, const CanonicalResults& full) {
+  for (const auto& es : part) {
+    if (full.count(es) == 0) return false;
+  }
+  return true;
+}
+
+CanonicalResults ParallelCanonical(const ParallelCtpOutcome& out) {
+  CanonicalResults set;
+  for (const auto& r : out.results) set.insert(out.arena.EdgeSet(r.tree));
+  return set;
+}
+
+TEST(DifferentialTest, AlgorithmsAgreeOnRandomGraphs) {
+  Rng rng(DiffSeed());
+  for (int iter = 0; iter < 3; ++iter) {
+    SCOPED_TRACE("iteration " + std::to_string(iter));
+    Graph g = MakeRandomGraph(9 + iter, 13 + 2 * iter, &rng);
+    auto sets = PickSeedSets(g, 2 + (iter % 2), 2, &rng);
+    auto bft = RunAlgo(AlgorithmKind::kBft, g, sets);
+    ASSERT_NE(bft, nullptr);
+    const CanonicalResults oracle = Canonical(bft->results());
+    // Complete algorithms must match the exhaustive baseline exactly.
+    for (AlgorithmKind kind :
+         {AlgorithmKind::kGam, AlgorithmKind::kMoLesp, AlgorithmKind::kBftM,
+          AlgorithmKind::kBftAM}) {
+      auto run = RunAlgo(kind, g, sets);
+      ASSERT_NE(run, nullptr);
+      EXPECT_EQ(Canonical(run->results()), oracle) << AlgorithmName(kind);
+    }
+    // The restricted family never invents results it shouldn't have.
+    for (AlgorithmKind kind : {AlgorithmKind::kEsp, AlgorithmKind::kMoEsp,
+                               AlgorithmKind::kLesp}) {
+      auto run = RunAlgo(kind, g, sets);
+      ASSERT_NE(run, nullptr);
+      EXPECT_TRUE(IsSubset(Canonical(run->results()), oracle))
+          << AlgorithmName(kind);
+    }
+  }
+}
+
+TEST(DifferentialTest, ChunkCountNeverChangesTheAnswer) {
+  Rng rng(DiffSeed() + 1);
+  Graph g = MakeRandomGraph(12, 18, &rng);
+  // A wide first set so up to 4 chunks are actually possible.
+  std::vector<std::vector<NodeId>> sets = {{0, 1, 2, 3}, {4}, {5}};
+  auto seeds = SeedSets::Of(g, sets);
+  ASSERT_TRUE(seeds.ok());
+  auto sequential = RunAlgo(AlgorithmKind::kGam, g, sets);
+  ASSERT_NE(sequential, nullptr);
+  const CanonicalResults oracle = Canonical(sequential->results());
+  for (unsigned chunks : {1u, 2u, 3u, 4u}) {
+    ParallelCtpOptions opts;
+    opts.num_threads = chunks;
+    opts.algorithm = AlgorithmKind::kGam;
+    auto out = EvaluateCtpParallel(g, *seeds, {}, opts);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    EXPECT_EQ(ParallelCanonical(*out), oracle) << chunks << " chunks";
+  }
+}
+
+TEST(DifferentialTest, TuningTogglesAreByteIdentical) {
+  Rng rng(DiffSeed() + 2);
+  Graph g = MakeRandomGraph(14, 24, &rng);
+  EqlEngine engine(g);
+  const char* query =
+      "SELECT ?t WHERE { CONNECT (\"n0\", \"n1\" -> ?t) "
+      "SCORE edge_count TOP 5 }";
+  auto prepared = engine.Prepare(query);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+
+  auto rows = [&](const ExecOptions& exec) {
+    auto r = prepared->Execute({}, exec);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    std::vector<std::string> out;
+    for (size_t i = 0; r.ok() && i < r->table.NumRows(); ++i) {
+      out.push_back(r->RowToString(g, i));
+    }
+    return out;
+  };
+  const std::vector<std::string> baseline = rows({});
+  ASSERT_FALSE(baseline.empty());
+  for (int mask = 0; mask < 8; ++mask) {
+    ExecOptions exec;
+    exec.use_compiled_views = (mask & 1) != 0;
+    exec.incremental_scores = (mask & 2) != 0;
+    exec.bound_pruning = (mask & 4) != 0;
+    EXPECT_EQ(rows(exec), baseline) << "toggle mask " << mask;
+  }
+}
+
+TEST(DifferentialTest, InlineAndParamQueriesMatch) {
+  Rng rng(DiffSeed() + 3);
+  Graph g = MakeRandomGraph(14, 24, &rng);
+  EqlEngine engine(g);
+  auto inline_r = engine.Run(
+      "SELECT ?t WHERE { CONNECT (\"n0\", \"n2\" -> ?t) MAX 4 LIMIT 20 }");
+  ASSERT_TRUE(inline_r.ok()) << inline_r.status().ToString();
+  auto prepared = engine.Prepare(
+      "SELECT ?t WHERE { CONNECT ($a, $b -> ?t) MAX $m LIMIT 20 }");
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  ParamMap params;
+  params.Set("a", "n0").Set("b", "n2").Set("m", static_cast<int64_t>(4));
+  auto bound_r = prepared->Execute(params);
+  ASSERT_TRUE(bound_r.ok()) << bound_r.status().ToString();
+  ASSERT_EQ(inline_r->table.NumRows(), bound_r->table.NumRows());
+  for (size_t i = 0; i < inline_r->table.NumRows(); ++i) {
+    EXPECT_EQ(inline_r->RowToString(g, i), bound_r->RowToString(g, i));
+  }
+}
+
+TEST(DifferentialTest, GovernorOffAndGenerousBudgetMatch) {
+  Rng rng(DiffSeed() + 4);
+  Graph g = MakeRandomGraph(14, 24, &rng);
+  EqlEngine engine(g);
+  auto prepared =
+      engine.Prepare("SELECT ?t WHERE { CONNECT (\"n0\", \"n3\" -> ?t) }");
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  auto off = prepared->Execute();
+  ASSERT_TRUE(off.ok());
+  ExecOptions generous;
+  generous.memory_budget_bytes = 1ull << 30;
+  auto on = prepared->Execute({}, generous);
+  ASSERT_TRUE(on.ok());
+  EXPECT_EQ(on->outcome, SearchOutcome::kOk);
+  ASSERT_EQ(on->table.NumRows(), off->table.NumRows());
+  for (size_t i = 0; i < on->table.NumRows(); ++i) {
+    EXPECT_EQ(on->RowToString(g, i), off->RowToString(g, i));
+  }
+  ASSERT_EQ(on->ctp_runs.size(), off->ctp_runs.size());
+  for (size_t i = 0; i < on->ctp_runs.size(); ++i) {
+    // Identical work, and the accounting is visible only when governed.
+    EXPECT_EQ(on->ctp_runs[i].stats.trees_built,
+              off->ctp_runs[i].stats.trees_built);
+    EXPECT_GT(on->ctp_runs[i].stats.memory_bytes_peak, 0u);
+    EXPECT_EQ(off->ctp_runs[i].stats.memory_bytes_peak, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace eql

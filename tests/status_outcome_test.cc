@@ -1,0 +1,245 @@
+// util/status coverage plus the outcome taxonomy end-to-end: Prepare /
+// Execute / Cursor must report kOk | kTimeout | kCancelled | kMemoryBudget |
+// kFaultInjected faithfully, and a mid-stream fault must keep every row that
+// was already delivered.
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ctp/stats.h"
+#include "eval/engine.h"
+#include "test_util.h"
+#include "util/fault.h"
+#include "util/status.h"
+
+namespace eql {
+namespace {
+
+// ---------------------------------------------------------------------------
+// util/status.
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("bad"), StatusCode::kInvalidArgument},
+      {Status::NotFound("bad"), StatusCode::kNotFound},
+      {Status::OutOfRange("bad"), StatusCode::kOutOfRange},
+      {Status::Unimplemented("bad"), StatusCode::kUnimplemented},
+      {Status::Internal("bad"), StatusCode::kInternal},
+      {Status::Timeout("bad"), StatusCode::kTimeout},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(c.status.message(), "bad");
+    const std::string rendered = c.status.ToString();
+    EXPECT_NE(rendered.find(StatusCodeName(c.code)), std::string::npos);
+    EXPECT_NE(rendered.find("bad"), std::string::npos);
+  }
+}
+
+TEST(StatusTest, ResultHoldsValueOrStatus) {
+  Result<int> ok(7);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 7);
+  Result<int> bad(Status::NotFound("nope"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = [] { return Status::Internal("inner"); };
+  auto outer = [&]() -> Status {
+    EQL_RETURN_IF_ERROR(fails());
+    return Status::Ok();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kInternal);
+}
+
+// ---------------------------------------------------------------------------
+// The outcome lattice.
+// ---------------------------------------------------------------------------
+
+TEST(OutcomeTest, CombineTakesTheWorst) {
+  EXPECT_EQ(CombineOutcomes(SearchOutcome::kOk, SearchOutcome::kTimeout),
+            SearchOutcome::kTimeout);
+  EXPECT_EQ(
+      CombineOutcomes(SearchOutcome::kMemoryBudget, SearchOutcome::kCancelled),
+      SearchOutcome::kMemoryBudget);
+  EXPECT_EQ(
+      CombineOutcomes(SearchOutcome::kTimeout, SearchOutcome::kFaultInjected),
+      SearchOutcome::kFaultInjected);
+  EXPECT_EQ(CombineOutcomes(SearchOutcome::kOk, SearchOutcome::kOk),
+            SearchOutcome::kOk);
+}
+
+TEST(OutcomeTest, StatsOutcomePrecedence) {
+  SearchStats st;
+  EXPECT_EQ(st.Outcome(), SearchOutcome::kOk);
+  st.timed_out = true;
+  EXPECT_EQ(st.Outcome(), SearchOutcome::kTimeout);
+  st.cancelled = true;
+  EXPECT_EQ(st.Outcome(), SearchOutcome::kCancelled);
+  st.memory_budget_hit = true;
+  EXPECT_EQ(st.Outcome(), SearchOutcome::kMemoryBudget);
+  st.fault_injected = true;
+  EXPECT_EQ(st.Outcome(), SearchOutcome::kFaultInjected);
+  EXPECT_STREQ(SearchOutcomeName(SearchOutcome::kMemoryBudget),
+               "memory_budget");
+}
+
+// ---------------------------------------------------------------------------
+// Outcomes through the engine: Prepare / Execute / Cursor.
+// ---------------------------------------------------------------------------
+
+class EngineOutcomeTest : public ::testing::Test {
+ protected:
+  EngineOutcomeTest() {
+    Rng rng(5);
+    g_ = MakeRandomGraph(12, 20, &rng);
+  }
+
+  Graph g_;
+  // Three plain seed nodes: a 12-node / 20-edge multigraph keeps the full
+  // enumeration tractable (the clean-completion tests below need it) while
+  // a three-member search still runs far past one ~128-op poll batch, so
+  // every cutoff below triggers before natural completion.
+  const char* kBigQuery =
+      "SELECT ?t WHERE { CONNECT (\"n0\", \"n1\", \"n2\" -> ?t) }";
+};
+
+TEST_F(EngineOutcomeTest, ParseErrorIsAStatusNotAnOutcome) {
+  EqlEngine engine(g_);
+  auto r = engine.Prepare("SELECT WHERE");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(EngineOutcomeTest, TimeoutIsAnOutcomeNotAnError) {
+  EngineOptions opts;
+  opts.default_max_trees = 1u << 20;  // belt and braces for CI machines
+  EqlEngine engine(g_, opts);
+  auto prepared = engine.Prepare(
+      "SELECT ?t WHERE { CONNECT (\"n0\", \"n1\", \"n2\" -> ?t) TIMEOUT 0 }");
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  auto r = prepared->Execute();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->outcome, SearchOutcome::kTimeout);
+  ASSERT_EQ(r->ctp_runs.size(), 1u);
+  EXPECT_TRUE(r->ctp_runs[0].stats.timed_out);
+  EXPECT_FALSE(r->ctp_runs[0].stats.complete);
+}
+
+TEST_F(EngineOutcomeTest, MemoryBudgetOutcomeViaExecOptions) {
+  EqlEngine engine(g_);
+  auto prepared = engine.Prepare(kBigQuery);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  ExecOptions exec;
+  exec.memory_budget_bytes = 1;
+  auto r = prepared->Execute({}, exec);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->outcome, SearchOutcome::kMemoryBudget);
+  ASSERT_EQ(r->ctp_runs.size(), 1u);
+  EXPECT_TRUE(r->ctp_runs[0].stats.memory_budget_hit);
+  EXPECT_GT(r->ctp_runs[0].stats.memory_bytes_peak, 0u);
+  EXPECT_FALSE(r->ctp_runs[0].stats.complete);
+
+  // The same prepared handle with no budget still completes: per-call
+  // overrides leak nothing into the plan.
+  auto clean = prepared->Execute();
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean->outcome, SearchOutcome::kOk);
+}
+
+TEST_F(EngineOutcomeTest, MemoryBudgetOutcomeViaEngineDefault) {
+  EngineOptions opts;
+  opts.default_memory_budget_bytes = 1;
+  EqlEngine engine(g_, opts);
+  auto r = engine.Run(kBigQuery);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->outcome, SearchOutcome::kMemoryBudget);
+}
+
+TEST_F(EngineOutcomeTest, FaultOutcomeViaExecOptions) {
+  EqlEngine engine(g_);
+  auto prepared = engine.Prepare(kBigQuery);
+  ASSERT_TRUE(prepared.ok());
+  FaultInjector fault;
+  fault.Arm(kFaultSiteAlloc, /*trigger=*/3);
+  ExecOptions exec;
+  exec.fault = &fault;
+  auto r = prepared->Execute({}, exec);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->outcome, SearchOutcome::kFaultInjected);
+  EXPECT_EQ(fault.Fired(kFaultSiteAlloc), 1u);
+}
+
+TEST_F(EngineOutcomeTest, CancelFlagOutcome) {
+  EqlEngine engine(g_);
+  auto prepared = engine.Prepare(kBigQuery);
+  ASSERT_TRUE(prepared.ok());
+  std::atomic<bool> cancel{true};  // pre-cancelled: stops at the first poll
+  ExecOptions exec;
+  exec.cancel = &cancel;
+  auto r = prepared->Execute({}, exec);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->cancelled);
+  EXPECT_EQ(r->outcome, SearchOutcome::kCancelled);
+}
+
+TEST_F(EngineOutcomeTest, CursorFaultAfterFirstStreamedRow) {
+  EqlEngine engine(g_);
+  auto prepared = engine.Prepare(kBigQuery);
+  ASSERT_TRUE(prepared.ok());
+
+  // Reference: how many rows does the un-faulted stream deliver?
+  Cursor full = engine.OpenCursor(*prepared);
+  size_t total = 0;
+  StreamRow row;
+  while (full.Next(&row)) ++total;
+  ASSERT_TRUE(full.status().ok()) << full.status().ToString();
+  ASSERT_GE(total, 3u) << "fixture must stream several rows";
+
+  // Fault right after the second row reaches the sink: the two delivered
+  // rows survive, the stream ends early, and the summary says why.
+  FaultInjector fault;
+  fault.Arm(kFaultSiteEmit, /*trigger=*/2);
+  ExecOptions exec;
+  exec.fault = &fault;
+  Cursor cur = engine.OpenCursor(*prepared, {}, exec);
+  std::vector<StreamRow> rows;
+  while (cur.Next(&row)) rows.push_back(row);
+  EXPECT_TRUE(cur.status().ok()) << cur.status().ToString();
+  EXPECT_EQ(rows.size(), 2u);
+  EXPECT_EQ(fault.Fired(kFaultSiteEmit), 1u);
+  EXPECT_EQ(cur.summary().outcome, SearchOutcome::kFaultInjected);
+  EXPECT_EQ(cur.summary().rows_streamed, 2u);
+}
+
+TEST_F(EngineOutcomeTest, OkDoesNotImplyCompleteUnderLimit) {
+  EqlEngine engine(g_);
+  auto r = engine.Run(
+      "SELECT ?t WHERE { CONNECT (\"n0\", \"n1\", \"n2\" -> ?t) LIMIT 1 }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // LIMIT is a requested truncation: outcome stays kOk, complete says false.
+  EXPECT_EQ(r->outcome, SearchOutcome::kOk);
+  ASSERT_EQ(r->ctp_runs.size(), 1u);
+  EXPECT_FALSE(r->ctp_runs[0].stats.complete);
+  EXPECT_EQ(r->table.NumRows(), 1u);
+}
+
+}  // namespace
+}  // namespace eql
