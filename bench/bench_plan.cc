@@ -1,0 +1,228 @@
+// bench_plan — the cost-based plan layer (eval/plan.h) vs the fixed
+// textual-order path, on workloads written in deliberately pessimal order.
+//
+// Three measurements, all row-identical across the toggle (re-checked here
+// as a tripwire; byte-identity is pinned by tests/plan_equivalence_test.cc):
+//   * pessimal ordering: an expensive CONNECT appears textually first and a
+//     cheap zero-result CONNECT last. The planner runs the cheap stage
+//     first, sees its empty table, and downgrades the expensive search to
+//     validation-only — the fixed path pays for the full enumeration.
+//   * in-query CSE: the same expensive table spec written twice; the
+//     planner runs one search and shares it, the fixed path runs both.
+//   * batch CSE: RunBatch over copies of the same query; later queries hit
+//     the batch-scoped cache.
+//
+// Usage: bench_plan [OUT.json]   (default BENCH_plan.json)
+// Honors EQL_BENCH_SCALE: 0 smoke, 1 default, 2 paper-scale.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "eval/engine.h"
+#include "graph/graph.h"
+#include "util/stopwatch.h"
+
+namespace eql {
+namespace {
+
+/// A layered DAG S -> L1 -> ... -> Lk -> T of width `w`: every layer is
+/// fully connected to the next, so CONNECT("S", "T") with MAX = k+1 must
+/// enumerate w^k minimal trees — deliberately expensive. Two extra
+/// edge-free nodes ("lone0", "lone1") give the planner a provably-cheap,
+/// provably-empty CONNECT to run first.
+Graph MakePessimalGraph(int width, int layers) {
+  Graph g;
+  std::vector<NodeId> prev = {g.AddNode("S")};
+  for (int l = 0; l < layers; ++l) {
+    std::vector<NodeId> layer;
+    for (int i = 0; i < width; ++i) {
+      layer.push_back(g.AddNode("L" + std::to_string(l) + "_" +
+                                std::to_string(i)));
+    }
+    for (NodeId a : prev) {
+      for (NodeId b : layer) g.AddEdge(a, b, "e");
+    }
+    prev = std::move(layer);
+  }
+  NodeId t = g.AddNode("T");
+  for (NodeId a : prev) g.AddEdge(a, t, "e");
+  g.AddNode("lone0");
+  g.AddNode("lone1");
+  g.Finalize();
+  return g;
+}
+
+struct Timing {
+  double fixed_ms = 0;
+  double planned_ms = 0;
+  size_t fixed_rows = 0;
+  size_t planned_rows = 0;
+  double Speedup() const { return fixed_ms / (planned_ms > 0 ? planned_ms : 1e-9); }
+};
+
+/// Interleaved min-of-reps over Execute with the planner toggled per call,
+/// so host load drift cannot masquerade as a planner win.
+Timing Measure(const PreparedQuery& prepared, int iters, int reps) {
+  Timing t;
+  ExecOptions fixed;
+  fixed.use_planner = false;
+  ExecOptions planned;
+  planned.use_planner = true;
+  for (int rep = 0; rep < reps; ++rep) {
+    Stopwatch sw;
+    t.fixed_rows = 0;
+    for (int i = 0; i < iters; ++i) {
+      auto r = prepared.Execute({}, fixed);
+      if (r.ok()) t.fixed_rows += r->table.NumRows();
+    }
+    const double f = sw.ElapsedMs();
+    sw.Restart();
+    t.planned_rows = 0;
+    for (int i = 0; i < iters; ++i) {
+      auto r = prepared.Execute({}, planned);
+      if (r.ok()) t.planned_rows += r->table.NumRows();
+    }
+    const double p = sw.ElapsedMs();
+    if (rep == 0 || f < t.fixed_ms) t.fixed_ms = f;
+    if (rep == 0 || p < t.planned_ms) t.planned_ms = p;
+  }
+  return t;
+}
+
+int Main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_plan.json";
+  bench::Banner("cost-based plan layer vs fixed textual order",
+                "Section 3 (evaluation strategy; plan-layer extension)");
+
+  const int scale = bench::Scale();
+  const int width = scale == 0 ? 8 : scale == 1 ? 12 : 16;
+  const int layers = 3;
+  Graph g = MakePessimalGraph(width, layers);
+  std::printf("layered DAG: %zu nodes, %zu edges (width %d, %d layers)\n",
+              g.NumNodes(), g.NumEdges(), width, layers);
+  EqlEngine engine(g);  // planner on by default; toggled per Execute
+
+  const int iters = scale == 0 ? 3 : 5;
+  const int reps = 5;
+  const int max_edges = layers + 1;
+
+  // ---- Pessimal ordering: expensive search first, empty cheap probe last.
+  const std::string pessimal =
+      "SELECT ?big ?none WHERE { "
+      "CONNECT(\"S\", \"T\" -> ?big) MAX " + std::to_string(max_edges) + " "
+      "CONNECT(\"lone0\", \"lone1\" -> ?none) MAX 1 }";
+  auto pq = engine.Prepare(pessimal);
+  if (!pq.ok()) {
+    std::fprintf(stderr, "%s\n", pq.status().ToString().c_str());
+    return 1;
+  }
+  const Timing order = Measure(*pq, iters, reps);
+  if (order.fixed_rows != order.planned_rows) {
+    std::fprintf(stderr, "PLAN MISMATCH (pessimal): %zu fixed vs %zu planned\n",
+                 order.fixed_rows, order.planned_rows);
+    return 1;
+  }
+  std::printf(
+      "pessimal order: fixed %8.2f ms | planned %8.2f ms | %5.2fx "
+      "(empty probe first, big search skipped; %zu rows)\n",
+      order.fixed_ms, order.planned_ms, order.Speedup(), order.planned_rows);
+
+  // ---- In-query CSE: the identical expensive spec twice.
+  // TOP keeps the cross-product join bounded (32x32 rows) while the search
+  // still has to enumerate every minimal tree — the cost being shared.
+  const std::string dup =
+      "SELECT ?t1 ?t2 WHERE { "
+      "CONNECT(\"S\", \"T\" -> ?t1) MAX " + std::to_string(max_edges) +
+      " SCORE edge_count TOP 32 "
+      "CONNECT(\"S\", \"T\" -> ?t2) MAX " + std::to_string(max_edges) +
+      " SCORE edge_count TOP 32 }";
+  auto dq = engine.Prepare(dup);
+  if (!dq.ok()) {
+    std::fprintf(stderr, "%s\n", dq.status().ToString().c_str());
+    return 1;
+  }
+  const Timing cse = Measure(*dq, /*iters=*/1, reps);
+  if (cse.fixed_rows != cse.planned_rows) {
+    std::fprintf(stderr, "PLAN MISMATCH (cse): %zu fixed vs %zu planned\n",
+                 cse.fixed_rows, cse.planned_rows);
+    return 1;
+  }
+  std::printf(
+      "in-query CSE:   fixed %8.2f ms | planned %8.2f ms | %5.2fx "
+      "(one search shared by both tables; %zu rows)\n",
+      cse.fixed_ms, cse.planned_ms, cse.Speedup(), cse.planned_rows);
+
+  // ---- Batch CSE: the same single-CTP query N times through RunBatch.
+  const std::string single =
+      "SELECT ?t WHERE { CONNECT(\"S\", \"T\" -> ?t) MAX " +
+      std::to_string(max_edges) + " }";
+  const int batch_n = 4;
+  std::vector<std::string_view> batch(batch_n, single);
+  double batch_fixed_ms = 0, batch_planned_ms = 0;
+  size_t batch_rows[2] = {0, 0};
+  EngineOptions off_opts;
+  off_opts.use_planner = false;
+  EqlEngine off_engine(g, off_opts);
+  for (int rep = 0; rep < reps; ++rep) {
+    Stopwatch sw;
+    auto fixed_results = off_engine.RunBatch(batch);
+    const double f = sw.ElapsedMs();
+    sw.Restart();
+    auto planned_results = engine.RunBatch(batch);
+    const double p = sw.ElapsedMs();
+    if (rep == 0 || f < batch_fixed_ms) batch_fixed_ms = f;
+    if (rep == 0 || p < batch_planned_ms) batch_planned_ms = p;
+    batch_rows[0] = batch_rows[1] = 0;
+    for (const auto& r : fixed_results) {
+      if (r.ok()) batch_rows[0] += r->table.NumRows();
+    }
+    for (const auto& r : planned_results) {
+      if (r.ok()) batch_rows[1] += r->table.NumRows();
+    }
+  }
+  if (batch_rows[0] != batch_rows[1]) {
+    std::fprintf(stderr, "PLAN MISMATCH (batch): %zu fixed vs %zu planned\n",
+                 batch_rows[0], batch_rows[1]);
+    return 1;
+  }
+  std::printf(
+      "batch CSE (%d): fixed %8.2f ms | planned %8.2f ms | %5.2fx "
+      "(first search reused by the rest; %zu rows)\n",
+      batch_n, batch_fixed_ms, batch_planned_ms,
+      batch_fixed_ms / (batch_planned_ms > 0 ? batch_planned_ms : 1e-9),
+      batch_rows[1]);
+
+  FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(
+      f,
+      "{\n"
+      "  \"bench\": \"plan_layer\",\n"
+      "  \"graph\": {\"nodes\": %zu, \"edges\": %zu, \"width\": %d, "
+      "\"layers\": %d},\n"
+      "  \"pessimal\": {\"fixed_ms\": %.3f, \"planned_ms\": %.3f, "
+      "\"speedup\": %.3f, \"rows\": %zu},\n"
+      "  \"cse\": {\"fixed_ms\": %.3f, \"planned_ms\": %.3f, "
+      "\"speedup\": %.3f, \"rows\": %zu},\n"
+      "  \"batch\": {\"queries\": %d, \"fixed_ms\": %.3f, "
+      "\"planned_ms\": %.3f, \"speedup\": %.3f, \"rows\": %zu}\n"
+      "}\n",
+      g.NumNodes(), g.NumEdges(), width, layers, order.fixed_ms,
+      order.planned_ms, order.Speedup(), order.planned_rows, cse.fixed_ms,
+      cse.planned_ms, cse.Speedup(), cse.planned_rows, batch_n, batch_fixed_ms,
+      batch_planned_ms,
+      batch_fixed_ms / (batch_planned_ms > 0 ? batch_planned_ms : 1e-9),
+      batch_rows[1]);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path);
+  return 0;
+}
+
+}  // namespace
+}  // namespace eql
+
+int main(int argc, char** argv) { return eql::Main(argc, argv); }

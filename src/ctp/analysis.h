@@ -12,14 +12,24 @@
 // (Property 4) and all path results (Property 5); MoLESP all 3ps results
 // (Property 7), everything for m <= 3 (Property 8), and every result whose
 // pieces are rooted merges (Property 9).
+//
+// The second half is *stage* analysis: where each CTP member's seed set
+// comes from under the engine's fixed evaluation order (Section 3 step B.1),
+// which earlier stages a CTP therefore depends on, and the rejection of
+// cyclic free-member references. The planner (eval/plan.h) consumes this to
+// order stages; the engine consumes it to resolve bindings without rescanning
+// tables.
 #ifndef EQL_CTP_ANALYSIS_H_
 #define EQL_CTP_ANALYSIS_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "ctp/seed_sets.h"
 #include "ctp/tree.h"
 #include "graph/graph.h"
+#include "query/ast.h"
+#include "util/status.h"
 
 namespace eql {
 
@@ -52,6 +62,57 @@ TreeShape AnalyzeTree(const Graph& g, const SeedSets& seeds,
 inline bool IsPiecewiseSimple(const TreeShape& shape, int p) {
   return shape.max_piece_leaves <= p;
 }
+
+// ---------------------------------------------------------------------------
+// CTP stage-dependency analysis (consumed by the planner, eval/plan.h).
+// ---------------------------------------------------------------------------
+
+/// Where one CTP member's seed set comes from under the fixed evaluation
+/// order: the first binding table carrying the member variable — BGP tables
+/// in group order, then earlier CTP tables in query order — else the
+/// member's own predicate, else the universal set N (Section 4.9).
+struct CtpMemberSource {
+  enum class Kind {
+    kBgpTable,   ///< distinct bindings of a BGP table (narrowed by the
+                 ///< member's own predicate, if any)
+    kCtpTable,   ///< distinct bindings of an earlier CTP's table
+    kPredicate,  ///< NodesMatchingPredicate over the member's conditions
+    kUniversal,  ///< unconstrained: the universal seed set
+  };
+  Kind kind = Kind::kUniversal;
+  /// BGP group index (kBgpTable) or CTP query index (kCtpTable); SIZE_MAX
+  /// for the table-free kinds.
+  size_t source = SIZE_MAX;
+};
+
+/// Binding structure of a query's CTP stages. `member_sources[i][k]` is the
+/// source of CTP i's k-th member; `ctp_deps[i]` lists the earlier CTPs whose
+/// tables CTP i reads (sorted, unique). The engine must evaluate a CTP after
+/// every stage in its dep list — any order satisfying that yields the same
+/// seed sets, hence (searches being deterministic) the same CTP tables.
+struct CtpBindingAnalysis {
+  std::vector<std::vector<CtpMemberSource>> member_sources;
+  std::vector<std::vector<size_t>> ctp_deps;
+  /// Some CTP seeds from an earlier CTP's table (legacy serial-mode trigger).
+  bool dependent_ctps = false;
+};
+
+/// Computes the binding analysis for a validated query. `bgp_groups` lists
+/// the pattern indexes of each BGP group, in GroupIntoBgps order.
+///
+/// Rejects (InvalidArgument) cyclic `$`-free member dependencies: two or
+/// more CTPs chained only through mutually free members (no predicate
+/// conditions, no parameters, no BGP binding), leaving some CTP of the chain
+/// with every seed set universal. The fixed-order engine used to surface
+/// this as a confusing runtime "all seed sets are universal" error; it is a
+/// query bug — the CTPs reference each other's bindings in a cycle — and is
+/// now diagnosed as such at Prepare. A single all-free CTP keeps its
+/// existing behavior (Section 4.9 universal handling / runtime error), and
+/// `allow_free_cycles` preserves the materialize_universal_sets ablation,
+/// under which such queries are executable.
+Result<CtpBindingAnalysis> AnalyzeCtpBindings(
+    const Query& q, const std::vector<std::vector<size_t>>& bgp_groups,
+    bool allow_free_cycles = false);
 
 }  // namespace eql
 

@@ -1,9 +1,13 @@
 #include "eval/engine.h"
 
 #include <algorithm>
+#include <mutex>
 #include <optional>
+#include <unordered_map>
 #include <utility>
 
+#include "eval/plan.h"
+#include "eval/stats.h"
 #include "query/parser.h"
 #include "query/validator.h"
 #include "storage/bgp_eval.h"
@@ -22,9 +26,13 @@ struct PreparedQuery::Plan {
   Query query;
   /// Head columns + kinds of streamed rows (static: roles are structural).
   RowSchema schema;
-  /// A later CTP seeds a member from an earlier CTP's table, so stages must
-  /// run serially in query order (static: table schemas are structural).
-  bool dependent_ctps = false;
+  /// The lowered stage algebra: BGP groups, member seed sources, per-stage
+  /// cost estimates, CSE marks and both execution orders (eval/plan.h).
+  /// Structural, so valid for any `$`-bound copy of the query.
+  PhysicalPlan physical;
+  /// Graph statistics the estimates came from (shared process-wide cache,
+  /// keyed by Graph::uid()); kept for EXPLAIN.
+  std::shared_ptr<const GraphStats> stats;
 
   struct PlannedCtp {
     /// SCORE function, constructed (and its name validated) once; shared by
@@ -184,20 +192,24 @@ Result<CtpFilters> CompileFilters(const Graph& g, const CtpFilterSpec& spec,
 }
 
 /// Step (C)'s join order: tables sharing columns first, cross products last.
-/// `consume` moves out of `tables` (the one-shot path); false copies the
-/// first table so `tables` stays usable (the streaming path still derives
-/// the final CTP's seeds from them).
-BindingTable GreedyJoin(std::vector<BindingTable>& tables, bool consume) {
+/// Takes pointers so callers can pick a subset of the stage tables (the
+/// streaming path joins everything except the final CTP's); the input order
+/// is the stage-id order in both planner modes, which is what makes
+/// planner-ON rows identical to planner-OFF. `consume` moves out of the
+/// tables (the one-shot path); false copies the first table so the stage
+/// tables stay usable (the streaming path still derives the final CTP's
+/// seeds from them).
+BindingTable GreedyJoin(std::vector<BindingTable*> tables, bool consume) {
   BindingTable acc;
   if (tables.empty()) return acc;
   std::vector<bool> used(tables.size(), false);
-  acc = consume ? std::move(tables[0]) : tables[0];
+  acc = consume ? std::move(*tables[0]) : *tables[0];
   used[0] = true;
   for (size_t step = 1; step < tables.size(); ++step) {
     int best = -1;
     for (size_t i = 0; i < tables.size(); ++i) {
       if (used[i]) continue;
-      for (const auto& col : tables[i].columns()) {
+      for (const auto& col : tables[i]->columns()) {
         if (acc.HasColumn(col)) {
           best = static_cast<int>(i);
           break;
@@ -210,7 +222,7 @@ BindingTable GreedyJoin(std::vector<BindingTable>& tables, bool consume) {
         if (!used[i]) best = static_cast<int>(i);
       }
     }
-    acc = BindingTable::NaturalJoin(acc, tables[best]);
+    acc = BindingTable::NaturalJoin(acc, *tables[best]);
     used[best] = true;
   }
   return acc;
@@ -240,24 +252,15 @@ Result<std::shared_ptr<const PreparedQuery::Plan>> EqlEngine::PlanQuery(
     plan->schema.kinds.push_back(kind);
   }
 
-  // Dependent-CTP stage analysis (static: BGP table columns are the pattern
-  // variables; CTP tables carry member + tree variables).
-  for (size_t i = 1; i < q.ctps.size() && !plan->dependent_ctps; ++i) {
-    for (const Predicate& m : q.ctps[i].members) {
-      bool in_bgp = false;
-      for (const EdgePattern& ep : q.patterns) {
-        in_bgp |= ep.source.var == m.var || ep.edge.var == m.var ||
-                  ep.target.var == m.var;
-      }
-      if (in_bgp) continue;
-      for (size_t j = 0; j < i && !plan->dependent_ctps; ++j) {
-        if (q.ctps[j].tree_var == m.var) plan->dependent_ctps = true;
-        for (const Predicate& pm : q.ctps[j].members) {
-          if (pm.var == m.var) plan->dependent_ctps = true;
-        }
-      }
-    }
-  }
+  // Lower to the stage algebra: BGP groups, member seed sources (rejecting
+  // cyclic free-member dependencies), cost estimates, CSE marks and both
+  // execution orders. The materialize-universal ablation grounds every
+  // member explicitly, so free-member cycles become executable under it.
+  plan->stats = GraphStats::Get(g_);
+  auto physical = BuildPhysicalPlan(q, g_, *plan->stats,
+                                    options_.materialize_universal_sets);
+  if (!physical.ok()) return physical.status();
+  plan->physical = std::move(physical).value();
 
   // Per-CTP compilation: score construction (validating the name), literal
   // LABEL resolution, and compiled-view pre-warming.
@@ -310,9 +313,7 @@ Result<PreparedQuery> EqlEngine::Prepare(std::string_view query_text) const {
 }
 
 Result<QueryResult> EqlEngine::Run(std::string_view query_text) const {
-  auto prepared = Prepare(query_text);
-  if (!prepared.ok()) return prepared.status();
-  return prepared->Execute();
+  return RunWithCse(query_text, nullptr);
 }
 
 Result<QueryResult> EqlEngine::RunParsed(const Query& q) const {
@@ -325,7 +326,7 @@ Result<QueryResult> EqlEngine::RunParsed(const Query& q) const {
         "); use Prepare + Execute(params)");
   }
   QueryResult out;
-  Status st = ExecutePlan(p, p.query, ExecOptions{}, nullptr, &out);
+  Status st = ExecutePlan(p, p.query, ExecOptions{}, nullptr, nullptr, &out);
   if (!st.ok()) return st;
   return out;
 }
@@ -362,7 +363,7 @@ Result<QueryResult> PreparedQuery::Execute(const ParamMap& params,
   auto bound = BindForExecute(*plan_, params, &bound_storage);
   if (!bound.ok()) return bound.status();
   QueryResult out;
-  Status st = engine_->ExecutePlan(*plan_, **bound, opts, nullptr, &out);
+  Status st = engine_->ExecutePlan(*plan_, **bound, opts, nullptr, nullptr, &out);
   if (!st.ok()) return st;
   return out;
 }
@@ -376,9 +377,19 @@ Result<QueryResult> PreparedQuery::Execute(const ParamMap& params,
   QueryResult out;
   EqlEngine::StreamState stream;
   stream.sink = &sink;
-  Status st = engine_->ExecutePlan(*plan_, **bound, opts, &stream, &out);
+  Status st = engine_->ExecutePlan(*plan_, **bound, opts, &stream, nullptr, &out);
   if (!st.ok()) return st;
   return out;
+}
+
+std::string PreparedQuery::Explain() const {
+  return RenderExplain(plan_->physical, plan_->query, engine_->g_,
+                       engine_->options_.use_planner);
+}
+
+std::string PreparedQuery::Explain(const QueryResult& result) const {
+  return RenderExplain(plan_->physical, plan_->query, engine_->g_,
+                       engine_->options_.use_planner, &result);
 }
 
 // ---------------------------------------------------------------------------
@@ -395,23 +406,55 @@ struct EqlEngine::CtpStage {
   std::vector<std::vector<uint32_t>> rows;  ///< member bindings, no tree col
 };
 
+/// RunBatch-scoped CSE store: complete, clean CTP results of self-grounded
+/// table specs, keyed by CtpTableKey. Scoped to one batch on purpose — an
+/// engine-lifetime cache would let a query's telemetry (trees built, peak
+/// memory) depend on unrelated earlier traffic. First insert wins, so
+/// concurrent batch queries racing on the same spec stay deterministic in
+/// what later queries observe.
+struct EqlEngine::BatchCseCache {
+  struct Entry {
+    std::vector<std::vector<uint32_t>> rows;
+    std::vector<ResultTreeInfo> trees;
+    CtpRunInfo run;
+  };
+  std::mutex mu;
+  std::unordered_map<std::string, std::shared_ptr<const Entry>> entries;
+
+  std::shared_ptr<const Entry> Find(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = entries.find(key);
+    return it == entries.end() ? nullptr : it->second;
+  }
+  void Insert(const std::string& key, std::shared_ptr<const Entry> entry) {
+    std::lock_guard<std::mutex> lock(mu);
+    entries.emplace(key, std::move(entry));  // first insert wins
+  }
+};
+
 Status EqlEngine::EvalOneCtp(const CtpPattern& ctp, size_t ctp_index,
                              const PreparedQuery::Plan& plan, const ExecEnv& env,
                              const std::vector<BindingTable>& tables,
-                             CtpStage* stage) const {
+                             bool skip_search, CtpStage* stage) const {
   const EngineOptions& opts = env.opts;
   CtpRunInfo& run = stage->run;
   run.tree_var = ctp.tree_var;
 
+  // Seed sources were resolved at plan time (ctp/analysis.h); the bound
+  // query has the same variable structure, so the indexes hold.
+  const std::vector<CtpMemberSource>& sources =
+      plan.physical.binding.member_sources[ctp_index];
+
   std::vector<std::vector<NodeId>> sets;
   std::vector<bool> universal;
-  for (const Predicate& member : ctp.members) {
+  for (size_t mi = 0; mi < ctp.members.size(); ++mi) {
+    const Predicate& member = ctp.members[mi];
+    const CtpMemberSource& src = sources[mi];
     const BindingTable* source_table = nullptr;
-    for (const BindingTable& t : tables) {
-      if (t.HasColumn(member.var)) {
-        source_table = &t;
-        break;
-      }
+    if (src.kind == CtpMemberSource::Kind::kBgpTable) {
+      source_table = &tables[src.source];
+    } else if (src.kind == CtpMemberSource::Kind::kCtpTable) {
+      source_table = &tables[plan.physical.CtpStageId(src.source)];
     }
     if (source_table != nullptr) {
       // Bound by a BGP: seed set = distinct bindings, narrowed by the
@@ -424,7 +467,7 @@ Status EqlEngine::EvalOneCtp(const CtpPattern& ctp, size_t ctp_index,
       }
       sets.push_back(std::move(nodes));
       universal.push_back(false);
-    } else if (!member.IsEmpty()) {
+    } else if (src.kind == CtpMemberSource::Kind::kPredicate) {
       sets.push_back(NodesMatchingPredicate(g_, member));
       universal.push_back(false);
     } else if (opts.materialize_universal_sets) {
@@ -457,6 +500,30 @@ Status EqlEngine::EvalOneCtp(const CtpPattern& ctp, size_t ctp_index,
   if (seeds->HasUniversal() && filters->limit == UINT64_MAX &&
       opts.universal_default_limit > 0) {
     filters->limit = opts.universal_default_limit;
+  }
+
+  // Planner short-circuit: an upstream stage table is empty, so no row of
+  // this stage can survive the final join. Everything up to here — seed
+  // derivation, SeedSets validation, filter compilation — already ran, so
+  // every deterministic error this stage would raise has been raised; only
+  // the search itself is skipped. The one family of errors raised *inside*
+  // a search is BFT's rejection of universal/UNI inputs, so those stages
+  // fall through and fail fast exactly as a full run would.
+  if (skip_search) {
+    AlgorithmKind skip_kind = opts.algorithm;
+    if (opts.adaptive_algorithm && seeds->num_sets() == 2 &&
+        !seeds->HasUniversal() && !filters->unidirectional) {
+      skip_kind = AlgorithmKind::kEsp;
+    }
+    const bool search_may_error =
+        !IsGamFamily(skip_kind) &&
+        (seeds->HasUniversal() || filters->unidirectional);
+    if (!search_may_error) {
+      run.skipped = true;
+      run.algorithm = skip_kind;
+      run.stats.complete = true;
+      return Status::Ok();  // stage stays empty -> empty CTP table
+    }
   }
 
   // Dead-label short-circuit: a LABEL clause whose names all miss the
@@ -617,12 +684,13 @@ Status EqlEngine::EvalOneCtp(const CtpPattern& ctp, size_t ctp_index,
 
 Status EqlEngine::ExecutePlan(const PreparedQuery::Plan& plan, const Query& q,
                               const ExecOptions& exec_opts, StreamState* stream,
-                              QueryResult* out) const {
+                              BatchCseCache* batch_cse, QueryResult* out) const {
   Stopwatch total_sw;
 
   // ---- Merge the per-call overrides into this execution's environment.
   ExecEnv env;
   env.opts = options_;
+  if (exec_opts.use_planner) env.opts.use_planner = *exec_opts.use_planner;
   if (exec_opts.ctp_timeout_ms) {
     env.opts.default_ctp_timeout_ms = *exec_opts.ctp_timeout_ms;
   }
@@ -669,29 +737,62 @@ Status EqlEngine::ExecutePlan(const PreparedQuery::Plan& plan, const Query& q,
     stream->sink->OnSchema(plan.schema);
   }
 
-  // ---- Step (A): evaluate every BGP into a binding table.
+  // Fault injection arms sites at fixed stage positions, so it forces the
+  // fixed-order path (the planner would move/skip the sites tests aim at).
+  const bool planner = env.opts.use_planner && env.fault == nullptr;
+
+  // ---- Step (A): evaluate every BGP into a binding table. Tables live in a
+  // stage-id-indexed vector (BGP groups first, then CTPs in query order):
+  // both planner modes join them in that fixed order, which is what makes
+  // the projected rows mode-independent.
   Stopwatch sw;
-  std::vector<BindingTable> tables;
-  for (const auto& bgp : GroupIntoBgps(q.patterns)) {
+  const PhysicalPlan& pp = plan.physical;
+  const size_t num_stages = pp.stages.size();
+  std::vector<BindingTable> tables(num_stages);
+  bool empty_stage = false;
+  for (size_t gi = 0; gi < pp.num_bgps; ++gi) {
+    std::vector<EdgePattern> bgp;
+    bgp.reserve(pp.bgp_groups[gi].size());
+    for (size_t pi : pp.bgp_groups[gi]) bgp.push_back(q.patterns[pi]);
     auto t = EvaluateBgp(g_, bgp);
     if (!t.ok()) return t.status();
-    tables.push_back(std::move(t).value());
+    out->bgp_rows.push_back(t->NumRows());
+    empty_stage |= t->NumRows() == 0;
+    tables[gi] = std::move(t).value();
   }
   out->bgp_ms = sw.ElapsedMs();
 
-  // ---- Step (B): evaluate every CTP against seed sets derived from (A).
+  // ---- Step (B): evaluate every CTP against seed sets from its plan-time
+  // sources. Fixed mode runs query order (or all-concurrent when
+  // independent); planner mode runs the cost-ascending topological order in
+  // dependency waves, skips searches once an upstream table is empty, and
+  // shares identical table specs.
   sw.Restart();
-
-  // Dependent CTPs (plan.dependent_ctps) must run serially in query order
-  // with the tables threaded through; only independent CTPs may be
-  // dispatched concurrently onto the pool.
-  const bool dependent = plan.dependent_ctps;
+  const bool dependent = pp.binding.dependent_ctps;
   std::vector<CtpStage> stages(q.ctps.size());
-  // Appends stage i's CTP table (member vars + tree handle) to `tables` and
-  // its trees/run info to `out`, offsetting the stage-local tree indexes.
+  std::vector<char> stitched(num_stages, 1);  // BGP stages stitched above
+  for (size_t i = 0; i < q.ctps.size(); ++i) stitched[pp.CtpStageId(i)] = 0;
+
+  // Stitches stage i's CTP table (member vars + tree handle) into its
+  // stage-id slot, offsetting the stage-local tree indexes into the query's
+  // registry. Run info stays in `stages` — telemetry is assembled in query
+  // order after step (B) so both modes report identically-ordered ctp_runs.
   auto stitch = [&](size_t i) {
     CtpStage& stage = stages[i];
     const CtpPattern& ctp = q.ctps[i];
+    const size_t sid = pp.CtpStageId(i);
+    // Batch-scoped CSE: publish complete, clean results of shareable specs
+    // before the rows move into the table.
+    if (planner && batch_cse != nullptr && !pp.stages[sid].cse_key.empty() &&
+        !stage.run.shared && !stage.run.skipped && !stage.run.streamed_rows &&
+        stage.run.stats.complete &&
+        stage.run.stats.Outcome() == SearchOutcome::kOk) {
+      auto entry = std::make_shared<BatchCseCache::Entry>();
+      entry->rows = stage.rows;
+      entry->trees = stage.trees;
+      entry->run = stage.run;
+      batch_cse->Insert(pp.stages[sid].cse_key, std::move(entry));
+    }
     std::vector<std::string> cols;
     std::vector<ColKind> kinds;
     for (const Predicate& m : ctp.members) {
@@ -702,29 +803,73 @@ Status EqlEngine::ExecutePlan(const PreparedQuery::Plan& plan, const Query& q,
     kinds.push_back(ColKind::kTree);
     BindingTable ctp_table(std::move(cols), std::move(kinds));
     const uint32_t tree_offset = static_cast<uint32_t>(out->trees.size());
+    // An in-query CSE canonical's rows/trees must survive the stitch: later
+    // stages copy them instead of searching again.
+    const bool keep = planner && pp.stages[sid].shared_by_later;
     for (size_t r = 0; r < stage.rows.size(); ++r) {
-      std::vector<uint32_t> row = std::move(stage.rows[r]);
+      std::vector<uint32_t> row =
+          keep ? stage.rows[r] : std::move(stage.rows[r]);
       row.push_back(tree_offset + static_cast<uint32_t>(r));
       ctp_table.AddRow(std::move(row));
     }
-    for (ResultTreeInfo& t : stage.trees) out->trees.push_back(std::move(t));
-    tables.push_back(std::move(ctp_table));
-    out->ctp_runs.push_back(std::move(stage.run));
+    if (keep) {
+      for (const ResultTreeInfo& t : stage.trees) out->trees.push_back(t);
+    } else {
+      for (ResultTreeInfo& t : stage.trees) out->trees.push_back(std::move(t));
+    }
+    empty_stage |= ctp_table.NumRows() == 0;
+    tables[sid] = std::move(ctp_table);
+    stitched[sid] = 1;
   };
 
-  // Runs and stitches the first `count` CTP stages — concurrently on the
-  // pool when the stages are independent, serially (tables threaded through)
-  // otherwise. Shared by the materializing path (count = all) and the
-  // streaming path (count = all but the final, row-streaming CTP).
-  auto run_stages = [&](size_t count) -> Status {
+  // CSE resolution for a planner-mode stage: copy the canonical stage's (or
+  // a batch sibling's) rows/trees instead of searching. Only complete, clean
+  // results are shared — a hit therefore implies the donor's identical
+  // validation succeeded, so no error path is masked.
+  auto try_share = [&](size_t sid) -> bool {
+    const PlanStage& st = pp.stages[sid];
+    const size_t ci = st.input;
+    if (st.share_of != SIZE_MAX) {
+      const CtpStage& src = stages[pp.stages[st.share_of].input];
+      if (src.run.skipped || src.run.streamed_rows || !src.run.stats.complete ||
+          src.run.stats.Outcome() != SearchOutcome::kOk) {
+        return false;
+      }
+      CtpStage& dst = stages[ci];
+      dst.run = src.run;
+      dst.run.tree_var = q.ctps[ci].tree_var;
+      dst.run.shared = true;
+      dst.rows = src.rows;
+      dst.trees = src.trees;
+      return true;
+    }
+    if (batch_cse != nullptr && !st.cse_key.empty()) {
+      if (auto entry = batch_cse->Find(st.cse_key)) {
+        CtpStage& dst = stages[ci];
+        dst.run = entry->run;
+        dst.run.tree_var = q.ctps[ci].tree_var;
+        dst.run.shared = true;
+        dst.rows = entry->rows;
+        dst.trees = entry->trees;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Fixed-order path: runs and stitches the first `count` CTP stages —
+  // concurrently on the pool when the stages are independent, serially
+  // (tables threaded through) otherwise. Byte-identical to the engine
+  // before the plan layer existed.
+  auto run_stages_fixed = [&](size_t count) -> Status {
     if (!dependent && env.executor != nullptr && count > 1) {
       std::vector<Status> stage_status(count);
       CtpExecutor::TaskGroup group;
       for (size_t i = 0; i < count; ++i) {
         env.executor->Submit(
             &group, [this, &q, &plan, &env, &tables, &stages, &stage_status, i] {
-              stage_status[i] =
-                  EvalOneCtp(q.ctps[i], i, plan, env, tables, &stages[i]);
+              stage_status[i] = EvalOneCtp(q.ctps[i], i, plan, env, tables,
+                                           /*skip_search=*/false, &stages[i]);
             });
       }
       env.executor->Wait(&group);
@@ -734,7 +879,8 @@ Status EqlEngine::ExecutePlan(const PreparedQuery::Plan& plan, const Query& q,
       }
     } else {
       for (size_t i = 0; i < count; ++i) {
-        Status st = EvalOneCtp(q.ctps[i], i, plan, env, tables, &stages[i]);
+        Status st = EvalOneCtp(q.ctps[i], i, plan, env, tables,
+                               /*skip_search=*/false, &stages[i]);
         if (!st.ok()) return st;
         stitch(i);  // before the next CTP: it may seed from this table
       }
@@ -742,21 +888,89 @@ Status EqlEngine::ExecutePlan(const PreparedQuery::Plan& plan, const Query& q,
     return Status::Ok();
   };
 
+  // Planner path: consumes a topological order of CTP stage ids. With a
+  // pool, each wave is every not-yet-run stage whose dependencies are
+  // stitched (independent chains overlap); without one, waves have size one
+  // and execution follows the cost order exactly.
+  auto run_stages_planned = [&](std::vector<size_t> remaining) -> Status {
+    while (!remaining.empty()) {
+      std::vector<size_t> wave, rest;
+      for (size_t sid : remaining) {
+        bool ready = true;
+        for (size_t d : pp.stages[sid].deps) ready &= stitched[d] != 0;
+        if (ready && (wave.empty() || env.executor != nullptr)) {
+          wave.push_back(sid);
+        } else {
+          rest.push_back(sid);
+        }
+      }
+      remaining = std::move(rest);
+      const bool skip = empty_stage;  // one decision per wave: deterministic
+      std::vector<size_t> searches;
+      for (size_t sid : wave) {
+        if (!try_share(sid)) searches.push_back(sid);
+      }
+      if (env.executor != nullptr && searches.size() > 1) {
+        std::vector<Status> stage_status(searches.size());
+        CtpExecutor::TaskGroup group;
+        for (size_t k = 0; k < searches.size(); ++k) {
+          const size_t ci = pp.stages[searches[k]].input;
+          env.executor->Submit(&group, [this, &q, &plan, &env, &tables, &stages,
+                                        &stage_status, ci, k, skip] {
+            stage_status[k] = EvalOneCtp(q.ctps[ci], ci, plan, env, tables,
+                                         skip, &stages[ci]);
+          });
+        }
+        env.executor->Wait(&group);
+        for (const Status& st : stage_status) {
+          if (!st.ok()) return st;
+        }
+      } else {
+        for (size_t sid : searches) {
+          const size_t ci = pp.stages[sid].input;
+          Status st =
+              EvalOneCtp(q.ctps[ci], ci, plan, env, tables, skip, &stages[ci]);
+          if (!st.ok()) return st;
+        }
+      }
+      for (size_t sid : wave) stitch(pp.stages[sid].input);
+    }
+    return Status::Ok();
+  };
+
   if (stream == nullptr) {
-    // Materializing path: byte-identical to the one-shot Run of old.
-    EQL_RETURN_IF_ERROR(run_stages(q.ctps.size()));
+    if (planner) {
+      EQL_RETURN_IF_ERROR(run_stages_planned(pp.ctp_exec_order));
+    } else {
+      EQL_RETURN_IF_ERROR(run_stages_fixed(q.ctps.size()));
+    }
     out->ctp_ms = sw.ElapsedMs();
   } else if (!q.ctps.empty()) {
     // Streaming path: all CTPs but the last run exactly as above; the last
     // one emits rows against the pre-joined context as its search produces
-    // trees.
+    // trees. The streaming stage itself never shares or publishes CSE
+    // results — its rows leave through the sink.
     const size_t last = q.ctps.size() - 1;
-    EQL_RETURN_IF_ERROR(run_stages(last));
+    const size_t last_sid = pp.CtpStageId(last);
+    if (planner) {
+      std::vector<size_t> order = pp.ctp_exec_order_streaming;
+      order.pop_back();  // the final CTP streams below
+      EQL_RETURN_IF_ERROR(run_stages_planned(std::move(order)));
+    } else {
+      EQL_RETURN_IF_ERROR(run_stages_fixed(last));
+    }
 
     // Pre-join every table except the streaming CTP's (which does not exist
     // yet): each emitted tree then joins against this one context table.
-    stream->has_pre = !tables.empty();
-    if (stream->has_pre) stream->pre = GreedyJoin(tables, /*consume=*/false);
+    std::vector<BindingTable*> pre;
+    pre.reserve(num_stages > 0 ? num_stages - 1 : 0);
+    for (size_t sid = 0; sid < num_stages; ++sid) {
+      if (sid != last_sid) pre.push_back(&tables[sid]);
+    }
+    stream->has_pre = !pre.empty();
+    if (stream->has_pre) {
+      stream->pre = GreedyJoin(std::move(pre), /*consume=*/false);
+    }
     const CtpPattern& ctp = q.ctps[last];
     for (const Predicate& m : ctp.members) {
       stream->ctp_cols.push_back(m.var);
@@ -765,7 +979,9 @@ Status EqlEngine::ExecutePlan(const PreparedQuery::Plan& plan, const Query& q,
     stream->ctp_cols.push_back(ctp.tree_var);
     stream->ctp_kinds.push_back(ColKind::kTree);
 
-    Status st = EvalOneCtp(ctp, last, plan, env, tables, &stages[last]);
+    Status st = EvalOneCtp(ctp, last, plan, env, tables,
+                           /*skip_search=*/planner && empty_stage,
+                           &stages[last]);
     if (!st.ok()) return st;
     // TOP-k / chunk-parallel stages materialize first; emit their final
     // result order now (still incremental relative to the join and any
@@ -778,22 +994,31 @@ Status EqlEngine::ExecutePlan(const PreparedQuery::Plan& plan, const Query& q,
         }
       }
     }
-    out->ctp_runs.push_back(std::move(stages[last].run));
     out->ctp_ms = sw.ElapsedMs();
   } else {
     out->ctp_ms = sw.ElapsedMs();
   }
 
+  // Telemetry in query order regardless of execution order, so callers (and
+  // EXPLAIN's actuals) index ctp_runs by CTP position in the query text.
+  for (CtpStage& stage : stages) out->ctp_runs.push_back(std::move(stage.run));
+
   // ---- Step (C): natural-join everything and project the head.
   sw.Restart();
+  auto all_tables = [&] {
+    std::vector<BindingTable*> all;
+    all.reserve(num_stages);
+    for (BindingTable& t : tables) all.push_back(&t);
+    return all;
+  };
   if (stream == nullptr) {
-    BindingTable acc = GreedyJoin(tables, /*consume=*/true);
+    BindingTable acc = GreedyJoin(all_tables(), /*consume=*/true);
     auto projected = acc.Project(q.head, /*distinct=*/false);
     if (!projected.ok()) return projected.status();
     out->table = std::move(projected).value();
   } else if (q.ctps.empty()) {
     // Pure-BGP streaming: the join is the result; emit its rows in order.
-    BindingTable acc = GreedyJoin(tables, /*consume=*/true);
+    BindingTable acc = GreedyJoin(all_tables(), /*consume=*/true);
     auto projected = acc.Project(q.head, /*distinct=*/false);
     if (!projected.ok()) return projected.status();
     const BindingTable& t = *projected;
@@ -840,16 +1065,40 @@ Status EqlEngine::ExecutePlan(const PreparedQuery::Plan& plan, const Query& q,
   return Status::Ok();
 }
 
+/// One-shot run with an optional batch-scoped CSE store threaded through to
+/// ExecutePlan. Binding semantics match PreparedQuery::Execute with no
+/// params (a query with `$` placeholders errors identically).
+Result<QueryResult> EqlEngine::RunWithCse(std::string_view query_text,
+                                          BatchCseCache* batch_cse) const {
+  auto prepared = Prepare(query_text);
+  if (!prepared.ok()) return prepared.status();
+  const PreparedQuery::Plan& plan = *prepared->plan_;
+  Query bound_storage;
+  auto bound = BindForExecute(plan, {}, &bound_storage);
+  if (!bound.ok()) return bound.status();
+  QueryResult out;
+  Status st =
+      ExecutePlan(plan, **bound, ExecOptions{}, nullptr, batch_cse, &out);
+  if (!st.ok()) return st;
+  return out;
+}
+
 std::vector<Result<QueryResult>> EqlEngine::RunBatch(
     std::span<const std::string_view> queries) const {
+  // One CSE store per batch: queries repeating a self-grounded CTP table
+  // spec (a common dashboard shape) search once and share the result.
+  BatchCseCache batch_cse;
+  BatchCseCache* cse = options_.use_planner ? &batch_cse : nullptr;
   std::vector<std::optional<Result<QueryResult>>> staged(queries.size());
   if (executor_ == nullptr || queries.size() <= 1) {
-    for (size_t i = 0; i < queries.size(); ++i) staged[i].emplace(Run(queries[i]));
+    for (size_t i = 0; i < queries.size(); ++i) {
+      staged[i].emplace(RunWithCse(queries[i], cse));
+    }
   } else {
     CtpExecutor::TaskGroup group;
     for (size_t i = 0; i < queries.size(); ++i) {
-      executor_->Submit(&group, [this, &staged, &queries, i] {
-        staged[i].emplace(Run(queries[i]));
+      executor_->Submit(&group, [this, &staged, &queries, cse, i] {
+        staged[i].emplace(RunWithCse(queries[i], cse));
       });
     }
     executor_->Wait(&group);

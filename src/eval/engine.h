@@ -56,6 +56,38 @@
 //     dropped after they were emitted; a mid-stream cutoff just ends the
 //     stream early and reports the outcome in the summary.
 //
+// Planning & EXPLAIN (the algebraic plan layer, eval/plan.h):
+//   * Prepare lowers the validated query into a PhysicalPlan: one stage per
+//     BGP group and per CTP, each CTP member's seed-set source (BGP table,
+//     earlier CTP table, own predicate, or universal) resolved once, plus
+//     per-stage cardinality/cost estimates from graph statistics
+//     (eval/stats.h; cached per Graph::uid(), which is immutable after
+//     Finalize — the invalidation rule is "new graph, new uid, new stats").
+//   * COST-MODEL UNITS: estimated edge visits — seed counts times a
+//     saturating branching series for CTP searches, index-scan sizes for
+//     BGP scans. Deterministic (pure integer/IEEE arithmetic, no clocks),
+//     so EXPLAIN output is stable across runs and machines.
+//   * With EngineOptions::use_planner (default on; per-call override
+//     ExecOptions::use_planner), independent CTP stages execute in
+//     cost-ascending order instead of query order, stages that can no
+//     longer contribute rows (an upstream stage produced an empty table)
+//     skip their search — seed derivation and its error paths still run, so
+//     diagnostics do not change — and CTPs with identical self-grounded
+//     table specs share one search (also across RunBatch). Dependent stages
+//     run as DAG waves on the pool instead of fully serially.
+//   * The planner never changes WHERE a seed set comes from — CTP results
+//     are defined relative to their full seed sets (Def 2.8), so binding
+//     sources are pinned at plan time. Final-join input order is the fixed
+//     stage order in both modes; consequently use_planner=false is
+//     byte-identical to the pre-planner engine, and use_planner=true
+//     returns the same projected rows (telemetry, tree-registry indexing
+//     and which of several possible errors surfaces first may differ).
+//     Deterministic fault injection (ExecOptions::fault) forces the fixed
+//     order so armed sites fire where tests expect them.
+//   * PreparedQuery::Explain() renders the plan tree with estimates;
+//     Explain(result) adds per-stage actual cardinalities and outcomes.
+//     eql_shell exposes both as `.explain` / `--explain` and `.stats`.
+//
 // Thread-safety and lifetime contract:
 //   * EqlEngine is const and thread-safe after construction; it must outlive
 //     every PreparedQuery and Cursor it hands out (handles keep a pointer to
@@ -150,6 +182,12 @@ struct EngineOptions {
   /// budget (CTPs run against recycled arenas, not cumulatively); parallel
   /// chunks split it equally.
   uint64_t default_memory_budget_bytes = 0;
+  /// Cost-based stage execution (see "Planning & EXPLAIN" above): reorder
+  /// independent CTP stages cheapest-first, short-circuit stages that
+  /// cannot contribute rows, share identical self-grounded CTP searches,
+  /// and run dependent stages as DAG waves. false = the fixed query-order
+  /// path, byte-identical to the pre-planner engine.
+  bool use_planner = true;
 };
 
 /// Per-call overrides for one Execute/Run: every set field supersedes the
@@ -174,6 +212,8 @@ struct ExecOptions {
   std::optional<bool> use_compiled_views;
   std::optional<bool> incremental_scores;
   std::optional<bool> bound_pruning;
+  /// Overrides EngineOptions::use_planner for this call.
+  std::optional<bool> use_planner;
   /// Per-query memory budget for this call (bytes; 0 = unlimited).
   /// Overrides EngineOptions::default_memory_budget_bytes.
   std::optional<uint64_t> memory_budget_bytes;
@@ -210,6 +250,16 @@ struct CtpRunInfo {
   /// materialized first — parallel chunking and TOP-k both require the full
   /// candidate set before any row is final).
   bool streamed_rows = false;
+  /// The planner skipped this CTP's search because an upstream stage
+  /// produced an empty table, so no row of this stage could survive the
+  /// final join. Seed derivation and filter compilation still ran (their
+  /// error paths are part of the query's semantics); stats reflect no
+  /// search work.
+  bool skipped = false;
+  /// This CTP reused the rows/trees of an identical earlier CTP (common-
+  /// sub-expression sharing, in-query or across RunBatch) instead of
+  /// searching; stats are copied from the canonical run.
+  bool shared = false;
 };
 
 /// The outcome of one query: a head-projected table plus the tree registry
@@ -221,6 +271,9 @@ struct QueryResult {
   BindingTable table;
   std::vector<ResultTreeInfo> trees;
   std::vector<CtpRunInfo> ctp_runs;
+  /// Row count of each BGP group's binding table, in group order (feeds the
+  /// per-stage "actual" column of PreparedQuery::Explain).
+  std::vector<uint64_t> bgp_rows;
   double bgp_ms = 0;
   double ctp_ms = 0;
   double join_ms = 0;
@@ -267,6 +320,17 @@ class PreparedQuery {
   /// cancelled.
   Result<QueryResult> Execute(const ParamMap& params, ResultSink& sink,
                               const ExecOptions& opts = {}) const;
+
+  /// EXPLAIN: renders the compiled plan tree — stages, seed sources,
+  /// estimated cardinalities/costs (unit: edge visits) and the planned
+  /// execution order. Deterministic text (no clocks); see "Planning &
+  /// EXPLAIN" above.
+  std::string Explain() const;
+  /// EXPLAIN ANALYZE flavor: the same tree annotated per stage with actual
+  /// cardinalities, algorithm, view use and outcome taken from `result`
+  /// (which should come from executing this prepared query). Times are
+  /// deliberately omitted to keep the text machine-independent.
+  std::string Explain(const QueryResult& result) const;
 
   /// The `$name` placeholders Execute must bind, in first-appearance order.
   const std::vector<std::string>& param_names() const;
@@ -370,20 +434,32 @@ class EqlEngine {
   struct CtpStage;
   struct ExecEnv;
   struct StreamState;
+  struct BatchCseCache;
 
   /// Builds the reusable plan behind Prepare/RunParsed.
   Result<std::shared_ptr<const PreparedQuery::Plan>> PlanQuery(Query q) const;
 
+  /// Run with an optional batch-scoped CSE cache (RunBatch shares identical
+  /// self-grounded CTP searches across its queries through one of these).
+  Result<QueryResult> RunWithCse(std::string_view query_text,
+                                 BatchCseCache* batch_cse) const;
+
   /// Runs a bound (parameter-free) query against its plan. `stream` null =
   /// materialize into out->table exactly as Run always has; non-null =
-  /// stream rows into the sink and fill telemetry only.
+  /// stream rows into the sink and fill telemetry only. `batch_cse` may be
+  /// null (no cross-query sharing).
   Status ExecutePlan(const PreparedQuery::Plan& plan, const Query& bound,
                      const ExecOptions& exec_opts, StreamState* stream,
-                     QueryResult* out) const;
+                     BatchCseCache* batch_cse, QueryResult* out) const;
 
+  /// Evaluates CTP `ctp_index` against the stage tables (indexed by stage
+  /// id; only this CTP's plan-resolved source slots are read). With
+  /// `skip_search` the stage runs in validation-only mode: seed derivation,
+  /// filter compilation and their error paths execute, but the search —
+  /// whose rows could not survive the final join — does not.
   Status EvalOneCtp(const CtpPattern& ctp, size_t ctp_index,
                     const PreparedQuery::Plan& plan, const ExecEnv& env,
-                    const std::vector<BindingTable>& tables,
+                    const std::vector<BindingTable>& tables, bool skip_search,
                     CtpStage* stage) const;
 
   const Graph& g_;

@@ -1,0 +1,85 @@
+#include "eval/stats.h"
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
+namespace eql {
+
+std::shared_ptr<const GraphStats> GraphStats::Compute(const Graph& g) {
+  auto stats = std::shared_ptr<GraphStats>(new GraphStats());
+  stats->num_nodes_ = g.NumNodes();
+  stats->num_edges_ = g.NumEdges();
+  for (EdgeId e = 0; e < g.EdgeIdBound(); ++e) {
+    ++stats->label_edges_[g.EdgeLabelId(e)];
+  }
+  for (NodeId n = 0; n < g.NodeIdBound(); ++n) {
+    const uint64_t d = g.Degree(n);
+    stats->max_degree_ = std::max(stats->max_degree_, d);
+    size_t bucket = 0;
+    for (uint64_t v = d + 1; v > 1; v >>= 1) ++bucket;
+    ++stats->degree_histogram_[std::min(bucket, kDegreeBuckets - 1)];
+  }
+  return stats;
+}
+
+std::shared_ptr<const GraphStats> GraphStats::Get(const Graph& g) {
+  if (g.uid() == 0) return Compute(g);  // unfinalized: nothing to key on
+  struct Entry {
+    uint64_t uid;
+    std::shared_ptr<const GraphStats> stats;
+  };
+  static std::mutex mu;
+  static std::vector<Entry> cache;  // MRU-first; tiny, so linear scan is fine
+  constexpr size_t kMaxEntries = 8;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    for (size_t i = 0; i < cache.size(); ++i) {
+      if (cache[i].uid == g.uid()) {
+        std::rotate(cache.begin(), cache.begin() + i, cache.begin() + i + 1);
+        return cache.front().stats;
+      }
+    }
+  }
+  // Compute outside the lock: stats are pure functions of the immutable
+  // graph, so a racing duplicate computation is wasteful but harmless.
+  auto stats = Compute(g);
+  std::lock_guard<std::mutex> lock(mu);
+  for (const Entry& e : cache) {
+    if (e.uid == g.uid()) return e.stats;
+  }
+  cache.insert(cache.begin(), Entry{g.uid(), stats});
+  if (cache.size() > kMaxEntries) cache.resize(kMaxEntries);
+  return stats;
+}
+
+double GraphStats::LabelFraction(
+    const std::optional<std::vector<StrId>>& labels) const {
+  if (!labels) return 1.0;
+  if (num_edges_ == 0) return 0.0;
+  uint64_t covered = 0;
+  for (StrId l : *labels) covered += EdgeCountForLabel(l);
+  covered = std::min(covered, num_edges_);  // dup labels cannot exceed E
+  return static_cast<double>(covered) / static_cast<double>(num_edges_);
+}
+
+uint64_t EstimateSeedCount(const Graph& g, const Predicate& pred) {
+  uint64_t est = g.NumNodes();
+  for (const Condition& c : pred.conditions) {
+    if (c.is_param) continue;  // unbound: no value to estimate against
+    if (c.op == CompareOp::kEq && c.property == "label") {
+      StrId id = g.dict().Lookup(c.constant);
+      est = std::min(est,
+                     static_cast<uint64_t>(id == kNoStrId ? 0 : g.NodesWithLabel(id).size()));
+    } else if (c.op == CompareOp::kEq && c.property == "type") {
+      StrId id = g.dict().Lookup(c.constant);
+      est = std::min(est,
+                     static_cast<uint64_t>(id == kNoStrId ? 0 : g.NodesWithType(id).size()));
+    } else {
+      est = std::max<uint64_t>(1, est / 4);
+    }
+  }
+  return est;
+}
+
+}  // namespace eql

@@ -1,0 +1,89 @@
+// Graph statistics feeding the planner's cost model (eval/plan.h).
+//
+// A GraphStats is an immutable per-graph summary — per-label edge counts, a
+// log2 degree histogram, average degree — computed once per finalized graph
+// and cached process-wide, keyed by Graph::uid(). The uid is minted by
+// Graph::Finalize() and shared by copies (graph/graph.h), so the invalidation
+// rule is structural: a graph's stats can never go stale because a finalized
+// graph is immutable, and a *different* graph — even one reusing the same
+// Graph object address — gets a different uid and therefore a fresh entry.
+//
+// Everything here is deterministic integer/IEEE arithmetic over the graph's
+// indexes (no clocks, no randomness), so the estimates — and the EXPLAIN
+// text rendered from them — are bit-stable across runs and machines.
+#ifndef EQL_EVAL_STATS_H_
+#define EQL_EVAL_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "query/ast.h"
+
+namespace eql {
+
+class GraphStats {
+ public:
+  /// Number of log2 degree-histogram buckets: bucket b counts nodes with
+  /// floor(log2(degree + 1)) == b, so bucket 0 is isolated nodes, bucket 1
+  /// is degree 1-2, bucket 2 is degree 3-6, and so on.
+  static constexpr size_t kDegreeBuckets = 32;
+
+  /// Cached lookup: computes the stats on first sight of this graph's uid
+  /// and serves the shared summary afterwards (a bounded process-wide LRU —
+  /// see the invalidation rule above). Unfinalized graphs (uid 0) are
+  /// computed fresh each call and never cached.
+  static std::shared_ptr<const GraphStats> Get(const Graph& g);
+
+  /// Uncached O(N + E) computation.
+  static std::shared_ptr<const GraphStats> Compute(const Graph& g);
+
+  uint64_t num_nodes() const { return num_nodes_; }
+  uint64_t num_edges() const { return num_edges_; }
+  uint64_t max_degree() const { return max_degree_; }
+
+  /// Mean incident-edge count per node (each edge counts at both endpoints,
+  /// matching Graph::Degree); 0 for an empty graph.
+  double AvgDegree() const {
+    return num_nodes_ == 0
+               ? 0.0
+               : static_cast<double>(2 * num_edges_) / static_cast<double>(num_nodes_);
+  }
+
+  /// Edges carrying `label`; 0 for labels absent from this graph.
+  uint64_t EdgeCountForLabel(StrId label) const {
+    auto it = label_edges_.find(label);
+    return it == label_edges_.end() ? 0 : it->second;
+  }
+
+  /// Fraction of edges passing a LABEL filter (nullopt = no filter = 1.0).
+  double LabelFraction(const std::optional<std::vector<StrId>>& labels) const;
+
+  const std::array<uint64_t, kDegreeBuckets>& DegreeHistogram() const {
+    return degree_histogram_;
+  }
+
+ private:
+  GraphStats() = default;
+
+  uint64_t num_nodes_ = 0;
+  uint64_t num_edges_ = 0;
+  uint64_t max_degree_ = 0;
+  std::unordered_map<StrId, uint64_t> label_edges_;
+  std::array<uint64_t, kDegreeBuckets> degree_histogram_{};
+};
+
+/// Estimated size of the seed set a CTP member predicate induces, from the
+/// label/type inverted indexes: '=' on label/type reads the exact index-span
+/// size; every other condition is charged a fixed 1/4 selectivity (floored,
+/// minimum 1). Deterministic; exact whenever NodesMatchingPredicate would
+/// take a pure index path.
+uint64_t EstimateSeedCount(const Graph& g, const Predicate& pred);
+
+}  // namespace eql
+
+#endif  // EQL_EVAL_STATS_H_

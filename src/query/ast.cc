@@ -109,6 +109,41 @@ std::string QueryToText(const Query& q) {
   return out;
 }
 
+std::string CtpTableKey(const CtpPattern& ctp) {
+  std::string key;
+  for (const Predicate& m : ctp.members) {
+    key += "|m:";
+    std::vector<std::string> conds;
+    for (const Condition& c : m.conditions) {
+      conds.push_back(c.property + std::string(CompareOpName(c.op)) +
+                      (c.is_param ? "$" : "") + c.constant);
+    }
+    std::sort(conds.begin(), conds.end());
+    for (const std::string& c : conds) key += "[" + c + "]";
+  }
+  const CtpFilterSpec& f = ctp.filters;
+  key += "|f:";
+  if (f.uni) key += "uni;";
+  if (f.labels) {
+    std::vector<std::string> labels = *f.labels;
+    std::sort(labels.begin(), labels.end());
+    key += "labels{";
+    for (const std::string& l : labels) key += l + ",";
+    key += "};";
+  }
+  for (const std::string& p : f.label_params) key += "label$" + p + ";";
+  if (f.max_edges) key += StrFormat("max=%u;", *f.max_edges);
+  if (f.max_edges_param) key += "max$" + *f.max_edges_param + ";";
+  if (f.timeout_ms) key += StrFormat("timeout=%lld;", (long long)*f.timeout_ms);
+  if (f.timeout_param) key += "timeout$" + *f.timeout_param + ";";
+  if (f.score) key += "score=" + *f.score + ";";
+  if (f.top_k) key += StrFormat("top=%d;", *f.top_k);
+  if (f.top_k_param) key += "top$" + *f.top_k_param + ";";
+  if (f.limit) key += StrFormat("limit=%llu;", (unsigned long long)*f.limit);
+  if (f.limit_param) key += "limit$" + *f.limit_param + ";";
+  return key;
+}
+
 std::vector<std::string> CollectParamNames(const Query& q) {
   std::vector<std::string> out;
   auto add = [&](const std::string& name) {

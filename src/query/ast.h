@@ -114,6 +114,16 @@ std::vector<std::string> CollectParamNames(const Query& q);
 /// Pretty-prints a query back to (normalized) EQL text.
 std::string QueryToText(const Query& q);
 
+/// Canonical serialization of everything that determines a CTP table's
+/// *contents* — per-member conditions (sorted: conjunction order is
+/// irrelevant) and the filter spec — but NOT the member/tree variable names,
+/// which only name columns. Two CTPs with equal keys whose members are all
+/// grounded by their own predicates (or universal) produce byte-identical
+/// row/tree sets, which is what the planner's common-sub-expression sharing
+/// (eval/plan.h) relies on. Eligibility (no table-bound members, no TIMEOUT,
+/// bound params) is the planner's job; the key just serializes.
+std::string CtpTableKey(const CtpPattern& ctp);
+
 /// Evaluates one condition against a node (is_node) or an edge of g.
 /// Comparisons are numeric when both sides parse as doubles, else
 /// lexicographic; '~' uses glob matching (*, ?).

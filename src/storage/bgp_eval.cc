@@ -7,7 +7,7 @@
 
 namespace eql {
 
-std::vector<std::vector<EdgePattern>> GroupIntoBgps(
+std::vector<std::vector<size_t>> GroupIntoBgpIndices(
     const std::vector<EdgePattern>& patterns) {
   // Union-find over pattern indexes, united through shared variables.
   std::vector<size_t> parent(patterns.size());
@@ -24,10 +24,21 @@ std::vector<std::vector<EdgePattern>> GroupIntoBgps(
       if (!inserted) parent[find(i)] = find(it->second);
     }
   }
-  std::map<size_t, std::vector<EdgePattern>> groups;
-  for (size_t i = 0; i < patterns.size(); ++i) groups[find(i)].push_back(patterns[i]);
-  std::vector<std::vector<EdgePattern>> out;
+  std::map<size_t, std::vector<size_t>> groups;
+  for (size_t i = 0; i < patterns.size(); ++i) groups[find(i)].push_back(i);
+  std::vector<std::vector<size_t>> out;
   for (auto& [root, group] : groups) out.push_back(std::move(group));
+  return out;
+}
+
+std::vector<std::vector<EdgePattern>> GroupIntoBgps(
+    const std::vector<EdgePattern>& patterns) {
+  std::vector<std::vector<EdgePattern>> out;
+  for (const std::vector<size_t>& group : GroupIntoBgpIndices(patterns)) {
+    std::vector<EdgePattern> bgp;
+    for (size_t i : group) bgp.push_back(patterns[i]);
+    out.push_back(std::move(bgp));
+  }
   return out;
 }
 

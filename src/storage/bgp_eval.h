@@ -19,6 +19,14 @@ namespace eql {
 std::vector<std::vector<EdgePattern>> GroupIntoBgps(
     const std::vector<EdgePattern>& patterns);
 
+/// Same grouping, but as pattern *indexes* into the input. Grouping depends
+/// only on variable names, never on constants, so indexes computed at
+/// Prepare time remain valid for the `$`-bound copy of the query — the
+/// planner (eval/plan.h) stores these and rebuilds each group's patterns
+/// from the bound AST per execution.
+std::vector<std::vector<size_t>> GroupIntoBgpIndices(
+    const std::vector<EdgePattern>& patterns);
+
 /// Evaluates one edge pattern to a [source, edge, target] binding table,
 /// choosing the cheapest access path (edge-label index, node-label/type
 /// index + directed adjacency, or full edge scan).

@@ -18,6 +18,11 @@
 //                     time to first row); materialized output otherwise
 //   --max-rows N      print at most N result rows per query (default 20)
 //   --stats           print per-CTP search statistics
+//   --explain         print the query plan (with post-execution actuals)
+//                     after each query
+//   --no-planner      disable cost-based stage ordering / skipping / CSE;
+//                     stages run in fixed query order (results are identical
+//                     either way — see "Planning & EXPLAIN" in eval/engine.h)
 //   --no-views        disable compiled LABEL/UNI adjacency views (ctp/view.h)
 //   --no-bound-pruning disable TOP-k score bound pruning (ctp/gam.h)
 //   --demo            load the paper's Figure 1 graph instead of a file
@@ -26,6 +31,10 @@
 // own line:
 //   .parallel N       switch CTP parallelism to N chunks (0 = sequential)
 //   .views on|off     toggle compiled filter views
+//   .planner on|off   toggle the cost-based planner
+//   .explain on|off   toggle the per-query plan printout
+//   .stats on|off     toggle the per-CTP statistics dump (rows, trees,
+//                     time, view/skip/share flags, outcome)
 //   .stream on|off    toggle streaming row delivery
 //   .batch FILE       run the ';'-separated queries in FILE as one batch
 //                     through EqlEngine::RunBatch (amortizes the pool)
@@ -120,7 +129,8 @@ int Usage(const char* argv0) {
                "usage: %s GRAPH.tsv|--demo [--algorithm NAME] [--adaptive]\n"
                "       [--parallel N] [--timeout MS] [--query-timeout MS]\n"
                "       [--memory-budget BYTES] [--stream] [--max-rows N] [--stats]\n"
-               "       [--no-views] [--no-bound-pruning] [-q QUERY]...\n",
+               "       [--explain] [--no-planner] [--no-views] [--no-bound-pruning]\n"
+               "       [-q QUERY]...\n",
                argv0);
   return kExitUsage;
 }
@@ -139,6 +149,7 @@ struct ShellArgs {
   std::string graph_path;
   bool demo = false;
   bool stats = false;
+  bool explain = false;
   bool stream = false;
   size_t max_rows = 20;
   EngineOptions options;
@@ -153,6 +164,10 @@ bool ParseArgs(int argc, char** argv, ShellArgs* args) {
       args->demo = true;
     } else if (a == "--stats") {
       args->stats = true;
+    } else if (a == "--explain") {
+      args->explain = true;
+    } else if (a == "--no-planner") {
+      args->options.use_planner = false;
     } else if (a == "--no-views") {
       args->options.use_compiled_views = false;
     } else if (a == "--no-bound-pruning") {
@@ -234,9 +249,12 @@ void PrintCtpStats(const QueryResult& r) {
     }
     if (run.used_view) mode += ", view";
     if (run.dead_labels) mode += ", dead-labels";
+    if (run.skipped) mode += ", skipped";
+    if (run.shared) mode += ", shared";
     if (run.streamed_rows) mode += ", streamed";
-    std::printf("  [?%s via %s%s] %s\n", run.tree_var.c_str(),
-                AlgorithmName(run.algorithm), mode.c_str(),
+    std::printf("  [?%s via %s%s] rows=%zu outcome=%s %s\n",
+                run.tree_var.c_str(), AlgorithmName(run.algorithm), mode.c_str(),
+                run.num_results, SearchOutcomeName(run.stats.Outcome()),
                 run.stats.ToString().c_str());
   }
 }
@@ -307,6 +325,7 @@ int StreamPrepared(const EqlEngine& engine, const Graph& g,
   std::printf("%llu row(s) streamed in %.1f ms (first row after %.1f ms)\n",
               static_cast<unsigned long long>(r->rows_streamed), r->total_ms,
               r->first_row_ms);
+  if (args.explain) std::printf("%s", prepared.Explain(*r).c_str());
   if (args.stats) PrintCtpStats(*r);
   return ReportOutcome(*r);
 }
@@ -324,6 +343,7 @@ int RunPrepared(const EqlEngine& engine, const Graph& g, const ShellArgs& args,
   std::printf("%zu row(s) in %.1f ms (BGP %.1f | CTP %.1f | join %.1f)\n",
               r->table.NumRows(), r->total_ms, r->bgp_ms, r->ctp_ms, r->join_ms);
   PrintRows(g, args, *r);
+  if (args.explain) std::printf("%s", prepared.Explain(*r).c_str());
   if (args.stats) PrintCtpStats(*r);
   return ReportOutcome(*r);
 }
@@ -468,7 +488,8 @@ int Main(int argc, char** argv) {
   // their own line.
   std::printf(
       "enter queries terminated by ';' (.parallel N | .views on|off | "
-      ".stream on|off | .batch FILE | .prepare NAME Q; | .bind NAME $k=v | "
+      ".planner on|off | .explain on|off | .stats on|off | .stream on|off | "
+      ".batch FILE | .prepare NAME Q; | .bind NAME $k=v | "
       ".run NAME | Ctrl-D)\n");
   std::string buffer, line;
   // Prepared-query registry: handles borrow the engine, so rebuilding the
@@ -548,6 +569,28 @@ int Main(int argc, char** argv) {
         args.options.use_compiled_views = arg == "on";
         rebuild_engine();
         std::printf("compiled filter views: %s\n", arg.c_str());
+      } else if (name == ".planner") {
+        if (arg != "on" && arg != "off") {
+          std::printf(".planner expects 'on' or 'off'\n");
+          continue;
+        }
+        args.options.use_planner = arg == "on";
+        rebuild_engine();
+        std::printf("cost-based planner: %s\n", arg.c_str());
+      } else if (name == ".explain") {
+        if (arg != "on" && arg != "off") {
+          std::printf(".explain expects 'on' or 'off'\n");
+          continue;
+        }
+        args.explain = arg == "on";
+        std::printf("plan printout: %s\n", arg.c_str());
+      } else if (name == ".stats") {
+        if (arg != "on" && arg != "off") {
+          std::printf(".stats expects 'on' or 'off'\n");
+          continue;
+        }
+        args.stats = arg == "on";
+        std::printf("per-CTP statistics: %s\n", arg.c_str());
       } else if (name == ".stream") {
         if (arg != "on" && arg != "off") {
           std::printf(".stream expects 'on' or 'off'\n");
@@ -608,6 +651,7 @@ int Main(int argc, char** argv) {
       } else {
         std::printf(
             "unknown command '%s' (try .parallel N, .views on|off, "
+            ".planner on|off, .explain on|off, .stats on|off, "
             ".stream on|off, .batch FILE, .prepare, .bind or .run)\n",
             name.c_str());
       }

@@ -114,11 +114,12 @@ TEST(DifferentialTest, TuningTogglesAreByteIdentical) {
   };
   const std::vector<std::string> baseline = rows({});
   ASSERT_FALSE(baseline.empty());
-  for (int mask = 0; mask < 8; ++mask) {
+  for (int mask = 0; mask < 16; ++mask) {
     ExecOptions exec;
     exec.use_compiled_views = (mask & 1) != 0;
     exec.incremental_scores = (mask & 2) != 0;
     exec.bound_pruning = (mask & 4) != 0;
+    exec.use_planner = (mask & 8) != 0;
     EXPECT_EQ(rows(exec), baseline) << "toggle mask " << mask;
   }
 }

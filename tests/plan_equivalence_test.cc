@@ -1,0 +1,393 @@
+// Planner on/off equivalence: the cost-based plan layer (eval/plan.h) may
+// reorder CTP execution, skip provably-empty searches and share identical
+// table specs, but the projected rows must be the ones the fixed-order
+// engine produces — byte-identical with the planner off, row-identical with
+// it on. Also covers the Prepare-time rejection of cyclic free-member
+// dependencies and the CSE/skip telemetry flags.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "eval/engine.h"
+#include "eval/params.h"
+#include "eval/sink.h"
+#include "graph/graph_io.h"
+#include "test_util.h"
+
+namespace eql {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Reduced manifest loader (same format as conformance_test.cc; we only need
+// graph, query, params and the check_rows option).
+// ---------------------------------------------------------------------------
+
+struct Manifest {
+  std::string graph_text;
+  std::string query;
+  std::vector<std::pair<std::string, std::string>> params;
+  bool check_rows = true;
+};
+
+std::string TrimCopy(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+Manifest LoadManifest(const std::string& path) {
+  Manifest m;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::string line, section;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] == '#') continue;
+    if (!line.empty() && line[0] == '[') {
+      section = TrimCopy(line);
+      continue;
+    }
+    if (section == "[graph]") {
+      if (!TrimCopy(line).empty()) m.graph_text += line + "\n";
+    } else if (section == "[query]") {
+      m.query += line + "\n";
+    } else if (section == "[params]" || section == "[options]") {
+      const std::string t = TrimCopy(line);
+      if (t.empty()) continue;
+      size_t eq = t.find('=');
+      if (eq == std::string::npos) continue;
+      if (section == "[params]") {
+        m.params.emplace_back(t.substr(0, eq), t.substr(eq + 1));
+      } else if (t.substr(0, eq) == "check_rows") {
+        m.check_rows = t.substr(eq + 1) != "false";
+      }
+    }
+  }
+  return m;
+}
+
+std::vector<std::string> ManifestFiles() {
+  std::vector<std::string> files;
+  const std::filesystem::path dir =
+      std::filesystem::path(EQL_SOURCE_DIR) / "tests" / "conformance";
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".manifest") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+ParamMap BindParams(const Manifest& m) {
+  ParamMap params;
+  for (const auto& [k, v] : m.params) {
+    bool digits = !v.empty();
+    for (char c : v) digits &= std::isdigit(static_cast<unsigned char>(c)) != 0;
+    if (digits) {
+      params.Set(k, static_cast<int64_t>(std::stoll(v)));
+    } else {
+      params.Set(k, v);
+    }
+  }
+  return params;
+}
+
+/// Rendered row sequence, unsorted: planner-OFF must match byte-for-byte,
+/// and the planner's contract says planner-ON matches it too (the join
+/// consumes stage tables in stage-id order in both modes).
+std::vector<std::string> RowsOf(const Graph& g, const QueryResult& r) {
+  std::vector<std::string> out;
+  for (size_t i = 0; i < r.table.NumRows(); ++i) {
+    out.push_back(r.RowToString(g, i));
+  }
+  return out;
+}
+
+Result<QueryResult> RunWithPlanner(const Graph& g, const std::string& query,
+                                   const ParamMap& params, bool planner,
+                                   unsigned num_threads = 1) {
+  EngineOptions opts;
+  opts.use_planner = planner;
+  opts.num_threads = num_threads;
+  EqlEngine engine(g, opts);
+  auto prepared = engine.Prepare(query);
+  if (!prepared.ok()) return prepared.status();
+  return prepared->Execute(params);
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence across the conformance corpus.
+// ---------------------------------------------------------------------------
+
+class PlanEquivalenceTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PlanEquivalenceTest, PlannerOnOffRowsIdentical) {
+  Manifest m = LoadManifest(GetParam());
+  ASSERT_FALSE(m.graph_text.empty());
+  auto g = ParseGraphText(m.graph_text);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  const ParamMap params = BindParams(m);
+
+  auto off = RunWithPlanner(*g, m.query, params, /*planner=*/false);
+  auto on = RunWithPlanner(*g, m.query, params, /*planner=*/true);
+  ASSERT_EQ(off.ok(), on.ok())
+      << "planner toggled the outcome: off="
+      << (off.ok() ? "ok" : off.status().ToString())
+      << " on=" << (on.ok() ? "ok" : on.status().ToString());
+  if (!off.ok()) {
+    EXPECT_EQ(off.status().ToString(), on.status().ToString());
+    return;
+  }
+  if (!m.check_rows) return;  // timing-dependent manifest (e.g. TIMEOUT)
+  EXPECT_EQ(RowsOf(*g, *off), RowsOf(*g, *on));
+  EXPECT_EQ(off->outcome, on->outcome);
+  EXPECT_EQ(off->bgp_rows, on->bgp_rows);
+}
+
+/// Same corpus on a worker pool: the planner's dependency waves and the
+/// fixed path's all-concurrent dispatch must agree, including the per-run
+/// chunk counts (chunk merge order is deterministic).
+TEST_P(PlanEquivalenceTest, PlannerOnOffRowsIdenticalOnPool) {
+  Manifest m = LoadManifest(GetParam());
+  ASSERT_FALSE(m.graph_text.empty());
+  auto g = ParseGraphText(m.graph_text);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  const ParamMap params = BindParams(m);
+
+  auto off = RunWithPlanner(*g, m.query, params, /*planner=*/false, 2);
+  auto on = RunWithPlanner(*g, m.query, params, /*planner=*/true, 2);
+  ASSERT_EQ(off.ok(), on.ok());
+  if (!off.ok() || !m.check_rows) return;
+  EXPECT_EQ(RowsOf(*g, *off), RowsOf(*g, *on));
+  ASSERT_EQ(off->ctp_runs.size(), on->ctp_runs.size());
+  for (size_t i = 0; i < off->ctp_runs.size(); ++i) {
+    EXPECT_EQ(off->ctp_runs[i].parallel_chunks, on->ctp_runs[i].parallel_chunks)
+        << "CTP " << i;
+  }
+}
+
+std::string ManifestTestName(
+    const ::testing::TestParamInfo<std::string>& info) {
+  std::string stem = std::filesystem::path(info.param).stem().string();
+  for (char& c : stem) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return stem;
+}
+
+INSTANTIATE_TEST_SUITE_P(Manifests, PlanEquivalenceTest,
+                         ::testing::ValuesIn(ManifestFiles()),
+                         ManifestTestName);
+
+// ---------------------------------------------------------------------------
+// Point tests on the Figure 1 graph.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kTwoCtpQuery =
+    "SELECT ?p ?t1 ?t2 WHERE { ?p \"citizenOf\" \"USA\" . "
+    "CONNECT(?p, \"France\" -> ?t1) MAX 3 "
+    "CONNECT(\"Elon\", \"Doug\" -> ?t2) MAX 2 }";
+
+TEST(PlanEquivalence, ExecOptionOverridesEngineDefault) {
+  Graph g = MakeFigure1Graph();
+  EqlEngine on_engine(g);  // planner defaults on
+  auto prepared = on_engine.Prepare(kTwoCtpQuery);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  auto with = prepared->Execute();
+  ASSERT_TRUE(with.ok()) << with.status().ToString();
+  ExecOptions exec;
+  exec.use_planner = false;
+  auto without = prepared->Execute({}, exec);
+  ASSERT_TRUE(without.ok()) << without.status().ToString();
+  EXPECT_EQ(RowsOf(g, *with), RowsOf(g, *without));
+}
+
+TEST(PlanEquivalence, PreparedAndOneShotMatch) {
+  Graph g = MakeFigure1Graph();
+  EqlEngine engine(g);
+  auto oneshot = engine.Run(kTwoCtpQuery);
+  ASSERT_TRUE(oneshot.ok()) << oneshot.status().ToString();
+  auto prepared = engine.Prepare(kTwoCtpQuery);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  auto executed = prepared->Execute();
+  ASSERT_TRUE(executed.ok()) << executed.status().ToString();
+  EXPECT_EQ(RowsOf(g, *oneshot), RowsOf(g, *executed));
+}
+
+TEST(PlanEquivalence, StreamingMatchesMaterializedBothModes) {
+  Graph g = MakeFigure1Graph();
+  for (bool planner : {false, true}) {
+    SCOPED_TRACE(planner ? "planner on" : "planner off");
+    EngineOptions opts;
+    opts.use_planner = planner;
+    EqlEngine engine(g, opts);
+    auto prepared = engine.Prepare(kTwoCtpQuery);
+    ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+    auto materialized = prepared->Execute();
+    ASSERT_TRUE(materialized.ok()) << materialized.status().ToString();
+    CollectingSink sink;
+    auto streamed = prepared->Execute({}, sink);
+    ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+    EXPECT_EQ(streamed->rows_streamed, materialized->table.NumRows());
+    EXPECT_EQ(sink.rows.size(), materialized->table.NumRows());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bugfix regression: cyclic $-free member dependencies between CTPs must be
+// rejected at Prepare with an actionable message — the engine used to accept
+// the query and fail at execution with "all seed sets are universal".
+// ---------------------------------------------------------------------------
+
+TEST(PlanCycles, TwoCycleOfFreeMembersRejectedAtPrepare) {
+  Graph g = MakeFigure1Graph();
+  EqlEngine engine(g);
+  auto prepared = engine.Prepare(
+      "SELECT ?t1 ?t2 WHERE { CONNECT(?x, ?y -> ?t1) MAX 2 "
+      "CONNECT(?y, ?x -> ?t2) MAX 2 }");
+  ASSERT_FALSE(prepared.ok());
+  EXPECT_EQ(prepared.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(prepared.status().message().find("cyclic member dependency"),
+            std::string::npos)
+      << prepared.status().ToString();
+}
+
+TEST(PlanCycles, GroundedChainStillAccepted) {
+  Graph g = MakeFigure1Graph();
+  EqlEngine engine(g);
+  // ?x is grounded by a predicate, so the shared members form a chain, not
+  // a cycle: CTP ?t2 seeds ?y from ?t1's table.
+  auto prepared = engine.Prepare(
+      "SELECT ?t1 ?t2 WHERE { CONNECT(?x, ?y -> ?t1) MAX 2 "
+      "CONNECT(?y, \"Doug\" -> ?t2) MAX 2 FILTER(label(?x) = \"Bob\") }");
+  EXPECT_TRUE(prepared.ok()) << prepared.status().ToString();
+}
+
+TEST(PlanCycles, MaterializeUniversalAblationStillExecutesCycles) {
+  Graph g = MakeFigure1Graph();
+  EngineOptions opts;
+  opts.materialize_universal_sets = true;
+  EqlEngine engine(g, opts);
+  // Under the ablation every member is grounded explicitly, so the cycle is
+  // executable and must stay accepted (the ablation benchmarks rely on it).
+  auto r = engine.Run(
+      "SELECT ?t1 WHERE { CONNECT(?x, ?y -> ?t1) MAX 1 "
+      "CONNECT(?y, ?x -> ?t2) MAX 1 }");
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Planner-only effects: skip + CSE telemetry, with rows unchanged.
+// ---------------------------------------------------------------------------
+
+TEST(PlanSkip, EmptyUpstreamStageSkipsLaterSearches) {
+  Graph g = MakeFigure1Graph();
+  // The BGP's edge label misses the dictionary -> empty table -> the CTP
+  // cannot contribute a surviving row, so the planner skips its search.
+  const char* query =
+      "SELECT ?a ?b ?t WHERE { ?a \"noSuchEdge\" ?b . "
+      "CONNECT(\"Bob\", \"Carole\" -> ?t) }";
+  for (bool planner : {false, true}) {
+    SCOPED_TRACE(planner ? "planner on" : "planner off");
+    EngineOptions opts;
+    opts.use_planner = planner;
+    EqlEngine engine(g, opts);
+    auto r = engine.Run(query);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->table.NumRows(), 0u);
+    ASSERT_EQ(r->ctp_runs.size(), 1u);
+    EXPECT_EQ(r->ctp_runs[0].skipped, planner);
+    if (planner) {
+      EXPECT_EQ(r->ctp_runs[0].num_results, 0u);
+      EXPECT_EQ(r->ctp_runs[0].stats.trees_built, 0u);
+    }
+  }
+}
+
+TEST(PlanSkip, SkippedStagePreservesSeedValidationErrors) {
+  Graph g = MakeFigure1Graph();
+  // Even with the skip available (empty BGP), an empty seed set must raise
+  // the same error the fixed-order path raises.
+  const char* query =
+      "SELECT ?a ?b ?t WHERE { ?a \"noSuchEdge\" ?b . "
+      "CONNECT(\"NoSuchNode\", \"Carole\" -> ?t) }";
+  std::string messages[2];
+  for (bool planner : {false, true}) {
+    EngineOptions opts;
+    opts.use_planner = planner;
+    EqlEngine engine(g, opts);
+    auto r = engine.Run(query);
+    ASSERT_FALSE(r.ok());
+    messages[planner ? 1 : 0] = r.status().ToString();
+  }
+  EXPECT_EQ(messages[0], messages[1]);
+  EXPECT_NE(messages[1].find("seed set"), std::string::npos) << messages[1];
+}
+
+TEST(PlanCse, IdenticalCtpTableSpecsShareOneSearch) {
+  Graph g = MakeFigure1Graph();
+  const char* query =
+      "SELECT ?t1 ?t2 WHERE { CONNECT(\"Bob\", \"Carole\" -> ?t1) MAX 2 "
+      "CONNECT(\"Bob\", \"Carole\" -> ?t2) MAX 2 }";
+  std::vector<std::string> rows[2];
+  for (bool planner : {false, true}) {
+    SCOPED_TRACE(planner ? "planner on" : "planner off");
+    EngineOptions opts;
+    opts.use_planner = planner;
+    EqlEngine engine(g, opts);
+    auto r = engine.Run(query);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    rows[planner ? 1 : 0] = RowsOf(g, *r);
+    ASSERT_EQ(r->ctp_runs.size(), 2u);
+    EXPECT_FALSE(r->ctp_runs[0].shared);
+    EXPECT_EQ(r->ctp_runs[1].shared, planner);
+    EXPECT_EQ(r->ctp_runs[0].num_results, r->ctp_runs[1].num_results);
+  }
+  EXPECT_EQ(rows[0], rows[1]);
+  EXPECT_FALSE(rows[1].empty());
+}
+
+TEST(PlanCse, RunBatchSharesAcrossQueries) {
+  Graph g = MakeFigure1Graph();
+  EqlEngine engine(g);  // no pool: the batch runs serially, deterministically
+  const std::string q = "SELECT ?t WHERE { CONNECT(\"Bob\", \"Carole\" -> ?t) }";
+  const std::string_view batch[] = {q, q};
+  auto results = engine.RunBatch(batch);
+  ASSERT_EQ(results.size(), 2u);
+  ASSERT_TRUE(results[0].ok()) << results[0].status().ToString();
+  ASSERT_TRUE(results[1].ok()) << results[1].status().ToString();
+  EXPECT_EQ(RowsOf(g, *results[0]), RowsOf(g, *results[1]));
+  ASSERT_EQ(results[1]->ctp_runs.size(), 1u);
+  EXPECT_FALSE(results[0]->ctp_runs[0].shared);
+  EXPECT_TRUE(results[1]->ctp_runs[0].shared);
+  // A fresh Run after the batch must NOT see the batch's cache (it is
+  // batch-scoped, not engine-scoped).
+  auto solo = engine.Run(q);
+  ASSERT_TRUE(solo.ok());
+  EXPECT_FALSE(solo->ctp_runs[0].shared);
+}
+
+TEST(PlanExplain, RendersEstimatesAndActuals) {
+  Graph g = MakeFigure1Graph();
+  EqlEngine engine(g);
+  auto prepared = engine.Prepare(kTwoCtpQuery);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  const std::string estimates = prepared->Explain();
+  EXPECT_NE(estimates.find("plan: planner=on"), std::string::npos) << estimates;
+  EXPECT_NE(estimates.find("ctp exec order"), std::string::npos) << estimates;
+  EXPECT_EQ(estimates.find("actual:"), std::string::npos) << estimates;
+  auto r = prepared->Execute();
+  ASSERT_TRUE(r.ok());
+  const std::string actuals = prepared->Explain(*r);
+  EXPECT_NE(actuals.find("actual:"), std::string::npos) << actuals;
+}
+
+}  // namespace
+}  // namespace eql
