@@ -1,0 +1,300 @@
+// bench_snapshot — the storage-layer numbers behind the mmap snapshot
+// design: zero-copy open time vs parsing the text graph, parallel bulk-load
+// throughput and peak RSS, and end-to-end query latency served straight off
+// the mapped file.
+//
+// Pipeline (all artifacts under a scratch dir in $TMPDIR):
+//   1. generate a seeded scale-free KG and save it as TSV (gen/kg.h)
+//   2. LoadGraphFile(tsv)          -> text_load_ms       (the baseline)
+//   3. eql_pack pack (subprocess)  -> throughput, peak RSS of a *fresh*
+//      process, so the packer's own memory behavior is measured, not this
+//      harness's generator heap
+//   4. OpenSnapshot(snap)          -> open_ms, min of 5  (the contender)
+//   5. a CONNECT workload on both graphs -> latency + row-identity tripwire
+//
+// Acceptance numbers recorded for CI: open_speedup = text_load_ms/open_ms
+// (>= 100 expected at scale >= 1) and rss_ratio = pack peak RSS / snapshot
+// file size (< 2 expected: section streaming frees as it writes).
+//
+// Usage: bench_snapshot [OUT.json]   (default BENCH_snapshot.json)
+// Honors EQL_BENCH_SCALE: 0 = 120k edges (smoke), 1 = 1M edges (default),
+// 2 = 10M edges (paper scale). Runs at different scales ACCUMULATE in the
+// output file ("runs" array keyed by scale), so one JSON can record both the
+// 1M-edge open-speedup comparison and the 10M-edge end-to-end run.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "eval/engine.h"
+#include "gen/kg.h"
+#include "graph/graph_io.h"
+#include "graph/snapshot.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace eql {
+namespace {
+
+/// Pulls the number following `"key":` out of a flat JSON object (the
+/// eql_pack --json output); 0 when absent.
+double JsonNumber(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  size_t pos = json.find(needle);
+  if (pos == std::string::npos) return 0;
+  return std::atof(json.c_str() + pos + needle.size());
+}
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Extracts the raw text of each object in the `"runs": [...]` array of a
+/// previous output file, brace-matched (run objects nest a "graph" object).
+std::vector<std::string> ExistingRuns(const std::string& json) {
+  std::vector<std::string> runs;
+  size_t pos = json.find("\"runs\":");
+  if (pos == std::string::npos) return runs;
+  pos = json.find('[', pos);
+  if (pos == std::string::npos) return runs;
+  int depth = 0;
+  size_t start = 0;
+  for (size_t i = pos + 1; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '{') {
+      if (depth++ == 0) start = i;
+    } else if (c == '}') {
+      if (--depth == 0) runs.push_back(json.substr(start, i - start + 1));
+    } else if (c == ']' && depth == 0) {
+      break;
+    }
+  }
+  return runs;
+}
+
+struct QueryStats {
+  int count = 0;
+  double mean_ms = 0;
+  double max_ms = 0;
+  size_t rows = 0;
+  bool rows_match = true;
+};
+
+/// Runs a small CONNECT workload (endpoints drawn by gen/kg.h's workload
+/// generator) on both graphs; latencies are taken from the snapshot-backed
+/// run, and row counts must agree query by query.
+QueryStats RunWorkload(const Graph& text_graph, const Graph& snap_graph,
+                       int count, int64_t timeout_ms) {
+  QueryStats qs;
+  Rng rng(17);
+  auto ctps = MakeCtpWorkload(snap_graph, count, /*m=*/2, /*set_size=*/1, &rng);
+  EngineOptions opts;
+  opts.default_ctp_timeout_ms = timeout_ms;
+  EqlEngine text_engine(text_graph, opts);
+  EqlEngine snap_engine(snap_graph, opts);
+  for (const WorkloadCtp& ctp : ctps) {
+    const std::string q =
+        "SELECT ?t WHERE { CONNECT(\"" +
+        snap_graph.NodeLabel(ctp.seed_sets[0][0]) + "\", \"" +
+        snap_graph.NodeLabel(ctp.seed_sets[1][0]) +
+        "\" -> ?t) MAX 4 SCORE edge_count TOP 16 }";
+    Stopwatch sw;
+    auto snap_r = snap_engine.Run(q);
+    const double ms = sw.ElapsedMs();
+    auto text_r = text_engine.Run(q);
+    if (!snap_r.ok() || !text_r.ok()) {
+      qs.rows_match = false;
+      continue;
+    }
+    ++qs.count;
+    qs.mean_ms += ms;
+    if (ms > qs.max_ms) qs.max_ms = ms;
+    qs.rows += snap_r->table.NumRows();
+    // Row identity only holds for complete runs: a timed-out search is cut
+    // at a wall-clock point that differs between the two executions.
+    if (snap_r->outcome == SearchOutcome::kOk &&
+        text_r->outcome == SearchOutcome::kOk &&
+        snap_r->table.NumRows() != text_r->table.NumRows()) {
+      qs.rows_match = false;
+    }
+  }
+  if (qs.count > 0) qs.mean_ms /= qs.count;
+  return qs;
+}
+
+int Main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_snapshot.json";
+  bench::Banner("mmap snapshot open vs text load + bulk-load throughput",
+                "Section 5 (real-scale datasets; storage-layer extension)");
+
+  const int scale = bench::Scale();
+  KgParams params;
+  params.num_nodes = scale == 0 ? 30000 : scale == 1 ? 250000 : 2500000;
+  params.num_edges = scale == 0 ? 120000 : scale == 1 ? 1000000 : 10000000;
+  params.num_labels = 50;
+  params.num_types = 20;
+  params.seed = 7;
+
+  const auto dir =
+      std::filesystem::temp_directory_path() / "eql_bench_snapshot";
+  std::filesystem::create_directories(dir);
+  const std::string tsv = (dir / "graph.tsv").string();
+  const std::string snap = (dir / "graph.snap").string();
+  const std::string pack_json = (dir / "pack.json").string();
+
+  // 1. Generate and save the input text graph.
+  Stopwatch sw;
+  {
+    auto gen = MakeSyntheticKg(params);
+    if (!gen.ok()) {
+      std::fprintf(stderr, "%s\n", gen.status().ToString().c_str());
+      return 1;
+    }
+    Status st = SaveGraphFile(*gen, tsv);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+  }  // generator graph freed here
+  const double gen_ms = sw.ElapsedMs();
+  const uint64_t text_bytes = std::filesystem::file_size(tsv);
+  std::printf("generated %s: %.1f MB TSV (%llu edges) in %.0f ms\n",
+              tsv.c_str(), text_bytes / 1e6,
+              static_cast<unsigned long long>(params.num_edges), gen_ms);
+
+  // 2. Baseline: full text parse + index build.
+  sw.Restart();
+  auto text_graph = LoadGraphFile(tsv);
+  if (!text_graph.ok()) {
+    std::fprintf(stderr, "%s\n", text_graph.status().ToString().c_str());
+    return 1;
+  }
+  const double text_load_ms = sw.ElapsedMs();
+  std::printf("text load:  %8.1f ms (%zu nodes, %zu edges)\n", text_load_ms,
+              text_graph->NumNodes(), text_graph->NumEdges());
+
+  // 3. Pack in a fresh process so peak RSS is the packer's own.
+  std::string pack_bin =
+      (std::filesystem::path(argv[0]).parent_path() / "eql_pack").string();
+  if (!std::filesystem::exists(pack_bin)) pack_bin = "eql_pack";
+  const std::string cmd = pack_bin + " pack " + tsv + " -o " + snap +
+                          " --json > " + pack_json + " 2> /dev/null";
+  sw.Restart();
+  if (std::system(cmd.c_str()) != 0) {
+    std::fprintf(stderr, "pack failed: %s\n", cmd.c_str());
+    return 1;
+  }
+  const double pack_wall_ms = sw.ElapsedMs();
+  const std::string stats_json = ReadWholeFile(pack_json);
+  const double pack_threads = JsonNumber(stats_json, "threads");
+  const double pack_rss = JsonNumber(stats_json, "peak_rss_bytes");
+  const uint64_t snap_bytes = std::filesystem::file_size(snap);
+  const double rss_ratio = pack_rss / static_cast<double>(snap_bytes);
+  std::printf(
+      "bulk pack:  %8.1f ms x%d threads -> %.1f MB snapshot "
+      "(peak RSS %.1f MB = %.2fx file size)\n",
+      pack_wall_ms, static_cast<int>(pack_threads), snap_bytes / 1e6,
+      pack_rss / 1e6, rss_ratio);
+
+  // 4. Zero-copy open (min of 5: the first mmap may fault the header in).
+  double open_ms = 0;
+  Result<Graph> snap_graph = Status::Internal("unopened");
+  for (int i = 0; i < 5; ++i) {
+    sw.Restart();
+    auto g = OpenSnapshot(snap);
+    const double ms = sw.ElapsedMs();
+    if (!g.ok()) {
+      std::fprintf(stderr, "%s\n", g.status().ToString().c_str());
+      return 1;
+    }
+    snap_graph = std::move(g);
+    if (i == 0 || ms < open_ms) open_ms = ms;
+  }
+  const double open_speedup = text_load_ms / (open_ms > 0 ? open_ms : 1e-9);
+  std::printf("mmap open:  %8.3f ms -> %.0fx faster than the text load\n",
+              open_ms, open_speedup);
+
+  // 5. Query latency off the mapped file + row-identity tripwire.
+  const int query_count = scale == 0 ? 8 : scale == 1 ? 8 : 5;
+  const int64_t timeout_ms = bench::TimeoutMs(10000, 30000, 120000);
+  const QueryStats qs =
+      RunWorkload(*text_graph, *snap_graph, query_count, timeout_ms);
+  std::printf(
+      "queries:    %d CONNECT(m=2) runs off the snapshot: mean %.1f ms, "
+      "max %.1f ms, %zu rows (%s)\n",
+      qs.count, qs.mean_ms, qs.max_ms, qs.rows,
+      qs.rows_match ? "rows match the text-loaded graph" : "ROW MISMATCH");
+  if (!qs.rows_match) {
+    std::fprintf(stderr, "snapshot and text graphs disagree; failing\n");
+    return 1;
+  }
+
+  // One run object per scale; earlier runs at other scales are kept so a
+  // scale-1 comparison and a scale-2 end-to-end record share one file.
+  char run_buf[1024];
+  std::snprintf(
+      run_buf, sizeof run_buf,
+      "    {\n"
+      "      \"scale\": %d,\n"
+      "      \"graph\": {\"nodes\": %zu, \"edges\": %zu, \"strings\": %zu},\n"
+      "      \"text_bytes\": %llu,\n"
+      "      \"snapshot_bytes\": %llu,\n"
+      "      \"gen_ms\": %.1f,\n"
+      "      \"text_load_ms\": %.3f,\n"
+      "      \"open_ms\": %.3f,\n"
+      "      \"open_speedup\": %.1f,\n"
+      "      \"pack\": {\"wall_ms\": %.1f, \"threads\": %d, "
+      "\"peak_rss_bytes\": %.0f, \"rss_ratio\": %.3f},\n"
+      "      \"queries\": {\"count\": %d, \"mean_ms\": %.3f, "
+      "\"max_ms\": %.3f, \"rows\": %zu, \"rows_match\": %s}\n"
+      "    }",
+      scale, snap_graph->NumNodes(), snap_graph->NumEdges(),
+      snap_graph->dict().size(), static_cast<unsigned long long>(text_bytes),
+      static_cast<unsigned long long>(snap_bytes), gen_ms, text_load_ms,
+      open_ms, open_speedup, pack_wall_ms, static_cast<int>(pack_threads),
+      pack_rss, rss_ratio, qs.count, qs.mean_ms, qs.max_ms, qs.rows,
+      qs.rows_match ? "true" : "false");
+
+  std::vector<std::string> runs = ExistingRuns(ReadWholeFile(out_path));
+  runs.erase(std::remove_if(runs.begin(), runs.end(),
+                            [scale](const std::string& r) {
+                              return static_cast<int>(JsonNumber(r, "scale")) ==
+                                     scale;
+                            }),
+             runs.end());
+  runs.push_back(run_buf);
+  std::sort(runs.begin(), runs.end(),
+            [](const std::string& a, const std::string& b) {
+              return JsonNumber(a, "scale") < JsonNumber(b, "scale");
+            });
+
+  FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"snapshot\",\n  \"runs\": [\n");
+  for (size_t i = 0; i < runs.size(); ++i) {
+    // Preserved runs were captured from their '{', without leading indent.
+    std::fprintf(f, "%s%s%s\n", runs[i][0] == '{' ? "    " : "",
+                 runs[i].c_str(), i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s (%zu run%s)\n", out_path, runs.size(),
+              runs.size() == 1 ? "" : "s");
+  return 0;
+}
+
+}  // namespace
+}  // namespace eql
+
+int main(int argc, char** argv) { return eql::Main(argc, argv); }

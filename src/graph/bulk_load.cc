@@ -1,0 +1,501 @@
+#include "graph/bulk_load.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/snapshot_format.h"
+#include "util/string_util.h"
+
+namespace eql {
+
+using namespace snapshot_internal;  // NOLINT(build/namespaces)
+
+namespace {
+
+constexpr std::string_view kRdfType =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+/// Splits on '\t' keeping empty pieces (mirrors util Split); fills up to
+/// `max_cols` pieces and returns the true column count.
+size_t SplitCols(std::string_view line, std::string_view* cols,
+                 size_t max_cols) {
+  size_t n = 0;
+  size_t start = 0;
+  while (true) {
+    size_t tab = line.find('\t', start);
+    std::string_view piece =
+        tab == std::string_view::npos
+            ? line.substr(start)
+            : line.substr(start, tab - start);
+    if (n < max_cols) cols[n] = piece;
+    ++n;
+    if (tab == std::string_view::npos) break;
+    start = tab + 1;
+  }
+  return n;
+}
+
+/// Per-chunk parse output. All string_views point into the input mapping.
+/// `strings` and `node_strs` record *first-appearance order*, which is what
+/// lets the sequential merge reproduce the sequential loader's id
+/// assignment exactly (a string's global first appearance lies in the
+/// earliest chunk that contains it, at that chunk's local first appearance).
+struct ChunkResult {
+  std::vector<std::string_view> strings;  // local string id -> text
+  std::unordered_map<std::string_view, uint32_t> str_ids;
+  std::vector<uint32_t> node_strs;  // local node id -> local string id
+  std::unordered_map<uint32_t, uint32_t> node_ids;
+
+  struct EdgeOp {
+    uint32_t src, dst, label;  // local node, local node, local string
+  };
+  struct TypeOp {
+    uint32_t node, type;  // local node, local string
+  };
+  std::vector<EdgeOp> edges;      // in line order
+  std::vector<TypeOp> types;      // in line order
+  std::vector<uint32_t> literals;  // local node ids to mark, in line order
+
+  uint64_t num_lines = 0;
+  bool has_error = false;
+  uint64_t error_line = 0;  // local, 1-based
+  std::string error_msg;
+
+  uint32_t Intern(std::string_view s) {
+    auto [it, inserted] =
+        str_ids.try_emplace(s, static_cast<uint32_t>(strings.size()));
+    if (inserted) strings.push_back(s);
+    return it->second;
+  }
+
+  uint32_t InternNode(std::string_view label) {
+    uint32_t lid = Intern(label);
+    auto [it, inserted] =
+        node_ids.try_emplace(lid, static_cast<uint32_t>(node_strs.size()));
+    if (inserted) node_strs.push_back(lid);
+    return it->second;
+  }
+
+  void Fail(uint64_t line, std::string msg) {
+    has_error = true;
+    error_line = line;
+    error_msg = std::move(msg);
+  }
+};
+
+/// One TSV line, replicating ParseGraphText's dispatch and intern order
+/// (src, dst, label for edges) so ids come out identical.
+bool ParseTsvLine(std::string_view line, ChunkResult* r, std::string* err) {
+  std::string_view cols[3];
+  const size_t n = SplitCols(line, cols, 3);
+  if (n >= 2 && cols[0] == "@literal") {
+    uint32_t node = r->InternNode(Trim(cols[1]));
+    r->Intern("literal");
+    r->Intern("true");
+    r->literals.push_back(node);
+    return true;
+  }
+  if (cols[0] == "@type") {
+    if (n < 3) {
+      *err = StrFormat(
+          "@type needs <node> and <type> columns, got %zu columns", n);
+      return false;
+    }
+    uint32_t node = r->InternNode(Trim(cols[1]));
+    uint32_t type = r->Intern(Trim(cols[2]));
+    r->types.push_back({node, type});
+    return true;
+  }
+  if (n != 3) {
+    *err = StrFormat("expected 3 tab-separated columns, got %zu", n);
+    return false;
+  }
+  uint32_t src = r->InternNode(Trim(cols[0]));
+  uint32_t dst = r->InternNode(Trim(cols[2]));
+  uint32_t label = r->Intern(Trim(cols[1]));
+  r->edges.push_back({src, dst, label});
+  return true;
+}
+
+/// One N-Triples term starting at *pos; advances past it. Returns false on
+/// malformed input. IRIs lose their angle brackets, literals keep their
+/// lexical form verbatim (language/datatype suffixes are dropped).
+bool ParseNtTerm(std::string_view line, size_t* pos, std::string_view* value,
+                 bool* is_literal) {
+  while (*pos < line.size() && (line[*pos] == ' ' || line[*pos] == '\t')) ++*pos;
+  if (*pos >= line.size()) return false;
+  *is_literal = false;
+  const char c = line[*pos];
+  if (c == '<') {
+    size_t close = line.find('>', *pos + 1);
+    if (close == std::string_view::npos) return false;
+    *value = line.substr(*pos + 1, close - *pos - 1);
+    *pos = close + 1;
+    return true;
+  }
+  if (c == '"') {
+    size_t i = *pos + 1;
+    while (i < line.size() && (line[i] != '"' || line[i - 1] == '\\')) ++i;
+    if (i >= line.size()) return false;
+    *value = line.substr(*pos + 1, i - *pos - 1);
+    *is_literal = true;
+    // Skip any @lang / ^^<datatype> suffix up to whitespace.
+    ++i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    *pos = i;
+    return true;
+  }
+  size_t end = *pos;
+  while (end < line.size() && line[end] != ' ' && line[end] != '\t') ++end;
+  *value = line.substr(*pos, end - *pos);
+  *pos = end;
+  return true;
+}
+
+bool ParseNtLine(std::string_view line, ChunkResult* r, std::string* err) {
+  if (line.empty() || line.back() != '.') {
+    *err = "N-Triples line does not end with '.'";
+    return false;
+  }
+  line = Trim(line.substr(0, line.size() - 1));
+  std::string_view subj, pred, obj;
+  bool subj_lit = false, pred_lit = false, obj_lit = false;
+  size_t pos = 0;
+  if (!ParseNtTerm(line, &pos, &subj, &subj_lit) ||
+      !ParseNtTerm(line, &pos, &pred, &pred_lit) ||
+      !ParseNtTerm(line, &pos, &obj, &obj_lit) || subj_lit || pred_lit) {
+    *err = "malformed N-Triples line (want: subject predicate object .)";
+    return false;
+  }
+  if (pred == kRdfType && !obj_lit) {
+    uint32_t node = r->InternNode(subj);
+    uint32_t type = r->Intern(obj);
+    r->types.push_back({node, type});
+    return true;
+  }
+  uint32_t src = r->InternNode(subj);
+  uint32_t dst = r->InternNode(obj);
+  uint32_t label = r->Intern(pred);
+  r->edges.push_back({src, dst, label});
+  if (obj_lit) {
+    r->Intern("literal");
+    r->Intern("true");
+    r->literals.push_back(dst);
+  }
+  return true;
+}
+
+void ParseChunk(std::string_view text, BulkLoadFormat format, ChunkResult* r) {
+  size_t start = 0;
+  uint64_t line_no = 0;
+  std::string err;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = Trim(text.substr(start, end - start));
+    start = end + 1;
+    ++line_no;
+    if (line.empty() || line.front() == '#') continue;
+    const bool ok = format == BulkLoadFormat::kNTriples
+                        ? ParseNtLine(line, r, &err)
+                        : ParseTsvLine(line, r, &err);
+    if (!ok) {
+      r->Fail(line_no, err);
+      return;
+    }
+  }
+  r->num_lines = line_no;
+}
+
+BulkLoadFormat DetectFormat(const std::string& path, BulkLoadFormat req) {
+  if (req != BulkLoadFormat::kAuto) return req;
+  auto ends_with = [&path](std::string_view suffix) {
+    return path.size() >= suffix.size() &&
+           std::string_view(path).substr(path.size() - suffix.size()) == suffix;
+  };
+  if (ends_with(".nt") || ends_with(".ntriples")) return BulkLoadFormat::kNTriples;
+  return BulkLoadFormat::kTsv;
+}
+
+}  // namespace
+
+uint64_t CurrentPeakRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  uint64_t kb = 0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %lu kB", &kb) == 1) break;
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
+Result<BulkLoadStats> PackGraphFile(const std::string& input_path,
+                                    const std::string& output_path,
+                                    const BulkLoadOptions& options) {
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  auto seconds_since = [](Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration<double>(b - a).count();
+  };
+
+  Result<MmapFile> input = MmapFile::Open(input_path);
+  if (!input.ok()) return input.status();
+  input->AdviseSequential();
+  const std::string_view text(input->data(), input->size());
+  const BulkLoadFormat format = DetectFormat(input_path, options.format);
+
+  int threads = options.num_threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  if (text.size() < (1u << 20)) threads = 1;  // not worth fanning out
+
+  // Newline-aligned chunk boundaries.
+  std::vector<size_t> bounds{0};
+  for (int i = 1; i < threads; ++i) {
+    size_t target = text.size() * static_cast<size_t>(i) / threads;
+    if (target <= bounds.back()) continue;
+    size_t nl = text.find('\n', target);
+    if (nl == std::string_view::npos) break;
+    bounds.push_back(nl + 1);
+  }
+  bounds.push_back(text.size());
+
+  const size_t num_chunks = bounds.size() - 1;
+  std::vector<ChunkResult> chunks(num_chunks);
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(num_chunks);
+    for (size_t c = 0; c < num_chunks; ++c) {
+      workers.emplace_back([&, c] {
+        ParseChunk(text.substr(bounds[c], bounds[c + 1] - bounds[c]), format,
+                   &chunks[c]);
+      });
+    }
+    for (auto& t : workers) t.join();
+  }
+  const auto t_parsed = Clock::now();
+
+  uint64_t lines_before = 0;
+  for (size_t c = 0; c < num_chunks; ++c) {
+    if (chunks[c].has_error) {
+      return Status::InvalidArgument(
+          StrFormat("%s line %llu: %s", input_path.c_str(),
+                    static_cast<unsigned long long>(lines_before +
+                                                    chunks[c].error_line),
+                    chunks[c].error_msg.c_str()));
+    }
+    lines_before += chunks[c].num_lines;
+  }
+  const uint64_t total_lines = lines_before;
+
+  // ---- sequential merge: global ids in first-appearance order ----
+  std::vector<std::string_view> by_id{std::string_view()};  // epsilon, id 0
+  std::unordered_map<std::string_view, StrId> gstr{{std::string_view(), 0}};
+  std::vector<StrId> node_label;
+  std::vector<std::vector<StrId>> node_types;
+  std::unordered_map<StrId, NodeId> node_by_str;
+  std::vector<NodeId> edge_src, edge_dst;
+  std::vector<StrId> edge_label;
+  std::unordered_map<uint64_t, StrId> props;  // (node << 32 | key) -> value
+
+  for (size_t c = 0; c < num_chunks; ++c) {
+    ChunkResult& chunk = chunks[c];
+    std::vector<StrId> remap_str(chunk.strings.size());
+    for (size_t i = 0; i < chunk.strings.size(); ++i) {
+      auto [it, inserted] =
+          gstr.try_emplace(chunk.strings[i], static_cast<StrId>(by_id.size()));
+      if (inserted) by_id.push_back(chunk.strings[i]);
+      remap_str[i] = it->second;
+    }
+    std::vector<NodeId> remap_node(chunk.node_strs.size());
+    for (size_t j = 0; j < chunk.node_strs.size(); ++j) {
+      StrId gid = remap_str[chunk.node_strs[j]];
+      auto [it, inserted] =
+          node_by_str.try_emplace(gid, static_cast<NodeId>(node_label.size()));
+      if (inserted) {
+        node_label.push_back(gid);
+        node_types.emplace_back();
+      }
+      remap_node[j] = it->second;
+    }
+    for (const auto& e : chunk.edges) {
+      edge_src.push_back(remap_node[e.src]);
+      edge_dst.push_back(remap_node[e.dst]);
+      edge_label.push_back(remap_str[e.label]);
+    }
+    for (const auto& tp : chunk.types) {
+      NodeId n = remap_node[tp.node];
+      StrId t = remap_str[tp.type];
+      auto& ts = node_types[n];
+      if (std::find(ts.begin(), ts.end(), t) == ts.end()) ts.push_back(t);
+    }
+    if (!chunk.literals.empty()) {
+      const StrId key = gstr.find(std::string_view("literal"))->second;
+      const StrId val = gstr.find(std::string_view("true"))->second;
+      for (uint32_t ln : chunk.literals) {
+        props[(static_cast<uint64_t>(remap_node[ln]) << 32) | key] = val;
+      }
+    }
+    chunk = ChunkResult{};  // free as we go
+  }
+  chunks.clear();
+  const auto t_merged = Clock::now();
+
+  const uint64_t nn = node_label.size();
+  const uint64_t ne = edge_label.size();
+  const uint64_t ns = by_id.size();
+
+  // ---- section builds, streamed out one at a time ----
+  SnapshotFileWriter w;
+  EQL_RETURN_IF_ERROR(w.Create(output_path));
+
+  MetaSection meta{};
+  meta.num_nodes = nn;
+  meta.num_edges = ne;
+  meta.num_strings = ns;
+  meta.dict_block_size = kDictBlockSize;
+  EQL_RETURN_IF_ERROR(w.Append(SectionId::kMeta, &meta, sizeof(meta)));
+
+  EQL_RETURN_IF_ERROR(w.AppendVector(SectionId::kNodeLabel, node_label));
+  {
+    std::vector<uint8_t> literal_flags(nn, 0);  // the TSV @literal quirk:
+    // literal-ness is a property, IsLiteral() stays false (parity with
+    // graph_io's ParseGraphText).
+    EQL_RETURN_IF_ERROR(w.AppendVector(SectionId::kNodeLiteral, literal_flags));
+  }
+  EQL_RETURN_IF_ERROR(w.AppendVector(SectionId::kEdgeSrc, edge_src));
+  EQL_RETURN_IF_ERROR(w.AppendVector(SectionId::kEdgeDst, edge_dst));
+  EQL_RETURN_IF_ERROR(w.AppendVector(SectionId::kEdgeLabel, edge_label));
+
+  {  // Types as CSR, then the type->nodes inverted index, then free both.
+    std::vector<uint32_t> toff(nn + 1, 0);
+    std::vector<StrId> tlist;
+    for (NodeId n = 0; n < nn; ++n) {
+      tlist.insert(tlist.end(), node_types[n].begin(), node_types[n].end());
+      toff[n + 1] = static_cast<uint32_t>(tlist.size());
+    }
+    node_types.clear();
+    node_types.shrink_to_fit();
+    EQL_RETURN_IF_ERROR(w.AppendVector(SectionId::kNodeTypeOff, toff));
+    EQL_RETURN_IF_ERROR(w.AppendVector(SectionId::kNodeTypeList, tlist));
+    KeyedCsr tn = BuildKeyedCsr(ns, [&](auto&& emit) {
+      for (NodeId n = 0; n < nn; ++n) {
+        for (uint32_t i = toff[n]; i < toff[n + 1]; ++i) emit(tlist[i], n);
+      }
+    });
+    EQL_RETURN_IF_ERROR(w.AppendVector(SectionId::kTypeNodesOff, tn.off));
+    EQL_RETURN_IF_ERROR(w.AppendVector(SectionId::kTypeNodesList, tn.list));
+  }
+
+  {  // Incidence CSR + degree: exactly Graph::Finalize()'s construction.
+    std::vector<uint32_t> cnt(nn, 0);
+    for (uint64_t e = 0; e < ne; ++e) {
+      ++cnt[edge_src[e]];
+      if (edge_dst[e] != edge_src[e]) ++cnt[edge_dst[e]];
+    }
+    std::vector<uint32_t> off(nn + 1, 0);
+    for (uint64_t n = 0; n < nn; ++n) off[n + 1] = off[n] + cnt[n];
+    std::vector<IncidentEdge> list(off[nn]);
+    std::vector<uint32_t> pos(off.begin(), off.end() - 1);
+    for (uint64_t e = 0; e < ne; ++e) {
+      NodeId s = edge_src[e], d = edge_dst[e];
+      list[pos[s]++] = IncidentEdge{static_cast<EdgeId>(e), d, true};
+      if (d != s) list[pos[d]++] = IncidentEdge{static_cast<EdgeId>(e), s, false};
+    }
+    EQL_RETURN_IF_ERROR(w.AppendVector(SectionId::kDegree, cnt));
+    EQL_RETURN_IF_ERROR(w.AppendVector(SectionId::kIncOff, off));
+    EQL_RETURN_IF_ERROR(w.AppendVector(SectionId::kIncList, list));
+  }
+  {  // Out CSR.
+    std::vector<uint32_t> off(nn + 1, 0);
+    for (uint64_t e = 0; e < ne; ++e) ++off[edge_src[e] + 1];
+    for (uint64_t n = 0; n < nn; ++n) off[n + 1] += off[n];
+    std::vector<IncidentEdge> list(off[nn]);
+    std::vector<uint32_t> pos(off.begin(), off.end() - 1);
+    for (uint64_t e = 0; e < ne; ++e) {
+      list[pos[edge_src[e]]++] =
+          IncidentEdge{static_cast<EdgeId>(e), edge_dst[e], true};
+    }
+    EQL_RETURN_IF_ERROR(w.AppendVector(SectionId::kOutOff, off));
+    EQL_RETURN_IF_ERROR(w.AppendVector(SectionId::kOutList, list));
+  }
+  {  // In CSR.
+    std::vector<uint32_t> off(nn + 1, 0);
+    for (uint64_t e = 0; e < ne; ++e) ++off[edge_dst[e] + 1];
+    for (uint64_t n = 0; n < nn; ++n) off[n + 1] += off[n];
+    std::vector<IncidentEdge> list(off[nn]);
+    std::vector<uint32_t> pos(off.begin(), off.end() - 1);
+    for (uint64_t e = 0; e < ne; ++e) {
+      list[pos[edge_dst[e]]++] =
+          IncidentEdge{static_cast<EdgeId>(e), edge_src[e], false};
+    }
+    EQL_RETURN_IF_ERROR(w.AppendVector(SectionId::kInOff, off));
+    EQL_RETURN_IF_ERROR(w.AppendVector(SectionId::kInList, list));
+  }
+
+  {  // Inverted label indexes.
+    KeyedCsr ln = BuildKeyedCsr(ns, [&](auto&& emit) {
+      for (uint64_t n = 0; n < nn; ++n) emit(node_label[n], static_cast<uint32_t>(n));
+    });
+    EQL_RETURN_IF_ERROR(w.AppendVector(SectionId::kLabelNodesOff, ln.off));
+    EQL_RETURN_IF_ERROR(w.AppendVector(SectionId::kLabelNodesList, ln.list));
+  }
+  {
+    KeyedCsr le = BuildKeyedCsr(ns, [&](auto&& emit) {
+      for (uint64_t e = 0; e < ne; ++e) emit(edge_label[e], static_cast<uint32_t>(e));
+    });
+    EQL_RETURN_IF_ERROR(w.AppendVector(SectionId::kLabelEdgesOff, le.off));
+    EQL_RETURN_IF_ERROR(w.AppendVector(SectionId::kLabelEdgesList, le.list));
+  }
+
+  {  // Properties, sorted by (owner, key).
+    std::vector<std::pair<uint64_t, StrId>> pairs(props.begin(), props.end());
+    std::sort(pairs.begin(), pairs.end());
+    std::vector<uint64_t> keys;
+    std::vector<StrId> vals;
+    keys.reserve(pairs.size());
+    vals.reserve(pairs.size());
+    for (const auto& [k, v] : pairs) {
+      keys.push_back(k);
+      vals.push_back(v);
+    }
+    EQL_RETURN_IF_ERROR(w.AppendVector(SectionId::kNodePropKeys, keys));
+    EQL_RETURN_IF_ERROR(w.AppendVector(SectionId::kNodePropVals, vals));
+    EQL_RETURN_IF_ERROR(w.AppendVector(SectionId::kEdgePropKeys,
+                                       std::vector<uint64_t>{}));
+    EQL_RETURN_IF_ERROR(w.AppendVector(SectionId::kEdgePropVals,
+                                       std::vector<StrId>{}));
+  }
+
+  EQL_RETURN_IF_ERROR(AppendDictSections(&w, by_id, kDictBlockSize));
+  const uint64_t out_bytes = w.bytes_written();
+  EQL_RETURN_IF_ERROR(w.Finish());
+  const auto t_written = Clock::now();
+
+  BulkLoadStats stats;
+  stats.input_bytes = text.size();
+  stats.output_bytes = out_bytes;
+  stats.num_lines = total_lines;
+  stats.num_nodes = nn;
+  stats.num_edges = ne;
+  stats.num_strings = ns;
+  stats.threads_used = static_cast<int>(num_chunks);
+  stats.parse_seconds = seconds_since(t0, t_parsed);
+  stats.merge_seconds = seconds_since(t_parsed, t_merged);
+  stats.write_seconds = seconds_since(t_merged, t_written);
+  return stats;
+}
+
+}  // namespace eql

@@ -1,0 +1,68 @@
+// Parallel bulk loader: text triples -> snapshot file, without ever holding
+// an owned Graph in memory.
+//
+// PackGraphFile() mmaps the input, splits it into newline-aligned chunks,
+// and parses the chunks on worker threads. Each worker records, per chunk,
+// the first-appearance order of interned strings and node labels (as
+// string_views into the input mapping — no string is ever copied) plus the
+// edge/type/literal operations of its lines. A sequential merge then assigns
+// global StrIds/NodeIds by walking the chunks in order, which reproduces the
+// exact id assignment of the sequential ParseGraphText path; edge ids follow
+// input line order. The result: output files are byte-identical across
+// thread counts AND byte-identical to WriteSnapshot(ParseGraphText(input))
+// for TSV inputs.
+//
+// Sections are built and written one at a time (the snapshot section table
+// permits any append order) and freed immediately, so peak RSS stays well
+// below the size of the graph being packed.
+//
+// Supported inputs: the repo's TSV triple format (graph/graph_io.h) and
+// basic N-Triples (`<s> <p> <o> .`, rdf:type mapped to node types, literal
+// objects marked like the TSV `@literal` directive).
+#ifndef EQL_GRAPH_BULK_LOAD_H_
+#define EQL_GRAPH_BULK_LOAD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace eql {
+
+enum class BulkLoadFormat {
+  kAuto,      ///< by extension: .nt/.ntriples -> N-Triples, else TSV
+  kTsv,       ///< graph_io.h triple format
+  kNTriples,  ///< basic N-Triples
+};
+
+struct BulkLoadOptions {
+  int num_threads = 0;  ///< parse threads; 0 = hardware concurrency
+  BulkLoadFormat format = BulkLoadFormat::kAuto;
+};
+
+struct BulkLoadStats {
+  uint64_t input_bytes = 0;
+  uint64_t output_bytes = 0;
+  uint64_t num_lines = 0;
+  uint64_t num_nodes = 0;
+  uint64_t num_edges = 0;
+  uint64_t num_strings = 0;
+  int threads_used = 0;
+  double parse_seconds = 0;  ///< parallel chunk scan
+  double merge_seconds = 0;  ///< sequential id assignment
+  double write_seconds = 0;  ///< section builds + file output
+};
+
+/// Packs `input_path` into a snapshot at `output_path`. Errors carry the
+/// 1-based input line number and a reason.
+Result<BulkLoadStats> PackGraphFile(const std::string& input_path,
+                                    const std::string& output_path,
+                                    const BulkLoadOptions& options = {});
+
+/// This process's peak resident set (VmHWM) in bytes; 0 if unavailable.
+/// Exposed here for the pack tooling's RSS accounting.
+uint64_t CurrentPeakRssBytes();
+
+}  // namespace eql
+
+#endif  // EQL_GRAPH_BULK_LOAD_H_

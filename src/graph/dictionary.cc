@@ -1,6 +1,12 @@
 #include "graph/dictionary.h"
 
+#include <cassert>
+
+#include "graph/snapshot_format.h"
+
 namespace eql {
+
+using snapshot_internal::ReadVarint;
 
 Dictionary::Dictionary() {
   // Id 0 is the empty label epsilon, present in every label set (Def 2.1).
@@ -8,8 +14,73 @@ Dictionary::Dictionary() {
   index_.emplace("", 0);
 }
 
+Dictionary::~Dictionary() { DestroyCache(); }
+
+void Dictionary::DestroyCache() {
+  if (block_cache_ == nullptr) return;
+  for (size_t b = 0; b < num_blocks_; ++b) {
+    delete block_cache_[b].load(std::memory_order_relaxed);
+  }
+  block_cache_.reset();
+}
+
+void Dictionary::CopyFrom(const Dictionary& other) {
+  strings_ = other.strings_;
+  index_ = other.index_;
+  snapshot_backed_ = other.snapshot_backed_;
+  snap_ = other.snap_;
+  snap_owner_ = other.snap_owner_;
+  num_blocks_ = other.num_blocks_;
+  // Copies share the mapping but start with a cold decode cache: the cached
+  // blocks hold std::strings whose lifetime is tied to their owner.
+  if (snapshot_backed_) {
+    block_cache_ =
+        std::make_unique<std::atomic<DecodedBlock*>[]>(num_blocks_);
+    for (size_t b = 0; b < num_blocks_; ++b) {
+      block_cache_[b].store(nullptr, std::memory_order_relaxed);
+    }
+  }
+}
+
+Dictionary::Dictionary(const Dictionary& other) { CopyFrom(other); }
+
+Dictionary& Dictionary::operator=(const Dictionary& other) {
+  if (this == &other) return *this;
+  DestroyCache();
+  CopyFrom(other);
+  return *this;
+}
+
+Dictionary::Dictionary(Dictionary&& other) noexcept
+    : strings_(std::move(other.strings_)),
+      index_(std::move(other.index_)),
+      snapshot_backed_(other.snapshot_backed_),
+      snap_(other.snap_),
+      snap_owner_(std::move(other.snap_owner_)),
+      num_blocks_(other.num_blocks_),
+      block_cache_(std::move(other.block_cache_)) {
+  other.snapshot_backed_ = false;
+  other.num_blocks_ = 0;
+}
+
+Dictionary& Dictionary::operator=(Dictionary&& other) noexcept {
+  if (this == &other) return *this;
+  DestroyCache();
+  strings_ = std::move(other.strings_);
+  index_ = std::move(other.index_);
+  snapshot_backed_ = other.snapshot_backed_;
+  snap_ = other.snap_;
+  snap_owner_ = std::move(other.snap_owner_);
+  num_blocks_ = other.num_blocks_;
+  block_cache_ = std::move(other.block_cache_);
+  other.snapshot_backed_ = false;
+  other.num_blocks_ = 0;
+  return *this;
+}
+
 StrId Dictionary::Intern(std::string_view s) {
-  auto it = index_.find(std::string(s));
+  assert(!snapshot_backed_ && "snapshot dictionaries are immutable");
+  auto it = index_.find(s);
   if (it != index_.end()) return it->second;
   StrId id = static_cast<StrId>(strings_.size());
   strings_.emplace_back(s);
@@ -18,8 +89,108 @@ StrId Dictionary::Intern(std::string_view s) {
 }
 
 StrId Dictionary::Lookup(std::string_view s) const {
-  auto it = index_.find(std::string(s));
+  if (snapshot_backed_) return SnapshotLookup(s);
+  auto it = index_.find(s);
   return it == index_.end() ? kNoStrId : it->second;
+}
+
+void Dictionary::AttachSnapshot(const DictSnapshotView& view,
+                                std::shared_ptr<const void> owner) {
+  assert(view.block_size > 0 && view.num_strings > 0);
+  DestroyCache();
+  strings_.clear();
+  index_.clear();
+  snapshot_backed_ = true;
+  snap_ = view;
+  snap_owner_ = std::move(owner);
+  num_blocks_ =
+      static_cast<size_t>((view.num_strings + view.block_size - 1) /
+                          view.block_size);
+  block_cache_ = std::make_unique<std::atomic<DecodedBlock*>[]>(num_blocks_);
+  for (size_t b = 0; b < num_blocks_; ++b) {
+    block_cache_[b].store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+std::string_view Dictionary::BlockFirst(size_t b) const {
+  const char* p = snap_.blob.data() + snap_.block_offsets[b];
+  const char* end = snap_.blob.data() + snap_.blob.size();
+  uint64_t len = ReadVarint(&p, end);
+  if (static_cast<uint64_t>(end - p) < len) len = end - p;  // corrupt guard
+  return std::string_view(p, static_cast<size_t>(len));
+}
+
+const Dictionary::DecodedBlock& Dictionary::DecodeBlock(size_t b) const {
+  DecodedBlock* cached = block_cache_[b].load(std::memory_order_acquire);
+  if (cached != nullptr) return *cached;
+
+  auto block = std::make_unique<DecodedBlock>();
+  const size_t first_pos = b * snap_.block_size;
+  const size_t count = std::min<size_t>(
+      snap_.block_size, static_cast<size_t>(snap_.num_strings) - first_pos);
+  block->strings.reserve(count);
+  const char* p = snap_.blob.data() + snap_.block_offsets[b];
+  const char* end = snap_.blob.data() + snap_.blob.size();
+  for (size_t i = 0; i < count; ++i) {
+    if (i == 0) {
+      uint64_t len = ReadVarint(&p, end);
+      if (static_cast<uint64_t>(end - p) < len) len = end - p;
+      block->strings.emplace_back(p, static_cast<size_t>(len));
+      p += len;
+    } else {
+      const std::string& prev = block->strings.back();
+      uint64_t lcp = ReadVarint(&p, end);
+      uint64_t suffix = ReadVarint(&p, end);
+      if (lcp > prev.size()) lcp = prev.size();
+      if (static_cast<uint64_t>(end - p) < suffix) suffix = end - p;
+      std::string s;
+      s.reserve(static_cast<size_t>(lcp + suffix));
+      s.assign(prev, 0, static_cast<size_t>(lcp));
+      s.append(p, static_cast<size_t>(suffix));
+      block->strings.push_back(std::move(s));
+      p += suffix;
+    }
+  }
+
+  DecodedBlock* expected = nullptr;
+  if (block_cache_[b].compare_exchange_strong(expected, block.get(),
+                                              std::memory_order_release,
+                                              std::memory_order_acquire)) {
+    return *block.release();
+  }
+  // Another reader installed the block first; serve theirs.
+  return *expected;
+}
+
+const std::string& Dictionary::SnapshotGet(StrId id) const {
+  assert(id < snap_.num_strings);
+  const uint32_t pos = snap_.id_to_pos[id];
+  const size_t b = pos / snap_.block_size;
+  const DecodedBlock& block = DecodeBlock(b);
+  return block.strings[pos - b * snap_.block_size];
+}
+
+StrId Dictionary::SnapshotLookup(std::string_view s) const {
+  // Binary search for the last block whose first string is <= s, over the
+  // verbatim block leaders (no decode), then scan that one decoded block.
+  size_t lo = 0, hi = num_blocks_;
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (BlockFirst(mid) <= s) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == 0) return kNoStrId;  // s sorts before every string
+  const size_t b = lo - 1;
+  const DecodedBlock& block = DecodeBlock(b);
+  for (size_t i = 0; i < block.strings.size(); ++i) {
+    if (block.strings[i] == s) {
+      return snap_.pos_to_id[b * snap_.block_size + i];
+    }
+  }
+  return kNoStrId;
 }
 
 }  // namespace eql

@@ -3,14 +3,40 @@
 // All graph-side strings (node labels, edge labels, type names, property
 // values) are dictionary-encoded so that the search algorithms and the BGP
 // engine operate on 32-bit ids only.
+//
+// A Dictionary has two storage modes behind one API:
+//
+//  - **Owned** (the default): an append-only interning table backed by
+//    std::string storage and a hash index. This is what graph construction
+//    uses.
+//  - **Snapshot-backed**: a read-only view over a front-coded block
+//    dictionary inside an mmap'd graph snapshot (graph/snapshot.h). Strings
+//    live in the file sorted lexicographically and compressed in blocks of
+//    `block_size` (first string verbatim, the rest as shared-prefix length +
+//    suffix); two permutation arrays map the stable StrIds the graph columns
+//    reference to sorted positions and back. Get() decodes one block on
+//    first touch into a lock-free per-block cache (an atomic pointer per
+//    block, ~0.5 bytes/string), so repeated access is as cheap as the owned
+//    mode while untouched regions of a multi-GB dictionary never leave the
+//    page cache. Lookup() binary-searches the block-first strings (readable
+//    in place, no decode) and then scans one decoded block.
+//
+// Snapshot mode is immutable: Intern() asserts. Both modes are safe for
+// concurrent readers; copies of a snapshot-backed dictionary share the
+// mapping but keep independent decode caches.
 #ifndef EQL_GRAPH_DICTIONARY_H_
 #define EQL_GRAPH_DICTIONARY_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "util/hash.h"
 
 namespace eql {
 
@@ -20,28 +46,99 @@ using StrId = uint32_t;
 /// Sentinel for "not interned".
 inline constexpr StrId kNoStrId = UINT32_MAX;
 
-/// Append-only interning dictionary with stable ids.
+/// Borrowed view of a front-coded dictionary inside a graph snapshot. All
+/// spans point into the mapped file; the Dictionary that attaches the view
+/// keeps the mapping alive through a shared owner handle.
+struct DictSnapshotView {
+  uint64_t num_strings = 0;
+  uint32_t block_size = 0;                    ///< strings per block
+  std::span<const uint32_t> id_to_pos;        ///< StrId -> sorted position
+  std::span<const uint32_t> pos_to_id;        ///< sorted position -> StrId
+  std::span<const uint64_t> block_offsets;    ///< per block start in blob, +1 end
+  std::span<const char> blob;                 ///< front-coded string bytes
+};
+
+/// Append-only interning dictionary with stable ids, or a read-only view of
+/// a snapshot dictionary (see file comment).
 class Dictionary {
  public:
   Dictionary();
+  ~Dictionary();
 
-  /// Interns `s`, returning its id (existing or fresh).
+  Dictionary(const Dictionary& other);
+  Dictionary& operator=(const Dictionary& other);
+  Dictionary(Dictionary&& other) noexcept;
+  Dictionary& operator=(Dictionary&& other) noexcept;
+
+  /// Interns `s`, returning its id (existing or fresh). Owned mode only
+  /// (asserts in snapshot mode: snapshots are immutable).
   StrId Intern(std::string_view s);
 
   /// Returns the id of `s` or kNoStrId if never interned.
   StrId Lookup(std::string_view s) const;
 
-  /// Returns the string for an id; id must be valid.
-  const std::string& Get(StrId id) const { return strings_[id]; }
+  /// Returns the string for an id; id must be valid. In snapshot mode this
+  /// decodes the id's block on first access and serves the cached string
+  /// afterwards; the reference stays valid for the dictionary's lifetime.
+  const std::string& Get(StrId id) const {
+    if (!snapshot_backed_) return strings_[id];
+    return SnapshotGet(id);
+  }
 
-  size_t size() const { return strings_.size(); }
+  size_t size() const {
+    return snapshot_backed_ ? static_cast<size_t>(snap_.num_strings)
+                            : strings_.size();
+  }
+
+  /// True when this dictionary reads from an mmap'd snapshot.
+  bool snapshot_backed() const { return snapshot_backed_; }
+
+  /// Switches to snapshot mode over `view`; `owner` keeps the mapping alive.
+  /// Clears any owned contents. The view must contain the epsilon string ""
+  /// (every snapshot written by graph/snapshot.h does).
+  void AttachSnapshot(const DictSnapshotView& view,
+                      std::shared_ptr<const void> owner);
 
   /// Id of the empty label (always 0).
   static constexpr StrId kEpsilon = 0;
 
  private:
+  /// One lazily decoded block of the snapshot dictionary.
+  struct DecodedBlock {
+    std::vector<std::string> strings;  ///< block_size entries (last block fewer)
+  };
+
+  // Heterogeneous hashing so owned-mode Lookup/Intern never allocate a
+  // temporary std::string for the probe.
+  struct TransparentHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return static_cast<size_t>(HashString(s));
+    }
+  };
+
+  const std::string& SnapshotGet(StrId id) const;
+  StrId SnapshotLookup(std::string_view s) const;
+  /// Decodes (and caches) block `b`; b < num_blocks_.
+  const DecodedBlock& DecodeBlock(size_t b) const;
+  /// The first (verbatim) string of block `b`, read in place from the blob.
+  std::string_view BlockFirst(size_t b) const;
+  void DestroyCache();
+  void CopyFrom(const Dictionary& other);
+
+  // Owned mode.
   std::vector<std::string> strings_;
-  std::unordered_map<std::string, StrId> index_;
+  std::unordered_map<std::string, StrId, TransparentHash, std::equal_to<>>
+      index_;
+
+  // Snapshot mode.
+  bool snapshot_backed_ = false;
+  DictSnapshotView snap_;
+  std::shared_ptr<const void> snap_owner_;
+  size_t num_blocks_ = 0;
+  /// One atomic slot per block; decoded blocks are CAS-installed so
+  /// concurrent readers stay lock-free (losers delete their duplicate).
+  mutable std::unique_ptr<std::atomic<DecodedBlock*>[]> block_cache_;
 };
 
 }  // namespace eql

@@ -12,8 +12,13 @@ size_t Graph::PropKeyHash::operator()(const PropKey& k) const {
       Mix64((static_cast<uint64_t>(k.owner) << 32) | k.key));
 }
 
+uint64_t Graph::MintUid() {
+  static std::atomic<uint64_t> uid_counter{0};
+  return ++uid_counter;
+}
+
 NodeId Graph::AddNode(std::string_view label) {
-  assert(!finalized_);
+  assert(!finalized_ && !snap_);
   NodeId id = static_cast<NodeId>(node_label_.size());
   node_label_.push_back(dict_.Intern(label));
   node_literal_.push_back(0);
@@ -28,19 +33,24 @@ NodeId Graph::AddLiteralNode(std::string_view label) {
 }
 
 void Graph::AddType(NodeId n, std::string_view type) {
-  assert(!finalized_ && n < NumNodes());
+  assert(!finalized_ && !snap_ && n < NumNodes());
   StrId t = dict_.Intern(type);
   auto& types = node_types_[n];
   if (std::find(types.begin(), types.end(), t) == types.end()) types.push_back(t);
 }
 
 void Graph::SetNodeProperty(NodeId n, std::string_view key, std::string_view value) {
-  assert(n < NumNodes());
-  node_props_[PropKey{n, dict_.Intern(key)}] = dict_.Intern(value);
+  assert(!snap_ && n < NumNodes());
+  // Key before value, explicitly: intern order defines StrId numbering, and
+  // the parallel bulk loader replays exactly this order to stay byte-
+  // compatible (built-in assignment would sequence the RHS first).
+  const StrId k = dict_.Intern(key);
+  const StrId v = dict_.Intern(value);
+  node_props_[PropKey{n, k}] = v;
 }
 
 EdgeId Graph::AddEdge(NodeId src, NodeId dst, std::string_view label) {
-  assert(!finalized_ && src < NumNodes() && dst < NumNodes());
+  assert(!finalized_ && !snap_ && src < NumNodes() && dst < NumNodes());
   EdgeId id = static_cast<EdgeId>(edge_label_.size());
   edge_src_.push_back(src);
   edge_dst_.push_back(dst);
@@ -49,8 +59,11 @@ EdgeId Graph::AddEdge(NodeId src, NodeId dst, std::string_view label) {
 }
 
 void Graph::SetEdgeProperty(EdgeId e, std::string_view key, std::string_view value) {
-  assert(e < NumEdges());
-  edge_props_[PropKey{e, dict_.Intern(key)}] = dict_.Intern(value);
+  assert(!snap_ && e < NumEdges());
+  // Key before value; see SetNodeProperty.
+  const StrId k = dict_.Intern(key);
+  const StrId v = dict_.Intern(value);
+  edge_props_[PropKey{e, k}] = v;
 }
 
 NodeId Graph::GetOrAddNode(std::string_view label) {
@@ -65,18 +78,38 @@ NodeId Graph::GetOrAddNode(std::string_view label) {
 }
 
 std::span<const StrId> Graph::NodeTypes(NodeId n) const {
+  if (snap_) {
+    const uint32_t b = snap_->node_type_off[n];
+    return snap_->node_type_list.subspan(b, snap_->node_type_off[n + 1] - b);
+  }
   const auto& t = node_types_[n];
   return {t.data(), t.size()};
 }
 
 bool Graph::HasType(NodeId n, StrId type) const {
-  const auto& t = node_types_[n];
+  auto t = NodeTypes(n);
   return std::find(t.begin(), t.end(), type) != t.end();
 }
+
+namespace {
+
+// Binary search in a sorted snapshot property-key array for (owner, key).
+StrId SnapshotProp(std::span<const uint64_t> keys, std::span<const StrId> vals,
+                   uint32_t owner, StrId key) {
+  const uint64_t probe = (static_cast<uint64_t>(owner) << 32) | key;
+  auto it = std::lower_bound(keys.begin(), keys.end(), probe);
+  if (it == keys.end() || *it != probe) return kNoStrId;
+  return vals[static_cast<size_t>(it - keys.begin())];
+}
+
+}  // namespace
 
 StrId Graph::NodePropertyId(NodeId n, std::string_view key) const {
   StrId k = dict_.Lookup(key);
   if (k == kNoStrId) return kNoStrId;
+  if (snap_) {
+    return SnapshotProp(snap_->node_prop_keys, snap_->node_prop_vals, n, k);
+  }
   auto it = node_props_.find(PropKey{n, k});
   return it == node_props_.end() ? kNoStrId : it->second;
 }
@@ -84,6 +117,9 @@ StrId Graph::NodePropertyId(NodeId n, std::string_view key) const {
 StrId Graph::EdgePropertyId(EdgeId e, std::string_view key) const {
   StrId k = dict_.Lookup(key);
   if (k == kNoStrId) return kNoStrId;
+  if (snap_) {
+    return SnapshotProp(snap_->edge_prop_keys, snap_->edge_prop_vals, e, k);
+  }
   auto it = edge_props_.find(PropKey{e, k});
   return it == edge_props_.end() ? kNoStrId : it->second;
 }
@@ -101,7 +137,7 @@ void BuildCsr(size_t num_nodes, const std::vector<uint32_t>& counts,
 }  // namespace
 
 void Graph::Finalize() {
-  assert(!finalized_);
+  assert(!finalized_ && !snap_);
   const size_t nn = NumNodes();
   const size_t ne = NumEdges();
 
@@ -149,33 +185,57 @@ void Graph::Finalize() {
   }
   for (EdgeId e = 0; e < ne; ++e) edges_by_label_[edge_label_[e]].push_back(e);
 
-  static std::atomic<uint64_t> uid_counter{0};
-  uid_ = ++uid_counter;
+  uid_ = MintUid();
   finalized_ = true;
 }
 
+namespace {
+
+inline std::span<const IncidentEdge> CsrRow(std::span<const uint32_t> off,
+                                            std::span<const IncidentEdge> list,
+                                            NodeId n) {
+  const uint32_t b = off[n];
+  return list.subspan(b, off[n + 1] - b);
+}
+
+}  // namespace
+
 std::span<const IncidentEdge> Graph::Incident(NodeId n) const {
   assert(finalized_);
+  if (snap_) return CsrRow(snap_->inc_off, snap_->inc_list, n);
   return {inc_list_.data() + inc_offset_[n], inc_offset_[n + 1] - inc_offset_[n]};
 }
 
 std::span<const IncidentEdge> Graph::OutEdges(NodeId n) const {
   assert(finalized_);
+  if (snap_) return CsrRow(snap_->out_off, snap_->out_list, n);
   return {out_list_.data() + out_offset_[n], out_offset_[n + 1] - out_offset_[n]};
 }
 
 std::span<const IncidentEdge> Graph::InEdges(NodeId n) const {
   assert(finalized_);
+  if (snap_) return CsrRow(snap_->in_off, snap_->in_list, n);
   return {in_list_.data() + in_offset_[n], in_offset_[n + 1] - in_offset_[n]};
 }
 
 namespace {
 const std::vector<NodeId> kEmptyNodes;
 const std::vector<EdgeId> kEmptyEdges;
+
+// Snapshot inverted indexes are CSRs keyed densely by StrId; out-of-range
+// ids (never interned) yield empty rows.
+template <typename T>
+std::span<const T> InvRow(std::span<const uint32_t> off, std::span<const T> list,
+                          StrId key) {
+  if (static_cast<size_t>(key) + 1 >= off.size()) return {};
+  const uint32_t b = off[key];
+  return list.subspan(b, off[key + 1] - b);
+}
 }  // namespace
 
 std::span<const NodeId> Graph::NodesWithLabel(StrId label) const {
   assert(finalized_);
+  if (snap_) return InvRow(snap_->label_nodes_off, snap_->label_nodes_list, label);
   auto it = nodes_by_label_.find(label);
   const auto& v = it == nodes_by_label_.end() ? kEmptyNodes : it->second;
   return {v.data(), v.size()};
@@ -183,6 +243,7 @@ std::span<const NodeId> Graph::NodesWithLabel(StrId label) const {
 
 std::span<const NodeId> Graph::NodesWithType(StrId type) const {
   assert(finalized_);
+  if (snap_) return InvRow(snap_->type_nodes_off, snap_->type_nodes_list, type);
   auto it = nodes_by_type_.find(type);
   const auto& v = it == nodes_by_type_.end() ? kEmptyNodes : it->second;
   return {v.data(), v.size()};
@@ -190,6 +251,7 @@ std::span<const NodeId> Graph::NodesWithType(StrId type) const {
 
 std::span<const EdgeId> Graph::EdgesWithLabel(StrId label) const {
   assert(finalized_);
+  if (snap_) return InvRow(snap_->label_edges_off, snap_->label_edges_list, label);
   auto it = edges_by_label_.find(label);
   const auto& v = it == edges_by_label_.end() ? kEmptyEdges : it->second;
   return {v.data(), v.size()};
@@ -202,14 +264,13 @@ NodeId Graph::FindNode(std::string_view label) const {
     auto bit = builder_node_by_label_.find(id);
     return bit == builder_node_by_label_.end() ? kNoNode : bit->second;
   }
-  auto it = nodes_by_label_.find(id);
-  if (it == nodes_by_label_.end() || it->second.empty()) return kNoNode;
-  return it->second.front();
+  auto nodes = NodesWithLabel(id);
+  return nodes.empty() ? kNoNode : nodes.front();
 }
 
 std::string Graph::EdgeToString(EdgeId e) const {
-  return NodeLabel(edge_src_[e]) + " -" + EdgeLabel(e) + "-> " +
-         NodeLabel(edge_dst_[e]);
+  return NodeLabel(Source(e)) + " -" + EdgeLabel(e) + "-> " +
+         NodeLabel(Target(e));
 }
 
 }  // namespace eql

@@ -11,11 +11,45 @@
 // edges in both directions, alongside directed out/in CSRs used by the
 // unidirectional baselines and the UNI filter. Label/type inverted indexes
 // support seed-set computation and BGP index scans.
+//
+// ## Storage & snapshots
+//
+// A finalized Graph has two storage modes behind the same accessor API:
+//
+//  - **Owned** (the default): every column, CSR and inverted index lives in
+//    process-private std::vector / unordered_map storage, built by the
+//    construction API + Finalize(). This is the only mutable mode.
+//  - **Snapshot-backed**: all of the above are borrowed std::spans into a
+//    single read-only mmap of a binary snapshot file (graph/snapshot.h).
+//    Opening is zero-copy — no column is parsed, decoded or moved — so a
+//    multi-GB graph becomes queryable in milliseconds and its pages are
+//    shared across every process that maps the same file. The dictionary is
+//    front-coded in the file and decoded lazily per block
+//    (graph/dictionary.h).
+//
+// Every accessor branches on one pointer (`snap_`); the branch is perfectly
+// predicted, and because the spans live behind that pointer rather than in
+// the Graph object, Graph copies remain shallow-correct in both modes
+// (copies share the mapping). Ids are preserved exactly by the snapshot
+// writer, so NodeId/EdgeId/StrId-valued results are interchangeable between
+// modes.
+//
+// On-disk layout, versioning and checksums are documented in
+// graph/snapshot_format.h. Compatibility policy: a snapshot records a format
+// version; readers reject any version they were not built for (no silent
+// forward/backward reading). Re-pack with eql_pack after upgrading.
+//
+// Identity & invalidation: every finalized graph — built or opened — gets a
+// process-unique uid() minted at Finalize()/open time. All engine caches
+// (compiled CTP views in ctp/view.h, planner statistics in eval/stats.h) key
+// on the uid, so opening a snapshot behaves exactly like building a fresh
+// graph: new uid, cold caches, no cross-talk with other graphs.
 #ifndef EQL_GRAPH_GRAPH_H_
 #define EQL_GRAPH_GRAPH_H_
 
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -34,10 +68,56 @@ inline constexpr NodeId kNoNode = UINT32_MAX;
 inline constexpr EdgeId kNoEdge = UINT32_MAX;
 
 /// One entry of a node's undirected incidence list.
+///
+/// The explicit zeroed tail padding makes the in-memory bytes deterministic,
+/// so incidence CSRs can be written to snapshot files verbatim and two packs
+/// of the same graph are byte-identical.
 struct IncidentEdge {
   EdgeId edge;
   NodeId other;   ///< the endpoint that is not the indexed node
   bool forward;   ///< true if the edge leaves the indexed node (n == source)
+  uint8_t pad_[3] = {0, 0, 0};
+};
+static_assert(sizeof(IncidentEdge) == 12);
+
+/// Borrowed, read-only view of one graph inside a mapped snapshot file. All
+/// spans point into the mapping; graph/snapshot.h materializes one of these
+/// and hands it to the Graph via an owner handle that keeps the mapping
+/// alive. Inverted indexes are CSRs keyed densely by StrId (empty rows for
+/// strings that are not labels/types), properties are sorted
+/// (owner << 32 | key) arrays probed by binary search.
+struct GraphSnapshotView {
+  uint64_t num_nodes = 0;
+  uint64_t num_edges = 0;
+
+  std::span<const StrId> node_label;
+  std::span<const uint8_t> node_literal;
+  std::span<const uint32_t> node_type_off;   ///< num_nodes + 1
+  std::span<const StrId> node_type_list;
+
+  std::span<const NodeId> edge_src;
+  std::span<const NodeId> edge_dst;
+  std::span<const StrId> edge_label;
+
+  std::span<const uint32_t> degree;
+  std::span<const uint32_t> inc_off;         ///< num_nodes + 1
+  std::span<const IncidentEdge> inc_list;
+  std::span<const uint32_t> out_off;
+  std::span<const IncidentEdge> out_list;
+  std::span<const uint32_t> in_off;
+  std::span<const IncidentEdge> in_list;
+
+  std::span<const uint32_t> label_nodes_off;  ///< num_strings + 1
+  std::span<const NodeId> label_nodes_list;
+  std::span<const uint32_t> type_nodes_off;
+  std::span<const NodeId> type_nodes_list;
+  std::span<const uint32_t> label_edges_off;
+  std::span<const EdgeId> label_edges_list;
+
+  std::span<const uint64_t> node_prop_keys;  ///< (owner << 32 | key), sorted
+  std::span<const StrId> node_prop_vals;
+  std::span<const uint64_t> edge_prop_keys;
+  std::span<const StrId> edge_prop_vals;
 };
 
 /// Labeled directed multigraph with types, properties and access-path indexes.
@@ -45,11 +125,13 @@ struct IncidentEdge {
 /// Usage: add nodes/edges, then call Finalize() exactly once; all index-based
 /// accessors (Incident, OutEdges, ...) require a finalized graph. The builder
 /// methods never fail for in-range arguments; they assert on misuse.
+/// Alternatively, snapshot::OpenSnapshot (graph/snapshot.h) yields an
+/// already-finalized snapshot-backed Graph; see "Storage & snapshots" above.
 class Graph {
  public:
   Graph() = default;
 
-  // ---- construction ----
+  // ---- construction (owned mode only) ----
 
   /// Adds a node with the given label ("" for the empty label epsilon).
   NodeId AddNode(std::string_view label);
@@ -80,34 +162,56 @@ class Graph {
   bool finalized() const { return finalized_; }
 
   /// Process-unique identity of this graph's finalized contents, minted by
-  /// Finalize() (0 before). Copies share the uid — they carry identical,
-  /// immutable data — so caches keyed on it (ctp/view.h) stay valid across
-  /// copies and never confuse address-reused Graph objects.
+  /// Finalize() or snapshot open (0 before). Copies share the uid — they
+  /// carry identical, immutable data — so caches keyed on it (ctp/view.h,
+  /// eval/stats.h) stay valid across copies and never confuse address-reused
+  /// Graph objects.
   uint64_t uid() const { return uid_; }
+
+  /// True when this graph reads from an mmap'd snapshot file.
+  bool snapshot_backed() const { return snap_ != nullptr; }
 
   // ---- sizes ----
 
-  size_t NumNodes() const { return node_label_.size(); }
-  size_t NumEdges() const { return edge_label_.size(); }
+  size_t NumNodes() const {
+    return snap_ ? static_cast<size_t>(snap_->num_nodes) : node_label_.size();
+  }
+  size_t NumEdges() const {
+    return snap_ ? static_cast<size_t>(snap_->num_edges) : edge_label_.size();
+  }
 
   /// Scratch-buffer sizing: one past the largest valid NodeId/EdgeId. The
   /// search engines size their flat epoch-versioned per-id arrays
   /// (util/epoch.h) with these.
-  uint32_t NodeIdBound() const { return static_cast<uint32_t>(node_label_.size()); }
-  uint32_t EdgeIdBound() const { return static_cast<uint32_t>(edge_label_.size()); }
+  uint32_t NodeIdBound() const { return static_cast<uint32_t>(NumNodes()); }
+  uint32_t EdgeIdBound() const { return static_cast<uint32_t>(NumEdges()); }
 
   // ---- node/edge attributes ----
 
-  StrId NodeLabelId(NodeId n) const { return node_label_[n]; }
-  const std::string& NodeLabel(NodeId n) const { return dict_.Get(node_label_[n]); }
-  bool IsLiteral(NodeId n) const { return node_literal_[n]; }
+  StrId NodeLabelId(NodeId n) const {
+    return snap_ ? snap_->node_label[n] : node_label_[n];
+  }
+  const std::string& NodeLabel(NodeId n) const {
+    return dict_.Get(NodeLabelId(n));
+  }
+  bool IsLiteral(NodeId n) const {
+    return snap_ ? snap_->node_literal[n] != 0 : node_literal_[n] != 0;
+  }
   std::span<const StrId> NodeTypes(NodeId n) const;
   bool HasType(NodeId n, StrId type) const;
 
-  StrId EdgeLabelId(EdgeId e) const { return edge_label_[e]; }
-  const std::string& EdgeLabel(EdgeId e) const { return dict_.Get(edge_label_[e]); }
-  NodeId Source(EdgeId e) const { return edge_src_[e]; }
-  NodeId Target(EdgeId e) const { return edge_dst_[e]; }
+  StrId EdgeLabelId(EdgeId e) const {
+    return snap_ ? snap_->edge_label[e] : edge_label_[e];
+  }
+  const std::string& EdgeLabel(EdgeId e) const {
+    return dict_.Get(EdgeLabelId(e));
+  }
+  NodeId Source(EdgeId e) const {
+    return snap_ ? snap_->edge_src[e] : edge_src_[e];
+  }
+  NodeId Target(EdgeId e) const {
+    return snap_ ? snap_->edge_dst[e] : edge_dst_[e];
+  }
 
   /// Node/edge property lookup; returns kNoStrId when unset.
   StrId NodePropertyId(NodeId n, std::string_view key) const;
@@ -123,7 +227,9 @@ class Graph {
   std::span<const IncidentEdge> InEdges(NodeId n) const;
 
   /// d_n: number of graph edges adjacent to n (precomputed; LESP, Alg. 4).
-  uint32_t Degree(NodeId n) const { return degree_[n]; }
+  uint32_t Degree(NodeId n) const {
+    return snap_ ? snap_->degree[n] : degree_[n];
+  }
 
   /// Inverted indexes. Missing label/type yields an empty span.
   std::span<const NodeId> NodesWithLabel(StrId label) const;
@@ -143,6 +249,8 @@ class Graph {
   std::string EdgeToString(EdgeId e) const;
 
  private:
+  friend class SnapshotAccess;  // graph/snapshot.cc: reads/installs storage
+
   struct PropKey {
     uint32_t owner;
     StrId key;
@@ -151,6 +259,10 @@ class Graph {
   struct PropKeyHash {
     size_t operator()(const PropKey& k) const;
   };
+
+  /// Mints the next process-unique graph uid (shared by Finalize and
+  /// snapshot open).
+  static uint64_t MintUid();
 
   Dictionary dict_;
 
@@ -186,6 +298,13 @@ class Graph {
   std::unordered_map<StrId, std::vector<NodeId>> nodes_by_label_;
   std::unordered_map<StrId, std::vector<NodeId>> nodes_by_type_;
   std::unordered_map<StrId, std::vector<EdgeId>> edges_by_label_;
+
+  // Snapshot mode: when non-null, every accessor reads through this view
+  // instead of the owned storage above. The view (and the mapping its spans
+  // point into) is owned by snap_owner_, never by the Graph object itself,
+  // which keeps default copy/move correct.
+  const GraphSnapshotView* snap_ = nullptr;
+  std::shared_ptr<const void> snap_owner_;
 };
 
 }  // namespace eql

@@ -1,11 +1,36 @@
 #include "graph/graph_io.h"
 
 #include <fstream>
-#include <sstream>
 
+#include "graph/snapshot_format.h"
 #include "util/string_util.h"
 
 namespace eql {
+
+namespace {
+
+// Splits on '\t' keeping empty pieces (same semantics as util Split), but
+// into borrowed views: parsing allocates nothing per line beyond what the
+// graph itself interns. Fills up to `max_cols` pieces, returns the true
+// column count.
+size_t SplitCols(std::string_view line, std::string_view* cols,
+                 size_t max_cols) {
+  size_t n = 0;
+  size_t start = 0;
+  while (true) {
+    size_t tab = line.find('\t', start);
+    std::string_view piece = tab == std::string_view::npos
+                                 ? line.substr(start)
+                                 : line.substr(start, tab - start);
+    if (n < max_cols) cols[n] = piece;
+    ++n;
+    if (tab == std::string_view::npos) break;
+    start = tab + 1;
+  }
+  return n;
+}
+
+}  // namespace
 
 Result<Graph> ParseGraphText(std::string_view text) {
   Graph g;
@@ -18,22 +43,29 @@ Result<Graph> ParseGraphText(std::string_view text) {
     start = end + 1;
     ++line_no;
     if (line.empty() || line.front() == '#') continue;
-    std::vector<std::string> cols = Split(line, '\t');
-    if (cols.size() >= 2 && cols[0] == "@literal") {
-      NodeId n = g.GetOrAddNode(Trim(cols[1]));
+    std::string_view cols[3];
+    const size_t n = SplitCols(line, cols, 3);
+    if (n >= 2 && cols[0] == "@literal") {
+      NodeId node = g.GetOrAddNode(Trim(cols[1]));
       // GetOrAddNode cannot mark literals after the fact; emulate by property.
-      g.SetNodeProperty(n, "literal", "true");
+      g.SetNodeProperty(node, "literal", "true");
       continue;
     }
-    if (cols.size() >= 3 && cols[0] == "@type") {
-      NodeId n = g.GetOrAddNode(Trim(cols[1]));
-      g.AddType(n, Trim(cols[2]));
+    if (cols[0] == "@type") {
+      if (n < 3) {
+        return Status::InvalidArgument(StrFormat(
+            "graph text line %zu: @type needs <node> and <type> columns, "
+            "got %zu columns",
+            line_no, n));
+      }
+      NodeId node = g.GetOrAddNode(Trim(cols[1]));
+      g.AddType(node, Trim(cols[2]));
       continue;
     }
-    if (cols.size() != 3) {
+    if (n != 3) {
       return Status::InvalidArgument(
           StrFormat("graph text line %zu: expected 3 tab-separated columns, got %zu",
-                    line_no, cols.size()));
+                    line_no, n));
     }
     NodeId s = g.GetOrAddNode(Trim(cols[0]));
     NodeId d = g.GetOrAddNode(Trim(cols[2]));
@@ -44,11 +76,20 @@ Result<Graph> ParseGraphText(std::string_view text) {
 }
 
 Result<Graph> LoadGraphFile(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::NotFound("cannot open graph file: " + path);
-  std::stringstream buf;
-  buf << in.rdbuf();
-  return ParseGraphText(buf.str());
+  // Map instead of streaming into a std::string: the parser works on views,
+  // so the file bytes are read exactly once, straight from the page cache.
+  Result<snapshot_internal::MmapFile> file =
+      snapshot_internal::MmapFile::Open(path);
+  if (!file.ok()) {
+    return Status::NotFound("cannot open graph file: " + path + " (" +
+                            file.status().message() + ")");
+  }
+  file->AdviseSequential();
+  Result<Graph> g = ParseGraphText(std::string_view(file->data(), file->size()));
+  if (!g.ok()) {
+    return Status(g.status().code(), path + ": " + g.status().message());
+  }
+  return g;
 }
 
 std::string GraphToText(const Graph& g) {

@@ -1,0 +1,665 @@
+#include "graph/snapshot.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstddef>
+#include <cstring>
+#include <numeric>
+#include <utility>
+
+#include "graph/snapshot_format.h"
+#include "util/string_util.h"
+
+namespace eql {
+
+using namespace snapshot_internal;  // NOLINT(build/namespaces)
+
+// ---------------------------------------------------------------------------
+// POSIX plumbing: MmapFile and SnapshotFileWriter.
+// ---------------------------------------------------------------------------
+
+namespace snapshot_internal {
+
+namespace {
+
+Status PWriteAll(int fd, const void* data, size_t size, uint64_t offset) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    ssize_t n = ::pwrite(fd, p, size, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(StrFormat("pwrite failed: %s", std::strerror(errno)));
+    }
+    p += n;
+    offset += static_cast<uint64_t>(n);
+    size -= static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+uint64_t AlignUp(uint64_t v) {
+  return (v + kSectionAlign - 1) / kSectionAlign * kSectionAlign;
+}
+
+}  // namespace
+
+MmapFile::~MmapFile() {
+  if (data_ != nullptr) ::munmap(const_cast<char*>(data_), size_);
+}
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this == &other) return *this;
+  if (data_ != nullptr) ::munmap(const_cast<char*>(data_), size_);
+  data_ = std::exchange(other.data_, nullptr);
+  size_ = std::exchange(other.size_, 0);
+  return *this;
+}
+
+Result<MmapFile> MmapFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound(
+        StrFormat("cannot open %s: %s", path.c_str(), std::strerror(errno)));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status s = Status::Internal(
+        StrFormat("fstat %s: %s", path.c_str(), std::strerror(errno)));
+    ::close(fd);
+    return s;
+  }
+  MmapFile f;
+  f.size_ = static_cast<size_t>(st.st_size);
+  if (f.size_ > 0) {
+    void* m = ::mmap(nullptr, f.size_, PROT_READ, MAP_SHARED, fd, 0);
+    if (m == MAP_FAILED) {
+      Status s = Status::Internal(
+          StrFormat("mmap %s: %s", path.c_str(), std::strerror(errno)));
+      ::close(fd);
+      return s;
+    }
+    f.data_ = static_cast<const char*>(m);
+  }
+  ::close(fd);
+  return f;
+}
+
+void MmapFile::AdviseSequential() {
+  if (data_ != nullptr) {
+    ::madvise(const_cast<char*>(data_), size_, MADV_SEQUENTIAL);
+  }
+}
+
+SnapshotFileWriter::~SnapshotFileWriter() {
+  // Abandoned writer: the header was never written, so the file cannot be
+  // mistaken for a valid snapshot (its magic bytes are zero).
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status SnapshotFileWriter::Create(const std::string& path) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) {
+    return Status::InvalidArgument(StrFormat("cannot create %s: %s",
+                                             path.c_str(),
+                                             std::strerror(errno)));
+  }
+  path_ = path;
+  next_offset_ =
+      AlignUp(sizeof(FileHeader) + kNumSections * sizeof(SectionEntry));
+  return Status::Ok();
+}
+
+Status SnapshotFileWriter::Append(SectionId id, const void* data, size_t size) {
+  if (fd_ < 0) return Status::Internal("snapshot writer is not open");
+  for (const SectionEntry& e : entries_) {
+    if (e.id == static_cast<uint32_t>(id)) {
+      return Status::Internal(
+          StrFormat("section %u appended twice", static_cast<uint32_t>(id)));
+    }
+  }
+  SectionEntry e{};
+  e.id = static_cast<uint32_t>(id);
+  e.offset = next_offset_;
+  e.size = size;
+  e.checksum = ChecksumBytes(data, size);
+  if (size > 0) EQL_RETURN_IF_ERROR(PWriteAll(fd_, data, size, next_offset_));
+  entries_.push_back(e);
+  next_offset_ = AlignUp(next_offset_ + size);
+  return Status::Ok();
+}
+
+Status SnapshotFileWriter::Finish() {
+  if (fd_ < 0) return Status::Internal("snapshot writer is not open");
+  if (entries_.size() != kNumSections) {
+    return Status::Internal(StrFormat("snapshot has %zu sections, wants %u",
+                                      entries_.size(), kNumSections));
+  }
+  std::sort(entries_.begin(), entries_.end(),
+            [](const SectionEntry& a, const SectionEntry& b) {
+              return a.id < b.id;
+            });
+
+  FileHeader h{};
+  std::memcpy(h.magic, kMagic, sizeof(kMagic));
+  h.version = kFormatVersion;
+  h.num_sections = kNumSections;
+  h.file_size = next_offset_;
+  h.table_offset = sizeof(FileHeader);
+
+  const size_t prefix = offsetof(FileHeader, header_checksum);
+  const size_t table_bytes = entries_.size() * sizeof(SectionEntry);
+  std::vector<char> buf(prefix + table_bytes);
+  std::memcpy(buf.data(), &h, prefix);
+  std::memcpy(buf.data() + prefix, entries_.data(), table_bytes);
+  h.header_checksum = ChecksumBytes(buf.data(), buf.size());
+
+  EQL_RETURN_IF_ERROR(
+      PWriteAll(fd_, entries_.data(), table_bytes, h.table_offset));
+  EQL_RETURN_IF_ERROR(PWriteAll(fd_, &h, sizeof(h), 0));
+  if (::ftruncate(fd_, static_cast<off_t>(next_offset_)) != 0) {
+    return Status::Internal(StrFormat("ftruncate %s: %s", path_.c_str(),
+                                      std::strerror(errno)));
+  }
+  ::fsync(fd_);
+  ::close(fd_);
+  fd_ = -1;
+  return Status::Ok();
+}
+
+Status AppendDictSections(SnapshotFileWriter* w,
+                          std::span<const std::string_view> by_id,
+                          uint32_t block_size) {
+  const size_t n = by_id.size();
+  std::vector<uint32_t> pos_to_id(n);
+  std::iota(pos_to_id.begin(), pos_to_id.end(), 0u);
+  std::sort(pos_to_id.begin(), pos_to_id.end(),
+            [&](uint32_t a, uint32_t b) { return by_id[a] < by_id[b]; });
+  std::vector<uint32_t> id_to_pos(n);
+  for (size_t p = 0; p < n; ++p) id_to_pos[pos_to_id[p]] = static_cast<uint32_t>(p);
+
+  std::vector<std::string_view> sorted(n);
+  for (size_t p = 0; p < n; ++p) sorted[p] = by_id[pos_to_id[p]];
+  std::vector<char> blob;
+  std::vector<uint64_t> block_offsets;
+  BuildFrontCodedBlob(sorted, block_size, &blob, &block_offsets);
+
+  EQL_RETURN_IF_ERROR(w->AppendVector(SectionId::kDictIdToPos, id_to_pos));
+  EQL_RETURN_IF_ERROR(w->AppendVector(SectionId::kDictPosToId, pos_to_id));
+  EQL_RETURN_IF_ERROR(w->AppendVector(SectionId::kDictBlockOff, block_offsets));
+  EQL_RETURN_IF_ERROR(w->AppendVector(SectionId::kDictBlob, blob));
+  return Status::Ok();
+}
+
+}  // namespace snapshot_internal
+
+// ---------------------------------------------------------------------------
+// SnapshotAccess: the one place allowed to look inside Graph's storage.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Everything a snapshot-backed Graph borrows, bundled with the mapping that
+/// owns the bytes. Held alive by shared_ptr from the Graph and its
+/// Dictionary; copies of the Graph share it.
+struct SnapshotData {
+  MmapFile file;
+  GraphSnapshotView view;
+  DictSnapshotView dict;
+};
+
+/// Sparse property table in snapshot form: sorted (owner << 32 | key) keys
+/// plus parallel values.
+struct PropPairs {
+  std::vector<uint64_t> keys;
+  std::vector<StrId> vals;
+};
+
+}  // namespace
+
+class SnapshotAccess {
+ public:
+  static std::span<const StrId> NodeLabels(const Graph& g) {
+    if (g.snap_) return g.snap_->node_label;
+    return {g.node_label_.data(), g.node_label_.size()};
+  }
+  static std::span<const uint8_t> NodeLiterals(const Graph& g) {
+    if (g.snap_) return g.snap_->node_literal;
+    return {g.node_literal_.data(), g.node_literal_.size()};
+  }
+  static std::span<const NodeId> EdgeSrc(const Graph& g) {
+    if (g.snap_) return g.snap_->edge_src;
+    return {g.edge_src_.data(), g.edge_src_.size()};
+  }
+  static std::span<const NodeId> EdgeDst(const Graph& g) {
+    if (g.snap_) return g.snap_->edge_dst;
+    return {g.edge_dst_.data(), g.edge_dst_.size()};
+  }
+  static std::span<const StrId> EdgeLabels(const Graph& g) {
+    if (g.snap_) return g.snap_->edge_label;
+    return {g.edge_label_.data(), g.edge_label_.size()};
+  }
+  static std::span<const uint32_t> Degrees(const Graph& g) {
+    if (g.snap_) return g.snap_->degree;
+    return {g.degree_.data(), g.degree_.size()};
+  }
+  static std::span<const uint32_t> IncOff(const Graph& g) {
+    if (g.snap_) return g.snap_->inc_off;
+    return {g.inc_offset_.data(), g.inc_offset_.size()};
+  }
+  static std::span<const IncidentEdge> IncList(const Graph& g) {
+    if (g.snap_) return g.snap_->inc_list;
+    return {g.inc_list_.data(), g.inc_list_.size()};
+  }
+  static std::span<const uint32_t> OutOff(const Graph& g) {
+    if (g.snap_) return g.snap_->out_off;
+    return {g.out_offset_.data(), g.out_offset_.size()};
+  }
+  static std::span<const IncidentEdge> OutList(const Graph& g) {
+    if (g.snap_) return g.snap_->out_list;
+    return {g.out_list_.data(), g.out_list_.size()};
+  }
+  static std::span<const uint32_t> InOff(const Graph& g) {
+    if (g.snap_) return g.snap_->in_off;
+    return {g.in_offset_.data(), g.in_offset_.size()};
+  }
+  static std::span<const IncidentEdge> InList(const Graph& g) {
+    if (g.snap_) return g.snap_->in_list;
+    return {g.in_list_.data(), g.in_list_.size()};
+  }
+
+  static PropPairs NodeProps(const Graph& g) {
+    if (g.snap_) return CopyProps(g.snap_->node_prop_keys, g.snap_->node_prop_vals);
+    return SortProps(g.node_props_);
+  }
+  static PropPairs EdgeProps(const Graph& g) {
+    if (g.snap_) return CopyProps(g.snap_->edge_prop_keys, g.snap_->edge_prop_vals);
+    return SortProps(g.edge_props_);
+  }
+
+  /// Turns `g` into a finalized snapshot-backed graph reading `data`.
+  static void Install(Graph* g, std::shared_ptr<SnapshotData> data) {
+    g->snap_ = &data->view;
+    g->dict_.AttachSnapshot(data->dict, data);
+    g->snap_owner_ = std::move(data);
+    g->finalized_ = true;
+    g->uid_ = Graph::MintUid();
+  }
+
+ private:
+  static PropPairs CopyProps(std::span<const uint64_t> keys,
+                             std::span<const StrId> vals) {
+    return PropPairs{{keys.begin(), keys.end()}, {vals.begin(), vals.end()}};
+  }
+
+  template <typename Map>
+  static PropPairs SortProps(const Map& m) {
+    std::vector<std::pair<uint64_t, StrId>> pairs;
+    pairs.reserve(m.size());
+    for (const auto& [k, v] : m) {
+      pairs.emplace_back((static_cast<uint64_t>(k.owner) << 32) | k.key, v);
+    }
+    std::sort(pairs.begin(), pairs.end());
+    PropPairs out;
+    out.keys.reserve(pairs.size());
+    out.vals.reserve(pairs.size());
+    for (const auto& [k, v] : pairs) {
+      out.keys.push_back(k);
+      out.vals.push_back(v);
+    }
+    return out;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Writer.
+// ---------------------------------------------------------------------------
+
+Status WriteSnapshot(const Graph& g, const std::string& path) {
+  if (!g.finalized()) {
+    return Status::InvalidArgument("WriteSnapshot: graph is not finalized");
+  }
+  const uint64_t nn = g.NumNodes();
+  const uint64_t ne = g.NumEdges();
+  const uint64_t ns = g.dict().size();
+
+  SnapshotFileWriter w;
+  EQL_RETURN_IF_ERROR(w.Create(path));
+
+  MetaSection meta{};
+  meta.num_nodes = nn;
+  meta.num_edges = ne;
+  meta.num_strings = ns;
+  meta.dict_block_size = kDictBlockSize;
+  EQL_RETURN_IF_ERROR(w.Append(SectionId::kMeta, &meta, sizeof(meta)));
+
+  // Columns, degree and CSRs go out verbatim from whichever storage backs
+  // the graph (scoped so temporaries die before the dictionary build).
+  auto append_span = [&w](SectionId id, const auto& span) {
+    return w.Append(id, span.data(), span.size_bytes());
+  };
+  // Section append order matches the bulk loader (graph/bulk_load.cc)
+  // exactly: byte-identical files are a documented guarantee of the two
+  // producers, and the file offset of every section depends on what was
+  // appended before it.
+  EQL_RETURN_IF_ERROR(append_span(SectionId::kNodeLabel, SnapshotAccess::NodeLabels(g)));
+  EQL_RETURN_IF_ERROR(append_span(SectionId::kNodeLiteral, SnapshotAccess::NodeLiterals(g)));
+  EQL_RETURN_IF_ERROR(append_span(SectionId::kEdgeSrc, SnapshotAccess::EdgeSrc(g)));
+  EQL_RETURN_IF_ERROR(append_span(SectionId::kEdgeDst, SnapshotAccess::EdgeDst(g)));
+  EQL_RETURN_IF_ERROR(append_span(SectionId::kEdgeLabel, SnapshotAccess::EdgeLabels(g)));
+
+  {  // Node types as a CSR, plus the type -> nodes inverted index.
+    std::vector<uint32_t> off(nn + 1, 0);
+    std::vector<StrId> list;
+    for (NodeId n = 0; n < nn; ++n) {
+      auto t = g.NodeTypes(n);
+      list.insert(list.end(), t.begin(), t.end());
+      off[n + 1] = static_cast<uint32_t>(list.size());
+    }
+    EQL_RETURN_IF_ERROR(w.AppendVector(SectionId::kNodeTypeOff, off));
+    EQL_RETURN_IF_ERROR(w.AppendVector(SectionId::kNodeTypeList, list));
+
+    KeyedCsr tn = BuildKeyedCsr(ns, [&](auto&& emit) {
+      for (NodeId n = 0; n < nn; ++n) {
+        for (StrId t : g.NodeTypes(n)) emit(t, n);
+      }
+    });
+    EQL_RETURN_IF_ERROR(w.AppendVector(SectionId::kTypeNodesOff, tn.off));
+    EQL_RETURN_IF_ERROR(w.AppendVector(SectionId::kTypeNodesList, tn.list));
+  }
+
+  EQL_RETURN_IF_ERROR(append_span(SectionId::kDegree, SnapshotAccess::Degrees(g)));
+  EQL_RETURN_IF_ERROR(append_span(SectionId::kIncOff, SnapshotAccess::IncOff(g)));
+  EQL_RETURN_IF_ERROR(append_span(SectionId::kIncList, SnapshotAccess::IncList(g)));
+  EQL_RETURN_IF_ERROR(append_span(SectionId::kOutOff, SnapshotAccess::OutOff(g)));
+  EQL_RETURN_IF_ERROR(append_span(SectionId::kOutList, SnapshotAccess::OutList(g)));
+  EQL_RETURN_IF_ERROR(append_span(SectionId::kInOff, SnapshotAccess::InOff(g)));
+  EQL_RETURN_IF_ERROR(append_span(SectionId::kInList, SnapshotAccess::InList(g)));
+
+  {  // Label inverted indexes, rebuilt densely from the columns (same entry
+     // order as Finalize(): ascending node/edge id within each key).
+    auto labels = SnapshotAccess::NodeLabels(g);
+    KeyedCsr ln = BuildKeyedCsr(ns, [&](auto&& emit) {
+      for (NodeId n = 0; n < nn; ++n) emit(labels[n], n);
+    });
+    EQL_RETURN_IF_ERROR(w.AppendVector(SectionId::kLabelNodesOff, ln.off));
+    EQL_RETURN_IF_ERROR(w.AppendVector(SectionId::kLabelNodesList, ln.list));
+
+    auto elabels = SnapshotAccess::EdgeLabels(g);
+    KeyedCsr le = BuildKeyedCsr(ns, [&](auto&& emit) {
+      for (EdgeId e = 0; e < ne; ++e) emit(elabels[e], e);
+    });
+    EQL_RETURN_IF_ERROR(w.AppendVector(SectionId::kLabelEdgesOff, le.off));
+    EQL_RETURN_IF_ERROR(w.AppendVector(SectionId::kLabelEdgesList, le.list));
+  }
+
+  {  // Sparse properties.
+    PropPairs np = SnapshotAccess::NodeProps(g);
+    EQL_RETURN_IF_ERROR(w.AppendVector(SectionId::kNodePropKeys, np.keys));
+    EQL_RETURN_IF_ERROR(w.AppendVector(SectionId::kNodePropVals, np.vals));
+    PropPairs ep = SnapshotAccess::EdgeProps(g);
+    EQL_RETURN_IF_ERROR(w.AppendVector(SectionId::kEdgePropKeys, ep.keys));
+    EQL_RETURN_IF_ERROR(w.AppendVector(SectionId::kEdgePropVals, ep.vals));
+  }
+
+  {  // Dictionary.
+    std::vector<std::string_view> by_id(ns);
+    for (StrId i = 0; i < ns; ++i) by_id[i] = g.dict().Get(i);
+    EQL_RETURN_IF_ERROR(AppendDictSections(&w, by_id, kDictBlockSize));
+  }
+
+  return w.Finish();
+}
+
+// ---------------------------------------------------------------------------
+// Reader.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct TableInfo {
+  FileHeader header;
+  std::array<SectionEntry, kNumSections> sections;  // indexed by SectionId
+};
+
+Status ReadTable(const MmapFile& f, const std::string& path, TableInfo* out) {
+  if (f.size() < sizeof(FileHeader)) {
+    return Status::Corruption(
+        StrFormat("%s: truncated: %zu bytes is smaller than the %zu-byte "
+                  "snapshot header",
+                  path.c_str(), f.size(), sizeof(FileHeader)));
+  }
+  FileHeader h;
+  std::memcpy(&h, f.data(), sizeof(h));
+  if (std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption(
+        StrFormat("%s: not an EQL snapshot (bad magic)", path.c_str()));
+  }
+  if (h.version != kFormatVersion) {
+    return Status::Corruption(StrFormat(
+        "%s: snapshot format version %u is not supported (this build reads "
+        "version %u); re-pack the graph with eql_pack",
+        path.c_str(), h.version, kFormatVersion));
+  }
+  if (h.num_sections != kNumSections) {
+    return Status::Corruption(
+        StrFormat("%s: header names %u sections, this version has %u",
+                  path.c_str(), h.num_sections, kNumSections));
+  }
+  if (h.file_size != f.size()) {
+    return Status::Corruption(StrFormat(
+        "%s: truncated: header records %llu bytes but the file has %zu",
+        path.c_str(), static_cast<unsigned long long>(h.file_size), f.size()));
+  }
+  const uint64_t table_bytes = uint64_t{kNumSections} * sizeof(SectionEntry);
+  if (h.table_offset > f.size() || table_bytes > f.size() - h.table_offset) {
+    return Status::Corruption(
+        StrFormat("%s: section table is out of bounds", path.c_str()));
+  }
+
+  const size_t prefix = offsetof(FileHeader, header_checksum);
+  std::vector<char> buf(prefix + table_bytes);
+  std::memcpy(buf.data(), f.data(), prefix);
+  std::memcpy(buf.data() + prefix, f.data() + h.table_offset, table_bytes);
+  if (ChecksumBytes(buf.data(), buf.size()) != h.header_checksum) {
+    return Status::Corruption(StrFormat(
+        "%s: header/table checksum mismatch — the file is corrupt",
+        path.c_str()));
+  }
+
+  bool seen[kNumSections] = {};
+  for (uint32_t i = 0; i < kNumSections; ++i) {
+    SectionEntry e;
+    std::memcpy(&e, f.data() + h.table_offset + i * sizeof(SectionEntry),
+                sizeof(e));
+    if (e.id >= kNumSections || seen[e.id]) {
+      return Status::Corruption(
+          StrFormat("%s: invalid or duplicate section id %u", path.c_str(),
+                    e.id));
+    }
+    if (e.offset % kSectionAlign != 0 || e.offset > f.size() ||
+        e.size > f.size() - e.offset) {
+      return Status::Corruption(StrFormat(
+          "%s: section %u is misaligned or out of bounds", path.c_str(), e.id));
+    }
+    seen[e.id] = true;
+    out->sections[e.id] = e;
+  }
+  out->header = h;
+  return Status::Ok();
+}
+
+const SectionEntry& Section(const TableInfo& t, SectionId id) {
+  return t.sections[static_cast<uint32_t>(id)];
+}
+
+/// Maps one section as a typed span, insisting on the exact element count
+/// (which the caller derives from the checksummed meta/offset data).
+template <typename T>
+Status SectionSpan(const MmapFile& f, const TableInfo& t, const std::string& path,
+                   SectionId id, uint64_t count, std::span<const T>* out) {
+  const SectionEntry& e = Section(t, id);
+  if (e.size != count * sizeof(T)) {
+    return Status::Corruption(StrFormat(
+        "%s: section %u holds %llu bytes, expected %llu (%llu x %zu)",
+        path.c_str(), e.id, static_cast<unsigned long long>(e.size),
+        static_cast<unsigned long long>(count * sizeof(T)),
+        static_cast<unsigned long long>(count), sizeof(T)));
+  }
+  *out = std::span<const T>(reinterpret_cast<const T*>(f.data() + e.offset),
+                            static_cast<size_t>(count));
+  return Status::Ok();
+}
+
+Status FillViews(const MmapFile& f, const TableInfo& t, const std::string& path,
+                 SnapshotData* d) {
+  std::span<const MetaSection> meta;
+  EQL_RETURN_IF_ERROR(SectionSpan(f, t, path, SectionId::kMeta, 1, &meta));
+  const uint64_t nn = meta[0].num_nodes;
+  const uint64_t ne = meta[0].num_edges;
+  const uint64_t ns = meta[0].num_strings;
+  const uint32_t bs = meta[0].dict_block_size;
+  if (nn > UINT32_MAX || ne > UINT32_MAX || ns > UINT32_MAX) {
+    return Status::Corruption(
+        StrFormat("%s: node/edge/string counts exceed 32-bit ids",
+                  path.c_str()));
+  }
+  if (ns == 0 || bs == 0) {
+    return Status::Corruption(StrFormat(
+        "%s: meta section has an empty dictionary (strings=%llu, block=%u)",
+        path.c_str(), static_cast<unsigned long long>(ns), bs));
+  }
+  GraphSnapshotView& v = d->view;
+  v.num_nodes = nn;
+  v.num_edges = ne;
+
+  EQL_RETURN_IF_ERROR(SectionSpan(f, t, path, SectionId::kNodeLabel, nn, &v.node_label));
+  EQL_RETURN_IF_ERROR(SectionSpan(f, t, path, SectionId::kNodeLiteral, nn, &v.node_literal));
+  EQL_RETURN_IF_ERROR(SectionSpan(f, t, path, SectionId::kNodeTypeOff, nn + 1, &v.node_type_off));
+  EQL_RETURN_IF_ERROR(SectionSpan(f, t, path, SectionId::kNodeTypeList,
+                                  v.node_type_off.back(), &v.node_type_list));
+  EQL_RETURN_IF_ERROR(SectionSpan(f, t, path, SectionId::kEdgeSrc, ne, &v.edge_src));
+  EQL_RETURN_IF_ERROR(SectionSpan(f, t, path, SectionId::kEdgeDst, ne, &v.edge_dst));
+  EQL_RETURN_IF_ERROR(SectionSpan(f, t, path, SectionId::kEdgeLabel, ne, &v.edge_label));
+  EQL_RETURN_IF_ERROR(SectionSpan(f, t, path, SectionId::kDegree, nn, &v.degree));
+  EQL_RETURN_IF_ERROR(SectionSpan(f, t, path, SectionId::kIncOff, nn + 1, &v.inc_off));
+  EQL_RETURN_IF_ERROR(SectionSpan(f, t, path, SectionId::kIncList,
+                                  v.inc_off.back(), &v.inc_list));
+  EQL_RETURN_IF_ERROR(SectionSpan(f, t, path, SectionId::kOutOff, nn + 1, &v.out_off));
+  EQL_RETURN_IF_ERROR(SectionSpan(f, t, path, SectionId::kOutList,
+                                  v.out_off.back(), &v.out_list));
+  EQL_RETURN_IF_ERROR(SectionSpan(f, t, path, SectionId::kInOff, nn + 1, &v.in_off));
+  EQL_RETURN_IF_ERROR(SectionSpan(f, t, path, SectionId::kInList,
+                                  v.in_off.back(), &v.in_list));
+  EQL_RETURN_IF_ERROR(SectionSpan(f, t, path, SectionId::kLabelNodesOff, ns + 1, &v.label_nodes_off));
+  EQL_RETURN_IF_ERROR(SectionSpan(f, t, path, SectionId::kLabelNodesList,
+                                  v.label_nodes_off.back(), &v.label_nodes_list));
+  EQL_RETURN_IF_ERROR(SectionSpan(f, t, path, SectionId::kTypeNodesOff, ns + 1, &v.type_nodes_off));
+  EQL_RETURN_IF_ERROR(SectionSpan(f, t, path, SectionId::kTypeNodesList,
+                                  v.type_nodes_off.back(), &v.type_nodes_list));
+  EQL_RETURN_IF_ERROR(SectionSpan(f, t, path, SectionId::kLabelEdgesOff, ns + 1, &v.label_edges_off));
+  EQL_RETURN_IF_ERROR(SectionSpan(f, t, path, SectionId::kLabelEdgesList,
+                                  v.label_edges_off.back(), &v.label_edges_list));
+
+  const uint64_t npp =
+      Section(t, SectionId::kNodePropKeys).size / sizeof(uint64_t);
+  EQL_RETURN_IF_ERROR(SectionSpan(f, t, path, SectionId::kNodePropKeys, npp, &v.node_prop_keys));
+  EQL_RETURN_IF_ERROR(SectionSpan(f, t, path, SectionId::kNodePropVals, npp, &v.node_prop_vals));
+  const uint64_t epp =
+      Section(t, SectionId::kEdgePropKeys).size / sizeof(uint64_t);
+  EQL_RETURN_IF_ERROR(SectionSpan(f, t, path, SectionId::kEdgePropKeys, epp, &v.edge_prop_keys));
+  EQL_RETURN_IF_ERROR(SectionSpan(f, t, path, SectionId::kEdgePropVals, epp, &v.edge_prop_vals));
+
+  DictSnapshotView& dv = d->dict;
+  dv.num_strings = ns;
+  dv.block_size = bs;
+  const uint64_t num_blocks = (ns + bs - 1) / bs;
+  EQL_RETURN_IF_ERROR(SectionSpan(f, t, path, SectionId::kDictIdToPos, ns, &dv.id_to_pos));
+  EQL_RETURN_IF_ERROR(SectionSpan(f, t, path, SectionId::kDictPosToId, ns, &dv.pos_to_id));
+  EQL_RETURN_IF_ERROR(SectionSpan(f, t, path, SectionId::kDictBlockOff,
+                                  num_blocks + 1, &dv.block_offsets));
+  const SectionEntry& blob = Section(t, SectionId::kDictBlob);
+  dv.blob = std::span<const char>(f.data() + blob.offset,
+                                  static_cast<size_t>(blob.size));
+  if (dv.block_offsets.back() != blob.size) {
+    return Status::Corruption(StrFormat(
+        "%s: dictionary blob size disagrees with its offset table",
+        path.c_str()));
+  }
+  return Status::Ok();
+}
+
+Status VerifyPayloads(const MmapFile& f, const TableInfo& t,
+                      const std::string& path) {
+  for (uint32_t i = 0; i < kNumSections; ++i) {
+    const SectionEntry& e = t.sections[i];
+    if (ChecksumBytes(f.data() + e.offset, static_cast<size_t>(e.size)) !=
+        e.checksum) {
+      return Status::Corruption(StrFormat(
+          "%s: section %u checksum mismatch — the file is corrupt "
+          "(re-pack with eql_pack)",
+          path.c_str(), e.id));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Graph> OpenSnapshot(const std::string& path,
+                           const SnapshotOpenOptions& options,
+                           SnapshotInfo* info) {
+  Result<MmapFile> file = MmapFile::Open(path);
+  if (!file.ok()) return file.status();
+
+  auto data = std::make_shared<SnapshotData>();
+  data->file = std::move(file).value();
+
+  TableInfo table;
+  Status st = ReadTable(data->file, path, &table);
+  if (!st.ok()) return st;
+  if (options.verify_checksums) {
+    st = VerifyPayloads(data->file, table, path);
+    if (!st.ok()) return st;
+  }
+  st = FillViews(data->file, table, path, data.get());
+  if (!st.ok()) return st;
+
+  if (info != nullptr) {
+    info->file_bytes = data->file.size();
+    info->num_nodes = data->view.num_nodes;
+    info->num_edges = data->view.num_edges;
+    info->num_strings = data->dict.num_strings;
+  }
+  Graph g;
+  SnapshotAccess::Install(&g, std::move(data));
+  return g;
+}
+
+Result<SnapshotInfo> ReadSnapshotInfo(const std::string& path) {
+  Result<MmapFile> file = MmapFile::Open(path);
+  if (!file.ok()) return file.status();
+  TableInfo table;
+  Status st = ReadTable(*file, path, &table);
+  if (!st.ok()) return st;
+  std::span<const MetaSection> meta;
+  st = SectionSpan(*file, table, path, SectionId::kMeta, 1, &meta);
+  if (!st.ok()) return st;
+  SnapshotInfo info;
+  info.file_bytes = file->size();
+  info.num_nodes = meta[0].num_nodes;
+  info.num_edges = meta[0].num_edges;
+  info.num_strings = meta[0].num_strings;
+  return info;
+}
+
+}  // namespace eql

@@ -1,0 +1,64 @@
+// Binary graph snapshots with zero-copy mmap open.
+//
+// WriteSnapshot() serializes a finalized Graph — columns, CSRs, inverted
+// indexes, properties and a front-coded dictionary — into a single versioned,
+// checksummed file (layout: graph/snapshot_format.h). OpenSnapshot() maps
+// that file and returns a finalized Graph whose accessors read the mapping
+// in place: no section is parsed, copied or decoded at open, so a multi-GB
+// graph is queryable in milliseconds and its pages are shared by every
+// process mapping the same file.
+//
+// Identity: the opened Graph gets a fresh process-unique uid(), so compiled
+// CTP views and planner statistics behave exactly as for a newly built graph.
+//
+// Integrity: the header and section table (magic, version, sizes, offsets,
+// per-section checksums) are always validated at open, which catches
+// truncation and structural corruption cheaply. Payload checksums are only
+// scanned when SnapshotOpenOptions::verify_checksums is set — that reads the
+// whole file and costs the zero-copy advantage, so it is off by default.
+//
+// Snapshots produced by the parallel bulk loader (graph/bulk_load.h) and by
+// WriteSnapshot() are interchangeable.
+#ifndef EQL_GRAPH_SNAPSHOT_H_
+#define EQL_GRAPH_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace eql {
+
+struct SnapshotOpenOptions {
+  /// Verify every section's checksum at open (full file scan). Off by
+  /// default: the header/table checksum still catches structural damage.
+  bool verify_checksums = false;
+};
+
+/// Cheap facts about a snapshot file, from the header + meta section only.
+struct SnapshotInfo {
+  uint64_t file_bytes = 0;
+  uint64_t num_nodes = 0;
+  uint64_t num_edges = 0;
+  uint64_t num_strings = 0;
+};
+
+/// Writes `g` (must be finalized) to `path` in snapshot format. Output is
+/// deterministic: the same graph always produces byte-identical files.
+Status WriteSnapshot(const Graph& g, const std::string& path);
+
+/// Maps `path` and returns a finalized, snapshot-backed Graph. On success
+/// and when `info` is non-null, fills it with the file's vitals.
+Result<Graph> OpenSnapshot(const std::string& path,
+                           const SnapshotOpenOptions& options = {},
+                           SnapshotInfo* info = nullptr);
+
+/// Reads only the header/table/meta of `path` (validating their checksums)
+/// and returns the file's vitals. Useful for tooling that must not pay for
+/// a full open.
+Result<SnapshotInfo> ReadSnapshotInfo(const std::string& path);
+
+}  // namespace eql
+
+#endif  // EQL_GRAPH_SNAPSHOT_H_

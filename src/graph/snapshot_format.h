@@ -1,0 +1,279 @@
+// Internal on-disk layout of binary graph snapshots. The public API is in
+// graph/snapshot.h; this header is shared by the snapshot writer/reader
+// (graph/snapshot.cc), the parallel bulk loader (graph/bulk_load.cc), the
+// snapshot dictionary decoder (graph/dictionary.cc) and the corruption tests.
+//
+// File layout (all little-endian, the only byte order we target):
+//
+//   [FileHeader: 64 bytes]
+//   [SectionEntry x kNumSections: the section table]
+//   [payload sections, each 64-byte aligned, zero padding between]
+//
+// Every section carries its own checksum in the table entry; the header
+// checksum covers the header prefix plus the whole table, so magic, version,
+// sizes and offsets are always validated at open while the (possibly
+// multi-GB) payload scan is optional. Alignment to 64 bytes keeps every
+// span handed to the engine naturally aligned and cache-line friendly.
+#ifndef EQL_GRAPH_SNAPSHOT_FORMAT_H_
+#define EQL_GRAPH_SNAPSHOT_FORMAT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/hash.h"
+#include "util/status.h"
+
+namespace eql {
+namespace snapshot_internal {
+
+inline constexpr char kMagic[8] = {'E', 'Q', 'L', 'S', 'N', 'A', 'P', '1'};
+inline constexpr uint32_t kFormatVersion = 1;
+inline constexpr size_t kSectionAlign = 64;
+
+/// Payload sections. Every one must be present exactly once; order in the
+/// file is unspecified (the table locates them).
+enum class SectionId : uint32_t {
+  kMeta = 0,
+  kNodeLabel,       ///< StrId[num_nodes]
+  kNodeLiteral,     ///< uint8[num_nodes]
+  kNodeTypeOff,     ///< uint32[num_nodes + 1]
+  kNodeTypeList,    ///< StrId[...]
+  kEdgeSrc,         ///< NodeId[num_edges]
+  kEdgeDst,         ///< NodeId[num_edges]
+  kEdgeLabel,       ///< StrId[num_edges]
+  kDegree,          ///< uint32[num_nodes]
+  kIncOff,          ///< uint32[num_nodes + 1]
+  kIncList,         ///< IncidentEdge[...]
+  kOutOff,
+  kOutList,
+  kInOff,
+  kInList,
+  kLabelNodesOff,   ///< uint32[num_strings + 1] (CSR keyed by StrId)
+  kLabelNodesList,  ///< NodeId[...]
+  kTypeNodesOff,
+  kTypeNodesList,
+  kLabelEdgesOff,
+  kLabelEdgesList,  ///< EdgeId[...]
+  kNodePropKeys,    ///< uint64[(owner << 32 | key)], sorted
+  kNodePropVals,    ///< StrId[...], parallel to the keys
+  kEdgePropKeys,
+  kEdgePropVals,
+  kDictIdToPos,     ///< uint32[num_strings]
+  kDictPosToId,     ///< uint32[num_strings]
+  kDictBlockOff,    ///< uint64[num_blocks + 1], offsets into the blob
+  kDictBlob,        ///< front-coded string bytes
+  kSectionCount,
+};
+
+inline constexpr uint32_t kNumSections =
+    static_cast<uint32_t>(SectionId::kSectionCount);
+
+struct FileHeader {
+  char magic[8];
+  uint32_t version;
+  uint32_t num_sections;
+  uint64_t file_size;      ///< must equal the on-disk size (truncation check)
+  uint64_t table_offset;   ///< byte offset of the section table
+  uint64_t reserved[3];
+  uint64_t header_checksum;  ///< over the header bytes before this field,
+                             ///< then the whole section table
+};
+static_assert(sizeof(FileHeader) == 64, "header is one cache line");
+
+struct SectionEntry {
+  uint32_t id;
+  uint32_t reserved;
+  uint64_t offset;
+  uint64_t size;
+  uint64_t checksum;  ///< ChecksumBytes over the section payload
+};
+static_assert(sizeof(SectionEntry) == 32);
+
+/// Fixed-size metadata payload of SectionId::kMeta.
+struct MetaSection {
+  uint64_t num_nodes;
+  uint64_t num_edges;
+  uint64_t num_strings;
+  uint32_t dict_block_size;
+  uint32_t reserved0;
+  uint64_t reserved[4];
+};
+static_assert(sizeof(MetaSection) == 64);
+
+/// 64-bit checksum over arbitrary bytes: splitmix-chained 8-byte words plus
+/// a length-mixed tail. Not cryptographic; detects the random corruption and
+/// truncation a storage layer produces. ~GB/s on one core.
+inline uint64_t ChecksumBytes(const void* data, size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0x9ae16a3b2f90404fULL ^ Mix64(n);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    uint64_t w;
+    std::memcpy(&w, p + i, 8);
+    h = HashCombine(h, w);
+  }
+  if (i < n) {
+    uint64_t w = 0;
+    std::memcpy(&w, p + i, n - i);
+    h = HashCombine(h, w ^ (static_cast<uint64_t>(n - i) << 56));
+  }
+  return h;
+}
+
+// ---- varints (LEB128), used by the front-coded dictionary blob ------------
+
+inline void AppendVarint(std::vector<char>* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+/// Reads a varint at *p, advancing it. Never reads past `end`; a truncated
+/// varint yields the bits read so far (callers validate section sizes and
+/// checksums before trusting the blob, so this is a belt-and-braces bound,
+/// not an error channel).
+inline uint64_t ReadVarint(const char** p, const char* end) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (*p < end && shift < 64) {
+    unsigned char b = static_cast<unsigned char>(*(*p)++);
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+  }
+  return v;
+}
+
+/// Builds the front-coded blob over lexicographically sorted strings: block
+/// leaders verbatim (varint length + bytes), followers as varint shared-
+/// prefix length + varint suffix length + suffix bytes. `block_offsets` gets
+/// one entry per block plus the final blob size.
+inline void BuildFrontCodedBlob(std::span<const std::string_view> sorted,
+                                uint32_t block_size, std::vector<char>* blob,
+                                std::vector<uint64_t>* block_offsets) {
+  blob->clear();
+  block_offsets->clear();
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    const std::string_view s = sorted[i];
+    if (i % block_size == 0) {
+      block_offsets->push_back(blob->size());
+      AppendVarint(blob, s.size());
+      blob->insert(blob->end(), s.begin(), s.end());
+    } else {
+      const std::string_view prev = sorted[i - 1];
+      size_t lcp = 0;
+      const size_t max = std::min(prev.size(), s.size());
+      while (lcp < max && prev[lcp] == s[lcp]) ++lcp;
+      AppendVarint(blob, lcp);
+      AppendVarint(blob, s.size() - lcp);
+      blob->insert(blob->end(), s.begin() + lcp, s.end());
+    }
+  }
+  block_offsets->push_back(blob->size());
+}
+
+/// Dense CSR keyed by a 32-bit id (StrId in practice), built with a counting
+/// sort so output is deterministic regardless of the source container.
+/// `for_each_pair` is invoked twice with an emit(key, value) callable.
+struct KeyedCsr {
+  std::vector<uint32_t> off;   ///< num_keys + 1
+  std::vector<uint32_t> list;  ///< values in key-major, emission-minor order
+};
+
+template <typename EmitFn>
+KeyedCsr BuildKeyedCsr(size_t num_keys, const EmitFn& for_each_pair) {
+  KeyedCsr csr;
+  csr.off.assign(num_keys + 1, 0);
+  for_each_pair([&](uint32_t key, uint32_t) { ++csr.off[key + 1]; });
+  for (size_t k = 0; k < num_keys; ++k) csr.off[k + 1] += csr.off[k];
+  csr.list.resize(csr.off[num_keys]);
+  std::vector<uint32_t> pos(csr.off.begin(), csr.off.end() - 1);
+  for_each_pair(
+      [&](uint32_t key, uint32_t value) { csr.list[pos[key]++] = value; });
+  return csr;
+}
+
+// ---- file access ----------------------------------------------------------
+
+/// Read-only mmap of a whole file. Move-only; unmaps on destruction.
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile();
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  static Result<MmapFile> Open(const std::string& path);
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+
+  /// Hints the kernel that the mapping will be read front to back once
+  /// (bulk-loader input files).
+  void AdviseSequential();
+
+ private:
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// Strings per front-coded dictionary block. 16 balances decode cost per
+/// Get() miss against leader overhead (one verbatim string per block).
+inline constexpr uint32_t kDictBlockSize = 16;
+
+class SnapshotFileWriter;
+
+/// Sorts `by_id` (the string for every StrId, id-indexed), front-codes the
+/// blob and appends the four dictionary sections (kDictIdToPos, kDictPosToId,
+/// kDictBlockOff, kDictBlob). Shared by the Graph snapshot writer and the
+/// bulk loader so both produce identical dictionaries.
+Status AppendDictSections(SnapshotFileWriter* w,
+                          std::span<const std::string_view> by_id,
+                          uint32_t block_size);
+
+/// Streams sections into a snapshot file: payloads are appended 64-byte
+/// aligned while per-section checksums accumulate, then Finish() writes the
+/// section table and header (with the header checksum) back at offset 0.
+/// Append order is free; every SectionId must be appended exactly once.
+class SnapshotFileWriter {
+ public:
+  SnapshotFileWriter() = default;
+  ~SnapshotFileWriter();
+  SnapshotFileWriter(const SnapshotFileWriter&) = delete;
+  SnapshotFileWriter& operator=(const SnapshotFileWriter&) = delete;
+
+  Status Create(const std::string& path);
+  Status Append(SectionId id, const void* data, size_t size);
+
+  template <typename T>
+  Status AppendVector(SectionId id, const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return Append(id, v.data(), v.size() * sizeof(T));
+  }
+
+  /// Writes table + header and closes. The writer is unusable afterwards.
+  Status Finish();
+
+  /// Total payload bytes appended so far (excluding header/table).
+  uint64_t bytes_written() const { return next_offset_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  uint64_t next_offset_ = 0;  ///< next aligned payload offset
+  std::vector<SectionEntry> entries_;
+};
+
+}  // namespace snapshot_internal
+}  // namespace eql
+
+#endif  // EQL_GRAPH_SNAPSHOT_FORMAT_H_

@@ -2,10 +2,14 @@
 //
 // Usage:
 //   eql_shell GRAPH.tsv [options] [-q QUERY]...
+//   eql_shell --snapshot GRAPH.snap [options] [-q QUERY]...
 //   eql_shell GRAPH.tsv < queries.eql        (queries separated by ';')
 //
 // Options:
 //   -q QUERY          run this query (repeatable); otherwise read stdin
+//   --snapshot FILE   serve queries from an mmap'd binary snapshot
+//                     (graph/snapshot.h; produce one with eql_pack) instead
+//                     of parsing a triple file
 //   --algorithm NAME  bft|bft_m|bft_am|gam|esp|moesp|lesp|molesp (default molesp)
 //   --adaptive        pick ESP automatically for plain m=2 CTPs (Property 3)
 //   --parallel N      evaluate CTPs on a worker pool, split N ways (0 = off)
@@ -35,6 +39,10 @@
 //   .explain on|off   toggle the per-query plan printout
 //   .stats on|off     toggle the per-CTP statistics dump (rows, trees,
 //                     time, view/skip/share flags, outcome)
+//   .stats            (no argument) print the session status: graph source,
+//                     snapshot open-time and mapped bytes, engine options
+//   .open FILE        switch to serving queries from snapshot FILE
+//                     (mmap zero-copy; drops prepared queries)
 //   .stream on|off    toggle streaming row delivery
 //   .batch FILE       run the ';'-separated queries in FILE as one batch
 //                     through EqlEngine::RunBatch (amortizes the pool)
@@ -74,6 +82,7 @@
 
 #include "eval/engine.h"
 #include "graph/graph_io.h"
+#include "graph/snapshot.h"
 #include "util/string_util.h"
 
 namespace eql {
@@ -126,7 +135,8 @@ constexpr int kExitResource = 5;
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s GRAPH.tsv|--demo [--algorithm NAME] [--adaptive]\n"
+               "usage: %s GRAPH.tsv|--snapshot FILE|--demo [--algorithm NAME] "
+               "[--adaptive]\n"
                "       [--parallel N] [--timeout MS] [--query-timeout MS]\n"
                "       [--memory-budget BYTES] [--stream] [--max-rows N] [--stats]\n"
                "       [--explain] [--no-planner] [--no-views] [--no-bound-pruning]\n"
@@ -147,6 +157,7 @@ int ReportOutcome(const QueryResult& r) {
 
 struct ShellArgs {
   std::string graph_path;
+  std::string snapshot_path;
   bool demo = false;
   bool stats = false;
   bool explain = false;
@@ -209,6 +220,10 @@ bool ParseArgs(int argc, char** argv, ShellArgs* args) {
         return false;
       }
       args->options.default_memory_budget_bytes = static_cast<size_t>(bytes);
+    } else if (a == "--snapshot") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->snapshot_path = v;
     } else if (a == "--stream") {
       args->stream = true;
     } else if (a == "--max-rows") {
@@ -228,8 +243,21 @@ bool ParseArgs(int argc, char** argv, ShellArgs* args) {
       return false;
     }
   }
-  return args->demo || !args->graph_path.empty();
+  if (!args->snapshot_path.empty() && !args->graph_path.empty()) {
+    std::fprintf(stderr, "give either GRAPH.tsv or --snapshot FILE, not both\n");
+    return false;
+  }
+  return args->demo || !args->graph_path.empty() ||
+         !args->snapshot_path.empty();
 }
+
+/// How the current graph came to be; the bare `.stats` command reports it.
+struct GraphSource {
+  std::string path;  ///< empty for the demo graph
+  bool snapshot = false;
+  double open_ms = 0;
+  uint64_t mapped_bytes = 0;
+};
 
 void PrintRows(const Graph& g, const ShellArgs& args, const QueryResult& r) {
   for (size_t row = 0; row < r.table.NumRows() && row < args.max_rows; ++row) {
@@ -459,10 +487,27 @@ int Main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &args)) return Usage(argv[0]);
 
   Graph graph;
+  GraphSource source;
   if (args.demo) {
     graph = MakeDemoGraph();
     std::printf("loaded demo graph (paper Figure 1): %zu nodes, %zu edges\n",
                 graph.NumNodes(), graph.NumEdges());
+  } else if (!args.snapshot_path.empty()) {
+    Stopwatch sw;
+    SnapshotInfo info;
+    auto opened = OpenSnapshot(args.snapshot_path, {}, &info);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+      return kExitGraphLoad;
+    }
+    const double open_ms = sw.ElapsedMs();
+    graph = std::move(opened).value();
+    source = GraphSource{args.snapshot_path, true, open_ms, info.file_bytes};
+    std::printf(
+        "opened snapshot %s: %zu nodes, %zu edges (%.2f MB mapped in "
+        "%.2f ms)\n",
+        args.snapshot_path.c_str(), graph.NumNodes(), graph.NumEdges(),
+        info.file_bytes / 1e6, open_ms);
   } else {
     auto loaded = LoadGraphFile(args.graph_path);
     if (!loaded.ok()) {
@@ -470,6 +515,7 @@ int Main(int argc, char** argv) {
       return kExitGraphLoad;
     }
     graph = std::move(loaded).value();
+    source = GraphSource{args.graph_path, false, 0, 0};
     std::printf("loaded %s: %zu nodes, %zu edges\n", args.graph_path.c_str(),
                 graph.NumNodes(), graph.NumEdges());
   }
@@ -488,8 +534,8 @@ int Main(int argc, char** argv) {
   // their own line.
   std::printf(
       "enter queries terminated by ';' (.parallel N | .views on|off | "
-      ".planner on|off | .explain on|off | .stats on|off | .stream on|off | "
-      ".batch FILE | .prepare NAME Q; | .bind NAME $k=v | "
+      ".planner on|off | .explain on|off | .stats [on|off] | .open FILE | "
+      ".stream on|off | .batch FILE | .prepare NAME Q; | .bind NAME $k=v | "
       ".run NAME | Ctrl-D)\n");
   std::string buffer, line;
   // Prepared-query registry: handles borrow the engine, so rebuilding the
@@ -585,12 +631,62 @@ int Main(int argc, char** argv) {
         args.explain = arg == "on";
         std::printf("plan printout: %s\n", arg.c_str());
       } else if (name == ".stats") {
+        if (arg.empty()) {
+          // Bare `.stats`: session status, including how the graph is stored.
+          if (source.path.empty()) {
+            std::printf("graph: demo (paper Figure 1), %zu nodes, %zu edges\n",
+                        graph.NumNodes(), graph.NumEdges());
+          } else {
+            std::printf("graph: %s (%s), %zu nodes, %zu edges\n",
+                        source.path.c_str(),
+                        source.snapshot ? "mmap snapshot" : "parsed text",
+                        graph.NumNodes(), graph.NumEdges());
+          }
+          if (source.snapshot) {
+            std::printf("snapshot: %.2f MB mapped, opened in %.2f ms\n",
+                        source.mapped_bytes / 1e6, source.open_ms);
+          }
+          std::printf(
+              "options: parallel=%u views=%s planner=%s explain=%s "
+              "ctp-stats=%s stream=%s\n",
+              args.options.num_threads,
+              args.options.use_compiled_views ? "on" : "off",
+              args.options.use_planner ? "on" : "off",
+              args.explain ? "on" : "off", args.stats ? "on" : "off",
+              args.stream ? "on" : "off");
+          continue;
+        }
         if (arg != "on" && arg != "off") {
-          std::printf(".stats expects 'on' or 'off'\n");
+          std::printf(".stats expects 'on', 'off', or no argument\n");
           continue;
         }
         args.stats = arg == "on";
         std::printf("per-CTP statistics: %s\n", arg.c_str());
+      } else if (name == ".open") {
+        if (arg.empty()) {
+          std::printf(".open needs a snapshot file\n");
+          continue;
+        }
+        Stopwatch sw;
+        SnapshotInfo info;
+        auto opened = OpenSnapshot(arg, {}, &info);
+        if (!opened.ok()) {
+          std::printf("error: %s\n", opened.status().ToString().c_str());
+          exit_code = std::max(exit_code, kExitGraphLoad);
+          continue;
+        }
+        const double open_ms = sw.ElapsedMs();
+        // The engine borrows the graph; retire it before swapping the
+        // storage out from under it.
+        engine.reset();
+        graph = std::move(opened).value();
+        source = GraphSource{arg, true, open_ms, info.file_bytes};
+        rebuild_engine();
+        std::printf(
+            "opened snapshot %s: %zu nodes, %zu edges (%.2f MB mapped in "
+            "%.2f ms)\n",
+            arg.c_str(), graph.NumNodes(), graph.NumEdges(),
+            info.file_bytes / 1e6, open_ms);
       } else if (name == ".stream") {
         if (arg != "on" && arg != "off") {
           std::printf(".stream expects 'on' or 'off'\n");
@@ -651,8 +747,9 @@ int Main(int argc, char** argv) {
       } else {
         std::printf(
             "unknown command '%s' (try .parallel N, .views on|off, "
-            ".planner on|off, .explain on|off, .stats on|off, "
-            ".stream on|off, .batch FILE, .prepare, .bind or .run)\n",
+            ".planner on|off, .explain on|off, .stats [on|off], "
+            ".open FILE, .stream on|off, .batch FILE, .prepare, .bind "
+            "or .run)\n",
             name.c_str());
       }
       continue;

@@ -18,6 +18,8 @@ const char* StatusCodeName(StatusCode code) {
       return "internal";
     case StatusCode::kTimeout:
       return "timeout";
+    case StatusCode::kCorruption:
+      return "corruption";
   }
   return "unknown";
 }

@@ -22,6 +22,7 @@ enum class StatusCode {
   kUnimplemented,     ///< feature combination not supported
   kInternal,          ///< invariant violation (a bug if ever seen)
   kTimeout,           ///< a budgeted operation hit its deadline
+  kCorruption,        ///< on-disk data failed validation (snapshots, io)
 };
 
 /// Returns a stable lowercase name for a status code ("ok", "timeout", ...).
@@ -53,6 +54,9 @@ class Status {
   }
   static Status Timeout(std::string msg) {
     return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,265 @@
+// Snapshot/in-memory equivalence: for every conformance manifest, the graph
+// built by ParseGraphText and the same graph written to a snapshot file and
+// re-opened via mmap must be indistinguishable through the whole engine —
+// identical canonical rows, identical EXPLAIN text (estimates and actuals),
+// and identical SearchStats counters (wall-clock fields excluded), both on
+// the sequential executor and the parallel one. This is the contract that
+// lets eql_shell/--snapshot serve the same answers as a text load.
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ctp/algorithm.h"
+#include "ctp/stats.h"
+#include "eval/engine.h"
+#include "eval/params.h"
+#include "graph/graph_io.h"
+#include "graph/snapshot.h"
+
+namespace eql {
+namespace {
+
+struct Manifest {
+  std::string graph_text;
+  std::string query;
+  std::vector<std::pair<std::string, std::string>> params;
+  std::map<std::string, std::string> options;
+};
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+Manifest LoadManifest(const std::string& path) {
+  Manifest m;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::string line;
+  std::string section;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] == '#') continue;
+    if (!line.empty() && line[0] == '[') {
+      section = Trim(line);
+      continue;
+    }
+    if (section == "[graph]") {
+      if (!Trim(line).empty()) m.graph_text += line + "\n";
+    } else if (section == "[query]") {
+      m.query += line + "\n";
+    } else if (section == "[params]" || section == "[options]") {
+      const std::string t = Trim(line);
+      if (t.empty()) continue;
+      size_t eq = t.find('=');
+      if (eq == std::string::npos) continue;
+      auto kv = std::make_pair(t.substr(0, eq), t.substr(eq + 1));
+      if (section == "[params]") {
+        m.params.push_back(std::move(kv));
+      } else {
+        m.options.insert(std::move(kv));
+      }
+    }
+  }
+  return m;
+}
+
+bool AllDigits(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+std::string CanonicalRow(const Graph& g, const QueryResult& r, size_t row) {
+  std::string out;
+  const BindingTable& t = r.table;
+  for (size_t c = 0; c < t.NumColumns(); ++c) {
+    if (c > 0) out += "  ";
+    out += "?" + t.columns()[c] + "=";
+    uint32_t v = t.At(row, c);
+    switch (t.kind(c)) {
+      case ColKind::kNode:
+        out += g.NodeLabel(v);
+        break;
+      case ColKind::kEdge:
+        out += "[" + g.EdgeToString(v) + "]";
+        break;
+      case ColKind::kTree: {
+        std::vector<std::string> edges;
+        for (auto e : r.trees[v].edges) edges.push_back(g.EdgeToString(e));
+        std::sort(edges.begin(), edges.end());
+        out += "{";
+        for (size_t i = 0; i < edges.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += edges[i];
+        }
+        out += "}";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+/// The deterministic counters of one search run — everything in SearchStats
+/// except wall-clock (elapsed_ms, first_result_ms) and the memory peak,
+/// which depends on poll timing.
+std::string CounterString(const SearchStats& s) {
+  std::string out;
+  auto add = [&out](const char* name, uint64_t v) {
+    out += std::string(name) + "=" + std::to_string(v) + " ";
+  };
+  add("init", s.init_trees);
+  add("grow", s.grow_attempts);
+  add("merge", s.merge_attempts);
+  add("built", s.trees_built);
+  add("mo", s.mo_trees);
+  add("pruned", s.trees_pruned);
+  add("lesp_spared", s.lesp_spared);
+  add("bound_pruned", s.bound_pruned);
+  add("pushed", s.queue_pushed);
+  add("results", s.results_found);
+  add("dups", s.duplicate_results);
+  add("minimized", s.minimizations);
+  add("timed_out", s.timed_out);
+  add("budget", s.budget_exhausted);
+  add("complete", s.complete);
+  return out;
+}
+
+struct RunOutput {
+  std::vector<std::string> rows;  ///< canonical, sorted
+  std::string explain_estimates;
+  std::string explain_actuals;
+  std::vector<std::string> ctp_counters;  ///< per CTP run, in order
+  SearchOutcome outcome = SearchOutcome::kOk;
+};
+
+RunOutput RunManifest(const Graph& g, const Manifest& m,
+                      const EngineOptions& opts) {
+  RunOutput out;
+  EqlEngine engine(g, opts);
+  auto prepared = engine.Prepare(m.query);
+  EXPECT_TRUE(prepared.ok()) << prepared.status().ToString();
+  if (!prepared.ok()) return out;
+  ParamMap params;
+  for (const auto& [k, v] : m.params) {
+    if (AllDigits(v)) {
+      params.Set(k, static_cast<int64_t>(std::stoll(v)));
+    } else {
+      params.Set(k, v);
+    }
+  }
+  auto r = prepared->Execute(params);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  if (!r.ok()) return out;
+  for (size_t row = 0; row < r->table.NumRows(); ++row) {
+    out.rows.push_back(CanonicalRow(g, *r, row));
+  }
+  std::sort(out.rows.begin(), out.rows.end());
+  out.explain_estimates = prepared->Explain();
+  out.explain_actuals = prepared->Explain(*r);
+  for (const auto& run : r->ctp_runs) {
+    out.ctp_counters.push_back(run.tree_var + ": " +
+                               CounterString(run.stats));
+  }
+  out.outcome = r->outcome;
+  return out;
+}
+
+void ExpectSameOutput(const RunOutput& mem, const RunOutput& snap) {
+  EXPECT_EQ(mem.rows, snap.rows);
+  EXPECT_EQ(mem.explain_estimates, snap.explain_estimates);
+  EXPECT_EQ(mem.explain_actuals, snap.explain_actuals);
+  EXPECT_EQ(mem.ctp_counters, snap.ctp_counters);
+  EXPECT_EQ(mem.outcome, snap.outcome);
+}
+
+std::vector<std::string> ManifestFiles() {
+  std::vector<std::string> files;
+  const std::filesystem::path dir =
+      std::filesystem::path(EQL_SOURCE_DIR) / "tests" / "conformance";
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".manifest") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+class SnapshotEquivalenceTest : public ::testing::TestWithParam<std::string> {
+};
+
+TEST_P(SnapshotEquivalenceTest, SnapshotServesIdenticalResults) {
+  Manifest m = LoadManifest(GetParam());
+  ASSERT_FALSE(m.graph_text.empty()) << "manifest has no [graph]";
+  ASSERT_FALSE(Trim(m.query).empty()) << "manifest has no [query]";
+
+  auto built = ParseGraphText(m.graph_text);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) / "equiv.snap").string();
+  ASSERT_TRUE(WriteSnapshot(*built, path).ok());
+  auto opened = OpenSnapshot(path);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  ASSERT_TRUE(opened->snapshot_backed());
+
+  // Every algorithm the manifest names, in-memory vs snapshot-backed.
+  std::string algos = "molesp";
+  if (auto it = m.options.find("algorithms"); it != m.options.end()) {
+    algos = it->second;
+  }
+  std::string name;
+  std::vector<std::string> names;
+  for (char c : algos + ",") {
+    if (c == ',') {
+      if (!Trim(name).empty()) names.push_back(Trim(name));
+      name.clear();
+    } else {
+      name += c;
+    }
+  }
+  for (const std::string& algo : names) {
+    SCOPED_TRACE("algorithm: " + algo);
+    auto kind = ParseAlgorithmName(algo);
+    ASSERT_TRUE(kind.has_value()) << "unknown algorithm '" << algo << "'";
+    EngineOptions opts;
+    opts.algorithm = *kind;
+    ExpectSameOutput(RunManifest(*built, m, opts),
+                     RunManifest(*opened, m, opts));
+
+    // And under the parallel executor: chunked seed sets, pooled workers.
+    EngineOptions par = opts;
+    par.num_threads = 3;
+    ExpectSameOutput(RunManifest(*built, m, par),
+                     RunManifest(*opened, m, par));
+  }
+}
+
+std::string ManifestTestName(
+    const ::testing::TestParamInfo<std::string>& info) {
+  std::string stem = std::filesystem::path(info.param).stem().string();
+  for (char& c : stem) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return stem;
+}
+
+INSTANTIATE_TEST_SUITE_P(Manifests, SnapshotEquivalenceTest,
+                         ::testing::ValuesIn(ManifestFiles()),
+                         ManifestTestName);
+
+}  // namespace
+}  // namespace eql
