@@ -1,0 +1,250 @@
+// bench_server — open-loop load generator for the eqld daemon, the
+// latency/throughput numbers behind the server subsystem (docs/server.md).
+//
+// Open-loop means arrivals are scheduled on a fixed clock, NOT gated on
+// responses: request i is due at start + i/rate, and its latency is measured
+// from that *scheduled* arrival to the last response byte — so queueing
+// delay under overload shows up in the percentiles instead of silently
+// throttling the offered rate (the coordinated-omission trap).
+//
+// Default is self-hosted: an in-process EqldServer on an ephemeral port over
+// a seeded synthetic KG, so the binary is self-contained for CI. --port
+// targets an external eqld instead (the CI smoke job starts a real daemon on
+// a packed snapshot and points this at it; the workload assumes synthetic-KG
+// node labels "n<i>", which eqld --synthetic and the smoke snapshot share).
+//
+// Usage: bench_server [options] [OUT.json]     (default BENCH_server.json)
+//   --host H          target host          (default 127.0.0.1)
+//   --port P          target port; 0 = self-host in-process (default 0)
+//   --rate QPS        offered arrival rate (default by scale)
+//   --connections N   keep-alive client connections (default 8)
+//   --duration-s N    measurement window   (default by scale)
+//
+// Honors EQL_BENCH_SCALE: 0 = 3s @ 100 QPS (smoke), 1 = 10s @ 200 QPS,
+// 2 = 30s @ 400 QPS (the CI smoke job's configuration).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "gen/kg.h"
+#include "server/http.h"
+#include "server/server.h"
+#include "util/table_printer.h"
+
+namespace eql {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Bounded per-request work: MAX 2 keeps the tree search small and max_rows
+// caps the body, so one request is a realistic small query, not a bulk dump.
+constexpr const char* kTarget = "/query?format=json&max_rows=10";
+constexpr const char* kQuery =
+    "SELECT ?w WHERE { CONNECT(\"n1\", \"n2\" -> ?w) MAX 2 }";
+
+struct Options {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  ///< 0 = self-host
+  double rate = 0;    ///< 0 = pick by scale
+  int connections = 8;
+  int duration_s = 0;  ///< 0 = pick by scale
+  std::string out = "BENCH_server.json";
+};
+
+struct WorkerTally {
+  std::vector<double> latencies_ms;
+  uint64_t ok = 0;
+  uint64_t status_4xx = 0;
+  uint64_t status_5xx = 0;
+  uint64_t transport_errors = 0;
+};
+
+/// One worker: pulls globally-scheduled arrivals, waits for their due time,
+/// issues the request on its own keep-alive connection (reconnecting after
+/// transport errors) and records latency-from-due-time.
+void RunWorker(const Options& opt, uint16_t port, Clock::time_point start,
+               double interval_s, uint64_t total, std::atomic<uint64_t>* next,
+               WorkerTally* tally) {
+  std::unique_ptr<HttpClientConnection> conn;
+  for (;;) {
+    const uint64_t i = next->fetch_add(1, std::memory_order_relaxed);
+    if (i >= total) return;
+    const auto due =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(i * interval_s));
+    std::this_thread::sleep_until(due);
+
+    if (conn == nullptr) {
+      auto c = HttpClientConnection::Connect(opt.host, port);
+      if (!c.ok()) {
+        ++tally->transport_errors;
+        continue;
+      }
+      conn = std::make_unique<HttpClientConnection>(std::move(*c));
+    }
+    auto r = conn->Request("POST", kTarget, kQuery);
+    const double latency_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - due).count();
+    if (!r.ok()) {
+      ++tally->transport_errors;
+      conn.reset();  // stale keep-alive state; reconnect on the next arrival
+      continue;
+    }
+    tally->latencies_ms.push_back(latency_ms);
+    if (r->status >= 500) {
+      ++tally->status_5xx;
+    } else if (r->status >= 400) {
+      ++tally->status_4xx;
+    } else {
+      ++tally->ok;
+    }
+  }
+}
+
+double Percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  size_t idx = static_cast<size_t>(p * (sorted.size() - 1));
+  return sorted[idx];
+}
+
+}  // namespace
+}  // namespace eql
+
+int main(int argc, char** argv) {
+  using namespace eql;
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_server: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      opt.host = value();
+    } else if (arg == "--port") {
+      opt.port = static_cast<uint16_t>(std::atoi(value()));
+    } else if (arg == "--rate") {
+      opt.rate = std::atof(value());
+    } else if (arg == "--connections") {
+      opt.connections = std::atoi(value());
+    } else if (arg == "--duration-s") {
+      opt.duration_s = std::atoi(value());
+    } else if (arg[0] != '-') {
+      opt.out = arg;
+    } else {
+      std::fprintf(stderr, "bench_server: unknown argument '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  const int scale = bench::Scale();
+  if (opt.duration_s == 0) opt.duration_s = scale == 0 ? 3 : scale == 1 ? 10 : 30;
+  if (opt.rate == 0) opt.rate = scale == 0 ? 100 : scale == 1 ? 200 : 400;
+
+  bench::Banner("eqld open-loop load (QPS / p50 / p99)",
+                "server subsystem, docs/server.md");
+
+  // Self-host unless pointed at an external daemon.
+  std::unique_ptr<EqldServer> self_hosted;
+  uint16_t port = opt.port;
+  if (port == 0) {
+    KgParams params;
+    params.num_nodes = 10000;
+    params.num_edges = 40000;
+    auto g = MakeSyntheticKg(params);
+    if (!g.ok()) {
+      std::fprintf(stderr, "bench_server: %s\n", g.status().ToString().c_str());
+      return 1;
+    }
+    ServerOptions server_options;
+    self_hosted = std::make_unique<EqldServer>(server_options);
+    self_hosted->SetGraph(std::move(g).value(), "synthetic(10000,40000)");
+    Status st = self_hosted->Start();
+    if (!st.ok()) {
+      std::fprintf(stderr, "bench_server: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    port = self_hosted->port();
+    std::printf("self-hosted eqld on 127.0.0.1:%u\n", port);
+  } else {
+    std::printf("targeting %s:%u\n", opt.host.c_str(), port);
+  }
+  std::printf("offered %.0f QPS for %ds over %d connections\n\n", opt.rate,
+              opt.duration_s, opt.connections);
+
+  const uint64_t total = static_cast<uint64_t>(opt.rate * opt.duration_s);
+  const double interval_s = 1.0 / opt.rate;
+  std::atomic<uint64_t> next{0};
+  std::vector<WorkerTally> tallies(opt.connections);
+  const auto start = Clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(opt.connections);
+  for (int w = 0; w < opt.connections; ++w) {
+    workers.emplace_back(RunWorker, std::cref(opt), port, start, interval_s,
+                         total, &next, &tallies[w]);
+  }
+  for (auto& w : workers) w.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  WorkerTally sum;
+  for (const auto& t : tallies) {
+    sum.ok += t.ok;
+    sum.status_4xx += t.status_4xx;
+    sum.status_5xx += t.status_5xx;
+    sum.transport_errors += t.transport_errors;
+    sum.latencies_ms.insert(sum.latencies_ms.end(), t.latencies_ms.begin(),
+                            t.latencies_ms.end());
+  }
+  std::sort(sum.latencies_ms.begin(), sum.latencies_ms.end());
+  const double qps = sum.ok / elapsed_s;
+  const double p50 = Percentile(sum.latencies_ms, 0.50);
+  const double p99 = Percentile(sum.latencies_ms, 0.99);
+
+  TablePrinter table({"metric", "value"});
+  table.AddRow({"requests", std::to_string(total)});
+  table.AddRow({"ok", std::to_string(sum.ok)});
+  table.AddRow({"4xx", std::to_string(sum.status_4xx)});
+  table.AddRow({"5xx", std::to_string(sum.status_5xx)});
+  table.AddRow({"transport errors", std::to_string(sum.transport_errors)});
+  table.AddRow({"achieved QPS", bench::Ms(qps)});
+  table.AddRow({"p50 ms", bench::Ms(p50)});
+  table.AddRow({"p99 ms", bench::Ms(p99)});
+  std::printf("%s", table.Render().c_str());
+
+  std::FILE* out = std::fopen(opt.out.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_server: cannot write %s\n", opt.out.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\"bench\":\"server\",\"scale\":%d,"
+               "\"offered_qps\":%.1f,\"duration_s\":%d,\"connections\":%d,"
+               "\"requests\":%llu,\"ok\":%llu,\"status_4xx\":%llu,"
+               "\"status_5xx\":%llu,\"transport_errors\":%llu,"
+               "\"qps\":%.2f,\"p50_ms\":%.3f,\"p99_ms\":%.3f}\n",
+               scale, opt.rate, opt.duration_s, opt.connections,
+               static_cast<unsigned long long>(total),
+               static_cast<unsigned long long>(sum.ok),
+               static_cast<unsigned long long>(sum.status_4xx),
+               static_cast<unsigned long long>(sum.status_5xx),
+               static_cast<unsigned long long>(sum.transport_errors), qps, p50,
+               p99);
+  std::fclose(out);
+  std::printf("\nwrote %s\n", opt.out.c_str());
+
+  if (self_hosted != nullptr) self_hosted->Shutdown();
+  // Zero successful requests means the run measured nothing — fail loudly so
+  // CI can't mistake a dead server for a fast one.
+  return sum.ok > 0 ? 0 : 1;
+}

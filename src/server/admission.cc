@@ -1,0 +1,71 @@
+#include "server/admission.h"
+
+namespace eql {
+
+AdmissionTicket::AdmissionTicket(AdmissionTicket&& other) noexcept
+    : controller_(other.controller_), client_(std::move(other.client_)) {
+  other.controller_ = nullptr;
+}
+
+AdmissionTicket& AdmissionTicket::operator=(AdmissionTicket&& other) noexcept {
+  if (this != &other) {
+    if (controller_ != nullptr) controller_->Release(client_);
+    controller_ = other.controller_;
+    client_ = std::move(other.client_);
+    other.controller_ = nullptr;
+  }
+  return *this;
+}
+
+AdmissionTicket::~AdmissionTicket() {
+  if (controller_ != nullptr) controller_->Release(client_);
+}
+
+AdmissionController::AdmissionController(Options options, FaultInjector* fault)
+    : options_(options), fault_(fault) {}
+
+Result<AdmissionTicket> AdmissionController::Admit(const std::string& client) {
+  if (fault_ != nullptr && fault_->ShouldFail(kFaultSiteAdmit)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++rejected_global_;
+    return Status::Unavailable("injected admission fault");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.max_concurrent > 0 && in_flight_ >= options_.max_concurrent) {
+    ++rejected_global_;
+    return Status::Unavailable(
+        "server at capacity (" + std::to_string(in_flight_) +
+        " queries in flight); retry later");
+  }
+  uint32_t& mine = per_client_[client];
+  if (options_.per_client_concurrent > 0 &&
+      mine >= options_.per_client_concurrent) {
+    ++rejected_client_;
+    return Status::ResourceExhausted(
+        "client '" + client + "' is over its concurrency quota (" +
+        std::to_string(options_.per_client_concurrent) + ")");
+  }
+  ++in_flight_;
+  ++mine;
+  ++admitted_;
+  return AdmissionTicket(this, client);
+}
+
+void AdmissionController::Release(const std::string& client) {
+  std::lock_guard<std::mutex> lock(mu_);
+  --in_flight_;
+  auto it = per_client_.find(client);
+  if (it != per_client_.end() && --it->second == 0) per_client_.erase(it);
+}
+
+AdmissionController::Stats AdmissionController::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.admitted = admitted_;
+  s.rejected_global = rejected_global_;
+  s.rejected_client = rejected_client_;
+  s.in_flight = in_flight_;
+  return s;
+}
+
+}  // namespace eql

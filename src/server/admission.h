@@ -1,0 +1,106 @@
+// Admission control for the eqld daemon: decides, before any query work,
+// whether a request may run — and under what resource envelope.
+//
+// Two independent gates, mapped onto the two new status codes (and through
+// HttpStatusForCode onto HTTP):
+//
+//   * a GLOBAL concurrency cap — the server is saturated, nobody gets in:
+//     kUnavailable -> 503. Protects the worker pool and memory headroom.
+//   * a PER-CLIENT concurrency cap — one client is hogging, only that
+//     client is pushed back: kResourceExhausted -> 429.
+//
+// A client is whatever string the server derives per request (the
+// X-EQL-Client header when present, else the peer IP). Admission hands out
+// an RAII Ticket; its destruction releases both counters, so every exit
+// path — success, serialization failure, disconnect — releases exactly once.
+//
+// The controller also carries the per-query resource envelope that admitted
+// requests execute under (ExecOptions::query_timeout_ms /
+// memory_budget_bytes): admission is the single place where server-wide
+// quota policy turns into engine budgets.
+//
+// kFaultSiteAdmit (test-only injector) is probed on every Admit; a firing
+// probe rejects as kUnavailable, exercising the shed-load path on demand.
+#ifndef EQL_SERVER_ADMISSION_H_
+#define EQL_SERVER_ADMISSION_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "util/fault.h"
+#include "util/status.h"
+
+namespace eql {
+
+class AdmissionController;
+
+/// RAII admission slot: releases its global + per-client counters when
+/// destroyed. Move-only; a moved-from ticket releases nothing.
+class AdmissionTicket {
+ public:
+  AdmissionTicket() = default;
+  AdmissionTicket(AdmissionTicket&& other) noexcept;
+  AdmissionTicket& operator=(AdmissionTicket&& other) noexcept;
+  ~AdmissionTicket();
+
+  bool valid() const { return controller_ != nullptr; }
+
+ private:
+  friend class AdmissionController;
+  AdmissionTicket(AdmissionController* controller, std::string client)
+      : controller_(controller), client_(std::move(client)) {}
+
+  AdmissionController* controller_ = nullptr;
+  std::string client_;
+};
+
+class AdmissionController {
+ public:
+  struct Options {
+    /// Server-wide concurrent-query cap (0 = unlimited).
+    uint32_t max_concurrent = 64;
+    /// Per-client concurrent-query cap (0 = unlimited).
+    uint32_t per_client_concurrent = 8;
+    /// Engine budgets every admitted query runs under (the quota ->
+    /// ExecOptions mapping); <= 0 / 0 = unlimited.
+    int64_t query_timeout_ms = 30000;
+    uint64_t memory_budget_bytes = 0;
+  };
+
+  struct Stats {
+    uint64_t admitted = 0;
+    uint64_t rejected_global = 0;   ///< 503s issued
+    uint64_t rejected_client = 0;   ///< 429s issued
+    uint32_t in_flight = 0;
+  };
+
+  explicit AdmissionController(Options options, FaultInjector* fault = nullptr);
+
+  /// Tries to admit one query for `client`.
+  ///   ok                  — run it; keep the ticket alive for the duration.
+  ///   kUnavailable        — server at capacity (or injected admit fault).
+  ///   kResourceExhausted  — this client is over its own cap.
+  Result<AdmissionTicket> Admit(const std::string& client);
+
+  const Options& options() const { return options_; }
+  Stats GetStats() const;
+
+ private:
+  friend class AdmissionTicket;
+  void Release(const std::string& client);
+
+  Options options_;
+  FaultInjector* fault_;  ///< not owned; may be null
+  mutable std::mutex mu_;
+  uint32_t in_flight_ = 0;
+  std::unordered_map<std::string, uint32_t> per_client_;
+  uint64_t admitted_ = 0;
+  uint64_t rejected_global_ = 0;
+  uint64_t rejected_client_ = 0;
+};
+
+}  // namespace eql
+
+#endif  // EQL_SERVER_ADMISSION_H_

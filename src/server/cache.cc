@@ -1,0 +1,61 @@
+#include "server/cache.h"
+
+namespace eql {
+
+PreparedCache::PreparedCache(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+Result<std::shared_ptr<const PreparedQuery>> PreparedCache::GetOrPrepare(
+    const EqlEngine& engine, std::string_view query_text) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(query_text);
+    if (it != index_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second);  // keys stay in place
+      return it->second->prepared;
+    }
+    ++misses_;
+  }
+
+  // Compile outside the lock; a racing miss for the same text compiles too,
+  // and whichever insert lands second adopts the first one's entry.
+  auto prepared = engine.Prepare(query_text);
+  if (!prepared.ok()) return prepared.status();
+  auto handle =
+      std::make_shared<const PreparedQuery>(std::move(prepared).value());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(query_text);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->prepared;
+  }
+  lru_.push_front(Entry{std::string(query_text), std::move(handle)});
+  index_.emplace(std::string_view(lru_.front().text), lru_.begin());
+  while (lru_.size() > capacity_) {
+    index_.erase(std::string_view(lru_.back().text));
+    lru_.pop_back();
+    ++evictions_;
+  }
+  return lru_.front().prepared;
+}
+
+void PreparedCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  index_.clear();
+  lru_.clear();
+}
+
+PreparedCache::Stats PreparedCache::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.size = lru_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+}  // namespace eql

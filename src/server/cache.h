@@ -1,0 +1,79 @@
+// Process-wide prepared-statement cache for the eqld daemon.
+//
+// Keyed by the exact query text: two clients sending the same bytes share
+// one compiled plan, so the parse/validate/plan front end runs once per
+// distinct query instead of once per request. Entries are
+// shared_ptr<const PreparedQuery> — eviction under a concurrent Execute is
+// safe because the executing request holds its own reference; the evicted
+// entry dies when the last in-flight use drops it. (PreparedQuery itself is
+// immutable and concurrently executable, see eval/engine.h.)
+//
+// Eviction is plain LRU over a doubly-linked list + hash map, bounded by
+// entry count: plans are small relative to the graph, and query texts — the
+// keys — dominate the footprint, so a count bound is an effective byte
+// bound. Telemetry (hits/misses/evictions) feeds /stats.
+//
+// Thread-safe. Prepare runs OUTSIDE the cache lock (compilation can be
+// milliseconds); two racing misses for the same text both compile and the
+// loser adopts the winner's entry, so a handle for one text is still shared
+// once the race settles.
+#ifndef EQL_SERVER_CACHE_H_
+#define EQL_SERVER_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "eval/engine.h"
+#include "util/status.h"
+
+namespace eql {
+
+class PreparedCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;      ///< includes failed Prepares (never cached)
+    uint64_t evictions = 0;
+    size_t size = 0;          ///< entries currently cached
+    size_t capacity = 0;
+  };
+
+  /// `capacity` = max cached entries (>= 1).
+  explicit PreparedCache(size_t capacity);
+
+  /// Returns the cached handle for `query_text`, compiling and inserting it
+  /// on a miss. A failed Prepare propagates its Status and caches nothing
+  /// (bad queries stay cheap to reject but are not worth a slot).
+  Result<std::shared_ptr<const PreparedQuery>> GetOrPrepare(
+      const EqlEngine& engine, std::string_view query_text);
+
+  /// Drops every entry (used when the graph behind the engine is swapped;
+  /// in-flight handles stay valid until released).
+  void Clear();
+
+  Stats GetStats() const;
+
+ private:
+  struct Entry {
+    std::string text;  ///< owning copy of the key (list node = LRU position)
+    std::shared_ptr<const PreparedQuery> prepared;
+  };
+  using LruList = std::list<Entry>;
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  LruList lru_;  ///< front = most recently used
+  std::unordered_map<std::string_view, LruList::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace eql
+
+#endif  // EQL_SERVER_CACHE_H_

@@ -1,0 +1,320 @@
+#include "server/format.h"
+
+#include <cassert>
+
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace eql {
+
+namespace {
+
+/// Scores print with %.17g: enough digits to round-trip a double exactly, so
+/// cached vs fresh executions of the same query serialize byte-identically.
+std::string ScoreToString(double score) { return StrFormat("%.17g", score); }
+
+/// One connecting-tree cell in the text formats: "{A -l-> B, C -m-> D}" —
+/// the edge rendering eql_shell has always used.
+std::string TreeCellText(const Graph& g, const ResultTreeInfo& t) {
+  std::string out = "{";
+  for (size_t i = 0; i < t.edges.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += g.EdgeToString(t.edges[i]);
+  }
+  out += "}";
+  return out;
+}
+
+/// TSV cell escape: the separator, newlines and the escape char itself.
+std::string TsvEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\\': out += "\\\\"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void AppendJsonEdge(const Graph& g, EdgeId e, std::string* out) {
+  *out += "{\"source\":\"";
+  AppendJsonEscaped(g.NodeLabel(g.Source(e)), out);
+  *out += "\",\"label\":\"";
+  AppendJsonEscaped(g.EdgeLabel(e), out);
+  *out += "\",\"target\":\"";
+  AppendJsonEscaped(g.NodeLabel(g.Target(e)), out);
+  *out += "\"}";
+}
+
+}  // namespace
+
+void AppendJsonEscaped(std::string_view s, std::string* out) {
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          *out += StrFormat("\\u%04x", c);
+        } else {
+          *out += static_cast<char>(c);
+        }
+    }
+  }
+}
+
+std::optional<ResultFormat> ParseResultFormat(std::string_view name) {
+  if (name == "json") return ResultFormat::kJson;
+  if (name == "tsv") return ResultFormat::kTsv;
+  if (name == "table") return ResultFormat::kTable;
+  return std::nullopt;
+}
+
+const char* ResultFormatName(ResultFormat f) {
+  switch (f) {
+    case ResultFormat::kJson: return "json";
+    case ResultFormat::kTsv: return "tsv";
+    case ResultFormat::kTable: return "table";
+  }
+  return "unknown";
+}
+
+const char* ResultFormatContentType(ResultFormat f) {
+  switch (f) {
+    case ResultFormat::kJson: return "application/json";
+    case ResultFormat::kTsv: return "text/tab-separated-values";
+    case ResultFormat::kTable: return "text/plain";
+  }
+  return "application/octet-stream";
+}
+
+SerializingSink::SerializingSink(const Graph& g, ResultFormat format,
+                                 ByteSink& out, uint64_t max_rows,
+                                 FaultInjector* fault)
+    : g_(g), format_(format), out_(out), max_rows_(max_rows), fault_(fault) {}
+
+bool SerializingSink::WriteOut(std::string_view bytes) {
+  if (failed_) return false;
+  if (fault_ != nullptr && fault_->ShouldFail(kFaultSiteFlush)) {
+    failed_ = true;
+    return false;
+  }
+  if (!out_.Write(bytes)) failed_ = true;
+  return !failed_;
+}
+
+void SerializingSink::OnSchema(const RowSchema& schema) {
+  schema_ = schema;
+  switch (format_) {
+    case ResultFormat::kJson: {
+      scratch_ = "{\"head\":{\"vars\":[";
+      for (size_t c = 0; c < schema_.columns.size(); ++c) {
+        if (c > 0) scratch_ += ',';
+        scratch_ += '"';
+        AppendJsonEscaped(schema_.columns[c], &scratch_);
+        scratch_ += '"';
+      }
+      scratch_ += "]},\"results\":{\"bindings\":[";
+      WriteOut(scratch_);
+      break;
+    }
+    case ResultFormat::kTsv: {
+      scratch_.clear();
+      for (size_t c = 0; c < schema_.columns.size(); ++c) {
+        if (c > 0) scratch_ += '\t';
+        scratch_ += '?';
+        scratch_ += TsvEscape(schema_.columns[c]);
+      }
+      scratch_ += '\n';
+      WriteOut(scratch_);
+      break;
+    }
+    case ResultFormat::kTable:
+      break;  // the table renders whole at Finish
+  }
+  head_written_ = true;
+}
+
+void SerializingSink::RenderCell(const StreamRow& row, size_t c,
+                                 std::string* cell) const {
+  cell->clear();
+  const uint32_t v = row.values[c];
+  switch (schema_.kinds[c]) {
+    case ColKind::kNode:
+      *cell = g_.NodeLabel(v);
+      break;
+    case ColKind::kEdge:
+      *cell = g_.EdgeToString(v);
+      break;
+    case ColKind::kTree:
+      *cell = TreeCellText(g_, row.trees[v]);
+      break;
+  }
+}
+
+bool SerializingSink::OnRow(StreamRow row) {
+  assert(head_written_ && "engine delivers OnSchema before any row");
+  ++rows_seen_;
+  if (failed_) return false;
+  if (max_rows_ > 0 && rows_written_ >= max_rows_) return true;  // count only
+  switch (format_) {
+    case ResultFormat::kJson: {
+      scratch_ = rows_written_ == 0 ? "\n{" : ",\n{";
+      for (size_t c = 0; c < row.values.size(); ++c) {
+        if (c > 0) scratch_ += ',';
+        scratch_ += '"';
+        AppendJsonEscaped(schema_.columns[c], &scratch_);
+        scratch_ += "\":";
+        const uint32_t v = row.values[c];
+        switch (schema_.kinds[c]) {
+          case ColKind::kNode:
+            scratch_ += g_.IsLiteral(v) ? "{\"type\":\"literal\",\"value\":\""
+                                        : "{\"type\":\"node\",\"value\":\"";
+            AppendJsonEscaped(g_.NodeLabel(v), &scratch_);
+            scratch_ += "\"}";
+            break;
+          case ColKind::kEdge:
+            scratch_ += "{\"type\":\"edge\",";
+            {
+              std::string edge;
+              AppendJsonEdge(g_, v, &edge);
+              // Reuse the edge object's fields: strip its braces.
+              scratch_.append(edge, 1, edge.size() - 2);
+            }
+            scratch_ += '}';
+            break;
+          case ColKind::kTree: {
+            const ResultTreeInfo& t = row.trees[v];
+            scratch_ += "{\"type\":\"tree\",\"root\":\"";
+            AppendJsonEscaped(g_.NodeLabel(t.root), &scratch_);
+            scratch_ += "\",\"score\":" + ScoreToString(t.score) +
+                        ",\"edges\":[";
+            for (size_t i = 0; i < t.edges.size(); ++i) {
+              if (i > 0) scratch_ += ',';
+              AppendJsonEdge(g_, t.edges[i], &scratch_);
+            }
+            scratch_ += "]}";
+            break;
+          }
+        }
+      }
+      scratch_ += '}';
+      if (!WriteOut(scratch_)) return false;
+      break;
+    }
+    case ResultFormat::kTsv: {
+      scratch_.clear();
+      std::string cell;
+      for (size_t c = 0; c < row.values.size(); ++c) {
+        if (c > 0) scratch_ += '\t';
+        RenderCell(row, c, &cell);
+        scratch_ += TsvEscape(cell);
+      }
+      scratch_ += '\n';
+      if (!WriteOut(scratch_)) return false;
+      break;
+    }
+    case ResultFormat::kTable: {
+      std::vector<std::string> cells(row.values.size());
+      for (size_t c = 0; c < row.values.size(); ++c) {
+        RenderCell(row, c, &cells[c]);
+      }
+      table_rows_.push_back(std::move(cells));
+      break;
+    }
+  }
+  ++rows_written_;
+  return true;
+}
+
+bool SerializingSink::Finish(const FinishInfo& info) {
+  assert(!finished_ && "Finish is called exactly once");
+  finished_ = true;
+  const uint64_t suppressed = info.more_rows + (rows_seen_ - rows_written_);
+  switch (format_) {
+    case ResultFormat::kJson: {
+      if (!head_written_) OnSchema(RowSchema{});  // error-path safety net
+      scratch_ = rows_written_ > 0 ? "\n]}" : "]}";
+      scratch_ += ",\"rows\":" + std::to_string(rows_seen_ + info.more_rows);
+      if (suppressed > 0) {
+        scratch_ += ",\"truncated_rows\":" + std::to_string(suppressed);
+      }
+      scratch_ += ",\"outcome\":\"";
+      scratch_ += SearchOutcomeName(info.outcome);
+      scratch_ += "\"}\n";
+      WriteOut(scratch_);
+      break;
+    }
+    case ResultFormat::kTsv: {
+      if (!head_written_) OnSchema(RowSchema{});
+      scratch_.clear();
+      if (suppressed > 0) {
+        scratch_ += "# ... (" + std::to_string(suppressed) + " more rows)\n";
+      }
+      if (info.outcome != SearchOutcome::kOk) {
+        scratch_ += StrFormat("# outcome: %s (partial results)\n",
+                              SearchOutcomeName(info.outcome));
+      }
+      if (!scratch_.empty()) WriteOut(scratch_);
+      break;
+    }
+    case ResultFormat::kTable: {
+      std::vector<std::string> header;
+      header.reserve(schema_.columns.size());
+      for (const auto& col : schema_.columns) header.push_back("?" + col);
+      TablePrinter printer(std::move(header));
+      for (auto& row : table_rows_) printer.AddRow(std::move(row));
+      table_rows_.clear();
+      scratch_ = printer.Render();
+      if (suppressed > 0) {
+        scratch_ += "... (" + std::to_string(suppressed) + " more rows)\n";
+      }
+      if (info.outcome != SearchOutcome::kOk) {
+        scratch_ += StrFormat("outcome: %s (partial results)\n",
+                              SearchOutcomeName(info.outcome));
+      }
+      WriteOut(scratch_);
+      break;
+    }
+  }
+  return !failed_;
+}
+
+bool SerializeResult(const Graph& g, const QueryResult& result,
+                     ResultFormat format, ByteSink& out, uint64_t max_rows,
+                     FaultInjector* fault) {
+  SerializingSink sink(g, format, out, max_rows, fault);
+  RowSchema schema;
+  schema.columns = result.table.columns();
+  schema.kinds.reserve(result.table.NumColumns());
+  for (size_t c = 0; c < result.table.NumColumns(); ++c) {
+    schema.kinds.push_back(result.table.kind(c));
+  }
+  sink.OnSchema(schema);
+  for (size_t r = 0; r < result.table.NumRows(); ++r) {
+    StreamRow row;
+    row.values = result.table.Row(r);
+    // kTree cells index the result's global tree registry; streamed rows are
+    // self-contained, so re-home each referenced tree into the row.
+    for (size_t c = 0; c < row.values.size(); ++c) {
+      if (schema.kinds[c] == ColKind::kTree) {
+        row.trees.push_back(result.trees[row.values[c]]);
+        row.values[c] = static_cast<uint32_t>(row.trees.size() - 1);
+      }
+    }
+    if (!sink.OnRow(std::move(row))) break;
+  }
+  return sink.Finish(FinishInfo{result.outcome, 0});
+}
+
+}  // namespace eql

@@ -1,0 +1,152 @@
+// Result serialization: the wire formats shared by the eqld daemon and
+// eql_shell (--format). Three formats over one cell-rendering core:
+//
+//   * kJson  — SPARQL-results-style JSON: {"head":{"vars":[...]},"results":
+//              {"bindings":[{var:{"type":...,"value":...},...},...]},
+//              "rows":N,"outcome":"ok"}. Nodes render as type "node" (or
+//              "literal"), edges as {"type":"edge","source","label",
+//              "target"}, connecting trees as {"type":"tree","root","score",
+//              "edges":[...]}. Emitted incrementally, one binding per row.
+//   * kTsv   — a header line of ?vars, then one escaped (\t \n \\) cell per
+//              column. Emitted incrementally.
+//   * kTable — the aligned human table of util/table_printer. Rendering
+//              needs every column width, so rows BUFFER until Finish — use
+//              json/tsv when memory-proportional-to-result matters.
+//
+// Determinism contract: serialization is a pure function of the rows, the
+// schema and the finish info — no clocks, no pointers, no locale. That is
+// what lets tests pin byte-identity between an HTTP chunked body, an
+// in-process Cursor drained through the same serializer, and a cached vs
+// freshly-prepared execution.
+//
+// All output flows through a ByteSink whose Write may fail (a closed socket,
+// a full pipe, an armed kFaultSiteFlush). A failed write makes the
+// serializer report failure from OnRow — cancelling a streaming execution —
+// and everything already written is a well-formed prefix: whole rows only,
+// never a torn cell (each row is staged in one buffer and written with one
+// call).
+#ifndef EQL_SERVER_FORMAT_H_
+#define EQL_SERVER_FORMAT_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ctp/stats.h"
+#include "eval/engine.h"
+#include "eval/sink.h"
+#include "graph/graph.h"
+#include "util/fault.h"
+
+namespace eql {
+
+enum class ResultFormat : uint8_t { kJson, kTsv, kTable };
+
+/// Parses "json" | "tsv" | "table"; nullopt otherwise.
+std::optional<ResultFormat> ParseResultFormat(std::string_view name);
+const char* ResultFormatName(ResultFormat f);
+/// The Content-Type eqld serves the format under.
+const char* ResultFormatContentType(ResultFormat f);
+
+/// Byte output the serializers write into. Write returns false on failure;
+/// after a failure the sink stays failed (writers stop on first false).
+class ByteSink {
+ public:
+  virtual ~ByteSink() = default;
+  virtual bool Write(std::string_view bytes) = 0;
+};
+
+/// Appends into a std::string; never fails.
+class StringByteSink : public ByteSink {
+ public:
+  bool Write(std::string_view bytes) override {
+    out.append(bytes);
+    return true;
+  }
+  std::string out;
+};
+
+/// fwrite to a FILE* (stdout for the shell); fails when fwrite does.
+class FileByteSink : public ByteSink {
+ public:
+  explicit FileByteSink(std::FILE* f) : f_(f) {}
+  bool Write(std::string_view bytes) override {
+    return std::fwrite(bytes.data(), 1, bytes.size(), f_) == bytes.size();
+  }
+
+ private:
+  std::FILE* f_;
+};
+
+/// What Finish appends after the last row. Deliberately free of timings and
+/// machine-dependent numbers so output stays byte-deterministic; `more_rows`
+/// reports rows the caller truncated away (eql_shell --max-rows).
+struct FinishInfo {
+  SearchOutcome outcome = SearchOutcome::kOk;
+  uint64_t more_rows = 0;
+};
+
+/// A ResultSink that serializes every row into `out` as it arrives (json and
+/// tsv incrementally; table buffers, see the file comment). Call Finish
+/// exactly once after the execution to complete the document. `max_rows`
+/// > 0 serializes only the first max_rows rows but keeps counting — the
+/// stream is NOT stopped (pass the count of suppressed rows to FinishInfo to
+/// report the truncation); 0 = serialize everything.
+///
+/// `fault` (test-only, may be null) probes kFaultSiteFlush before every
+/// ByteSink write; a firing probe behaves exactly like the sink failing.
+class SerializingSink : public ResultSink {
+ public:
+  SerializingSink(const Graph& g, ResultFormat format, ByteSink& out,
+                  uint64_t max_rows = 0, FaultInjector* fault = nullptr);
+
+  void OnSchema(const RowSchema& schema) override;
+  /// Serializes the row; false once a write failed (stopping the execution).
+  bool OnRow(StreamRow row) override;
+
+  /// Completes the document (closing brackets / table render / truncation
+  /// note). Returns false when any write — now or earlier — failed.
+  bool Finish(const FinishInfo& info);
+
+  uint64_t rows_seen() const { return rows_seen_; }
+  bool write_failed() const { return failed_; }
+
+ private:
+  bool WriteOut(std::string_view bytes);
+  /// Renders row cell c into `cell` (the format's text form of the value).
+  void RenderCell(const StreamRow& row, size_t c, std::string* cell) const;
+
+  const Graph& g_;
+  ResultFormat format_;
+  ByteSink& out_;
+  uint64_t max_rows_;
+  FaultInjector* fault_;
+  RowSchema schema_;
+  bool head_written_ = false;
+  bool failed_ = false;
+  bool finished_ = false;
+  uint64_t rows_seen_ = 0;
+  uint64_t rows_written_ = 0;
+  std::vector<std::vector<std::string>> table_rows_;  ///< kTable buffer
+  std::string scratch_;
+};
+
+/// Serializes a materialized QueryResult table (kTree cells index
+/// result.trees). For CONNECT-only queries this is byte-identical to
+/// streaming the same execution through a SerializingSink — both paths share
+/// the row-rendering core and the engine pins the row orders equal. The
+/// outcome in FinishInfo-position is taken from `result`; `max_rows` as
+/// above. Returns false when a write failed.
+bool SerializeResult(const Graph& g, const QueryResult& result,
+                     ResultFormat format, ByteSink& out, uint64_t max_rows = 0,
+                     FaultInjector* fault = nullptr);
+
+/// Appends the JSON string escape of `s` (quotes not included).
+void AppendJsonEscaped(std::string_view s, std::string* out);
+
+}  // namespace eql
+
+#endif  // EQL_SERVER_FORMAT_H_

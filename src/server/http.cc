@@ -1,0 +1,509 @@
+#include "server/http.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace eql {
+
+namespace {
+
+std::string LowerCase(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+/// recv() more bytes into *buffer. Returns the count read, 0 on orderly EOF,
+/// -1 on error, -2 on poll timeout (no data within timeout_ms).
+int ReadMore(int fd, std::string* buffer, int timeout_ms) {
+  struct pollfd pfd = {fd, POLLIN, 0};
+  int pr = ::poll(&pfd, 1, timeout_ms);
+  if (pr == 0) return -2;
+  if (pr < 0) return errno == EINTR ? -2 : -1;
+  char tmp[16 * 1024];
+  ssize_t n = ::recv(fd, tmp, sizeof tmp, 0);
+  if (n < 0) return (errno == EAGAIN || errno == EINTR) ? -2 : -1;
+  if (n == 0) return 0;
+  buffer->append(tmp, static_cast<size_t>(n));
+  return static_cast<int>(n);
+}
+
+bool SendAll(int fd, std::string_view bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string PeerIp(int fd) {
+  sockaddr_storage addr;
+  socklen_t len = sizeof addr;
+  if (::getpeername(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return "unknown";
+  }
+  char buf[INET6_ADDRSTRLEN] = {0};
+  if (addr.ss_family == AF_INET) {
+    auto* in = reinterpret_cast<sockaddr_in*>(&addr);
+    ::inet_ntop(AF_INET, &in->sin_addr, buf, sizeof buf);
+  } else if (addr.ss_family == AF_INET6) {
+    auto* in6 = reinterpret_cast<sockaddr_in6*>(&addr);
+    ::inet_ntop(AF_INET6, &in6->sin6_addr, buf, sizeof buf);
+  }
+  return buf[0] != '\0' ? buf : "unknown";
+}
+
+/// Parses the query-string part of a target (already past '?').
+void ParseQueryString(std::string_view qs,
+                      std::vector<std::pair<std::string, std::string>>* out) {
+  size_t pos = 0;
+  while (pos <= qs.size()) {
+    size_t amp = qs.find('&', pos);
+    if (amp == std::string_view::npos) amp = qs.size();
+    std::string_view pair = qs.substr(pos, amp - pos);
+    if (!pair.empty()) {
+      size_t eq = pair.find('=');
+      if (eq == std::string_view::npos) {
+        out->emplace_back(UrlDecode(pair), "");
+      } else {
+        out->emplace_back(UrlDecode(pair.substr(0, eq)),
+                          UrlDecode(pair.substr(eq + 1)));
+      }
+    }
+    pos = amp + 1;
+  }
+}
+
+/// Parses "<hex>\r\n" chunk-size lines (chunk extensions after ';' ignored).
+bool ParseChunkSize(std::string_view line, size_t* out) {
+  size_t semi = line.find(';');
+  if (semi != std::string_view::npos) line = line.substr(0, semi);
+  if (line.empty()) return false;
+  size_t value = 0;
+  for (char c : line) {
+    int d;
+    if (c >= '0' && c <= '9') d = c - '0';
+    else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') d = c - 'A' + 10;
+    else return false;
+    if (value > (SIZE_MAX >> 4)) return false;
+    value = (value << 4) | static_cast<size_t>(d);
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::QueryParam(std::string_view key) const {
+  for (const auto& [k, v] : query) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const std::string* HttpRequest::Header(std::string_view lowercase_name) const {
+  auto it = headers.find(std::string(lowercase_name));
+  return it == headers.end() ? nullptr : &it->second;
+}
+
+const char* HttpReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+std::string UrlDecode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out += ' ';
+    } else if (s[i] == '%' && i + 2 < s.size() && std::isxdigit((unsigned char)s[i + 1]) &&
+               std::isxdigit((unsigned char)s[i + 2])) {
+      auto hex = [](char c) {
+        return c <= '9' ? c - '0' : (std::tolower((unsigned char)c) - 'a' + 10);
+      };
+      out += static_cast<char>(hex(s[i + 1]) * 16 + hex(s[i + 2]));
+      i += 2;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+HttpConnection::HttpConnection(int fd) : fd_(fd), peer_ip_(PeerIp(fd)) {}
+
+HttpConnection::~HttpConnection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status HttpConnection::ReadRequest(HttpRequest* out, const HttpLimits& limits,
+                                   const volatile bool* stop,
+                                   int poll_interval_ms) {
+  // ---- head: request line + headers, terminated by CRLFCRLF ----
+  size_t head_end;
+  while ((head_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+    if (buffer_.size() > limits.max_head_bytes) {
+      return Status::OutOfRange("request head exceeds " +
+                                std::to_string(limits.max_head_bytes) + " bytes");
+    }
+    int n = ReadMore(fd_, &buffer_, poll_interval_ms);
+    if (n == 0) {
+      return buffer_.empty()
+                 ? Status::Unavailable("connection closed")
+                 : Status::InvalidArgument("connection closed mid-request");
+    }
+    if (n == -1) return Status::InvalidArgument("recv failed");
+    if (n == -2) {
+      if (stop != nullptr && *stop && buffer_.empty()) {
+        return Status::Unavailable("server shutting down");
+      }
+      continue;  // idle keep-alive connection; keep polling
+    }
+  }
+  std::string_view head(buffer_.data(), head_end);
+
+  // Request line: METHOD SP target SP HTTP/x.y
+  size_t line_end = head.find("\r\n");
+  if (line_end == std::string_view::npos) line_end = head.size();
+  std::string_view line = head.substr(0, line_end);
+  size_t sp1 = line.find(' ');
+  size_t sp2 = sp1 == std::string_view::npos ? std::string_view::npos
+                                             : line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) {
+    return Status::InvalidArgument("malformed request line");
+  }
+  out->method = std::string(line.substr(0, sp1));
+  out->target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  std::string_view version = line.substr(sp2 + 1);
+  if (version != "HTTP/1.1") {
+    return Status::Unimplemented("only HTTP/1.1 is served");
+  }
+
+  // Headers.
+  out->headers.clear();
+  size_t pos = line_end + 2;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    std::string_view h = head.substr(pos, eol - pos);
+    size_t colon = h.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::InvalidArgument("malformed header line");
+    }
+    out->headers[LowerCase(h.substr(0, colon))] =
+        std::string(Trim(h.substr(colon + 1)));
+    pos = eol + 2;
+  }
+  buffer_.erase(0, head_end + 4);
+
+  // Target -> path + decoded query params.
+  out->query.clear();
+  size_t qmark = out->target.find('?');
+  if (qmark == std::string::npos) {
+    out->path = UrlDecode(out->target);
+  } else {
+    out->path = UrlDecode(std::string_view(out->target).substr(0, qmark));
+    ParseQueryString(std::string_view(out->target).substr(qmark + 1),
+                     &out->query);
+  }
+
+  // Body: Content-Length only.
+  out->body.clear();
+  if (const std::string* te = out->Header("transfer-encoding"); te != nullptr) {
+    return Status::Unimplemented("chunked request bodies are not supported");
+  }
+  if (const std::string* cl = out->Header("content-length"); cl != nullptr) {
+    char* end = nullptr;
+    unsigned long long want = std::strtoull(cl->c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      return Status::InvalidArgument("bad content-length");
+    }
+    if (want > limits.max_body_bytes) {
+      return Status::OutOfRange("request body exceeds " +
+                                std::to_string(limits.max_body_bytes) + " bytes");
+    }
+    while (buffer_.size() < want) {
+      int n = ReadMore(fd_, &buffer_, poll_interval_ms);
+      if (n == 0) return Status::InvalidArgument("connection closed mid-body");
+      if (n == -1) return Status::InvalidArgument("recv failed");
+    }
+    out->body = buffer_.substr(0, want);
+    buffer_.erase(0, want);
+  }
+  return Status::Ok();
+}
+
+bool HttpConnection::WriteAll(std::string_view bytes) {
+  return SendAll(fd_, bytes);
+}
+
+bool HttpConnection::WriteResponse(int status, std::string_view content_type,
+                                   std::string_view body,
+                                   const std::vector<std::string>& extra_headers,
+                                   bool keep_alive) {
+  std::string head = StrFormat("HTTP/1.1 %d %s\r\n", status,
+                               HttpReasonPhrase(status));
+  head += "Content-Type: ";
+  head += content_type;
+  head += "\r\nContent-Length: " + std::to_string(body.size()) + "\r\n";
+  head += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  for (const auto& h : extra_headers) {
+    head += h;
+    head += "\r\n";
+  }
+  head += "\r\n";
+  return WriteAll(head) && WriteAll(body);
+}
+
+bool HttpConnection::BeginChunked(int status, std::string_view content_type,
+                                  const std::vector<std::string>& extra_headers,
+                                  bool keep_alive) {
+  std::string head = StrFormat("HTTP/1.1 %d %s\r\n", status,
+                               HttpReasonPhrase(status));
+  head += "Content-Type: ";
+  head += content_type;
+  head += "\r\nTransfer-Encoding: chunked\r\n";
+  head += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  for (const auto& h : extra_headers) {
+    head += h;
+    head += "\r\n";
+  }
+  head += "\r\n";
+  return WriteAll(head);
+}
+
+bool HttpConnection::WriteChunk(std::string_view bytes) {
+  if (bytes.empty()) return true;
+  std::string frame = StrFormat("%zx\r\n", bytes.size());
+  frame.append(bytes);
+  frame += "\r\n";
+  return WriteAll(frame);
+}
+
+bool HttpConnection::EndChunked() { return WriteAll("0\r\n\r\n"); }
+
+// ---- client ----------------------------------------------------------------
+
+Result<int> TcpConnect(const std::string& host, uint16_t port) {
+  struct addrinfo hints = {};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &res);
+  if (rc != 0 || res == nullptr) {
+    return Status::Unavailable("resolve " + host + ": " + gai_strerror(rc));
+  }
+  int fd = -1;
+  for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) {
+    return Status::Unavailable("connect " + host + ":" + std::to_string(port) +
+                               " failed");
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+Status ReadHttpResponse(int fd, std::string* buffer, HttpResponse* out) {
+  // Head.
+  size_t head_end;
+  while ((head_end = buffer->find("\r\n\r\n")) == std::string::npos) {
+    int n = ReadMore(fd, buffer, 10000);
+    if (n == 0) return Status::Unavailable("connection closed before response");
+    if (n < 0) return Status::Unavailable("read failed waiting for response");
+  }
+  std::string_view head(buffer->data(), head_end);
+  size_t line_end = head.find("\r\n");
+  if (line_end == std::string_view::npos) line_end = head.size();
+  std::string_view line = head.substr(0, line_end);
+  if (line.size() < 12 || line.substr(0, 5) != "HTTP/") {
+    return Status::InvalidArgument("malformed status line");
+  }
+  out->status = std::atoi(std::string(line.substr(9, 3)).c_str());
+  out->headers.clear();
+  size_t pos = line_end + 2;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    std::string_view h = head.substr(pos, eol - pos);
+    size_t colon = h.find(':');
+    if (colon != std::string_view::npos) {
+      out->headers[LowerCase(h.substr(0, colon))] =
+          std::string(Trim(h.substr(colon + 1)));
+    }
+    pos = eol + 2;
+  }
+  buffer->erase(0, head_end + 4);
+
+  out->body.clear();
+  auto te = out->headers.find("transfer-encoding");
+  if (te != out->headers.end() && LowerCase(te->second) == "chunked") {
+    for (;;) {
+      size_t eol;
+      while ((eol = buffer->find("\r\n")) == std::string::npos) {
+        int n = ReadMore(fd, buffer, 10000);
+        if (n <= 0) return Status::Unavailable("truncated chunked body");
+      }
+      size_t chunk = 0;
+      if (!ParseChunkSize(std::string_view(*buffer).substr(0, eol), &chunk)) {
+        return Status::InvalidArgument("bad chunk size");
+      }
+      buffer->erase(0, eol + 2);
+      while (buffer->size() < chunk + 2) {
+        int n = ReadMore(fd, buffer, 10000);
+        if (n <= 0) return Status::Unavailable("truncated chunk");
+      }
+      out->body.append(*buffer, 0, chunk);
+      buffer->erase(0, chunk + 2);  // data + trailing CRLF
+      if (chunk == 0) break;
+    }
+    return Status::Ok();
+  }
+  auto cl = out->headers.find("content-length");
+  if (cl != out->headers.end()) {
+    size_t want = static_cast<size_t>(std::strtoull(cl->second.c_str(), nullptr, 10));
+    while (buffer->size() < want) {
+      int n = ReadMore(fd, buffer, 10000);
+      if (n <= 0) return Status::Unavailable("truncated body");
+    }
+    out->body = buffer->substr(0, want);
+    buffer->erase(0, want);
+    return Status::Ok();
+  }
+  // Neither length nor chunking: read to EOF (Connection: close responses).
+  for (;;) {
+    int n = ReadMore(fd, buffer, 10000);
+    if (n == 0) break;
+    if (n < 0) return Status::Unavailable("read failed");
+  }
+  out->body = std::move(*buffer);
+  buffer->clear();
+  return Status::Ok();
+}
+
+namespace {
+
+std::string BuildRequest(const std::string& method, const std::string& target,
+                         const std::string& body,
+                         const std::vector<std::string>& headers,
+                         bool keep_alive) {
+  std::string req = method + " " + target + " HTTP/1.1\r\n";
+  req += "Host: eqld\r\n";
+  req += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  if (!body.empty() || method == "POST") {
+    req += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  for (const auto& h : headers) {
+    req += h;
+    req += "\r\n";
+  }
+  req += "\r\n";
+  req += body;
+  return req;
+}
+
+}  // namespace
+
+Result<HttpResponse> HttpFetch(const std::string& host, uint16_t port,
+                               const std::string& method,
+                               const std::string& target,
+                               const std::string& body,
+                               const std::vector<std::string>& headers) {
+  auto fd = TcpConnect(host, port);
+  if (!fd.ok()) return fd.status();
+  std::string req = BuildRequest(method, target, body, headers,
+                                 /*keep_alive=*/false);
+  if (!SendAll(*fd, req)) {
+    ::close(*fd);
+    return Status::Unavailable("send failed");
+  }
+  HttpResponse resp;
+  std::string buffer;
+  Status st = ReadHttpResponse(*fd, &buffer, &resp);
+  ::close(*fd);
+  if (!st.ok()) return st;
+  return resp;
+}
+
+Result<HttpClientConnection> HttpClientConnection::Connect(
+    const std::string& host, uint16_t port) {
+  auto fd = TcpConnect(host, port);
+  if (!fd.ok()) return fd.status();
+  return HttpClientConnection(*fd);
+}
+
+HttpClientConnection::HttpClientConnection(HttpClientConnection&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+HttpClientConnection& HttpClientConnection::operator=(
+    HttpClientConnection&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+HttpClientConnection::~HttpClientConnection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<HttpResponse> HttpClientConnection::Request(
+    const std::string& method, const std::string& target,
+    const std::string& body, const std::vector<std::string>& headers) {
+  if (fd_ < 0) return Status::Unavailable("connection is closed");
+  std::string req = BuildRequest(method, target, body, headers,
+                                 /*keep_alive=*/true);
+  if (!SendAll(fd_, req)) return Status::Unavailable("send failed");
+  HttpResponse resp;
+  EQL_RETURN_IF_ERROR(ReadHttpResponse(fd_, &buffer_, &resp));
+  return resp;
+}
+
+}  // namespace eql

@@ -1,0 +1,153 @@
+// Minimal HTTP/1.1 plumbing for the eqld daemon: server-side request
+// parsing, response writing (fixed-length and chunked), and a small blocking
+// client used by the tests and the load generator.
+//
+// Scope, deliberately: HTTP/1.1 only (other versions get 505), GET/POST,
+// Content-Length request bodies (no request chunking), response chunking for
+// streamed results, keep-alive with Connection: close honored. No TLS, no
+// compression, no HTTP/2 — see docs/server.md for what remains open.
+//
+// All socket writes use MSG_NOSIGNAL: a peer that disappeared turns into a
+// failed write (EPIPE), never a SIGPIPE — the failed write is precisely the
+// signal the server uses to cancel the query behind a dead connection.
+#ifndef EQL_SERVER_HTTP_H_
+#define EQL_SERVER_HTTP_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace eql {
+
+/// One parsed request. Header names are lowercased; query-string keys and
+/// values are percent-decoded ('+' decodes to space).
+struct HttpRequest {
+  std::string method;  ///< "GET" / "POST"
+  std::string target;  ///< raw request target, e.g. "/query?format=json"
+  std::string path;    ///< target up to '?', percent-decoded
+  std::vector<std::pair<std::string, std::string>> query;  ///< in order
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  /// First query-string value for `key`, or nullptr.
+  const std::string* QueryParam(std::string_view key) const;
+  const std::string* Header(std::string_view lowercase_name) const;
+};
+
+/// Hard limits the parser enforces (413 / 431-style rejections).
+struct HttpLimits {
+  size_t max_head_bytes = 64 * 1024;       ///< request line + headers
+  size_t max_body_bytes = 4 * 1024 * 1024;
+};
+
+/// Buffered reader over a connected socket. ReadRequest blocks until a full
+/// request (or `poll_interval_ms` passes with no data and *stop is true —
+/// the shutdown-drain path). Implemented with poll + recv; one reader per
+/// connection thread.
+class HttpConnection {
+ public:
+  /// Takes ownership of `fd` (closed by the destructor).
+  explicit HttpConnection(int fd);
+  ~HttpConnection();
+  HttpConnection(const HttpConnection&) = delete;
+  HttpConnection& operator=(const HttpConnection&) = delete;
+
+  /// Parses the next request off the connection.
+  ///   kOk               — *out is filled.
+  ///   kUnavailable      — clean EOF before any request byte, or `stop`
+  ///                       observed while idle: the connection is done.
+  ///   kInvalidArgument  — malformed request (caller answers 400 and closes).
+  ///   kOutOfRange       — a limit was exceeded (431/413 and close).
+  ///   kUnimplemented    — unsupported transfer-encoding / HTTP version.
+  Status ReadRequest(HttpRequest* out, const HttpLimits& limits,
+                     const volatile bool* stop = nullptr,
+                     int poll_interval_ms = 200);
+
+  /// Writes a complete fixed-length response. Returns false on write error.
+  bool WriteResponse(int status, std::string_view content_type,
+                     std::string_view body,
+                     const std::vector<std::string>& extra_headers = {},
+                     bool keep_alive = true);
+
+  /// Starts a chunked response (headers + "Transfer-Encoding: chunked").
+  bool BeginChunked(int status, std::string_view content_type,
+                    const std::vector<std::string>& extra_headers = {},
+                    bool keep_alive = true);
+  /// One chunk; empty `bytes` is skipped (an empty chunk would end the body).
+  bool WriteChunk(std::string_view bytes);
+  /// Terminal 0-chunk.
+  bool EndChunked();
+
+  /// Raw send helper (MSG_NOSIGNAL, full-write loop).
+  bool WriteAll(std::string_view bytes);
+
+  int fd() const { return fd_; }
+  /// Peer address as "ip" (no port — the per-client admission key).
+  const std::string& peer_ip() const { return peer_ip_; }
+
+ private:
+  int fd_;
+  std::string peer_ip_;
+  std::string buffer_;  ///< bytes read past the previous request
+};
+
+/// Standard reason phrase for a status code ("OK", "Too Many Requests", ...).
+const char* HttpReasonPhrase(int status);
+
+/// Percent-decodes `s` ('+' becomes space); invalid escapes pass through.
+std::string UrlDecode(std::string_view s);
+
+// ---- client (tests, bench_server) -----------------------------------------
+
+struct HttpResponse {
+  int status = 0;
+  std::map<std::string, std::string> headers;  ///< lowercased names
+  std::string body;                            ///< chunked already decoded
+};
+
+/// Blocking TCP connect to host:port; returns the fd or a Status error.
+Result<int> TcpConnect(const std::string& host, uint16_t port);
+
+/// One blocking request over a fresh connection (Connection: close).
+Result<HttpResponse> HttpFetch(const std::string& host, uint16_t port,
+                               const std::string& method,
+                               const std::string& target,
+                               const std::string& body = "",
+                               const std::vector<std::string>& headers = {});
+
+/// Client-side keep-alive session over one connection: Request() may be
+/// called repeatedly. Used by the load generator to measure per-request
+/// latency without per-request connect cost.
+class HttpClientConnection {
+ public:
+  static Result<HttpClientConnection> Connect(const std::string& host,
+                                              uint16_t port);
+  HttpClientConnection(HttpClientConnection&& other) noexcept;
+  HttpClientConnection& operator=(HttpClientConnection&& other) noexcept;
+  ~HttpClientConnection();
+
+  Result<HttpResponse> Request(const std::string& method,
+                               const std::string& target,
+                               const std::string& body = "",
+                               const std::vector<std::string>& headers = {});
+
+  int fd() const { return fd_; }
+
+ private:
+  explicit HttpClientConnection(int fd) : fd_(fd) {}
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+/// Reads one full HTTP response (headers + Content-Length or chunked body)
+/// from `fd`, consuming from/refilling `buffer`. Exposed for tests that
+/// drive connections half-manually (disconnect-mid-stream).
+Status ReadHttpResponse(int fd, std::string* buffer, HttpResponse* out);
+
+}  // namespace eql
+
+#endif  // EQL_SERVER_HTTP_H_

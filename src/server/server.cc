@@ -1,0 +1,505 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "eval/params.h"
+#include "server/format.h"
+#include "util/string_util.h"
+
+namespace eql {
+
+namespace {
+
+std::string ErrorBody(const Status& st) {
+  std::string b = "{\"error\":{\"code\":\"";
+  b += StatusCodeName(st.code());
+  b += "\",\"message\":\"";
+  AppendJsonEscaped(st.message(), &b);
+  b += "\"}}\n";
+  return b;
+}
+
+/// ByteSink that frames serializer output as HTTP chunks. Headers go out
+/// lazily on the first byte, so a query that fails before producing output
+/// can still get a proper error status line. kFaultSiteNetWrite (test-only)
+/// makes a write fail as if the peer vanished.
+class ChunkSink : public ByteSink {
+ public:
+  ChunkSink(HttpConnection& conn, const char* content_type,
+            FaultInjector* fault)
+      : conn_(conn), content_type_(content_type), fault_(fault) {}
+
+  bool Write(std::string_view bytes) override {
+    if (failed_) return false;
+    if (fault_ != nullptr && fault_->ShouldFail(kFaultSiteNetWrite)) {
+      failed_ = true;
+      return false;
+    }
+    if (!begun_) {
+      if (!conn_.BeginChunked(200, content_type_)) {
+        failed_ = true;
+        return false;
+      }
+      begun_ = true;
+    }
+    if (!conn_.WriteChunk(bytes)) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  bool begun() const { return begun_; }
+  bool failed() const { return failed_; }
+
+ private:
+  HttpConnection& conn_;
+  const char* content_type_;
+  FaultInjector* fault_;
+  bool begun_ = false;
+  bool failed_ = false;
+};
+
+/// Extracts `$name=value` query-string pairs into a ParamMap (values bind as
+/// strings; the engine's BindParams accepts exact integer strings for
+/// integer positions).
+ParamMap ParamsFromQueryString(const HttpRequest& req) {
+  ParamMap params;
+  for (const auto& [k, v] : req.query) {
+    if (!k.empty() && k[0] == '$') params.Set(k.substr(1), v);
+  }
+  return params;
+}
+
+}  // namespace
+
+EqldServer::EqldServer(ServerOptions options)
+    : options_(std::move(options)),
+      admission_(options_.admission, options_.fault) {}
+
+EqldServer::~EqldServer() { Shutdown(); }
+
+void EqldServer::InstallContext(std::shared_ptr<GraphContext> ctx) {
+  std::lock_guard<std::mutex> lock(ctx_mu_);
+  ctx_ = std::move(ctx);
+}
+
+std::shared_ptr<EqldServer::GraphContext> EqldServer::CurrentContext() const {
+  std::lock_guard<std::mutex> lock(ctx_mu_);
+  return ctx_;
+}
+
+void EqldServer::SetGraph(Graph g, std::string source_desc) {
+  auto ctx = std::make_shared<GraphContext>(std::move(g),
+                                            options_.prepared_cache_capacity);
+  ctx->engine = std::make_unique<EqlEngine>(ctx->graph, options_.engine);
+  ctx->info.num_nodes = ctx->graph.NumNodes();
+  ctx->info.num_edges = ctx->graph.NumEdges();
+  ctx->source = std::move(source_desc);
+  InstallContext(std::move(ctx));
+}
+
+Status EqldServer::OpenSnapshotFile(const std::string& path) {
+  SnapshotInfo info;
+  auto g = OpenSnapshot(path, {}, &info);
+  if (!g.ok()) return g.status();
+  auto ctx = std::make_shared<GraphContext>(std::move(g).value(),
+                                            options_.prepared_cache_capacity);
+  ctx->engine = std::make_unique<EqlEngine>(ctx->graph, options_.engine);
+  ctx->info = info;
+  ctx->source = path;
+  InstallContext(std::move(ctx));
+  return Status::Ok();
+}
+
+Status EqldServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::Internal("socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad bind address: " + options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    return Status::Unavailable("bind " + options_.bind_address + ":" +
+                               std::to_string(options_.port) + ": " +
+                               std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    return Status::Internal(std::string("listen(): ") + std::strerror(errno));
+  }
+  sockaddr_in bound = {};
+  socklen_t len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  acceptor_ = std::thread(&EqldServer::AcceptLoop, this);
+  return Status::Ok();
+}
+
+void EqldServer::Shutdown() {
+  if (stop_) {
+    // Second call: the first one already drained; nothing left to do.
+  }
+  stop_ = true;
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  std::unique_lock<std::mutex> lock(conn_mu_);
+  conn_cv_.wait(lock, [&] { return connections_active_ == 0; });
+}
+
+void EqldServer::AcceptLoop() {
+  while (!stop_) {
+    struct pollfd pfd = {listen_fd_, POLLIN, 0};
+    int pr = ::poll(&pfd, 1, options_.shutdown_poll_ms);
+    if (pr <= 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+
+    bool admit;
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      admit = connections_active_ < options_.max_connections;
+      if (admit) {
+        ++connections_active_;
+        ++connections_accepted_;
+      } else {
+        ++connections_rejected_;
+      }
+    }
+    if (!admit) {
+      HttpConnection conn(fd);  // closes fd
+      conn.WriteResponse(
+          503, "application/json",
+          ErrorBody(Status::Unavailable("connection limit reached")), {},
+          /*keep_alive=*/false);
+      continue;
+    }
+    std::thread(&EqldServer::ServeConnection, this, fd).detach();
+  }
+}
+
+void EqldServer::ServeConnection(int fd) {
+  {
+    HttpConnection conn(fd);
+    bool keep = true;
+    while (keep && !stop_) {
+      HttpRequest req;
+      Status st = conn.ReadRequest(&req, options_.http_limits, &stop_,
+                                   options_.shutdown_poll_ms);
+      if (st.code() == StatusCode::kUnavailable) break;  // EOF / stopping
+      if (!st.ok()) {
+        int http = 400;
+        if (st.code() == StatusCode::kUnimplemented) {
+          http = st.message().find("HTTP/1.1") != std::string::npos ? 505 : 501;
+        } else if (st.code() == StatusCode::kOutOfRange) {
+          http = st.message().find("body") != std::string::npos ? 413 : 431;
+        }
+        conn.WriteResponse(http, "application/json", ErrorBody(st), {},
+                           /*keep_alive=*/false);
+        break;
+      }
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      keep = HandleRequest(conn, req);
+    }
+  }  // conn closed here, before the thread signs off
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  --connections_active_;
+  conn_cv_.notify_all();
+}
+
+bool EqldServer::HandleRequest(HttpConnection& conn, const HttpRequest& req) {
+  struct Route {
+    const char* path;
+    const char* method;
+    bool (EqldServer::*handler)(HttpConnection&, const HttpRequest&);
+  };
+  static constexpr Route kRoutes[] = {
+      {"/health", "GET", &EqldServer::HandleHealth},
+      {"/stats", "GET", &EqldServer::HandleStats},
+      {"/query", "POST", &EqldServer::HandleQuery},
+      {"/prepare", "POST", &EqldServer::HandlePrepare},
+      {"/execute", "POST", &EqldServer::HandleExecute},
+      {"/snapshot/stats", "GET", &EqldServer::HandleSnapshotStats},
+      {"/snapshot/open", "POST", &EqldServer::HandleSnapshotOpen},
+  };
+  for (const Route& r : kRoutes) {
+    if (req.path != r.path) continue;
+    if (req.method != r.method) {
+      return conn.WriteResponse(
+          405, "application/json",
+          ErrorBody(Status::InvalidArgument(std::string("use ") + r.method)),
+          {std::string("Allow: ") + r.method});
+    }
+    return (this->*r.handler)(conn, req);
+  }
+  return conn.WriteResponse(
+      404, "application/json",
+      ErrorBody(Status::NotFound("no such endpoint: " + req.path)));
+}
+
+bool EqldServer::WriteError(HttpConnection& conn, const Status& status) {
+  return conn.WriteResponse(HttpStatusForCode(status.code()),
+                            "application/json", ErrorBody(status));
+}
+
+bool EqldServer::HandleHealth(HttpConnection& conn, const HttpRequest&) {
+  if (CurrentContext() == nullptr) {
+    return conn.WriteResponse(503, "text/plain", "no graph loaded\n");
+  }
+  return conn.WriteResponse(200, "text/plain", "ok\n");
+}
+
+bool EqldServer::HandleStats(HttpConnection& conn, const HttpRequest&) {
+  ServerStats s = GetStats();
+  auto ctx = CurrentContext();
+  std::string b = "{\"server\":{";
+  b += "\"connections_accepted\":" + std::to_string(s.connections_accepted);
+  b += ",\"connections_rejected\":" + std::to_string(s.connections_rejected);
+  b += ",\"connections_active\":" + std::to_string(s.connections_active);
+  b += ",\"requests\":" + std::to_string(s.requests);
+  b += ",\"queries_ok\":" + std::to_string(s.queries_ok);
+  b += ",\"queries_failed\":" + std::to_string(s.queries_failed);
+  b += ",\"queries_cancelled\":" + std::to_string(s.queries_cancelled);
+  b += ",\"rows_streamed\":" + std::to_string(s.rows_streamed);
+  b += "},\"admission\":{";
+  b += "\"admitted\":" + std::to_string(s.admission.admitted);
+  b += ",\"rejected_global\":" + std::to_string(s.admission.rejected_global);
+  b += ",\"rejected_client\":" + std::to_string(s.admission.rejected_client);
+  b += ",\"in_flight\":" + std::to_string(s.admission.in_flight);
+  b += "},\"cache\":{";
+  b += "\"hits\":" + std::to_string(s.cache.hits);
+  b += ",\"misses\":" + std::to_string(s.cache.misses);
+  b += ",\"evictions\":" + std::to_string(s.cache.evictions);
+  b += ",\"size\":" + std::to_string(s.cache.size);
+  b += ",\"capacity\":" + std::to_string(s.cache.capacity);
+  b += "},\"graph\":{";
+  if (ctx == nullptr) {
+    b += "\"loaded\":false";
+  } else {
+    b += "\"loaded\":true,\"source\":\"";
+    AppendJsonEscaped(ctx->source, &b);
+    b += "\",\"nodes\":" + std::to_string(ctx->graph.NumNodes());
+    b += ",\"edges\":" + std::to_string(ctx->graph.NumEdges());
+  }
+  b += "}}\n";
+  return conn.WriteResponse(200, "application/json", b);
+}
+
+bool EqldServer::HandleQuery(HttpConnection& conn, const HttpRequest& req) {
+  auto ctx = CurrentContext();
+  if (ctx == nullptr) {
+    return WriteError(conn, Status::Unavailable("no graph loaded"));
+  }
+  if (Trim(req.body).empty()) {
+    return WriteError(conn, Status::InvalidArgument("empty query body"));
+  }
+  auto prepared = ctx->cache.GetOrPrepare(*ctx->engine, req.body);
+  if (!prepared.ok()) {
+    queries_failed_.fetch_add(1, std::memory_order_relaxed);
+    return WriteError(conn, prepared.status());
+  }
+  return StreamQuery(conn, req, ctx, *prepared, ParamsFromQueryString(req));
+}
+
+bool EqldServer::HandlePrepare(HttpConnection& conn, const HttpRequest& req) {
+  auto ctx = CurrentContext();
+  if (ctx == nullptr) {
+    return WriteError(conn, Status::Unavailable("no graph loaded"));
+  }
+  const std::string* name = req.QueryParam("name");
+  if (name == nullptr || name->empty()) {
+    return WriteError(conn,
+                      Status::InvalidArgument("missing ?name= for the handle"));
+  }
+  if (Trim(req.body).empty()) {
+    return WriteError(conn, Status::InvalidArgument("empty query body"));
+  }
+  auto prepared = ctx->cache.GetOrPrepare(*ctx->engine, req.body);
+  if (!prepared.ok()) {
+    queries_failed_.fetch_add(1, std::memory_order_relaxed);
+    return WriteError(conn, prepared.status());
+  }
+  {
+    std::lock_guard<std::mutex> lock(ctx->handles_mu);
+    ctx->handles[*name] = *prepared;
+  }
+  std::string b = "{\"name\":\"";
+  AppendJsonEscaped(*name, &b);
+  b += "\",\"params\":[";
+  const auto& names = (*prepared)->param_names();
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) b += ',';
+    b += '"';
+    AppendJsonEscaped(names[i], &b);
+    b += '"';
+  }
+  b += "]}\n";
+  return conn.WriteResponse(200, "application/json", b);
+}
+
+bool EqldServer::HandleExecute(HttpConnection& conn, const HttpRequest& req) {
+  auto ctx = CurrentContext();
+  if (ctx == nullptr) {
+    return WriteError(conn, Status::Unavailable("no graph loaded"));
+  }
+  const std::string* name = req.QueryParam("name");
+  if (name == nullptr || name->empty()) {
+    return WriteError(conn,
+                      Status::InvalidArgument("missing ?name= of the handle"));
+  }
+  std::shared_ptr<const PreparedQuery> prepared;
+  {
+    std::lock_guard<std::mutex> lock(ctx->handles_mu);
+    auto it = ctx->handles.find(*name);
+    if (it != ctx->handles.end()) prepared = it->second;
+  }
+  if (prepared == nullptr) {
+    return WriteError(conn,
+                      Status::NotFound("no prepared handle '" + *name + "'"));
+  }
+  return StreamQuery(conn, req, ctx, prepared, ParamsFromQueryString(req));
+}
+
+bool EqldServer::HandleSnapshotStats(HttpConnection& conn, const HttpRequest&) {
+  auto ctx = CurrentContext();
+  if (ctx == nullptr) {
+    return WriteError(conn, Status::Unavailable("no graph loaded"));
+  }
+  std::string b = "{\"source\":\"";
+  AppendJsonEscaped(ctx->source, &b);
+  b += "\",\"nodes\":" + std::to_string(ctx->graph.NumNodes());
+  b += ",\"edges\":" + std::to_string(ctx->graph.NumEdges());
+  if (ctx->info.file_bytes > 0) {
+    b += ",\"file_bytes\":" + std::to_string(ctx->info.file_bytes);
+    b += ",\"strings\":" + std::to_string(ctx->info.num_strings);
+  }
+  b += "}\n";
+  return conn.WriteResponse(200, "application/json", b);
+}
+
+bool EqldServer::HandleSnapshotOpen(HttpConnection& conn,
+                                    const HttpRequest& req) {
+  std::string path(Trim(req.body));
+  if (path.empty()) {
+    return WriteError(conn,
+                      Status::InvalidArgument("body must be a snapshot path"));
+  }
+  Status st = OpenSnapshotFile(path);
+  if (!st.ok()) return WriteError(conn, st);
+  return HandleSnapshotStats(conn, req);
+}
+
+bool EqldServer::StreamQuery(
+    HttpConnection& conn, const HttpRequest& req,
+    const std::shared_ptr<GraphContext>& ctx,
+    const std::shared_ptr<const PreparedQuery>& prepared,
+    const ParamMap& params) {
+  const std::string* hdr = req.Header("x-eql-client");
+  const std::string& client = hdr != nullptr ? *hdr : conn.peer_ip();
+  auto ticket = admission_.Admit(client);
+  if (!ticket.ok()) return WriteError(conn, ticket.status());
+
+  ResultFormat format = ResultFormat::kJson;
+  if (const std::string* f = req.QueryParam("format")) {
+    auto parsed = ParseResultFormat(*f);
+    if (!parsed.has_value()) {
+      return WriteError(conn, Status::InvalidArgument(
+                                  "unknown format '" + *f +
+                                  "' (expected json, tsv or table)"));
+    }
+    format = *parsed;
+  }
+  uint64_t max_rows = 0;
+  if (const std::string* m = req.QueryParam("max_rows")) {
+    char* end = nullptr;
+    max_rows = std::strtoull(m->c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      return WriteError(conn, Status::InvalidArgument("bad max_rows"));
+    }
+  }
+
+  // Quota -> engine budgets. A client may only tighten its timeout; the
+  // admission quota is the ceiling.
+  ExecOptions opts;
+  const AdmissionController::Options& quota = admission_.options();
+  int64_t timeout_ms = quota.query_timeout_ms;
+  if (const std::string* t = req.QueryParam("timeout_ms")) {
+    char* end = nullptr;
+    int64_t want = std::strtoll(t->c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || want <= 0) {
+      return WriteError(conn, Status::InvalidArgument("bad timeout_ms"));
+    }
+    timeout_ms = timeout_ms > 0 ? std::min(want, timeout_ms) : want;
+  }
+  if (timeout_ms > 0) opts.query_timeout_ms = timeout_ms;
+  if (quota.memory_budget_bytes > 0) {
+    opts.memory_budget_bytes = quota.memory_budget_bytes;
+  }
+
+  ChunkSink chunk(conn, ResultFormatContentType(format), options_.fault);
+  SerializingSink sink(ctx->graph, format, chunk, max_rows, options_.fault);
+  auto result = prepared->Execute(params, sink, opts);
+  if (!result.ok()) {
+    queries_failed_.fetch_add(1, std::memory_order_relaxed);
+    // Headers already on the wire mean the response cannot be repaired;
+    // drop the connection so the client sees a hard truncation, not a
+    // silently complete body.
+    if (chunk.begun()) return false;
+    return WriteError(conn, result.status());
+  }
+
+  rows_streamed_.fetch_add(result->rows_streamed, std::memory_order_relaxed);
+  if (result->cancelled) {
+    queries_cancelled_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    queries_ok_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // An incomplete document (a serializer write failed even if the socket is
+  // healthy) must never be sealed with a terminal chunk: drop the connection
+  // so the client sees a hard truncation, not a complete-looking body.
+  if (!sink.Finish(FinishInfo{result->outcome, 0})) return false;
+  if (chunk.failed()) return false;  // peer vanished mid-stream
+  if (!chunk.begun()) {
+    // Nothing was serialized at all (can only happen if a format writes no
+    // head and no rows); still answer with a complete empty body.
+    return conn.WriteResponse(200, ResultFormatContentType(format), "");
+  }
+  return conn.EndChunked();
+}
+
+ServerStats EqldServer::GetStats() const {
+  ServerStats s;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    s.connections_accepted = connections_accepted_;
+    s.connections_rejected = connections_rejected_;
+    s.connections_active = connections_active_;
+  }
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.queries_ok = queries_ok_.load(std::memory_order_relaxed);
+  s.queries_failed = queries_failed_.load(std::memory_order_relaxed);
+  s.queries_cancelled = queries_cancelled_.load(std::memory_order_relaxed);
+  s.rows_streamed = rows_streamed_.load(std::memory_order_relaxed);
+  s.admission = admission_.GetStats();
+  auto ctx = CurrentContext();
+  if (ctx != nullptr) s.cache = ctx->cache.GetStats();
+  return s;
+}
+
+}  // namespace eql

@@ -1,0 +1,187 @@
+// The eqld daemon core: a long-running server exposing the engine's
+// Prepare/Execute/streaming API over HTTP/1.1.
+//
+// Layering (one request, top to bottom):
+//
+//   HttpConnection (server/http.h)      parse request, write response
+//     -> AdmissionController            admit or shed (429 / 503)
+//     -> GraphContext                   graph + engine + prepared cache
+//     -> PreparedCache / named handles  compile once, execute many
+//     -> PreparedQuery::Execute(sink)   stream rows as the search emits
+//     -> SerializingSink -> chunk sink  wire format, HTTP chunked framing
+//
+// Endpoints (details + curl examples in docs/server.md):
+//
+//   GET  /health              liveness ("ok" once a graph is loaded)
+//   GET  /stats               JSON server/admission/cache/graph counters
+//   POST /query               body = EQL text; streamed chunked response
+//   POST /prepare?name=N      body = EQL text; compile + register handle
+//   POST /execute?name=N      run a handle; $param values in query string
+//   GET  /snapshot/stats      vitals of the loaded graph
+//   POST /snapshot/open       body = snapshot path; hot-swap the graph
+//
+// Threading model: one acceptor thread + one detached thread per
+// connection, bounded by ServerOptions::max_connections (excess connections
+// get an immediate 503 and close). Shutdown() stops the acceptor, lets
+// in-flight requests finish (ReadRequest polls the stop flag, so idle
+// keep-alive connections exit within one poll interval) and blocks until
+// the last connection thread is gone.
+//
+// Cancellation: every streamed row travels conn-ward through a chunk sink
+// whose failed write (EPIPE after the peer vanished, or an armed
+// kFaultSiteNetWrite) makes SerializingSink::OnRow return false — the
+// engine then cancels the in-flight searches (QueryResult::cancelled,
+// SearchStats observable via /stats' queries_cancelled counter).
+//
+// Graph hot-swap: requests resolve one shared_ptr<GraphContext> at entry
+// and keep it for their whole lifetime; /snapshot/open builds a fresh
+// context and swaps the pointer. In-flight queries finish against the old
+// graph; prepared handles and cache entries are per-context, so a swap
+// invalidates names (documented in docs/server.md).
+#ifndef EQL_SERVER_SERVER_H_
+#define EQL_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "eval/engine.h"
+#include "graph/snapshot.h"
+#include "server/admission.h"
+#include "server/cache.h"
+#include "server/http.h"
+#include "util/fault.h"
+#include "util/status.h"
+
+namespace eql {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  uint16_t port = 0;  ///< 0 = ephemeral; the bound port is port() after Start
+  uint32_t max_connections = 128;
+  AdmissionController::Options admission;
+  size_t prepared_cache_capacity = 128;
+  HttpLimits http_limits;
+  /// How often parked connection readers re-check the stop flag (the upper
+  /// bound Shutdown waits on idle keep-alive connections).
+  int shutdown_poll_ms = 100;
+  EngineOptions engine;
+  /// Test-only injector for kFaultSiteAdmit / kFaultSiteFlush /
+  /// kFaultSiteNetWrite (not owned, may be null).
+  FaultInjector* fault = nullptr;
+};
+
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_rejected = 0;  ///< over max_connections (503 + close)
+  uint32_t connections_active = 0;
+  uint64_t requests = 0;
+  uint64_t queries_ok = 0;
+  uint64_t queries_failed = 0;      ///< Status-level errors (4xx/5xx bodies)
+  uint64_t queries_cancelled = 0;   ///< ended by disconnect / write failure
+  uint64_t rows_streamed = 0;
+  AdmissionController::Stats admission;
+  PreparedCache::Stats cache;
+};
+
+class EqldServer {
+ public:
+  explicit EqldServer(ServerOptions options);
+  ~EqldServer();  ///< implies Shutdown()
+  EqldServer(const EqldServer&) = delete;
+  EqldServer& operator=(const EqldServer&) = delete;
+
+  /// Installs an in-memory graph (must be finalized) as the serving context.
+  /// Callable before Start or while serving (hot-swap).
+  void SetGraph(Graph g, std::string source_desc);
+
+  /// Opens a snapshot file and installs it as the serving context.
+  Status OpenSnapshotFile(const std::string& path);
+
+  /// Binds, listens and spawns the acceptor. A server may start without a
+  /// graph; query endpoints answer 503 until one is installed.
+  Status Start();
+
+  /// Stops accepting, drains in-flight requests, joins every connection.
+  /// Idempotent; implied by destruction.
+  void Shutdown();
+
+  /// The actually-bound port (after Start; resolves port 0).
+  uint16_t port() const { return port_; }
+
+  ServerStats GetStats() const;
+
+ private:
+  /// Everything a request needs from "the graph": swapped atomically as one
+  /// unit so engine/cache/handles can never mix generations.
+  struct GraphContext {
+    GraphContext(Graph g, size_t cache_capacity)
+        : graph(std::move(g)), cache(cache_capacity) {}
+    Graph graph;
+    PreparedCache cache;
+    std::unique_ptr<EqlEngine> engine;  ///< built after `graph` is in place
+    std::mutex handles_mu;
+    std::unordered_map<std::string, std::shared_ptr<const PreparedQuery>>
+        handles;
+    SnapshotInfo info;
+    std::string source;
+  };
+
+  void InstallContext(std::shared_ptr<GraphContext> ctx);
+  std::shared_ptr<GraphContext> CurrentContext() const;
+
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  /// Handles one parsed request; false = close the connection.
+  bool HandleRequest(HttpConnection& conn, const HttpRequest& req);
+
+  bool HandleHealth(HttpConnection& conn, const HttpRequest& req);
+  bool HandleStats(HttpConnection& conn, const HttpRequest& req);
+  bool HandleQuery(HttpConnection& conn, const HttpRequest& req);
+  bool HandlePrepare(HttpConnection& conn, const HttpRequest& req);
+  bool HandleExecute(HttpConnection& conn, const HttpRequest& req);
+  bool HandleSnapshotStats(HttpConnection& conn, const HttpRequest& req);
+  bool HandleSnapshotOpen(HttpConnection& conn, const HttpRequest& req);
+
+  /// Admits, resolves, executes and streams one query (shared by /query and
+  /// /execute). `prepared` already resolved by the caller.
+  bool StreamQuery(HttpConnection& conn, const HttpRequest& req,
+                   const std::shared_ptr<GraphContext>& ctx,
+                   const std::shared_ptr<const PreparedQuery>& prepared,
+                   const ParamMap& params);
+
+  /// Writes a JSON error body with the shared status -> HTTP mapping.
+  bool WriteError(HttpConnection& conn, const Status& status);
+
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread acceptor_;
+  volatile bool stop_ = false;  ///< read by parked connection readers
+
+  AdmissionController admission_;
+
+  mutable std::mutex ctx_mu_;
+  std::shared_ptr<GraphContext> ctx_;  ///< null until a graph is installed
+
+  mutable std::mutex conn_mu_;
+  std::condition_variable conn_cv_;  ///< signalled when a connection ends
+  uint32_t connections_active_ = 0;
+  uint64_t connections_accepted_ = 0;
+  uint64_t connections_rejected_ = 0;
+
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> queries_ok_{0};
+  std::atomic<uint64_t> queries_failed_{0};
+  std::atomic<uint64_t> queries_cancelled_{0};
+  std::atomic<uint64_t> rows_streamed_{0};
+};
+
+}  // namespace eql
+
+#endif  // EQL_SERVER_SERVER_H_

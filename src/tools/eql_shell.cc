@@ -20,6 +20,13 @@
 //                     that hits it keeps its partial results and exits 5
 //   --stream          stream rows as the search produces them (prints the
 //                     time to first row); materialized output otherwise
+//   --format NAME     result format: table (default, aligned columns), tsv,
+//                     or json (SPARQL-results-style). Shares the eqld
+//                     daemon's serializers (src/server/format.h), so shell
+//                     output is byte-identical to the server's for the same
+//                     rows. Result documents go to stdout; timing and
+//                     telemetry lines go to stderr, so piped output stays
+//                     machine-parseable.
 //   --max-rows N      print at most N result rows per query (default 20)
 //   --stats           print per-CTP search statistics
 //   --explain         print the query plan (with post-execution actuals)
@@ -60,7 +67,9 @@
 // to load; 2 = bad command line; 3 = a query failed to parse/validate/
 // prepare; 4 = a query failed during execution; 5 = a query ended on a
 // resource cutoff (TIMEOUT, query deadline, memory budget, cancellation) —
-// its partial results were printed, but coverage was reduced.
+// its partial results were printed, but coverage was reduced. Status-level
+// failures map to categories through ShellExitCodeForCode (util/status.h) —
+// the same single mapping the eqld daemon uses for HTTP codes.
 //
 // The graph file format is the tab-separated triple format of
 // src/graph/graph_io.h ("src<TAB>label<TAB>dst", plus @type/@literal lines).
@@ -83,6 +92,7 @@
 #include "eval/engine.h"
 #include "graph/graph_io.h"
 #include "graph/snapshot.h"
+#include "server/format.h"
 #include "util/string_util.h"
 
 namespace eql {
@@ -138,21 +148,20 @@ int Usage(const char* argv0) {
                "usage: %s GRAPH.tsv|--snapshot FILE|--demo [--algorithm NAME] "
                "[--adaptive]\n"
                "       [--parallel N] [--timeout MS] [--query-timeout MS]\n"
-               "       [--memory-budget BYTES] [--stream] [--max-rows N] [--stats]\n"
+               "       [--memory-budget BYTES] [--stream] [--format table|tsv|json]\n"
+               "       [--max-rows N] [--stats]\n"
                "       [--explain] [--no-planner] [--no-views] [--no-bound-pruning]\n"
                "       [-q QUERY]...\n",
                argv0);
   return kExitUsage;
 }
 
-/// Prints the structured outcome line for a finished execution and maps it to
-/// an exit-code category: a resource cutoff (timeout, memory budget,
-/// cancellation) is not an error — results were printed — but it must not
-/// exit 0 either, or scripts treat a truncated answer as a complete one.
-int ReportOutcome(const QueryResult& r) {
-  if (r.outcome == SearchOutcome::kOk) return kExitOk;
-  std::printf("outcome: %s (partial results)\n", SearchOutcomeName(r.outcome));
-  return kExitResource;
+/// Maps a finished execution to an exit-code category: a resource cutoff
+/// (timeout, memory budget, cancellation) is not an error — results were
+/// printed, with the serializer's own "(partial results)" note — but it must
+/// not exit 0 either, or scripts treat a truncated answer as a complete one.
+int OutcomeExitCode(const QueryResult& r) {
+  return r.outcome == SearchOutcome::kOk ? kExitOk : kExitResource;
 }
 
 struct ShellArgs {
@@ -163,6 +172,7 @@ struct ShellArgs {
   bool explain = false;
   bool stream = false;
   size_t max_rows = 20;
+  ResultFormat format = ResultFormat::kTable;
   EngineOptions options;
   std::vector<std::string> queries;
 };
@@ -226,6 +236,16 @@ bool ParseArgs(int argc, char** argv, ShellArgs* args) {
       args->snapshot_path = v;
     } else if (a == "--stream") {
       args->stream = true;
+    } else if (a == "--format") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      auto format = ParseResultFormat(v);
+      if (!format.has_value()) {
+        std::fprintf(stderr,
+                     "unknown format '%s' (expected table, tsv or json)\n", v);
+        return false;
+      }
+      args->format = *format;
     } else if (a == "--max-rows") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -259,13 +279,12 @@ struct GraphSource {
   uint64_t mapped_bytes = 0;
 };
 
-void PrintRows(const Graph& g, const ShellArgs& args, const QueryResult& r) {
-  for (size_t row = 0; row < r.table.NumRows() && row < args.max_rows; ++row) {
-    std::printf("  %s\n", r.RowToString(g, row).c_str());
-  }
-  if (r.table.NumRows() > args.max_rows) {
-    std::printf("  ... (%zu more)\n", r.table.NumRows() - args.max_rows);
-  }
+/// Serializes a materialized result to stdout in the session's --format,
+/// via the same serializers the eqld daemon streams over HTTP.
+void PrintResult(const Graph& g, const ShellArgs& args, const QueryResult& r) {
+  FileByteSink out(stdout);
+  SerializeResult(g, r, args.format, out, args.max_rows);
+  std::fflush(stdout);
 }
 
 void PrintCtpStats(const QueryResult& r) {
@@ -280,82 +299,46 @@ void PrintCtpStats(const QueryResult& r) {
     if (run.skipped) mode += ", skipped";
     if (run.shared) mode += ", shared";
     if (run.streamed_rows) mode += ", streamed";
-    std::printf("  [?%s via %s%s] rows=%zu outcome=%s %s\n",
-                run.tree_var.c_str(), AlgorithmName(run.algorithm), mode.c_str(),
-                run.num_results, SearchOutcomeName(run.stats.Outcome()),
-                run.stats.ToString().c_str());
+    std::fprintf(stderr, "  [?%s via %s%s] rows=%zu outcome=%s %s\n",
+                 run.tree_var.c_str(), AlgorithmName(run.algorithm),
+                 mode.c_str(), run.num_results,
+                 SearchOutcomeName(run.stats.Outcome()),
+                 run.stats.ToString().c_str());
   }
 }
 
-std::string StreamRowToString(const Graph& g, const RowSchema& schema,
-                              const StreamRow& row) {
-  std::string out;
-  for (size_t c = 0; c < row.values.size(); ++c) {
-    if (c > 0) out += "  ";
-    out += "?" + schema.columns[c] + "=";
-    uint32_t v = row.values[c];
-    switch (schema.kinds[c]) {
-      case ColKind::kNode:
-        out += g.NodeLabel(v);
-        break;
-      case ColKind::kEdge:
-        out += "[" + g.EdgeToString(v) + "]";
-        break;
-      case ColKind::kTree: {
-        const ResultTreeInfo& t = row.trees[v];
-        out += "{";
-        for (size_t i = 0; i < t.edges.size(); ++i) {
-          if (i > 0) out += ", ";
-          out += g.EdgeToString(t.edges[i]);
-        }
-        out += "}";
-        break;
-      }
-    }
-  }
-  return out;
-}
-
-/// Streaming execution of one prepared query: rows print as they arrive.
+/// Streaming execution of one prepared query: rows serialize to stdout as
+/// they arrive, in the session's --format (table buffers until the end —
+/// its column widths need every row; pick tsv/json for true streaming).
 int StreamPrepared(const EqlEngine& engine, const Graph& g,
                    const ShellArgs& args, const PreparedQuery& prepared,
                    const ParamMap& params) {
   (void)engine;
-  size_t printed = 0;
-  class PrintSink : public ResultSink {
+  /// fwrite + flush per write, so rows appear as the search emits them.
+  class FlushingSink : public ByteSink {
    public:
-    PrintSink(const Graph& g, size_t max_rows, size_t* printed)
-        : g_(g), max_rows_(max_rows), printed_(printed) {}
-    void OnSchema(const RowSchema& schema) override { schema_ = schema; }
-    bool OnRow(StreamRow row) override {
-      if (*printed_ < max_rows_) {
-        std::printf("  %s\n", StreamRowToString(g_, schema_, row).c_str());
-        std::fflush(stdout);
+    bool Write(std::string_view bytes) override {
+      if (std::fwrite(bytes.data(), 1, bytes.size(), stdout) != bytes.size()) {
+        return false;
       }
-      ++*printed_;
-      return true;
+      return std::fflush(stdout) == 0;
     }
-
-   private:
-    const Graph& g_;
-    RowSchema schema_;
-    size_t max_rows_;
-    size_t* printed_;
-  } sink(g, args.max_rows, &printed);
+  } out;
+  SerializingSink sink(g, args.format, out, args.max_rows);
   auto r = prepared.Execute(params, sink);
   if (!r.ok()) {
-    std::printf("error: %s\n", r.status().ToString().c_str());
-    return kExitExec;
+    std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
+    return ShellExitCodeForCode(r.status().code());
   }
-  if (printed > args.max_rows) {
-    std::printf("  ... (%zu more)\n", printed - args.max_rows);
-  }
-  std::printf("%llu row(s) streamed in %.1f ms (first row after %.1f ms)\n",
-              static_cast<unsigned long long>(r->rows_streamed), r->total_ms,
-              r->first_row_ms);
-  if (args.explain) std::printf("%s", prepared.Explain(*r).c_str());
+  sink.Finish(FinishInfo{r->outcome, 0});
+  std::fflush(stdout);
+  std::fprintf(stderr,
+               "%llu row(s) streamed in %.1f ms (first row after %.1f ms)\n",
+               static_cast<unsigned long long>(r->rows_streamed), r->total_ms,
+               r->first_row_ms);
+  if (args.explain) std::fprintf(stderr, "%s", prepared.Explain(*r).c_str());
   if (args.stats) PrintCtpStats(*r);
-  return ReportOutcome(*r);
+  return OutcomeExitCode(*r);
 }
 
 int RunPrepared(const EqlEngine& engine, const Graph& g, const ShellArgs& args,
@@ -365,26 +348,28 @@ int RunPrepared(const EqlEngine& engine, const Graph& g, const ShellArgs& args,
   }
   auto r = prepared.Execute(params);
   if (!r.ok()) {
-    std::printf("error: %s\n", r.status().ToString().c_str());
-    return kExitExec;
+    std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
+    return ShellExitCodeForCode(r.status().code());
   }
-  std::printf("%zu row(s) in %.1f ms (BGP %.1f | CTP %.1f | join %.1f)\n",
-              r->table.NumRows(), r->total_ms, r->bgp_ms, r->ctp_ms, r->join_ms);
-  PrintRows(g, args, *r);
-  if (args.explain) std::printf("%s", prepared.Explain(*r).c_str());
+  std::fprintf(stderr, "%zu row(s) in %.1f ms (BGP %.1f | CTP %.1f | join %.1f)\n",
+               r->table.NumRows(), r->total_ms, r->bgp_ms, r->ctp_ms,
+               r->join_ms);
+  PrintResult(g, args, *r);
+  if (args.explain) std::fprintf(stderr, "%s", prepared.Explain(*r).c_str());
   if (args.stats) PrintCtpStats(*r);
-  return ReportOutcome(*r);
+  return OutcomeExitCode(*r);
 }
 
 int RunQuery(const EqlEngine& engine, const Graph& g, const ShellArgs& args,
              const std::string& query) {
   auto prepared = engine.Prepare(query);
   if (!prepared.ok()) {
-    std::printf("error: %s\n", prepared.status().ToString().c_str());
-    return kExitParse;
+    std::fprintf(stderr, "error: %s\n", prepared.status().ToString().c_str());
+    return ShellExitCodeForCode(prepared.status().code());
   }
   if (!prepared->param_names().empty()) {
-    std::printf(
+    std::fprintf(
+        stderr,
         "query has unbound $parameters; use .prepare NAME / .bind / .run\n");
     return kExitParse;
   }
@@ -448,7 +433,7 @@ int RunBatchFile(const EqlEngine& engine, const Graph& g, const ShellArgs& args,
                  const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    std::printf("error: cannot open '%s'\n", path.c_str());
+    std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
     return kExitExec;
   }
   std::stringstream ss;
@@ -464,20 +449,19 @@ int RunBatchFile(const EqlEngine& engine, const Graph& g, const ShellArgs& args,
   double total_ms = sw.ElapsedMs();
   int code = kExitOk;
   for (size_t i = 0; i < results.size(); ++i) {
-    std::printf("\n> %s\n", queries[i].c_str());
+    std::fprintf(stderr, "\n> %s\n", queries[i].c_str());
     if (!results[i].ok()) {
-      std::printf("error: %s\n", results[i].status().ToString().c_str());
-      code = std::max(code, results[i].status().code() == StatusCode::kInvalidArgument
-                                ? kExitParse
-                                : kExitExec);
+      std::fprintf(stderr, "error: %s\n", results[i].status().ToString().c_str());
+      code = std::max(code, ShellExitCodeForCode(results[i].status().code()));
       continue;
     }
     const QueryResult& r = *results[i];
-    std::printf("%zu row(s) in %.1f ms\n", r.table.NumRows(), r.total_ms);
-    PrintRows(g, args, r);
-    code = std::max(code, ReportOutcome(r));
+    std::fprintf(stderr, "%zu row(s) in %.1f ms\n", r.table.NumRows(),
+                 r.total_ms);
+    PrintResult(g, args, r);
+    code = std::max(code, OutcomeExitCode(r));
   }
-  std::printf("\nbatch: %zu queries in %.1f ms (pool: %s)\n", queries.size(),
+  std::fprintf(stderr, "\nbatch: %zu queries in %.1f ms (pool: %s)\n", queries.size(),
               total_ms, engine.executor() != nullptr ? "yes" : "no");
   return code;
 }
@@ -490,7 +474,7 @@ int Main(int argc, char** argv) {
   GraphSource source;
   if (args.demo) {
     graph = MakeDemoGraph();
-    std::printf("loaded demo graph (paper Figure 1): %zu nodes, %zu edges\n",
+    std::fprintf(stderr, "loaded demo graph (paper Figure 1): %zu nodes, %zu edges\n",
                 graph.NumNodes(), graph.NumEdges());
   } else if (!args.snapshot_path.empty()) {
     Stopwatch sw;
@@ -503,7 +487,8 @@ int Main(int argc, char** argv) {
     const double open_ms = sw.ElapsedMs();
     graph = std::move(opened).value();
     source = GraphSource{args.snapshot_path, true, open_ms, info.file_bytes};
-    std::printf(
+    std::fprintf(
+        stderr,
         "opened snapshot %s: %zu nodes, %zu edges (%.2f MB mapped in "
         "%.2f ms)\n",
         args.snapshot_path.c_str(), graph.NumNodes(), graph.NumEdges(),
@@ -516,7 +501,7 @@ int Main(int argc, char** argv) {
     }
     graph = std::move(loaded).value();
     source = GraphSource{args.graph_path, false, 0, 0};
-    std::printf("loaded %s: %zu nodes, %zu edges\n", args.graph_path.c_str(),
+    std::fprintf(stderr, "loaded %s: %zu nodes, %zu edges\n", args.graph_path.c_str(),
                 graph.NumNodes(), graph.NumEdges());
   }
   auto engine = std::make_unique<EqlEngine>(graph, args.options);
@@ -524,7 +509,7 @@ int Main(int argc, char** argv) {
   int exit_code = kExitOk;
   if (!args.queries.empty()) {
     for (const std::string& q : args.queries) {
-      std::printf("\n> %s\n", q.c_str());
+      std::fprintf(stderr, "\n> %s\n", q.c_str());
       exit_code = std::max(exit_code, RunQuery(*engine, graph, args, q));
     }
     return exit_code;
@@ -532,7 +517,8 @@ int Main(int argc, char** argv) {
 
   // Interactive / piped mode: statements separated by ';', dot-commands on
   // their own line.
-  std::printf(
+  std::fprintf(
+      stderr,
       "enter queries terminated by ';' (.parallel N | .views on|off | "
       ".planner on|off | .explain on|off | .stats [on|off] | .open FILE | "
       ".stream on|off | .batch FILE | .prepare NAME Q; | .bind NAME $k=v | "
@@ -563,7 +549,7 @@ int Main(int argc, char** argv) {
       if (!pending_prepare.empty()) {
         auto prepared = engine->Prepare(q);
         if (!prepared.ok()) {
-          std::printf("error: %s\n", prepared.status().ToString().c_str());
+          std::fprintf(stderr, "error: %s\n", prepared.status().ToString().c_str());
           exit_code = std::max(exit_code, kExitParse);
         } else {
           std::string params_note;
@@ -671,7 +657,7 @@ int Main(int argc, char** argv) {
         SnapshotInfo info;
         auto opened = OpenSnapshot(arg, {}, &info);
         if (!opened.ok()) {
-          std::printf("error: %s\n", opened.status().ToString().c_str());
+          std::fprintf(stderr, "error: %s\n", opened.status().ToString().c_str());
           exit_code = std::max(exit_code, kExitGraphLoad);
           continue;
         }

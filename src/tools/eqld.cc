@@ -1,0 +1,176 @@
+// eqld — the EQL network query daemon.
+//
+// Serves a graph (snapshot file or built-in synthetic KG) over HTTP/1.1:
+// ad-hoc queries, prepared handles, streamed chunked results, admission
+// control. Protocol and endpoint reference: docs/server.md.
+//
+//   eqld --snapshot kg.eqls --port 8322
+//   eqld --synthetic --nodes 20000 --edges 80000 --port 0   # ephemeral port
+//
+// Runs until SIGTERM/SIGINT, then drains: in-flight queries finish, idle
+// connections close, exit 0.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "gen/kg.h"
+#include "server/server.h"
+#include "util/status.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+void Usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: eqld (--snapshot PATH | --synthetic) [options]\n"
+               "\n"
+               "graph source:\n"
+               "  --snapshot PATH       mmap-open a snapshot (eql_pack output)\n"
+               "  --synthetic           generate the built-in synthetic KG\n"
+               "  --nodes N             synthetic node count   (default 10000)\n"
+               "  --edges N             synthetic edge count   (default 40000)\n"
+               "\n"
+               "network:\n"
+               "  --bind ADDR           listen address         (default 127.0.0.1)\n"
+               "  --port N              listen port; 0 = ephemeral (default 8322)\n"
+               "  --max-connections N   concurrent connections (default 128)\n"
+               "\n"
+               "admission / quotas:\n"
+               "  --max-concurrent N    server-wide concurrent queries (default 64)\n"
+               "  --per-client N        per-client concurrent queries  (default 8)\n"
+               "  --timeout-ms N        per-query deadline, 0 = none   (default 30000)\n"
+               "  --memory-budget-mb N  per-query memory cap, 0 = none (default 0)\n"
+               "\n"
+               "engine:\n"
+               "  --threads N           CTP search chunks per query    (default 0)\n"
+               "  --cache-capacity N    prepared-statement LRU entries (default 128)\n");
+}
+
+bool ParseUint(const char* s, uint64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoull(s, &end, 10);
+  return end != nullptr && *end == '\0' && *s != '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string snapshot_path;
+  bool synthetic = false;
+  uint64_t nodes = 10000, edges = 40000;
+  eql::ServerOptions options;
+  options.port = 8322;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](uint64_t* out) {
+      if (i + 1 >= argc || !ParseUint(argv[++i], out)) {
+        std::fprintf(stderr, "eqld: %s needs a numeric value\n", arg.c_str());
+        std::exit(2);
+      }
+    };
+    uint64_t v = 0;
+    if (arg == "--snapshot" && i + 1 < argc) {
+      snapshot_path = argv[++i];
+    } else if (arg == "--synthetic") {
+      synthetic = true;
+    } else if (arg == "--nodes") {
+      next(&nodes);
+    } else if (arg == "--edges") {
+      next(&edges);
+    } else if (arg == "--bind" && i + 1 < argc) {
+      options.bind_address = argv[++i];
+    } else if (arg == "--port") {
+      next(&v);
+      options.port = static_cast<uint16_t>(v);
+    } else if (arg == "--max-connections") {
+      next(&v);
+      options.max_connections = static_cast<uint32_t>(v);
+    } else if (arg == "--max-concurrent") {
+      next(&v);
+      options.admission.max_concurrent = static_cast<uint32_t>(v);
+    } else if (arg == "--per-client") {
+      next(&v);
+      options.admission.per_client_concurrent = static_cast<uint32_t>(v);
+    } else if (arg == "--timeout-ms") {
+      next(&v);
+      options.admission.query_timeout_ms = static_cast<int64_t>(v);
+    } else if (arg == "--memory-budget-mb") {
+      next(&v);
+      options.admission.memory_budget_bytes = v * 1024 * 1024;
+    } else if (arg == "--threads") {
+      next(&v);
+      options.engine.num_threads = static_cast<unsigned>(v);
+    } else if (arg == "--cache-capacity") {
+      next(&v);
+      options.prepared_cache_capacity = static_cast<size_t>(v);
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "eqld: unknown argument '%s'\n", arg.c_str());
+      Usage(stderr);
+      return 2;
+    }
+  }
+  if (snapshot_path.empty() && !synthetic) {
+    std::fprintf(stderr, "eqld: need --snapshot PATH or --synthetic\n");
+    Usage(stderr);
+    return 2;
+  }
+
+  eql::EqldServer server(options);
+  if (!snapshot_path.empty()) {
+    eql::Status st = server.OpenSnapshotFile(snapshot_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "eqld: open %s: %s\n", snapshot_path.c_str(),
+                   st.ToString().c_str());
+      return eql::ShellExitCodeForCode(st.code());
+    }
+  } else {
+    eql::KgParams params;
+    params.num_nodes = static_cast<uint32_t>(nodes);
+    params.num_edges = edges;
+    auto g = eql::MakeSyntheticKg(params);
+    if (!g.ok()) {
+      std::fprintf(stderr, "eqld: synthetic graph: %s\n",
+                   g.status().ToString().c_str());
+      return eql::ShellExitCodeForCode(g.status().code());
+    }
+    server.SetGraph(std::move(g).value(),
+                    "synthetic(" + std::to_string(nodes) + "," +
+                        std::to_string(edges) + ")");
+  }
+
+  eql::Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "eqld: start: %s\n", st.ToString().c_str());
+    return eql::ShellExitCodeForCode(st.code());
+  }
+
+  struct sigaction sa = {};
+  sa.sa_handler = HandleSignal;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
+  // The smoke harness waits for this line to know the port is live.
+  std::printf("eqld listening on %s:%u\n", options.bind_address.c_str(),
+              server.port());
+  std::fflush(stdout);
+
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::printf("eqld: draining\n");
+  std::fflush(stdout);
+  server.Shutdown();
+  std::printf("eqld: stopped\n");
+  return 0;
+}

@@ -30,6 +30,9 @@ inline constexpr const char* kFaultSiteAlloc = "alloc";            ///< tree kep
 inline constexpr const char* kFaultSiteQueuePop = "queue-pop";     ///< GAM main-loop pop
 inline constexpr const char* kFaultSiteChunkMerge = "chunk-merge"; ///< parallel per-chunk result merge
 inline constexpr const char* kFaultSiteEmit = "emit";              ///< per emitted result (mid-stream faults)
+inline constexpr const char* kFaultSiteAdmit = "admit";            ///< eqld admission decision (server/admission.h)
+inline constexpr const char* kFaultSiteFlush = "serializer-flush"; ///< result-serializer byte flush (server/format.h)
+inline constexpr const char* kFaultSiteNetWrite = "net-write";     ///< HTTP chunk write, as if the peer vanished (server/server.cc)
 
 class FaultInjector {
  public:

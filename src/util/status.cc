@@ -20,8 +20,57 @@ const char* StatusCodeName(StatusCode code) {
       return "timeout";
     case StatusCode::kCorruption:
       return "corruption";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
   }
   return "unknown";
+}
+
+int HttpStatusForCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kResourceExhausted:
+      return 429;
+    case StatusCode::kUnimplemented:
+      return 501;
+    case StatusCode::kUnavailable:
+      return 503;
+    case StatusCode::kTimeout:
+      return 504;
+    case StatusCode::kInternal:
+    case StatusCode::kCorruption:
+      return 500;
+  }
+  return 500;
+}
+
+int ShellExitCodeForCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kCorruption:
+      return 1;  // the shell's "data failed to load" category
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kUnimplemented:
+      return 3;  // rejected before any search ran
+    case StatusCode::kInternal:
+    case StatusCode::kUnavailable:
+      return 4;  // failed while executing
+    case StatusCode::kTimeout:
+    case StatusCode::kResourceExhausted:
+      return 5;  // partial results: a resource cutoff reduced coverage
+  }
+  return 4;
 }
 
 std::string Status::ToString() const {

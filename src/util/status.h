@@ -23,10 +23,26 @@ enum class StatusCode {
   kInternal,          ///< invariant violation (a bug if ever seen)
   kTimeout,           ///< a budgeted operation hit its deadline
   kCorruption,        ///< on-disk data failed validation (snapshots, io)
+  kUnavailable,       ///< service not ready / at capacity; retry later
+  kResourceExhausted, ///< a caller quota is spent (admission, per-client caps)
 };
 
 /// Returns a stable lowercase name for a status code ("ok", "timeout", ...).
 const char* StatusCodeName(StatusCode code);
+
+/// The single status -> HTTP response code mapping shared by the eqld
+/// endpoints (and anything else speaking HTTP): kOk -> 200, caller mistakes
+/// -> 4xx (400 invalid/out-of-range, 404 not-found, 429 resource-exhausted),
+/// server conditions -> 5xx (500 internal/corruption, 501 unimplemented,
+/// 503 unavailable, 504 timeout).
+int HttpStatusForCode(StatusCode code);
+
+/// The single status -> shell exit-code mapping (eql_shell's documented
+/// categories): 0 = ok, 1 = data failed to load (kCorruption), 3 = the query
+/// was rejected before running (invalid / not-found / out-of-range /
+/// unimplemented), 4 = it failed during execution (internal / unavailable),
+/// 5 = a resource cutoff (timeout / resource-exhausted) reduced coverage.
+int ShellExitCodeForCode(StatusCode code);
 
 /// Result of a fallible operation with no payload.
 class Status {
@@ -57,6 +73,12 @@ class Status {
   }
   static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,75 @@
+// Golden tests pinning the three result formats (json, tsv, table) byte for
+// byte. These are the documents eqld streams over HTTP and eql_shell prints
+// with --format, so any drift is a wire-format change: regenerate with
+//   EQL_UPDATE_GOLDEN=1 ./build/format_golden_test
+// and review the diff like any other protocol change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "eval/engine.h"
+#include "server/format.h"
+#include "test_util.h"
+
+namespace eql {
+namespace {
+
+std::filesystem::path GoldenPath(const std::string& name) {
+  return std::filesystem::path(EQL_SOURCE_DIR) / "tests" / "golden" / name;
+}
+
+void CheckGolden(const std::string& name, const std::string& actual) {
+  const auto path = GoldenPath(name);
+  if (std::getenv("EQL_UPDATE_GOLDEN") != nullptr) {
+    std::filesystem::create_directories(path.parent_path());
+    std::ofstream out(path, std::ios::binary);
+    out << actual;
+    ASSERT_TRUE(out.good()) << "failed to write " << path;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden " << path
+                         << " (run with EQL_UPDATE_GOLDEN=1 to create)";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), actual) << "wire format drifted from " << path
+                               << "; regenerate with EQL_UPDATE_GOLDEN=1 "
+                                  "if the change is intentional";
+}
+
+// Node, literal and tree cells in one result; the same demo query the
+// EXPLAIN goldens use, so the two suites pin the same plan's output.
+constexpr const char* kQuery =
+    "SELECT ?p ?t1 ?t2 WHERE { ?p \"citizenOf\" \"USA\" . "
+    "CONNECT(?p, \"France\" -> ?t1) MAX 3 "
+    "CONNECT(\"Elon\", \"Doug\" -> ?t2) MAX 2 }";
+
+std::string Render(ResultFormat format, uint64_t max_rows = 0) {
+  Graph g = MakeFigure1Graph();
+  EqlEngine engine(g);
+  auto r = engine.Run(kQuery);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  StringByteSink out;
+  SerializeResult(g, *r, format, out, max_rows);
+  return out.out;
+}
+
+TEST(FormatGolden, Json) { CheckGolden("format_result.json", Render(ResultFormat::kJson)); }
+
+TEST(FormatGolden, Tsv) { CheckGolden("format_result.tsv", Render(ResultFormat::kTsv)); }
+
+TEST(FormatGolden, Table) {
+  CheckGolden("format_result.table", Render(ResultFormat::kTable));
+}
+
+TEST(FormatGolden, TableTruncated) {
+  CheckGolden("format_result_max2.table",
+              Render(ResultFormat::kTable, /*max_rows=*/2));
+}
+
+}  // namespace
+}  // namespace eql

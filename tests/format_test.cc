@@ -1,0 +1,193 @@
+// Result-serializer contract (src/server/format.h): format parsing, JSON
+// escaping, truncation accounting, the well-formed-prefix guarantee under
+// write failure, and the byte-identity pin between a streamed execution and
+// a materialized one serialized after the fact — the property that lets the
+// server stream chunked bodies that match in-process output exactly.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "eval/engine.h"
+#include "server/format.h"
+#include "test_util.h"
+#include "util/fault.h"
+
+namespace eql {
+namespace {
+
+// CONNECT-only: the engine pins streamed row order == materialized row
+// order for these (eval/sink.h), which the byte-identity tests rely on.
+constexpr const char* kConnectQuery =
+    "SELECT ?w WHERE { CONNECT(\"Bob\", \"Carole\" -> ?w) MAX 3 }";
+
+/// Streams `query` through a SerializingSink and returns the bytes.
+std::string StreamedBytes(const EqlEngine& engine, const Graph& g,
+                          const char* query, ResultFormat format,
+                          uint64_t max_rows = 0,
+                          FaultInjector* fault = nullptr,
+                          QueryResult* telemetry = nullptr) {
+  auto prepared = engine.Prepare(query);
+  EXPECT_TRUE(prepared.ok()) << prepared.status().ToString();
+  StringByteSink out;
+  SerializingSink sink(g, format, out, max_rows, fault);
+  auto r = prepared->Execute({}, sink);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  sink.Finish(FinishInfo{r->outcome, 0});
+  if (telemetry != nullptr) *telemetry = *r;
+  return out.out;
+}
+
+/// Materializes `query` and serializes the result table.
+std::string MaterializedBytes(const EqlEngine& engine, const Graph& g,
+                              const char* query, ResultFormat format,
+                              uint64_t max_rows = 0) {
+  auto r = engine.Run(query);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  StringByteSink out;
+  SerializeResult(g, *r, format, out, max_rows);
+  return out.out;
+}
+
+TEST(FormatTest, ParseAndNames) {
+  EXPECT_EQ(ParseResultFormat("json"), ResultFormat::kJson);
+  EXPECT_EQ(ParseResultFormat("tsv"), ResultFormat::kTsv);
+  EXPECT_EQ(ParseResultFormat("table"), ResultFormat::kTable);
+  EXPECT_FALSE(ParseResultFormat("csv").has_value());
+  EXPECT_STREQ(ResultFormatName(ResultFormat::kJson), "json");
+  EXPECT_STREQ(ResultFormatContentType(ResultFormat::kJson),
+               "application/json");
+  EXPECT_STREQ(ResultFormatContentType(ResultFormat::kTsv),
+               "text/tab-separated-values");
+  EXPECT_STREQ(ResultFormatContentType(ResultFormat::kTable), "text/plain");
+}
+
+TEST(FormatTest, JsonEscaping) {
+  std::string out;
+  AppendJsonEscaped("a\"b\\c\nd\te\x01" "f", &out);
+  EXPECT_EQ(out, "a\\\"b\\\\c\\nd\\te\\u0001f");
+}
+
+TEST(FormatTest, StreamedMatchesMaterializedByteForByte) {
+  Graph g = MakeFigure1Graph();
+  EqlEngine engine(g);
+  for (ResultFormat f :
+       {ResultFormat::kJson, ResultFormat::kTsv, ResultFormat::kTable}) {
+    SCOPED_TRACE(ResultFormatName(f));
+    EXPECT_EQ(StreamedBytes(engine, g, kConnectQuery, f),
+              MaterializedBytes(engine, g, kConnectQuery, f));
+  }
+}
+
+TEST(FormatTest, JsonDocumentShape) {
+  Graph g = MakeFigure1Graph();
+  EqlEngine engine(g);
+  std::string doc = StreamedBytes(engine, g, kConnectQuery, ResultFormat::kJson);
+  EXPECT_EQ(doc.find("{\"head\":{\"vars\":[\"w\"]}"), 0u);
+  EXPECT_NE(doc.find("\"results\":{\"bindings\":["), std::string::npos);
+  EXPECT_NE(doc.find("\"type\":\"tree\""), std::string::npos);
+  EXPECT_NE(doc.find("\"outcome\":\"ok\"}\n"), std::string::npos);
+}
+
+TEST(FormatTest, MaxRowsSuppressesButKeepsCounting) {
+  Graph g = MakeFigure1Graph();
+  EqlEngine engine(g);
+  QueryResult telemetry;
+  std::string doc = StreamedBytes(engine, g, kConnectQuery, ResultFormat::kJson,
+                                  /*max_rows=*/1, nullptr, &telemetry);
+  ASSERT_GT(telemetry.rows_streamed, 1u) << "fixture must stream several rows";
+  // The doc holds one binding, the true total, and the suppressed count.
+  EXPECT_NE(
+      doc.find("\"rows\":" + std::to_string(telemetry.rows_streamed)),
+      std::string::npos);
+  EXPECT_NE(doc.find("\"truncated_rows\":" +
+                     std::to_string(telemetry.rows_streamed - 1)),
+            std::string::npos);
+
+  std::string tsv = StreamedBytes(engine, g, kConnectQuery, ResultFormat::kTsv,
+                                  /*max_rows=*/1);
+  EXPECT_NE(tsv.find("more rows)"), std::string::npos);
+}
+
+TEST(FormatTest, NonOkOutcomeIsReportedInEveryFormat) {
+  Graph g = MakeFigure1Graph();
+  auto r = EqlEngine(g).Run(kConnectQuery);
+  ASSERT_TRUE(r.ok());
+  QueryResult doctored = *r;
+  doctored.outcome = SearchOutcome::kTimeout;
+  for (ResultFormat f :
+       {ResultFormat::kJson, ResultFormat::kTsv, ResultFormat::kTable}) {
+    SCOPED_TRACE(ResultFormatName(f));
+    StringByteSink out;
+    SerializeResult(g, doctored, f, out);
+    EXPECT_NE(out.out.find("timeout"), std::string::npos);
+  }
+}
+
+/// ByteSink that accepts the first `n` writes, then fails forever.
+class FailAfterSink : public ByteSink {
+ public:
+  explicit FailAfterSink(int n) : remaining_(n) {}
+  bool Write(std::string_view bytes) override {
+    if (remaining_ <= 0) return false;
+    --remaining_;
+    out.append(bytes);
+    return true;
+  }
+  std::string out;
+
+ private:
+  int remaining_;
+};
+
+TEST(FormatTest, FailedWriteCancelsTheStreamAndLeavesWholeRows) {
+  Graph g = MakeFigure1Graph();
+  EqlEngine engine(g);
+  auto prepared = engine.Prepare(kConnectQuery);
+  ASSERT_TRUE(prepared.ok());
+
+  // Head + one row, then the sink dies.
+  FailAfterSink out(2);
+  SerializingSink sink(g, ResultFormat::kTsv, out, 0, nullptr);
+  auto r = prepared->Execute({}, sink);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->cancelled) << "a dead sink must cancel the execution";
+  EXPECT_TRUE(sink.write_failed());
+  EXPECT_FALSE(sink.Finish(FinishInfo{r->outcome, 0}));
+
+  // Everything on the wire is whole lines: header plus exactly one row.
+  EXPECT_FALSE(out.out.empty());
+  EXPECT_EQ(out.out.back(), '\n') << "a torn row must never be written";
+  EXPECT_EQ(std::count(out.out.begin(), out.out.end(), '\n'), 2);
+}
+
+TEST(FormatTest, FlushFaultSiteActsLikeASinkFailure) {
+  Graph g = MakeFigure1Graph();
+  EqlEngine engine(g);
+  FaultInjector fault;
+  fault.Arm(kFaultSiteFlush, /*trigger=*/2);  // head ok, first row fails
+  QueryResult telemetry;
+  std::string doc =
+      StreamedBytes(engine, g, kConnectQuery, ResultFormat::kTsv, 0, &fault,
+                    &telemetry);
+  EXPECT_EQ(fault.Fired(kFaultSiteFlush), 1u);
+  EXPECT_TRUE(telemetry.cancelled);
+  // Only the (whole) header made it out before the injected flush failure.
+  EXPECT_EQ(doc, "?w\n");
+}
+
+TEST(FormatTest, CachedAndFreshHandlesSerializeIdentically) {
+  Graph g = MakeFigure1Graph();
+  EqlEngine engine(g);
+  // Two independent Prepares of the same text: the serialized documents must
+  // match byte-for-byte (the determinism contract /query relies on when a
+  // prepared-cache hit replaces a fresh compilation).
+  std::string first = StreamedBytes(engine, g, kConnectQuery,
+                                    ResultFormat::kJson);
+  std::string second = StreamedBytes(engine, g, kConnectQuery,
+                                     ResultFormat::kJson);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace eql

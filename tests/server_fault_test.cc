@@ -1,0 +1,194 @@
+// Fault injection against the server path (ISSUE satellite): every injected
+// failure must degrade gracefully — a clean HTTP error or a hard-truncated
+// chunked body whose payload is a well-formed prefix of whole rows, never a
+// stuck executor or a complete-looking document. Sites (util/fault.h):
+// "admit" rejects at admission, "serializer-flush" fails a serializer write
+// mid-stream, "net-write" fails an HTTP chunk write as if the peer vanished.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "server/http.h"
+#include "server/server.h"
+#include "test_util.h"
+#include "util/fault.h"
+
+namespace eql {
+namespace {
+
+constexpr const char* kConnectQuery =
+    "SELECT ?w WHERE { CONNECT(\"Bob\", \"Carole\" -> ?w) MAX 3 }";
+
+/// What a truncated response looks like on the wire, decoded as far as the
+/// bytes go: status, the de-chunked payload of every COMPLETE chunk, and
+/// whether the terminal 0-chunk ever arrived.
+struct RawResponse {
+  int status = 0;
+  std::string payload;
+  bool terminated = false;  ///< saw the 0\r\n\r\n terminal chunk
+};
+
+/// One /query request on a raw socket, reading to EOF — works where
+/// HttpFetch (correctly) errors out on a truncated chunked body.
+RawResponse RawQueryUntilEof(uint16_t port, const std::string& query) {
+  RawResponse out;
+  auto fd = TcpConnect("127.0.0.1", port);
+  EXPECT_TRUE(fd.ok()) << fd.status().ToString();
+  if (!fd.ok()) return out;
+  // Backstop: if the server wrongly keeps the connection alive (a truncation
+  // bug looks like a complete keep-alive response), fail instead of hanging.
+  struct timeval tv{.tv_sec = 15, .tv_usec = 0};
+  ::setsockopt(*fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  std::string req = "POST /query?format=tsv HTTP/1.1\r\nHost: eqld\r\n";
+  req += "Content-Length: " + std::to_string(query.size()) + "\r\n\r\n";
+  req += query;
+  EXPECT_EQ(::send(*fd, req.data(), req.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(req.size()));
+
+  std::string raw;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(*fd, buf, sizeof(buf), 0)) > 0) raw.append(buf, n);
+  ::close(*fd);
+
+  size_t head_end = raw.find("\r\n\r\n");
+  if (raw.size() >= 12 && raw.compare(0, 5, "HTTP/") == 0) {
+    out.status = std::atoi(raw.substr(9, 3).c_str());
+  }
+  if (head_end == std::string::npos) return out;
+  size_t pos = head_end + 4;
+  // Decode every complete chunk; stop at a torn one or the terminal chunk.
+  for (;;) {
+    size_t eol = raw.find("\r\n", pos);
+    if (eol == std::string::npos) break;
+    size_t chunk = std::strtoul(raw.substr(pos, eol - pos).c_str(), nullptr, 16);
+    if (chunk == 0) {
+      out.terminated = true;
+      break;
+    }
+    if (eol + 2 + chunk + 2 > raw.size()) break;  // torn chunk
+    out.payload.append(raw, eol + 2, chunk);
+    pos = eol + 2 + chunk + 2;
+  }
+  return out;
+}
+
+class ServerFaultTest : public ::testing::Test {
+ protected:
+  void StartServer() {
+    ServerOptions options;
+    options.fault = &fault_;
+    server_ = std::make_unique<EqldServer>(options);
+    server_->SetGraph(MakeFigure1Graph(), "figure1");
+    ASSERT_TRUE(server_->Start().ok());
+  }
+  Result<HttpResponse> Query() {
+    return HttpFetch("127.0.0.1", server_->port(), "POST",
+                     "/query?format=tsv", kConnectQuery);
+  }
+  /// The unfaulted reference body every truncated payload must be a strict
+  /// prefix of.
+  std::string ReferenceBody() {
+    auto r = Query();
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->status, 200);
+    return r->body;
+  }
+  /// Asserts the server came out of the fault clean: slot released, still
+  /// serving complete responses. The admission ticket is released *after*
+  /// the last response byte is written, so a client that has read a complete
+  /// body can still observe the slot for an instant — poll, don't snapshot.
+  void ExpectServerHealthy() {
+    auto until = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (server_->GetStats().admission.in_flight != 0 &&
+           std::chrono::steady_clock::now() < until) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_EQ(server_->GetStats().admission.in_flight, 0u)
+        << "no stuck executor, no leaked admission ticket";
+    auto r = Query();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->status, 200);
+  }
+
+  FaultInjector fault_;
+  std::unique_ptr<EqldServer> server_;
+};
+
+TEST_F(ServerFaultTest, AdmissionFaultShedsWith503AndRecovers) {
+  StartServer();
+  fault_.Arm(kFaultSiteAdmit, 1);
+
+  auto r = Query();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->status, 503);
+  EXPECT_NE(r->body.find("\"code\":\"unavailable\""), std::string::npos);
+  EXPECT_EQ(fault_.Fired(kFaultSiteAdmit), 1u);
+  EXPECT_EQ(server_->GetStats().admission.rejected_global, 1u);
+
+  ExpectServerHealthy();  // the shed is one-shot and leaves no residue
+  EXPECT_EQ(server_->GetStats().queries_ok, 1u);
+}
+
+TEST_F(ServerFaultTest, SerializerFlushFaultHardTruncatesMidBody) {
+  StartServer();
+  const std::string reference = ReferenceBody();
+
+  // Header and first row flush, the third serializer write fails. The
+  // socket is healthy, so the ONLY acceptable signal is framing: the
+  // chunked body must never be sealed with a terminal chunk. Probe counts
+  // survive re-arming, so the trigger is relative to the reference run.
+  fault_.Arm(kFaultSiteFlush, fault_.Probes(kFaultSiteFlush) + 3);
+  RawResponse r = RawQueryUntilEof(server_->port(), kConnectQuery);
+  EXPECT_EQ(fault_.Fired(kFaultSiteFlush), 1u);
+  EXPECT_EQ(r.status, 200) << "the stream had already begun";
+  EXPECT_FALSE(r.terminated) << "a truncated document must not look complete";
+  EXPECT_FALSE(r.payload.empty());
+  EXPECT_LT(r.payload.size(), reference.size());
+  EXPECT_EQ(reference.substr(0, r.payload.size()), r.payload);
+  EXPECT_EQ(r.payload.back(), '\n') << "no torn row on the wire";
+
+  EXPECT_EQ(server_->GetStats().queries_cancelled, 1u)
+      << "a failed flush cancels the execution";
+  ExpectServerHealthy();
+}
+
+TEST_F(ServerFaultTest, NetWriteFaultActsLikeADisconnect) {
+  StartServer();
+  const std::string reference = ReferenceBody();
+
+  // Headers + first chunk out, then EPIPE (trigger relative: the reference
+  // run above already advanced the net-write probe counter).
+  fault_.Arm(kFaultSiteNetWrite, fault_.Probes(kFaultSiteNetWrite) + 2);
+  RawResponse r = RawQueryUntilEof(server_->port(), kConnectQuery);
+  EXPECT_EQ(fault_.Fired(kFaultSiteNetWrite), 1u);
+  EXPECT_EQ(r.status, 200);
+  EXPECT_FALSE(r.terminated);
+  EXPECT_EQ(r.payload, "?w\n") << "exactly the first serializer write";
+
+  EXPECT_EQ(server_->GetStats().queries_cancelled, 1u)
+      << "a dead connection must cancel the search";
+  ExpectServerHealthy();
+}
+
+TEST_F(ServerFaultTest, NetWriteFaultBeforeAnyByteDropsTheConnection) {
+  StartServer();
+  fault_.Arm(kFaultSiteNetWrite, 1);  // not even the status line gets out
+
+  RawResponse r = RawQueryUntilEof(server_->port(), kConnectQuery);
+  EXPECT_EQ(fault_.Fired(kFaultSiteNetWrite), 1u);
+  EXPECT_EQ(r.status, 0) << "EOF before any response byte";
+
+  EXPECT_EQ(server_->GetStats().queries_cancelled, 1u);
+  ExpectServerHealthy();
+}
+
+}  // namespace
+}  // namespace eql

@@ -1,0 +1,393 @@
+// End-to-end tests for the eqld server core (src/server/server.h): real
+// sockets on an ephemeral loopback port, the library's own HTTP client on
+// the other side, and the in-process engine as the byte-identity oracle.
+//
+// The back-pressure tests (429, 503, disconnect-cancellation) need a query
+// that stays in flight on demand. They get one deterministically: the
+// client shrinks its receive buffer and stops reading, so the server blocks
+// writing a many-hundred-KB chunked body — admission slot held — until the
+// test either drains the response or closes the socket.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "eval/engine.h"
+#include "gen/kg.h"
+#include "server/format.h"
+#include "server/http.h"
+#include "server/server.h"
+#include "test_util.h"
+
+namespace eql {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr const char* kConnectQuery =
+    "SELECT ?w WHERE { CONNECT(\"Bob\", \"Carole\" -> ?w) MAX 3 }";
+// A real (multi-second) tree search on the synthetic KG, streaming ~60KB —
+// what the disconnect test cancels mid-search.
+constexpr const char* kBigQuery =
+    "SELECT ?w WHERE { CONNECT(\"n1\", \"n2\" -> ?w) MAX 3 }";
+// A full edge scan: ~550KB of rows at near-zero engine cost. The admission
+// tests block on this one — the bytes pin the connection in its chunk write
+// regardless of build type, and draining it is fast even under Debug.
+constexpr const char* kScanQuery = "SELECT ?s ?p ?o WHERE { ?s ?p ?o . }";
+
+// 10000/40000 edges: both queries above stream far more than the shrunken
+// socket buffers absorb.
+Graph MakeKg() {
+  KgParams params;
+  params.num_nodes = 10000;
+  params.num_edges = 40000;
+  auto g = MakeSyntheticKg(params);
+  EXPECT_TRUE(g.ok()) << g.status().ToString();
+  return std::move(g).value();
+}
+
+/// What the engine serializes in process: the oracle every HTTP body is
+/// compared against (the determinism contract makes this byte-exact).
+std::string InProcessBytes(const Graph& g, const std::string& query,
+                           ResultFormat format, const ParamMap& params = {}) {
+  EqlEngine engine(g);
+  auto prepared = engine.Prepare(query);
+  EXPECT_TRUE(prepared.ok()) << prepared.status().ToString();
+  StringByteSink out;
+  SerializingSink sink(g, format, out);
+  auto r = prepared->Execute(params, sink);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  sink.Finish(FinishInfo{r->outcome, 0});
+  return out.out;
+}
+
+bool WaitFor(const std::function<bool()>& pred,
+             std::chrono::milliseconds deadline = 5000ms) {
+  auto until = std::chrono::steady_clock::now() + deadline;
+  while (std::chrono::steady_clock::now() < until) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(5ms);
+  }
+  return pred();
+}
+
+/// A raw client that sends one /query request and deliberately never reads:
+/// tiny SO_RCVBUF + an unread multi-hundred-KB response pins the server in
+/// its chunk write, holding the admission slot until Drain() or Close().
+class BlockedQuery {
+ public:
+  BlockedQuery(uint16_t port, const std::string& client_name,
+               const char* query = kScanQuery) {
+    Send(port, client_name, query);  // ASSERTs live in a void helper
+  }
+  void Send(uint16_t port, const std::string& client_name, const char* query) {
+    auto fd = TcpConnect("127.0.0.1", port);
+    ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+    fd_ = *fd;
+    int rcvbuf = 4096;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+    const std::string body = query;
+    std::string req = "POST /query?format=tsv HTTP/1.1\r\nHost: eqld\r\n";
+    req += "X-EQL-Client: " + client_name + "\r\n";
+    req += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+    req += body;
+    ASSERT_EQ(::send(fd_, req.data(), req.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(req.size()));
+  }
+  ~BlockedQuery() { Close(); }
+
+  /// Reads the whole (so far unread) response; the held slot drains.
+  HttpResponse Drain() {
+    HttpResponse resp;
+    std::string buffer;
+    Status st = ReadHttpResponse(fd_, &buffer, &resp);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return resp;
+  }
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+TEST(ServerTest, HealthAndStats) {
+  EqldServer server(ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  auto r = HttpFetch("127.0.0.1", server.port(), "GET", "/health");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->status, 503) << "no graph loaded yet";
+
+  server.SetGraph(MakeFigure1Graph(), "figure1");
+  r = HttpFetch("127.0.0.1", server.port(), "GET", "/health");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 200);
+  EXPECT_EQ(r->body, "ok\n");
+
+  r = HttpFetch("127.0.0.1", server.port(), "GET", "/stats");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 200);
+  EXPECT_NE(r->body.find("\"loaded\":true"), std::string::npos);
+  EXPECT_NE(r->body.find("\"source\":\"figure1\""), std::string::npos);
+  server.Shutdown();
+}
+
+TEST(ServerTest, RoutingErrors) {
+  EqldServer server(ServerOptions{});
+  server.SetGraph(MakeFigure1Graph(), "figure1");
+  ASSERT_TRUE(server.Start().ok());
+
+  auto r = HttpFetch("127.0.0.1", server.port(), "GET", "/nope");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 404);
+
+  r = HttpFetch("127.0.0.1", server.port(), "GET", "/query");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 405);
+  EXPECT_EQ(r->headers.count("allow"), 1u);
+
+  r = HttpFetch("127.0.0.1", server.port(), "POST", "/query", "SELECT oops");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 400);
+  EXPECT_NE(r->body.find("\"code\":\"invalid_argument\""), std::string::npos);
+  server.Shutdown();
+}
+
+TEST(ServerTest, StreamedBodyIsByteIdenticalToInProcessExecution) {
+  Graph g = MakeFigure1Graph();
+  EqldServer server(ServerOptions{});
+  server.SetGraph(MakeFigure1Graph(), "figure1");
+  ASSERT_TRUE(server.Start().ok());
+
+  for (const char* format : {"json", "tsv"}) {
+    SCOPED_TRACE(format);
+    auto r = HttpFetch("127.0.0.1", server.port(), "POST",
+                       std::string("/query?format=") + format, kConnectQuery);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(r->status, 200);
+    EXPECT_EQ(r->headers["transfer-encoding"], "chunked");
+    // HttpFetch removed the chunk framing; what remains must match the
+    // in-process serializer byte for byte.
+    EXPECT_EQ(r->body, InProcessBytes(g, kConnectQuery,
+                                      *ParseResultFormat(format)));
+  }
+  server.Shutdown();
+}
+
+TEST(ServerTest, PrepareExecuteHandlesWithParams) {
+  Graph g = MakeFigure1Graph();
+  EqldServer server(ServerOptions{});
+  server.SetGraph(MakeFigure1Graph(), "figure1");
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t port = server.port();
+
+  const std::string param_query =
+      "SELECT ?w WHERE { CONNECT($a, $b -> ?w) MAX 3 }";
+  auto r = HttpFetch("127.0.0.1", port, "POST", "/prepare?name=q1",
+                     param_query);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->status, 200) << r->body;
+  EXPECT_NE(r->body.find("\"name\":\"q1\""), std::string::npos);
+
+  r = HttpFetch("127.0.0.1", port, "POST",
+                "/execute?name=q1&$a=Bob&$b=Carole&format=tsv");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->status, 200) << r->body;
+  ParamMap params;
+  params.Set("a", "Bob");
+  params.Set("b", "Carole");
+  EXPECT_EQ(r->body,
+            InProcessBytes(g, param_query, ResultFormat::kTsv, params));
+
+  // Unknown handle and missing parameter are client errors, not hangs.
+  r = HttpFetch("127.0.0.1", port, "POST", "/execute?name=ghost");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 404);
+  r = HttpFetch("127.0.0.1", port, "POST", "/execute?name=q1&$a=Bob");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 400) << "unbound $b must be rejected";
+  server.Shutdown();
+}
+
+TEST(ServerTest, ConcurrentClientsAllGetIdenticalBodies) {
+  Graph g = MakeFigure1Graph();
+  ServerOptions options;
+  options.admission.max_concurrent = 16;
+  EqldServer server(options);
+  server.SetGraph(MakeFigure1Graph(), "figure1");
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t port = server.port();
+  const std::string expected = InProcessBytes(g, kConnectQuery,
+                                              ResultFormat::kJson);
+
+  constexpr int kClients = 8;
+  std::vector<std::string> bodies(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      // Each client its own keep-alive connection, several requests on it.
+      auto conn = HttpClientConnection::Connect("127.0.0.1", port);
+      ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+      for (int i = 0; i < 3; ++i) {
+        auto r = conn->Request(
+            "POST", "/query?format=json", kConnectQuery,
+            {"X-EQL-Client: client-" + std::to_string(c)});
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        ASSERT_EQ(r->status, 200);
+        bodies[c] = r->body;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) EXPECT_EQ(bodies[c], expected);
+
+  auto stats = server.GetStats();
+  EXPECT_EQ(stats.queries_ok, uint64_t{kClients * 3});
+  EXPECT_EQ(stats.cache.hits + stats.cache.misses, uint64_t{kClients * 3});
+  EXPECT_GE(stats.cache.hits, uint64_t{kClients * 3 - kClients})
+      << "one text, many requests: almost every lookup is a hit";
+  server.Shutdown();
+}
+
+TEST(ServerTest, PerClientCapReturns429WhileInFlightCompletes) {
+  ServerOptions options;
+  options.admission.per_client_concurrent = 1;
+  EqldServer server(options);
+  server.SetGraph(MakeKg(), "kg");
+  ASSERT_TRUE(server.Start().ok());
+
+  BlockedQuery hog(server.port(), "hog");
+  ASSERT_TRUE(WaitFor([&] { return server.GetStats().admission.in_flight == 1; }))
+      << "the unread query must be admitted and stay in flight";
+
+  // Same client, second query: over its cap -> 429. Another client: fine.
+  auto r = HttpFetch("127.0.0.1", server.port(), "POST", "/query", kBigQuery,
+                     {"X-EQL-Client: hog"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 429);
+  EXPECT_NE(r->body.find("\"code\":\"resource_exhausted\""),
+            std::string::npos);
+  // The other client's request rides a short timeout_ms so it stays bounded
+  // even on a loaded 1-CPU machine (a timeout is an outcome, not an error:
+  // the response is still a 200).
+  r = HttpFetch("127.0.0.1", server.port(), "POST",
+                "/query?format=json&max_rows=1&timeout_ms=300", kBigQuery,
+                {"X-EQL-Client: other"});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->status, 200) << r->body;
+
+  // The rejected request did not disturb the in-flight one: draining it
+  // yields a complete, successful response.
+  HttpResponse first = hog.Drain();
+  EXPECT_EQ(first.status, 200);
+  EXPECT_EQ(first.body.substr(0, 9), "?s\t?p\t?o\n");
+  EXPECT_TRUE(WaitFor([&] { return server.GetStats().admission.in_flight == 0; }));
+  EXPECT_EQ(server.GetStats().admission.rejected_client, 1u);
+  server.Shutdown();
+}
+
+TEST(ServerTest, GlobalCapReturns503) {
+  ServerOptions options;
+  options.admission.max_concurrent = 1;
+  EqldServer server(options);
+  server.SetGraph(MakeKg(), "kg");
+  ASSERT_TRUE(server.Start().ok());
+
+  BlockedQuery holder(server.port(), "a");
+  ASSERT_TRUE(WaitFor([&] { return server.GetStats().admission.in_flight == 1; }));
+
+  auto r = HttpFetch("127.0.0.1", server.port(), "POST", "/query", kBigQuery,
+                     {"X-EQL-Client: b"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 503);
+  EXPECT_NE(r->body.find("\"code\":\"unavailable\""), std::string::npos);
+  EXPECT_EQ(holder.Drain().status, 200);
+  server.Shutdown();
+}
+
+TEST(ServerTest, DisconnectMidStreamCancelsTheSearch) {
+  EqldServer server(ServerOptions{});
+  server.SetGraph(MakeKg(), "kg");
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    // A real tree search here, not the scan: the point is that the engine's
+    // *search* gets cancelled, not just a row-emission loop.
+    BlockedQuery victim(server.port(), "gone", kBigQuery);
+    ASSERT_TRUE(
+        WaitFor([&] { return server.GetStats().admission.in_flight == 1; }));
+    victim.Close();  // peer vanishes mid-chunk
+  }
+
+  // The failed chunk write must cancel the execution (not run it to
+  // completion, not wedge it): the cancelled counter ticks and the
+  // admission slot comes back.
+  EXPECT_TRUE(
+      WaitFor([&] { return server.GetStats().queries_cancelled == 1; }))
+      << "disconnect did not cancel the in-flight query";
+  EXPECT_TRUE(WaitFor([&] { return server.GetStats().admission.in_flight == 0; }));
+
+  // The server is fully serviceable afterwards.
+  auto r = HttpFetch("127.0.0.1", server.port(), "GET", "/health");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 200);
+  server.Shutdown();
+}
+
+TEST(ServerTest, ShutdownDrainsIdleKeepAliveConnections) {
+  ServerOptions options;
+  options.shutdown_poll_ms = 20;
+  EqldServer server(options);
+  server.SetGraph(MakeFigure1Graph(), "figure1");
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t port = server.port();
+
+  // A keep-alive connection parked after one successful request would
+  // deadlock a Shutdown that joins connections without a stop signal.
+  auto conn = HttpClientConnection::Connect("127.0.0.1", port);
+  ASSERT_TRUE(conn.ok());
+  auto r = conn->Request("GET", "/health");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 200);
+
+  server.Shutdown();
+  EXPECT_EQ(server.GetStats().connections_active, 0u);
+  EXPECT_FALSE(TcpConnect("127.0.0.1", port).ok())
+      << "the listener must be gone after Shutdown";
+}
+
+TEST(ServerTest, GraphHotSwapInvalidatesHandles) {
+  EqldServer server(ServerOptions{});
+  server.SetGraph(MakeFigure1Graph(), "figure1");
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t port = server.port();
+
+  auto r = HttpFetch("127.0.0.1", port, "POST", "/prepare?name=q1",
+                     kConnectQuery);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->status, 200);
+
+  server.SetGraph(MakeKg(), "kg");  // hot-swap drops the old context
+
+  r = HttpFetch("127.0.0.1", port, "POST", "/execute?name=q1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 404) << "handles do not survive a graph swap";
+  r = HttpFetch("127.0.0.1", port, "GET", "/stats");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r->body.find("\"source\":\"kg\""), std::string::npos);
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace eql

@@ -40,6 +40,8 @@ TEST(StatusTest, FactoriesCarryCodeAndMessage) {
       {Status::Unimplemented("bad"), StatusCode::kUnimplemented},
       {Status::Internal("bad"), StatusCode::kInternal},
       {Status::Timeout("bad"), StatusCode::kTimeout},
+      {Status::Unavailable("bad"), StatusCode::kUnavailable},
+      {Status::ResourceExhausted("bad"), StatusCode::kResourceExhausted},
   };
   for (const Case& c : cases) {
     EXPECT_FALSE(c.status.ok());
@@ -58,6 +60,44 @@ TEST(StatusTest, ResultHoldsValueOrStatus) {
   Result<int> bad(Status::NotFound("nope"));
   EXPECT_FALSE(bad.ok());
   EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusTest, HttpMappingCoversEveryCode) {
+  // The single status -> HTTP mapping eqld serves under: caller mistakes are
+  // 4xx, server conditions 5xx, and the two admission codes land on the
+  // protocol's retry semantics (429 = this client backs off, 503 = everyone).
+  EXPECT_EQ(HttpStatusForCode(StatusCode::kOk), 200);
+  EXPECT_EQ(HttpStatusForCode(StatusCode::kInvalidArgument), 400);
+  EXPECT_EQ(HttpStatusForCode(StatusCode::kOutOfRange), 400);
+  EXPECT_EQ(HttpStatusForCode(StatusCode::kNotFound), 404);
+  EXPECT_EQ(HttpStatusForCode(StatusCode::kResourceExhausted), 429);
+  EXPECT_EQ(HttpStatusForCode(StatusCode::kInternal), 500);
+  EXPECT_EQ(HttpStatusForCode(StatusCode::kCorruption), 500);
+  EXPECT_EQ(HttpStatusForCode(StatusCode::kUnimplemented), 501);
+  EXPECT_EQ(HttpStatusForCode(StatusCode::kUnavailable), 503);
+  EXPECT_EQ(HttpStatusForCode(StatusCode::kTimeout), 504);
+}
+
+TEST(StatusTest, ShellExitMappingCoversEveryCode) {
+  // The shared exit-code categories of eql_shell's file comment: 0 ok,
+  // 1 data load, 3 rejected before running, 4 failed during execution,
+  // 5 resource cutoff with partial results.
+  EXPECT_EQ(ShellExitCodeForCode(StatusCode::kOk), 0);
+  EXPECT_EQ(ShellExitCodeForCode(StatusCode::kCorruption), 1);
+  EXPECT_EQ(ShellExitCodeForCode(StatusCode::kInvalidArgument), 3);
+  EXPECT_EQ(ShellExitCodeForCode(StatusCode::kNotFound), 3);
+  EXPECT_EQ(ShellExitCodeForCode(StatusCode::kOutOfRange), 3);
+  EXPECT_EQ(ShellExitCodeForCode(StatusCode::kUnimplemented), 3);
+  EXPECT_EQ(ShellExitCodeForCode(StatusCode::kInternal), 4);
+  EXPECT_EQ(ShellExitCodeForCode(StatusCode::kUnavailable), 4);
+  EXPECT_EQ(ShellExitCodeForCode(StatusCode::kTimeout), 5);
+  EXPECT_EQ(ShellExitCodeForCode(StatusCode::kResourceExhausted), 5);
+}
+
+TEST(StatusTest, NewCodesHaveStableNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "unavailable");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "resource_exhausted");
 }
 
 TEST(StatusTest, ReturnIfErrorPropagates) {
