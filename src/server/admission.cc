@@ -3,28 +3,32 @@
 namespace eql {
 
 AdmissionTicket::AdmissionTicket(AdmissionTicket&& other) noexcept
-    : controller_(other.controller_), client_(std::move(other.client_)) {
+    : controller_(other.controller_),
+      client_(std::move(other.client_)),
+      peer_(std::move(other.peer_)) {
   other.controller_ = nullptr;
 }
 
 AdmissionTicket& AdmissionTicket::operator=(AdmissionTicket&& other) noexcept {
   if (this != &other) {
-    if (controller_ != nullptr) controller_->Release(client_);
+    if (controller_ != nullptr) controller_->Release(client_, peer_);
     controller_ = other.controller_;
     client_ = std::move(other.client_);
+    peer_ = std::move(other.peer_);
     other.controller_ = nullptr;
   }
   return *this;
 }
 
 AdmissionTicket::~AdmissionTicket() {
-  if (controller_ != nullptr) controller_->Release(client_);
+  if (controller_ != nullptr) controller_->Release(client_, peer_);
 }
 
 AdmissionController::AdmissionController(Options options, FaultInjector* fault)
     : options_(options), fault_(fault) {}
 
-Result<AdmissionTicket> AdmissionController::Admit(const std::string& client) {
+Result<AdmissionTicket> AdmissionController::Admit(const std::string& client,
+                                                   const std::string& peer) {
   if (fault_ != nullptr && fault_->ShouldFail(kFaultSiteAdmit)) {
     std::lock_guard<std::mutex> lock(mu_);
     ++rejected_global_;
@@ -37,25 +41,45 @@ Result<AdmissionTicket> AdmissionController::Admit(const std::string& client) {
         "server at capacity (" + std::to_string(in_flight_) +
         " queries in flight); retry later");
   }
-  uint32_t& mine = per_client_[client];
-  if (options_.per_client_concurrent > 0 &&
-      mine >= options_.per_client_concurrent) {
-    ++rejected_client_;
-    return Status::ResourceExhausted(
-        "client '" + client + "' is over its concurrency quota (" +
-        std::to_string(options_.per_client_concurrent) + ")");
+  // The peer gate is checked before the client gate: it is the enforced
+  // one (the client key embeds a client-supplied header; the peer address
+  // cannot be forged over an established connection).
+  if (!peer.empty() && options_.per_peer_concurrent > 0) {
+    auto it = per_peer_.find(peer);
+    if (it != per_peer_.end() && it->second >= options_.per_peer_concurrent) {
+      ++rejected_client_;
+      return Status::ResourceExhausted(
+          "peer '" + peer + "' is over its concurrency quota (" +
+          std::to_string(options_.per_peer_concurrent) + ")");
+    }
+  }
+  if (options_.per_client_concurrent > 0) {
+    auto it = per_client_.find(client);
+    if (it != per_client_.end() &&
+        it->second >= options_.per_client_concurrent) {
+      ++rejected_client_;
+      return Status::ResourceExhausted(
+          "client '" + client + "' is over its concurrency quota (" +
+          std::to_string(options_.per_client_concurrent) + ")");
+    }
   }
   ++in_flight_;
-  ++mine;
+  ++per_client_[client];
+  if (!peer.empty()) ++per_peer_[peer];
   ++admitted_;
-  return AdmissionTicket(this, client);
+  return AdmissionTicket(this, client, peer);
 }
 
-void AdmissionController::Release(const std::string& client) {
+void AdmissionController::Release(const std::string& client,
+                                  const std::string& peer) {
   std::lock_guard<std::mutex> lock(mu_);
   --in_flight_;
   auto it = per_client_.find(client);
   if (it != per_client_.end() && --it->second == 0) per_client_.erase(it);
+  if (!peer.empty()) {
+    auto pit = per_peer_.find(peer);
+    if (pit != per_peer_.end() && --pit->second == 0) per_peer_.erase(pit);
+  }
 }
 
 AdmissionController::Stats AdmissionController::GetStats() const {

@@ -1,18 +1,26 @@
 // Admission control for the eqld daemon: decides, before any query work,
 // whether a request may run — and under what resource envelope.
 //
-// Two independent gates, mapped onto the two new status codes (and through
-// HttpStatusForCode onto HTTP):
+// Three independent gates, mapped onto the two new status codes (and
+// through HttpStatusForCode onto HTTP):
 //
 //   * a GLOBAL concurrency cap — the server is saturated, nobody gets in:
 //     kUnavailable -> 503. Protects the worker pool and memory headroom.
 //   * a PER-CLIENT concurrency cap — one client is hogging, only that
-//     client is pushed back: kResourceExhausted -> 429.
+//     client is pushed back: kResourceExhausted -> 429. The client key is
+//     whatever string the server derives per request (peer IP refined by
+//     the X-EQL-Client header). Because the header is client-supplied, this
+//     gate is COOPERATIVE: a client that varies its header mints fresh
+//     keys and escapes it. Use it to separate well-behaved tools sharing
+//     one address, not as an anti-abuse boundary.
+//   * a PER-PEER concurrency cap — keyed on the peer address alone, which
+//     a client cannot forge over an established TCP connection, so header
+//     games cannot bypass it: kResourceExhausted -> 429. This is the
+//     enforced anti-hog gate (off by default; see Options).
 //
-// A client is whatever string the server derives per request (the
-// X-EQL-Client header when present, else the peer IP). Admission hands out
-// an RAII Ticket; its destruction releases both counters, so every exit
-// path — success, serialization failure, disconnect — releases exactly once.
+// Admission hands out an RAII Ticket; its destruction releases every
+// counter, so each exit path — success, serialization failure, disconnect —
+// releases exactly once.
 //
 // The controller also carries the per-query resource envelope that admitted
 // requests execute under (ExecOptions::query_timeout_ms /
@@ -49,11 +57,15 @@ class AdmissionTicket {
 
  private:
   friend class AdmissionController;
-  AdmissionTicket(AdmissionController* controller, std::string client)
-      : controller_(controller), client_(std::move(client)) {}
+  AdmissionTicket(AdmissionController* controller, std::string client,
+                  std::string peer)
+      : controller_(controller),
+        client_(std::move(client)),
+        peer_(std::move(peer)) {}
 
   AdmissionController* controller_ = nullptr;
   std::string client_;
+  std::string peer_;
 };
 
 class AdmissionController {
@@ -61,8 +73,12 @@ class AdmissionController {
   struct Options {
     /// Server-wide concurrent-query cap (0 = unlimited).
     uint32_t max_concurrent = 64;
-    /// Per-client concurrent-query cap (0 = unlimited).
+    /// Per-client concurrent-query cap (0 = unlimited). Cooperative — the
+    /// client key embeds the client-supplied X-EQL-Client header.
     uint32_t per_client_concurrent = 8;
+    /// Per-peer (network address) concurrent-query cap (0 = unlimited).
+    /// Enforced — keyed on the peer alone, immune to header variation.
+    uint32_t per_peer_concurrent = 0;
     /// Engine budgets every admitted query runs under (the quota ->
     /// ExecOptions mapping); <= 0 / 0 = unlimited.
     int64_t query_timeout_ms = 30000;
@@ -72,30 +88,33 @@ class AdmissionController {
   struct Stats {
     uint64_t admitted = 0;
     uint64_t rejected_global = 0;   ///< 503s issued
-    uint64_t rejected_client = 0;   ///< 429s issued
+    uint64_t rejected_client = 0;   ///< 429s issued (per-client or per-peer)
     uint32_t in_flight = 0;
   };
 
   explicit AdmissionController(Options options, FaultInjector* fault = nullptr);
 
-  /// Tries to admit one query for `client`.
+  /// Tries to admit one query for `client` arriving from `peer` (empty peer
+  /// skips the per-peer gate — unit tests and non-network callers).
   ///   ok                  — run it; keep the ticket alive for the duration.
   ///   kUnavailable        — server at capacity (or injected admit fault).
-  ///   kResourceExhausted  — this client is over its own cap.
-  Result<AdmissionTicket> Admit(const std::string& client);
+  ///   kResourceExhausted  — this client or peer is over its own cap.
+  Result<AdmissionTicket> Admit(const std::string& client,
+                                const std::string& peer = std::string());
 
   const Options& options() const { return options_; }
   Stats GetStats() const;
 
  private:
   friend class AdmissionTicket;
-  void Release(const std::string& client);
+  void Release(const std::string& client, const std::string& peer);
 
   Options options_;
   FaultInjector* fault_;  ///< not owned; may be null
   mutable std::mutex mu_;
   uint32_t in_flight_ = 0;
   std::unordered_map<std::string, uint32_t> per_client_;
+  std::unordered_map<std::string, uint32_t> per_peer_;
   uint64_t admitted_ = 0;
   uint64_t rejected_global_ = 0;
   uint64_t rejected_client_ = 0;

@@ -11,6 +11,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -172,14 +173,45 @@ HttpConnection::~HttpConnection() {
 }
 
 Status HttpConnection::ReadRequest(HttpRequest* out, const HttpLimits& limits,
-                                   const volatile bool* stop,
+                                   const std::atomic<bool>* stop,
                                    int poll_interval_ms) {
+  const auto stopping = [stop] {
+    return stop != nullptr && stop->load(std::memory_order_relaxed);
+  };
+  // The read deadline arms once the first byte of this request is buffered:
+  // an idle keep-alive connection may park indefinitely (only `stop` ends
+  // it), but a request that has started must complete within the budget —
+  // a half-sent head or body must not hold a connection slot forever.
+  std::chrono::steady_clock::time_point deadline{};
+  const auto arm_deadline = [&] {
+    if (deadline == std::chrono::steady_clock::time_point{} &&
+        !buffer_.empty() && limits.max_request_read_ms > 0) {
+      deadline = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(limits.max_request_read_ms);
+    }
+  };
+  const auto expired = [&] {
+    return deadline != std::chrono::steady_clock::time_point{} &&
+           std::chrono::steady_clock::now() >= deadline;
+  };
+  arm_deadline();  // pipelined bytes from the previous read count as a start
+
   // ---- head: request line + headers, terminated by CRLFCRLF ----
   size_t head_end;
   while ((head_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
     if (buffer_.size() > limits.max_head_bytes) {
       return Status::OutOfRange("request head exceeds " +
                                 std::to_string(limits.max_head_bytes) + " bytes");
+    }
+    if (stopping()) {
+      return Status::Unavailable(buffer_.empty()
+                                     ? "server shutting down"
+                                     : "server shutting down mid-request");
+    }
+    if (expired()) {
+      return Status::Timeout(
+          "request head not received within " +
+          std::to_string(limits.max_request_read_ms) + " ms");
     }
     int n = ReadMore(fd_, &buffer_, poll_interval_ms);
     if (n == 0) {
@@ -188,12 +220,8 @@ Status HttpConnection::ReadRequest(HttpRequest* out, const HttpLimits& limits,
                  : Status::InvalidArgument("connection closed mid-request");
     }
     if (n == -1) return Status::InvalidArgument("recv failed");
-    if (n == -2) {
-      if (stop != nullptr && *stop && buffer_.empty()) {
-        return Status::Unavailable("server shutting down");
-      }
-      continue;  // idle keep-alive connection; keep polling
-    }
+    if (n > 0) arm_deadline();
+    // n == -2: poll interval elapsed; loop re-checks stop and the deadline.
   }
   std::string_view head(buffer_.data(), head_end);
 
@@ -225,8 +253,18 @@ Status HttpConnection::ReadRequest(HttpRequest* out, const HttpLimits& limits,
     if (colon == std::string_view::npos) {
       return Status::InvalidArgument("malformed header line");
     }
-    out->headers[LowerCase(h.substr(0, colon))] =
-        std::string(Trim(h.substr(colon + 1)));
+    std::string name = LowerCase(h.substr(0, colon));
+    std::string value(Trim(h.substr(colon + 1)));
+    auto it = out->headers.find(name);
+    if (it == out->headers.end()) {
+      out->headers.emplace(std::move(name), std::move(value));
+    } else if (name == "content-length" && it->second != value) {
+      // Conflicting repeated Content-Length is a request-smuggling vector
+      // behind a proxy (RFC 9112 §6.3): reject, never last-win.
+      return Status::InvalidArgument("conflicting content-length headers");
+    } else {
+      it->second = std::move(value);  // other repeats keep last-wins
+    }
     pos = eol + 2;
   }
   buffer_.erase(0, head_end + 4);
@@ -258,9 +296,18 @@ Status HttpConnection::ReadRequest(HttpRequest* out, const HttpLimits& limits,
                                 std::to_string(limits.max_body_bytes) + " bytes");
     }
     while (buffer_.size() < want) {
+      if (stopping()) {
+        return Status::Unavailable("server shutting down mid-request");
+      }
+      if (expired()) {
+        return Status::Timeout(
+            "request body not received within " +
+            std::to_string(limits.max_request_read_ms) + " ms");
+      }
       int n = ReadMore(fd_, &buffer_, poll_interval_ms);
       if (n == 0) return Status::InvalidArgument("connection closed mid-body");
       if (n == -1) return Status::InvalidArgument("recv failed");
+      // n == -2: poll interval elapsed; re-check stop and the deadline.
     }
     out->body = buffer_.substr(0, want);
     buffer_.erase(0, want);

@@ -13,6 +13,7 @@
 #ifndef EQL_SERVER_HTTP_H_
 #define EQL_SERVER_HTTP_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -38,16 +39,23 @@ struct HttpRequest {
   const std::string* Header(std::string_view lowercase_name) const;
 };
 
-/// Hard limits the parser enforces (413 / 431-style rejections).
+/// Hard limits the parser enforces (408 / 413 / 431-style rejections).
 struct HttpLimits {
   size_t max_head_bytes = 64 * 1024;       ///< request line + headers
   size_t max_body_bytes = 4 * 1024 * 1024;
+  /// Overall deadline for receiving one request, armed when its first byte
+  /// is buffered (an idle keep-alive connection may park indefinitely). A
+  /// request that stalls past it — partial head or partial body, the
+  /// slowloris shape — gets kTimeout (the server answers 408 and closes,
+  /// releasing the connection slot). 0 disables the deadline.
+  int max_request_read_ms = 30000;
 };
 
 /// Buffered reader over a connected socket. ReadRequest blocks until a full
-/// request (or `poll_interval_ms` passes with no data and *stop is true —
-/// the shutdown-drain path). Implemented with poll + recv; one reader per
-/// connection thread.
+/// request arrives, `stop` is observed (re-checked every `poll_interval_ms`
+/// — the shutdown-drain path, honored whether the connection is idle or
+/// mid-request), or the request stalls past HttpLimits::max_request_read_ms.
+/// Implemented with poll + recv; one reader per connection thread.
 class HttpConnection {
  public:
   /// Takes ownership of `fd` (closed by the destructor).
@@ -59,12 +67,15 @@ class HttpConnection {
   /// Parses the next request off the connection.
   ///   kOk               — *out is filled.
   ///   kUnavailable      — clean EOF before any request byte, or `stop`
-  ///                       observed while idle: the connection is done.
+  ///                       observed (idle or mid-request): the connection
+  ///                       is done.
+  ///   kTimeout          — a started request stalled past
+  ///                       limits.max_request_read_ms (408 and close).
   ///   kInvalidArgument  — malformed request (caller answers 400 and closes).
   ///   kOutOfRange       — a limit was exceeded (431/413 and close).
   ///   kUnimplemented    — unsupported transfer-encoding / HTTP version.
   Status ReadRequest(HttpRequest* out, const HttpLimits& limits,
-                     const volatile bool* stop = nullptr,
+                     const std::atomic<bool>* stop = nullptr,
                      int poll_interval_ms = 200);
 
   /// Writes a complete fixed-length response. Returns false on write error.

@@ -150,10 +150,7 @@ Status EqldServer::Start() {
 }
 
 void EqldServer::Shutdown() {
-  if (stop_) {
-    // Second call: the first one already drained; nothing left to do.
-  }
-  stop_ = true;
+  stop_.store(true);  // connection readers observe it within one poll interval
   if (acceptor_.joinable()) acceptor_.join();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -164,7 +161,7 @@ void EqldServer::Shutdown() {
 }
 
 void EqldServer::AcceptLoop() {
-  while (!stop_) {
+  while (!stop_.load()) {
     struct pollfd pfd = {listen_fd_, POLLIN, 0};
     int pr = ::poll(&pfd, 1, options_.shutdown_poll_ms);
     if (pr <= 0) continue;
@@ -198,14 +195,16 @@ void EqldServer::ServeConnection(int fd) {
   {
     HttpConnection conn(fd);
     bool keep = true;
-    while (keep && !stop_) {
+    while (keep && !stop_.load()) {
       HttpRequest req;
       Status st = conn.ReadRequest(&req, options_.http_limits, &stop_,
                                    options_.shutdown_poll_ms);
       if (st.code() == StatusCode::kUnavailable) break;  // EOF / stopping
       if (!st.ok()) {
         int http = 400;
-        if (st.code() == StatusCode::kUnimplemented) {
+        if (st.code() == StatusCode::kTimeout) {
+          http = 408;  // the request stalled past max_request_read_ms
+        } else if (st.code() == StatusCode::kUnimplemented) {
           http = st.message().find("HTTP/1.1") != std::string::npos ? 505 : 501;
         } else if (st.code() == StatusCode::kOutOfRange) {
           http = st.message().find("body") != std::string::npos ? 413 : 431;
@@ -301,6 +300,16 @@ bool EqldServer::HandleStats(HttpConnection& conn, const HttpRequest&) {
   return conn.WriteResponse(200, "application/json", b);
 }
 
+Result<AdmissionTicket> EqldServer::AdmitRequest(HttpConnection& conn,
+                                                 const HttpRequest& req) {
+  std::string client = conn.peer_ip();
+  if (const std::string* hdr = req.Header("x-eql-client"); hdr != nullptr) {
+    client += '|';
+    client += *hdr;
+  }
+  return admission_.Admit(client, conn.peer_ip());
+}
+
 bool EqldServer::HandleQuery(HttpConnection& conn, const HttpRequest& req) {
   auto ctx = CurrentContext();
   if (ctx == nullptr) {
@@ -309,12 +318,17 @@ bool EqldServer::HandleQuery(HttpConnection& conn, const HttpRequest& req) {
   if (Trim(req.body).empty()) {
     return WriteError(conn, Status::InvalidArgument("empty query body"));
   }
+  // Admission strictly precedes parse/plan/compile: a shed client gets its
+  // 429/503 without burning compile CPU or inserting into the shared cache.
+  auto ticket = AdmitRequest(conn, req);
+  if (!ticket.ok()) return WriteError(conn, ticket.status());
   auto prepared = ctx->cache.GetOrPrepare(*ctx->engine, req.body);
   if (!prepared.ok()) {
     queries_failed_.fetch_add(1, std::memory_order_relaxed);
     return WriteError(conn, prepared.status());
   }
-  return StreamQuery(conn, req, ctx, *prepared, ParamsFromQueryString(req));
+  return StreamQuery(conn, req, ctx, *prepared, ParamsFromQueryString(req),
+                     std::move(*ticket));
 }
 
 bool EqldServer::HandlePrepare(HttpConnection& conn, const HttpRequest& req) {
@@ -330,6 +344,11 @@ bool EqldServer::HandlePrepare(HttpConnection& conn, const HttpRequest& req) {
   if (Trim(req.body).empty()) {
     return WriteError(conn, Status::InvalidArgument("empty query body"));
   }
+  // Compilation runs under an admission ticket too: /prepare is exactly the
+  // expensive phase admission exists to gate, and an unadmitted prepare
+  // could evict hot plans from the shared LRU.
+  auto ticket = AdmitRequest(conn, req);
+  if (!ticket.ok()) return WriteError(conn, ticket.status());
   auto prepared = ctx->cache.GetOrPrepare(*ctx->engine, req.body);
   if (!prepared.ok()) {
     queries_failed_.fetch_add(1, std::memory_order_relaxed);
@@ -363,6 +382,8 @@ bool EqldServer::HandleExecute(HttpConnection& conn, const HttpRequest& req) {
     return WriteError(conn,
                       Status::InvalidArgument("missing ?name= of the handle"));
   }
+  auto ticket = AdmitRequest(conn, req);
+  if (!ticket.ok()) return WriteError(conn, ticket.status());
   std::shared_ptr<const PreparedQuery> prepared;
   {
     std::lock_guard<std::mutex> lock(ctx->handles_mu);
@@ -373,7 +394,8 @@ bool EqldServer::HandleExecute(HttpConnection& conn, const HttpRequest& req) {
     return WriteError(conn,
                       Status::NotFound("no prepared handle '" + *name + "'"));
   }
-  return StreamQuery(conn, req, ctx, prepared, ParamsFromQueryString(req));
+  return StreamQuery(conn, req, ctx, prepared, ParamsFromQueryString(req),
+                     std::move(*ticket));
 }
 
 bool EqldServer::HandleSnapshotStats(HttpConnection& conn, const HttpRequest&) {
@@ -409,11 +431,8 @@ bool EqldServer::StreamQuery(
     HttpConnection& conn, const HttpRequest& req,
     const std::shared_ptr<GraphContext>& ctx,
     const std::shared_ptr<const PreparedQuery>& prepared,
-    const ParamMap& params) {
-  const std::string* hdr = req.Header("x-eql-client");
-  const std::string& client = hdr != nullptr ? *hdr : conn.peer_ip();
-  auto ticket = admission_.Admit(client);
-  if (!ticket.ok()) return WriteError(conn, ticket.status());
+    const ParamMap& params, AdmissionTicket ticket) {
+  (void)ticket;  // held for the whole stream; released on return
 
   ResultFormat format = ResultFormat::kJson;
   if (const std::string* f = req.QueryParam("format")) {

@@ -23,9 +23,12 @@
 // Threading model: one acceptor thread + one detached thread per
 // connection, bounded by ServerOptions::max_connections (excess connections
 // get an immediate 503 and close). Shutdown() stops the acceptor, lets
-// in-flight requests finish (ReadRequest polls the stop flag, so idle
-// keep-alive connections exit within one poll interval) and blocks until
-// the last connection thread is gone.
+// in-flight requests finish (ReadRequest polls the stop flag whether the
+// connection is idle or mid-request, so parked keep-alive connections AND
+// half-sent requests exit within one poll interval) and blocks until the
+// last connection thread is gone. A request that stalls mid-read without a
+// shutdown (the slowloris shape) is bounded independently by
+// HttpLimits::max_request_read_ms: the server answers 408 and closes.
 //
 // Cancellation: every streamed row travels conn-ward through a chunk sink
 // whose failed write (EPIPE after the peer vanished, or an armed
@@ -148,12 +151,20 @@ class EqldServer {
   bool HandleSnapshotStats(HttpConnection& conn, const HttpRequest& req);
   bool HandleSnapshotOpen(HttpConnection& conn, const HttpRequest& req);
 
-  /// Admits, resolves, executes and streams one query (shared by /query and
-  /// /execute). `prepared` already resolved by the caller.
+  /// Derives this request's admission keys (peer IP as the enforced key,
+  /// X-EQL-Client refining it into a cooperative sub-key) and asks the
+  /// controller for a ticket. Handlers call this BEFORE any plan work so
+  /// shed clients burn no compile CPU and cannot thrash the prepared cache.
+  Result<AdmissionTicket> AdmitRequest(HttpConnection& conn,
+                                       const HttpRequest& req);
+
+  /// Executes and streams one already-admitted query (shared by /query and
+  /// /execute). `prepared` resolved and `ticket` acquired by the caller;
+  /// the ticket is released after the last response byte is written.
   bool StreamQuery(HttpConnection& conn, const HttpRequest& req,
                    const std::shared_ptr<GraphContext>& ctx,
                    const std::shared_ptr<const PreparedQuery>& prepared,
-                   const ParamMap& params);
+                   const ParamMap& params, AdmissionTicket ticket);
 
   /// Writes a JSON error body with the shared status -> HTTP mapping.
   bool WriteError(HttpConnection& conn, const Status& status);
@@ -162,7 +173,7 @@ class EqldServer {
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::thread acceptor_;
-  volatile bool stop_ = false;  ///< read by parked connection readers
+  std::atomic<bool> stop_{false};  ///< read by parked connection readers
 
   AdmissionController admission_;
 

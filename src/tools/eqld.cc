@@ -44,6 +44,10 @@ void Usage(std::FILE* out) {
                "admission / quotas:\n"
                "  --max-concurrent N    server-wide concurrent queries (default 64)\n"
                "  --per-client N        per-client concurrent queries  (default 8)\n"
+               "                        (cooperative: keyed on peer IP + the\n"
+               "                        client-supplied X-EQL-Client header)\n"
+               "  --per-peer N          per-IP concurrent queries, enforced\n"
+               "                        regardless of header; 0 = off (default 0)\n"
                "  --timeout-ms N        per-query deadline, 0 = none   (default 30000)\n"
                "  --memory-budget-mb N  per-query memory cap, 0 = none (default 0)\n"
                "\n"
@@ -98,6 +102,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--per-client") {
       next(&v);
       options.admission.per_client_concurrent = static_cast<uint32_t>(v);
+    } else if (arg == "--per-peer") {
+      next(&v);
+      options.admission.per_peer_concurrent = static_cast<uint32_t>(v);
     } else if (arg == "--timeout-ms") {
       next(&v);
       options.admission.query_timeout_ms = static_cast<int64_t>(v);

@@ -178,6 +178,29 @@ TEST(AdmissionTest, PerClientCapRejectsOnlyTheHog) {
   EXPECT_EQ(ctl.GetStats().rejected_client, 1u);
 }
 
+TEST(AdmissionTest, PerPeerCapIsImmuneToClientKeyVariation) {
+  // The per-client gate keys on a string that embeds a client-supplied
+  // header; the per-peer gate keys on the network address alone. Minting
+  // fresh client keys must not buy a hogging peer extra slots.
+  AdmissionController ctl({.max_concurrent = 0,
+                           .per_client_concurrent = 0,
+                           .per_peer_concurrent = 1});
+  auto held = ctl.Admit("10.0.0.1|tool-a", "10.0.0.1");
+  ASSERT_TRUE(held.ok());
+  auto varied = ctl.Admit("10.0.0.1|tool-b", "10.0.0.1");
+  ASSERT_FALSE(varied.ok()) << "a new header must not mint a new peer slot";
+  EXPECT_EQ(varied.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(ctl.Admit("10.0.0.2|tool-a", "10.0.0.2").ok())
+      << "other peers are unaffected";
+  EXPECT_EQ(ctl.GetStats().rejected_client, 1u);
+
+  { AdmissionTicket drop = std::move(*held); }  // release the peer slot
+  EXPECT_TRUE(ctl.Admit("10.0.0.1|tool-c", "10.0.0.1").ok())
+      << "the peer counter must release with the ticket";
+  // An empty peer (unit tests, non-network callers) skips the peer gate.
+  EXPECT_TRUE(ctl.Admit("anything").ok());
+}
+
 TEST(AdmissionTest, TicketMoveTransfersTheRelease) {
   AdmissionController ctl({.max_concurrent = 1, .per_client_concurrent = 0});
   auto t = ctl.Admit("a");

@@ -120,6 +120,22 @@ class BlockedQuery {
   int fd_ = -1;
 };
 
+/// Sends pre-framed request bytes on a fresh connection and reads one
+/// response — for requests the library client (correctly) refuses to send.
+HttpResponse RawRequest(uint16_t port, const std::string& bytes) {
+  HttpResponse resp;
+  auto fd = TcpConnect("127.0.0.1", port);
+  EXPECT_TRUE(fd.ok()) << fd.status().ToString();
+  if (!fd.ok()) return resp;
+  EXPECT_EQ(::send(*fd, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(bytes.size()));
+  std::string buffer;
+  Status st = ReadHttpResponse(*fd, &buffer, &resp);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  ::close(*fd);
+  return resp;
+}
+
 TEST(ServerTest, HealthAndStats) {
   EqldServer server(ServerOptions{});
   ASSERT_TRUE(server.Start().ok());
@@ -365,6 +381,153 @@ TEST(ServerTest, ShutdownDrainsIdleKeepAliveConnections) {
   EXPECT_EQ(server.GetStats().connections_active, 0u);
   EXPECT_FALSE(TcpConnect("127.0.0.1", port).ok())
       << "the listener must be gone after Shutdown";
+}
+
+TEST(ServerTest, StalledPartialRequestTimesOutWith408) {
+  ServerOptions options;
+  options.http_limits.max_request_read_ms = 200;
+  options.shutdown_poll_ms = 20;
+  EqldServer server(options);
+  server.SetGraph(MakeFigure1Graph(), "figure1");
+  ASSERT_TRUE(server.Start().ok());
+
+  // Partial head: the CRLFCRLF terminator never arrives.
+  HttpResponse r = RawRequest(server.port(), "POST /query HTTP/1.1\r\n");
+  EXPECT_EQ(r.status, 408);
+  EXPECT_NE(r.body.find("request head not received"), std::string::npos)
+      << r.body;
+
+  // Partial body: Content-Length promises more than is ever sent. Before
+  // the read deadline this loop ignored poll timeouts and spun forever,
+  // holding a max_connections slot (the slowloris shape).
+  r = RawRequest(server.port(),
+                 "POST /query HTTP/1.1\r\nHost: eqld\r\n"
+                 "Content-Length: 100\r\n\r\npartial");
+  EXPECT_EQ(r.status, 408);
+  EXPECT_NE(r.body.find("request body not received"), std::string::npos)
+      << r.body;
+  server.Shutdown();
+}
+
+TEST(ServerTest, ShutdownClosesConnectionsStalledMidRequest) {
+  ServerOptions options;
+  options.shutdown_poll_ms = 20;  // the default 30 s read deadline is far
+                                  // out: shutdown itself must end the reads
+  EqldServer server(options);
+  server.SetGraph(MakeFigure1Graph(), "figure1");
+  ASSERT_TRUE(server.Start().ok());
+
+  // One connection stalled mid-head, one mid-body; neither ever completes.
+  // Shutdown must still drain: the stop flag is honored mid-request, not
+  // only on idle connections.
+  auto head = TcpConnect("127.0.0.1", server.port());
+  auto body = TcpConnect("127.0.0.1", server.port());
+  ASSERT_TRUE(head.ok() && body.ok());
+  const std::string partial_head = "POST /query HTTP/1.1\r\n";
+  const std::string partial_body =
+      "POST /query HTTP/1.1\r\nHost: eqld\r\nContent-Length: 64\r\n\r\nhalf";
+  ASSERT_EQ(::send(*head, partial_head.data(), partial_head.size(),
+                   MSG_NOSIGNAL),
+            static_cast<ssize_t>(partial_head.size()));
+  ASSERT_EQ(::send(*body, partial_body.data(), partial_body.size(),
+                   MSG_NOSIGNAL),
+            static_cast<ssize_t>(partial_body.size()));
+  ASSERT_TRUE(
+      WaitFor([&] { return server.GetStats().connections_active == 2; }));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  server.Shutdown();
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, 5s)
+      << "Shutdown must not wait for half-sent requests to complete";
+  EXPECT_EQ(server.GetStats().connections_active, 0u);
+  ::close(*head);
+  ::close(*body);
+}
+
+TEST(ServerTest, RejectedRequestDoesNoPlanWorkAndCannotThrashCache) {
+  ServerOptions options;
+  options.admission.per_client_concurrent = 1;
+  EqldServer server(options);
+  server.SetGraph(MakeKg(), "kg");
+  ASSERT_TRUE(server.Start().ok());
+
+  BlockedQuery hog(server.port(), "hog");
+  ASSERT_TRUE(
+      WaitFor([&] { return server.GetStats().admission.in_flight == 1; }));
+  const auto before = server.GetStats().cache;
+
+  // Over-quota request with a DISTINCT query text: admission must reject it
+  // before parse/plan/compile, so the shared plan cache sees nothing — a
+  // shed client cannot burn compile CPU or evict hot entries.
+  auto r = HttpFetch("127.0.0.1", server.port(), "POST", "/query", kBigQuery,
+                     {"X-EQL-Client: hog"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 429);
+  auto after = server.GetStats().cache;
+  EXPECT_EQ(after.misses, before.misses) << "a shed request must not compile";
+  EXPECT_EQ(after.size, before.size) << "a shed request must not cache";
+
+  // /prepare is gated the same way: compilation is exactly the phase
+  // admission exists to protect.
+  r = HttpFetch("127.0.0.1", server.port(), "POST", "/prepare?name=h",
+                kBigQuery, {"X-EQL-Client: hog"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 429);
+  EXPECT_EQ(server.GetStats().cache.misses, before.misses);
+
+  EXPECT_EQ(hog.Drain().status, 200);
+  server.Shutdown();
+}
+
+TEST(ServerTest, ConflictingContentLengthHeadersAreRejected) {
+  EqldServer server(ServerOptions{});
+  server.SetGraph(MakeFigure1Graph(), "figure1");
+  ASSERT_TRUE(server.Start().ok());
+
+  // Differing repeated Content-Length is a request-smuggling vector behind
+  // a proxy (RFC 9112 §6.3): reject, never last-win.
+  HttpResponse r = RawRequest(server.port(),
+                              "POST /query HTTP/1.1\r\nHost: eqld\r\n"
+                              "Content-Length: 5\r\nContent-Length: 6\r\n\r\n"
+                              "hello!");
+  EXPECT_EQ(r.status, 400);
+  EXPECT_NE(r.body.find("conflicting content-length"), std::string::npos)
+      << r.body;
+
+  // An identical repeat is not a conflict: the request proceeds past header
+  // validation (and fails later as a query parse error, proving it ran).
+  r = RawRequest(server.port(),
+                 "POST /query HTTP/1.1\r\nHost: eqld\r\n"
+                 "Content-Length: 5\r\nContent-Length: 5\r\n\r\nhello");
+  EXPECT_EQ(r.status, 400);
+  EXPECT_EQ(r.body.find("conflicting"), std::string::npos) << r.body;
+  EXPECT_NE(r.body.find("\"code\":\"invalid_argument\""), std::string::npos)
+      << r.body;
+  server.Shutdown();
+}
+
+TEST(ServerTest, PerPeerCapCannotBeBypassedByVaryingClientHeader) {
+  ServerOptions options;
+  options.admission.per_peer_concurrent = 1;
+  EqldServer server(options);
+  server.SetGraph(MakeKg(), "kg");
+  ASSERT_TRUE(server.Start().ok());
+
+  BlockedQuery hog(server.port(), "hog");
+  ASSERT_TRUE(
+      WaitFor([&] { return server.GetStats().admission.in_flight == 1; }));
+
+  // A fresh X-EQL-Client value mints a fresh (cooperative) per-client key,
+  // but the per-peer gate sees the same 127.0.0.1 and pushes back anyway.
+  auto r = HttpFetch("127.0.0.1", server.port(), "POST", "/query", kBigQuery,
+                     {"X-EQL-Client: fresh-identity"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 429);
+  EXPECT_NE(r->body.find("\"code\":\"resource_exhausted\""),
+            std::string::npos);
+
+  EXPECT_EQ(hog.Drain().status, 200);
+  server.Shutdown();
 }
 
 TEST(ServerTest, GraphHotSwapInvalidatesHandles) {
