@@ -13,12 +13,19 @@
 // a packed snapshot and points this at it; the workload assumes synthetic-KG
 // node labels "n<i>", which eqld --synthetic and the smoke snapshot share).
 //
+// Pushed-back requests (429/503) are retried with jittered exponential
+// backoff honoring the server's Retry-After hint (util/backoff.h) — the
+// well-behaved-client half of the overload contract in docs/server.md.
+// Retries and total backoff sleep are accounted separately in the output so
+// an overloaded run is visible as such. --no-retry measures raw shed rate.
+//
 // Usage: bench_server [options] [OUT.json]     (default BENCH_server.json)
 //   --host H          target host          (default 127.0.0.1)
 //   --port P          target port; 0 = self-host in-process (default 0)
 //   --rate QPS        offered arrival rate (default by scale)
 //   --connections N   keep-alive client connections (default 8)
 //   --duration-s N    measurement window   (default by scale)
+//   --no-retry        report 429/503 as-is instead of backing off
 //
 // Honors EQL_BENCH_SCALE: 0 = 3s @ 100 QPS (smoke), 1 = 10s @ 200 QPS,
 // 2 = 30s @ 400 QPS (the CI smoke job's configuration).
@@ -37,6 +44,7 @@
 #include "gen/kg.h"
 #include "server/http.h"
 #include "server/server.h"
+#include "util/backoff.h"
 #include "util/table_printer.h"
 
 namespace eql {
@@ -56,6 +64,7 @@ struct Options {
   double rate = 0;    ///< 0 = pick by scale
   int connections = 8;
   int duration_s = 0;  ///< 0 = pick by scale
+  bool retry = true;   ///< back off and retry pushed-back (429/503) requests
   std::string out = "BENCH_server.json";
 };
 
@@ -65,6 +74,9 @@ struct WorkerTally {
   uint64_t status_4xx = 0;
   uint64_t status_5xx = 0;
   uint64_t transport_errors = 0;
+  uint64_t retries = 0;         ///< retry attempts after a 429/503
+  double backoff_ms = 0;        ///< total time slept backing off
+  uint64_t retry_success = 0;   ///< requests that succeeded on a retry
 };
 
 /// One worker: pulls globally-scheduled arrivals, waits for their due time,
@@ -72,8 +84,16 @@ struct WorkerTally {
 /// transport errors) and records latency-from-due-time.
 void RunWorker(const Options& opt, uint16_t port, Clock::time_point start,
                double interval_s, uint64_t total, std::atomic<uint64_t>* next,
-               WorkerTally* tally) {
+               uint64_t seed, WorkerTally* tally) {
   std::unique_ptr<HttpClientConnection> conn;
+  // Short backoff ceiling: a bench must stay bounded even when the server
+  // hints multi-second Retry-After values (the hint replaces the exponential
+  // base; the cap and jitter still apply — util/backoff.h).
+  BackoffPolicy policy;
+  policy.initial_ms = 50;
+  policy.max_ms = 2000;
+  policy.max_attempts = 3;
+  Backoff backoff(policy, seed);
   for (;;) {
     const uint64_t i = next->fetch_add(1, std::memory_order_relaxed);
     if (i >= total) return;
@@ -82,29 +102,48 @@ void RunWorker(const Options& opt, uint16_t port, Clock::time_point start,
                     std::chrono::duration<double>(i * interval_s));
     std::this_thread::sleep_until(due);
 
-    if (conn == nullptr) {
-      auto c = HttpClientConnection::Connect(opt.host, port);
-      if (!c.ok()) {
+    int attempt = 0;
+    for (;;) {
+      if (conn == nullptr) {
+        auto c = HttpClientConnection::Connect(opt.host, port);
+        if (!c.ok()) {
+          ++tally->transport_errors;
+          break;
+        }
+        conn = std::make_unique<HttpClientConnection>(std::move(*c));
+      }
+      auto r = conn->Request("POST", kTarget, kQuery);
+      if (!r.ok()) {
         ++tally->transport_errors;
+        conn.reset();  // stale keep-alive state; reconnect on the next arrival
+        break;
+      }
+      // Pushed back: honor the server's Retry-After (jittered) and try again.
+      if (opt.retry && (r->status == 429 || r->status == 503) &&
+          backoff.ShouldRetry(attempt + 1)) {
+        ++attempt;
+        ++tally->retries;
+        const int64_t delay_ms =
+            backoff.NextDelayMs(attempt, RetryAfterSeconds(*r));
+        tally->backoff_ms += static_cast<double>(delay_ms);
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
         continue;
       }
-      conn = std::make_unique<HttpClientConnection>(std::move(*c));
-    }
-    auto r = conn->Request("POST", kTarget, kQuery);
-    const double latency_ms =
-        std::chrono::duration<double, std::milli>(Clock::now() - due).count();
-    if (!r.ok()) {
-      ++tally->transport_errors;
-      conn.reset();  // stale keep-alive state; reconnect on the next arrival
-      continue;
-    }
-    tally->latencies_ms.push_back(latency_ms);
-    if (r->status >= 500) {
-      ++tally->status_5xx;
-    } else if (r->status >= 400) {
-      ++tally->status_4xx;
-    } else {
-      ++tally->ok;
+      // Latency from the SCHEDULED arrival to the last byte of the attempt
+      // that settled the request — backoff sleeps count, as they must in an
+      // open-loop measurement.
+      tally->latencies_ms.push_back(
+          std::chrono::duration<double, std::milli>(Clock::now() - due)
+              .count());
+      if (r->status >= 500) {
+        ++tally->status_5xx;
+      } else if (r->status >= 400) {
+        ++tally->status_4xx;
+      } else {
+        ++tally->ok;
+        if (attempt > 0) ++tally->retry_success;
+      }
+      break;
     }
   }
 }
@@ -140,6 +179,8 @@ int main(int argc, char** argv) {
       opt.connections = std::atoi(value());
     } else if (arg == "--duration-s") {
       opt.duration_s = std::atoi(value());
+    } else if (arg == "--no-retry") {
+      opt.retry = false;
     } else if (arg[0] != '-') {
       opt.out = arg;
     } else {
@@ -191,7 +232,8 @@ int main(int argc, char** argv) {
   workers.reserve(opt.connections);
   for (int w = 0; w < opt.connections; ++w) {
     workers.emplace_back(RunWorker, std::cref(opt), port, start, interval_s,
-                         total, &next, &tallies[w]);
+                         total, &next, static_cast<uint64_t>(w + 1),
+                         &tallies[w]);
   }
   for (auto& w : workers) w.join();
   const double elapsed_s =
@@ -203,6 +245,9 @@ int main(int argc, char** argv) {
     sum.status_4xx += t.status_4xx;
     sum.status_5xx += t.status_5xx;
     sum.transport_errors += t.transport_errors;
+    sum.retries += t.retries;
+    sum.backoff_ms += t.backoff_ms;
+    sum.retry_success += t.retry_success;
     sum.latencies_ms.insert(sum.latencies_ms.end(), t.latencies_ms.begin(),
                             t.latencies_ms.end());
   }
@@ -217,6 +262,9 @@ int main(int argc, char** argv) {
   table.AddRow({"4xx", std::to_string(sum.status_4xx)});
   table.AddRow({"5xx", std::to_string(sum.status_5xx)});
   table.AddRow({"transport errors", std::to_string(sum.transport_errors)});
+  table.AddRow({"retries", std::to_string(sum.retries)});
+  table.AddRow({"retry successes", std::to_string(sum.retry_success)});
+  table.AddRow({"backoff ms total", bench::Ms(sum.backoff_ms)});
   table.AddRow({"achieved QPS", bench::Ms(qps)});
   table.AddRow({"p50 ms", bench::Ms(p50)});
   table.AddRow({"p99 ms", bench::Ms(p99)});
@@ -232,14 +280,17 @@ int main(int argc, char** argv) {
                "\"offered_qps\":%.1f,\"duration_s\":%d,\"connections\":%d,"
                "\"requests\":%llu,\"ok\":%llu,\"status_4xx\":%llu,"
                "\"status_5xx\":%llu,\"transport_errors\":%llu,"
+               "\"retries\":%llu,\"retry_success\":%llu,\"backoff_ms\":%.1f,"
                "\"qps\":%.2f,\"p50_ms\":%.3f,\"p99_ms\":%.3f}\n",
                scale, opt.rate, opt.duration_s, opt.connections,
                static_cast<unsigned long long>(total),
                static_cast<unsigned long long>(sum.ok),
                static_cast<unsigned long long>(sum.status_4xx),
                static_cast<unsigned long long>(sum.status_5xx),
-               static_cast<unsigned long long>(sum.transport_errors), qps, p50,
-               p99);
+               static_cast<unsigned long long>(sum.transport_errors),
+               static_cast<unsigned long long>(sum.retries),
+               static_cast<unsigned long long>(sum.retry_success),
+               sum.backoff_ms, qps, p50, p99);
   std::fclose(out);
   std::printf("\nwrote %s\n", opt.out.c_str());
 

@@ -1,0 +1,787 @@
+// chaos_soak — adversarial soak harness for the eqld overload-resilience
+// layer (docs/server.md "Overload & degradation"). Self-hosts an in-process
+// EqldServer with every defense armed at once (small governor pool, adaptive
+// shedding, aggressive watchdog, tight slowloris deadline, fault injector)
+// and drives it through a fixed sequence of seeded chaos phases:
+//
+//   idle         watchdog false-positive check (nothing may be cancelled)
+//   overload     keep-alive storm far past the admission caps
+//   slowloris    half-sent requests parked until the read deadline fires
+//   disconnect   clients that vanish mid-stream, repeatedly
+//   oversized    bodies over max_body_bytes, heads over max_head_bytes
+//   deadlines    conflicting per-request timeout_ms against quota + watchdog
+//   faults       seeded injection at admit / serializer-flush / net-write
+//   hotswap      /snapshot/open racing a storm of full scans
+//   pressure     many clients leasing a pool sized for few
+//
+// After EVERY phase the same invariants are re-checked, and a background
+// prober hits /health continuously DURING every phase:
+//   I1  /health answered 200 on every probe, even mid-chaos
+//   I2  the canary query returns byte-identical results
+//   I3  admission quiesced: in_flight == 0
+//   I4  the governor quiesced: leased_bytes == 0 && active_leases == 0
+//   I5  VmRSS growth over the whole soak stays under a fixed budget
+//
+// Any violation is printed and the process exits 1 — the CI chaos-smoke job
+// is just this binary's exit code. Honors EQL_BENCH_SCALE for per-phase
+// duration (0 ≈ 10 s total, 2 ≈ 90 s total). Fully deterministic inputs
+// (seeded Rng, seeded fault triggers); scheduling is not, which is the point.
+//
+// Usage: chaos_soak [OUT.json]        (default CHAOS_soak.json)
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "gen/kg.h"
+#include "graph/snapshot.h"
+#include "server/http.h"
+#include "server/server.h"
+#include "util/fault.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+
+namespace eql {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr const char* kCanaryTarget = "/query?format=json&max_rows=10";
+constexpr const char* kCanaryQuery =
+    "SELECT ?w WHERE { CONNECT(\"n1\", \"n2\" -> ?w) MAX 2 }";
+constexpr const char* kScanTarget = "/query?format=tsv";
+constexpr const char* kScanQuery = "SELECT ?s ?p ?o WHERE { ?s ?p ?o . }";
+// Multi-second tree search: the piece every deadline mechanism bites on.
+constexpr const char* kBigQuery =
+    "SELECT ?w WHERE { CONNECT(\"n1\", \"n2\" -> ?w) MAX 3 }";
+
+long VmRssKb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return -1;
+  char line[256];
+  long kb = -1;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      kb = std::strtol(line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+struct PhaseStats {
+  std::string name;
+  uint64_t requests = 0;   ///< anything the phase pushed at the server
+  uint64_t ok = 0;         ///< 200s
+  uint64_t pushed_back = 0;  ///< 429/503 — expected under chaos
+  uint64_t errors = 0;     ///< transport errors / drops — expected under chaos
+  double seconds = 0;
+  long rss_kb = 0;
+  bool invariants_ok = false;
+};
+
+/// Continuously probes /health on its own connection-per-probe while a
+/// phase runs; every probe must answer 200 no matter what the data plane is
+/// going through (invariant I1 — control-plane bypass).
+class HealthProber {
+ public:
+  explicit HealthProber(uint16_t port) : port_(port) {
+    thread_ = std::thread([this] { Run(); });
+  }
+  ~HealthProber() { Stop(); }
+  void Stop() {
+    if (thread_.joinable()) {
+      stop_.store(true, std::memory_order_relaxed);
+      thread_.join();
+    }
+  }
+  uint64_t probes() const { return probes_.load(std::memory_order_relaxed); }
+  uint64_t failures() const {
+    return failures_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Run() {
+    while (!stop_.load(std::memory_order_relaxed)) {
+      auto r = HttpFetch("127.0.0.1", port_, "GET", "/health");
+      probes_.fetch_add(1, std::memory_order_relaxed);
+      if (!r.ok() || r->status != 200) {
+        failures_.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+  }
+  uint16_t port_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> probes_{0};
+  std::atomic<uint64_t> failures_{0};
+  std::thread thread_;
+};
+
+struct Soak {
+  EqldServer* server = nullptr;
+  uint16_t port = 0;
+  FaultInjector* fault = nullptr;
+  std::string canary_expected;
+  std::string snap_main, snap_alt;   ///< snapshot paths for the hotswap phase
+  std::string scan_main, scan_alt;   ///< full-scan references per snapshot
+  int phase_seconds = 1;
+  std::vector<std::string> violations;
+
+  void Violate(const std::string& phase, const std::string& what) {
+    violations.push_back(phase + ": " + what);
+    std::fprintf(stderr, "chaos_soak: INVARIANT VIOLATION [%s] %s\n",
+                 phase.c_str(), what.c_str());
+  }
+
+  bool WaitFor(const std::function<bool()>& pred, int deadline_ms = 10000) {
+    auto until = Clock::now() + std::chrono::milliseconds(deadline_ms);
+    while (Clock::now() < until) {
+      if (pred()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return pred();
+  }
+
+  /// I1..I4 after a phase (I1's during-phase half lives in HealthProber).
+  bool CheckInvariants(const std::string& phase) {
+    bool ok = true;
+    // I3 + I4: everything admitted must have released its ticket and lease.
+    if (!WaitFor([&] {
+          auto st = server->GetStats();
+          return st.admission.in_flight == 0 &&
+                 st.governor.leased_bytes == 0 &&
+                 st.governor.active_leases == 0;
+        })) {
+      auto st = server->GetStats();
+      Violate(phase, "no quiesce: in_flight=" +
+                         std::to_string(st.admission.in_flight) +
+                         " leased_bytes=" +
+                         std::to_string(st.governor.leased_bytes) +
+                         " active_leases=" +
+                         std::to_string(st.governor.active_leases));
+      ok = false;
+    }
+    // I1 (post-phase half): the control plane answers.
+    auto h = HttpFetch("127.0.0.1", port, "GET", "/health");
+    if (!h.ok() || h->status != 200) {
+      Violate(phase, "/health did not answer 200 after the phase");
+      ok = false;
+    }
+    // I2: the canary still returns exactly the bytes it returned at start.
+    auto c = HttpFetch("127.0.0.1", port, "POST", kCanaryTarget, kCanaryQuery);
+    if (!c.ok() || c->status != 200) {
+      Violate(phase, "canary query failed after the phase");
+      ok = false;
+    } else if (c->body != canary_expected) {
+      Violate(phase, "canary response not byte-identical");
+      ok = false;
+    }
+    return ok;
+  }
+
+  PhaseStats RunPhase(const std::string& name,
+                      const std::function<void(PhaseStats*)>& body) {
+    std::printf("phase %-11s ... ", name.c_str());
+    std::fflush(stdout);
+    PhaseStats ps;
+    ps.name = name;
+    const size_t violations_before = violations.size();
+    const auto t0 = Clock::now();
+    {
+      HealthProber prober(port);
+      body(&ps);
+      prober.Stop();
+      ps.requests += prober.probes();
+      if (prober.failures() > 0) {
+        Violate(name, std::to_string(prober.failures()) + "/" +
+                          std::to_string(prober.probes()) +
+                          " /health probes failed mid-phase");
+      }
+    }
+    CheckInvariants(name);
+    ps.invariants_ok = violations.size() == violations_before;
+    ps.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+    ps.rss_kb = VmRssKb();
+    std::printf("%5.1fs  rss %6ld KB  ok %llu  pushed-back %llu  errors %llu\n",
+                ps.seconds, ps.rss_kb, (unsigned long long)ps.ok,
+                (unsigned long long)ps.pushed_back,
+                (unsigned long long)ps.errors);
+    return ps;
+  }
+
+  // ---- phase bodies --------------------------------------------------------
+
+  /// Nothing happens; the aggressive watchdog must not fire (false-positive
+  /// check: its deadline math may never cancel a query that doesn't exist,
+  /// nor the canary/health traffic the prober keeps trickling in).
+  void Idle(PhaseStats* ps) {
+    const uint64_t cancelled_before = server->GetStats().watchdog.cancelled;
+    std::this_thread::sleep_for(std::chrono::seconds(phase_seconds));
+    const uint64_t cancelled_after = server->GetStats().watchdog.cancelled;
+    if (cancelled_after != cancelled_before) {
+      Violate("idle", "watchdog cancelled a query on an idle server");
+    }
+    ps->ok = 1;
+  }
+
+  /// Keep-alive storm far past max_concurrent: most requests shed or queue,
+  /// every push-back must carry Retry-After, and nothing may wedge.
+  void Overload(PhaseStats* ps) {
+    constexpr int kThreads = 16;
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> ok{0}, pushed{0}, errors{0}, missing_retry_after{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        Rng rng(42 + t);
+        std::unique_ptr<HttpClientConnection> conn;
+        while (!stop.load(std::memory_order_relaxed)) {
+          if (conn == nullptr) {
+            auto c = HttpClientConnection::Connect("127.0.0.1", port);
+            if (!c.ok()) {
+              ++errors;
+              std::this_thread::sleep_for(std::chrono::milliseconds(5));
+              continue;
+            }
+            conn = std::make_unique<HttpClientConnection>(std::move(*c));
+          }
+          const std::string client =
+              "storm-" + std::to_string(rng.Below(8));
+          const bool scan = rng.Below(7) == 0;
+          auto r = conn->Request(
+              "POST", scan ? "/query?format=tsv&max_rows=500" : kCanaryTarget,
+              scan ? kScanQuery : kCanaryQuery, {"X-EQL-Client: " + client});
+          if (!r.ok()) {
+            ++errors;
+            conn.reset();
+          } else if (r->status == 200) {
+            ++ok;
+          } else if (r->status == 429 || r->status == 503) {
+            ++pushed;
+            if (RetryAfterSeconds(*r) < 1) ++missing_retry_after;
+          } else {
+            ++errors;
+          }
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::seconds(phase_seconds));
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& t : threads) t.join();
+    ps->requests += ok + pushed + errors;
+    ps->ok = ok;
+    ps->pushed_back = pushed;
+    ps->errors = errors;
+    if (ok == 0) Violate("overload", "server served nothing under load");
+    if (missing_retry_after > 0) {
+      Violate("overload", std::to_string(missing_retry_after.load()) +
+                              " push-backs without Retry-After");
+    }
+  }
+
+  /// Half-sent requests parked on open sockets. The read deadline
+  /// (http_limits.max_request_read_ms) must reclaim each connection slot;
+  /// the server answers 408 or just closes — either is fine, wedging is not.
+  void Slowloris(PhaseStats* ps) {
+    const auto until = Clock::now() + std::chrono::seconds(phase_seconds);
+    std::vector<int> fds;
+    Rng rng(7);
+    while (Clock::now() < until) {
+      while (fds.size() < 12) {
+        auto fd = TcpConnect("127.0.0.1", port);
+        if (!fd.ok()) {
+          ++ps->errors;
+          break;
+        }
+        // A plausible prefix, cut mid-header, never finished.
+        const char* partial = "POST /query HTTP/1.1\r\nHost: eqld\r\nX-Dr";
+        const size_t n = 1 + rng.Below(std::strlen(partial));
+        (void)::send(*fd, partial, n, MSG_NOSIGNAL);
+        fds.push_back(*fd);
+        ++ps->requests;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      // Reap sockets the server gave up on (408/close shows as readable EOF
+      // or an error); keep the survivors parked.
+      std::vector<int> alive;
+      for (int fd : fds) {
+        char buf[256];
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+        if (n > 0) {
+          ++ps->ok;  // answered (the 408 path)
+          ::close(fd);
+        } else if (n == 0) {
+          ++ps->ok;  // closed on us — slot reclaimed
+          ::close(fd);
+        } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          alive.push_back(fd);  // still parked; the deadline hasn't hit yet
+        } else {
+          ++ps->ok;
+          ::close(fd);
+        }
+      }
+      fds.swap(alive);
+    }
+    for (int fd : fds) ::close(fd);
+    if (ps->ok == 0) {
+      Violate("slowloris", "no parked request was ever reclaimed");
+    }
+  }
+
+  /// Clients that request a full scan and vanish without reading. The write
+  /// path must notice the dead peer, cancel the query, and release the
+  /// ticket + lease every single time.
+  void Disconnect(PhaseStats* ps) {
+    const auto until = Clock::now() + std::chrono::seconds(phase_seconds);
+    while (Clock::now() < until) {
+      std::vector<int> fds;
+      for (int i = 0; i < 8; ++i) {
+        auto fd = TcpConnect("127.0.0.1", port);
+        if (!fd.ok()) {
+          ++ps->errors;
+          continue;
+        }
+        int rcvbuf = 4096;  // keep the response from fitting in the buffers
+        ::setsockopt(*fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+        std::string req = std::string("POST ") + kScanTarget +
+                          " HTTP/1.1\r\nHost: eqld\r\nContent-Length: " +
+                          std::to_string(std::strlen(kScanQuery)) + "\r\n\r\n" +
+                          kScanQuery;
+        if (::send(*fd, req.data(), req.size(), MSG_NOSIGNAL) !=
+            static_cast<ssize_t>(req.size())) {
+          ++ps->errors;
+          ::close(*fd);
+          continue;
+        }
+        fds.push_back(*fd);
+        ++ps->requests;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(40));
+      for (int fd : fds) {
+        ::close(fd);  // vanish mid-stream
+        ++ps->ok;
+      }
+    }
+  }
+
+  /// Requests over the protocol limits: bodies past max_body_bytes and heads
+  /// past max_head_bytes. Each must be answered (413/431/400) or cleanly
+  /// dropped — and must never reach the engine.
+  void Oversized(PhaseStats* ps) {
+    const std::string big_body(5 * 1024 * 1024, 'x');  // limit is 4 MiB
+    const std::string big_header(80 * 1024, 'h');      // head limit is 64 KiB
+    for (int i = 0; i < 10; ++i) {
+      auto r = HttpFetch("127.0.0.1", port, "POST", "/query", big_body);
+      ++ps->requests;
+      // The server may answer 413 or slam the connection once the declared
+      // length exceeds the limit; both reclaim the slot.
+      if (r.ok() && r->status >= 400) {
+        ++ps->ok;
+      } else if (!r.ok()) {
+        ++ps->ok;
+      } else {
+        Violate("oversized", "an over-limit body was answered 200");
+      }
+      auto h = HttpFetch("127.0.0.1", port, "POST", "/query", kCanaryQuery,
+                         {"X-Huge: " + big_header});
+      ++ps->requests;
+      if (h.ok() && h->status >= 400) {
+        ++ps->ok;
+      } else if (!h.ok()) {
+        ++ps->ok;
+      } else {
+        Violate("oversized", "an over-limit head was answered 200");
+      }
+    }
+  }
+
+  /// Conflicting deadlines: per-request timeout_ms far under and far over
+  /// the admission quota, against a watchdog with its own hard cap. Every
+  /// combination must settle as a well-formed response; the effective
+  /// deadline is always the tightest one.
+  void Deadlines(PhaseStats* ps) {
+    constexpr int kThreads = 6;
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> ok{0}, pushed{0}, errors{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        Rng rng(100 + t);
+        while (!stop.load(std::memory_order_relaxed)) {
+          std::string target;
+          const char* query = kCanaryQuery;
+          switch (rng.Below(3)) {
+            case 0:  // absurdly tight: times out mid-search, still 200
+              target = "/query?format=json&timeout_ms=1";
+              query = kBigQuery;
+              break;
+            case 1:  // far over quota: must be clamped down, not honored
+              target = "/query?format=json&timeout_ms=600000";
+              query = kBigQuery;
+              break;
+            default:  // no opinion: quota + watchdog decide
+              target = kCanaryTarget;
+              break;
+          }
+          auto r = HttpFetch("127.0.0.1", port, "POST", target, query);
+          if (!r.ok()) {
+            ++errors;
+          } else if (r->status == 200) {
+            ++ok;
+          } else if (r->status == 429 || r->status == 503) {
+            ++pushed;
+          } else {
+            ++errors;
+          }
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::seconds(phase_seconds));
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& t : threads) t.join();
+    ps->requests += ok + pushed + errors;
+    ps->ok = ok;
+    ps->pushed_back = pushed;
+    ps->errors = errors;
+    if (ok == 0) Violate("deadlines", "no deadline mix ever completed");
+  }
+
+  /// Seeded faults at the three server-side injection sites, round after
+  /// round. A fired admit fault is a clean 503; a fired flush/net-write
+  /// fault hard-truncates that one stream. Either way the next request must
+  /// be served as if nothing happened.
+  void Faults(PhaseStats* ps) {
+    const int rounds = 4 * phase_seconds;
+    for (int round = 0; round < rounds; ++round) {
+      for (const char* site :
+           {kFaultSiteAdmit, kFaultSiteFlush, kFaultSiteNetWrite}) {
+        fault->ArmSeeded(site, 1000 + round, 8);
+      }
+      // Push traffic until every armed site fired (or give up after a
+      // bounded number of requests — net-write only probes when a chunk is
+      // actually written, so scans make it reachable).
+      for (int i = 0; i < 200; ++i) {
+        auto r = HttpFetch("127.0.0.1", port, "POST",
+                           "/query?format=tsv&max_rows=200", kScanQuery);
+        ++ps->requests;
+        if (r.ok() && r->status == 200) {
+          ++ps->ok;
+        } else if (r.ok() && (r->status == 429 || r->status == 503)) {
+          ++ps->pushed_back;  // the admit fault shape
+        } else {
+          ++ps->errors;  // the truncation shapes
+        }
+        if (fault->Fired(kFaultSiteAdmit) > 0 &&
+            fault->Fired(kFaultSiteFlush) > 0 &&
+            fault->Fired(kFaultSiteNetWrite) > 0) {
+          break;
+        }
+      }
+    }
+    // Disarm everything: a leftover trigger firing in a later phase would
+    // turn a seeded fault into a spurious invariant violation.
+    for (const char* site :
+         {kFaultSiteAdmit, kFaultSiteFlush, kFaultSiteNetWrite}) {
+      fault->Arm(site, 0);
+    }
+    if (ps->ok == 0) Violate("faults", "nothing served between faults");
+  }
+
+  /// /snapshot/open racing a storm of full scans, flip-flopping between two
+  /// snapshots. Every completed scan must be byte-identical to ONE of them
+  /// (streams pin their graph context; truncation is allowed, mixing is
+  /// not). Ends back on the main snapshot so the canary stays valid.
+  void HotSwap(PhaseStats* ps) {
+    constexpr int kThreads = 4;
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> ok{0}, pushed{0}, errors{0}, mixed{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+          auto r = HttpFetch("127.0.0.1", port, "POST", kScanTarget,
+                             kScanQuery);
+          if (!r.ok()) {
+            ++errors;  // hard truncation on a swap edge: allowed
+          } else if (r->status == 200) {
+            if (r->body == scan_main || r->body == scan_alt) {
+              ++ok;
+            } else {
+              ++mixed;
+            }
+          } else if (r->status == 429 || r->status == 503) {
+            ++pushed;
+          } else {
+            ++errors;
+          }
+        }
+      });
+    }
+    const auto until = Clock::now() + std::chrono::seconds(phase_seconds);
+    bool on_alt = false;
+    while (Clock::now() < until) {
+      auto s = HttpFetch("127.0.0.1", port, "POST", "/snapshot/open",
+                         on_alt ? snap_main : snap_alt);
+      if (!s.ok() || s->status != 200) {
+        Violate("hotswap", "/snapshot/open failed mid-storm");
+        break;
+      }
+      on_alt = !on_alt;
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& t : threads) t.join();
+    // Land back on main so the canary reference holds for later phases.
+    auto back = HttpFetch("127.0.0.1", port, "POST", "/snapshot/open",
+                          snap_main);
+    if (!back.ok() || back->status != 200) {
+      Violate("hotswap", "could not restore the main snapshot");
+    }
+    ps->requests += ok + pushed + errors + mixed;
+    ps->ok = ok;
+    ps->pushed_back = pushed;
+    ps->errors = errors;
+    if (mixed > 0) {
+      Violate("hotswap", std::to_string(mixed.load()) +
+                             " responses mixed rows from two graphs");
+    }
+    if (ok == 0) Violate("hotswap", "no scan completed during the swap storm");
+  }
+
+  /// Many distinct clients against a pool sized for few: grants shrink,
+  /// then reject; pressure climbs; and the moment the storm stops the pool
+  /// must read exactly empty again (the quiesce invariant does the assert).
+  void Pressure(PhaseStats* ps) {
+    constexpr int kThreads = 12;
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> ok{0}, pushed{0}, errors{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        const std::string client = "tenant-" + std::to_string(t);
+        while (!stop.load(std::memory_order_relaxed)) {
+          auto r = HttpFetch("127.0.0.1", port, "POST",
+                             "/query?format=tsv&max_rows=1000", kScanQuery,
+                             {"X-EQL-Client: " + client});
+          if (!r.ok()) {
+            ++errors;
+          } else if (r->status == 200) {
+            ++ok;
+          } else if (r->status == 429 || r->status == 503) {
+            ++pushed;
+          } else {
+            ++errors;
+          }
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::seconds(phase_seconds));
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& t : threads) t.join();
+    ps->requests += ok + pushed + errors;
+    ps->ok = ok;
+    ps->pushed_back = pushed;
+    ps->errors = errors;
+    const auto st = server->GetStats();
+    if (st.governor.granted == 0) {
+      Violate("pressure", "the governor never granted a lease");
+    }
+    if (ok == 0) Violate("pressure", "nothing served under memory pressure");
+  }
+};
+
+}  // namespace
+}  // namespace eql
+
+int main(int argc, char** argv) {
+  using namespace eql;
+  namespace fs = std::filesystem;
+  std::string out_path = "CHAOS_soak.json";
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] != '-') {
+      out_path = argv[i];
+    } else {
+      std::fprintf(stderr, "chaos_soak: unknown argument '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  const int scale = bench::Scale();
+
+  bench::Banner("eqld chaos soak (phases / invariants)",
+                "server robustness, docs/server.md");
+
+  // Every defense armed at once, sized so chaos actually trips them.
+  FaultInjector injector;
+  ServerOptions options;
+  options.admission.max_concurrent = 8;
+  options.admission.per_client_concurrent = 4;
+  options.admission.query_timeout_ms = 5000;
+  options.admission.memory_budget_bytes = 8ull << 20;
+  options.admission.queue_delay_p95_ms = 250;      // adaptive shedding on
+  options.governor.total_budget_bytes = 32ull << 20;  // pool for ~4 queries
+  options.governor.max_client_fraction = 0.5;
+  options.watchdog.poll_interval_ms = 50;
+  options.watchdog.grace_ms = 100;
+  options.watchdog.max_query_ms = 3000;
+  options.watchdog.log_reports = false;
+  options.http_limits.max_request_read_ms = 700;   // fast slowloris reclaim
+  options.fault = &injector;
+
+  Soak soak;
+  soak.fault = &injector;
+  soak.phase_seconds = scale == 0 ? 1 : scale == 1 ? 3 : 8;
+
+  // Two snapshots for the hotswap phase; main doubles as the soak's graph.
+  const std::string dir = fs::temp_directory_path().string();
+  soak.snap_main = (fs::path(dir) / "chaos_soak_main.eqls").string();
+  soak.snap_alt = (fs::path(dir) / "chaos_soak_alt.eqls").string();
+  {
+    KgParams p;
+    p.num_nodes = 6000;
+    p.num_edges = 24000;
+    auto g = MakeSyntheticKg(p);
+    if (!g.ok() || !WriteSnapshot(*g, soak.snap_main).ok()) {
+      std::fprintf(stderr, "chaos_soak: cannot build the main snapshot\n");
+      return 1;
+    }
+    p.num_nodes = 5000;
+    p.num_edges = 15000;
+    auto h = MakeSyntheticKg(p);
+    if (!h.ok() || !WriteSnapshot(*h, soak.snap_alt).ok()) {
+      std::fprintf(stderr, "chaos_soak: cannot build the alt snapshot\n");
+      return 1;
+    }
+  }
+
+  EqldServer server(options);
+  if (!server.OpenSnapshotFile(soak.snap_main).ok()) {
+    std::fprintf(stderr, "chaos_soak: cannot open the main snapshot\n");
+    return 1;
+  }
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "chaos_soak: cannot start the server\n");
+    return 1;
+  }
+  soak.server = &server;
+  soak.port = server.port();
+
+  // References: the canary (I2, checked after every phase) and the two full
+  // scans the hotswap phase matches completed streams against.
+  {
+    auto c = HttpFetch("127.0.0.1", soak.port, "POST", kCanaryTarget,
+                       kCanaryQuery);
+    if (!c.ok() || c->status != 200) {
+      std::fprintf(stderr, "chaos_soak: canary warmup failed\n");
+      return 1;
+    }
+    soak.canary_expected = c->body;
+    auto sm = HttpFetch("127.0.0.1", soak.port, "POST", kScanTarget,
+                        kScanQuery);
+    auto swp = HttpFetch("127.0.0.1", soak.port, "POST", "/snapshot/open",
+                         soak.snap_alt);
+    auto sa = HttpFetch("127.0.0.1", soak.port, "POST", kScanTarget,
+                        kScanQuery);
+    auto back = HttpFetch("127.0.0.1", soak.port, "POST", "/snapshot/open",
+                          soak.snap_main);
+    if (!sm.ok() || !swp.ok() || !sa.ok() || !back.ok() ||
+        back->status != 200) {
+      std::fprintf(stderr, "chaos_soak: scan reference warmup failed\n");
+      return 1;
+    }
+    soak.scan_main = sm->body;
+    soak.scan_alt = sa->body;
+  }
+
+  const long rss_start_kb = VmRssKb();
+  std::printf("port %u, %ds per phase, start rss %ld KB\n\n", soak.port,
+              soak.phase_seconds, rss_start_kb);
+
+  std::vector<PhaseStats> phases;
+  phases.push_back(soak.RunPhase("idle", [&](PhaseStats* ps) { soak.Idle(ps); }));
+  phases.push_back(
+      soak.RunPhase("overload", [&](PhaseStats* ps) { soak.Overload(ps); }));
+  phases.push_back(
+      soak.RunPhase("slowloris", [&](PhaseStats* ps) { soak.Slowloris(ps); }));
+  phases.push_back(soak.RunPhase(
+      "disconnect", [&](PhaseStats* ps) { soak.Disconnect(ps); }));
+  phases.push_back(
+      soak.RunPhase("oversized", [&](PhaseStats* ps) { soak.Oversized(ps); }));
+  phases.push_back(
+      soak.RunPhase("deadlines", [&](PhaseStats* ps) { soak.Deadlines(ps); }));
+  phases.push_back(
+      soak.RunPhase("faults", [&](PhaseStats* ps) { soak.Faults(ps); }));
+  phases.push_back(
+      soak.RunPhase("hotswap", [&](PhaseStats* ps) { soak.HotSwap(ps); }));
+  phases.push_back(
+      soak.RunPhase("pressure", [&](PhaseStats* ps) { soak.Pressure(ps); }));
+
+  const long rss_end_kb = VmRssKb();
+  // I5: bounded memory. The budget is deliberately generous (allocator
+  // high-water marks, prepared-cache fill) — it exists to catch leaks of
+  // per-request state, which compound over thousands of chaos requests.
+  const long rss_budget_kb = 256 * 1024;
+  if (rss_start_kb > 0 && rss_end_kb > rss_start_kb + rss_budget_kb) {
+    soak.Violate("rss", "VmRSS grew " +
+                            std::to_string(rss_end_kb - rss_start_kb) +
+                            " KB over the soak (budget " +
+                            std::to_string(rss_budget_kb) + " KB)");
+  }
+
+  server.Shutdown();
+
+  std::printf("\n");
+  TablePrinter table({"phase", "requests", "ok", "pushed-back", "errors",
+                      "rss KB", "invariants"});
+  for (const auto& p : phases) {
+    table.AddRow({p.name, std::to_string(p.requests), std::to_string(p.ok),
+                  std::to_string(p.pushed_back), std::to_string(p.errors),
+                  std::to_string(p.rss_kb), p.invariants_ok ? "ok" : "VIOLATED"});
+  }
+  std::printf("%s", table.Render().c_str());
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out != nullptr) {
+    std::fprintf(out, "{\"bench\":\"chaos_soak\",\"scale\":%d,"
+                      "\"rss_start_kb\":%ld,\"rss_end_kb\":%ld,"
+                      "\"violations\":%zu,\"phases\":[",
+                 scale, rss_start_kb, rss_end_kb, soak.violations.size());
+    for (size_t i = 0; i < phases.size(); ++i) {
+      const auto& p = phases[i];
+      std::fprintf(out,
+                   "%s{\"name\":\"%s\",\"requests\":%llu,\"ok\":%llu,"
+                   "\"pushed_back\":%llu,\"errors\":%llu,\"seconds\":%.2f,"
+                   "\"rss_kb\":%ld}",
+                   i == 0 ? "" : ",", p.name.c_str(),
+                   (unsigned long long)p.requests, (unsigned long long)p.ok,
+                   (unsigned long long)p.pushed_back,
+                   (unsigned long long)p.errors, p.seconds, p.rss_kb);
+    }
+    std::fprintf(out, "]}\n");
+    std::fclose(out);
+    std::printf("\nwrote %s\n", out_path.c_str());
+  }
+
+  if (!soak.violations.empty()) {
+    std::fprintf(stderr, "\nchaos_soak: %zu invariant violation(s):\n",
+                 soak.violations.size());
+    for (const auto& v : soak.violations) {
+      std::fprintf(stderr, "  - %s\n", v.c_str());
+    }
+    return 1;
+  }
+  std::printf("\nall invariants held across %zu phases\n", phases.size());
+  return 0;
+}

@@ -110,6 +110,7 @@ std::unique_ptr<CtpAlgorithm> CreateCtpAlgorithm(AlgorithmKind kind, const Graph
     config.filters = std::move(filters);
     config.view = tuning.view;
     config.cancel = tuning.cancel;
+    config.progress = tuning.progress;
     config.on_result = tuning.on_result;
     config.fault = tuning.fault;
     config.merge_mode = kind == AlgorithmKind::kBft      ? BftMergeMode::kNone
@@ -125,6 +126,7 @@ std::unique_ptr<CtpAlgorithm> CreateCtpAlgorithm(AlgorithmKind kind, const Graph
   config.incremental_scores = tuning.incremental_scores;
   config.bound_pruning = tuning.bound_pruning;
   config.cancel = tuning.cancel;
+  config.progress = tuning.progress;
   config.on_result = tuning.on_result;
   config.fault = tuning.fault;
   return std::make_unique<GamAdapter>(kind, g, seeds, std::move(config));

@@ -69,6 +69,9 @@ struct CtpAlgorithmTuning {
   /// Cooperative cancellation and streaming emission, forwarded to the
   /// search config (GamConfig / BftConfig; see ctp/gam.h for the contracts).
   const std::atomic<bool>* cancel = nullptr;
+  /// Progress counter forwarded to the search config (GamConfig::progress /
+  /// BftConfig::progress); not owned, may be null.
+  std::atomic<uint64_t>* progress = nullptr;
   ResultHook on_result;
   /// Deterministic fault injection, forwarded to the search config (see
   /// GamConfig::fault / BftConfig::fault); not owned, may be null.

@@ -64,6 +64,10 @@ std::pair<int, NodeId> BftSearch::SharedNodes(TreeId a, TreeId b) const {
 void BftSearch::CheckDeadline() {
   if (++ops_ < 128) return;
   ops_ = 0;
+  // Liveness tick for the eqld watchdog (GamConfig::progress contract).
+  if (config_.progress != nullptr) {
+    config_.progress->fetch_add(1, std::memory_order_relaxed);
+  }
   if (config_.cancel != nullptr &&
       config_.cancel->load(std::memory_order_relaxed)) {
     stop_ = true;

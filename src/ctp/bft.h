@@ -58,6 +58,9 @@ struct BftConfig {
   /// Cooperative cancellation and streaming emission, with the same
   /// contracts as GamConfig::cancel / GamConfig::on_result (ctp/gam.h).
   const std::atomic<bool>* cancel = nullptr;
+  /// Progress telemetry, with the GamConfig::progress contract (ctp/gam.h):
+  /// bumped at every deadline poll; not owned, may be null.
+  std::atomic<uint64_t>* progress = nullptr;
   ResultHook on_result;
   /// Deterministic fault injection (util/fault.h); not owned, may be null.
   /// BFT probes kFaultSiteAlloc when a non-result tree is kept and

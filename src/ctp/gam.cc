@@ -147,6 +147,11 @@ void GamSearch::UpdateSeedSignature(const RootedTree& t) {
 void GamSearch::CheckDeadline() {
   if (++ops_since_deadline_check_ < 128) return;
   ops_since_deadline_check_ = 0;
+  // Liveness tick: a poll that keeps firing means the search is advancing,
+  // even if slowly — the eqld watchdog reads it before cancelling.
+  if (config_.progress != nullptr) {
+    config_.progress->fetch_add(1, std::memory_order_relaxed);
+  }
   if (config_.cancel != nullptr &&
       config_.cancel->load(std::memory_order_relaxed)) {
     stop_ = true;

@@ -118,6 +118,14 @@ struct GamConfig {
   /// chunk's config alongside the shared deadline).
   const std::atomic<bool>* cancel = nullptr;
 
+  /// Progress telemetry (not owned; may be null): incremented once per
+  /// batched deadline-poll (i.e. every ~128 search operations). A counter
+  /// that stops advancing while a query is past its deadline is the
+  /// signature of a stuck search — the eqld watchdog samples it to tell
+  /// "wedged" from "slow but advancing" before it cancels. Shared across
+  /// chunk workers (fetch_add, relaxed); never read by the search itself.
+  std::atomic<uint64_t>* progress = nullptr;
+
   /// Streaming emission hook, installed into the result set (result_set.h):
   /// called with each accepted result; returning false stops the search with
   /// stats.cancelled. Incompatible with TOP-k truncation (FinalizeTopK

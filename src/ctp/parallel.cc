@@ -216,6 +216,7 @@ Result<ParallelCtpOutcome> CtpExecutor::Evaluate(
       config.incremental_scores = options.incremental_scores;
       config.bound_pruning = options.bound_pruning;
       config.cancel = options.cancel;
+      config.progress = options.progress;
       config.fault = options.fault;
       // The per-query budget bounds the *sum* of chunk footprints: each
       // chunk gets an equal slice. Integer division may leave a remainder

@@ -78,6 +78,9 @@ struct ParallelCtpOptions {
   /// ~128 operations each — the lever a streaming sink's early stop and
   /// Cursor::Close pull to tear down pool work they no longer need.
   const std::atomic<bool>* cancel = nullptr;
+  /// Progress counter threaded into every chunk's config (GamConfig::
+  /// progress contract; chunks share it via atomic adds). Not owned.
+  std::atomic<uint64_t>* progress = nullptr;
   /// Deterministic fault injection (util/fault.h; not owned, may be null).
   /// Shared by all chunks — in-search sites (alloc, queue-pop, emit) fire on
   /// whichever chunk reaches the armed probe, and the executor itself probes

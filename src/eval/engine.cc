@@ -61,6 +61,9 @@ struct EqlEngine::ExecEnv {
   /// Set when a streaming sink stops the execution; checked by searches at
   /// their deadline sites (null in materialized mode — nothing sets it).
   std::atomic<bool>* cancel = nullptr;
+  /// Caller-owned liveness counter (ExecOptions::progress; may be null),
+  /// bumped by every search of this execution at its deadline-poll sites.
+  std::atomic<uint64_t>* progress = nullptr;
   StreamState* stream = nullptr;
   /// Index of the CTP whose results stream row-by-row (the last one).
   size_t stream_ctp = SIZE_MAX;
@@ -595,6 +598,7 @@ Status EqlEngine::EvalOneCtp(const CtpPattern& ctp, size_t ctp_index,
     popts.incremental_scores = opts.incremental_scores;
     popts.bound_pruning = opts.bound_pruning;
     popts.cancel = env.cancel;
+    popts.progress = env.progress;
     popts.fault = env.fault;
     auto outcome = env.executor->Evaluate(g_, *seeds, *filters, popts);
     if (!outcome.ok()) return outcome.status();
@@ -623,6 +627,7 @@ Status EqlEngine::EvalOneCtp(const CtpPattern& ctp, size_t ctp_index,
   tuning.incremental_scores = opts.incremental_scores;
   tuning.bound_pruning = opts.bound_pruning;
   tuning.cancel = env.cancel;
+  tuning.progress = env.progress;
   tuning.fault = env.fault;
   std::shared_ptr<const CompiledCtpView> view;
   if (opts.use_compiled_views &&
@@ -728,6 +733,7 @@ Status EqlEngine::ExecutePlan(const PreparedQuery::Plan& plan, const Query& q,
                            : Deadline::Infinite();
   env.stream = stream;
   env.cancel = exec_opts.cancel;  // caller cancellation works in both modes
+  env.progress = exec_opts.progress;
   if (stream != nullptr) {
     if (env.cancel == nullptr) env.cancel = &stream->cancel;
     stream->cancel_flag = env.cancel;

@@ -223,6 +223,14 @@ struct ExecOptions {
   /// flight. Cursor::Close uses this to tear down a stream whose search is
   /// grinding on without producing rows.
   std::atomic<bool>* cancel = nullptr;
+  /// Liveness telemetry (not owned; may be null): the execution's searches
+  /// increment it at every batched deadline-poll site (~every 128 search
+  /// operations, the same cadence as `cancel` observation), including pool
+  /// chunks. A caller holding a deadline can sample it to distinguish a
+  /// query that is advancing slowly from one that is wedged — the eqld
+  /// stuck-query watchdog (src/server/watchdog.h) does exactly that before
+  /// firing `cancel` on an overdue query. Never read by the engine.
+  std::atomic<uint64_t>* progress = nullptr;
   /// Deterministic fault injection for this call (util/fault.h; not owned,
   /// may be null). Threaded into every search and the parallel merge step;
   /// see GamConfig::fault / ParallelCtpOptions::fault. Tests only.

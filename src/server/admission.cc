@@ -1,6 +1,20 @@
 #include "server/admission.h"
 
+#include <algorithm>
+
 namespace eql {
+
+const char* RequestClassName(RequestClass cls) {
+  switch (cls) {
+    case RequestClass::kAdhoc:
+      return "adhoc";
+    case RequestClass::kPrepare:
+      return "prepare";
+    case RequestClass::kPrepared:
+      return "prepared";
+  }
+  return "unknown";
+}
 
 AdmissionTicket::AdmissionTicket(AdmissionTicket&& other) noexcept
     : controller_(other.controller_),
@@ -28,7 +42,8 @@ AdmissionController::AdmissionController(Options options, FaultInjector* fault)
     : options_(options), fault_(fault) {}
 
 Result<AdmissionTicket> AdmissionController::Admit(const std::string& client,
-                                                   const std::string& peer) {
+                                                   const std::string& peer,
+                                                   RequestClass cls) {
   if (fault_ != nullptr && fault_->ShouldFail(kFaultSiteAdmit)) {
     std::lock_guard<std::mutex> lock(mu_);
     ++rejected_global_;
@@ -40,6 +55,26 @@ Result<AdmissionTicket> AdmissionController::Admit(const std::string& client,
     return Status::Unavailable(
         "server at capacity (" + std::to_string(in_flight_) +
         " queries in flight); retry later");
+  }
+  // Adaptive shed: below the caps but above the queue-delay bound, refuse
+  // the cheapest classes first (see header comment for the ladder).
+  if (options_.queue_delay_p95_ms > 0) {
+    const int64_t p95 = QueueDelayP95Locked();
+    if (p95 > options_.queue_delay_p95_ms) {
+      const double overload = static_cast<double>(p95) /
+                              static_cast<double>(options_.queue_delay_p95_ms);
+      const bool shed = overload > 4.0 ||
+                        (overload > 2.0 && cls != RequestClass::kPrepared) ||
+                        cls == RequestClass::kAdhoc;
+      if (shed) {
+        ++shed_by_class_[static_cast<int>(cls)];
+        return Status::Unavailable(
+            "shedding load (" + std::string(RequestClassName(cls)) +
+            " request; queue delay p95 " + std::to_string(p95) + "ms over " +
+            std::to_string(options_.queue_delay_p95_ms) +
+            "ms bound); retry later");
+      }
+    }
   }
   // The peer gate is checked before the client gate: it is the enforced
   // one (the client key embeds a client-supplied header; the peer address
@@ -82,6 +117,38 @@ void AdmissionController::Release(const std::string& client,
   }
 }
 
+void AdmissionController::RecordQueueDelay(double delay_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (delay_window_.size() < kDelayWindow) {
+    delay_window_.push_back(delay_ms);
+  } else {
+    delay_window_[delay_next_] = delay_ms;
+  }
+  delay_next_ = (delay_next_ + 1) % kDelayWindow;
+}
+
+int64_t AdmissionController::QueueDelayP95Locked() const {
+  if (delay_window_.size() < kMinShedSamples) return 0;
+  // O(n) selection over <=128 samples: cheap enough to compute per admit.
+  std::vector<double> sorted = delay_window_;
+  const size_t idx = (sorted.size() * 95) / 100;
+  std::nth_element(sorted.begin(), sorted.begin() + idx, sorted.end());
+  return static_cast<int64_t>(sorted[idx]);
+}
+
+int AdmissionController::RetryAfterLocked() const {
+  if (options_.queue_delay_p95_ms <= 0) return 1;
+  const int64_t p95 = QueueDelayP95Locked();
+  if (p95 <= options_.queue_delay_p95_ms) return 1;
+  const int64_t ratio = p95 / options_.queue_delay_p95_ms;
+  return static_cast<int>(std::clamp<int64_t>(ratio, 1, 30));
+}
+
+int AdmissionController::RetryAfterSeconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RetryAfterLocked();
+}
+
 AdmissionController::Stats AdmissionController::GetStats() const {
   std::lock_guard<std::mutex> lock(mu_);
   Stats s;
@@ -89,6 +156,11 @@ AdmissionController::Stats AdmissionController::GetStats() const {
   s.rejected_global = rejected_global_;
   s.rejected_client = rejected_client_;
   s.in_flight = in_flight_;
+  s.shed_adhoc = shed_by_class_[0];
+  s.shed_prepare = shed_by_class_[1];
+  s.shed_prepared = shed_by_class_[2];
+  s.queue_delay_p95_ms = QueueDelayP95Locked();
+  s.retry_after_s = RetryAfterLocked();
   return s;
 }
 

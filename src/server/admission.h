@@ -18,6 +18,24 @@
 //     games cannot bypass it: kResourceExhausted -> 429. This is the
 //     enforced anti-hog gate (off by default; see Options).
 //
+// ADAPTIVE SHEDDING (queue-delay-aware, off unless queue_delay_p95_ms is
+// set): fixed caps alone cannot protect the process — a handful of
+// admitted-but-expensive queries can pin every worker while in_flight still
+// reads "healthy". The controller therefore also watches the p95 of
+// admit-to-first-byte latency (the server records one sample per streamed
+// query) over a sliding window. When the p95 exceeds the bound, it sheds
+// below the caps, cheapest-to-refuse class first:
+//
+//   overload 1x..2x   shed kAdhoc    (uncompiled one-shots: the client lost
+//                                     nothing but the retry; no sunk state)
+//   overload 2x..4x   also kPrepare  (compilation is deferrable work)
+//   overload > 4x     also kPrepared (last resort: even cached executions)
+//
+// Every shed answer is kUnavailable -> 503, and RetryAfterSeconds() scales
+// with the measured overload so the server's `Retry-After` header tells
+// clients how long to actually stay away — paired with jittered client
+// backoff (util/backoff.h) this converts a retry storm into goodput.
+//
 // Admission hands out an RAII Ticket; its destruction releases every
 // counter, so each exit path — success, serialization failure, disconnect —
 // releases exactly once.
@@ -36,6 +54,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "util/fault.h"
 #include "util/status.h"
@@ -43,6 +62,17 @@
 namespace eql {
 
 class AdmissionController;
+
+/// What a request costs the system — and the client — to refuse. Orders the
+/// adaptive shed sequence: lower values are refused first.
+enum class RequestClass {
+  kAdhoc = 0,    ///< /query one-shot; no sunk state, cheapest to refuse
+  kPrepare = 1,  ///< /prepare; compilation is deferrable
+  kPrepared = 2, ///< /execute on a handle; the sunk compile makes it precious
+};
+
+/// Stable lowercase name ("adhoc", "prepare", "prepared").
+const char* RequestClassName(RequestClass cls);
 
 /// RAII admission slot: releases its global + per-client counters when
 /// destroyed. Move-only; a moved-from ticket releases nothing.
@@ -83,6 +113,11 @@ class AdmissionController {
     /// ExecOptions mapping); <= 0 / 0 = unlimited.
     int64_t query_timeout_ms = 30000;
     uint64_t memory_budget_bytes = 0;
+    /// Adaptive shedding bound: when the sliding-window p95 of
+    /// admit-to-first-byte latency exceeds this many ms, shed below the
+    /// caps, cheapest class first (see header comment). 0 = fixed caps
+    /// only — byte-identical admission behavior to the pre-shedding server.
+    int64_t queue_delay_p95_ms = 0;
   };
 
   struct Stats {
@@ -90,17 +125,42 @@ class AdmissionController {
     uint64_t rejected_global = 0;   ///< 503s issued
     uint64_t rejected_client = 0;   ///< 429s issued (per-client or per-peer)
     uint32_t in_flight = 0;
+    /// Adaptive sheds by refused class (all 503s, included in neither count
+    /// above so the fixed-cap counters stay comparable across versions).
+    uint64_t shed_adhoc = 0;
+    uint64_t shed_prepare = 0;
+    uint64_t shed_prepared = 0;
+    /// Current sliding-window p95 of admit-to-first-byte latency (ms; 0
+    /// until the window has enough samples).
+    int64_t queue_delay_p95_ms = 0;
+    /// The Retry-After currently suggested to shed clients (seconds).
+    int retry_after_s = 1;
   };
 
   explicit AdmissionController(Options options, FaultInjector* fault = nullptr);
 
   /// Tries to admit one query for `client` arriving from `peer` (empty peer
-  /// skips the per-peer gate — unit tests and non-network callers).
+  /// skips the per-peer gate — unit tests and non-network callers). `cls`
+  /// feeds the adaptive shed order; it has no effect while the measured
+  /// queue delay is under the bound (or the bound is 0).
   ///   ok                  — run it; keep the ticket alive for the duration.
-  ///   kUnavailable        — server at capacity (or injected admit fault).
+  ///   kUnavailable        — server at capacity, shed by overload, or an
+  ///                         injected admit fault.
   ///   kResourceExhausted  — this client or peer is over its own cap.
   Result<AdmissionTicket> Admit(const std::string& client,
-                                const std::string& peer = std::string());
+                                const std::string& peer = std::string(),
+                                RequestClass cls = RequestClass::kAdhoc);
+
+  /// One admit-to-first-byte latency sample (ms), recorded by the server
+  /// when a streamed response puts its first byte on the wire. Feeds the
+  /// sliding window behind adaptive shedding and RetryAfterSeconds.
+  void RecordQueueDelay(double delay_ms);
+
+  /// The `Retry-After` value (seconds) the server should attach to 429/503
+  /// responses right now: 1 when healthy, scaling with measured overload
+  /// (p95 / bound, capped at 30) so a deeper queue keeps clients away
+  /// longer. Deterministic given the recorded samples.
+  int RetryAfterSeconds() const;
 
   const Options& options() const { return options_; }
   Stats GetStats() const;
@@ -108,6 +168,12 @@ class AdmissionController {
  private:
   friend class AdmissionTicket;
   void Release(const std::string& client, const std::string& peer);
+  /// Current p95 over the sample window; 0 until kMinShedSamples. mu_ held.
+  int64_t QueueDelayP95Locked() const;
+  int RetryAfterLocked() const;
+
+  static constexpr size_t kDelayWindow = 128;
+  static constexpr size_t kMinShedSamples = 16;
 
   Options options_;
   FaultInjector* fault_;  ///< not owned; may be null
@@ -118,6 +184,10 @@ class AdmissionController {
   uint64_t admitted_ = 0;
   uint64_t rejected_global_ = 0;
   uint64_t rejected_client_ = 0;
+  uint64_t shed_by_class_[3] = {0, 0, 0};
+  /// Ring buffer of recent admit-to-first-byte delays (ms).
+  std::vector<double> delay_window_;
+  size_t delay_next_ = 0;
 };
 
 }  // namespace eql

@@ -1,0 +1,160 @@
+#include "server/governor.h"
+
+#include <algorithm>
+
+namespace eql {
+
+const char* PressureLevelName(PressureLevel level) {
+  switch (level) {
+    case PressureLevel::kNominal:
+      return "nominal";
+    case PressureLevel::kElevated:
+      return "elevated";
+    case PressureLevel::kCritical:
+      return "critical";
+  }
+  return "unknown";
+}
+
+MemoryLease::MemoryLease(MemoryLease&& other) noexcept
+    : governor_(other.governor_),
+      client_(std::move(other.client_)),
+      bytes_(other.bytes_) {
+  other.governor_ = nullptr;
+  other.bytes_ = 0;
+}
+
+MemoryLease& MemoryLease::operator=(MemoryLease&& other) noexcept {
+  if (this != &other) {
+    if (governor_ != nullptr) governor_->Release(client_, bytes_);
+    governor_ = other.governor_;
+    client_ = std::move(other.client_);
+    bytes_ = other.bytes_;
+    other.governor_ = nullptr;
+    other.bytes_ = 0;
+  }
+  return *this;
+}
+
+MemoryLease::~MemoryLease() {
+  if (governor_ != nullptr) governor_->Release(client_, bytes_);
+}
+
+ResourceGovernor::ResourceGovernor(Options options) : options_(options) {}
+
+PressureLevel ResourceGovernor::PressureLocked() const {
+  if (options_.total_budget_bytes == 0) return PressureLevel::kNominal;
+  const double frac = static_cast<double>(leased_) /
+                      static_cast<double>(options_.total_budget_bytes);
+  if (frac >= options_.critical_fraction) return PressureLevel::kCritical;
+  if (frac >= options_.elevated_fraction) return PressureLevel::kElevated;
+  return PressureLevel::kNominal;
+}
+
+PressureLevel ResourceGovernor::pressure() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PressureLocked();
+}
+
+ResourceGovernor::Quota ResourceGovernor::EffectiveQuota(
+    int64_t base_timeout_ms, uint64_t base_budget_bytes) const {
+  Quota q;
+  q.query_timeout_ms = base_timeout_ms;
+  q.memory_budget_bytes = base_budget_bytes;
+  if (!enabled()) return q;
+  // An unlimited per-query budget is incompatible with a bounded pool: the
+  // governor substitutes its default lease size.
+  if (q.memory_budget_bytes == 0) q.memory_budget_bytes = options_.default_lease_bytes;
+  int shift = 0;
+  switch (pressure()) {
+    case PressureLevel::kNominal:
+      shift = 0;
+      break;
+    case PressureLevel::kElevated:
+      shift = 1;  // halve
+      break;
+    case PressureLevel::kCritical:
+      shift = 2;  // quarter
+      break;
+  }
+  if (shift > 0) {
+    if (q.query_timeout_ms > 0) {
+      q.query_timeout_ms = std::max<int64_t>(q.query_timeout_ms >> shift, 100);
+    }
+    q.memory_budget_bytes =
+        std::max<uint64_t>(q.memory_budget_bytes >> shift, options_.min_lease_bytes);
+  }
+  return q;
+}
+
+Result<MemoryLease> ResourceGovernor::Acquire(const std::string& client,
+                                              uint64_t want_bytes) {
+  if (!enabled()) {
+    // Pass-through: the caller's budget flows to the engine unchanged and
+    // nothing is accounted — governed-off behavior is byte-identical to a
+    // governor-less build.
+    return MemoryLease(nullptr, std::string(), want_bytes);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t total = options_.total_budget_bytes;
+  const uint64_t headroom = total > leased_ ? total - leased_ : 0;
+  if (headroom < options_.min_lease_bytes) {
+    ++rejected_pool_;
+    return Status::Unavailable(
+        "memory pool exhausted (" + std::to_string(leased_) + " of " +
+        std::to_string(total) + " bytes leased); retry later");
+  }
+  const auto client_share =
+      static_cast<uint64_t>(options_.max_client_fraction *
+                            static_cast<double>(total));
+  const uint64_t client_held = per_client_.count(client) != 0
+                                   ? per_client_.at(client)
+                                   : 0;
+  const uint64_t client_room =
+      client_share > client_held ? client_share - client_held : 0;
+  if (client_room < options_.min_lease_bytes) {
+    ++rejected_client_;
+    return Status::ResourceExhausted(
+        "client '" + client + "' holds " + std::to_string(client_held) +
+        " bytes of a " + std::to_string(client_share) +
+        "-byte aggregate share; release running queries or retry later");
+  }
+  uint64_t grant = want_bytes == 0 ? options_.default_lease_bytes : want_bytes;
+  grant = std::min({grant, headroom, client_room});
+  if (grant < want_bytes || (want_bytes == 0 && grant < options_.default_lease_bytes)) {
+    ++tightened_;
+  }
+  leased_ += grant;
+  per_client_[client] += grant;
+  ++active_leases_;
+  ++granted_;
+  return MemoryLease(this, client, grant);
+}
+
+void ResourceGovernor::Release(const std::string& client, uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  leased_ = leased_ > bytes ? leased_ - bytes : 0;
+  --active_leases_;
+  auto it = per_client_.find(client);
+  if (it != per_client_.end()) {
+    it->second = it->second > bytes ? it->second - bytes : 0;
+    if (it->second == 0) per_client_.erase(it);
+  }
+}
+
+ResourceGovernor::Stats ResourceGovernor::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.total_budget_bytes = options_.total_budget_bytes;
+  s.leased_bytes = leased_;
+  s.active_leases = active_leases_;
+  s.clients_with_leases = static_cast<uint32_t>(per_client_.size());
+  s.granted = granted_;
+  s.tightened = tightened_;
+  s.rejected_pool = rejected_pool_;
+  s.rejected_client = rejected_client_;
+  s.pressure = PressureLocked();
+  return s;
+}
+
+}  // namespace eql

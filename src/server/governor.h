@@ -1,0 +1,168 @@
+// Process-wide resource governor for the eqld daemon.
+//
+// Fixed concurrency caps (server/admission.h) bound HOW MANY queries run,
+// but connection-search evaluation is expensive and hard to bound a priori:
+// a handful of admitted-but-heavy queries can exhaust process memory while
+// every cap still reports healthy. The governor closes that gap by making
+// memory a first-class admitted resource:
+//
+//   * one GLOBAL byte budget for all query execution in the process;
+//   * every admitted query takes an RAII MemoryLease from it, and the lease
+//     is what becomes the engine's per-query budget
+//     (ExecOptions::memory_budget_bytes) — so the sum of what running
+//     queries may allocate can never exceed the pool;
+//   * leases are accounted PER CLIENT in aggregate, so one client cannot
+//     hold the whole pool even when each of its queries is individually
+//     modest (the ROADMAP item-1 "per-client memory accounting" gap);
+//   * the fraction of the pool currently leased defines a PRESSURE LEVEL
+//     (nominal / elevated / critical). Under pressure the governor
+//     progressively TIGHTENS the default budgets handed to new admits —
+//     smaller memory leases, shorter timeouts — instead of failing
+//     cliff-style: degradation is gradual and every admitted query still
+//     completes with a well-formed (possibly partial) result, because a
+//     budget hit is an engine *outcome*, not an error (eval/engine.h
+//     "Failure semantics").
+//
+// Rejection still exists as the last step: when even the minimum lease
+// cannot be granted the caller gets kUnavailable (pool exhausted — anyone
+// would be refused) or kResourceExhausted (this client's aggregate share is
+// spent — others would still be served), mapping onto 503/429 like
+// admission's own gates.
+//
+// GOVERNED-OFF INVARIANT: with total_budget_bytes == 0 (the default) every
+// Acquire succeeds with a pass-through lease, EffectiveQuota returns its
+// inputs untouched, and pressure is permanently nominal — byte-identical
+// server behavior to a build without a governor.
+//
+// Thread-safe; one instance per server.
+#ifndef EQL_SERVER_GOVERNOR_H_
+#define EQL_SERVER_GOVERNOR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "util/status.h"
+
+namespace eql {
+
+/// How much of the global pool is leased out right now.
+enum class PressureLevel {
+  kNominal = 0,   ///< plenty of headroom; default budgets apply
+  kElevated = 1,  ///< pool half-committed; new admits get tightened budgets
+  kCritical = 2,  ///< pool nearly spent; new admits get minimum budgets
+};
+
+/// Stable lowercase name ("nominal", "elevated", "critical") for /stats.
+const char* PressureLevelName(PressureLevel level);
+
+class ResourceGovernor;
+
+/// RAII slice of the global memory pool backing one query's engine budget.
+/// Releasing (destruction) returns the bytes to the pool and the client's
+/// aggregate. Move-only; a moved-from / default lease releases nothing.
+class MemoryLease {
+ public:
+  MemoryLease() = default;
+  MemoryLease(MemoryLease&& other) noexcept;
+  MemoryLease& operator=(MemoryLease&& other) noexcept;
+  ~MemoryLease();
+
+  /// The engine budget this lease grants (0 on a pass-through lease from a
+  /// disabled governor whose caller had no base budget = unlimited).
+  uint64_t bytes() const { return bytes_; }
+
+ private:
+  friend class ResourceGovernor;
+  MemoryLease(ResourceGovernor* governor, std::string client, uint64_t bytes)
+      : governor_(governor), client_(std::move(client)), bytes_(bytes) {}
+
+  ResourceGovernor* governor_ = nullptr;  ///< null = inert (disabled/moved)
+  std::string client_;
+  uint64_t bytes_ = 0;
+};
+
+class ResourceGovernor {
+ public:
+  struct Options {
+    /// Global byte budget for all concurrently-executing queries.
+    /// 0 = governor disabled (pass-through, see header comment).
+    uint64_t total_budget_bytes = 0;
+    /// Lease granted to a query whose quota requests no specific budget
+    /// (before pressure tightening / headroom clamping).
+    uint64_t default_lease_bytes = 64ull << 20;
+    /// Largest fraction of the pool one client may hold in aggregate.
+    double max_client_fraction = 0.5;
+    /// Leased-fraction thresholds for the pressure levels.
+    double elevated_fraction = 0.5;
+    double critical_fraction = 0.8;
+    /// Smallest useful lease: below this the governor rejects rather than
+    /// admitting a query that would hit its budget before doing any work.
+    uint64_t min_lease_bytes = 1ull << 20;
+  };
+
+  /// Pressure-shaped per-query budgets for one admit.
+  struct Quota {
+    int64_t query_timeout_ms = 0;     ///< <= 0 = none
+    uint64_t memory_budget_bytes = 0; ///< 0 = unlimited (disabled governor)
+  };
+
+  struct Stats {
+    uint64_t total_budget_bytes = 0;
+    uint64_t leased_bytes = 0;
+    uint32_t active_leases = 0;
+    uint32_t clients_with_leases = 0;
+    uint64_t granted = 0;    ///< leases handed out since start
+    uint64_t tightened = 0;  ///< grants shaped below request by pressure/headroom
+    uint64_t rejected_pool = 0;    ///< kUnavailable (pool exhausted)
+    uint64_t rejected_client = 0;  ///< kResourceExhausted (client share spent)
+    PressureLevel pressure = PressureLevel::kNominal;
+  };
+
+  explicit ResourceGovernor(Options options);
+
+  bool enabled() const { return options_.total_budget_bytes > 0; }
+
+  /// Shapes the base per-query quota by current pressure: elevated halves
+  /// the timeout and memory budget of NEW admits, critical quarters them
+  /// (already-running queries keep what they leased). With the governor
+  /// disabled the inputs come back untouched. A base memory budget of 0
+  /// (unlimited) becomes default_lease_bytes under an enabled governor —
+  /// unlimited per-query allocation is exactly what a global pool exists to
+  /// prevent.
+  Quota EffectiveQuota(int64_t base_timeout_ms,
+                       uint64_t base_budget_bytes) const;
+
+  /// Leases `want_bytes` (a Quota::memory_budget_bytes; 0 on a disabled
+  /// governor = pass-through) for `client`, clamped down to the pool
+  /// headroom and the client's remaining aggregate share. Grants smaller
+  /// leases under pressure rather than refusing (cliff-free degradation);
+  /// refuses only below min_lease_bytes:
+  ///   kUnavailable       — the pool is exhausted; nobody would be served.
+  ///   kResourceExhausted — this client's aggregate share is spent.
+  Result<MemoryLease> Acquire(const std::string& client, uint64_t want_bytes);
+
+  PressureLevel pressure() const;
+  const Options& options() const { return options_; }
+  Stats GetStats() const;
+
+ private:
+  friend class MemoryLease;
+  void Release(const std::string& client, uint64_t bytes);
+  PressureLevel PressureLocked() const;
+
+  Options options_;
+  mutable std::mutex mu_;
+  uint64_t leased_ = 0;
+  std::unordered_map<std::string, uint64_t> per_client_;
+  uint32_t active_leases_ = 0;
+  uint64_t granted_ = 0;
+  uint64_t tightened_ = 0;
+  uint64_t rejected_pool_ = 0;
+  uint64_t rejected_client_ = 0;
+};
+
+}  // namespace eql
+
+#endif  // EQL_SERVER_GOVERNOR_H_

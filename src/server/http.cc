@@ -43,12 +43,25 @@ int ReadMore(int fd, std::string* buffer, int timeout_ms) {
   return static_cast<int>(n);
 }
 
-bool SendAll(int fd, std::string_view bytes) {
+bool SendAll(int fd, std::string_view bytes,
+             const std::atomic<bool>* stop = nullptr) {
   size_t off = 0;
   while (off < bytes.size()) {
-    ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    // With a stop flag the send must stay interruptible: MSG_DONTWAIT so a
+    // full socket buffer returns EAGAIN instead of parking the thread in
+    // the kernel, then poll with a bounded interval and re-check the flag.
+    // A peer that stopped reading can otherwise pin this thread in ::send
+    // indefinitely and hang the server's shutdown join.
+    const int flags = MSG_NOSIGNAL | (stop != nullptr ? MSG_DONTWAIT : 0);
+    ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off, flags);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (stop != nullptr && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (stop->load(std::memory_order_relaxed)) return false;
+        pollfd pfd = {fd, POLLOUT, 0};
+        (void)::poll(&pfd, 1, 100);
+        continue;
+      }
       return false;
     }
     off += static_cast<size_t>(n);
@@ -164,6 +177,18 @@ std::string UrlDecode(std::string_view s) {
     }
   }
   return out;
+}
+
+int RetryAfterSeconds(const HttpResponse& response) {
+  auto it = response.headers.find("retry-after");
+  if (it == response.headers.end() || it->second.empty()) return -1;
+  int seconds = 0;
+  for (char c : it->second) {
+    if (c < '0' || c > '9') return -1;  // HTTP-date form: not emitted by eqld
+    seconds = seconds * 10 + (c - '0');
+    if (seconds > 86400) return 86400;
+  }
+  return seconds;
 }
 
 HttpConnection::HttpConnection(int fd) : fd_(fd), peer_ip_(PeerIp(fd)) {}
@@ -316,7 +341,7 @@ Status HttpConnection::ReadRequest(HttpRequest* out, const HttpLimits& limits,
 }
 
 bool HttpConnection::WriteAll(std::string_view bytes) {
-  return SendAll(fd_, bytes);
+  return SendAll(fd_, bytes, stop_);
 }
 
 bool HttpConnection::WriteResponse(int status, std::string_view content_type,
@@ -393,11 +418,12 @@ Result<int> TcpConnect(const std::string& host, uint16_t port) {
   return fd;
 }
 
-Status ReadHttpResponse(int fd, std::string* buffer, HttpResponse* out) {
+Status ReadHttpResponse(int fd, std::string* buffer, HttpResponse* out,
+                        int idle_timeout_ms) {
   // Head.
   size_t head_end;
   while ((head_end = buffer->find("\r\n\r\n")) == std::string::npos) {
-    int n = ReadMore(fd, buffer, 10000);
+    int n = ReadMore(fd, buffer, idle_timeout_ms);
     if (n == 0) return Status::Unavailable("connection closed before response");
     if (n < 0) return Status::Unavailable("read failed waiting for response");
   }
@@ -430,7 +456,7 @@ Status ReadHttpResponse(int fd, std::string* buffer, HttpResponse* out) {
     for (;;) {
       size_t eol;
       while ((eol = buffer->find("\r\n")) == std::string::npos) {
-        int n = ReadMore(fd, buffer, 10000);
+        int n = ReadMore(fd, buffer, idle_timeout_ms);
         if (n <= 0) return Status::Unavailable("truncated chunked body");
       }
       size_t chunk = 0;
@@ -439,7 +465,7 @@ Status ReadHttpResponse(int fd, std::string* buffer, HttpResponse* out) {
       }
       buffer->erase(0, eol + 2);
       while (buffer->size() < chunk + 2) {
-        int n = ReadMore(fd, buffer, 10000);
+        int n = ReadMore(fd, buffer, idle_timeout_ms);
         if (n <= 0) return Status::Unavailable("truncated chunk");
       }
       out->body.append(*buffer, 0, chunk);
@@ -452,7 +478,7 @@ Status ReadHttpResponse(int fd, std::string* buffer, HttpResponse* out) {
   if (cl != out->headers.end()) {
     size_t want = static_cast<size_t>(std::strtoull(cl->second.c_str(), nullptr, 10));
     while (buffer->size() < want) {
-      int n = ReadMore(fd, buffer, 10000);
+      int n = ReadMore(fd, buffer, idle_timeout_ms);
       if (n <= 0) return Status::Unavailable("truncated body");
     }
     out->body = buffer->substr(0, want);
@@ -461,7 +487,7 @@ Status ReadHttpResponse(int fd, std::string* buffer, HttpResponse* out) {
   }
   // Neither length nor chunking: read to EOF (Connection: close responses).
   for (;;) {
-    int n = ReadMore(fd, buffer, 10000);
+    int n = ReadMore(fd, buffer, idle_timeout_ms);
     if (n == 0) break;
     if (n < 0) return Status::Unavailable("read failed");
   }

@@ -96,6 +96,15 @@ class HttpConnection {
   /// Raw send helper (MSG_NOSIGNAL, full-write loop).
   bool WriteAll(std::string_view bytes);
 
+  /// Makes every subsequent write shutdown-aware: a send blocked on a peer
+  /// that stopped reading re-checks `stop` every poll interval and fails
+  /// the write once it is set. Without this a single non-reading client
+  /// pins its connection thread in ::send and hangs Shutdown's join — the
+  /// write-side twin of ReadRequest's `stop` parameter. The abort surfaces
+  /// as an ordinary write failure, so mid-stream it triggers the hard-
+  /// truncation contract (connection dropped, no terminal chunk).
+  void set_stop(const std::atomic<bool>* stop) { stop_ = stop; }
+
   int fd() const { return fd_; }
   /// Peer address as "ip" (no port — the per-client admission key).
   const std::string& peer_ip() const { return peer_ip_; }
@@ -104,6 +113,7 @@ class HttpConnection {
   int fd_;
   std::string peer_ip_;
   std::string buffer_;  ///< bytes read past the previous request
+  const std::atomic<bool>* stop_ = nullptr;  ///< write-abort flag; not owned
 };
 
 /// Standard reason phrase for a status code ("OK", "Too Many Requests", ...).
@@ -119,6 +129,11 @@ struct HttpResponse {
   std::map<std::string, std::string> headers;  ///< lowercased names
   std::string body;                            ///< chunked already decoded
 };
+
+/// Parses the response's `Retry-After` header (delta-seconds form only — the
+/// only form eqld emits). Returns the value in seconds, or -1 when absent or
+/// unparseable; clients feed it to Backoff::NextDelayMs as the server hint.
+int RetryAfterSeconds(const HttpResponse& response);
 
 /// Blocking TCP connect to host:port; returns the fd or a Status error.
 Result<int> TcpConnect(const std::string& host, uint16_t port);
@@ -157,7 +172,12 @@ class HttpClientConnection {
 /// Reads one full HTTP response (headers + Content-Length or chunked body)
 /// from `fd`, consuming from/refilling `buffer`. Exposed for tests that
 /// drive connections half-manually (disconnect-mid-stream).
-Status ReadHttpResponse(int fd, std::string* buffer, HttpResponse* out);
+/// `idle_timeout_ms` bounds each wait for the next byte — a server that goes
+/// silent longer than that yields kUnavailable rather than a hang. Tests
+/// that drain large streams under heavy instrumentation (TSan multiplies
+/// the engine's inter-chunk compute gaps) pass a larger value.
+Status ReadHttpResponse(int fd, std::string* buffer, HttpResponse* out,
+                        int idle_timeout_ms = 10000);
 
 }  // namespace eql
 

@@ -7,8 +7,10 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 
 #include "eval/params.h"
 #include "server/format.h"
@@ -34,8 +36,12 @@ std::string ErrorBody(const Status& st) {
 class ChunkSink : public ByteSink {
  public:
   ChunkSink(HttpConnection& conn, const char* content_type,
-            FaultInjector* fault)
-      : conn_(conn), content_type_(content_type), fault_(fault) {}
+            FaultInjector* fault,
+            std::function<void()> on_first_byte = nullptr)
+      : conn_(conn),
+        content_type_(content_type),
+        fault_(fault),
+        on_first_byte_(std::move(on_first_byte)) {}
 
   bool Write(std::string_view bytes) override {
     if (failed_) return false;
@@ -49,6 +55,7 @@ class ChunkSink : public ByteSink {
         return false;
       }
       begun_ = true;
+      if (on_first_byte_) on_first_byte_();
     }
     if (!conn_.WriteChunk(bytes)) {
       failed_ = true;
@@ -64,6 +71,7 @@ class ChunkSink : public ByteSink {
   HttpConnection& conn_;
   const char* content_type_;
   FaultInjector* fault_;
+  std::function<void()> on_first_byte_;  ///< queue-delay sample hook
   bool begun_ = false;
   bool failed_ = false;
 };
@@ -83,7 +91,9 @@ ParamMap ParamsFromQueryString(const HttpRequest& req) {
 
 EqldServer::EqldServer(ServerOptions options)
     : options_(std::move(options)),
-      admission_(options_.admission, options_.fault) {}
+      admission_(options_.admission, options_.fault),
+      governor_(options_.governor),
+      watchdog_(options_.watchdog) {}
 
 EqldServer::~EqldServer() { Shutdown(); }
 
@@ -145,6 +155,7 @@ Status EqldServer::Start() {
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
   port_ = ntohs(bound.sin_port);
 
+  watchdog_.Start();
   acceptor_ = std::thread(&EqldServer::AcceptLoop, this);
   return Status::Ok();
 }
@@ -156,8 +167,11 @@ void EqldServer::Shutdown() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  std::unique_lock<std::mutex> lock(conn_mu_);
-  conn_cv_.wait(lock, [&] { return connections_active_ == 0; });
+  {
+    std::unique_lock<std::mutex> lock(conn_mu_);
+    conn_cv_.wait(lock, [&] { return connections_active_ == 0; });
+  }
+  watchdog_.Stop();  // after the drain: no execution can outlive its sampler
 }
 
 void EqldServer::AcceptLoop() {
@@ -181,9 +195,11 @@ void EqldServer::AcceptLoop() {
     }
     if (!admit) {
       HttpConnection conn(fd);  // closes fd
+      conn.set_stop(&stop_);   // never lets a dead peer stall the acceptor
       conn.WriteResponse(
           503, "application/json",
-          ErrorBody(Status::Unavailable("connection limit reached")), {},
+          ErrorBody(Status::Unavailable("connection limit reached")),
+          {"Retry-After: " + std::to_string(admission_.RetryAfterSeconds())},
           /*keep_alive=*/false);
       continue;
     }
@@ -194,6 +210,10 @@ void EqldServer::AcceptLoop() {
 void EqldServer::ServeConnection(int fd) {
   {
     HttpConnection conn(fd);
+    // Writes must also observe shutdown: a peer that stops reading while a
+    // stream is mid-body would otherwise pin this thread in ::send and hang
+    // Shutdown's join (the write-side twin of ReadRequest's stop handling).
+    conn.set_stop(&stop_);
     bool keep = true;
     while (keep && !stop_.load()) {
       HttpRequest req;
@@ -253,8 +273,16 @@ bool EqldServer::HandleRequest(HttpConnection& conn, const HttpRequest& req) {
 }
 
 bool EqldServer::WriteError(HttpConnection& conn, const Status& status) {
-  return conn.WriteResponse(HttpStatusForCode(status.code()),
-                            "application/json", ErrorBody(status));
+  const int http = HttpStatusForCode(status.code());
+  std::vector<std::string> extra;
+  if (http == 429 || http == 503) {
+    // Every pushed-back client learns how long to actually stay away; the
+    // value scales with measured overload (admission.h).
+    extra.push_back("Retry-After: " +
+                    std::to_string(admission_.RetryAfterSeconds()));
+  }
+  return conn.WriteResponse(http, "application/json", ErrorBody(status),
+                            extra);
 }
 
 bool EqldServer::HandleHealth(HttpConnection& conn, const HttpRequest&) {
@@ -276,11 +304,32 @@ bool EqldServer::HandleStats(HttpConnection& conn, const HttpRequest&) {
   b += ",\"queries_failed\":" + std::to_string(s.queries_failed);
   b += ",\"queries_cancelled\":" + std::to_string(s.queries_cancelled);
   b += ",\"rows_streamed\":" + std::to_string(s.rows_streamed);
+  b += ",\"queries_watchdog_cancelled\":" + std::to_string(s.watchdog.cancelled);
   b += "},\"admission\":{";
   b += "\"admitted\":" + std::to_string(s.admission.admitted);
   b += ",\"rejected_global\":" + std::to_string(s.admission.rejected_global);
   b += ",\"rejected_client\":" + std::to_string(s.admission.rejected_client);
   b += ",\"in_flight\":" + std::to_string(s.admission.in_flight);
+  b += ",\"shed_adhoc\":" + std::to_string(s.admission.shed_adhoc);
+  b += ",\"shed_prepare\":" + std::to_string(s.admission.shed_prepare);
+  b += ",\"shed_prepared\":" + std::to_string(s.admission.shed_prepared);
+  b += ",\"queue_delay_p95_ms\":" + std::to_string(s.admission.queue_delay_p95_ms);
+  b += ",\"retry_after_s\":" + std::to_string(s.admission.retry_after_s);
+  b += "},\"governor\":{";
+  b += "\"enabled\":" + std::string(s.governor.total_budget_bytes > 0 ? "true" : "false");
+  b += ",\"total_budget_bytes\":" + std::to_string(s.governor.total_budget_bytes);
+  b += ",\"leased_bytes\":" + std::to_string(s.governor.leased_bytes);
+  b += ",\"active_leases\":" + std::to_string(s.governor.active_leases);
+  b += ",\"clients_with_leases\":" + std::to_string(s.governor.clients_with_leases);
+  b += ",\"granted\":" + std::to_string(s.governor.granted);
+  b += ",\"tightened\":" + std::to_string(s.governor.tightened);
+  b += ",\"rejected_pool\":" + std::to_string(s.governor.rejected_pool);
+  b += ",\"rejected_client\":" + std::to_string(s.governor.rejected_client);
+  b += ",\"pressure\":\"" + std::string(PressureLevelName(s.governor.pressure));
+  b += "\"},\"watchdog\":{";
+  b += "\"cancelled\":" + std::to_string(s.watchdog.cancelled);
+  b += ",\"samples\":" + std::to_string(s.watchdog.samples);
+  b += ",\"in_flight\":" + std::to_string(s.watchdog.in_flight);
   b += "},\"cache\":{";
   b += "\"hits\":" + std::to_string(s.cache.hits);
   b += ",\"misses\":" + std::to_string(s.cache.misses);
@@ -300,14 +349,20 @@ bool EqldServer::HandleStats(HttpConnection& conn, const HttpRequest&) {
   return conn.WriteResponse(200, "application/json", b);
 }
 
-Result<AdmissionTicket> EqldServer::AdmitRequest(HttpConnection& conn,
-                                                 const HttpRequest& req) {
+std::string EqldServer::ClientKey(HttpConnection& conn,
+                                  const HttpRequest& req) {
   std::string client = conn.peer_ip();
   if (const std::string* hdr = req.Header("x-eql-client"); hdr != nullptr) {
     client += '|';
     client += *hdr;
   }
-  return admission_.Admit(client, conn.peer_ip());
+  return client;
+}
+
+Result<AdmissionTicket> EqldServer::AdmitRequest(HttpConnection& conn,
+                                                 const HttpRequest& req,
+                                                 RequestClass cls) {
+  return admission_.Admit(ClientKey(conn, req), conn.peer_ip(), cls);
 }
 
 bool EqldServer::HandleQuery(HttpConnection& conn, const HttpRequest& req) {
@@ -320,15 +375,16 @@ bool EqldServer::HandleQuery(HttpConnection& conn, const HttpRequest& req) {
   }
   // Admission strictly precedes parse/plan/compile: a shed client gets its
   // 429/503 without burning compile CPU or inserting into the shared cache.
-  auto ticket = AdmitRequest(conn, req);
+  auto ticket = AdmitRequest(conn, req, RequestClass::kAdhoc);
   if (!ticket.ok()) return WriteError(conn, ticket.status());
+  const auto admitted_at = std::chrono::steady_clock::now();
   auto prepared = ctx->cache.GetOrPrepare(*ctx->engine, req.body);
   if (!prepared.ok()) {
     queries_failed_.fetch_add(1, std::memory_order_relaxed);
     return WriteError(conn, prepared.status());
   }
   return StreamQuery(conn, req, ctx, *prepared, ParamsFromQueryString(req),
-                     std::move(*ticket));
+                     std::move(*ticket), admitted_at);
 }
 
 bool EqldServer::HandlePrepare(HttpConnection& conn, const HttpRequest& req) {
@@ -347,7 +403,7 @@ bool EqldServer::HandlePrepare(HttpConnection& conn, const HttpRequest& req) {
   // Compilation runs under an admission ticket too: /prepare is exactly the
   // expensive phase admission exists to gate, and an unadmitted prepare
   // could evict hot plans from the shared LRU.
-  auto ticket = AdmitRequest(conn, req);
+  auto ticket = AdmitRequest(conn, req, RequestClass::kPrepare);
   if (!ticket.ok()) return WriteError(conn, ticket.status());
   auto prepared = ctx->cache.GetOrPrepare(*ctx->engine, req.body);
   if (!prepared.ok()) {
@@ -382,8 +438,9 @@ bool EqldServer::HandleExecute(HttpConnection& conn, const HttpRequest& req) {
     return WriteError(conn,
                       Status::InvalidArgument("missing ?name= of the handle"));
   }
-  auto ticket = AdmitRequest(conn, req);
+  auto ticket = AdmitRequest(conn, req, RequestClass::kPrepared);
   if (!ticket.ok()) return WriteError(conn, ticket.status());
+  const auto admitted_at = std::chrono::steady_clock::now();
   std::shared_ptr<const PreparedQuery> prepared;
   {
     std::lock_guard<std::mutex> lock(ctx->handles_mu);
@@ -395,7 +452,7 @@ bool EqldServer::HandleExecute(HttpConnection& conn, const HttpRequest& req) {
                       Status::NotFound("no prepared handle '" + *name + "'"));
   }
   return StreamQuery(conn, req, ctx, prepared, ParamsFromQueryString(req),
-                     std::move(*ticket));
+                     std::move(*ticket), admitted_at);
 }
 
 bool EqldServer::HandleSnapshotStats(HttpConnection& conn, const HttpRequest&) {
@@ -431,7 +488,8 @@ bool EqldServer::StreamQuery(
     HttpConnection& conn, const HttpRequest& req,
     const std::shared_ptr<GraphContext>& ctx,
     const std::shared_ptr<const PreparedQuery>& prepared,
-    const ParamMap& params, AdmissionTicket ticket) {
+    const ParamMap& params, AdmissionTicket ticket,
+    std::chrono::steady_clock::time_point admitted_at) {
   (void)ticket;  // held for the whole stream; released on return
 
   ResultFormat format = ResultFormat::kJson;
@@ -454,7 +512,8 @@ bool EqldServer::StreamQuery(
   }
 
   // Quota -> engine budgets. A client may only tighten its timeout; the
-  // admission quota is the ceiling.
+  // admission quota is the ceiling, then the governor shapes the result by
+  // current memory pressure (new admits degrade gradually — server/governor.h).
   ExecOptions opts;
   const AdmissionController::Options& quota = admission_.options();
   int64_t timeout_ms = quota.query_timeout_ms;
@@ -466,14 +525,48 @@ bool EqldServer::StreamQuery(
     }
     timeout_ms = timeout_ms > 0 ? std::min(want, timeout_ms) : want;
   }
-  if (timeout_ms > 0) opts.query_timeout_ms = timeout_ms;
-  if (quota.memory_budget_bytes > 0) {
-    opts.memory_budget_bytes = quota.memory_budget_bytes;
-  }
+  const ResourceGovernor::Quota shaped =
+      governor_.EffectiveQuota(timeout_ms, quota.memory_budget_bytes);
+  timeout_ms = shaped.query_timeout_ms;
 
-  ChunkSink chunk(conn, ResultFormatContentType(format), options_.fault);
+  // The engine budget is what the governor actually leases (possibly clamped
+  // below the shaped ask by pool headroom / the client's aggregate share),
+  // so the sum across running queries can never exceed the pool.
+  const std::string client = ClientKey(conn, req);
+  auto lease = governor_.Acquire(client, shaped.memory_budget_bytes);
+  if (!lease.ok()) return WriteError(conn, lease.status());
+  if (timeout_ms > 0) opts.query_timeout_ms = timeout_ms;
+  if (lease->bytes() > 0) opts.memory_budget_bytes = lease->bytes();
+
+  // Watchdog registration for the execution span: the cancel flag is the
+  // same lever a disconnecting client pulls; progress is bumped by the
+  // searches at their deadline-poll sites.
+  std::atomic<bool> wd_cancel{false};
+  std::atomic<uint64_t> progress{0};
+  opts.cancel = &wd_cancel;
+  opts.progress = &progress;
+  const auto exec_start = std::chrono::steady_clock::now();
+  QueryWatchdog::QueryInfo winfo;
+  winfo.endpoint = req.path;
+  winfo.client = client;
+  winfo.start = exec_start;
+  winfo.deadline = timeout_ms > 0
+                       ? exec_start + std::chrono::milliseconds(timeout_ms)
+                       : QueryWatchdog::Clock::time_point::max();
+  winfo.cancel = &wd_cancel;
+  winfo.progress = &progress;
+  const uint64_t wd_token = watchdog_.Register(winfo);
+
+  ChunkSink chunk(conn, ResultFormatContentType(format), options_.fault,
+                  [this, admitted_at] {
+                    admission_.RecordQueueDelay(
+                        std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - admitted_at)
+                            .count());
+                  });
   SerializingSink sink(ctx->graph, format, chunk, max_rows, options_.fault);
   auto result = prepared->Execute(params, sink, opts);
+  watchdog_.Unregister(wd_token);
   if (!result.ok()) {
     queries_failed_.fetch_add(1, std::memory_order_relaxed);
     // Headers already on the wire mean the response cannot be repaired;
@@ -516,6 +609,8 @@ ServerStats EqldServer::GetStats() const {
   s.queries_cancelled = queries_cancelled_.load(std::memory_order_relaxed);
   s.rows_streamed = rows_streamed_.load(std::memory_order_relaxed);
   s.admission = admission_.GetStats();
+  s.governor = governor_.GetStats();
+  s.watchdog = watchdog_.GetStats();
   auto ctx = CurrentContext();
   if (ctx != nullptr) s.cache = ctx->cache.GetStats();
   return s;

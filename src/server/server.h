@@ -4,7 +4,11 @@
 // Layering (one request, top to bottom):
 //
 //   HttpConnection (server/http.h)      parse request, write response
-//     -> AdmissionController            admit or shed (429 / 503)
+//     -> AdmissionController            admit or shed (429 / 503 + Retry-After)
+//     -> ResourceGovernor               lease engine memory from the global
+//                                       pool; pressure shapes new budgets
+//     -> QueryWatchdog                  registered for the execution span;
+//                                       cancels overdue queries
 //     -> GraphContext                   graph + engine + prepared cache
 //     -> PreparedCache / named handles  compile once, execute many
 //     -> PreparedQuery::Execute(sink)   stream rows as the search emits
@@ -45,6 +49,7 @@
 #define EQL_SERVER_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -57,7 +62,9 @@
 #include "graph/snapshot.h"
 #include "server/admission.h"
 #include "server/cache.h"
+#include "server/governor.h"
 #include "server/http.h"
+#include "server/watchdog.h"
 #include "util/fault.h"
 #include "util/status.h"
 
@@ -68,6 +75,12 @@ struct ServerOptions {
   uint16_t port = 0;  ///< 0 = ephemeral; the bound port is port() after Start
   uint32_t max_connections = 128;
   AdmissionController::Options admission;
+  /// Process-wide memory pool + pressure shaping. Defaults disabled: a
+  /// governed-off server behaves byte-identically to one without a governor.
+  ResourceGovernor::Options governor;
+  /// Stuck-query watchdog (sampler starts with the server; defaults never
+  /// fire before the engine's own deadline enforcement).
+  QueryWatchdog::Options watchdog;
   size_t prepared_cache_capacity = 128;
   HttpLimits http_limits;
   /// How often parked connection readers re-check the stop flag (the upper
@@ -89,6 +102,8 @@ struct ServerStats {
   uint64_t queries_cancelled = 0;   ///< ended by disconnect / write failure
   uint64_t rows_streamed = 0;
   AdmissionController::Stats admission;
+  ResourceGovernor::Stats governor;
+  QueryWatchdog::Stats watchdog;
   PreparedCache::Stats cache;
 };
 
@@ -151,22 +166,32 @@ class EqldServer {
   bool HandleSnapshotStats(HttpConnection& conn, const HttpRequest& req);
   bool HandleSnapshotOpen(HttpConnection& conn, const HttpRequest& req);
 
-  /// Derives this request's admission keys (peer IP as the enforced key,
-  /// X-EQL-Client refining it into a cooperative sub-key) and asks the
-  /// controller for a ticket. Handlers call this BEFORE any plan work so
-  /// shed clients burn no compile CPU and cannot thrash the prepared cache.
+  /// This request's admission client key: peer IP as the enforced base,
+  /// X-EQL-Client refining it into a cooperative sub-key. Also the
+  /// governor's per-client aggregate key and the watchdog report label.
+  static std::string ClientKey(HttpConnection& conn, const HttpRequest& req);
+
+  /// Asks the controller for a ticket under this request's keys and shed
+  /// class. Handlers call this BEFORE any plan work so shed clients burn no
+  /// compile CPU and cannot thrash the prepared cache.
   Result<AdmissionTicket> AdmitRequest(HttpConnection& conn,
-                                       const HttpRequest& req);
+                                       const HttpRequest& req,
+                                       RequestClass cls);
 
   /// Executes and streams one already-admitted query (shared by /query and
-  /// /execute). `prepared` resolved and `ticket` acquired by the caller;
-  /// the ticket is released after the last response byte is written.
+  /// /execute). `prepared` resolved and `ticket` acquired by the caller
+  /// (`admitted_at` = when); the ticket is released after the last response
+  /// byte is written. Leases engine memory from the governor, registers the
+  /// execution span with the watchdog, and records the admit-to-first-byte
+  /// delay that drives adaptive shedding.
   bool StreamQuery(HttpConnection& conn, const HttpRequest& req,
                    const std::shared_ptr<GraphContext>& ctx,
                    const std::shared_ptr<const PreparedQuery>& prepared,
-                   const ParamMap& params, AdmissionTicket ticket);
+                   const ParamMap& params, AdmissionTicket ticket,
+                   std::chrono::steady_clock::time_point admitted_at);
 
   /// Writes a JSON error body with the shared status -> HTTP mapping.
+  /// 429/503 answers carry `Retry-After` scaled by measured overload.
   bool WriteError(HttpConnection& conn, const Status& status);
 
   ServerOptions options_;
@@ -176,6 +201,8 @@ class EqldServer {
   std::atomic<bool> stop_{false};  ///< read by parked connection readers
 
   AdmissionController admission_;
+  ResourceGovernor governor_;
+  QueryWatchdog watchdog_;
 
   mutable std::mutex ctx_mu_;
   std::shared_ptr<GraphContext> ctx_;  ///< null until a graph is installed

@@ -1,0 +1,124 @@
+#include "server/watchdog.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace eql {
+
+QueryWatchdog::QueryWatchdog(Options options) : options_(options) {}
+
+QueryWatchdog::~QueryWatchdog() { Stop(); }
+
+void QueryWatchdog::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  running_ = true;
+  stop_ = false;
+  sampler_ = std::thread(&QueryWatchdog::Run, this);
+}
+
+void QueryWatchdog::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  sampler_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+uint64_t QueryWatchdog::Register(QueryInfo info) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t token = next_token_++;
+  Entry e;
+  e.info = std::move(info);
+  if (e.info.progress != nullptr) {
+    e.last_progress = e.info.progress->load(std::memory_order_relaxed);
+  }
+  inflight_.emplace(token, std::move(e));
+  return token;
+}
+
+bool QueryWatchdog::Unregister(uint64_t token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = inflight_.find(token);
+  if (it == inflight_.end()) return false;
+  const bool fired = it->second.fired;
+  inflight_.erase(it);
+  return fired;
+}
+
+void QueryWatchdog::Run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(options_.poll_interval_ms),
+                 [&] { return stop_; });
+    if (stop_) break;
+    Sample(Clock::now());  // mu_ held
+  }
+}
+
+void QueryWatchdog::Sample(Clock::time_point now) {
+  ++samples_;
+  // The engine gets a full poll interval past the deadline to enforce it
+  // cooperatively before the watchdog steps in — zero false positives on a
+  // healthy server is part of the contract (see header).
+  const auto slack = std::chrono::milliseconds(options_.poll_interval_ms +
+                                               options_.grace_ms);
+  for (auto& [token, e] : inflight_) {
+    if (e.fired) continue;
+    Clock::time_point effective = e.info.deadline;
+    if (options_.max_query_ms > 0) {
+      const auto cap = e.info.start + std::chrono::milliseconds(options_.max_query_ms);
+      if (cap < effective) effective = cap;
+    }
+    if (effective == Clock::time_point::max() || now <= effective + slack) {
+      // Not overdue: refresh the liveness sample and move on.
+      if (e.info.progress != nullptr) {
+        e.last_progress = e.info.progress->load(std::memory_order_relaxed);
+      }
+      continue;
+    }
+    // Overdue past the engine's own enforcement window: fire the cancel.
+    const uint64_t progress_now =
+        e.info.progress != nullptr
+            ? e.info.progress->load(std::memory_order_relaxed)
+            : 0;
+    const bool advancing = e.info.progress != nullptr &&
+                           progress_now != e.last_progress;
+    if (e.info.cancel != nullptr) {
+      e.info.cancel->store(true, std::memory_order_relaxed);
+    }
+    e.fired = true;
+    ++cancelled_;
+    if (options_.log_reports) {
+      const auto overdue_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                                  now - effective)
+                                  .count();
+      const auto age_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              now - e.info.start)
+                              .count();
+      std::fprintf(stderr,
+                   "eqld: watchdog cancelled query token=%" PRIu64
+                   " endpoint=%s client=%s age_ms=%lld overdue_ms=%lld"
+                   " progress_ticks=%" PRIu64 " advancing=%s\n",
+                   token, e.info.endpoint.c_str(), e.info.client.c_str(),
+                   static_cast<long long>(age_ms),
+                   static_cast<long long>(overdue_ms), progress_now,
+                   advancing ? "yes" : "no");
+    }
+  }
+}
+
+QueryWatchdog::Stats QueryWatchdog::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.cancelled = cancelled_;
+  s.samples = samples_;
+  s.in_flight = static_cast<uint32_t>(inflight_.size());
+  return s;
+}
+
+}  // namespace eql

@@ -1,0 +1,132 @@
+// Stuck-query watchdog for the eqld daemon.
+//
+// The engine enforces deadlines cooperatively: searches poll their deadline
+// every ~128 operations and wind down cleanly. That covers the overwhelming
+// majority of queries — but "never misses a deadline" must hold even when
+// the cooperative machinery doesn't: time spent outside poll sites (joins,
+// serialization against a slow peer), a future bug that skips a poll, or a
+// query admitted with no engine deadline at all. The watchdog turns the
+// deadline claim into an ENFORCED runtime invariant:
+//
+//   * every in-flight query is registered with its start time, deadline,
+//     cancel flag (ExecOptions::cancel) and liveness counter
+//     (ExecOptions::progress, bumped by the searches at their deadline-poll
+//     sites);
+//   * a sampler thread wakes every poll_interval_ms and, for a query past
+//     its deadline by more than the poll interval (plus grace_ms), fires
+//     the cancel flag — the same lever a disconnecting client pulls, so the
+//     query unwinds through the existing cancellation path with a
+//     well-formed partial result;
+//   * each fired cancel is counted (queries_watchdog_cancelled in /stats)
+//     and logged as one structured stderr line that includes whether the
+//     progress counter was still advancing — "stuck" and "slow but alive"
+//     are different bugs;
+//   * max_query_ms (off by default) additionally bounds EVERY query's
+//     wall-clock, deadline or not — the backstop for quotas configured with
+//     --timeout-ms 0.
+//
+// False-positive discipline: the watchdog only ever fires STRICTLY after
+// deadline + poll interval + grace, i.e. after the engine had a full extra
+// poll interval to enforce the deadline itself. A healthy server therefore
+// shows queries_watchdog_cancelled == 0 (the chaos suite asserts this on
+// idle and under clean load).
+//
+// Thread-safe. Register/Unregister are O(1) amortized; the sampler holds
+// the lock only while scanning the (small, = in-flight queries) table.
+#ifndef EQL_SERVER_WATCHDOG_H_
+#define EQL_SERVER_WATCHDOG_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+namespace eql {
+
+class QueryWatchdog {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Options {
+    /// Sampler wake interval. Also the slack added on top of a query's
+    /// deadline before the watchdog may fire (the engine gets at least one
+    /// full interval to enforce its own deadline first).
+    int poll_interval_ms = 100;
+    /// Extra slack beyond the poll interval.
+    int grace_ms = 100;
+    /// Hard wall-clock cap applied to every query independently of its
+    /// engine deadline; 0 = off. The backstop for unlimited quotas.
+    int64_t max_query_ms = 0;
+    /// Emit one structured stderr line per fired cancel.
+    bool log_reports = true;
+  };
+
+  /// One in-flight query as the watchdog sees it.
+  struct QueryInfo {
+    std::string endpoint;  ///< "/query", "/execute", ...
+    std::string client;    ///< admission client key (for the report)
+    Clock::time_point start;
+    /// Engine deadline; Clock::time_point::max() = no deadline.
+    Clock::time_point deadline;
+    /// Fired to cancel the query (not owned; must outlive the registration).
+    std::atomic<bool>* cancel = nullptr;
+    /// Liveness counter (ExecOptions::progress; not owned, may be null).
+    const std::atomic<uint64_t>* progress = nullptr;
+  };
+
+  struct Stats {
+    uint64_t cancelled = 0;  ///< queries_watchdog_cancelled
+    uint64_t samples = 0;    ///< sampler sweeps completed
+    uint32_t in_flight = 0;  ///< currently registered queries
+  };
+
+  explicit QueryWatchdog(Options options);
+  ~QueryWatchdog();  ///< implies Stop()
+  QueryWatchdog(const QueryWatchdog&) = delete;
+  QueryWatchdog& operator=(const QueryWatchdog&) = delete;
+
+  /// Spawns the sampler thread. Idempotent.
+  void Start();
+  /// Joins the sampler. Idempotent; registered queries stay registered (a
+  /// drain can still Unregister after Stop).
+  void Stop();
+
+  /// Registers one in-flight query; returns the token for Unregister.
+  /// `info.cancel` and `info.progress` must stay valid until Unregister.
+  uint64_t Register(QueryInfo info);
+
+  /// Removes a registration. Returns true when the watchdog had cancelled
+  /// this query (the caller's result will report cancelled).
+  bool Unregister(uint64_t token);
+
+  Stats GetStats() const;
+
+ private:
+  struct Entry {
+    QueryInfo info;
+    uint64_t last_progress = 0;  ///< progress value at the previous sample
+    bool fired = false;
+  };
+
+  void Run();
+  void Sample(Clock::time_point now);
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  ///< wakes the sampler early on Stop
+  bool running_ = false;
+  bool stop_ = false;
+  std::thread sampler_;
+  uint64_t next_token_ = 1;
+  std::unordered_map<uint64_t, Entry> inflight_;
+  uint64_t cancelled_ = 0;
+  uint64_t samples_ = 0;
+};
+
+}  // namespace eql
+
+#endif  // EQL_SERVER_WATCHDOG_H_

@@ -9,6 +9,12 @@
 //
 // Runs until SIGTERM/SIGINT, then drains: in-flight queries finish, idle
 // connections close, exit 0.
+//
+// Exit codes (stable — supervisors branch on them; see docs/server.md):
+//   0  clean shutdown (drained after SIGTERM/SIGINT)
+//   2  usage error (bad flag / missing graph source)
+//   3  graph load failure (snapshot unreadable/corrupt, synthetic failed)
+//   4  network failure (bind/listen: address in use, bad address, ...)
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -50,6 +56,16 @@ void Usage(std::FILE* out) {
                "                        regardless of header; 0 = off (default 0)\n"
                "  --timeout-ms N        per-query deadline, 0 = none   (default 30000)\n"
                "  --memory-budget-mb N  per-query memory cap, 0 = none (default 0)\n"
+               "\n"
+               "overload resilience (docs/server.md \"Overload & degradation\"):\n"
+               "  --max-memory-mb N     process-wide query-memory pool; per-query\n"
+               "                        budgets are leased from it and tighten\n"
+               "                        under pressure; 0 = off     (default 0)\n"
+               "  --shed-p95-ms N       shed load when admit-to-first-byte p95\n"
+               "                        exceeds N ms; 0 = off       (default 0)\n"
+               "  --max-query-ms N      watchdog hard wall-clock cap per query,\n"
+               "                        even with --timeout-ms 0; 0 = off\n"
+               "                        (default 0)\n"
                "\n"
                "engine:\n"
                "  --threads N           CTP search chunks per query    (default 0)\n"
@@ -111,6 +127,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--memory-budget-mb") {
       next(&v);
       options.admission.memory_budget_bytes = v * 1024 * 1024;
+    } else if (arg == "--max-memory-mb") {
+      next(&v);
+      options.governor.total_budget_bytes = v * 1024 * 1024;
+    } else if (arg == "--shed-p95-ms") {
+      next(&v);
+      options.admission.queue_delay_p95_ms = static_cast<int64_t>(v);
+    } else if (arg == "--max-query-ms") {
+      next(&v);
+      options.watchdog.max_query_ms = static_cast<int64_t>(v);
     } else if (arg == "--threads") {
       next(&v);
       options.engine.num_threads = static_cast<unsigned>(v);
@@ -136,9 +161,12 @@ int main(int argc, char** argv) {
   if (!snapshot_path.empty()) {
     eql::Status st = server.OpenSnapshotFile(snapshot_path);
     if (!st.ok()) {
-      std::fprintf(stderr, "eqld: open %s: %s\n", snapshot_path.c_str(),
-                   st.ToString().c_str());
-      return eql::ShellExitCodeForCode(st.code());
+      std::fprintf(stderr,
+                   "eqld: fatal: cannot serve snapshot '%s': %s\n"
+                   "eqld: check the path exists, is readable, and was "
+                   "written by eql_pack\n",
+                   snapshot_path.c_str(), st.ToString().c_str());
+      return 3;
     }
   } else {
     eql::KgParams params;
@@ -146,9 +174,9 @@ int main(int argc, char** argv) {
     params.num_edges = edges;
     auto g = eql::MakeSyntheticKg(params);
     if (!g.ok()) {
-      std::fprintf(stderr, "eqld: synthetic graph: %s\n",
+      std::fprintf(stderr, "eqld: fatal: synthetic graph generation: %s\n",
                    g.status().ToString().c_str());
-      return eql::ShellExitCodeForCode(g.status().code());
+      return 3;
     }
     server.SetGraph(std::move(g).value(),
                     "synthetic(" + std::to_string(nodes) + "," +
@@ -157,8 +185,13 @@ int main(int argc, char** argv) {
 
   eql::Status st = server.Start();
   if (!st.ok()) {
-    std::fprintf(stderr, "eqld: start: %s\n", st.ToString().c_str());
-    return eql::ShellExitCodeForCode(st.code());
+    std::fprintf(stderr,
+                 "eqld: fatal: cannot listen on %s:%u: %s\n"
+                 "eqld: check the address is local and the port is free "
+                 "(port 0 picks an ephemeral one)\n",
+                 options.bind_address.c_str(), options.port,
+                 st.ToString().c_str());
+    return 4;
   }
 
   struct sigaction sa = {};

@@ -1,0 +1,84 @@
+// Jittered exponential backoff for clients retrying shed requests.
+//
+// The eqld daemon answers overload with 429/503 plus a `Retry-After` hint
+// (server/admission.h). A client that retries immediately — or a fleet of
+// clients that all retry after exactly the hinted delay — turns one
+// overload episode into a synchronized retry storm that re-creates the
+// overload on schedule. The fix is the classic pair:
+//
+//   * EXPONENTIAL growth: attempt k waits ~initial * multiplier^(k-1),
+//     capped at max_ms, so persistent overload sheds traffic harder the
+//     longer it lasts;
+//   * JITTER: the actual delay is drawn uniformly from
+//     [delay * (1 - jitter), delay], so retries desynchronize even when
+//     every client received the same Retry-After value.
+//
+// A server hint REPLACES the exponential base for that attempt (the server
+// knows its own queue better than the client's guess) but still gets
+// jittered, and is still capped at max_ms so a hostile or confused hint
+// cannot park a client forever.
+//
+// Deterministic: all randomness comes from the seeded Rng (util/rng.h), so
+// bench runs and tests reproduce byte-for-byte from their seeds.
+#ifndef EQL_UTIL_BACKOFF_H_
+#define EQL_UTIL_BACKOFF_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace eql {
+
+struct BackoffPolicy {
+  int64_t initial_ms = 100;  ///< delay base for the first retry
+  double multiplier = 2.0;   ///< growth per attempt
+  int64_t max_ms = 10000;    ///< hard cap on any single delay
+  /// Fraction of the computed delay that is randomized: the drawn delay is
+  /// uniform in [delay * (1 - jitter), delay]. 0 = fully deterministic.
+  double jitter = 0.5;
+  /// Retries after the initial attempt; ShouldRetry(attempt) is true for
+  /// attempt in [1, max_attempts].
+  int max_attempts = 5;
+};
+
+class Backoff {
+ public:
+  explicit Backoff(BackoffPolicy policy = {}, uint64_t seed = 1)
+      : policy_(policy), rng_(seed) {}
+
+  bool ShouldRetry(int attempt) const {
+    return attempt >= 1 && attempt <= policy_.max_attempts;
+  }
+
+  /// Delay in ms before retry `attempt` (1-based). `server_hint_s` >= 0 is
+  /// a server-provided Retry-After in seconds; it replaces the exponential
+  /// base but is jittered and capped like any other delay.
+  int64_t NextDelayMs(int attempt, int server_hint_s = -1) {
+    double base;
+    if (server_hint_s >= 0) {
+      base = static_cast<double>(server_hint_s) * 1000.0;
+      if (base < static_cast<double>(policy_.initial_ms)) {
+        base = static_cast<double>(policy_.initial_ms);
+      }
+    } else {
+      base = static_cast<double>(policy_.initial_ms);
+      for (int i = 1; i < attempt; ++i) base *= policy_.multiplier;
+    }
+    base = std::min(base, static_cast<double>(policy_.max_ms));
+    const double lo = base * (1.0 - policy_.jitter);
+    const double drawn = lo + (base - lo) * rng_.NextDouble();
+    const auto ms = static_cast<int64_t>(drawn);
+    return std::max<int64_t>(ms, 0);
+  }
+
+  const BackoffPolicy& policy() const { return policy_; }
+
+ private:
+  BackoffPolicy policy_;
+  Rng rng_;
+};
+
+}  // namespace eql
+
+#endif  // EQL_UTIL_BACKOFF_H_

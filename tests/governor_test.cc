@@ -1,0 +1,416 @@
+// Unit tests for the overload-resilience building blocks: the process-wide
+// resource governor (src/server/governor.h), the stuck-query watchdog
+// (src/server/watchdog.h), jittered client backoff (src/util/backoff.h) and
+// the admission controller's adaptive shedding (src/server/admission.h).
+// The end-to-end behavior of the assembled server lives in
+// server_chaos_test.cc; this file pins the contracts of each piece.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "server/admission.h"
+#include "server/governor.h"
+#include "server/http.h"
+#include "server/watchdog.h"
+#include "util/backoff.h"
+
+namespace eql {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr uint64_t kMiB = 1ull << 20;
+
+// ---- ResourceGovernor ------------------------------------------------------
+
+TEST(GovernorTest, DisabledGovernorIsPassThrough) {
+  ResourceGovernor governor(ResourceGovernor::Options{});  // total 0 = off
+  EXPECT_FALSE(governor.enabled());
+
+  // Quotas come back untouched, including the 0 = unlimited budget.
+  auto q = governor.EffectiveQuota(30000, 0);
+  EXPECT_EQ(q.query_timeout_ms, 30000);
+  EXPECT_EQ(q.memory_budget_bytes, 0u);
+  q = governor.EffectiveQuota(0, 7 * kMiB);
+  EXPECT_EQ(q.query_timeout_ms, 0);
+  EXPECT_EQ(q.memory_budget_bytes, 7 * kMiB);
+
+  // Acquire always succeeds with the caller's bytes and accounts nothing.
+  auto lease = governor.Acquire("a", 7 * kMiB);
+  ASSERT_TRUE(lease.ok());
+  EXPECT_EQ(lease->bytes(), 7 * kMiB);
+  auto s = governor.GetStats();
+  EXPECT_EQ(s.leased_bytes, 0u);
+  EXPECT_EQ(s.active_leases, 0u);
+  EXPECT_EQ(s.granted, 0u);
+  EXPECT_EQ(s.pressure, PressureLevel::kNominal);
+}
+
+TEST(GovernorTest, LeasesAreAccountedAndReleased) {
+  ResourceGovernor::Options opt;
+  opt.total_budget_bytes = 100 * kMiB;
+  ResourceGovernor governor(opt);
+  ASSERT_TRUE(governor.enabled());
+  {
+    auto a = governor.Acquire("a", 10 * kMiB);
+    auto b = governor.Acquire("b", 20 * kMiB);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->bytes(), 10 * kMiB);
+    auto s = governor.GetStats();
+    EXPECT_EQ(s.leased_bytes, 30 * kMiB);
+    EXPECT_EQ(s.active_leases, 2u);
+    EXPECT_EQ(s.clients_with_leases, 2u);
+  }
+  // RAII: both leases returned to the pool on scope exit.
+  auto s = governor.GetStats();
+  EXPECT_EQ(s.leased_bytes, 0u);
+  EXPECT_EQ(s.active_leases, 0u);
+  EXPECT_EQ(s.clients_with_leases, 0u);
+  EXPECT_EQ(s.granted, 2u);
+}
+
+TEST(GovernorTest, GrantsShrinkBeforeTheyFail) {
+  ResourceGovernor::Options opt;
+  opt.total_budget_bytes = 100 * kMiB;
+  opt.max_client_fraction = 1.0;  // isolate the pool-headroom behavior
+  ResourceGovernor governor(opt);
+
+  auto big = governor.Acquire("a", 90 * kMiB);
+  ASSERT_TRUE(big.ok());
+  // 10 MiB of headroom left: a 40 MiB ask is clamped, not refused.
+  auto clamped = governor.Acquire("b", 40 * kMiB);
+  ASSERT_TRUE(clamped.ok());
+  EXPECT_EQ(clamped->bytes(), 10 * kMiB);
+  EXPECT_GE(governor.GetStats().tightened, 1u);
+  // Below min_lease_bytes of headroom: now the pool refuses (503-shaped).
+  auto refused = governor.Acquire("c", kMiB);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(governor.GetStats().rejected_pool, 1u);
+}
+
+TEST(GovernorTest, ClientAggregateShareIsEnforced) {
+  ResourceGovernor::Options opt;
+  opt.total_budget_bytes = 100 * kMiB;
+  opt.max_client_fraction = 0.4;  // one client may hold at most 40 MiB
+  ResourceGovernor governor(opt);
+
+  auto first = governor.Acquire("hog", 30 * kMiB);
+  ASSERT_TRUE(first.ok());
+  // The next ask is clamped to the client's remaining share, not the pool's.
+  auto second = governor.Acquire("hog", 30 * kMiB);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->bytes(), 10 * kMiB);
+  // Share spent: the hog is refused (429-shaped)...
+  auto third = governor.Acquire("hog", 10 * kMiB);
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(governor.GetStats().rejected_client, 1u);
+  // ...while another client is still served from the remaining pool.
+  auto other = governor.Acquire("polite", 10 * kMiB);
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(other->bytes(), 10 * kMiB);
+}
+
+TEST(GovernorTest, PressureTightensNewQuotasProgressively) {
+  ResourceGovernor::Options opt;
+  opt.total_budget_bytes = 100 * kMiB;
+  opt.max_client_fraction = 1.0;
+  ResourceGovernor governor(opt);
+  EXPECT_EQ(governor.pressure(), PressureLevel::kNominal);
+  auto base = governor.EffectiveQuota(8000, 32 * kMiB);
+  EXPECT_EQ(base.query_timeout_ms, 8000);
+  EXPECT_EQ(base.memory_budget_bytes, 32 * kMiB);
+
+  auto half = governor.Acquire("a", 50 * kMiB);  // 50% leased
+  ASSERT_TRUE(half.ok());
+  EXPECT_EQ(governor.pressure(), PressureLevel::kElevated);
+  auto elevated = governor.EffectiveQuota(8000, 32 * kMiB);
+  EXPECT_EQ(elevated.query_timeout_ms, 4000);
+  EXPECT_EQ(elevated.memory_budget_bytes, 16 * kMiB);
+
+  auto more = governor.Acquire("b", 30 * kMiB);  // 80% leased
+  ASSERT_TRUE(more.ok());
+  EXPECT_EQ(governor.pressure(), PressureLevel::kCritical);
+  auto critical = governor.EffectiveQuota(8000, 32 * kMiB);
+  EXPECT_EQ(critical.query_timeout_ms, 2000);
+  EXPECT_EQ(critical.memory_budget_bytes, 8 * kMiB);
+
+  // Tightening floors: never below 100ms / min_lease_bytes.
+  auto floored = governor.EffectiveQuota(200, kMiB);
+  EXPECT_EQ(floored.query_timeout_ms, 100);
+  EXPECT_EQ(floored.memory_budget_bytes, kMiB);
+}
+
+TEST(GovernorTest, UnlimitedBudgetBecomesDefaultLeaseWhenGoverned) {
+  ResourceGovernor::Options opt;
+  opt.total_budget_bytes = 256 * kMiB;
+  opt.default_lease_bytes = 64 * kMiB;
+  ResourceGovernor governor(opt);
+  auto q = governor.EffectiveQuota(0, 0);
+  EXPECT_EQ(q.memory_budget_bytes, 64 * kMiB);
+  EXPECT_EQ(q.query_timeout_ms, 0) << "no pressure: timeout untouched";
+}
+
+// ---- QueryWatchdog ---------------------------------------------------------
+
+TEST(WatchdogTest, FiresCancelForOverdueQuery) {
+  QueryWatchdog::Options opt;
+  opt.poll_interval_ms = 10;
+  opt.grace_ms = 10;
+  opt.log_reports = false;
+  QueryWatchdog watchdog(opt);
+  watchdog.Start();
+
+  std::atomic<bool> cancel{false};
+  std::atomic<uint64_t> progress{0};
+  QueryWatchdog::QueryInfo info;
+  info.endpoint = "/query";
+  info.client = "test";
+  info.start = QueryWatchdog::Clock::now();
+  info.deadline = info.start + 20ms;  // engine "misses" this deadline
+  info.cancel = &cancel;
+  info.progress = &progress;
+  const uint64_t token = watchdog.Register(info);
+
+  // The flag must be up within deadline + poll + grace + a few sweeps.
+  const auto until = std::chrono::steady_clock::now() + 2s;
+  while (!cancel.load() && std::chrono::steady_clock::now() < until) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_TRUE(cancel.load());
+  EXPECT_TRUE(watchdog.Unregister(token)) << "Unregister reports the fire";
+  EXPECT_EQ(watchdog.GetStats().cancelled, 1u);
+  watchdog.Stop();
+}
+
+TEST(WatchdogTest, NeverFiresBeforeDeadlinePlusSlack) {
+  QueryWatchdog::Options opt;
+  opt.poll_interval_ms = 10;
+  opt.grace_ms = 10;
+  opt.log_reports = false;
+  QueryWatchdog watchdog(opt);
+  watchdog.Start();
+
+  std::atomic<bool> cancel{false};
+  QueryWatchdog::QueryInfo info;
+  info.endpoint = "/query";
+  info.client = "test";
+  info.start = QueryWatchdog::Clock::now();
+  info.deadline = info.start + 10s;  // far away
+  info.cancel = &cancel;
+  const uint64_t token = watchdog.Register(info);
+  std::this_thread::sleep_for(100ms);  // many sampler sweeps
+  EXPECT_FALSE(cancel.load());
+  EXPECT_FALSE(watchdog.Unregister(token));
+  EXPECT_EQ(watchdog.GetStats().cancelled, 0u);
+  watchdog.Stop();
+}
+
+TEST(WatchdogTest, NoDeadlineNeverFiresWithoutMaxQueryMs) {
+  QueryWatchdog::Options opt;
+  opt.poll_interval_ms = 10;
+  opt.grace_ms = 0;
+  opt.log_reports = false;
+  QueryWatchdog watchdog(opt);
+  watchdog.Start();
+  std::atomic<bool> cancel{false};
+  QueryWatchdog::QueryInfo info;
+  info.endpoint = "/query";
+  info.start = QueryWatchdog::Clock::now();
+  info.deadline = QueryWatchdog::Clock::time_point::max();
+  info.cancel = &cancel;
+  const uint64_t token = watchdog.Register(info);
+  std::this_thread::sleep_for(100ms);
+  EXPECT_FALSE(cancel.load());
+  watchdog.Unregister(token);
+  watchdog.Stop();
+}
+
+TEST(WatchdogTest, MaxQueryMsBoundsDeadlinelessQueries) {
+  QueryWatchdog::Options opt;
+  opt.poll_interval_ms = 10;
+  opt.grace_ms = 0;
+  opt.max_query_ms = 30;  // the backstop for --timeout-ms 0 quotas
+  opt.log_reports = false;
+  QueryWatchdog watchdog(opt);
+  watchdog.Start();
+  std::atomic<bool> cancel{false};
+  QueryWatchdog::QueryInfo info;
+  info.endpoint = "/execute";
+  info.start = QueryWatchdog::Clock::now();
+  info.deadline = QueryWatchdog::Clock::time_point::max();
+  info.cancel = &cancel;
+  const uint64_t token = watchdog.Register(info);
+  const auto until = std::chrono::steady_clock::now() + 2s;
+  while (!cancel.load() && std::chrono::steady_clock::now() < until) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_TRUE(cancel.load());
+  EXPECT_TRUE(watchdog.Unregister(token));
+  watchdog.Stop();
+}
+
+TEST(WatchdogTest, StartStopIdempotentAndUnregisterAfterStop) {
+  QueryWatchdog watchdog(QueryWatchdog::Options{});
+  watchdog.Start();
+  watchdog.Start();
+  std::atomic<bool> cancel{false};
+  QueryWatchdog::QueryInfo info;
+  info.start = QueryWatchdog::Clock::now();
+  info.deadline = QueryWatchdog::Clock::time_point::max();
+  info.cancel = &cancel;
+  const uint64_t token = watchdog.Register(info);
+  watchdog.Stop();
+  watchdog.Stop();
+  EXPECT_FALSE(watchdog.Unregister(token)) << "drain after Stop is legal";
+}
+
+// ---- Backoff ---------------------------------------------------------------
+
+TEST(BackoffTest, DelaysGrowAndStayWithinJitterWindow) {
+  BackoffPolicy policy;
+  policy.initial_ms = 100;
+  policy.multiplier = 2.0;
+  policy.max_ms = 10000;
+  policy.jitter = 0.5;
+  Backoff backoff(policy, /*seed=*/42);
+  for (int attempt = 1; attempt <= 5; ++attempt) {
+    const double base =
+        std::min(100.0 * (1 << (attempt - 1)), 10000.0);
+    const int64_t d = backoff.NextDelayMs(attempt);
+    EXPECT_GE(d, static_cast<int64_t>(base * 0.5) - 1) << "attempt " << attempt;
+    EXPECT_LE(d, static_cast<int64_t>(base)) << "attempt " << attempt;
+  }
+}
+
+TEST(BackoffTest, DeterministicFromSeed) {
+  BackoffPolicy policy;
+  Backoff a(policy, 7);
+  Backoff b(policy, 7);
+  for (int attempt = 1; attempt <= 4; ++attempt) {
+    EXPECT_EQ(a.NextDelayMs(attempt), b.NextDelayMs(attempt));
+  }
+}
+
+TEST(BackoffTest, ServerHintReplacesExponentialBase) {
+  BackoffPolicy policy;
+  policy.initial_ms = 100;
+  policy.jitter = 0.0;  // exact values
+  policy.max_ms = 5000;
+  Backoff backoff(policy, 1);
+  EXPECT_EQ(backoff.NextDelayMs(1, /*server_hint_s=*/2), 2000);
+  // A hostile hint is capped at max_ms.
+  EXPECT_EQ(backoff.NextDelayMs(1, /*server_hint_s=*/3600), 5000);
+  // A zero hint is floored at initial_ms (no hot retry loops).
+  EXPECT_EQ(backoff.NextDelayMs(1, /*server_hint_s=*/0), 100);
+}
+
+TEST(BackoffTest, ShouldRetryHonorsMaxAttempts) {
+  BackoffPolicy policy;
+  policy.max_attempts = 3;
+  Backoff backoff(policy, 1);
+  EXPECT_FALSE(backoff.ShouldRetry(0));
+  EXPECT_TRUE(backoff.ShouldRetry(1));
+  EXPECT_TRUE(backoff.ShouldRetry(3));
+  EXPECT_FALSE(backoff.ShouldRetry(4));
+}
+
+// ---- Adaptive shedding (AdmissionController) -------------------------------
+
+AdmissionController::Options ShedOptions(int64_t bound_ms) {
+  AdmissionController::Options opt;
+  opt.max_concurrent = 0;       // isolate the shed gate from the fixed caps
+  opt.per_client_concurrent = 0;
+  opt.queue_delay_p95_ms = bound_ms;
+  return opt;
+}
+
+void Record(AdmissionController& ac, double ms, int n) {
+  for (int i = 0; i < n; ++i) ac.RecordQueueDelay(ms);
+}
+
+TEST(SheddingTest, NoSheddingBelowBoundOrWithoutSamples) {
+  AdmissionController ac(ShedOptions(100));
+  // Too few samples: the window is not trusted yet.
+  Record(ac, 100000.0, 8);
+  EXPECT_TRUE(ac.Admit("a").ok());
+  // Enough samples but under the bound.
+  AdmissionController healthy(ShedOptions(100));
+  Record(healthy, 50.0, 32);
+  EXPECT_TRUE(healthy.Admit("a").ok());
+  EXPECT_EQ(healthy.RetryAfterSeconds(), 1);
+}
+
+TEST(SheddingTest, ShedsCheapestClassFirst) {
+  // p95 ~ 150ms against a 100ms bound: overload 1.5x — only ad-hoc shed.
+  AdmissionController ac(ShedOptions(100));
+  Record(ac, 150.0, 32);
+  auto adhoc = ac.Admit("a", "", RequestClass::kAdhoc);
+  EXPECT_FALSE(adhoc.ok());
+  EXPECT_EQ(adhoc.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(ac.Admit("a", "", RequestClass::kPrepare).ok());
+  EXPECT_TRUE(ac.Admit("a", "", RequestClass::kPrepared).ok());
+  auto s = ac.GetStats();
+  EXPECT_EQ(s.shed_adhoc, 1u);
+  EXPECT_EQ(s.shed_prepare, 0u);
+  EXPECT_EQ(s.shed_prepared, 0u);
+  EXPECT_GT(s.queue_delay_p95_ms, 100);
+}
+
+TEST(SheddingTest, DeeperOverloadShedsMoreClasses) {
+  // ~3x the bound: ad-hoc and prepare shed, prepared still served.
+  AdmissionController mid(ShedOptions(100));
+  Record(mid, 300.0, 32);
+  EXPECT_FALSE(mid.Admit("a", "", RequestClass::kAdhoc).ok());
+  EXPECT_FALSE(mid.Admit("a", "", RequestClass::kPrepare).ok());
+  EXPECT_TRUE(mid.Admit("a", "", RequestClass::kPrepared).ok());
+
+  // ~8x the bound: everything sheds, and Retry-After scales with overload.
+  AdmissionController deep(ShedOptions(100));
+  Record(deep, 800.0, 32);
+  EXPECT_FALSE(deep.Admit("a", "", RequestClass::kAdhoc).ok());
+  EXPECT_FALSE(deep.Admit("a", "", RequestClass::kPrepare).ok());
+  EXPECT_FALSE(deep.Admit("a", "", RequestClass::kPrepared).ok());
+  EXPECT_EQ(deep.RetryAfterSeconds(), 8);
+  auto s = deep.GetStats();
+  EXPECT_EQ(s.shed_adhoc + s.shed_prepare + s.shed_prepared, 3u);
+}
+
+TEST(SheddingTest, RecoversWhenDelayDrains) {
+  AdmissionController ac(ShedOptions(100));
+  Record(ac, 800.0, 32);
+  EXPECT_FALSE(ac.Admit("a", "", RequestClass::kAdhoc).ok());
+  // The window slides: fresh healthy samples displace the spike.
+  Record(ac, 10.0, 128);
+  EXPECT_TRUE(ac.Admit("a", "", RequestClass::kAdhoc).ok());
+  EXPECT_EQ(ac.RetryAfterSeconds(), 1);
+}
+
+TEST(SheddingTest, RetryAfterIsCapped) {
+  AdmissionController ac(ShedOptions(10));
+  Record(ac, 100000.0, 32);
+  EXPECT_EQ(ac.RetryAfterSeconds(), 30);
+}
+
+// ---- Retry-After parsing (client side) -------------------------------------
+
+TEST(RetryAfterTest, ParsesDeltaSeconds) {
+  HttpResponse r;
+  EXPECT_EQ(RetryAfterSeconds(r), -1) << "absent header";
+  r.headers["retry-after"] = "7";
+  EXPECT_EQ(RetryAfterSeconds(r), 7);
+  r.headers["retry-after"] = "0";
+  EXPECT_EQ(RetryAfterSeconds(r), 0);
+  r.headers["retry-after"] = "Wed, 21 Oct 2015 07:28:00 GMT";
+  EXPECT_EQ(RetryAfterSeconds(r), -1) << "HTTP-date form is not emitted";
+  r.headers["retry-after"] = "99999999999";
+  EXPECT_EQ(RetryAfterSeconds(r), 86400) << "clamped to one day";
+}
+
+}  // namespace
+}  // namespace eql

@@ -1,0 +1,441 @@
+// End-to-end tests for eqld's overload-resilience layer: the resource
+// governor, adaptive shedding with Retry-After, the stuck-query watchdog,
+// and graph hot-swap racing in-flight streams. Companion to server_test.cc
+// (same idioms: real loopback sockets, BlockedQuery to pin admission slots
+// and leases, the in-process engine as the byte-identity oracle); the
+// per-component contracts live in governor_test.cc. This suite also runs
+// under ThreadSanitizer in CI — the governor/watchdog/shed paths are
+// exactly where new cross-thread state lives.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "eval/engine.h"
+#include "gen/kg.h"
+#include "graph/snapshot.h"
+#include "server/format.h"
+#include "server/http.h"
+#include "server/server.h"
+#include "test_util.h"
+
+namespace eql {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr uint64_t kMiB = 1ull << 20;
+
+// Same workload staples as server_test.cc (see the comments there).
+constexpr const char* kConnectQuery =
+    "SELECT ?w WHERE { CONNECT(\"Bob\", \"Carole\" -> ?w) MAX 3 }";
+constexpr const char* kBigQuery =
+    "SELECT ?w WHERE { CONNECT(\"n1\", \"n2\" -> ?w) MAX 3 }";
+constexpr const char* kScanQuery = "SELECT ?s ?p ?o WHERE { ?s ?p ?o . }";
+
+Graph MakeKg(uint32_t nodes = 10000, uint64_t edges = 40000) {
+  KgParams params;
+  params.num_nodes = nodes;
+  params.num_edges = edges;
+  auto g = MakeSyntheticKg(params);
+  EXPECT_TRUE(g.ok()) << g.status().ToString();
+  return std::move(g).value();
+}
+
+// A graph whose full scan (~8.5 MB of tsv) exceeds any autotuned kernel
+// send buffer, so a BlockedQuery deterministically pins its server thread
+// in the chunk write. The default 40000-edge scan (~1.1 MB) can fit
+// entirely in the socket buffers and complete without ever blocking.
+Graph MakePinningKg() { return MakeKg(10000, 300000); }
+
+std::string InProcessBytes(const Graph& g, const std::string& query,
+                           ResultFormat format) {
+  EqlEngine engine(g);
+  auto prepared = engine.Prepare(query);
+  EXPECT_TRUE(prepared.ok()) << prepared.status().ToString();
+  StringByteSink out;
+  SerializingSink sink(g, format, out);
+  auto r = prepared->Execute({}, sink);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  sink.Finish(FinishInfo{r->outcome, 0});
+  return out.out;
+}
+
+bool WaitFor(const std::function<bool()>& pred,
+             std::chrono::milliseconds deadline = 5000ms) {
+  auto until = std::chrono::steady_clock::now() + deadline;
+  while (std::chrono::steady_clock::now() < until) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(5ms);
+  }
+  return pred();
+}
+
+/// Pins an admission slot (and its governor lease): tiny SO_RCVBUF + an
+/// unread scan response blocks the server in its chunk write until Drain()
+/// or Close(). Identical to the server_test.cc helper.
+class BlockedQuery {
+ public:
+  BlockedQuery(uint16_t port, const std::string& client_name,
+               const char* query = kScanQuery) {
+    Send(port, client_name, query);
+  }
+  void Send(uint16_t port, const std::string& client_name, const char* query) {
+    auto fd = TcpConnect("127.0.0.1", port);
+    ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+    fd_ = *fd;
+    int rcvbuf = 4096;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+    const std::string body = query;
+    std::string req = "POST /query?format=tsv HTTP/1.1\r\nHost: eqld\r\n";
+    req += "X-EQL-Client: " + client_name + "\r\n";
+    req += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+    req += body;
+    ASSERT_EQ(::send(fd_, req.data(), req.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(req.size()));
+  }
+  ~BlockedQuery() { Close(); }
+
+  HttpResponse Drain() {
+    // Restore a full-size receive buffer first: the window scale was
+    // negotiated before Send() shrank the buffer, so the window reopens
+    // and the drain runs at loopback speed instead of ~30 KB/s (tiny
+    // windows + delayed ACKs — slow enough to trip engine deadlines).
+    int big = 1 << 20;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &big, sizeof(big));
+    HttpResponse resp;
+    std::string buffer;
+    // Generous idle timeout: under TSan the engine's inter-chunk compute
+    // gaps stretch well past the default 10 s, and a premature client
+    // timeout here would misread a healthy slow stream as truncation.
+    Status st = ReadHttpResponse(fd_, &buffer, &resp, /*idle_timeout_ms=*/
+                                 120000);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return resp;
+  }
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+uint64_t StatsInFlight(EqldServer& server) {
+  return server.GetStats().admission.in_flight;
+}
+
+// ---- control-plane bypass --------------------------------------------------
+
+// Regression: /health and /stats must NEVER pass through admission or the
+// governor. A saturated global cap with the memory pool fully leased (i.e.
+// critical pressure) is exactly when an operator needs them to answer.
+TEST(ServerChaosTest, HealthAndStatsBypassSaturationAndCriticalPressure) {
+  ServerOptions options;
+  options.admission.max_concurrent = 1;
+  options.admission.memory_budget_bytes = 8 * kMiB;
+  options.governor.total_budget_bytes = 8 * kMiB;  // one lease spends it all
+  options.governor.max_client_fraction = 1.0;
+  EqldServer server(options);
+  server.SetGraph(MakePinningKg(), "kg");
+  ASSERT_TRUE(server.Start().ok());
+
+  BlockedQuery blocked(server.port(), "hog");
+  ASSERT_TRUE(WaitFor([&] { return StatsInFlight(server) == 1; }));
+  ASSERT_TRUE(WaitFor([&] {
+    return server.GetStats().governor.pressure == PressureLevel::kCritical;
+  })) << "the single lease should spend the whole pool";
+
+  // Queries are refused (the cap is full)...
+  auto q = HttpFetch("127.0.0.1", server.port(), "POST", "/query", kScanQuery);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->status, 503);
+
+  // ...but the control plane answers as if the server were idle.
+  auto h = HttpFetch("127.0.0.1", server.port(), "GET", "/health");
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->status, 200);
+  EXPECT_EQ(h->body, "ok\n");
+  auto s = HttpFetch("127.0.0.1", server.port(), "GET", "/stats");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->status, 200);
+  EXPECT_NE(s->body.find("\"pressure\":\"critical\""), std::string::npos)
+      << s->body;
+
+  blocked.Drain();
+  // Quiesce: every lease returned, nothing stuck.
+  EXPECT_TRUE(WaitFor([&] {
+    auto st = server.GetStats();
+    return st.admission.in_flight == 0 && st.governor.leased_bytes == 0 &&
+           st.governor.active_leases == 0;
+  }));
+  server.Shutdown();
+}
+
+// ---- Retry-After contract --------------------------------------------------
+
+TEST(ServerChaosTest, RejectionsCarryRetryAfter) {
+  ServerOptions options;
+  options.admission.max_concurrent = 4;
+  options.admission.per_client_concurrent = 1;
+  EqldServer server(options);
+  server.SetGraph(MakePinningKg(), "kg");
+  ASSERT_TRUE(server.Start().ok());
+
+  BlockedQuery blocked(server.port(), "greedy");
+  ASSERT_TRUE(WaitFor([&] { return StatsInFlight(server) == 1; }));
+
+  // Per-client 429: pushed back with a Retry-After the client can obey.
+  auto r = HttpFetch("127.0.0.1", server.port(), "POST", "/query", kScanQuery,
+                     {"X-EQL-Client: greedy"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 429);
+  EXPECT_GE(RetryAfterSeconds(*r), 1) << "429 without Retry-After";
+
+  blocked.Drain();
+
+  // Global 503 (cap 1 this time) carries it too.
+  ServerOptions tight;
+  tight.admission.max_concurrent = 1;
+  EqldServer small(tight);
+  small.SetGraph(MakePinningKg(), "kg");
+  ASSERT_TRUE(small.Start().ok());
+  BlockedQuery pin(small.port(), "a");
+  ASSERT_TRUE(WaitFor([&] { return StatsInFlight(small) == 1; }));
+  auto g = HttpFetch("127.0.0.1", small.port(), "POST", "/query", kScanQuery);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->status, 503);
+  EXPECT_GE(RetryAfterSeconds(*g), 1) << "503 without Retry-After";
+  pin.Drain();
+  small.Shutdown();
+  server.Shutdown();
+}
+
+TEST(ServerChaosTest, GovernorPoolExhaustionShedsWithRetryAfter) {
+  ServerOptions options;
+  options.admission.memory_budget_bytes = 8 * kMiB;
+  options.governor.total_budget_bytes = 8 * kMiB;
+  options.governor.max_client_fraction = 1.0;
+  EqldServer server(options);
+  server.SetGraph(MakePinningKg(), "kg");
+  ASSERT_TRUE(server.Start().ok());
+
+  // The blocked query leases the whole pool; admission itself has room.
+  BlockedQuery blocked(server.port(), "hog");
+  ASSERT_TRUE(WaitFor(
+      [&] { return server.GetStats().governor.leased_bytes == 8 * kMiB; }));
+
+  auto r = HttpFetch("127.0.0.1", server.port(), "POST", "/query", kScanQuery,
+                     {"X-EQL-Client: other"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 503) << "pool exhausted maps to 503";
+  EXPECT_GE(RetryAfterSeconds(*r), 1);
+  EXPECT_GE(server.GetStats().governor.rejected_pool, 1u);
+
+  blocked.Drain();
+  EXPECT_TRUE(WaitFor(
+      [&] { return server.GetStats().governor.leased_bytes == 0; }));
+  // Recovered: the same client is served now.
+  auto ok = HttpFetch("127.0.0.1", server.port(), "POST", "/query",
+                      kScanQuery, {"X-EQL-Client: other"});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->status, 200);
+  server.Shutdown();
+}
+
+// ---- watchdog --------------------------------------------------------------
+
+TEST(ServerChaosTest, WatchdogCancelsDeadlinelessStuckQuery) {
+  ServerOptions options;
+  options.admission.query_timeout_ms = 0;  // no engine deadline at all
+  options.watchdog.poll_interval_ms = 50;
+  options.watchdog.grace_ms = 50;
+  options.watchdog.max_query_ms = 300;  // the backstop under test
+  options.watchdog.log_reports = false;
+  EqldServer server(options);
+  server.SetGraph(MakeKg(), "kg");
+  ASSERT_TRUE(server.Start().ok());
+
+  // A multi-second tree search with no deadline: only the watchdog can end
+  // it. The cancel unwinds through the normal path, so the client still
+  // receives a complete, well-formed partial document.
+  auto r = HttpFetch("127.0.0.1", server.port(), "POST",
+                     "/query?format=json", kBigQuery);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->status, 200);
+  EXPECT_NE(r->body.find("\"outcome\":\"cancelled\""), std::string::npos)
+      << r->body;
+
+  auto stats = server.GetStats();
+  EXPECT_GE(stats.watchdog.cancelled, 1u);
+  auto s = HttpFetch("127.0.0.1", server.port(), "GET", "/stats");
+  ASSERT_TRUE(s.ok());
+  EXPECT_NE(s->body.find("\"queries_watchdog_cancelled\":"),
+            std::string::npos);
+  server.Shutdown();
+}
+
+TEST(ServerChaosTest, WatchdogZeroFalsePositivesOnCleanLoad) {
+  ServerOptions options;  // default watchdog: engine deadlines enforce first
+  EqldServer server(options);
+  Graph g = MakeFigure1Graph();
+  const std::string expected =
+      InProcessBytes(g, kConnectQuery, ResultFormat::kJson);
+  server.SetGraph(std::move(g), "figure1");
+  ASSERT_TRUE(server.Start().ok());
+
+  for (int i = 0; i < 20; ++i) {
+    auto r = HttpFetch("127.0.0.1", server.port(), "POST",
+                       "/query?format=json", kConnectQuery);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(r->status, 200);
+    EXPECT_EQ(r->body, expected) << "response " << i << " not byte-identical";
+  }
+  EXPECT_EQ(server.GetStats().watchdog.cancelled, 0u)
+      << "watchdog fired on a healthy server";
+  server.Shutdown();
+}
+
+// ---- hot-swap racing in-flight streams -------------------------------------
+
+// /snapshot/open while streams are in flight on the old graph: every stream
+// must either complete byte-identical to the OLD graph's reference or be
+// hard-truncated — never mix rows from two graphs — and requests admitted
+// after the swap must serve the NEW graph. The old mapping stays alive until
+// the last in-flight ticket releases its shared_ptr<GraphContext>.
+TEST(ServerChaosTest, HotSwapRacesInFlightStreams) {
+  namespace fs = std::filesystem;
+  const std::string dir = ::testing::TempDir();
+  const std::string path_a = (fs::path(dir) / "chaos_a.snap").string();
+  const std::string path_b = (fs::path(dir) / "chaos_b.snap").string();
+
+  Graph a = MakePinningKg();
+  Graph b = MakeKg(8000, 24000);  // different topology, same label scheme
+  ASSERT_TRUE(WriteSnapshot(a, path_a).ok());
+  ASSERT_TRUE(WriteSnapshot(b, path_b).ok());
+  const std::string scan_a = InProcessBytes(a, kScanQuery, ResultFormat::kTsv);
+  const std::string scan_b = InProcessBytes(b, kScanQuery, ResultFormat::kTsv);
+  ASSERT_NE(scan_a, scan_b);
+
+  ServerOptions options;
+  options.admission.per_client_concurrent = 0;  // all streams, one test client
+  options.admission.query_timeout_ms = 0;  // blocked streams must not expire
+  EqldServer server(options);
+  ASSERT_TRUE(server.OpenSnapshotFile(path_a).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  // Pin several streams mid-flight on graph A.
+  constexpr int kStreams = 4;
+  std::vector<std::unique_ptr<BlockedQuery>> blocked;
+  for (int i = 0; i < kStreams; ++i) {
+    blocked.push_back(
+        std::make_unique<BlockedQuery>(server.port(), "swap-test"));
+  }
+  ASSERT_TRUE(WaitFor(
+      [&] { return StatsInFlight(server) == kStreams; }));
+
+  // Swap to B while they are blocked in their chunk writes.
+  auto swap = HttpFetch("127.0.0.1", server.port(), "POST", "/snapshot/open",
+                        path_b);
+  ASSERT_TRUE(swap.ok()) << swap.status().ToString();
+  EXPECT_EQ(swap->status, 200);
+
+  // In-flight streams complete against A, byte-identical — no mixing.
+  for (auto& q : blocked) {
+    HttpResponse r = q->Drain();
+    EXPECT_EQ(r.status, 200);
+    EXPECT_EQ(r.body, scan_a) << "in-flight stream not byte-identical to the "
+                                 "pre-swap graph";
+  }
+  EXPECT_TRUE(WaitFor([&] { return StatsInFlight(server) == 0; }, 20000ms));
+
+  // Post-swap requests serve B.
+  auto after = HttpFetch("127.0.0.1", server.port(), "POST",
+                         "/query?format=tsv", kScanQuery);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->status, 200);
+  EXPECT_EQ(after->body, scan_b);
+  server.Shutdown();
+}
+
+// A client that requests a big scan and then never reads parks the server's
+// connection thread in its chunk write (::send on a full socket buffer).
+// Shutdown must abort that write — surfacing as hard truncation — and
+// finish draining: a non-reading peer cannot hang the server's exit. (The
+// read-side twin, a half-sent request stalling Shutdown, was fixed in the
+// PR 9 review; this pins the write side.)
+TEST(ServerChaosTest, ShutdownUnblocksSendStalledStream) {
+  ServerOptions options;
+  options.admission.query_timeout_ms = 0;  // nothing else may unstick it
+  EqldServer server(options);
+  server.SetGraph(MakePinningKg(), "kg");
+  ASSERT_TRUE(server.Start().ok());
+
+  BlockedQuery blocked(server.port(), "parked");
+  ASSERT_TRUE(WaitFor([&] { return StatsInFlight(server) == 1; }));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  server.Shutdown();
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  EXPECT_LT(ms, 20000) << "Shutdown stalled on a non-reading peer";
+  auto st = server.GetStats();
+  EXPECT_EQ(st.admission.in_flight, 0u);
+  EXPECT_EQ(st.governor.leased_bytes, 0u);
+}
+
+// Disconnecting mid-swap instead of draining: the stream hard-truncates (the
+// server drops the connection; it must not crash or leak the old context).
+TEST(ServerChaosTest, HotSwapWithDisconnectingStreams) {
+  namespace fs = std::filesystem;
+  const std::string dir = ::testing::TempDir();
+  const std::string path_a = (fs::path(dir) / "chaos_c.snap").string();
+  const std::string path_b = (fs::path(dir) / "chaos_d.snap").string();
+  Graph a = MakePinningKg();
+  Graph b = MakeKg(8000, 24000);
+  ASSERT_TRUE(WriteSnapshot(a, path_a).ok());
+  ASSERT_TRUE(WriteSnapshot(b, path_b).ok());
+  const std::string scan_b = InProcessBytes(b, kScanQuery, ResultFormat::kTsv);
+
+  ServerOptions options;
+  options.admission.per_client_concurrent = 0;
+  options.admission.query_timeout_ms = 0;
+  EqldServer server(options);
+  ASSERT_TRUE(server.OpenSnapshotFile(path_a).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    BlockedQuery b1(server.port(), "x");
+    BlockedQuery b2(server.port(), "x");
+    ASSERT_TRUE(WaitFor([&] { return StatsInFlight(server) == 2; }));
+    auto swap = HttpFetch("127.0.0.1", server.port(), "POST",
+                          "/snapshot/open", path_b);
+    ASSERT_TRUE(swap.ok());
+    EXPECT_EQ(swap->status, 200);
+    b1.Close();  // vanish mid-stream: cancellation path, hard truncation
+    b2.Close();
+  }
+  EXPECT_TRUE(WaitFor([&] { return StatsInFlight(server) == 0; }))
+      << "tickets must release after the disconnects";
+
+  auto after = HttpFetch("127.0.0.1", server.port(), "POST",
+                         "/query?format=tsv", kScanQuery);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->status, 200);
+  EXPECT_EQ(after->body, scan_b);
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace eql
